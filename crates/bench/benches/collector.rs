@@ -1,0 +1,66 @@
+//! Collector micro-benchmarks and the batching ablation (DESIGN.md §5).
+//!
+//! `fid2path_cache` quantifies Algorithm 1's cache (with real fid2path
+//! cost disabled so the data-structure cost itself is visible);
+//! `collector_batch` sweeps the changelog read batch size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fsmon_lustre::Collector;
+use lustre_sim::{LustreConfig, LustreFs};
+use std::time::Duration;
+
+fn bench_collector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector");
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    // Per-record processing, cache on vs off (fid2path cost Free so
+    // the measured cost is the collector's own work).
+    for (label, cache) in [("process_with_cache", 5000usize), ("process_no_cache", 0)] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(label, |b| {
+            let fs = LustreFs::new(LustreConfig::small());
+            let client = fs.client();
+            let mut collector = Collector::new(fs.mdt(0), "/mnt/lustre", cache, 1024, None);
+            // A live population the records will reference.
+            for i in 0..1024 {
+                client.create(&format!("/f{i}")).unwrap();
+            }
+            let records = fs.mdt(0).read_changelog(0, 1024);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % records.len();
+                black_box(collector.process_record(&records[i]))
+            });
+        });
+    }
+
+    // Batch-size ablation: cost of one full step (read + process +
+    // purge) at different batch sizes, normalized per record.
+    for &batch in &[16usize, 128, 1024] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::new("step_batch", batch),
+            &batch,
+            |b, &batch| {
+                b.iter_batched(
+                    || {
+                        let fs = LustreFs::new(LustreConfig::small());
+                        let client = fs.client();
+                        for i in 0..batch {
+                            client.create(&format!("/f{i}")).unwrap();
+                        }
+                        (Collector::new(fs.mdt(0), "/mnt/lustre", 5000, batch, None), fs)
+                    },
+                    |(mut collector, _fs)| black_box(collector.step().len()),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collector);
+criterion_main!(benches);

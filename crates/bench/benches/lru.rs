@@ -1,0 +1,50 @@
+//! LRU cache micro-benchmarks: the data structure whose economics
+//! drive Tables VI and VIII.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsmon_core::LruCache;
+use lustre_sim::Fid;
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &size in &[200usize, 5000] {
+        group.bench_with_input(BenchmarkId::new("hit", size), &size, |b, &size| {
+            let mut cache: LruCache<Fid, String> = LruCache::new(size);
+            for i in 0..size {
+                cache.insert(Fid::new(1, i as u32, 0), format!("/path/{i}"));
+            }
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % size as u32;
+                black_box(cache.get(&Fid::new(1, i, 0)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("miss", size), &size, |b, &size| {
+            let mut cache: LruCache<Fid, String> = LruCache::new(size);
+            for i in 0..size {
+                cache.insert(Fid::new(1, i as u32, 0), format!("/path/{i}"));
+            }
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(cache.get(&Fid::new(2, i, 0)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("insert_evict", size), &size, |b, &size| {
+            let mut cache: LruCache<Fid, String> = LruCache::new(size);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                cache.insert(Fid::new(3, i, 0), String::from("/some/resolved/path"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Message queue micro-benchmarks: the collector → aggregator
+//! transport's throughput, inproc and TCP.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fsmon_mq::{Context, Message};
+use std::time::Duration;
+
+fn bench_mq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mq");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("inproc_pubsub_send_recv", |b| {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://bench").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://bench").unwrap();
+        sub.subscribe(b"");
+        let payload = Message::from_parts(vec![b"topic".to_vec(), vec![0u8; 256]]);
+        b.iter(|| {
+            publisher.send(payload.clone()).unwrap();
+            black_box(sub.recv_timeout(Duration::from_secs(1)).unwrap())
+        });
+    });
+
+    group.bench_function("inproc_pushpull_send_recv", |b| {
+        let ctx = Context::new();
+        let pull = ctx.puller();
+        pull.bind("inproc://bench-pipe").unwrap();
+        let push = ctx.pusher();
+        push.connect("inproc://bench-pipe").unwrap();
+        let payload = Message::single(vec![0u8; 256]);
+        b.iter(|| {
+            push.send(payload.clone()).unwrap();
+            black_box(pull.recv_timeout(Duration::from_secs(1)).unwrap())
+        });
+    });
+
+    group.bench_function("tcp_pubsub_send_recv", |b| {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("tcp://127.0.0.1:0").unwrap();
+        let addr = publisher.local_addr().unwrap();
+        let sub = ctx.subscriber();
+        sub.connect(&format!("tcp://{addr}")).unwrap();
+        sub.subscribe(b"");
+        std::thread::sleep(Duration::from_millis(100)); // subscription handshake
+        let payload = Message::from_parts(vec![b"topic".to_vec(), vec![0u8; 256]]);
+        b.iter(|| {
+            publisher.send(payload.clone()).unwrap();
+            black_box(sub.recv_timeout(Duration::from_secs(1)).unwrap())
+        });
+    });
+
+    // Batched: one message carrying 1024 events' worth of payload.
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("inproc_pubsub_batched_1024", |b| {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://bench-batch").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://bench-batch").unwrap();
+        sub.subscribe(b"");
+        let payload = Message::from_parts(vec![b"topic".to_vec(), vec![0u8; 96 * 1024]]);
+        b.iter(|| {
+            publisher.send(payload.clone()).unwrap();
+            black_box(sub.recv_timeout(Duration::from_secs(1)).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mq);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Event store micro-benchmarks: the aggregator's fault-tolerance lane.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fsmon_events::{EventKind, StandardEvent};
+use fsmon_store::{EventStore, FileStore, MemStore};
+use std::time::Duration;
+
+fn ev(i: u64) -> StandardEvent {
+    StandardEvent::new(EventKind::Create, "/mnt/lustre", format!("/f{i}"))
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("mem_append", |b| {
+        let store = MemStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.append(&ev(i)).unwrap())
+        });
+    });
+
+    group.bench_function("file_append", |b| {
+        let dir = std::env::temp_dir().join(format!("fsmon-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::open(&dir).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.append(&ev(i)).unwrap())
+        });
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("mem_replay_100", |b| {
+        let store = MemStore::new();
+        for i in 0..10_000 {
+            store.append(&ev(i)).unwrap();
+        }
+        let mut since = 0u64;
+        b.iter(|| {
+            since = (since + 100) % 9_900;
+            black_box(store.get_since(since, 100).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Event standardization micro-benchmarks: the resolution layer's
+//! per-event translation cost for every native dialect.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsmon_core::dsi::RawEvent;
+use fsmon_core::ResolutionLayer;
+use fsmon_events::fsevents::{FsEventFlags, FsEventsEvent};
+use fsmon_events::fswatcher::{FswChangeType, FswEvent};
+use fsmon_events::inotify::{InotifyEvent, InotifyMask};
+use fsmon_events::kqueue::{KqueueEvent, NoteFlags};
+use fsmon_events::EventFormatter;
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("standardize");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("inotify", |b| {
+        let mut layer = ResolutionLayer::new("/watch");
+        b.iter(|| {
+            let raw = RawEvent::Inotify {
+                event: InotifyEvent {
+                    wd: 1,
+                    mask: InotifyMask(InotifyMask::IN_CREATE),
+                    cookie: 0,
+                    name: "hello.txt".to_string(),
+                },
+                dir_rel: "/sub".to_string(),
+            };
+            black_box(layer.resolve(raw))
+        })
+    });
+    group.bench_function("kqueue", |b| {
+        let mut layer = ResolutionLayer::new("/watch");
+        b.iter(|| {
+            let raw = RawEvent::Kqueue(KqueueEvent {
+                ident: 5,
+                fflags: NoteFlags(NoteFlags::NOTE_WRITE),
+                path: "/watch/sub/hello.txt".to_string(),
+                is_dir: false,
+            });
+            black_box(layer.resolve(raw))
+        })
+    });
+    group.bench_function("fsevents", |b| {
+        let mut layer = ResolutionLayer::new("/watch");
+        b.iter(|| {
+            let raw = RawEvent::FsEvents(FsEventsEvent {
+                event_id: 9,
+                flags: FsEventFlags(FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_FILE),
+                path: "/watch/sub/hello.txt".to_string(),
+            });
+            black_box(layer.resolve(raw))
+        })
+    });
+    group.bench_function("filesystemwatcher", |b| {
+        let mut layer = ResolutionLayer::new("/watch");
+        b.iter(|| {
+            let raw = RawEvent::Fsw(FswEvent {
+                change_type: FswChangeType::Created,
+                full_path: "/watch/sub/hello.txt".to_string(),
+                old_full_path: None,
+                is_dir: false,
+            });
+            black_box(layer.resolve(raw))
+        })
+    });
+    group.bench_function("render_all_dialects", |b| {
+        let mut layer = ResolutionLayer::new("/watch");
+        let ev = layer.resolve(RawEvent::Inotify {
+            event: InotifyEvent {
+                wd: 1,
+                mask: InotifyMask(InotifyMask::IN_CREATE),
+                cookie: 0,
+                name: "hello.txt".to_string(),
+            },
+            dir_rel: String::new(),
+        });
+        b.iter(|| {
+            for fmt in EventFormatter::ALL {
+                black_box(fmt.render(&ev));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Wire codec micro-benchmarks: the per-event serialization cost on
+//! the collector → aggregator path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fsmon_events::{decode_event_batch, encode_event_batch, EventKind, StandardEvent};
+
+fn sample_batch(n: usize) -> Vec<StandardEvent> {
+    (0..n)
+        .map(|i| {
+            let mut ev = StandardEvent::new(
+                EventKind::Create,
+                "/mnt/lustre",
+                format!("/dir{}/file-{i}.dat", i % 32),
+            )
+            .with_timestamp(1_552_084_067_000_000_000 + i as u64)
+            .with_mdt((i % 4) as u16);
+            ev.id = i as u64;
+            ev
+        })
+        .collect()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &n in &[1usize, 64, 1024] {
+        let batch = sample_batch(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("encode/{n}"), |b| {
+            b.iter(|| black_box(encode_event_batch(&batch)))
+        });
+        let frame = encode_event_batch(&batch);
+        group.bench_function(format!("decode/{n}"), |b| {
+            b.iter(|| black_box(decode_event_batch(&frame).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! §V-D2, four-MDS scaling — "On Iota, when we use all four available
+//! MDSs, the overall event generation rate is 38 372 events per second.
+//! FSMonitor reports 37 948 events per second to the consumer."
+//!
+//! The paper's four collectors ran on four MDS nodes; on a shared-core
+//! host their busy windows inflate each other, so the scaling row is
+//! computed from a cleanly measured single-MDS pipeline multiplied by
+//! the MDS count (collectors share nothing but the aggregator), and
+//! the four-MDS deployment is then run end-to-end to verify the
+//! aggregation path loses nothing and every MDS contributes.
+
+use fsmon_bench::lustre_throughput;
+use fsmon_testbed::profiles::TestbedKind;
+use fsmon_testbed::table::{f1, rate};
+use fsmon_testbed::Table;
+use fsmon_workloads::ScriptVariant;
+use std::time::Duration;
+
+fn main() {
+    let window = Duration::from_secs(3);
+    // Clean single-MDS pipeline measurement.
+    let single = lustre_throughput(
+        TestbedKind::Iota,
+        Some(5000),
+        ScriptVariant::CreateModifyDelete,
+        4096,
+        window,
+        false,
+    );
+    let per_mds_gen = single.generation_rate();
+    let per_mds_reported = single.reporting_rate();
+
+    // True 4-MDS deployment: end-to-end integrity check.
+    let four = lustre_throughput(
+        TestbedKind::Iota,
+        Some(5000),
+        ScriptVariant::CreateModifyDelete,
+        4096,
+        window,
+        true,
+    );
+
+    let mut table = Table::new("Fig/§V-D2: Iota with four MDSs (events/sec)").header([
+        "Metric",
+        "Paper",
+        "Measured",
+    ]);
+    table.row([
+        "Per-MDS generated".to_string(),
+        "9593".to_string(),
+        rate(per_mds_gen),
+    ]);
+    table.row([
+        "Per-MDS reported".to_string(),
+        "9487".to_string(),
+        rate(per_mds_reported),
+    ]);
+    table.row([
+        "Generated, 4 MDSs (modelled 4x)".to_string(),
+        "38372".to_string(),
+        rate(4.0 * per_mds_gen),
+    ]);
+    table.row([
+        "Reported by FSMonitor (modelled 4x)".to_string(),
+        "37948".to_string(),
+        rate(4.0 * per_mds_reported),
+    ]);
+    table.row([
+        "Reported / generated %".to_string(),
+        f1(100.0 * 37948.0 / 38372.0),
+        f1(100.0 * per_mds_reported / per_mds_gen.max(1.0)),
+    ]);
+    table.row([
+        "4-MDS end-to-end: events generated".to_string(),
+        String::new(),
+        four.generated.to_string(),
+    ]);
+    table.row([
+        "4-MDS end-to-end: events reported".to_string(),
+        String::new(),
+        four.reported.to_string(),
+    ]);
+    table.row([
+        "4-MDS end-to-end: events lost".to_string(),
+        "0".to_string(),
+        four.generated.saturating_sub(four.reported).to_string(),
+    ]);
+    table.note("shape to reproduce: reported within a few percent of generated per MDS, linear 4x aggregate, zero loss");
+    table.print();
+}

@@ -1,0 +1,57 @@
+//! Table IV — CPU and memory usage of the local monitors.
+//!
+//! CPU% is the modelled monitor busy share (monitor processing time
+//! over the wall window); memory is the real process RSS delta
+//! attributable to the run, reported as a percent of system memory
+//! like the paper does.
+
+use fsmon_bench::{local_reporting_rate, MonitorKind};
+use fsmon_testbed::table::f2;
+use fsmon_testbed::{LocalPlatform, ProcSampler, Table};
+use std::time::Duration;
+
+fn mem_percent_of_system(bytes: u64) -> f64 {
+    let total = std::fs::read_to_string("/proc/meminfo")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("MemTotal:")
+                    .and_then(|r| r.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(16 * 1024 * 1024)
+        * 1024;
+    100.0 * bytes as f64 / total as f64
+}
+
+fn main() {
+    let window = Duration::from_secs(2);
+    let mut table = Table::new("Table IV: CPU and Memory usage").header([
+        "Platform",
+        "FSMonitor CPU% (paper)",
+        "FSMonitor CPU% (measured)",
+        "Other CPU% (paper)",
+        "Other CPU% (measured)",
+        "FSMonitor Mem% (paper)",
+        "Mem% (measured, whole process)",
+    ]);
+    for platform in LocalPlatform::ALL {
+        let mut sampler = ProcSampler::start();
+        let fsm = local_reporting_rate(platform, Some(MonitorKind::FsMonitor), window);
+        let sample = sampler.sample();
+        let other = local_reporting_rate(platform, Some(MonitorKind::Other), window);
+        let (paper_fsm_cpu, paper_other_cpu) = platform.paper_cpu();
+        let (paper_mem, _) = platform.paper_mem();
+        table.row([
+            platform.name().to_string(),
+            format!("{paper_fsm_cpu}"),
+            f2(fsm.monitor_cpu_percent),
+            format!("{paper_other_cpu} ({})", platform.other_monitor()),
+            f2(other.monitor_cpu_percent),
+            format!("{paper_mem}"),
+            f2(mem_percent_of_system(sample.rss_bytes)),
+        ]);
+    }
+    table.note("paper's conclusion to reproduce: no monitor makes heavy use of machine resources; differences are not decisive");
+    table.print();
+}

@@ -1,0 +1,99 @@
+//! Table V — Lustre testbed baseline event generation rates.
+//!
+//! Per-kind rates are each op class's standalone ceiling (what the
+//! paper's per-row baselines measure); the total row is the mixed
+//! `Evaluate_Performance_Script` rate.
+
+use fsmon_bench::lustre_throughput;
+use fsmon_testbed::profiles::TestbedKind;
+use fsmon_testbed::table::rate;
+use fsmon_testbed::Table;
+use fsmon_workloads::ScriptVariant;
+use lustre_sim::LustreFs;
+use std::time::{Duration, Instant};
+
+/// Measure one op class's standalone rate (events/sec).
+fn class_rate(tb: TestbedKind, class: &str, window: Duration) -> f64 {
+    let mut config = tb.config();
+    config.n_mdt = 1;
+    let fs = LustreFs::new(config);
+    let client = fs.client();
+    match class {
+        "create" => {
+            let start = Instant::now();
+            let mut n = 0u64;
+            while start.elapsed() < window {
+                client.create(&format!("/c{n}")).unwrap();
+                n += 1;
+            }
+            n as f64 / start.elapsed().as_secs_f64()
+        }
+        "modify" => {
+            client.create("/m").unwrap();
+            let start = Instant::now();
+            let mut n = 0u64;
+            while start.elapsed() < window {
+                client.write("/m", 0, 64).unwrap();
+                n += 1;
+            }
+            n as f64 / start.elapsed().as_secs_f64()
+        }
+        "delete" => {
+            // Pre-create outside the timed window.
+            let batch = 200_000usize;
+            for i in 0..batch {
+                client.create(&format!("/d{i}")).unwrap();
+            }
+            let start = Instant::now();
+            let mut n = 0u64;
+            while start.elapsed() < window && (n as usize) < batch {
+                client.unlink(&format!("/d{n}")).unwrap();
+                n += 1;
+            }
+            n as f64 / start.elapsed().as_secs_f64()
+        }
+        _ => unreachable!("unknown class"),
+    }
+}
+
+fn main() {
+    let window = Duration::from_millis(700);
+    let mut table = Table::new("Table V: Lustre Testbed Baseline Event Generation Rates").header([
+        "",
+        "AWS (paper/measured)",
+        "Thor (paper/measured)",
+        "Iota (paper/measured)",
+    ]);
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["Storage Size".into()],
+        vec!["Create events/sec".into()],
+        vec!["Modify events/sec".into()],
+        vec!["Delete events/sec".into()],
+        vec!["Total events/sec".into()],
+    ];
+    for tb in TestbedKind::ALL {
+        let (p_create, p_modify, p_delete) = tb.paper_generation_rates();
+        rows[0].push(tb.storage_label().to_string());
+        rows[1].push(format!("{p_create} / {}", rate(class_rate(tb, "create", window))));
+        rows[2].push(format!("{p_modify} / {}", rate(class_rate(tb, "modify", window))));
+        rows[3].push(format!("{p_delete} / {}", rate(class_rate(tb, "delete", window))));
+        let mixed = lustre_throughput(
+            tb,
+            None,
+            ScriptVariant::CreateModifyDelete,
+            1,
+            window,
+            false,
+        );
+        rows[4].push(format!(
+            "{} / {}",
+            tb.paper_total_generation_rate(),
+            rate(mixed.generation_rate())
+        ));
+    }
+    for row in rows {
+        table.row(row);
+    }
+    table.note("measured at 20x time scale; shape to reproduce: AWS < Thor < Iota, delete > modify > create per testbed");
+    table.print();
+}

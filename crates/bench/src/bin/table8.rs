@@ -1,0 +1,75 @@
+//! Table VIII — FSMonitor performance vs cache size (Iota, one MDS).
+//!
+//! The paper sweeps the LRU capacity from 200 to 7500 against a
+//! workload whose live FID working set is in the thousands, finding
+//! 5000 optimal. The working-set regime is reproduced with the
+//! many-files performance script: files are created once and then
+//! modified in rotation, so a cache smaller than the working set
+//! misses on re-reference.
+
+use fsmon_bench::lustre_throughput;
+use fsmon_testbed::profiles::TestbedKind;
+use fsmon_testbed::table::{f2, mb, rate};
+use fsmon_testbed::Table;
+use fsmon_workloads::ScriptVariant;
+use std::time::Duration;
+
+fn main() {
+    let window = Duration::from_secs(2);
+    // Working set just under the paper's optimum, as on Iota where
+    // 5000 entries covered the live set and 2000 nearly did.
+    let working_set = 4000;
+    // Common generation ceiling, measured once so per-row generator
+    // noise doesn't mask the capacity curve.
+    let baseline = lustre_throughput(
+        TestbedKind::Iota,
+        None,
+        ScriptVariant::CreateModify,
+        working_set,
+        window,
+        false,
+    );
+    let gen_rate = baseline.generation_rate();
+    let paper: [(usize, f64, f64, u64); 6] = [
+        (200, 4.8, 88.7, 8644),
+        (500, 3.5, 84.3, 8997),
+        (1000, 2.98, 75.6, 9401),
+        (2000, 2.95, 61.3, 9453),
+        (5000, 2.89, 55.4, 9487),
+        (7500, 2.92, 60.7, 9481),
+    ];
+    let mut table = Table::new("Table VIII: FSMonitor performance vs cache size (Iota)").header([
+        "Cache size",
+        "CPU% (paper/meas)",
+        "Mem MB (paper/meas)",
+        "Events/sec (paper/meas)",
+        "Hit ratio (meas)",
+    ]);
+    for (size, p_cpu, p_mem, p_rate) in paper {
+        let run = lustre_throughput(
+            TestbedKind::Iota,
+            Some(size),
+            ScriptVariant::CreateModify,
+            working_set,
+            window,
+            false,
+        );
+        let hits = run.collector.cache_hits as f64;
+        let total = (run.collector.cache_hits + run.collector.cache_misses).max(1) as f64;
+        let mem_bytes = run.collector.cache_memory_bytes as u64 + run.peak_backlog * 160;
+        let reported = gen_rate.min(run.collector_capacity);
+        table.row([
+            size.to_string(),
+            format!("{p_cpu} / {}", f2(run.collector_cpu_percent)),
+            format!("{p_mem} / {}", mb(mem_bytes)),
+            format!("{p_rate} / {}", rate(reported)),
+            f2(hits / total),
+        ]);
+    }
+    table.note(format!(
+        "workload: create-once + modify rotation over {working_set} files; shape to reproduce: \
+         rising events/sec and falling CPU up to ~5000, plateau beyond"
+    ));
+    table.note("paper's 7500-worse-than-5000 inversion stems from their cache's per-entry overhead; our LRU plateaus instead (noted in EXPERIMENTS.md)");
+    table.print();
+}

@@ -1,0 +1,369 @@
+//! Hand-rolled argument parsing (no CLI dependency).
+
+use fsmon_events::{EventFormatter, EventKind};
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// The `fsmon` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Watch a real directory.
+    Watch {
+        /// Directory to watch.
+        path: String,
+        /// Output dialect.
+        format: EventFormatter,
+        /// Kind filter (empty = all kinds).
+        kinds: Vec<EventKind>,
+        /// Relative path prefix filter.
+        prefix: String,
+        /// Whether subtree matching is on (default) or direct children
+        /// only.
+        recursive: bool,
+        /// Durable store directory for replay, if any.
+        store: Option<String>,
+        /// Stop after this many seconds (None = run until killed).
+        duration_secs: Option<u64>,
+        /// Poll interval in milliseconds.
+        interval_ms: u64,
+        /// Collapse each poll's burst to its net effect before
+        /// printing.
+        coalesce: bool,
+    },
+    /// Replay events from a durable store.
+    Replay {
+        /// Store directory.
+        store: String,
+        /// Replay events with id greater than this.
+        since: u64,
+        /// Maximum events to print.
+        max: usize,
+    },
+    /// Run the simulated Lustre pipeline demo.
+    DemoLustre {
+        /// Number of MDSs.
+        mds: u16,
+        /// Workload seconds.
+        seconds: u64,
+        /// Collector cache size.
+        cache: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse failures, with the message to show the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+fsmon — file system monitoring for arbitrary storage systems
+
+USAGE:
+  fsmon watch <path> [--format F] [--kinds K1,K2] [--prefix /p]
+                     [--non-recursive] [--coalesce] [--store DIR]
+                     [--duration SECS] [--interval-ms MS]
+  fsmon replay --store DIR [--since ID] [--max N]
+  fsmon demo-lustre [--mds N] [--seconds S] [--cache N]
+  fsmon help
+
+FORMATS: inotify (default), kqueue, fsevents, filesystemwatcher
+KINDS:   CREATE, MODIFY, DELETE, MOVED_FROM, MOVED_TO, ATTRIB, ...";
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    iter: &mut I,
+) -> Result<&'a str, ParseError> {
+    iter.next()
+        .ok_or_else(|| ParseError(format!("{flag} requires a value")))
+}
+
+impl Cli {
+    /// Parse an argument list (without the program name).
+    pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Cli, ParseError> {
+        let mut iter = args.into_iter();
+        let command = match iter.next() {
+            None | Some("help") | Some("--help") | Some("-h") => Command::Help,
+            Some("watch") => Self::parse_watch(&mut iter)?,
+            Some("replay") => Self::parse_replay(&mut iter)?,
+            Some("demo-lustre") => Self::parse_demo(&mut iter)?,
+            Some(other) => return Err(ParseError(format!("unknown command: {other}"))),
+        };
+        Ok(Cli { command })
+    }
+
+    fn parse_watch<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut path: Option<String> = None;
+        let mut format = EventFormatter::Inotify;
+        let mut kinds: Vec<EventKind> = Vec::new();
+        let mut prefix = "/".to_string();
+        let mut recursive = true;
+        let mut store = None;
+        let mut duration_secs = None;
+        let mut interval_ms = 200;
+        let mut coalesce = false;
+        while let Some(arg) = iter.next() {
+            match arg {
+                "--format" => {
+                    let v = take_value(arg, iter)?;
+                    format = EventFormatter::parse(v)
+                        .ok_or_else(|| ParseError(format!("unknown format: {v}")))?;
+                }
+                "--kinds" => {
+                    let v = take_value(arg, iter)?;
+                    for name in v.split(',') {
+                        let kind = EventKind::from_str_name(&name.to_ascii_uppercase())
+                            .ok_or_else(|| ParseError(format!("unknown kind: {name}")))?;
+                        kinds.push(kind);
+                    }
+                }
+                "--prefix" => prefix = take_value(arg, iter)?.to_string(),
+                "--non-recursive" => recursive = false,
+                "--coalesce" => coalesce = true,
+                "--store" => store = Some(take_value(arg, iter)?.to_string()),
+                "--duration" => {
+                    duration_secs = Some(
+                        take_value(arg, iter)?
+                            .parse()
+                            .map_err(|_| ParseError("--duration must be a number".into()))?,
+                    )
+                }
+                "--interval-ms" => {
+                    interval_ms = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--interval-ms must be a number".into()))?;
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(ParseError(format!("unknown flag for watch: {flag}")))
+                }
+                positional => {
+                    if path.is_some() {
+                        return Err(ParseError(format!("unexpected argument: {positional}")));
+                    }
+                    path = Some(positional.to_string());
+                }
+            }
+        }
+        Ok(Command::Watch {
+            path: path.ok_or_else(|| ParseError("watch requires a path".into()))?,
+            format,
+            kinds,
+            prefix,
+            recursive,
+            store,
+            duration_secs,
+            interval_ms,
+            coalesce,
+        })
+    }
+
+    fn parse_replay<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut store = None;
+        let mut since = 0;
+        let mut max = 1000;
+        while let Some(arg) = iter.next() {
+            match arg {
+                "--store" => store = Some(take_value(arg, iter)?.to_string()),
+                "--since" => {
+                    since = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--since must be a number".into()))?
+                }
+                "--max" => {
+                    max = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--max must be a number".into()))?
+                }
+                other => return Err(ParseError(format!("unknown flag for replay: {other}"))),
+            }
+        }
+        Ok(Command::Replay {
+            store: store.ok_or_else(|| ParseError("replay requires --store".into()))?,
+            since,
+            max,
+        })
+    }
+
+    fn parse_demo<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut mds = 4;
+        let mut seconds = 2;
+        let mut cache = 5000;
+        while let Some(arg) = iter.next() {
+            match arg {
+                "--mds" => {
+                    mds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--mds must be a number".into()))?
+                }
+                "--seconds" => {
+                    seconds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--seconds must be a number".into()))?
+                }
+                "--cache" => {
+                    cache = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--cache must be a number".into()))?
+                }
+                other => {
+                    return Err(ParseError(format!("unknown flag for demo-lustre: {other}")))
+                }
+            }
+        }
+        Ok(Command::DemoLustre { mds, seconds, cache })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(Cli::parse([]).unwrap().command, Command::Help);
+        assert_eq!(Cli::parse(["--help"]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn watch_defaults() {
+        let cli = Cli::parse(["watch", "/data"]).unwrap();
+        match cli.command {
+            Command::Watch {
+                path,
+                format,
+                kinds,
+                prefix,
+                recursive,
+                store,
+                duration_secs,
+                interval_ms,
+                coalesce,
+            } => {
+                assert_eq!(path, "/data");
+                assert!(!coalesce);
+                assert_eq!(format, EventFormatter::Inotify);
+                assert!(kinds.is_empty());
+                assert_eq!(prefix, "/");
+                assert!(recursive);
+                assert_eq!(store, None);
+                assert_eq!(duration_secs, None);
+                assert_eq!(interval_ms, 200);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_full_flags() {
+        let cli = Cli::parse([
+            "watch",
+            "/data",
+            "--format",
+            "kqueue",
+            "--kinds",
+            "create,delete",
+            "--prefix",
+            "/sub",
+            "--non-recursive",
+            "--store",
+            "/tmp/events",
+            "--duration",
+            "5",
+            "--interval-ms",
+            "50",
+            "--coalesce",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Watch {
+                format,
+                kinds,
+                prefix,
+                recursive,
+                store,
+                duration_secs,
+                interval_ms,
+                coalesce,
+                ..
+            } => {
+                assert!(coalesce);
+                assert_eq!(format, EventFormatter::Kqueue);
+                assert_eq!(kinds, vec![EventKind::Create, EventKind::Delete]);
+                assert_eq!(prefix, "/sub");
+                assert!(!recursive);
+                assert_eq!(store.as_deref(), Some("/tmp/events"));
+                assert_eq!(duration_secs, Some(5));
+                assert_eq!(interval_ms, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_errors() {
+        assert!(Cli::parse(["watch"]).is_err());
+        assert!(Cli::parse(["watch", "/a", "/b"]).is_err());
+        assert!(Cli::parse(["watch", "/a", "--format", "bogus"]).is_err());
+        assert!(Cli::parse(["watch", "/a", "--kinds", "NOPE"]).is_err());
+        assert!(Cli::parse(["watch", "/a", "--duration"]).is_err());
+        assert!(Cli::parse(["watch", "/a", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn replay_parsing() {
+        let cli = Cli::parse(["replay", "--store", "/tmp/ev", "--since", "42", "--max", "10"])
+            .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Replay {
+                store: "/tmp/ev".into(),
+                since: 42,
+                max: 10
+            }
+        );
+        assert!(Cli::parse(["replay"]).is_err());
+        assert!(Cli::parse(["replay", "--store", "/x", "--since", "abc"]).is_err());
+    }
+
+    #[test]
+    fn demo_parsing() {
+        let cli = Cli::parse(["demo-lustre", "--mds", "2", "--seconds", "1", "--cache", "0"])
+            .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::DemoLustre {
+                mds: 2,
+                seconds: 1,
+                cache: 0
+            }
+        );
+        let cli = Cli::parse(["demo-lustre"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::DemoLustre {
+                mds: 4,
+                seconds: 2,
+                cache: 5000
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_command() {
+        assert!(Cli::parse(["frobnicate"]).is_err());
+    }
+}

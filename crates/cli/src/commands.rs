@@ -1,0 +1,288 @@
+//! Command implementations. Each returns its process exit code and
+//! writes to the supplied writer, so tests can drive them directly.
+
+use crate::args::{Command, USAGE};
+use fsmon_core::dsi::local::PollingDsi;
+use fsmon_core::{EventFilter, FsMonitor, MonitorConfig};
+use fsmon_events::kind::KindMask;
+use fsmon_events::EventFormatter;
+use fsmon_store::{EventStore, FileStore};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Run a parsed command, writing output to `out`.
+pub fn run(command: Command, out: &mut dyn Write) -> i32 {
+    match command {
+        Command::Help => {
+            let _ = writeln!(out, "{USAGE}");
+            0
+        }
+        Command::Watch {
+            path,
+            format,
+            kinds,
+            prefix,
+            recursive,
+            store,
+            duration_secs,
+            interval_ms,
+            coalesce,
+        } => watch(
+            &path,
+            format,
+            &kinds,
+            &prefix,
+            recursive,
+            store.as_deref(),
+            duration_secs,
+            interval_ms,
+            coalesce,
+            out,
+        ),
+        Command::Replay { store, since, max } => replay(&store, since, max, out),
+        Command::DemoLustre { mds, seconds, cache } => demo_lustre(mds, seconds, cache, out),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn watch(
+    path: &str,
+    format: EventFormatter,
+    kinds: &[fsmon_events::EventKind],
+    prefix: &str,
+    recursive: bool,
+    store: Option<&str>,
+    duration_secs: Option<u64>,
+    interval_ms: u64,
+    coalesce: bool,
+    out: &mut dyn Write,
+) -> i32 {
+    if !std::path::Path::new(path).is_dir() {
+        let _ = writeln!(out, "error: {path} is not a directory");
+        return 2;
+    }
+    let config = match store {
+        Some(dir) => MonitorConfig::with_file_store(dir),
+        None => MonitorConfig::without_store(),
+    };
+    let dsi = PollingDsi::new(path.to_string());
+    let mut monitor = FsMonitor::new(Box::new(dsi), config);
+    let mut filter = if recursive {
+        EventFilter::subtree(prefix)
+    } else {
+        EventFilter::directory(prefix)
+    };
+    if !kinds.is_empty() {
+        filter.kinds = KindMask::from_kinds(kinds.iter().copied());
+    }
+    let sub = monitor.subscribe(filter);
+    let _ = writeln!(out, "watching {path} (prefix {prefix}, format {})", format.as_str());
+
+    let deadline = duration_secs.map(|s| Instant::now() + Duration::from_secs(s));
+    let mut printed = 0u64;
+    loop {
+        monitor.pump(4096);
+        let mut events = sub.drain();
+        if coalesce {
+            events = fsmon_events::coalesce(&events);
+        }
+        for ev in events {
+            let _ = writeln!(out, "{}", format.render(&ev));
+            printed += 1;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+    let _ = writeln!(out, "observed {printed} events");
+    0
+}
+
+fn replay(store_dir: &str, since: u64, max: usize, out: &mut dyn Write) -> i32 {
+    let store = match FileStore::open(store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot open store at {store_dir}: {e}");
+            return 2;
+        }
+    };
+    match store.get_since(since, max) {
+        Ok(events) => {
+            for ev in &events {
+                let _ = writeln!(out, "{:>8}  {}", ev.id, ev.render_table2());
+            }
+            let _ = writeln!(out, "replayed {} events (since id {since})", events.len());
+            0
+        }
+        Err(e) => {
+            let _ = writeln!(out, "error: replay failed: {e}");
+            2
+        }
+    }
+}
+
+fn demo_lustre(mds: u16, seconds: u64, cache: usize, out: &mut dyn Write) -> i32 {
+    use fsmon_lustre::{ScalableConfig, ScalableMonitor};
+    use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
+    use lustre_sim::{LustreConfig, LustreFs};
+
+    let _ = writeln!(out, "simulated Lustre: {mds} MDS(s), cache {cache}");
+    let fs = LustreFs::new(LustreConfig::small_dne(mds.max(1)));
+    let monitor = match ScalableMonitor::start(
+        &fs,
+        ScalableConfig {
+            cache_size: cache,
+            ..ScalableConfig::default()
+        },
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    let client = fs.client();
+    let run = EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
+        .with_working_set(1024)
+        .run_for(&client, Duration::from_secs(seconds));
+    monitor.wait_events(run.operations, Duration::from_secs(60));
+    let agg = monitor.aggregator_stats();
+    let stats = monitor.total_collector_stats();
+    let _ = writeln!(out, "generated : {} events in {:.1?}", run.operations, run.elapsed);
+    let _ = writeln!(out, "reported  : {} events (lost {})", agg.received,
+        run.operations.saturating_sub(agg.received));
+    let _ = writeln!(
+        out,
+        "fid2path  : {} calls, cache hit ratio {:.1}%",
+        stats.fid2path_calls,
+        100.0 * stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64
+    );
+    monitor.stop();
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn run_str(args: &[&str]) -> (i32, String) {
+        let cli = Cli::parse(args.iter().copied()).unwrap();
+        let mut out = Vec::new();
+        let code = run(cli.command, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_str(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn watch_missing_dir_errors() {
+        let (code, out) = run_str(&["watch", "/definitely/not/here"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("not a directory"));
+    }
+
+    #[test]
+    fn watch_observes_and_stores_then_replay_reads() {
+        let dir = std::env::temp_dir().join(format!("fsmon-cli-watch-{}", std::process::id()));
+        let store = std::env::temp_dir().join(format!("fsmon-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&store);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Generate activity from another thread while watch runs.
+        let dir2 = dir.clone();
+        let gen = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            std::fs::write(dir2.join("a.txt"), b"x").unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+            std::fs::remove_file(dir2.join("a.txt")).unwrap();
+        });
+        let (code, out) = run_str(&[
+            "watch",
+            dir.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--duration",
+            "2",
+            "--interval-ms",
+            "50",
+        ]);
+        gen.join().unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("CREATE /a.txt"), "{out}");
+        assert!(out.contains("DELETE /a.txt"), "{out}");
+
+        let (code, out) = run_str(&["replay", "--store", store.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("CREATE /a.txt"), "{out}");
+        assert!(out.contains("replayed 2 events"), "{out}");
+
+        // Replay --since skips acknowledged history.
+        let (_, out) = run_str(&[
+            "replay",
+            "--store",
+            store.to_str().unwrap(),
+            "--since",
+            "1",
+        ]);
+        assert!(out.contains("replayed 1 events"), "{out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn watch_kind_filter_limits_output() {
+        let dir = std::env::temp_dir().join(format!("fsmon-cli-kinds-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir2 = dir.clone();
+        let gen = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            std::fs::write(dir2.join("f"), b"1").unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+            std::fs::remove_file(dir2.join("f")).unwrap();
+        });
+        let (code, out) = run_str(&[
+            "watch",
+            dir.to_str().unwrap(),
+            "--kinds",
+            "delete",
+            "--duration",
+            "1",
+            "--interval-ms",
+            "50",
+        ]);
+        gen.join().unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("DELETE /f"), "{out}");
+        assert!(!out.contains("CREATE /f"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_on_missing_store_fails_cleanly() {
+        // FileStore::open creates the directory, so point at a path that
+        // cannot be created.
+        let (code, out) = run_str(&["replay", "--store", "/proc/definitely/not/writable"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("error"));
+    }
+
+    #[test]
+    fn demo_lustre_runs_quickly() {
+        let (code, out) = run_str(&["demo-lustre", "--mds", "1", "--seconds", "1", "--cache", "100"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("generated"), "{out}");
+        assert!(out.contains("lost 0"), "{out}");
+    }
+}

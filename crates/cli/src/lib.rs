@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # fsmon-cli
+//!
+//! The `fsmon` command-line tool — an `inotifywait`-style front end to
+//! the FSMonitor library:
+//!
+//! ```text
+//! fsmon watch <path> [--format inotify|kqueue|fsevents|filesystemwatcher]
+//!                    [--kinds create,modify,delete,...]
+//!                    [--prefix /sub] [--non-recursive]
+//!                    [--store <dir>] [--duration <secs>]
+//!                    [--interval-ms <ms>]
+//! fsmon replay --store <dir> [--since <id>] [--max <n>]
+//! fsmon demo-lustre [--mds <n>] [--seconds <s>] [--cache <n>]
+//! ```
+//!
+//! The argument parser and command plumbing live here so they are unit
+//! testable; `src/main.rs` is a thin shell.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Cli, Command, ParseError};

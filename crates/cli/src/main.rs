@@ -1,0 +1,18 @@
+//! The `fsmon` binary: parse arguments, dispatch, exit.
+
+use fsmon_cli::{args::USAGE, Cli};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match Cli::parse(refs) {
+        Ok(cli) => {
+            let code = fsmon_cli::commands::run(cli.command, &mut std::io::stdout());
+            std::process::exit(code);
+        }
+        Err(e) => {
+            eprintln!("fsmon: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Monitoring several storage systems through one FSMonitor.
+//!
+//! Big-data workflows span storage tiers ("data flows from instruments
+//! to processing resources and archival storage", paper §I) — a
+//! [`CompositeDsi`] merges any number of DSIs into one event stream so
+//! one monitor, one subscription API, and one event store cover the
+//! whole pipeline. Each member keeps its own watch root; events are
+//! re-rooted under a per-member mount label.
+
+use crate::dsi::{DsiError, RawEvent, StorageInterface};
+use fsmon_events::{MonitorSource, StandardEvent};
+
+struct Member {
+    label: String,
+    dsi: Box<dyn StorageInterface>,
+}
+
+/// A DSI that merges other DSIs.
+pub struct CompositeDsi {
+    members: Vec<Member>,
+    watch_root: String,
+    next: usize,
+}
+
+impl CompositeDsi {
+    /// An empty composite with the given umbrella root (events are
+    /// reported as `<root>/<label><member path>`).
+    pub fn new(watch_root: impl Into<String>) -> CompositeDsi {
+        CompositeDsi {
+            members: Vec::new(),
+            watch_root: watch_root.into(),
+            next: 0,
+        }
+    }
+
+    /// Add a member DSI under a mount `label`.
+    #[must_use]
+    pub fn with(mut self, label: impl Into<String>, dsi: Box<dyn StorageInterface>) -> CompositeDsi {
+        self.members.push(Member {
+            label: label.into(),
+            dsi,
+        });
+        self
+    }
+
+    /// Number of member DSIs.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the composite has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    fn reroot(&self, label: &str, mut ev: StandardEvent) -> StandardEvent {
+        ev.path = format!("/{label}{}", ev.path);
+        if let Some(old) = ev.old_path.take() {
+            ev.old_path = Some(format!("/{label}{old}"));
+        }
+        ev.watch_root = self.watch_root.clone();
+        ev
+    }
+}
+
+impl StorageInterface for CompositeDsi {
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+
+    fn source(&self) -> MonitorSource {
+        MonitorSource::Synthetic
+    }
+
+    fn watch_root(&self) -> &str {
+        &self.watch_root
+    }
+
+    fn start(&mut self) -> Result<(), DsiError> {
+        for m in &mut self.members {
+            m.dsi.start()?;
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self, max: usize) -> Vec<RawEvent> {
+        if self.members.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let n = self.members.len();
+        // Round-robin across members so no single busy tier starves the
+        // others.
+        for k in 0..n {
+            if out.len() >= max {
+                break;
+            }
+            let idx = (self.next + k) % n;
+            let budget = (max - out.len()).div_ceil(n - k);
+            // Each member's raw events are standardized against its own
+            // root first, then re-rooted under the member label.
+            let label = self.members[idx].label.clone();
+            let member_root = self.members[idx].dsi.watch_root().to_string();
+            let raw = self.members[idx].dsi.poll(budget);
+            let mut resolver = crate::resolution::ResolutionLayer::new(member_root);
+            for r in raw {
+                let mut ev = resolver.resolve(r);
+                ev.id = 0; // the umbrella resolution layer re-assigns ids
+                out.push(RawEvent::Standard(self.reroot(&label, ev)));
+            }
+        }
+        self.next = (self.next + 1) % n;
+        out
+    }
+
+    fn stop(&mut self) {
+        for m in &mut self.members {
+            m.dsi.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MonitorConfig;
+    use crate::dsi::local::{SimFsEventsDsi, SimInotifyDsi};
+    use crate::filter::EventFilter;
+    use crate::interface::FsMonitor;
+    use fsmon_events::EventKind;
+    use fsmon_localfs::{FsEventsSim, InotifySim, SimFs};
+
+    #[test]
+    fn merges_two_systems_under_labels() {
+        let scratch = SimFs::new();
+        let archive = SimFs::new();
+        let ino = InotifySim::attach(&scratch, 4096, 1 << 16);
+        let fse = FsEventsSim::attach(&archive, 0, 1 << 16);
+        let composite = CompositeDsi::new("/site")
+            .with("scratch", Box::new(SimInotifyDsi::recursive(ino, scratch.clone(), "/")))
+            .with("archive", Box::new(SimFsEventsDsi::new(fse, "/")));
+        assert_eq!(composite.len(), 2);
+        let mut monitor = FsMonitor::new(Box::new(composite), MonitorConfig::without_store());
+        let all = monitor.subscribe(EventFilter::all());
+        let archive_only = monitor.subscribe(EventFilter::subtree("/archive"));
+
+        scratch.create("/run-1.dat");
+        archive.create("/run-0.tar");
+        monitor.pump_until_idle(16);
+
+        let events = all.drain();
+        let paths: Vec<&str> = events.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"/scratch/run-1.dat"), "{paths:?}");
+        assert!(paths.contains(&"/archive/run-0.tar"), "{paths:?}");
+        assert!(events.iter().all(|e| e.watch_root == "/site"));
+
+        let archived = archive_only.drain();
+        assert_eq!(archived.len(), 1);
+        assert_eq!(archived[0].path, "/archive/run-0.tar");
+    }
+
+    #[test]
+    fn rename_old_paths_rerooted_too() {
+        let fs = SimFs::new();
+        let ino = InotifySim::attach(&fs, 4096, 1 << 16);
+        let composite = CompositeDsi::new("/site")
+            .with("tier0", Box::new(SimInotifyDsi::recursive(ino, fs.clone(), "/")));
+        let mut monitor = FsMonitor::new(Box::new(composite), MonitorConfig::without_store());
+        let sub = monitor.subscribe(EventFilter::all());
+        fs.create("/a");
+        fs.rename("/a", "/b");
+        monitor.pump_until_idle(16);
+        let events = sub.drain();
+        let to = events.iter().find(|e| e.kind == EventKind::MovedTo).unwrap();
+        assert_eq!(to.path, "/tier0/b");
+        assert_eq!(to.old_path.as_deref(), Some("/tier0/a"));
+    }
+
+    #[test]
+    fn empty_composite_is_inert() {
+        let mut c = CompositeDsi::new("/site");
+        assert!(c.is_empty());
+        assert!(c.start().is_ok());
+        assert!(c.poll(100).is_empty());
+    }
+
+    #[test]
+    fn start_failure_propagates() {
+        use crate::dsi::local::PollingDsi;
+        let mut c = CompositeDsi::new("/site")
+            .with("bad", Box::new(PollingDsi::new("/definitely/not/a/dir")));
+        assert!(c.start().is_err());
+    }
+}

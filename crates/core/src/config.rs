@@ -1,0 +1,80 @@
+//! Monitor configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where the interface layer persists events for fault tolerance
+/// (paper §III-A3: "storing all events received from the resolution
+/// layer into an event store (database)").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StoreBackend {
+    /// No persistence: replay is unavailable.
+    None,
+    /// In-memory store (replay within the process lifetime).
+    #[default]
+    Memory,
+    /// Durable file-backed store in this directory.
+    File(PathBuf),
+}
+
+/// Configuration for an [`crate::FsMonitor`].
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Maximum raw events pulled from the DSI per pump cycle.
+    pub batch_size: usize,
+    /// Sleep between pump cycles in background mode.
+    pub poll_interval: Duration,
+    /// Event persistence backend.
+    pub store: StoreBackend,
+    /// Per-subscription queue capacity; a subscriber further behind
+    /// than this loses the newest events (mirrors the mq HWM).
+    pub subscription_capacity: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            batch_size: 1024,
+            poll_interval: Duration::from_millis(10),
+            store: StoreBackend::Memory,
+            subscription_capacity: 1 << 20,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Default configuration without persistence (lowest overhead).
+    pub fn without_store() -> MonitorConfig {
+        MonitorConfig {
+            store: StoreBackend::None,
+            ..MonitorConfig::default()
+        }
+    }
+
+    /// Default configuration with a durable store at `dir`.
+    pub fn with_file_store(dir: impl Into<PathBuf>) -> MonitorConfig {
+        MonitorConfig {
+            store: StoreBackend::File(dir.into()),
+            ..MonitorConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_memory_store() {
+        assert_eq!(MonitorConfig::default().store, StoreBackend::Memory);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(MonitorConfig::without_store().store, StoreBackend::None);
+        assert_eq!(
+            MonitorConfig::with_file_store("/tmp/x").store,
+            StoreBackend::File(PathBuf::from("/tmp/x"))
+        );
+    }
+}

@@ -1,0 +1,551 @@
+//! The Data Storage Interface layer.
+//!
+//! "The lowest level of FSMonitor is responsible for interfacing with
+//! the underlying file system to capture events and report them to the
+//! resolution layer … We employ a modular architecture via which
+//! arbitrary monitoring interfaces can be integrated" (§III-A1).
+//!
+//! [`StorageInterface`] is that modular boundary; [`DsiRegistry`]
+//! performs the paper's "selecting the appropriate monitoring tool for
+//! the given storage device".
+
+use fsmon_events::fsevents::FsEventsEvent;
+use fsmon_events::fswatcher::FswEvent;
+use fsmon_events::inotify::InotifyEvent;
+use fsmon_events::kqueue::KqueueEvent;
+use fsmon_events::{MonitorSource, StandardEvent};
+
+/// Errors raised by DSI lifecycle operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsiError {
+    /// The watch target does not exist or cannot be monitored.
+    BadTarget(String),
+    /// The underlying facility refused (watch limit, fd limit, …).
+    ResourceLimit(String),
+    /// No registered DSI matches the requested system.
+    NoDsiFor(SystemKind),
+}
+
+impl std::fmt::Display for DsiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DsiError::BadTarget(t) => write!(f, "cannot monitor target: {t}"),
+            DsiError::ResourceLimit(m) => write!(f, "monitoring resource limit: {m}"),
+            DsiError::NoDsiFor(k) => write!(f, "no DSI registered for {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DsiError {}
+
+/// A raw event as captured by a DSI, in its native dialect. The
+/// resolution layer standardizes these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawEvent {
+    /// An inotify event plus the watched directory's path relative to
+    /// the watch root (the wd→path bookkeeping the DSI maintains).
+    Inotify {
+        /// The native event.
+        event: InotifyEvent,
+        /// Relative path of the directory `event.wd` watches.
+        dir_rel: String,
+    },
+    /// A kqueue kevent (carries its absolute path).
+    Kqueue(KqueueEvent),
+    /// An FSEvents callback entry.
+    FsEvents(FsEventsEvent),
+    /// A FileSystemWatcher event.
+    Fsw(FswEvent),
+    /// An event the DSI already standardized (distributed DSIs resolve
+    /// paths at the MDS and ship standardized events).
+    Standard(StandardEvent),
+}
+
+/// The storage systems the registry can select a DSI for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Linux local file systems (inotify).
+    Linux,
+    /// BSD family (kqueue).
+    Bsd,
+    /// macOS (FSEvents).
+    MacOs,
+    /// Windows (FileSystemWatcher).
+    Windows,
+    /// Lustre distributed file system (Changelog DSI).
+    Lustre,
+    /// Anything reachable by path (polling fallback).
+    Generic,
+}
+
+/// A pluggable monitoring backend.
+pub trait StorageInterface: Send {
+    /// Human-readable DSI name (`"inotify"`, `"lustre-changelog"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The provenance tag events from this DSI carry.
+    fn source(&self) -> MonitorSource;
+
+    /// The watch root this DSI observes.
+    fn watch_root(&self) -> &str;
+
+    /// Begin monitoring. Idempotent.
+    fn start(&mut self) -> Result<(), DsiError>;
+
+    /// Collect up to `max` pending raw events (non-blocking).
+    fn poll(&mut self, max: usize) -> Vec<RawEvent>;
+
+    /// Stop monitoring and release watches.
+    fn stop(&mut self);
+}
+
+/// Factory type for registered DSIs.
+pub type DsiFactory = Box<dyn Fn(&str) -> Result<Box<dyn StorageInterface>, DsiError> + Send>;
+
+/// Selects the appropriate DSI for a target system.
+#[derive(Default)]
+pub struct DsiRegistry {
+    factories: Vec<(SystemKind, &'static str, DsiFactory)>,
+}
+
+impl DsiRegistry {
+    /// An empty registry.
+    pub fn new() -> DsiRegistry {
+        DsiRegistry::default()
+    }
+
+    /// Register a factory for a system kind. Later registrations for
+    /// the same kind take precedence (site-local overrides).
+    pub fn register(&mut self, kind: SystemKind, name: &'static str, factory: DsiFactory) {
+        self.factories.push((kind, name, factory));
+    }
+
+    /// Registered DSI names for a kind, most-preferred first.
+    pub fn names_for(&self, kind: SystemKind) -> Vec<&'static str> {
+        self.factories
+            .iter()
+            .rev()
+            .filter(|(k, _, _)| *k == kind || *k == SystemKind::Generic)
+            .map(|(_, n, _)| *n)
+            .collect()
+    }
+
+    /// Build the preferred DSI for `kind`, falling back to a `Generic`
+    /// registration when no exact match exists.
+    pub fn create(
+        &self,
+        kind: SystemKind,
+        watch_root: &str,
+    ) -> Result<Box<dyn StorageInterface>, DsiError> {
+        let exact = self.factories.iter().rev().find(|(k, _, _)| *k == kind);
+        let chosen = exact.or_else(|| {
+            self.factories
+                .iter()
+                .rev()
+                .find(|(k, _, _)| *k == SystemKind::Generic)
+        });
+        match chosen {
+            Some((_, _, factory)) => factory(watch_root),
+            None => Err(DsiError::NoDsiFor(kind)),
+        }
+    }
+}
+
+pub mod local {
+    //! DSI adapters over the simulated local kernels and the real
+    //! polling watcher.
+
+    use super::*;
+    use fsmon_localfs::{FsEventsSim, FswSim, InotifySim, KqueueSim, PollWatcher, SimFs};
+    use std::sync::Arc;
+
+    /// DSI over the simulated inotify kernel: places a watch on the
+    /// root and — unlike bare `inotifywait` — crawls new directories to
+    /// keep recursive coverage (the capability the paper highlights in
+    /// §V-C1).
+    pub struct SimInotifyDsi {
+        sim: Arc<InotifySim>,
+        fs: Option<Arc<SimFs>>,
+        root: String,
+        recursive: bool,
+        started: bool,
+    }
+
+    impl SimInotifyDsi {
+        /// Non-recursive DSI (bare inotify semantics).
+        pub fn new(sim: Arc<InotifySim>, root: impl Into<String>) -> SimInotifyDsi {
+            SimInotifyDsi {
+                sim,
+                fs: None,
+                root: root.into(),
+                recursive: false,
+                started: false,
+            }
+        }
+
+        /// Recursive DSI: watches every directory under the root and
+        /// watches new directories as their CREATE events appear.
+        pub fn recursive(
+            sim: Arc<InotifySim>,
+            fs: Arc<SimFs>,
+            root: impl Into<String>,
+        ) -> SimInotifyDsi {
+            SimInotifyDsi {
+                sim,
+                fs: Some(fs),
+                root: root.into(),
+                recursive: true,
+                started: false,
+            }
+        }
+    }
+
+    impl StorageInterface for SimInotifyDsi {
+        fn name(&self) -> &'static str {
+            "inotify"
+        }
+
+        fn source(&self) -> MonitorSource {
+            MonitorSource::Inotify
+        }
+
+        fn watch_root(&self) -> &str {
+            &self.root
+        }
+
+        fn start(&mut self) -> Result<(), DsiError> {
+            if self.started {
+                return Ok(());
+            }
+            if self.recursive {
+                let fs = self.fs.as_ref().expect("recursive DSI holds fs");
+                self.sim.add_watch_recursive(fs, &self.root);
+            } else if self.sim.add_watch(&self.root).is_none() {
+                return Err(DsiError::ResourceLimit("inotify watch limit".into()));
+            }
+            self.started = true;
+            Ok(())
+        }
+
+        fn poll(&mut self, max: usize) -> Vec<RawEvent> {
+            let events = self.sim.read(max);
+            let mut out = Vec::with_capacity(events.len());
+            for event in events {
+                // A DELETE_SELF on a watch that no longer resolves is
+                // redundant: the parent watch already reported the
+                // delete (Watchdog suppresses these the same way).
+                if event
+                    .mask
+                    .has(fsmon_events::inotify::InotifyMask::IN_DELETE_SELF)
+                    && self.sim.wd_path(event.wd).is_none()
+                {
+                    continue;
+                }
+                // Maintain recursive coverage: watch directories as they
+                // are created.
+                if self.recursive
+                    && event.mask.has(fsmon_events::inotify::InotifyMask::IN_CREATE)
+                    && event.mask.is_dir()
+                {
+                    if let Some(dir) = self.sim.wd_path(event.wd) {
+                        let new_dir = if dir == "/" {
+                            format!("/{}", event.name)
+                        } else {
+                            format!("{dir}/{}", event.name)
+                        };
+                        self.sim.add_watch(&new_dir);
+                    }
+                }
+                let dir_abs = self.sim.wd_path(event.wd).unwrap_or_else(|| self.root.clone());
+                let dir_rel = dir_abs
+                    .strip_prefix(self.root.trim_end_matches('/'))
+                    .unwrap_or("")
+                    .to_string();
+                out.push(RawEvent::Inotify { event, dir_rel });
+            }
+            out
+        }
+
+        fn stop(&mut self) {
+            self.started = false;
+        }
+    }
+
+    /// DSI over the simulated kqueue kernel.
+    pub struct SimKqueueDsi {
+        sim: Arc<KqueueSim>,
+        fs: Arc<SimFs>,
+        root: String,
+    }
+
+    impl SimKqueueDsi {
+        /// Watch `root`'s tree through `sim`.
+        pub fn new(sim: Arc<KqueueSim>, fs: Arc<SimFs>, root: impl Into<String>) -> SimKqueueDsi {
+            SimKqueueDsi {
+                sim,
+                fs,
+                root: root.into(),
+            }
+        }
+    }
+
+    impl StorageInterface for SimKqueueDsi {
+        fn name(&self) -> &'static str {
+            "kqueue"
+        }
+
+        fn source(&self) -> MonitorSource {
+            MonitorSource::Kqueue
+        }
+
+        fn watch_root(&self) -> &str {
+            &self.root
+        }
+
+        fn start(&mut self) -> Result<(), DsiError> {
+            if self.sim.watch_tree(&self.fs, &self.root) == 0 {
+                return Err(DsiError::BadTarget(self.root.clone()));
+            }
+            Ok(())
+        }
+
+        fn poll(&mut self, max: usize) -> Vec<RawEvent> {
+            self.sim
+                .drain()
+                .into_iter()
+                .take(max)
+                .map(RawEvent::Kqueue)
+                .collect()
+        }
+
+        fn stop(&mut self) {}
+    }
+
+    /// DSI over the simulated FSEvents stream.
+    pub struct SimFsEventsDsi {
+        sim: Arc<FsEventsSim>,
+        root: String,
+        started: bool,
+    }
+
+    impl SimFsEventsDsi {
+        /// Watch `root`'s subtree through `sim`.
+        pub fn new(sim: Arc<FsEventsSim>, root: impl Into<String>) -> SimFsEventsDsi {
+            SimFsEventsDsi {
+                sim,
+                root: root.into(),
+                started: false,
+            }
+        }
+    }
+
+    impl StorageInterface for SimFsEventsDsi {
+        fn name(&self) -> &'static str {
+            "fsevents"
+        }
+
+        fn source(&self) -> MonitorSource {
+            MonitorSource::FsEvents
+        }
+
+        fn watch_root(&self) -> &str {
+            &self.root
+        }
+
+        fn start(&mut self) -> Result<(), DsiError> {
+            if !self.started {
+                self.sim.watch_subtree(&self.root);
+                self.started = true;
+            }
+            Ok(())
+        }
+
+        fn poll(&mut self, max: usize) -> Vec<RawEvent> {
+            self.sim
+                .drain()
+                .into_iter()
+                .take(max)
+                .map(RawEvent::FsEvents)
+                .collect()
+        }
+
+        fn stop(&mut self) {
+            self.started = false;
+        }
+    }
+
+    /// DSI over the simulated FileSystemWatcher.
+    pub struct SimFswDsi {
+        sim: Arc<FswSim>,
+        fs: Arc<SimFs>,
+        root: String,
+    }
+
+    impl SimFswDsi {
+        /// Watch `root` through `sim`.
+        pub fn new(sim: Arc<FswSim>, fs: Arc<SimFs>, root: impl Into<String>) -> SimFswDsi {
+            SimFswDsi {
+                sim,
+                fs,
+                root: root.into(),
+            }
+        }
+    }
+
+    impl StorageInterface for SimFswDsi {
+        fn name(&self) -> &'static str {
+            "filesystemwatcher"
+        }
+
+        fn source(&self) -> MonitorSource {
+            MonitorSource::FileSystemWatcher
+        }
+
+        fn watch_root(&self) -> &str {
+            &self.root
+        }
+
+        fn start(&mut self) -> Result<(), DsiError> {
+            if !self.sim.set_path(&self.fs, &self.root) {
+                return Err(DsiError::BadTarget(self.root.clone()));
+            }
+            Ok(())
+        }
+
+        fn poll(&mut self, max: usize) -> Vec<RawEvent> {
+            self.sim
+                .drain()
+                .into_iter()
+                .take(max)
+                .map(RawEvent::Fsw)
+                .collect()
+        }
+
+        fn stop(&mut self) {}
+    }
+
+    /// DSI over the real polling watcher (already standardized).
+    pub struct PollingDsi {
+        watcher: PollWatcher,
+        root: String,
+    }
+
+    impl PollingDsi {
+        /// Watch the real directory at `root`.
+        pub fn new(root: impl Into<String>) -> PollingDsi {
+            let root = root.into();
+            PollingDsi {
+                watcher: PollWatcher::new(root.clone()),
+                root,
+            }
+        }
+    }
+
+    impl StorageInterface for PollingDsi {
+        fn name(&self) -> &'static str {
+            "polling"
+        }
+
+        fn source(&self) -> MonitorSource {
+            MonitorSource::Polling
+        }
+
+        fn watch_root(&self) -> &str {
+            &self.root
+        }
+
+        fn start(&mut self) -> Result<(), DsiError> {
+            if !std::path::Path::new(&self.root).is_dir() {
+                return Err(DsiError::BadTarget(self.root.clone()));
+            }
+            self.watcher.poll(); // prime the baseline
+            Ok(())
+        }
+
+        fn poll(&mut self, max: usize) -> Vec<RawEvent> {
+            self.watcher
+                .poll()
+                .into_iter()
+                .take(max)
+                .map(RawEvent::Standard)
+                .collect()
+        }
+
+        fn stop(&mut self) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::local::*;
+    use super::*;
+    use fsmon_localfs::{InotifySim, SimFs};
+
+    #[test]
+    fn registry_selects_exact_kind() {
+        let mut reg = DsiRegistry::new();
+        reg.register(
+            SystemKind::Generic,
+            "polling",
+            Box::new(|root| Ok(Box::new(PollingDsi::new(root)) as Box<dyn StorageInterface>)),
+        );
+        reg.register(
+            SystemKind::Linux,
+            "inotify",
+            Box::new(|root| {
+                let fs = SimFs::new();
+                let sim = InotifySim::attach(&fs, 16, 16);
+                Ok(Box::new(SimInotifyDsi::new(sim, root)) as Box<dyn StorageInterface>)
+            }),
+        );
+        let dsi = reg.create(SystemKind::Linux, "/").unwrap();
+        assert_eq!(dsi.name(), "inotify");
+        // Unknown kind falls back to generic.
+        let dsi = reg.create(SystemKind::Windows, "/tmp").unwrap();
+        assert_eq!(dsi.name(), "polling");
+        assert_eq!(reg.names_for(SystemKind::Linux), vec!["inotify", "polling"]);
+    }
+
+    #[test]
+    fn empty_registry_errors() {
+        let reg = DsiRegistry::new();
+        assert!(matches!(
+            reg.create(SystemKind::Linux, "/"),
+            Err(DsiError::NoDsiFor(SystemKind::Linux))
+        ));
+    }
+
+    #[test]
+    fn inotify_dsi_poll_carries_dir_rel() {
+        let fs = SimFs::new();
+        let sim = InotifySim::attach(&fs, 16, 1024);
+        let mut dsi = SimInotifyDsi::recursive(sim, fs.clone(), "/");
+        dsi.start().unwrap();
+        fs.mkdir("/sub");
+        dsi.poll(100); // consume mkdir, which installs the /sub watch
+        fs.create("/sub/f.txt");
+        let raw = dsi.poll(100);
+        assert_eq!(raw.len(), 1);
+        match &raw[0] {
+            RawEvent::Inotify { event, dir_rel } => {
+                assert_eq!(event.name, "f.txt");
+                assert_eq!(dir_rel, "/sub");
+            }
+            other => panic!("unexpected raw event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inotify_dsi_nonrecursive_hits_watch_limit() {
+        let fs = SimFs::new();
+        let sim = InotifySim::attach(&fs, 0, 16);
+        let mut dsi = SimInotifyDsi::new(sim, "/");
+        assert!(matches!(dsi.start(), Err(DsiError::ResourceLimit(_))));
+    }
+
+    #[test]
+    fn polling_dsi_rejects_missing_root() {
+        let mut dsi = PollingDsi::new("/definitely/not/a/real/dir");
+        assert!(matches!(dsi.start(), Err(DsiError::BadTarget(_))));
+    }
+}

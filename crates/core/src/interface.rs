@@ -1,0 +1,454 @@
+//! The interface layer: subscriptions, batching, replay, and fault
+//! tolerance.
+//!
+//! "The topmost layer provides an interface for users and programs to
+//! interact with FSMonitor … If users provide an event identifier,
+//! FSMonitor will only report events that have happened since that
+//! event. This layer is also responsible for providing fault-tolerance
+//! by storing all events … into an event store" (§III-A3).
+
+use crate::config::{MonitorConfig, StoreBackend};
+use crate::dsi::StorageInterface;
+use crate::filter::EventFilter;
+use crate::resolution::{ResolutionLayer, ResolutionStats};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use fsmon_events::{EventId, StandardEvent};
+use fsmon_store::{EventStore, FileStore, MemStore, StoreError, StoreStats};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct SubEntry {
+    filter: EventFilter,
+    tx: Sender<StandardEvent>,
+    alive: Arc<AtomicBool>,
+    dropped: Arc<AtomicU64>,
+}
+
+/// A consumer's view of the event stream.
+pub struct Subscription {
+    rx: Receiver<StandardEvent>,
+    alive: Arc<AtomicBool>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl Subscription {
+    /// Receive one event, blocking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<StandardEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Take every queued event.
+    pub fn drain(&self) -> Vec<StandardEvent> {
+        let mut out = Vec::new();
+        while let Ok(ev) = self.rx.try_recv() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Take up to `max` queued events (the batch retrieval API).
+    pub fn drain_batch(&self, max: usize) -> Vec<StandardEvent> {
+        let mut out = Vec::with_capacity(max.min(1024));
+        while out.len() < max {
+            match self.rx.try_recv() {
+                Ok(ev) => out.push(ev),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Events currently queued.
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Events lost because this subscriber fell behind its queue
+    /// capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Relaxed);
+    }
+}
+
+/// The FSMonitor: one DSI, a resolution layer, an optional event
+/// store, and any number of filtered subscriptions.
+pub struct FsMonitor {
+    dsi: Box<dyn StorageInterface>,
+    resolution: ResolutionLayer,
+    store: Option<Arc<dyn EventStore>>,
+    subs: Arc<Mutex<Vec<SubEntry>>>,
+    config: MonitorConfig,
+    started: bool,
+}
+
+impl FsMonitor {
+    /// Build a monitor over `dsi`, starting it immediately so no event
+    /// between construction and the first pump is missed. A DSI that
+    /// cannot start yet (e.g. its target does not exist) is retried on
+    /// [`start`](FsMonitor::start) and each pump.
+    pub fn new(mut dsi: Box<dyn StorageInterface>, config: MonitorConfig) -> FsMonitor {
+        let store: Option<Arc<dyn EventStore>> = match &config.store {
+            StoreBackend::None => None,
+            StoreBackend::Memory => Some(Arc::new(MemStore::new())),
+            StoreBackend::File(dir) => Some(Arc::new(
+                FileStore::open(dir).expect("open file-backed event store"),
+            )),
+        };
+        let resolution = ResolutionLayer::new(dsi.watch_root());
+        let started = dsi.start().is_ok();
+        FsMonitor {
+            dsi,
+            resolution,
+            store,
+            subs: Arc::new(Mutex::new(Vec::new())),
+            config,
+            started,
+        }
+    }
+
+    /// The DSI in use.
+    pub fn dsi_name(&self) -> &'static str {
+        self.dsi.name()
+    }
+
+    /// The watch root.
+    pub fn watch_root(&self) -> &str {
+        self.dsi.watch_root()
+    }
+
+    /// Resolution-layer counters.
+    pub fn resolution_stats(&self) -> ResolutionStats {
+        self.resolution.stats()
+    }
+
+    /// Event-store counters (zeroes when no store is configured).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// Register a filtered subscription.
+    pub fn subscribe(&self, filter: EventFilter) -> Subscription {
+        let (tx, rx) = bounded(self.config.subscription_capacity);
+        let alive = Arc::new(AtomicBool::new(true));
+        let dropped = Arc::new(AtomicU64::new(0));
+        self.subs.lock().push(SubEntry {
+            filter,
+            tx,
+            alive: alive.clone(),
+            dropped: dropped.clone(),
+        });
+        Subscription { rx, alive, dropped }
+    }
+
+    /// Start the DSI if not already started.
+    pub fn start(&mut self) -> Result<(), crate::dsi::DsiError> {
+        if !self.started {
+            self.dsi.start()?;
+            self.started = true;
+        }
+        Ok(())
+    }
+
+    /// Drive one processing cycle: poll the DSI, standardize, persist,
+    /// and deliver. Returns the number of events processed.
+    ///
+    /// Deterministic alternative to [`spawn`](FsMonitor::spawn) —
+    /// tests and benchmarks call this directly.
+    pub fn pump(&mut self, max: usize) -> usize {
+        if !self.started && self.start().is_err() {
+            return 0;
+        }
+        let raw = self.dsi.poll(max.min(self.config.batch_size));
+        if raw.is_empty() {
+            return 0;
+        }
+        let events = self.resolution.resolve_batch(raw);
+        let n = events.len();
+        let subs = self.subs.lock();
+        for mut ev in events {
+            if let Some(store) = &self.store {
+                if let Ok(seq) = store.append(&ev) {
+                    ev.id = seq;
+                }
+            }
+            for sub in subs.iter() {
+                if sub.alive.load(Ordering::Relaxed) && sub.filter.matches(&ev) {
+                    match sub.tx.try_send(ev.clone()) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(_)) => {
+                            sub.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            sub.alive.store(false, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Pump until the DSI reports no events (bounded by `cycles`).
+    pub fn pump_until_idle(&mut self, cycles: usize) -> usize {
+        let mut total = 0;
+        for _ in 0..cycles {
+            let n = self.pump(self.config.batch_size);
+            total += n;
+            if n == 0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Replay events with id greater than `since` from the event store
+    /// (the consumer fault-recovery API).
+    pub fn events_since(&self, since: EventId, max: usize) -> Result<Vec<StandardEvent>, StoreError> {
+        match &self.store {
+            Some(store) => store.get_since(since, max),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Flag events up to `up_to` as reported; they become eligible for
+    /// removal at the next purge cycle.
+    pub fn ack(&self, up_to: EventId) -> Result<(), StoreError> {
+        if let Some(store) = &self.store {
+            store.mark_reported(up_to)?;
+        }
+        Ok(())
+    }
+
+    /// Run a purge cycle on the event store.
+    pub fn purge(&self) -> Result<(), StoreError> {
+        if let Some(store) = &self.store {
+            store.purge_reported()?;
+        }
+        Ok(())
+    }
+
+    /// Move the monitor to a background thread pumping at the
+    /// configured interval. Returns a handle that stops the loop when
+    /// dropped (or on [`MonitorHandle::stop`]).
+    pub fn spawn(mut self) -> MonitorHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_t = stop.clone();
+        let subs = self.subs.clone();
+        let store = self.store.clone();
+        let interval = self.config.poll_interval;
+        let processed = Arc::new(AtomicU64::new(0));
+        let processed_t = processed.clone();
+        let thread = std::thread::Builder::new()
+            .name("fsmonitor-pump".into())
+            .spawn(move || {
+                let _ = self.start();
+                while !stop_t.load(Ordering::Relaxed) {
+                    let n = self.pump(self.config.batch_size);
+                    processed_t.fetch_add(n as u64, Ordering::Relaxed);
+                    if n == 0 {
+                        std::thread::sleep(interval);
+                    }
+                }
+                self.dsi.stop();
+            })
+            .expect("spawn monitor thread");
+        MonitorHandle {
+            stop,
+            thread: Some(thread),
+            subs,
+            store,
+            processed,
+        }
+    }
+}
+
+/// Handle to a background monitor.
+pub struct MonitorHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    subs: Arc<Mutex<Vec<SubEntry>>>,
+    store: Option<Arc<dyn EventStore>>,
+    processed: Arc<AtomicU64>,
+}
+
+impl MonitorHandle {
+    /// Register a subscription on the running monitor.
+    pub fn subscribe(&self, filter: EventFilter) -> Subscription {
+        let (tx, rx) = bounded(1 << 20);
+        let alive = Arc::new(AtomicBool::new(true));
+        let dropped = Arc::new(AtomicU64::new(0));
+        self.subs.lock().push(SubEntry {
+            filter,
+            tx,
+            alive: alive.clone(),
+            dropped: dropped.clone(),
+        });
+        Subscription { rx, alive, dropped }
+    }
+
+    /// Events processed by the background loop so far.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Replay from the store.
+    pub fn events_since(&self, since: EventId, max: usize) -> Result<Vec<StandardEvent>, StoreError> {
+        match &self.store {
+            Some(store) => store.get_since(since, max),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Stop the background loop and join the thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MonitorHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsi::local::SimInotifyDsi;
+    use fsmon_events::EventKind;
+    use fsmon_localfs::{InotifySim, SimFs};
+    use std::time::Duration;
+
+    fn monitor(fs: &Arc<SimFs>, config: MonitorConfig) -> FsMonitor {
+        let ino = InotifySim::attach(fs, 4096, 1 << 16);
+        let dsi = SimInotifyDsi::recursive(ino, fs.clone(), "/");
+        FsMonitor::new(Box::new(dsi), config)
+    }
+
+    #[test]
+    fn pump_delivers_filtered_events() {
+        let fs = SimFs::new();
+        let mut m = monitor(&fs, MonitorConfig::default());
+        let all = m.subscribe(EventFilter::all());
+        let creates = m.subscribe(EventFilter::all().with_kinds([EventKind::Create]));
+        fs.create("/a");
+        fs.modify("/a");
+        fs.delete("/a");
+        assert_eq!(m.pump(100), 3);
+        assert_eq!(all.drain().len(), 3);
+        let c = creates.drain();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].kind, EventKind::Create);
+    }
+
+    #[test]
+    fn events_get_store_sequences_and_replay_works() {
+        let fs = SimFs::new();
+        let mut m = monitor(&fs, MonitorConfig::default());
+        fs.create("/a");
+        fs.create("/b");
+        m.pump(100);
+        let replay = m.events_since(0, 10).unwrap();
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay[0].id, 1);
+        let replay = m.events_since(1, 10).unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].path, "/b");
+    }
+
+    #[test]
+    fn ack_and_purge_trim_the_store() {
+        let fs = SimFs::new();
+        let mut m = monitor(&fs, MonitorConfig::default());
+        fs.create("/a");
+        fs.create("/b");
+        m.pump(100);
+        m.ack(1).unwrap();
+        m.purge().unwrap();
+        let replay = m.events_since(0, 10).unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(m.store_stats().reported_seq, 1);
+    }
+
+    #[test]
+    fn no_store_mode_returns_empty_replay() {
+        let fs = SimFs::new();
+        let mut m = monitor(&fs, MonitorConfig::without_store());
+        fs.create("/a");
+        m.pump(100);
+        assert!(m.events_since(0, 10).unwrap().is_empty());
+        assert_eq!(m.store_stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn pump_until_idle_drains_everything() {
+        let fs = SimFs::new();
+        let mut m = monitor(&fs, MonitorConfig { batch_size: 8, ..MonitorConfig::default() });
+        let sub = m.subscribe(EventFilter::all());
+        for i in 0..100 {
+            fs.create(&format!("/f{i}"));
+        }
+        let n = m.pump_until_idle(1000);
+        assert_eq!(n, 100);
+        assert_eq!(sub.drain().len(), 100);
+    }
+
+    #[test]
+    fn dead_subscription_stops_receiving() {
+        let fs = SimFs::new();
+        let mut m = monitor(&fs, MonitorConfig::default());
+        let sub = m.subscribe(EventFilter::all());
+        drop(sub);
+        fs.create("/a");
+        m.pump(100); // must not panic or deliver to the dropped sub
+        assert_eq!(m.resolution_stats().processed, 1);
+    }
+
+    #[test]
+    fn background_mode_processes_and_stops() {
+        let fs = SimFs::new();
+        let m = monitor(&fs, MonitorConfig { poll_interval: Duration::from_millis(1), ..MonitorConfig::default() });
+        let handle = m.spawn();
+        let sub = handle.subscribe(EventFilter::all());
+        fs.create("/bg.txt");
+        let ev = sub.recv_timeout(Duration::from_secs(2)).expect("event arrives");
+        assert_eq!(ev.path, "/bg.txt");
+        assert!(handle.processed() >= 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn recursive_filter_vs_directory_filter() {
+        let fs = SimFs::new();
+        let mut m = monitor(&fs, MonitorConfig::default());
+        let recursive = m.subscribe(EventFilter::subtree("/dir"));
+        let direct = m.subscribe(EventFilter::directory("/dir"));
+        fs.mkdir("/dir");
+        m.pump(100);
+        fs.mkdir("/dir/sub");
+        m.pump(100);
+        fs.create("/dir/sub/deep.txt");
+        fs.create("/dir/shallow.txt");
+        m.pump(100);
+        let rec_paths: Vec<String> = recursive.drain().into_iter().map(|e| e.path).collect();
+        assert!(rec_paths.contains(&"/dir/sub/deep.txt".to_string()));
+        assert!(rec_paths.contains(&"/dir/shallow.txt".to_string()));
+        let dir_paths: Vec<String> = direct.drain().into_iter().map(|e| e.path).collect();
+        assert!(dir_paths.contains(&"/dir/shallow.txt".to_string()));
+        assert!(!dir_paths.contains(&"/dir/sub/deep.txt".to_string()));
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # fsmon-core
+//!
+//! The FSMonitor library: a generic, scalable file-system monitor with a
+//! storage-system-independent event representation (the paper's three-
+//! layer architecture, Fig. 3).
+//!
+//! * **DSI layer** ([`dsi`]) — the [`StorageInterface`] trait abstracts
+//!   event extraction from a concrete monitoring facility; adapters for
+//!   the simulated inotify/kqueue/FSEvents/FileSystemWatcher kernels and
+//!   the real polling watcher live in [`dsi::local`], and the registry
+//!   ([`dsi::DsiRegistry`]) selects the right DSI for a target system.
+//! * **Resolution layer** ([`resolution`]) — receives raw native events,
+//!   standardizes them to the common representation, assigns event ids,
+//!   and batches them. The [`LruCache`] used by distributed DSIs to
+//!   memoize `fid2path` resolutions lives here too ([`lru`]).
+//! * **Interface layer** ([`interface`]) — the client-facing API:
+//!   filtered subscriptions, replay from an event id, and fault
+//!   tolerance through a pluggable [`fsmon_store::EventStore`].
+//!
+//! ```
+//! use fsmon_core::{FsMonitor, MonitorConfig, EventFilter};
+//! use fsmon_core::dsi::local::SimInotifyDsi;
+//! use fsmon_localfs::{SimFs, InotifySim};
+//! use fsmon_events::EventKind;
+//!
+//! let fs = SimFs::new();
+//! let ino = InotifySim::attach(&fs, 1024, 16384);
+//! let dsi = SimInotifyDsi::new(ino, "/");
+//! let mut monitor = FsMonitor::new(Box::new(dsi), MonitorConfig::default());
+//! let sub = monitor.subscribe(EventFilter::all());
+//!
+//! fs.create("/hello.txt");
+//! monitor.pump(100);
+//! let events = sub.drain();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].kind, EventKind::Create);
+//! ```
+
+pub mod composite;
+pub mod config;
+pub mod dsi;
+pub mod filter;
+pub mod interface;
+pub mod lru;
+pub mod observer;
+pub mod resolution;
+
+pub use composite::CompositeDsi;
+pub use config::MonitorConfig;
+pub use dsi::{DsiError, RawEvent, StorageInterface, SystemKind};
+pub use filter::EventFilter;
+pub use interface::{FsMonitor, Subscription};
+pub use lru::LruCache;
+pub use observer::{EventHandler, Observer, ObserverGuard};
+pub use resolution::{ResolutionLayer, ResolutionStats};

@@ -1,0 +1,246 @@
+//! The resolution layer: standardization, id assignment, rename
+//! pairing, and batching.
+//!
+//! "As events are received from a DSI plugin they are immediately placed
+//! in the processing queue. The events are then processed to resolve
+//! and dereference paths such that events can be transformed into
+//! various representations" (§III-A2).
+
+use crate::dsi::RawEvent;
+use fsmon_events::{EventId, EventKind, StandardEvent};
+use std::collections::HashMap;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Throughput and composition counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolutionStats {
+    /// Raw events standardized.
+    pub processed: u64,
+    /// `MovedTo` events enriched with their source path via cookie
+    /// pairing.
+    pub renames_paired: u64,
+    /// Overflow control events observed (signals native-queue loss).
+    pub overflows: u64,
+}
+
+/// The resolution layer for one monitor.
+pub struct ResolutionLayer {
+    watch_root: String,
+    next_id: EventId,
+    /// cookie → relative source path of a pending `MovedFrom`.
+    pending_moves: HashMap<u32, String>,
+    /// Source path of an immediately preceding FSEvents `ItemRenamed`,
+    /// awaiting its destination half.
+    pending_fsevents_rename: Option<String>,
+    stats: ResolutionStats,
+}
+
+impl ResolutionLayer {
+    /// A resolution layer standardizing against `watch_root`.
+    pub fn new(watch_root: impl Into<String>) -> ResolutionLayer {
+        ResolutionLayer {
+            watch_root: watch_root.into(),
+            next_id: 0,
+            pending_moves: HashMap::new(),
+            pending_fsevents_rename: None,
+            stats: ResolutionStats::default(),
+        }
+    }
+
+    /// The watch root events are standardized against.
+    pub fn watch_root(&self) -> &str {
+        &self.watch_root
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ResolutionStats {
+        self.stats
+    }
+
+    /// Highest event id assigned.
+    pub fn last_id(&self) -> EventId {
+        self.next_id
+    }
+
+    /// Standardize one raw event: translate the native dialect, stamp
+    /// an id and wall-clock time, and pair renames by cookie.
+    pub fn resolve(&mut self, raw: RawEvent) -> StandardEvent {
+        let is_fsevents = matches!(raw, RawEvent::FsEvents(_));
+        let mut ev = match raw {
+            RawEvent::Inotify { event, dir_rel } => event.to_standard(&self.watch_root, &dir_rel),
+            RawEvent::Kqueue(event) => event.to_standard(&self.watch_root),
+            RawEvent::FsEvents(event) => event.to_standard(&self.watch_root),
+            RawEvent::Fsw(event) => event.to_standard(&self.watch_root),
+            RawEvent::Standard(event) => event,
+        };
+        // FSEvents reports both halves of a rename as ItemRenamed with
+        // no direction; pair consecutive rename events (the Watchdog
+        // heuristic): the first is the source, the second the
+        // destination.
+        if is_fsevents && ev.kind == EventKind::MovedFrom {
+            match self.pending_fsevents_rename.take() {
+                Some(old) => {
+                    ev.kind = EventKind::MovedTo;
+                    ev.old_path = Some(old);
+                    self.stats.renames_paired += 1;
+                }
+                None => {
+                    self.pending_fsevents_rename = Some(ev.path.clone());
+                }
+            }
+        } else {
+            // Any intervening event breaks the pair.
+            self.pending_fsevents_rename = None;
+        }
+        self.next_id += 1;
+        ev.id = self.next_id;
+        if ev.timestamp_ns == 0 {
+            ev.timestamp_ns = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+        }
+        match ev.kind {
+            EventKind::MovedFrom if ev.cookie != 0 => {
+                self.pending_moves.insert(ev.cookie, ev.path.clone());
+            }
+            EventKind::MovedTo if ev.cookie != 0 => {
+                if let Some(old) = self.pending_moves.remove(&ev.cookie) {
+                    ev.old_path = Some(old);
+                    self.stats.renames_paired += 1;
+                }
+            }
+            EventKind::Overflow => {
+                self.stats.overflows += 1;
+            }
+            _ => {}
+        }
+        self.stats.processed += 1;
+        ev
+    }
+
+    /// Standardize a batch, preserving order.
+    pub fn resolve_batch(&mut self, raw: Vec<RawEvent>) -> Vec<StandardEvent> {
+        raw.into_iter().map(|r| self.resolve(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::inotify::{InotifyEvent, InotifyMask};
+    use fsmon_events::MonitorSource;
+
+    fn inotify_raw(mask: u32, cookie: u32, name: &str) -> RawEvent {
+        RawEvent::Inotify {
+            event: InotifyEvent {
+                wd: 1,
+                mask: InotifyMask(mask),
+                cookie,
+                name: name.to_string(),
+            },
+            dir_rel: String::new(),
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut r = ResolutionLayer::new("/root");
+        let a = r.resolve(inotify_raw(InotifyMask::IN_CREATE, 0, "a"));
+        let b = r.resolve(inotify_raw(InotifyMask::IN_CREATE, 0, "b"));
+        assert_eq!(a.id, 1);
+        assert_eq!(b.id, 2);
+        assert_eq!(r.last_id(), 2);
+    }
+
+    #[test]
+    fn timestamps_are_stamped() {
+        let mut r = ResolutionLayer::new("/root");
+        let ev = r.resolve(inotify_raw(InotifyMask::IN_CREATE, 0, "a"));
+        assert!(ev.timestamp_ns > 0);
+    }
+
+    #[test]
+    fn existing_timestamps_preserved() {
+        let mut r = ResolutionLayer::new("/root");
+        let pre = StandardEvent::new(EventKind::Create, "/root", "f").with_timestamp(42);
+        let ev = r.resolve(RawEvent::Standard(pre));
+        assert_eq!(ev.timestamp_ns, 42);
+    }
+
+    #[test]
+    fn rename_pairing_by_cookie() {
+        let mut r = ResolutionLayer::new("/root");
+        r.resolve(inotify_raw(InotifyMask::IN_MOVED_FROM, 7, "hello.txt"));
+        let to = r.resolve(inotify_raw(InotifyMask::IN_MOVED_TO, 7, "hi.txt"));
+        assert_eq!(to.old_path.as_deref(), Some("/hello.txt"));
+        assert_eq!(r.stats().renames_paired, 1);
+    }
+
+    #[test]
+    fn unpaired_move_to_has_no_old_path() {
+        let mut r = ResolutionLayer::new("/root");
+        let to = r.resolve(inotify_raw(InotifyMask::IN_MOVED_TO, 9, "hi.txt"));
+        assert_eq!(to.old_path, None);
+    }
+
+    #[test]
+    fn fsevents_consecutive_renames_pair_into_from_to() {
+        use fsmon_events::fsevents::{FsEventFlags, FsEventsEvent};
+        let mut r = ResolutionLayer::new("/root");
+        let ren = |id: u64, path: &str| {
+            RawEvent::FsEvents(FsEventsEvent {
+                event_id: id,
+                flags: FsEventFlags(FsEventFlags::ITEM_RENAMED | FsEventFlags::ITEM_IS_FILE),
+                path: format!("/root{path}"),
+            })
+        };
+        let from = r.resolve(ren(1, "/hello.txt"));
+        let to = r.resolve(ren(2, "/hi.txt"));
+        assert_eq!(from.kind, EventKind::MovedFrom);
+        assert_eq!(to.kind, EventKind::MovedTo);
+        assert_eq!(to.old_path.as_deref(), Some("/hello.txt"));
+        assert_eq!(r.stats().renames_paired, 1);
+    }
+
+    #[test]
+    fn fsevents_rename_pair_broken_by_intervening_event() {
+        use fsmon_events::fsevents::{FsEventFlags, FsEventsEvent};
+        let mut r = ResolutionLayer::new("/root");
+        let raw = |flags: u32, path: &str| {
+            RawEvent::FsEvents(FsEventsEvent {
+                event_id: 1,
+                flags: FsEventFlags(flags | FsEventFlags::ITEM_IS_FILE),
+                path: format!("/root{path}"),
+            })
+        };
+        r.resolve(raw(FsEventFlags::ITEM_RENAMED, "/a"));
+        r.resolve(raw(FsEventFlags::ITEM_MODIFIED, "/x"));
+        let second = r.resolve(raw(FsEventFlags::ITEM_RENAMED, "/b"));
+        // The /a half expired; /b starts a new pair (still a source).
+        assert_eq!(second.kind, EventKind::MovedFrom);
+    }
+
+    #[test]
+    fn overflow_counted() {
+        let mut r = ResolutionLayer::new("/root");
+        r.resolve(inotify_raw(InotifyMask::IN_Q_OVERFLOW, 0, ""));
+        assert_eq!(r.stats().overflows, 1);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_counts() {
+        let mut r = ResolutionLayer::new("/root");
+        let out = r.resolve_batch(vec![
+            inotify_raw(InotifyMask::IN_CREATE, 0, "a"),
+            inotify_raw(InotifyMask::IN_MODIFY, 0, "a"),
+            inotify_raw(InotifyMask::IN_DELETE, 0, "a"),
+        ]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].kind, EventKind::Create);
+        assert_eq!(out[1].kind, EventKind::Modify);
+        assert_eq!(out[2].kind, EventKind::Delete);
+        assert_eq!(r.stats().processed, 3);
+        assert!(out.iter().all(|e| e.source == MonitorSource::Inotify));
+    }
+}

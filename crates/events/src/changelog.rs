@@ -1,0 +1,315 @@
+//! The Lustre Changelog record-type vocabulary.
+//!
+//! Lustre's MDT Changelog tags every record with a numeric operation code
+//! rendered as `NNTYPE` (`01CREAT`, `17MTIME`, …). This module defines the
+//! record types the paper enumerates in §IV-1 (plus `OPEN`/`CLOSE`, which
+//! Lustre records and the paper's Table IX reports), their numeric codes
+//! (matching `lustre_user.h`), and the mapping into the standardized
+//! [`EventKind`] vocabulary.
+
+use crate::kind::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// A Lustre Changelog record type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChangelogKind {
+    /// Creation of a regular file.
+    Creat,
+    /// Creation of a directory.
+    Mkdir,
+    /// Hard link.
+    Hlink,
+    /// Soft link.
+    Slink,
+    /// Creation of a device file.
+    Mknod,
+    /// Deletion of a regular file.
+    Unlnk,
+    /// Deletion of a directory.
+    Rmdir,
+    /// Rename source (`RENME` carries old + new FIDs, §IV-1).
+    Renme,
+    /// Rename target.
+    Rnmto,
+    /// File opened.
+    Open,
+    /// File closed.
+    Close,
+    /// ioctl on a file or directory.
+    Ioctl,
+    /// Truncate of a regular file.
+    Trunc,
+    /// Attribute change.
+    Sattr,
+    /// Extended attribute change.
+    Xattr,
+    /// Modification of a regular file.
+    Mtime,
+}
+
+impl ChangelogKind {
+    /// All record types, in code order.
+    pub const ALL: [ChangelogKind; 16] = [
+        ChangelogKind::Creat,
+        ChangelogKind::Mkdir,
+        ChangelogKind::Hlink,
+        ChangelogKind::Slink,
+        ChangelogKind::Mknod,
+        ChangelogKind::Unlnk,
+        ChangelogKind::Rmdir,
+        ChangelogKind::Renme,
+        ChangelogKind::Rnmto,
+        ChangelogKind::Open,
+        ChangelogKind::Close,
+        ChangelogKind::Ioctl,
+        ChangelogKind::Trunc,
+        ChangelogKind::Sattr,
+        ChangelogKind::Xattr,
+        ChangelogKind::Mtime,
+    ];
+
+    /// The numeric operation code (as in `lustre_user.h`).
+    pub fn code(self) -> u8 {
+        match self {
+            ChangelogKind::Creat => 1,
+            ChangelogKind::Mkdir => 2,
+            ChangelogKind::Hlink => 3,
+            ChangelogKind::Slink => 4,
+            ChangelogKind::Mknod => 5,
+            ChangelogKind::Unlnk => 6,
+            ChangelogKind::Rmdir => 7,
+            ChangelogKind::Renme => 8,
+            ChangelogKind::Rnmto => 9,
+            ChangelogKind::Open => 10,
+            ChangelogKind::Close => 11,
+            ChangelogKind::Ioctl => 12,
+            ChangelogKind::Trunc => 13,
+            ChangelogKind::Sattr => 14,
+            ChangelogKind::Xattr => 15,
+            ChangelogKind::Mtime => 17,
+        }
+    }
+
+    /// Inverse of [`code`](ChangelogKind::code).
+    pub fn from_code(code: u8) -> Option<ChangelogKind> {
+        ChangelogKind::ALL.iter().copied().find(|k| k.code() == code)
+    }
+
+    /// The 5-letter type name as printed by `lfs changelog`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChangelogKind::Creat => "CREAT",
+            ChangelogKind::Mkdir => "MKDIR",
+            ChangelogKind::Hlink => "HLINK",
+            ChangelogKind::Slink => "SLINK",
+            ChangelogKind::Mknod => "MKNOD",
+            ChangelogKind::Unlnk => "UNLNK",
+            ChangelogKind::Rmdir => "RMDIR",
+            ChangelogKind::Renme => "RENME",
+            ChangelogKind::Rnmto => "RNMTO",
+            ChangelogKind::Open => "OPEN",
+            ChangelogKind::Close => "CLOSE",
+            ChangelogKind::Ioctl => "IOCTL",
+            ChangelogKind::Trunc => "TRUNC",
+            ChangelogKind::Sattr => "SATTR",
+            ChangelogKind::Xattr => "XATTR",
+            ChangelogKind::Mtime => "MTIME",
+        }
+    }
+
+    /// The `NNTYPE` label as it appears in the Changelog (`01CREAT`).
+    pub fn label(self) -> String {
+        format!("{:02}{}", self.code(), self.name())
+    }
+
+    /// Parse an `NNTYPE` label or bare type name.
+    pub fn parse(s: &str) -> Option<ChangelogKind> {
+        let name = s.trim_start_matches(|c: char| c.is_ascii_digit());
+        ChangelogKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Map to the standardized event kind (and whether the subject is a
+    /// directory, when the record type itself implies it).
+    pub fn to_standard(self) -> (EventKind, bool) {
+        match self {
+            ChangelogKind::Creat => (EventKind::Create, false),
+            ChangelogKind::Mkdir => (EventKind::Create, true),
+            ChangelogKind::Hlink => (EventKind::HardLink, false),
+            ChangelogKind::Slink => (EventKind::SymLink, false),
+            ChangelogKind::Mknod => (EventKind::DeviceNode, false),
+            ChangelogKind::Unlnk => (EventKind::Delete, false),
+            ChangelogKind::Rmdir => (EventKind::Delete, true),
+            ChangelogKind::Renme => (EventKind::MovedFrom, false),
+            ChangelogKind::Rnmto => (EventKind::MovedTo, false),
+            ChangelogKind::Open => (EventKind::Open, false),
+            ChangelogKind::Close => (EventKind::Close, false),
+            ChangelogKind::Ioctl => (EventKind::Ioctl, false),
+            ChangelogKind::Trunc => (EventKind::Truncate, false),
+            ChangelogKind::Sattr => (EventKind::Attrib, false),
+            ChangelogKind::Xattr => (EventKind::Xattr, false),
+            ChangelogKind::Mtime => (EventKind::Modify, false),
+        }
+    }
+
+    /// Whether records of this type delete their target, so resolving the
+    /// target FID will fail and Algorithm 1 must fall back to the parent.
+    pub fn deletes_target(self) -> bool {
+        matches!(self, ChangelogKind::Unlnk | ChangelogKind::Rmdir)
+    }
+
+    /// Whether records of this type carry the extra rename FIDs
+    /// (`s=[…]`, `sp=[…]` in Table I).
+    pub fn is_rename(self) -> bool {
+        matches!(self, ChangelogKind::Renme)
+    }
+}
+
+impl std::fmt::Display for ChangelogKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of changelog record types — Lustre's `changelog_mask`
+/// (`lctl set_param mdd.*.changelog_mask=...`), which controls which
+/// operations the MDT records at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangelogMask(u32);
+
+impl ChangelogMask {
+    /// Record nothing.
+    pub const NONE: ChangelogMask = ChangelogMask(0);
+    /// Record every type.
+    pub const ALL: ChangelogMask = ChangelogMask(u32::MAX);
+
+    /// Lustre's default mask: everything except OPEN and CLOSE (the
+    /// high-rate types sites enable explicitly).
+    pub fn default_mask() -> ChangelogMask {
+        ChangelogMask::ALL
+            .without(ChangelogKind::Open)
+            .without(ChangelogKind::Close)
+    }
+
+    /// This mask plus `kind`.
+    #[must_use]
+    pub fn with(self, kind: ChangelogKind) -> ChangelogMask {
+        ChangelogMask(self.0 | (1 << kind.code()))
+    }
+
+    /// This mask minus `kind`.
+    #[must_use]
+    pub fn without(self, kind: ChangelogKind) -> ChangelogMask {
+        ChangelogMask(self.0 & !(1 << kind.code()))
+    }
+
+    /// Whether `kind` is recorded.
+    pub fn records(self, kind: ChangelogKind) -> bool {
+        self.0 & (1 << kind.code()) != 0
+    }
+
+    /// Build from a list of type names (the `lctl` syntax).
+    pub fn from_names(names: &[&str]) -> Option<ChangelogMask> {
+        let mut mask = ChangelogMask::NONE;
+        for name in names {
+            mask = mask.with(ChangelogKind::parse(name)?);
+        }
+        Some(mask)
+    }
+}
+
+impl Default for ChangelogMask {
+    fn default() -> Self {
+        ChangelogMask::default_mask()
+    }
+}
+
+/// The rename-specific FID pair carried by `RENME` records (Table I:
+/// `s=[new fid]`, `sp=[old fid]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangelogRename<F> {
+    /// The FID the file has been renamed to (`s=[…]`).
+    pub new_fid: F,
+    /// The original file's FID (`sp=[…]`).
+    pub old_fid: F,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_lustre_user_h() {
+        assert_eq!(ChangelogKind::Creat.label(), "01CREAT");
+        assert_eq!(ChangelogKind::Mkdir.label(), "02MKDIR");
+        assert_eq!(ChangelogKind::Unlnk.label(), "06UNLNK");
+        assert_eq!(ChangelogKind::Renme.label(), "08RENME");
+        assert_eq!(ChangelogKind::Mtime.label(), "17MTIME");
+    }
+
+    #[test]
+    fn code_roundtrips() {
+        for k in ChangelogKind::ALL {
+            assert_eq!(ChangelogKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(ChangelogKind::from_code(0), None);
+        assert_eq!(ChangelogKind::from_code(16), None);
+    }
+
+    #[test]
+    fn parse_accepts_label_and_bare_name() {
+        assert_eq!(ChangelogKind::parse("01CREAT"), Some(ChangelogKind::Creat));
+        assert_eq!(ChangelogKind::parse("CREAT"), Some(ChangelogKind::Creat));
+        assert_eq!(ChangelogKind::parse("17MTIME"), Some(ChangelogKind::Mtime));
+        assert_eq!(ChangelogKind::parse("99BOGUS"), None);
+    }
+
+    #[test]
+    fn standard_mapping_directionality() {
+        assert_eq!(ChangelogKind::Mkdir.to_standard(), (EventKind::Create, true));
+        assert_eq!(ChangelogKind::Rmdir.to_standard(), (EventKind::Delete, true));
+        assert_eq!(ChangelogKind::Creat.to_standard(), (EventKind::Create, false));
+        assert_eq!(ChangelogKind::Mtime.to_standard(), (EventKind::Modify, false));
+    }
+
+    #[test]
+    fn deletion_types() {
+        assert!(ChangelogKind::Unlnk.deletes_target());
+        assert!(ChangelogKind::Rmdir.deletes_target());
+        assert!(!ChangelogKind::Renme.deletes_target());
+    }
+
+    #[test]
+    fn rename_type() {
+        assert!(ChangelogKind::Renme.is_rename());
+        assert!(!ChangelogKind::Rnmto.is_rename());
+    }
+
+    #[test]
+    fn default_mask_excludes_open_close() {
+        let mask = ChangelogMask::default_mask();
+        assert!(!mask.records(ChangelogKind::Open));
+        assert!(!mask.records(ChangelogKind::Close));
+        for k in ChangelogKind::ALL {
+            if !matches!(k, ChangelogKind::Open | ChangelogKind::Close) {
+                assert!(mask.records(k), "{k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_with_without() {
+        let mask = ChangelogMask::NONE.with(ChangelogKind::Creat);
+        assert!(mask.records(ChangelogKind::Creat));
+        assert!(!mask.records(ChangelogKind::Unlnk));
+        assert!(!mask.without(ChangelogKind::Creat).records(ChangelogKind::Creat));
+    }
+
+    #[test]
+    fn mask_from_names() {
+        let mask = ChangelogMask::from_names(&["CREAT", "UNLNK"]).unwrap();
+        assert!(mask.records(ChangelogKind::Creat));
+        assert!(mask.records(ChangelogKind::Unlnk));
+        assert!(!mask.records(ChangelogKind::Mkdir));
+        assert_eq!(ChangelogMask::from_names(&["BOGUS"]), None);
+    }
+}

@@ -1,0 +1,224 @@
+//! Event coalescing utilities.
+//!
+//! High-rate consumers (catalogs, dashboards) often want the *net*
+//! effect of a burst rather than every intermediate event — the
+//! compression FSEvents performs in-kernel, offered here as a consumer-
+//! side utility over standardized events. The resolution layer itself
+//! never coalesces (the paper's pipeline is lossless); this is strictly
+//! opt-in post-processing.
+
+use crate::event::StandardEvent;
+use crate::kind::EventKind;
+
+/// Coalesce a batch: collapse per-path runs into their net effect.
+///
+/// Rules (applied per path, preserving first-seen order between paths):
+///
+/// * `Create` followed by any number of `Modify`/`Attrib`-class events
+///   stays a single `Create` (the consumer will read the final state).
+/// * `Create … Delete` cancels out entirely — the path never existed
+///   as far as a catch-up consumer is concerned.
+/// * `Modify × N` collapses to one `Modify`.
+/// * `Delete` followed by `Create` of the same path becomes a `Modify`
+///   (the path exists; its contents changed).
+/// * Renames are barriers: a `MovedFrom`/`MovedTo` pair is never
+///   merged away, and events before/after a rename of the same path do
+///   not merge across it.
+/// * Control events (`Overflow`, …) are barriers for everything.
+pub fn coalesce(events: &[StandardEvent]) -> Vec<StandardEvent> {
+    // Rewrites can expose new merges (Delete+Create becomes Modify,
+    // which may now duplicate an earlier Modify), so run single passes
+    // to a fixpoint. Each pass only shrinks or rewrites in place, so
+    // this terminates quickly (at most a handful of passes).
+    let mut current = coalesce_once(events);
+    loop {
+        let next = coalesce_once(&current);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+}
+
+fn coalesce_once(events: &[StandardEvent]) -> Vec<StandardEvent> {
+    let mut out: Vec<StandardEvent> = Vec::with_capacity(events.len());
+    // Index into `out` of the last un-merged event per path.
+    let mut last_for_path: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    // Marks removed entries (cancelled create+delete pairs).
+    let mut dead: Vec<bool> = Vec::with_capacity(events.len());
+
+    for ev in events {
+        if ev.kind.is_control() || ev.kind.is_move() {
+            // Barrier: forget merge state for the involved paths (all
+            // paths for control events).
+            if ev.kind.is_move() {
+                last_for_path.remove(&ev.path);
+                if let Some(old) = &ev.old_path {
+                    last_for_path.remove(old);
+                }
+            } else {
+                last_for_path.clear();
+            }
+            dead.push(false);
+            out.push(ev.clone());
+            continue;
+        }
+        let merged = match last_for_path.get(&ev.path).copied() {
+            Some(idx) if !dead[idx] => {
+                let prev_kind = out[idx].kind;
+                match (prev_kind, ev.kind) {
+                    // Create + mutation ⇒ still Create.
+                    (EventKind::Create, k) if is_mutation(k) => true,
+                    // Create + Delete ⇒ nothing.
+                    (EventKind::Create, EventKind::Delete) => {
+                        dead[idx] = true;
+                        last_for_path.remove(&ev.path);
+                        continue;
+                    }
+                    // Exact duplicates (including Create+Create and
+                    // Delete+Delete from lossy/racy monitors) ⇒ one.
+                    (a, b) if a == b => true,
+                    // Delete + Create ⇒ Modify.
+                    (EventKind::Delete, EventKind::Create) => {
+                        out[idx].kind = EventKind::Modify;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        };
+        if !merged {
+            dead.push(false);
+            last_for_path.insert(ev.path.clone(), out.len());
+            out.push(ev.clone());
+        }
+    }
+    out.into_iter()
+        .zip(dead)
+        .filter(|(_, d)| !d)
+        .map(|(e, _)| e)
+        .collect()
+}
+
+fn is_mutation(k: EventKind) -> bool {
+    matches!(
+        k,
+        EventKind::Modify
+            | EventKind::Truncate
+            | EventKind::Attrib
+            | EventKind::Xattr
+            | EventKind::CloseWrite
+            | EventKind::Ioctl
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, path: &str) -> StandardEvent {
+        StandardEvent::new(kind, "/r", path)
+    }
+
+    fn kinds(events: &[StandardEvent]) -> Vec<(EventKind, String)> {
+        events.iter().map(|e| (e.kind, e.path.clone())).collect()
+    }
+
+    #[test]
+    fn create_then_modifies_is_one_create() {
+        let input = vec![
+            ev(EventKind::Create, "/f"),
+            ev(EventKind::Modify, "/f"),
+            ev(EventKind::Modify, "/f"),
+            ev(EventKind::Attrib, "/f"),
+        ];
+        let out = coalesce(&input);
+        assert_eq!(kinds(&out), vec![(EventKind::Create, "/f".into())]);
+    }
+
+    #[test]
+    fn create_then_delete_cancels() {
+        let input = vec![
+            ev(EventKind::Create, "/tmp1"),
+            ev(EventKind::Modify, "/tmp1"),
+            ev(EventKind::Delete, "/tmp1"),
+            ev(EventKind::Create, "/kept"),
+        ];
+        let out = coalesce(&input);
+        assert_eq!(kinds(&out), vec![(EventKind::Create, "/kept".into())]);
+    }
+
+    #[test]
+    fn delete_then_create_is_modify() {
+        let input = vec![ev(EventKind::Delete, "/f"), ev(EventKind::Create, "/f")];
+        let out = coalesce(&input);
+        assert_eq!(kinds(&out), vec![(EventKind::Modify, "/f".into())]);
+    }
+
+    #[test]
+    fn repeated_modifies_collapse() {
+        let input = vec![
+            ev(EventKind::Modify, "/f"),
+            ev(EventKind::Modify, "/f"),
+            ev(EventKind::Modify, "/g"),
+            ev(EventKind::Modify, "/f"),
+        ];
+        let out = coalesce(&input);
+        assert_eq!(
+            kinds(&out),
+            vec![(EventKind::Modify, "/f".into()), (EventKind::Modify, "/g".into())]
+        );
+    }
+
+    #[test]
+    fn renames_are_never_merged() {
+        let input = vec![
+            ev(EventKind::Create, "/a"),
+            ev(EventKind::MovedFrom, "/a"),
+            ev(EventKind::MovedTo, "/b"),
+            ev(EventKind::Modify, "/b"),
+        ];
+        let out = coalesce(&input);
+        assert_eq!(
+            kinds(&out),
+            vec![
+                (EventKind::Create, "/a".into()),
+                (EventKind::MovedFrom, "/a".into()),
+                (EventKind::MovedTo, "/b".into()),
+                (EventKind::Modify, "/b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn overflow_is_a_global_barrier() {
+        let input = vec![
+            ev(EventKind::Modify, "/f"),
+            ev(EventKind::Overflow, "/"),
+            ev(EventKind::Modify, "/f"),
+        ];
+        let out = coalesce(&input);
+        assert_eq!(out.len(), 3, "no merging across the overflow marker");
+    }
+
+    #[test]
+    fn interleaved_paths_keep_order() {
+        let input = vec![
+            ev(EventKind::Create, "/a"),
+            ev(EventKind::Create, "/b"),
+            ev(EventKind::Modify, "/a"),
+            ev(EventKind::Modify, "/b"),
+        ];
+        let out = coalesce(&input);
+        assert_eq!(
+            kinds(&out),
+            vec![(EventKind::Create, "/a".into()), (EventKind::Create, "/b".into())]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(coalesce(&[]).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Event rendering in each supported representation.
+//!
+//! The paper's resolution layer does not define "yet another event
+//! representation"; instead it populates the event template of whichever
+//! format the consumer asked for (§III-A2). [`EventFormatter`] implements
+//! that template population for every supported dialect.
+
+use crate::event::StandardEvent;
+use crate::fsevents::standard_to_fsevents;
+use crate::fswatcher::standard_to_fsw;
+use crate::kqueue::standard_to_kqueue;
+use serde::{Deserialize, Serialize};
+
+/// The output dialect a consumer requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EventFormatter {
+    /// inotify-style (`/root CREATE /path`) — FSMonitor's default
+    /// standard representation (Table II).
+    #[default]
+    Inotify,
+    /// kqueue-style (`NOTE_WRITE /root/path`).
+    Kqueue,
+    /// FSEvents-style (`ItemCreated ItemIsFile /root/path`).
+    FsEvents,
+    /// FileSystemWatcher-style (`Created /root/path`).
+    FileSystemWatcher,
+}
+
+impl EventFormatter {
+    /// All dialects.
+    pub const ALL: [EventFormatter; 4] = [
+        EventFormatter::Inotify,
+        EventFormatter::Kqueue,
+        EventFormatter::FsEvents,
+        EventFormatter::FileSystemWatcher,
+    ];
+
+    /// Render `ev` in this dialect.
+    pub fn render(self, ev: &StandardEvent) -> String {
+        match self {
+            EventFormatter::Inotify => ev.render_table2(),
+            EventFormatter::Kqueue => {
+                let native = standard_to_kqueue(ev, 0);
+                format!("{} {}", native.fflags.render(), native.path)
+            }
+            EventFormatter::FsEvents => {
+                let native = standard_to_fsevents(ev, ev.id);
+                format!("{} {}", native.flags.render(), native.path)
+            }
+            EventFormatter::FileSystemWatcher => {
+                let native = standard_to_fsw(ev);
+                match &native.old_full_path {
+                    Some(old) => {
+                        format!("{} {} (from {})", native.change_type, native.full_path, old)
+                    }
+                    None => format!("{} {}", native.change_type, native.full_path),
+                }
+            }
+        }
+    }
+
+    /// Render a batch, one event per line.
+    pub fn render_batch(self, events: &[StandardEvent]) -> String {
+        let mut out = String::new();
+        for ev in events {
+            out.push_str(&self.render(ev));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Name used in configuration files / CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventFormatter::Inotify => "inotify",
+            EventFormatter::Kqueue => "kqueue",
+            EventFormatter::FsEvents => "fsevents",
+            EventFormatter::FileSystemWatcher => "filesystemwatcher",
+        }
+    }
+
+    /// Parse a configuration name.
+    pub fn parse(s: &str) -> Option<EventFormatter> {
+        EventFormatter::ALL
+            .iter()
+            .copied()
+            .find(|f| f.as_str() == s.to_ascii_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::EventKind;
+
+    #[test]
+    fn inotify_dialect_matches_table2() {
+        let ev = StandardEvent::new(EventKind::Create, "/home/arnab/test", "hello.txt");
+        assert_eq!(
+            EventFormatter::Inotify.render(&ev),
+            "/home/arnab/test CREATE /hello.txt"
+        );
+    }
+
+    #[test]
+    fn kqueue_dialect_uses_note_names() {
+        let ev = StandardEvent::new(EventKind::Modify, "/r", "f");
+        assert_eq!(EventFormatter::Kqueue.render(&ev), "NOTE_WRITE /r/f");
+    }
+
+    #[test]
+    fn fsevents_dialect_uses_item_names() {
+        let ev = StandardEvent::new(EventKind::Create, "/r", "f");
+        assert_eq!(
+            EventFormatter::FsEvents.render(&ev),
+            "ItemCreated ItemIsFile /r/f"
+        );
+    }
+
+    #[test]
+    fn fsw_dialect_renders_rename_with_old_path() {
+        let ev = StandardEvent::new(EventKind::MovedTo, "/r", "b").with_old_path("/a");
+        assert_eq!(
+            EventFormatter::FileSystemWatcher.render(&ev),
+            "Renamed /r/b (from /r/a)"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for f in EventFormatter::ALL {
+            assert_eq!(EventFormatter::parse(f.as_str()), Some(f));
+        }
+        assert_eq!(EventFormatter::parse("INOTIFY"), Some(EventFormatter::Inotify));
+        assert_eq!(EventFormatter::parse("bogus"), None);
+    }
+
+    #[test]
+    fn batch_renders_one_per_line() {
+        let evs = vec![
+            StandardEvent::new(EventKind::Create, "/r", "a"),
+            StandardEvent::new(EventKind::Delete, "/r", "a"),
+        ];
+        let out = EventFormatter::Inotify.render_batch(&evs);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("CREATE"));
+        assert!(out.contains("DELETE"));
+    }
+}

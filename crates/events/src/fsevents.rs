@@ -1,0 +1,236 @@
+//! The macOS FSEvents vocabulary.
+//!
+//! FSEvents delivers *per-path* flag words over a recursive subtree watch
+//! (no per-directory watchers — the reason the paper says it "scales well
+//! with the number of directories observed", §II-A). Flags can be
+//! coalesced: one event may carry `ItemCreated|ItemModified` for a path
+//! that was created and then written within the same latency window.
+
+use crate::event::{MonitorSource, StandardEvent};
+use crate::kind::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// `kFSEventStreamEventFlag*` bits (from `<CoreServices/FSEvents.h>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsEventFlags(pub u32);
+
+impl FsEventFlags {
+    /// Events were coalesced because the client could not keep up.
+    pub const MUST_SCAN_SUBDIRS: u32 = 0x0000_0001;
+    /// Item was created.
+    pub const ITEM_CREATED: u32 = 0x0000_0100;
+    /// Item was removed.
+    pub const ITEM_REMOVED: u32 = 0x0000_0200;
+    /// Item metadata was modified.
+    pub const ITEM_INODE_META_MOD: u32 = 0x0000_0400;
+    /// Item was renamed.
+    pub const ITEM_RENAMED: u32 = 0x0000_0800;
+    /// Item data was modified.
+    pub const ITEM_MODIFIED: u32 = 0x0000_1000;
+    /// Item ownership changed.
+    pub const ITEM_CHANGE_OWNER: u32 = 0x0000_4000;
+    /// Item extended attributes changed.
+    pub const ITEM_XATTR_MOD: u32 = 0x0000_8000;
+    /// Item is a file.
+    pub const ITEM_IS_FILE: u32 = 0x0001_0000;
+    /// Item is a directory.
+    pub const ITEM_IS_DIR: u32 = 0x0002_0000;
+    /// Item is a symlink.
+    pub const ITEM_IS_SYMLINK: u32 = 0x0004_0000;
+
+    /// Whether `bit` is set.
+    pub fn has(self, bit: u32) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Render flag names as Apple's headers spell them.
+    pub fn render(self) -> String {
+        const NAMES: [(u32, &str); 11] = [
+            (FsEventFlags::MUST_SCAN_SUBDIRS, "MustScanSubDirs"),
+            (FsEventFlags::ITEM_CREATED, "ItemCreated"),
+            (FsEventFlags::ITEM_REMOVED, "ItemRemoved"),
+            (FsEventFlags::ITEM_INODE_META_MOD, "ItemInodeMetaMod"),
+            (FsEventFlags::ITEM_RENAMED, "ItemRenamed"),
+            (FsEventFlags::ITEM_MODIFIED, "ItemModified"),
+            (FsEventFlags::ITEM_CHANGE_OWNER, "ItemChangeOwner"),
+            (FsEventFlags::ITEM_XATTR_MOD, "ItemXattrMod"),
+            (FsEventFlags::ITEM_IS_FILE, "ItemIsFile"),
+            (FsEventFlags::ITEM_IS_DIR, "ItemIsDir"),
+            (FsEventFlags::ITEM_IS_SYMLINK, "ItemIsSymlink"),
+        ];
+        NAMES
+            .iter()
+            .filter(|(bit, _)| self.has(*bit))
+            .map(|(_, n)| *n)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// One FSEvents stream callback entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsEventsEvent {
+    /// Monotonic stream event id (`FSEventStreamEventId`).
+    pub event_id: u64,
+    /// Flag word for this path.
+    pub flags: FsEventFlags,
+    /// Absolute path of the item.
+    pub path: String,
+}
+
+impl FsEventsEvent {
+    /// Classify into the standardized [`EventKind`].
+    ///
+    /// Coalesced flag words are classified by precedence: removal wins
+    /// over creation (the item is gone), creation over modification.
+    pub fn kind(&self) -> EventKind {
+        let f = self.flags;
+        if f.has(FsEventFlags::MUST_SCAN_SUBDIRS) {
+            EventKind::Overflow
+        } else if f.has(FsEventFlags::ITEM_REMOVED) {
+            EventKind::Delete
+        } else if f.has(FsEventFlags::ITEM_RENAMED) {
+            // FSEvents does not say which end of the rename this is; the
+            // simulated kernel orders MovedFrom before MovedTo, and the
+            // resolution layer pairs them by cookie when available.
+            EventKind::MovedFrom
+        } else if f.has(FsEventFlags::ITEM_CREATED) {
+            EventKind::Create
+        } else if f.has(FsEventFlags::ITEM_MODIFIED) {
+            EventKind::Modify
+        } else if f.has(FsEventFlags::ITEM_XATTR_MOD) {
+            EventKind::Xattr
+        } else if f.has(FsEventFlags::ITEM_INODE_META_MOD) || f.has(FsEventFlags::ITEM_CHANGE_OWNER)
+        {
+            EventKind::Attrib
+        } else {
+            EventKind::Unknown
+        }
+    }
+
+    /// Whether the item is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.flags.has(FsEventFlags::ITEM_IS_DIR)
+    }
+
+    /// Translate to the standardized representation.
+    pub fn to_standard(&self, watch_root: &str) -> StandardEvent {
+        let rel = self
+            .path
+            .strip_prefix(watch_root.trim_end_matches('/'))
+            .unwrap_or(&self.path);
+        let mut ev = StandardEvent::new(self.kind(), watch_root, rel)
+            .with_source(MonitorSource::FsEvents);
+        ev.is_dir = self.is_dir();
+        ev
+    }
+}
+
+/// Translate a standardized event into the FSEvents vocabulary.
+pub fn standard_to_fsevents(ev: &StandardEvent, event_id: u64) -> FsEventsEvent {
+    let mut flags = match ev.kind {
+        EventKind::Create
+        | EventKind::HardLink
+        | EventKind::DeviceNode => FsEventFlags::ITEM_CREATED,
+        EventKind::SymLink => FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_SYMLINK,
+        EventKind::Modify | EventKind::Truncate | EventKind::Ioctl => FsEventFlags::ITEM_MODIFIED,
+        EventKind::Delete | EventKind::ParentDirectoryRemoved => FsEventFlags::ITEM_REMOVED,
+        EventKind::MovedFrom | EventKind::MovedTo => FsEventFlags::ITEM_RENAMED,
+        EventKind::Attrib => FsEventFlags::ITEM_INODE_META_MOD,
+        EventKind::Xattr => FsEventFlags::ITEM_XATTR_MOD,
+        EventKind::Overflow => FsEventFlags::MUST_SCAN_SUBDIRS,
+        // FSEvents has no open/close notifications at all.
+        EventKind::Open
+        | EventKind::Close
+        | EventKind::CloseWrite
+        | EventKind::CloseNoWrite
+        | EventKind::Unknown => 0,
+    };
+    if flags != 0 && flags != FsEventFlags::MUST_SCAN_SUBDIRS {
+        flags |= if ev.is_dir {
+            FsEventFlags::ITEM_IS_DIR
+        } else {
+            FsEventFlags::ITEM_IS_FILE
+        };
+    }
+    FsEventsEvent {
+        event_id,
+        flags: FsEventFlags(flags),
+        path: ev.absolute_path(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fse(flags: u32, path: &str) -> FsEventsEvent {
+        FsEventsEvent {
+            event_id: 1,
+            flags: FsEventFlags(flags),
+            path: path.to_string(),
+        }
+    }
+
+    #[test]
+    fn classify_created() {
+        let e = fse(FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_FILE, "/r/f");
+        assert_eq!(e.kind(), EventKind::Create);
+        assert!(!e.is_dir());
+    }
+
+    #[test]
+    fn coalesced_remove_beats_create() {
+        let e = fse(
+            FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_REMOVED,
+            "/r/f",
+        );
+        assert_eq!(e.kind(), EventKind::Delete);
+    }
+
+    #[test]
+    fn coalesced_create_beats_modify() {
+        let e = fse(
+            FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_MODIFIED,
+            "/r/f",
+        );
+        assert_eq!(e.kind(), EventKind::Create);
+    }
+
+    #[test]
+    fn must_scan_subdirs_is_overflow() {
+        assert_eq!(
+            fse(FsEventFlags::MUST_SCAN_SUBDIRS, "/r").kind(),
+            EventKind::Overflow
+        );
+    }
+
+    #[test]
+    fn dir_flag_propagates() {
+        let e = fse(FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_DIR, "/r/d");
+        let s = e.to_standard("/r");
+        assert!(s.is_dir);
+        assert_eq!(s.path, "/d");
+    }
+
+    #[test]
+    fn render_names() {
+        let f = FsEventFlags(FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_FILE);
+        assert_eq!(f.render(), "ItemCreated ItemIsFile");
+    }
+
+    #[test]
+    fn standard_to_fsevents_sets_item_type() {
+        let s = StandardEvent::new(EventKind::Create, "/r", "d").dir();
+        let n = standard_to_fsevents(&s, 5);
+        assert!(n.flags.has(FsEventFlags::ITEM_IS_DIR));
+        assert!(n.flags.has(FsEventFlags::ITEM_CREATED));
+        assert_eq!(n.event_id, 5);
+    }
+
+    #[test]
+    fn open_close_have_no_fsevents_equivalent() {
+        let s = StandardEvent::new(EventKind::Open, "/r", "f");
+        assert_eq!(standard_to_fsevents(&s, 1).flags.0, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The Windows `System.IO.FileSystemWatcher` vocabulary.
+//!
+//! FileSystemWatcher reports exactly four change types — `Created`,
+//! `Changed`, `Deleted`, `Renamed` (paper §II-A) — and can lose events
+//! when its byte buffer overflows, which it signals with an `Error`
+//! event carrying an `InternalBufferOverflowException`.
+
+use crate::event::{MonitorSource, StandardEvent};
+use crate::kind::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// The `WatcherChangeTypes` enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FswChangeType {
+    /// A file or directory was created.
+    Created,
+    /// A file or directory was changed (contents or attributes).
+    Changed,
+    /// A file or directory was deleted.
+    Deleted,
+    /// A file or directory was renamed.
+    Renamed,
+    /// The internal buffer overflowed; events were lost.
+    Error,
+}
+
+impl FswChangeType {
+    /// The .NET enum member name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FswChangeType::Created => "Created",
+            FswChangeType::Changed => "Changed",
+            FswChangeType::Deleted => "Deleted",
+            FswChangeType::Renamed => "Renamed",
+            FswChangeType::Error => "Error",
+        }
+    }
+}
+
+impl std::fmt::Display for FswChangeType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A `FileSystemEventArgs` / `RenamedEventArgs` record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FswEvent {
+    /// The change type.
+    pub change_type: FswChangeType,
+    /// Full path of the affected item.
+    pub full_path: String,
+    /// For `Renamed`: the previous full path.
+    pub old_full_path: Option<String>,
+    /// Whether the item is a directory (derived by the monitor — the
+    /// .NET API exposes it via `NotifyFilters.DirectoryName` routing).
+    pub is_dir: bool,
+}
+
+impl FswEvent {
+    /// Classify into the standardized [`EventKind`].
+    pub fn kind(&self) -> EventKind {
+        match self.change_type {
+            FswChangeType::Created => EventKind::Create,
+            FswChangeType::Changed => EventKind::Modify,
+            FswChangeType::Deleted => EventKind::Delete,
+            FswChangeType::Renamed => EventKind::MovedTo,
+            FswChangeType::Error => EventKind::Overflow,
+        }
+    }
+
+    /// Translate to the standardized representation.
+    pub fn to_standard(&self, watch_root: &str) -> StandardEvent {
+        let strip = |p: &str| {
+            p.strip_prefix(watch_root.trim_end_matches('/'))
+                .unwrap_or(p)
+                .to_string()
+        };
+        let mut ev = StandardEvent::new(self.kind(), watch_root, strip(&self.full_path))
+            .with_source(MonitorSource::FileSystemWatcher);
+        ev.is_dir = self.is_dir;
+        if let Some(old) = &self.old_full_path {
+            ev.old_path = Some(normalize_rel(&strip(old)));
+        }
+        ev
+    }
+}
+
+fn normalize_rel(p: &str) -> String {
+    if p.starts_with('/') {
+        p.to_string()
+    } else {
+        format!("/{p}")
+    }
+}
+
+/// Translate a standardized event into the FileSystemWatcher vocabulary.
+///
+/// Kinds outside the four .NET change types fold into the closest one,
+/// exactly as a real watcher would report them (`Attrib` surfaces as
+/// `Changed`, link creations as `Created`, …).
+pub fn standard_to_fsw(ev: &StandardEvent) -> FswEvent {
+    let change_type = match ev.kind {
+        EventKind::Create
+        | EventKind::HardLink
+        | EventKind::SymLink
+        | EventKind::DeviceNode => FswChangeType::Created,
+        EventKind::Modify
+        | EventKind::Truncate
+        | EventKind::Attrib
+        | EventKind::Xattr
+        | EventKind::Ioctl
+        | EventKind::Open
+        | EventKind::Close
+        | EventKind::CloseWrite
+        | EventKind::CloseNoWrite => FswChangeType::Changed,
+        EventKind::Delete | EventKind::ParentDirectoryRemoved => FswChangeType::Deleted,
+        EventKind::MovedFrom | EventKind::MovedTo => FswChangeType::Renamed,
+        EventKind::Overflow | EventKind::Unknown => FswChangeType::Error,
+    };
+    FswEvent {
+        change_type,
+        full_path: ev.absolute_path(),
+        old_full_path: ev.old_path.as_ref().map(|p| {
+            let root = ev.watch_root.trim_end_matches('/');
+            format!("{root}{p}")
+        }),
+        is_dir: ev.is_dir,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_change_types_classify() {
+        let mk = |ct| FswEvent {
+            change_type: ct,
+            full_path: "/w/f".into(),
+            old_full_path: None,
+            is_dir: false,
+        };
+        assert_eq!(mk(FswChangeType::Created).kind(), EventKind::Create);
+        assert_eq!(mk(FswChangeType::Changed).kind(), EventKind::Modify);
+        assert_eq!(mk(FswChangeType::Deleted).kind(), EventKind::Delete);
+        assert_eq!(mk(FswChangeType::Renamed).kind(), EventKind::MovedTo);
+        assert_eq!(mk(FswChangeType::Error).kind(), EventKind::Overflow);
+    }
+
+    #[test]
+    fn renamed_carries_old_path() {
+        let e = FswEvent {
+            change_type: FswChangeType::Renamed,
+            full_path: "/w/new.txt".into(),
+            old_full_path: Some("/w/old.txt".into()),
+            is_dir: false,
+        };
+        let s = e.to_standard("/w");
+        assert_eq!(s.path, "/new.txt");
+        assert_eq!(s.old_path.as_deref(), Some("/old.txt"));
+    }
+
+    #[test]
+    fn standard_to_fsw_folds_attrib_to_changed() {
+        let s = StandardEvent::new(EventKind::Attrib, "/w", "f");
+        assert_eq!(standard_to_fsw(&s).change_type, FswChangeType::Changed);
+    }
+
+    #[test]
+    fn standard_to_fsw_rename_reconstructs_old_full_path() {
+        let s = StandardEvent::new(EventKind::MovedTo, "/w", "b").with_old_path("/a");
+        let f = standard_to_fsw(&s);
+        assert_eq!(f.old_full_path.as_deref(), Some("/w/a"));
+        assert_eq!(f.full_path, "/w/b");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FswChangeType::Created.to_string(), "Created");
+        assert_eq!(FswChangeType::Error.to_string(), "Error");
+    }
+}

@@ -1,0 +1,305 @@
+//! The Linux inotify native vocabulary.
+//!
+//! Models the `inotify_event` structure and the `IN_*` mask bits exactly
+//! as the kernel defines them, so the simulated inotify kernel in
+//! `fsmon-localfs` and the resolution layer both speak the real dialect.
+
+use crate::event::{MonitorSource, StandardEvent};
+use crate::kind::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// inotify event mask bits (a faithful subset of `<sys/inotify.h>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InotifyMask(pub u32);
+
+impl InotifyMask {
+    /// File was accessed.
+    pub const IN_ACCESS: u32 = 0x0000_0001;
+    /// File was modified.
+    pub const IN_MODIFY: u32 = 0x0000_0002;
+    /// Metadata changed.
+    pub const IN_ATTRIB: u32 = 0x0000_0004;
+    /// Writable file was closed.
+    pub const IN_CLOSE_WRITE: u32 = 0x0000_0008;
+    /// Unwritable file was closed.
+    pub const IN_CLOSE_NOWRITE: u32 = 0x0000_0010;
+    /// File was opened.
+    pub const IN_OPEN: u32 = 0x0000_0020;
+    /// File was moved from X.
+    pub const IN_MOVED_FROM: u32 = 0x0000_0040;
+    /// File was moved to Y.
+    pub const IN_MOVED_TO: u32 = 0x0000_0080;
+    /// Subfile was created.
+    pub const IN_CREATE: u32 = 0x0000_0100;
+    /// Subfile was deleted.
+    pub const IN_DELETE: u32 = 0x0000_0200;
+    /// Self was deleted.
+    pub const IN_DELETE_SELF: u32 = 0x0000_0400;
+    /// Self was moved.
+    pub const IN_MOVE_SELF: u32 = 0x0000_0800;
+    /// Event queue overflowed.
+    pub const IN_Q_OVERFLOW: u32 = 0x0000_4000;
+    /// Subject of this event is a directory.
+    pub const IN_ISDIR: u32 = 0x4000_0000;
+    /// Watch was removed.
+    pub const IN_IGNORED: u32 = 0x0000_8000;
+
+    /// The "all events" mask used by `inotifywait` by default.
+    pub const IN_ALL_EVENTS: u32 = Self::IN_ACCESS
+        | Self::IN_MODIFY
+        | Self::IN_ATTRIB
+        | Self::IN_CLOSE_WRITE
+        | Self::IN_CLOSE_NOWRITE
+        | Self::IN_OPEN
+        | Self::IN_MOVED_FROM
+        | Self::IN_MOVED_TO
+        | Self::IN_CREATE
+        | Self::IN_DELETE
+        | Self::IN_DELETE_SELF
+        | Self::IN_MOVE_SELF;
+
+    /// Whether `bit` is set in this mask.
+    pub fn has(self, bit: u32) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Whether the subject is a directory.
+    pub fn is_dir(self) -> bool {
+        self.has(Self::IN_ISDIR)
+    }
+
+    /// Render the mask the way `inotifywait` prints it:
+    /// comma-separated bit names with `ISDIR` appended.
+    pub fn render(self) -> String {
+        const NAMES: [(u32, &str); 13] = [
+            (InotifyMask::IN_ACCESS, "ACCESS"),
+            (InotifyMask::IN_MODIFY, "MODIFY"),
+            (InotifyMask::IN_ATTRIB, "ATTRIB"),
+            (InotifyMask::IN_CLOSE_WRITE, "CLOSE_WRITE"),
+            (InotifyMask::IN_CLOSE_NOWRITE, "CLOSE_NOWRITE"),
+            (InotifyMask::IN_OPEN, "OPEN"),
+            (InotifyMask::IN_MOVED_FROM, "MOVED_FROM"),
+            (InotifyMask::IN_MOVED_TO, "MOVED_TO"),
+            (InotifyMask::IN_CREATE, "CREATE"),
+            (InotifyMask::IN_DELETE, "DELETE"),
+            (InotifyMask::IN_DELETE_SELF, "DELETE_SELF"),
+            (InotifyMask::IN_MOVE_SELF, "MOVE_SELF"),
+            (InotifyMask::IN_Q_OVERFLOW, "Q_OVERFLOW"),
+        ];
+        let mut parts: Vec<&str> = NAMES
+            .iter()
+            .filter(|(bit, _)| self.has(*bit))
+            .map(|(_, name)| *name)
+            .collect();
+        if self.is_dir() {
+            parts.push("ISDIR");
+        }
+        parts.join(",")
+    }
+}
+
+/// A raw inotify event as read from the inotify file descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InotifyEvent {
+    /// Watch descriptor the event was delivered on.
+    pub wd: i32,
+    /// Event mask.
+    pub mask: InotifyMask,
+    /// Rename-pairing cookie (nonzero only for `IN_MOVED_FROM`/`_TO`).
+    pub cookie: u32,
+    /// Name of the file inside the watched directory ("" for events on
+    /// the watched object itself).
+    pub name: String,
+}
+
+impl InotifyEvent {
+    /// Classify the mask into the standardized [`EventKind`].
+    ///
+    /// inotify may set several bits; classification follows inotifywait's
+    /// precedence (overflow first, then structural events, then IO).
+    pub fn kind(&self) -> EventKind {
+        let m = self.mask;
+        if m.has(InotifyMask::IN_Q_OVERFLOW) {
+            EventKind::Overflow
+        } else if m.has(InotifyMask::IN_CREATE) {
+            EventKind::Create
+        } else if m.has(InotifyMask::IN_DELETE) || m.has(InotifyMask::IN_DELETE_SELF) {
+            EventKind::Delete
+        } else if m.has(InotifyMask::IN_MOVED_FROM) {
+            EventKind::MovedFrom
+        } else if m.has(InotifyMask::IN_MOVED_TO) {
+            EventKind::MovedTo
+        } else if m.has(InotifyMask::IN_MODIFY) {
+            EventKind::Modify
+        } else if m.has(InotifyMask::IN_ATTRIB) {
+            EventKind::Attrib
+        } else if m.has(InotifyMask::IN_CLOSE_WRITE) {
+            EventKind::CloseWrite
+        } else if m.has(InotifyMask::IN_CLOSE_NOWRITE) {
+            EventKind::CloseNoWrite
+        } else if m.has(InotifyMask::IN_OPEN) {
+            EventKind::Open
+        } else {
+            EventKind::Unknown
+        }
+    }
+
+    /// Translate to the standardized representation, given the path of
+    /// the watched directory relative to the watch root.
+    pub fn to_standard(&self, watch_root: &str, dir_rel: &str) -> StandardEvent {
+        let rel = join_rel(dir_rel, &self.name);
+        let mut ev = StandardEvent::new(self.kind(), watch_root, rel)
+            .with_source(MonitorSource::Inotify)
+            .with_cookie(self.cookie);
+        ev.is_dir = self.mask.is_dir();
+        ev
+    }
+}
+
+/// Translate a standardized event back into the inotify vocabulary
+/// (the inverse template population the paper's resolution layer offers:
+/// "we instead support transformation into any of the commonly defined
+/// formats").
+pub fn standard_to_inotify(ev: &StandardEvent, wd: i32) -> InotifyEvent {
+    let mut mask = match ev.kind {
+        EventKind::Create | EventKind::HardLink | EventKind::SymLink | EventKind::DeviceNode => {
+            InotifyMask::IN_CREATE
+        }
+        EventKind::Modify | EventKind::Truncate | EventKind::Ioctl => InotifyMask::IN_MODIFY,
+        EventKind::Delete | EventKind::ParentDirectoryRemoved => InotifyMask::IN_DELETE,
+        EventKind::Open => InotifyMask::IN_OPEN,
+        EventKind::CloseWrite | EventKind::Close => InotifyMask::IN_CLOSE_WRITE,
+        EventKind::CloseNoWrite => InotifyMask::IN_CLOSE_NOWRITE,
+        EventKind::MovedFrom => InotifyMask::IN_MOVED_FROM,
+        EventKind::MovedTo => InotifyMask::IN_MOVED_TO,
+        EventKind::Attrib | EventKind::Xattr => InotifyMask::IN_ATTRIB,
+        EventKind::Overflow => InotifyMask::IN_Q_OVERFLOW,
+        EventKind::Unknown => 0,
+    };
+    if ev.is_dir {
+        mask |= InotifyMask::IN_ISDIR;
+    }
+    InotifyEvent {
+        wd,
+        mask: InotifyMask(mask),
+        cookie: ev.cookie,
+        name: ev.path.trim_start_matches('/').to_string(),
+    }
+}
+
+/// Join a directory-relative prefix and a file name into a relative path
+/// with a leading slash.
+fn join_rel(dir_rel: &str, name: &str) -> String {
+    let dir = dir_rel.trim_matches('/');
+    let name = name.trim_start_matches('/');
+    match (dir.is_empty(), name.is_empty()) {
+        (true, true) => "/".to_string(),
+        (true, false) => format!("/{name}"),
+        (false, true) => format!("/{dir}"),
+        (false, false) => format!("/{dir}/{name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(mask: u32, name: &str) -> InotifyEvent {
+        InotifyEvent {
+            wd: 1,
+            mask: InotifyMask(mask),
+            cookie: 0,
+            name: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn classify_create() {
+        assert_eq!(ev(InotifyMask::IN_CREATE, "f").kind(), EventKind::Create);
+    }
+
+    #[test]
+    fn classify_overflow_wins() {
+        let e = ev(InotifyMask::IN_Q_OVERFLOW | InotifyMask::IN_MODIFY, "");
+        assert_eq!(e.kind(), EventKind::Overflow);
+    }
+
+    #[test]
+    fn classify_delete_self() {
+        assert_eq!(ev(InotifyMask::IN_DELETE_SELF, "").kind(), EventKind::Delete);
+    }
+
+    #[test]
+    fn classify_open_close() {
+        assert_eq!(ev(InotifyMask::IN_OPEN, "f").kind(), EventKind::Open);
+        assert_eq!(
+            ev(InotifyMask::IN_CLOSE_WRITE, "f").kind(),
+            EventKind::CloseWrite
+        );
+        assert_eq!(
+            ev(InotifyMask::IN_CLOSE_NOWRITE, "f").kind(),
+            EventKind::CloseNoWrite
+        );
+    }
+
+    #[test]
+    fn to_standard_includes_subdir_prefix() {
+        let e = ev(InotifyMask::IN_CREATE, "hello.txt");
+        let s = e.to_standard("/home/arnab/test", "sub");
+        assert_eq!(s.path, "/sub/hello.txt");
+        assert_eq!(s.source, MonitorSource::Inotify);
+    }
+
+    #[test]
+    fn to_standard_dir_flag() {
+        let e = ev(InotifyMask::IN_CREATE | InotifyMask::IN_ISDIR, "okdir");
+        let s = e.to_standard("/r", "");
+        assert!(s.is_dir);
+        assert_eq!(s.render_table2(), "/r CREATE,ISDIR /okdir");
+    }
+
+    #[test]
+    fn mask_render_matches_inotifywait_style() {
+        let m = InotifyMask(InotifyMask::IN_CREATE | InotifyMask::IN_ISDIR);
+        assert_eq!(m.render(), "CREATE,ISDIR");
+        let m = InotifyMask(InotifyMask::IN_MOVED_TO);
+        assert_eq!(m.render(), "MOVED_TO");
+    }
+
+    #[test]
+    fn standard_to_inotify_roundtrip_core_kinds() {
+        for kind in [
+            EventKind::Create,
+            EventKind::Modify,
+            EventKind::Delete,
+            EventKind::MovedFrom,
+            EventKind::MovedTo,
+            EventKind::Attrib,
+            EventKind::Open,
+            EventKind::CloseWrite,
+            EventKind::CloseNoWrite,
+        ] {
+            let s = StandardEvent::new(kind, "/r", "f");
+            let native = standard_to_inotify(&s, 9);
+            assert_eq!(native.kind(), kind, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn standard_to_inotify_folds_lustre_kinds() {
+        let s = StandardEvent::new(EventKind::Truncate, "/r", "f");
+        assert_eq!(standard_to_inotify(&s, 1).kind(), EventKind::Modify);
+        let s = StandardEvent::new(EventKind::Xattr, "/r", "f");
+        assert_eq!(standard_to_inotify(&s, 1).kind(), EventKind::Attrib);
+        let s = StandardEvent::new(EventKind::HardLink, "/r", "f");
+        assert_eq!(standard_to_inotify(&s, 1).kind(), EventKind::Create);
+    }
+
+    #[test]
+    fn join_rel_cases() {
+        assert_eq!(join_rel("", "f"), "/f");
+        assert_eq!(join_rel("d", "f"), "/d/f");
+        assert_eq!(join_rel("d", ""), "/d");
+        assert_eq!(join_rel("", ""), "/");
+    }
+}

@@ -1,0 +1,334 @@
+//! The standardized event vocabulary.
+//!
+//! FSMonitor standardizes every native event to the inotify vocabulary
+//! (paper §II Summary: "we standardize all event representations to the
+//! inotify format as this is the most widely used"). [`EventKind`] is that
+//! vocabulary, extended with the few kinds that only distributed file
+//! systems produce (`HardLink`, `DeviceNode`, `Ioctl`,
+//! `ParentDirectoryRemoved`) and the `Overflow` control event raised when
+//! a native queue drops events.
+
+use serde::{Deserialize, Serialize};
+
+/// A standardized file-system event type.
+///
+/// The `Display`/`as_str` rendering matches the inotify-style names the
+/// paper prints in Table II (`CREATE`, `MODIFY`, `CLOSE`, `MOVED_FROM`,
+/// `MOVED_TO`, `DELETE`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A file or directory was created (`IN_CREATE`).
+    Create,
+    /// File contents were modified (`IN_MODIFY`).
+    Modify,
+    /// A file or directory was deleted (`IN_DELETE`).
+    Delete,
+    /// A file or directory was opened (`IN_OPEN`).
+    Open,
+    /// A file opened for writing was closed (`IN_CLOSE_WRITE`).
+    CloseWrite,
+    /// A file opened read-only was closed (`IN_CLOSE_NOWRITE`).
+    CloseNoWrite,
+    /// Generic close: used when the underlying monitor cannot distinguish
+    /// write/no-write closes. Rendered as `CLOSE` (Table II).
+    Close,
+    /// The source half of a rename (`IN_MOVED_FROM`).
+    MovedFrom,
+    /// The destination half of a rename (`IN_MOVED_TO`).
+    MovedTo,
+    /// Metadata (permissions, ownership, timestamps) changed (`IN_ATTRIB`).
+    Attrib,
+    /// Extended attribute changed (Lustre `XATTR`). Standardized alongside
+    /// `Attrib` because inotify folds both into `IN_ATTRIB`; kept distinct
+    /// so Lustre consumers are not lossy.
+    Xattr,
+    /// A file was truncated (Lustre `TRUNC`; inotify reports `IN_MODIFY`).
+    Truncate,
+    /// A hard link was created (Lustre `HLINK`).
+    HardLink,
+    /// A symbolic link was created (Lustre `SLINK`).
+    SymLink,
+    /// A device node was created (Lustre `MKNOD`).
+    DeviceNode,
+    /// An ioctl was issued on the file (Lustre `IOCTL`).
+    Ioctl,
+    /// A `DELETE` whose target *and* parent FIDs could no longer be
+    /// resolved — the paper's `ParentDirectoryRemoved` outcome
+    /// (Algorithm 1, line 41).
+    ParentDirectoryRemoved,
+    /// The native event queue overflowed and events were lost
+    /// (`IN_Q_OVERFLOW`, FileSystemWatcher buffer overflow, …).
+    Overflow,
+    /// An event the source DSI could not classify.
+    Unknown,
+}
+
+impl EventKind {
+    /// All kinds, in a stable order (useful for exhaustive tests and
+    /// filter masks).
+    pub const ALL: [EventKind; 19] = [
+        EventKind::Create,
+        EventKind::Modify,
+        EventKind::Delete,
+        EventKind::Open,
+        EventKind::CloseWrite,
+        EventKind::CloseNoWrite,
+        EventKind::Close,
+        EventKind::MovedFrom,
+        EventKind::MovedTo,
+        EventKind::Attrib,
+        EventKind::Xattr,
+        EventKind::Truncate,
+        EventKind::HardLink,
+        EventKind::SymLink,
+        EventKind::DeviceNode,
+        EventKind::Ioctl,
+        EventKind::ParentDirectoryRemoved,
+        EventKind::Overflow,
+        EventKind::Unknown,
+    ];
+
+    /// The inotify-style standardized name (Table II rendering).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Create => "CREATE",
+            EventKind::Modify => "MODIFY",
+            EventKind::Delete => "DELETE",
+            EventKind::Open => "OPEN",
+            EventKind::CloseWrite => "CLOSE_WRITE",
+            EventKind::CloseNoWrite => "CLOSE_NOWRITE",
+            EventKind::Close => "CLOSE",
+            EventKind::MovedFrom => "MOVED_FROM",
+            EventKind::MovedTo => "MOVED_TO",
+            EventKind::Attrib => "ATTRIB",
+            EventKind::Xattr => "XATTR",
+            EventKind::Truncate => "TRUNCATE",
+            EventKind::HardLink => "HARDLINK",
+            EventKind::SymLink => "SYMLINK",
+            EventKind::DeviceNode => "MKNOD",
+            EventKind::Ioctl => "IOCTL",
+            EventKind::ParentDirectoryRemoved => "PARENT_DIR_REMOVED",
+            EventKind::Overflow => "Q_OVERFLOW",
+            EventKind::Unknown => "UNKNOWN",
+        }
+    }
+
+    /// Parse a standardized name back to a kind (inverse of [`as_str`]).
+    ///
+    /// [`as_str`]: EventKind::as_str
+    pub fn from_str_name(s: &str) -> Option<EventKind> {
+        EventKind::ALL.iter().copied().find(|k| k.as_str() == s)
+    }
+
+    /// Stable numeric tag used by the wire codec.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            EventKind::Create => 0,
+            EventKind::Modify => 1,
+            EventKind::Delete => 2,
+            EventKind::Open => 3,
+            EventKind::CloseWrite => 4,
+            EventKind::CloseNoWrite => 5,
+            EventKind::Close => 6,
+            EventKind::MovedFrom => 7,
+            EventKind::MovedTo => 8,
+            EventKind::Attrib => 9,
+            EventKind::Xattr => 10,
+            EventKind::Truncate => 11,
+            EventKind::HardLink => 12,
+            EventKind::SymLink => 13,
+            EventKind::DeviceNode => 14,
+            EventKind::Ioctl => 15,
+            EventKind::ParentDirectoryRemoved => 16,
+            EventKind::Overflow => 17,
+            EventKind::Unknown => 18,
+        }
+    }
+
+    /// Inverse of [`wire_tag`]; `None` for tags from a newer peer.
+    ///
+    /// [`wire_tag`]: EventKind::wire_tag
+    pub fn from_wire_tag(tag: u8) -> Option<EventKind> {
+        EventKind::ALL.get(tag as usize).copied()
+    }
+
+    /// Whether this kind signals loss or degradation rather than a file
+    /// operation (overflow / unresolvable parent).
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            EventKind::Overflow | EventKind::Unknown | EventKind::ParentDirectoryRemoved
+        )
+    }
+
+    /// Whether this kind removes the path from the namespace, so a
+    /// `fid2path`-style resolution of the *target* will necessarily fail
+    /// (Algorithm 1 handles these via the parent FID).
+    pub fn is_removal(self) -> bool {
+        matches!(self, EventKind::Delete | EventKind::ParentDirectoryRemoved)
+    }
+
+    /// Whether this kind is one half of a rename pair.
+    pub fn is_move(self) -> bool {
+        matches!(self, EventKind::MovedFrom | EventKind::MovedTo)
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A set of [`EventKind`]s, used by consumer-side filters (paper §IV
+/// Consumption: "it filters the events and only passes on events related
+/// to those files and directories requested").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindMask(u32);
+
+impl KindMask {
+    /// The empty mask: matches nothing.
+    pub const NONE: KindMask = KindMask(0);
+    /// Matches every kind.
+    pub const ALL: KindMask = KindMask(u32::MAX);
+
+    /// A mask containing exactly `kind`.
+    pub fn only(kind: EventKind) -> KindMask {
+        KindMask(1 << kind.wire_tag())
+    }
+
+    /// Build a mask from an iterator of kinds.
+    pub fn from_kinds<I: IntoIterator<Item = EventKind>>(kinds: I) -> KindMask {
+        kinds
+            .into_iter()
+            .fold(KindMask::NONE, |m, k| m.with(k))
+    }
+
+    /// This mask plus `kind`.
+    #[must_use]
+    pub fn with(self, kind: EventKind) -> KindMask {
+        KindMask(self.0 | (1 << kind.wire_tag()))
+    }
+
+    /// This mask minus `kind`.
+    #[must_use]
+    pub fn without(self, kind: EventKind) -> KindMask {
+        KindMask(self.0 & !(1 << kind.wire_tag()))
+    }
+
+    /// Whether `kind` is in the mask.
+    pub fn contains(self, kind: EventKind) -> bool {
+        self.0 & (1 << kind.wire_tag()) != 0
+    }
+
+    /// Number of kinds in the mask (counting only defined kinds).
+    pub fn len(self) -> usize {
+        EventKind::ALL.iter().filter(|k| self.contains(**k)).count()
+    }
+
+    /// Whether the mask matches no kind.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for KindMask {
+    fn default() -> Self {
+        KindMask::ALL
+    }
+}
+
+impl FromIterator<EventKind> for KindMask {
+    fn from_iter<T: IntoIterator<Item = EventKind>>(iter: T) -> Self {
+        KindMask::from_kinds(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_str_roundtrips() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_str_name(k.as_str()), Some(k), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn wire_tag_roundtrips() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_wire_tag(k.wire_tag()), Some(k), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn wire_tags_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in EventKind::ALL {
+            assert!(seen.insert(k.wire_tag()));
+            assert!((k.wire_tag() as usize) < EventKind::ALL.len());
+        }
+    }
+
+    #[test]
+    fn unknown_wire_tag_is_none() {
+        assert_eq!(EventKind::from_wire_tag(200), None);
+    }
+
+    #[test]
+    fn control_kinds() {
+        assert!(EventKind::Overflow.is_control());
+        assert!(EventKind::ParentDirectoryRemoved.is_control());
+        assert!(!EventKind::Create.is_control());
+    }
+
+    #[test]
+    fn removal_kinds() {
+        assert!(EventKind::Delete.is_removal());
+        assert!(!EventKind::MovedFrom.is_removal());
+    }
+
+    #[test]
+    fn move_kinds() {
+        assert!(EventKind::MovedFrom.is_move());
+        assert!(EventKind::MovedTo.is_move());
+        assert!(!EventKind::Modify.is_move());
+    }
+
+    #[test]
+    fn mask_only_contains_single_kind() {
+        let m = KindMask::only(EventKind::Create);
+        assert!(m.contains(EventKind::Create));
+        assert!(!m.contains(EventKind::Delete));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn mask_with_without() {
+        let m = KindMask::NONE
+            .with(EventKind::Create)
+            .with(EventKind::Delete);
+        assert_eq!(m.len(), 2);
+        let m = m.without(EventKind::Create);
+        assert!(!m.contains(EventKind::Create));
+        assert!(m.contains(EventKind::Delete));
+    }
+
+    #[test]
+    fn mask_all_and_none() {
+        for k in EventKind::ALL {
+            assert!(KindMask::ALL.contains(k));
+            assert!(!KindMask::NONE.contains(k));
+        }
+        assert!(KindMask::NONE.is_empty());
+        assert!(!KindMask::ALL.is_empty());
+    }
+
+    #[test]
+    fn mask_from_iterator() {
+        let m: KindMask = [EventKind::Create, EventKind::Modify].into_iter().collect();
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(EventKind::Modify));
+    }
+}

@@ -1,0 +1,217 @@
+//! The BSD/macOS kqueue `EVFILT_VNODE` vocabulary.
+//!
+//! kqueue reports changes on *open file descriptors*: the monitor must
+//! hold an fd per watched file, which is why the paper notes it is
+//! "restricting its application to very large file systems" (§II-A).
+
+use crate::event::{MonitorSource, StandardEvent};
+use crate::kind::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// `NOTE_*` fflags for `EVFILT_VNODE` (from `<sys/event.h>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoteFlags(pub u32);
+
+impl NoteFlags {
+    /// Vnode was removed.
+    pub const NOTE_DELETE: u32 = 0x0000_0001;
+    /// Data contents changed.
+    pub const NOTE_WRITE: u32 = 0x0000_0002;
+    /// Size increased.
+    pub const NOTE_EXTEND: u32 = 0x0000_0004;
+    /// Attributes changed.
+    pub const NOTE_ATTRIB: u32 = 0x0000_0008;
+    /// Link count changed.
+    pub const NOTE_LINK: u32 = 0x0000_0010;
+    /// Vnode was renamed.
+    pub const NOTE_RENAME: u32 = 0x0000_0020;
+    /// Vnode access was revoked.
+    pub const NOTE_REVOKE: u32 = 0x0000_0040;
+    /// Vnode was opened (macOS extension).
+    pub const NOTE_OPEN: u32 = 0x0000_0080;
+    /// Vnode was closed (macOS extension).
+    pub const NOTE_CLOSE: u32 = 0x0000_0100;
+    /// Vnode was closed after writing (macOS extension).
+    pub const NOTE_CLOSE_WRITE: u32 = 0x0000_0200;
+
+    /// Whether `bit` is set.
+    pub fn has(self, bit: u32) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Render as the `NOTE_X|NOTE_Y` string used in BSD man pages.
+    pub fn render(self) -> String {
+        const NAMES: [(u32, &str); 10] = [
+            (NoteFlags::NOTE_DELETE, "NOTE_DELETE"),
+            (NoteFlags::NOTE_WRITE, "NOTE_WRITE"),
+            (NoteFlags::NOTE_EXTEND, "NOTE_EXTEND"),
+            (NoteFlags::NOTE_ATTRIB, "NOTE_ATTRIB"),
+            (NoteFlags::NOTE_LINK, "NOTE_LINK"),
+            (NoteFlags::NOTE_RENAME, "NOTE_RENAME"),
+            (NoteFlags::NOTE_REVOKE, "NOTE_REVOKE"),
+            (NoteFlags::NOTE_OPEN, "NOTE_OPEN"),
+            (NoteFlags::NOTE_CLOSE, "NOTE_CLOSE"),
+            (NoteFlags::NOTE_CLOSE_WRITE, "NOTE_CLOSE_WRITE"),
+        ];
+        NAMES
+            .iter()
+            .filter(|(bit, _)| self.has(*bit))
+            .map(|(_, n)| *n)
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+/// A kevent delivered on an `EVFILT_VNODE` filter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KqueueEvent {
+    /// The file descriptor (ident) the filter was registered on.
+    pub ident: u64,
+    /// The `NOTE_*` flags that fired.
+    pub fflags: NoteFlags,
+    /// Path the fd was opened on (tracked by the monitor, since kqueue
+    /// itself reports only the fd).
+    pub path: String,
+    /// Whether the vnode is a directory.
+    pub is_dir: bool,
+}
+
+impl KqueueEvent {
+    /// Classify into the standardized [`EventKind`].
+    ///
+    /// kqueue has no "create" note on the file itself; creations are
+    /// observed as `NOTE_WRITE` on the parent directory, which the
+    /// simulated kernel annotates before translation. Here `NOTE_EXTEND`
+    /// and `NOTE_WRITE` both map to `Modify` (the paper: "Opening,
+    /// creating, and modifying a file results in NOTE_OPEN, NOTE_EXTEND,
+    /// NOTE_WRITE, and NOTE_CLOSE events").
+    pub fn kind(&self) -> EventKind {
+        let f = self.fflags;
+        if f.has(NoteFlags::NOTE_DELETE) || f.has(NoteFlags::NOTE_REVOKE) {
+            EventKind::Delete
+        } else if f.has(NoteFlags::NOTE_RENAME) {
+            EventKind::MovedFrom
+        } else if f.has(NoteFlags::NOTE_EXTEND) || f.has(NoteFlags::NOTE_WRITE) {
+            EventKind::Modify
+        } else if f.has(NoteFlags::NOTE_ATTRIB) {
+            EventKind::Attrib
+        } else if f.has(NoteFlags::NOTE_LINK) {
+            EventKind::HardLink
+        } else if f.has(NoteFlags::NOTE_CLOSE_WRITE) {
+            EventKind::CloseWrite
+        } else if f.has(NoteFlags::NOTE_CLOSE) {
+            EventKind::CloseNoWrite
+        } else if f.has(NoteFlags::NOTE_OPEN) {
+            EventKind::Open
+        } else {
+            EventKind::Unknown
+        }
+    }
+
+    /// Translate to the standardized representation.
+    pub fn to_standard(&self, watch_root: &str) -> StandardEvent {
+        let rel = self
+            .path
+            .strip_prefix(watch_root.trim_end_matches('/'))
+            .unwrap_or(&self.path);
+        let mut ev = StandardEvent::new(self.kind(), watch_root, rel)
+            .with_source(MonitorSource::Kqueue);
+        ev.is_dir = self.is_dir;
+        ev
+    }
+}
+
+/// Translate a standardized event into the kqueue vocabulary.
+pub fn standard_to_kqueue(ev: &StandardEvent, ident: u64) -> KqueueEvent {
+    let fflags = match ev.kind {
+        EventKind::Create | EventKind::Modify | EventKind::Truncate | EventKind::Ioctl => {
+            NoteFlags::NOTE_WRITE
+        }
+        EventKind::Delete | EventKind::ParentDirectoryRemoved => NoteFlags::NOTE_DELETE,
+        EventKind::MovedFrom | EventKind::MovedTo => NoteFlags::NOTE_RENAME,
+        EventKind::Attrib | EventKind::Xattr => NoteFlags::NOTE_ATTRIB,
+        EventKind::HardLink | EventKind::SymLink | EventKind::DeviceNode => NoteFlags::NOTE_LINK,
+        EventKind::Open => NoteFlags::NOTE_OPEN,
+        EventKind::CloseWrite | EventKind::Close => NoteFlags::NOTE_CLOSE_WRITE,
+        EventKind::CloseNoWrite => NoteFlags::NOTE_CLOSE,
+        EventKind::Overflow | EventKind::Unknown => 0,
+    };
+    KqueueEvent {
+        ident,
+        fflags: NoteFlags(fflags),
+        path: ev.absolute_path(),
+        is_dir: ev.is_dir,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kev(fflags: u32, path: &str) -> KqueueEvent {
+        KqueueEvent {
+            ident: 3,
+            fflags: NoteFlags(fflags),
+            path: path.to_string(),
+            is_dir: false,
+        }
+    }
+
+    #[test]
+    fn classify_write_as_modify() {
+        assert_eq!(kev(NoteFlags::NOTE_WRITE, "/r/f").kind(), EventKind::Modify);
+        assert_eq!(kev(NoteFlags::NOTE_EXTEND, "/r/f").kind(), EventKind::Modify);
+    }
+
+    #[test]
+    fn classify_delete_beats_write() {
+        let e = kev(NoteFlags::NOTE_DELETE | NoteFlags::NOTE_WRITE, "/r/f");
+        assert_eq!(e.kind(), EventKind::Delete);
+    }
+
+    #[test]
+    fn classify_open_close() {
+        assert_eq!(kev(NoteFlags::NOTE_OPEN, "/r/f").kind(), EventKind::Open);
+        assert_eq!(kev(NoteFlags::NOTE_CLOSE, "/r/f").kind(), EventKind::CloseNoWrite);
+        assert_eq!(
+            kev(NoteFlags::NOTE_CLOSE_WRITE, "/r/f").kind(),
+            EventKind::CloseWrite
+        );
+    }
+
+    #[test]
+    fn to_standard_strips_root() {
+        let e = kev(NoteFlags::NOTE_WRITE, "/watch/dir/f.txt");
+        let s = e.to_standard("/watch");
+        assert_eq!(s.path, "/dir/f.txt");
+        assert_eq!(s.source, MonitorSource::Kqueue);
+    }
+
+    #[test]
+    fn render_pipes_flag_names() {
+        let f = NoteFlags(NoteFlags::NOTE_WRITE | NoteFlags::NOTE_EXTEND);
+        assert_eq!(f.render(), "NOTE_WRITE|NOTE_EXTEND");
+    }
+
+    #[test]
+    fn standard_roundtrip_preserves_classification() {
+        for kind in [
+            EventKind::Modify,
+            EventKind::Delete,
+            EventKind::Attrib,
+            EventKind::Open,
+            EventKind::CloseWrite,
+            EventKind::CloseNoWrite,
+        ] {
+            let s = StandardEvent::new(kind, "/r", "f");
+            assert_eq!(standard_to_kqueue(&s, 1).kind(), kind, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn creates_fold_to_write_on_kqueue() {
+        let s = StandardEvent::new(EventKind::Create, "/r", "f");
+        let k = standard_to_kqueue(&s, 1);
+        assert!(k.fflags.has(NoteFlags::NOTE_WRITE));
+    }
+}

@@ -1,0 +1,300 @@
+//! Compact binary wire codec for [`StandardEvent`]s.
+//!
+//! Collectors publish event batches to the aggregator over the message
+//! queue (paper §IV Aggregation); this codec defines the frame payload.
+//! The format is length-delimited and versioned:
+//!
+//! ```text
+//! event   := u8 version | u64 id | u8 kind | u8 flags | u8 source
+//!          | u16 mdt (0xFFFF = none) | u32 cookie | u64 timestamp_ns
+//!          | str watch_root | str path | opt_str old_path
+//! str     := u32 len | len bytes (UTF-8)
+//! opt_str := u8 present | str?
+//! batch   := u32 count | count * event
+//! ```
+
+use crate::event::{MonitorSource, StandardEvent};
+use crate::kind::EventKind;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Current codec version byte.
+pub const WIRE_VERSION: u8 = 1;
+
+const FLAG_IS_DIR: u8 = 0b0000_0001;
+
+/// Errors produced while decoding a wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame ended before the structure was complete.
+    Truncated,
+    /// Unknown codec version byte.
+    BadVersion(u8),
+    /// Unknown event-kind tag.
+    BadKind(u8),
+    /// Unknown source tag.
+    BadSource(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A declared length exceeds sanity limits.
+    LengthOverflow(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadVersion(v) => write!(f, "unknown wire version {v}"),
+            WireError::BadKind(t) => write!(f, "unknown event kind tag {t}"),
+            WireError::BadSource(t) => write!(f, "unknown source tag {t}"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            WireError::LengthOverflow(n) => write!(f, "declared length {n} too large"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Upper bound on any single string field; protects decoders from
+/// hostile or corrupt frames.
+const MAX_STR: u32 = 1 << 20;
+/// Upper bound on events per batch frame.
+const MAX_BATCH: u32 = 1 << 22;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u32();
+    if len > MAX_STR {
+        return Err(WireError::LengthOverflow(len as u64));
+    }
+    if buf.remaining() < len as usize {
+        return Err(WireError::Truncated);
+    }
+    let raw = buf.split_to(len as usize);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+}
+
+/// Serialize one event into `buf`.
+pub fn encode_event_into(ev: &StandardEvent, buf: &mut BytesMut) {
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u64(ev.id);
+    buf.put_u8(ev.kind.wire_tag());
+    let mut flags = 0u8;
+    if ev.is_dir {
+        flags |= FLAG_IS_DIR;
+    }
+    buf.put_u8(flags);
+    buf.put_u8(ev.source.wire_tag());
+    buf.put_u16(ev.mdt_index.unwrap_or(u16::MAX));
+    buf.put_u32(ev.cookie);
+    buf.put_u64(ev.timestamp_ns);
+    put_str(buf, &ev.watch_root);
+    put_str(buf, &ev.path);
+    match &ev.old_path {
+        Some(p) => {
+            buf.put_u8(1);
+            put_str(buf, p);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Serialize one event into a standalone frame.
+pub fn encode_event(ev: &StandardEvent) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + ev.path.len() + ev.watch_root.len());
+    encode_event_into(ev, &mut buf);
+    buf.freeze()
+}
+
+/// Decode one event, consuming its bytes from `buf`.
+pub fn decode_event_from(buf: &mut Bytes) -> Result<StandardEvent, WireError> {
+    // Fixed-width header: version(1) id(8) kind(1) flags(1) source(1)
+    // mdt(2) cookie(4) timestamp(8) = 26 bytes.
+    if buf.remaining() < 26 {
+        return Err(WireError::Truncated);
+    }
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let id = buf.get_u64();
+    let kind_tag = buf.get_u8();
+    let kind = EventKind::from_wire_tag(kind_tag).ok_or(WireError::BadKind(kind_tag))?;
+    let flags = buf.get_u8();
+    let source_tag = buf.get_u8();
+    let source =
+        MonitorSource::from_wire_tag(source_tag).ok_or(WireError::BadSource(source_tag))?;
+    let mdt = buf.get_u16();
+    let cookie = buf.get_u32();
+    let timestamp_ns = buf.get_u64();
+    let watch_root = get_str(buf)?;
+    let path = get_str(buf)?;
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    let old_path = if buf.get_u8() != 0 {
+        Some(get_str(buf)?)
+    } else {
+        None
+    };
+    Ok(StandardEvent {
+        id,
+        kind,
+        is_dir: flags & FLAG_IS_DIR != 0,
+        watch_root,
+        path,
+        old_path,
+        cookie,
+        timestamp_ns,
+        source,
+        mdt_index: if mdt == u16::MAX { None } else { Some(mdt) },
+    })
+}
+
+/// Decode one standalone event frame.
+pub fn decode_event(frame: &Bytes) -> Result<StandardEvent, WireError> {
+    let mut buf = frame.clone();
+    decode_event_from(&mut buf)
+}
+
+/// Serialize a batch of events into a single frame (the aggregator's
+/// batching granularity, paper §III-A2).
+pub fn encode_event_batch(events: &[StandardEvent]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + events.len() * 96);
+    buf.put_u32(events.len() as u32);
+    for ev in events {
+        encode_event_into(ev, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decode a batch frame.
+pub fn decode_event_batch(frame: &Bytes) -> Result<Vec<StandardEvent>, WireError> {
+    let mut buf = frame.clone();
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let count = buf.get_u32();
+    if count > MAX_BATCH {
+        return Err(WireError::LengthOverflow(count as u64));
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(decode_event_from(&mut buf)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StandardEvent {
+        let mut ev = StandardEvent::new(EventKind::MovedTo, "/mnt/lustre", "okdir/hi.txt")
+            .with_old_path("/hi.txt")
+            .with_cookie(0xDEAD)
+            .with_timestamp(123_456_789)
+            .with_mdt(2)
+            .with_source(MonitorSource::LustreChangelog);
+        ev.id = 42;
+        ev.is_dir = false;
+        ev
+    }
+
+    #[test]
+    fn roundtrip_single() {
+        let ev = sample();
+        let frame = encode_event(&ev);
+        assert_eq!(decode_event(&frame).unwrap(), ev);
+    }
+
+    #[test]
+    fn roundtrip_no_optionals() {
+        let ev = StandardEvent::new(EventKind::Create, "/r", "f").dir();
+        let frame = encode_event(&ev);
+        let d = decode_event(&frame).unwrap();
+        assert_eq!(d, ev);
+        assert!(d.is_dir);
+        assert_eq!(d.mdt_index, None);
+        assert_eq!(d.old_path, None);
+    }
+
+    #[test]
+    fn roundtrip_batch() {
+        let evs: Vec<_> = (0..17)
+            .map(|i| {
+                let mut e = sample();
+                e.id = i;
+                e.path = format!("/file-{i}");
+                e
+            })
+            .collect();
+        let frame = encode_event_batch(&evs);
+        assert_eq!(decode_event_batch(&frame).unwrap(), evs);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let frame = encode_event_batch(&[]);
+        assert!(decode_event_batch(&frame).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let frame = encode_event(&sample());
+        for cut in [0usize, 5, 25, frame.len() - 1] {
+            let sliced = frame.slice(..cut);
+            assert!(decode_event(&sliced).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let frame = encode_event(&sample());
+        let mut raw = frame.to_vec();
+        raw[0] = 99;
+        assert_eq!(
+            decode_event(&Bytes::from(raw)),
+            Err(WireError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let frame = encode_event(&sample());
+        let mut raw = frame.to_vec();
+        raw[9] = 250; // kind tag position: version(1)+id(8)
+        assert_eq!(decode_event(&Bytes::from(raw)), Err(WireError::BadKind(250)));
+    }
+
+    #[test]
+    fn oversized_string_rejected() {
+        // Header + a string length declaring 2 MiB.
+        let ev = sample();
+        let frame = encode_event(&ev);
+        let mut raw = frame.to_vec();
+        // watch_root length is at offset 26.
+        raw[26..30].copy_from_slice(&(MAX_STR + 1).to_be_bytes());
+        assert!(matches!(
+            decode_event(&Bytes::from(raw)),
+            Err(WireError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_rejected() {
+        let ev = StandardEvent::new(EventKind::Create, "ab", "f");
+        let frame = encode_event(&ev);
+        let mut raw = frame.to_vec();
+        // Corrupt the first byte of the watch_root payload (offset 30).
+        raw[30] = 0xFF;
+        raw[31] = 0xFE;
+        assert_eq!(decode_event(&Bytes::from(raw)), Err(WireError::BadUtf8));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for event coalescing: the compressed stream must
+//! leave a state-tracking consumer in exactly the same final state as
+//! the raw stream.
+
+use fsmon_events::{coalesce, EventKind, StandardEvent};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A catch-up consumer's view: path → exists (ignoring content).
+fn apply(events: &[StandardEvent]) -> BTreeMap<String, bool> {
+    let mut state = BTreeMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::Create => {
+                state.insert(ev.path.clone(), true);
+            }
+            EventKind::Delete | EventKind::ParentDirectoryRemoved => {
+                state.remove(&ev.path);
+            }
+            EventKind::MovedFrom => {
+                state.remove(&ev.path);
+            }
+            EventKind::MovedTo => {
+                state.insert(ev.path.clone(), true);
+            }
+            // A mutation implies the path exists at that moment (a
+            // Modify can stand in for Delete+Create of an existing
+            // path, which is exactly the transition coalescing emits).
+            _ => {
+                state.insert(ev.path.clone(), true);
+            }
+        }
+    }
+    state
+}
+
+/// Generate *valid* event histories: per path, the sequence must be
+/// realizable from some prior state (no Create of an existing path, no
+/// Modify/Delete of a known-absent one). Coalescing documents its input
+/// as a real monitor stream, which always satisfies this.
+fn arb_events() -> impl Strategy<Value = Vec<StandardEvent>> {
+    let paths = ["/a", "/b", "/c", "/d/e"];
+    prop::collection::vec((0usize..4, any::<u8>()), 0..40).prop_map(move |picks| {
+        use std::collections::HashMap;
+        // None = prior state unknown; Some(exists).
+        let mut state: HashMap<usize, bool> = HashMap::new();
+        let mut out = Vec::new();
+        for (p, r) in picks {
+            let exists = state.get(&p).copied();
+            let kind = match exists {
+                Some(false) => EventKind::Create,
+                Some(true) => match r % 5 {
+                    0 => EventKind::Delete,
+                    1 => EventKind::Attrib,
+                    2 => EventKind::Truncate,
+                    3 => EventKind::Xattr,
+                    _ => EventKind::Modify,
+                },
+                None => match r % 6 {
+                    0 => EventKind::Create,   // prior: absent
+                    1 => EventKind::Delete,   // prior: present
+                    2 => EventKind::Attrib,
+                    3 => EventKind::Truncate,
+                    4 => EventKind::Xattr,
+                    _ => EventKind::Modify,
+                },
+            };
+            state.insert(p, kind != EventKind::Delete);
+            out.push(StandardEvent::new(kind, "/root", paths[p]));
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Coalescing never grows the stream and never changes the final
+    /// namespace a consumer reconstructs.
+    #[test]
+    fn coalesce_preserves_final_state(events in arb_events()) {
+        let out = coalesce(&events);
+        prop_assert!(out.len() <= events.len());
+        prop_assert_eq!(apply(&out), apply(&events));
+    }
+
+    /// Coalescing is idempotent: a second pass changes nothing.
+    #[test]
+    fn coalesce_idempotent(events in arb_events()) {
+        let once = coalesce(&events);
+        let twice = coalesce(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Every output event appeared in the input with the same path —
+    /// except Delete+Create merging into Modify, the one synthesized
+    /// transition.
+    #[test]
+    fn coalesce_invents_no_paths(events in arb_events()) {
+        let input_paths: std::collections::HashSet<&str> =
+            events.iter().map(|e| e.path.as_str()).collect();
+        for ev in coalesce(&events) {
+            prop_assert!(input_paths.contains(ev.path.as_str()), "{}", ev.path);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Simulated macOS FSEvents.
+//!
+//! FSEvents watches a *subtree* recursively with a single stream — "the
+//! FSEvents monitor is not limited by requiring unique watchers and thus
+//! scales well with the number of directories observed" (§II-A). The
+//! daemon coalesces per-path flags within a latency window; when its
+//! buffer saturates it degrades to `MustScanSubDirs` (the client must
+//! rescan — events were merged beyond recovery).
+
+use crate::simfs::{RawListener, RawOp, RawOpKind, SimFs};
+use fsmon_events::fsevents::{FsEventFlags, FsEventsEvent};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A simulated FSEvents stream.
+pub struct FsEventsSim {
+    inner: Mutex<Inner>,
+    /// Ops covered by one coalescing window (a latency proxy: flags for
+    /// the same path within the window merge into one event).
+    window: usize,
+    /// Pending-event cap before the stream degrades to MustScanSubDirs.
+    buffer_cap: usize,
+}
+
+struct Inner {
+    roots: Vec<String>,
+    queue: VecDeque<FsEventsEvent>,
+    next_event_id: u64,
+    window_left: usize,
+    degraded: bool,
+}
+
+impl FsEventsSim {
+    /// Create a stream attached to `fs`. `window` is the coalescing
+    /// window in operations; `buffer_cap` the pending-event cap.
+    pub fn attach(fs: &Arc<SimFs>, window: usize, buffer_cap: usize) -> Arc<FsEventsSim> {
+        let sim = Arc::new(FsEventsSim {
+            inner: Mutex::new(Inner {
+                roots: Vec::new(),
+                queue: VecDeque::new(),
+                next_event_id: 1,
+                window_left: window,
+                degraded: false,
+            }),
+            window,
+            buffer_cap,
+        });
+        fs.attach(sim.clone() as Arc<dyn RawListener>);
+        sim
+    }
+
+    /// Start watching a subtree (`FSEventStreamCreate` with one path).
+    pub fn watch_subtree(&self, root: &str) {
+        self.inner.lock().roots.push(root.to_string());
+    }
+
+    /// Drain pending events (the stream callback).
+    pub fn drain(&self) -> Vec<FsEventsEvent> {
+        let mut inner = self.inner.lock();
+        inner.degraded = false;
+        inner.window_left = self.window;
+        inner.queue.drain(..).collect()
+    }
+
+    /// Pending event count.
+    pub fn queued(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    fn covered(inner: &Inner, path: &str) -> bool {
+        inner.roots.iter().any(|r| {
+            r == "/" || path == r.as_str() || path.starts_with(&format!("{r}/"))
+        })
+    }
+
+    fn push(&self, inner: &mut Inner, path: &str, flags: u32) {
+        if inner.degraded {
+            return; // everything until the next drain is folded into the scan marker
+        }
+        if inner.queue.len() >= self.buffer_cap {
+            inner.degraded = true;
+            let id = inner.next_event_id;
+            inner.next_event_id += 1;
+            inner.queue.push_back(FsEventsEvent {
+                event_id: id,
+                flags: FsEventFlags(FsEventFlags::MUST_SCAN_SUBDIRS),
+                path: inner.roots.first().cloned().unwrap_or_else(|| "/".into()),
+            });
+            return;
+        }
+        // Coalesce: same path within the window merges flag words.
+        if inner.window_left > 0 {
+            inner.window_left -= 1;
+            if let Some(last) = inner.queue.iter_mut().rev().find(|e| e.path == path) {
+                last.flags = FsEventFlags(last.flags.0 | flags);
+                return;
+            }
+        } else {
+            inner.window_left = self.window;
+        }
+        let id = inner.next_event_id;
+        inner.next_event_id += 1;
+        inner.queue.push_back(FsEventsEvent {
+            event_id: id,
+            flags: FsEventFlags(flags),
+            path: path.to_string(),
+        });
+    }
+}
+
+impl RawListener for FsEventsSim {
+    fn on_op(&self, op: &RawOp) {
+        let mut inner = self.inner.lock();
+        if !Self::covered(&inner, &op.path) {
+            return;
+        }
+        let item = if op.is_dir {
+            FsEventFlags::ITEM_IS_DIR
+        } else {
+            FsEventFlags::ITEM_IS_FILE
+        };
+        match op.kind {
+            RawOpKind::Create => {
+                self.push(&mut inner, &op.path.clone(), FsEventFlags::ITEM_CREATED | item);
+            }
+            RawOpKind::Modify => {
+                self.push(&mut inner, &op.path.clone(), FsEventFlags::ITEM_MODIFIED | item);
+            }
+            RawOpKind::Attrib => {
+                self.push(
+                    &mut inner,
+                    &op.path.clone(),
+                    FsEventFlags::ITEM_INODE_META_MOD | item,
+                );
+            }
+            RawOpKind::Delete => {
+                self.push(&mut inner, &op.path.clone(), FsEventFlags::ITEM_REMOVED | item);
+            }
+            RawOpKind::Rename => {
+                self.push(&mut inner, &op.path.clone(), FsEventFlags::ITEM_RENAMED | item);
+                if let Some(dest) = op.dest.clone() {
+                    if Self::covered(&inner, &dest) {
+                        self.push(&mut inner, &dest, FsEventFlags::ITEM_RENAMED | item);
+                    }
+                }
+            }
+            // FSEvents does not report opens/closes at all.
+            RawOpKind::Open | RawOpKind::Close { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::EventKind;
+
+    fn setup(window: usize, cap: usize) -> (Arc<SimFs>, Arc<FsEventsSim>) {
+        let fs = SimFs::new();
+        let fse = FsEventsSim::attach(&fs, window, cap);
+        (fs, fse)
+    }
+
+    #[test]
+    fn subtree_watch_is_recursive_without_extra_watchers() {
+        let (fs, fse) = setup(0, 1000);
+        fse.watch_subtree("/");
+        fs.mkdir("/a");
+        fs.mkdir("/a/b");
+        fs.create("/a/b/deep.txt");
+        let evs = fse.drain();
+        assert!(evs.iter().any(|e| e.path == "/a/b/deep.txt"));
+    }
+
+    #[test]
+    fn paths_outside_root_invisible() {
+        let (fs, fse) = setup(0, 1000);
+        fs.mkdir("/watched");
+        fs.mkdir("/other");
+        fse.watch_subtree("/watched");
+        fs.create("/watched/in.txt");
+        fs.create("/other/out.txt");
+        let evs = fse.drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].path, "/watched/in.txt");
+    }
+
+    #[test]
+    fn coalescing_merges_same_path_flags() {
+        let (fs, fse) = setup(16, 1000);
+        fse.watch_subtree("/");
+        fs.create("/f");
+        fs.modify("/f");
+        let evs = fse.drain();
+        assert_eq!(evs.len(), 1, "created+modified coalesce within window");
+        assert!(evs[0].flags.has(FsEventFlags::ITEM_CREATED));
+        assert!(evs[0].flags.has(FsEventFlags::ITEM_MODIFIED));
+        assert_eq!(evs[0].kind(), EventKind::Create, "create wins precedence");
+    }
+
+    #[test]
+    fn no_coalescing_with_zero_window() {
+        let (fs, fse) = setup(0, 1000);
+        fse.watch_subtree("/");
+        fs.create("/f");
+        fs.modify("/f");
+        assert_eq!(fse.drain().len(), 2);
+    }
+
+    #[test]
+    fn overflow_degrades_to_must_scan_subdirs() {
+        let (fs, fse) = setup(0, 3);
+        fse.watch_subtree("/");
+        for i in 0..10 {
+            fs.create(&format!("/f{i}"));
+        }
+        let evs = fse.drain();
+        assert_eq!(evs.len(), 4, "3 events + scan marker");
+        assert!(evs[3].flags.has(FsEventFlags::MUST_SCAN_SUBDIRS));
+        assert_eq!(evs[3].kind(), EventKind::Overflow);
+        // After drain the stream recovers.
+        fs.create("/after");
+        assert_eq!(fse.drain().len(), 1);
+    }
+
+    #[test]
+    fn rename_reports_both_paths() {
+        let (fs, fse) = setup(0, 100);
+        fse.watch_subtree("/");
+        fs.create("/a");
+        fs.rename("/a", "/b");
+        let evs = fse.drain();
+        let renamed: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.flags.has(FsEventFlags::ITEM_RENAMED))
+            .map(|e| e.path.as_str())
+            .collect();
+        assert_eq!(renamed, vec!["/a", "/b"]);
+    }
+
+    #[test]
+    fn event_ids_increase() {
+        let (fs, fse) = setup(0, 100);
+        fse.watch_subtree("/");
+        fs.create("/a");
+        fs.create("/b");
+        let evs = fse.drain();
+        assert!(evs[0].event_id < evs[1].event_id);
+    }
+}

@@ -1,0 +1,255 @@
+//! Simulated Windows FileSystemWatcher.
+//!
+//! The OS writes change reports into a caller-supplied byte buffer; when
+//! "many file system changes occur in a short period of time" the buffer
+//! overflows and events are lost (§II-A). Each report costs
+//! `16 + 2 × path_len` bytes (the real `FILE_NOTIFY_INFORMATION` layout
+//! with UTF-16 names). Only directories can be watched; watching a
+//! directory covers its children (and the whole subtree with
+//! `IncludeSubdirectories`).
+
+use crate::simfs::{RawListener, RawOp, RawOpKind, SimFs};
+use fsmon_events::fswatcher::{FswChangeType, FswEvent};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default internal buffer size (the .NET default, 8 KB).
+pub const DEFAULT_BUFFER: usize = 8192;
+
+/// A simulated FileSystemWatcher.
+pub struct FswSim {
+    inner: Mutex<Inner>,
+    buffer_size: usize,
+    include_subdirectories: bool,
+    /// Events lost to buffer overflow.
+    pub lost: AtomicU64,
+}
+
+struct Inner {
+    root: Option<String>,
+    queue: VecDeque<FswEvent>,
+    buffered_bytes: usize,
+    error_pending: bool,
+}
+
+fn report_cost(path: &str) -> usize {
+    16 + 2 * path.len()
+}
+
+impl FswSim {
+    /// Create a watcher attached to `fs`.
+    pub fn attach(
+        fs: &Arc<SimFs>,
+        buffer_size: usize,
+        include_subdirectories: bool,
+    ) -> Arc<FswSim> {
+        let sim = Arc::new(FswSim {
+            inner: Mutex::new(Inner {
+                root: None,
+                queue: VecDeque::new(),
+                buffered_bytes: 0,
+                error_pending: false,
+            }),
+            buffer_size,
+            include_subdirectories,
+            lost: AtomicU64::new(0),
+        });
+        fs.attach(sim.clone() as Arc<dyn RawListener>);
+        sim
+    }
+
+    /// Set the watched directory (`FileSystemWatcher.Path`). Fails on
+    /// files — "the monitor can only establish a watch to monitor
+    /// directories, not files" (§II-A).
+    pub fn set_path(&self, fs: &SimFs, dir: &str) -> bool {
+        if !fs.is_dir(dir) {
+            return false;
+        }
+        self.inner.lock().root = Some(dir.to_string());
+        true
+    }
+
+    /// Drain pending events (the consumer reading the buffer).
+    pub fn drain(&self) -> Vec<FswEvent> {
+        let mut inner = self.inner.lock();
+        inner.buffered_bytes = 0;
+        inner.error_pending = false;
+        inner.queue.drain(..).collect()
+    }
+
+    fn covers(&self, inner: &Inner, path: &str) -> bool {
+        let Some(root) = &inner.root else {
+            return false;
+        };
+        let prefix = if root == "/" { "/".to_string() } else { format!("{root}/") };
+        if !path.starts_with(&prefix) {
+            return false;
+        }
+        if self.include_subdirectories {
+            true
+        } else {
+            // Only direct children.
+            !path[prefix.len()..].contains('/')
+        }
+    }
+
+    fn push(&self, inner: &mut Inner, ev: FswEvent) {
+        let cost = report_cost(&ev.full_path)
+            + ev.old_full_path.as_deref().map_or(0, report_cost);
+        if inner.buffered_bytes + cost > self.buffer_size {
+            self.lost.fetch_add(1, Ordering::Relaxed);
+            if !inner.error_pending {
+                inner.error_pending = true;
+                inner.queue.push_back(FswEvent {
+                    change_type: FswChangeType::Error,
+                    full_path: inner.root.clone().unwrap_or_default(),
+                    old_full_path: None,
+                    is_dir: true,
+                });
+            }
+            return;
+        }
+        inner.buffered_bytes += cost;
+        inner.queue.push_back(ev);
+    }
+}
+
+impl RawListener for FswSim {
+    fn on_op(&self, op: &RawOp) {
+        let mut inner = self.inner.lock();
+        if !self.covers(&inner, &op.path)
+            && !op
+                .dest
+                .as_deref()
+                .is_some_and(|d| self.covers(&inner, d))
+        {
+            return;
+        }
+        let ev = match op.kind {
+            RawOpKind::Create => FswEvent {
+                change_type: FswChangeType::Created,
+                full_path: op.path.clone(),
+                old_full_path: None,
+                is_dir: op.is_dir,
+            },
+            RawOpKind::Modify | RawOpKind::Attrib => FswEvent {
+                change_type: FswChangeType::Changed,
+                full_path: op.path.clone(),
+                old_full_path: None,
+                is_dir: op.is_dir,
+            },
+            RawOpKind::Delete => FswEvent {
+                change_type: FswChangeType::Deleted,
+                full_path: op.path.clone(),
+                old_full_path: None,
+                is_dir: op.is_dir,
+            },
+            RawOpKind::Rename => FswEvent {
+                change_type: FswChangeType::Renamed,
+                full_path: op.dest.clone().unwrap_or_default(),
+                old_full_path: Some(op.path.clone()),
+                is_dir: op.is_dir,
+            },
+            // FileSystemWatcher has no open/close notifications.
+            RawOpKind::Open | RawOpKind::Close { .. } => return,
+        };
+        self.push(&mut inner, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(buffer: usize, recurse: bool) -> (Arc<SimFs>, Arc<FswSim>) {
+        let fs = SimFs::new();
+        let fsw = FswSim::attach(&fs, buffer, recurse);
+        (fs, fsw)
+    }
+
+    #[test]
+    fn four_event_types_reported() {
+        let (fs, fsw) = setup(DEFAULT_BUFFER, false);
+        fsw.set_path(&fs, "/");
+        fs.create("/f");
+        fs.modify("/f");
+        fs.rename("/f", "/g");
+        fs.delete("/g");
+        let evs = fsw.drain();
+        let types: Vec<FswChangeType> = evs.iter().map(|e| e.change_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                FswChangeType::Created,
+                FswChangeType::Changed,
+                FswChangeType::Renamed,
+                FswChangeType::Deleted
+            ]
+        );
+        assert_eq!(evs[2].old_full_path.as_deref(), Some("/f"));
+    }
+
+    #[test]
+    fn cannot_watch_a_file() {
+        let (fs, fsw) = setup(DEFAULT_BUFFER, false);
+        fs.create("/f");
+        assert!(!fsw.set_path(&fs, "/f"));
+        assert!(fsw.set_path(&fs, "/"));
+    }
+
+    #[test]
+    fn non_recursive_sees_only_direct_children() {
+        let (fs, fsw) = setup(DEFAULT_BUFFER, false);
+        fs.mkdir("/w");
+        fs.mkdir("/w/sub");
+        fsw.set_path(&fs, "/w");
+        fs.create("/w/direct");
+        fs.create("/w/sub/nested");
+        let evs = fsw.drain();
+        let paths: Vec<&str> = evs.iter().map(|e| e.full_path.as_str()).collect();
+        assert!(paths.contains(&"/w/direct"));
+        assert!(!paths.contains(&"/w/sub/nested"));
+    }
+
+    #[test]
+    fn include_subdirectories_sees_subtree() {
+        let (fs, fsw) = setup(DEFAULT_BUFFER, true);
+        fs.mkdir("/w");
+        fs.mkdir("/w/sub");
+        fsw.set_path(&fs, "/w");
+        fs.create("/w/sub/nested");
+        let evs = fsw.drain();
+        assert!(evs.iter().any(|e| e.full_path == "/w/sub/nested"));
+    }
+
+    #[test]
+    fn buffer_overflow_raises_error_and_loses_events() {
+        // Each "/fNN" report costs 16 + 2*4 = 24 bytes; a 100-byte
+        // buffer holds 4.
+        let (fs, fsw) = setup(100, false);
+        fsw.set_path(&fs, "/");
+        for i in 0..10 {
+            fs.create(&format!("/f{i:02}"));
+        }
+        let evs = fsw.drain();
+        let errors: Vec<_> = evs
+            .iter()
+            .filter(|e| e.change_type == FswChangeType::Error)
+            .collect();
+        assert_eq!(errors.len(), 1);
+        assert!(fsw.lost.load(Ordering::Relaxed) > 0);
+        assert!(evs.len() < 11);
+        // Drain resets the buffer.
+        fs.create("/after");
+        assert_eq!(fsw.drain().len(), 1);
+    }
+
+    #[test]
+    fn unwatched_fs_produces_nothing() {
+        let (fs, fsw) = setup(DEFAULT_BUFFER, true);
+        fs.create("/f");
+        assert!(fsw.drain().is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! Simulated inotify.
+//!
+//! Reproduces the real facility's behaviour as the paper describes it
+//! (§II-A): per-directory watches (no recursion — "a key limitation of
+//! inotify is that it does not support recursive monitoring, requiring a
+//! unique watcher to be placed on each directory of interest"), a
+//! per-instance watch limit (`max_user_watches`), and a bounded event
+//! queue that raises `IN_Q_OVERFLOW` and drops events when readers fall
+//! behind.
+
+use crate::simfs::{name_of, parent_of, RawListener, RawOp, RawOpKind, SimFs};
+use fsmon_events::inotify::{InotifyEvent, InotifyMask};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A simulated inotify instance.
+pub struct InotifySim {
+    inner: Mutex<Inner>,
+    max_watches: usize,
+    max_queued: usize,
+    cookie: AtomicU32,
+    /// Events lost to queue overflow.
+    pub overflows: AtomicU64,
+}
+
+struct Inner {
+    /// Watched directory path → watch descriptor.
+    watches: HashMap<String, i32>,
+    next_wd: i32,
+    queue: VecDeque<InotifyEvent>,
+    overflow_pending: bool,
+}
+
+impl InotifySim {
+    /// Create an instance and attach it to `fs`. `max_watches` models
+    /// `fs.inotify.max_user_watches`, `max_queued` models
+    /// `max_queued_events` (default 16384 in Linux).
+    pub fn attach(fs: &Arc<SimFs>, max_watches: usize, max_queued: usize) -> Arc<InotifySim> {
+        let sim = Arc::new(InotifySim {
+            inner: Mutex::new(Inner {
+                watches: HashMap::new(),
+                next_wd: 1,
+                queue: VecDeque::new(),
+                overflow_pending: false,
+            }),
+            max_watches,
+            max_queued,
+            cookie: AtomicU32::new(1),
+            overflows: AtomicU64::new(0),
+        });
+        fs.attach(sim.clone() as Arc<dyn RawListener>);
+        sim
+    }
+
+    /// Add a watch on a directory. Returns the watch descriptor, or
+    /// `None` when the watch limit is reached (`ENOSPC` in the real
+    /// API).
+    pub fn add_watch(&self, dir: &str) -> Option<i32> {
+        let mut inner = self.inner.lock();
+        if let Some(wd) = inner.watches.get(dir) {
+            return Some(*wd);
+        }
+        if inner.watches.len() >= self.max_watches {
+            return None;
+        }
+        let wd = inner.next_wd;
+        inner.next_wd += 1;
+        inner.watches.insert(dir.to_string(), wd);
+        Some(wd)
+    }
+
+    /// Recursively watch `root` and every directory beneath it — the
+    /// crawl a recursive `inotifywait -r` must perform.
+    /// Returns the number of watches placed (stops at the limit).
+    pub fn add_watch_recursive(&self, fs: &SimFs, root: &str) -> usize {
+        let mut placed = 0;
+        for dir in fs.all_dirs() {
+            let under = dir == root
+                || (root == "/" && dir.starts_with('/'))
+                || dir.starts_with(&format!("{root}/"));
+            if under && self.add_watch(&dir).is_some() {
+                placed += 1;
+            }
+        }
+        placed
+    }
+
+    /// Remove a watch by directory path.
+    pub fn rm_watch(&self, dir: &str) -> bool {
+        self.inner.lock().watches.remove(dir).is_some()
+    }
+
+    /// Number of active watches (1 KB of kernel memory each, per the
+    /// paper).
+    pub fn watch_count(&self) -> usize {
+        self.inner.lock().watches.len()
+    }
+
+    /// Estimated kernel memory for watches, bytes (1 KB per watch).
+    pub fn watch_memory_bytes(&self) -> usize {
+        self.watch_count() * 1024
+    }
+
+    /// Drain all queued events.
+    pub fn drain(&self) -> Vec<InotifyEvent> {
+        let mut inner = self.inner.lock();
+        inner.queue.drain(..).collect()
+    }
+
+    /// Read up to `max` queued events.
+    pub fn read(&self, max: usize) -> Vec<InotifyEvent> {
+        let mut inner = self.inner.lock();
+        let n = inner.queue.len().min(max);
+        inner.queue.drain(..n).collect()
+    }
+
+    /// Queued event count.
+    pub fn queued(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    fn enqueue(&self, inner: &mut Inner, ev: InotifyEvent) {
+        if inner.queue.len() >= self.max_queued {
+            self.overflows.fetch_add(1, Ordering::Relaxed);
+            if !inner.overflow_pending {
+                inner.overflow_pending = true;
+                // The kernel queues a single IN_Q_OVERFLOW marker.
+                inner.queue.push_back(InotifyEvent {
+                    wd: -1,
+                    mask: InotifyMask(InotifyMask::IN_Q_OVERFLOW),
+                    cookie: 0,
+                    name: String::new(),
+                });
+            }
+            return;
+        }
+        inner.overflow_pending = false;
+        inner.queue.push_back(ev);
+    }
+
+    fn event_for(
+        &self,
+        inner: &mut Inner,
+        dir: &str,
+        mask: u32,
+        cookie: u32,
+        name: &str,
+        is_dir: bool,
+    ) {
+        let Some(&wd) = inner.watches.get(dir) else {
+            return; // directory not watched: event invisible (no recursion)
+        };
+        let mask = if is_dir { mask | InotifyMask::IN_ISDIR } else { mask };
+        self.enqueue(
+            inner,
+            InotifyEvent {
+                wd,
+                mask: InotifyMask(mask),
+                cookie,
+                name: name.to_string(),
+            },
+        );
+    }
+
+    /// Look up the path a watch descriptor points at (the userspace
+    /// bookkeeping every inotify consumer maintains).
+    pub fn wd_path(&self, wd: i32) -> Option<String> {
+        self.inner
+            .lock()
+            .watches
+            .iter()
+            .find(|(_, w)| **w == wd)
+            .map(|(p, _)| p.clone())
+    }
+}
+
+impl RawListener for InotifySim {
+    fn on_op(&self, op: &RawOp) {
+        let mut inner = self.inner.lock();
+        let parent = op.parent();
+        let name = name_of(&op.path);
+        match op.kind {
+            RawOpKind::Create => {
+                self.event_for(&mut inner, &parent, InotifyMask::IN_CREATE, 0, name, op.is_dir);
+            }
+            RawOpKind::Modify => {
+                self.event_for(&mut inner, &parent, InotifyMask::IN_MODIFY, 0, name, op.is_dir);
+            }
+            RawOpKind::Attrib => {
+                self.event_for(&mut inner, &parent, InotifyMask::IN_ATTRIB, 0, name, op.is_dir);
+            }
+            RawOpKind::Open => {
+                self.event_for(&mut inner, &parent, InotifyMask::IN_OPEN, 0, name, op.is_dir);
+            }
+            RawOpKind::Close { wrote } => {
+                let mask = if wrote {
+                    InotifyMask::IN_CLOSE_WRITE
+                } else {
+                    InotifyMask::IN_CLOSE_NOWRITE
+                };
+                self.event_for(&mut inner, &parent, mask, 0, name, op.is_dir);
+            }
+            RawOpKind::Delete => {
+                self.event_for(&mut inner, &parent, InotifyMask::IN_DELETE, 0, name, op.is_dir);
+                // A watched directory that is removed reports
+                // IN_DELETE_SELF on its own wd and the watch dies.
+                if op.is_dir && inner.watches.contains_key(&op.path) {
+                    let wd = inner.watches[&op.path];
+                    self.enqueue(
+                        &mut inner,
+                        InotifyEvent {
+                            wd,
+                            mask: InotifyMask(InotifyMask::IN_DELETE_SELF),
+                            cookie: 0,
+                            name: String::new(),
+                        },
+                    );
+                    inner.watches.remove(&op.path);
+                }
+            }
+            RawOpKind::Rename => {
+                let dest = op.dest.clone().unwrap_or_default();
+                let cookie = self.cookie.fetch_add(1, Ordering::Relaxed);
+                self.event_for(
+                    &mut inner,
+                    &parent,
+                    InotifyMask::IN_MOVED_FROM,
+                    cookie,
+                    name,
+                    op.is_dir,
+                );
+                let dest_parent = parent_of(&dest);
+                self.event_for(
+                    &mut inner,
+                    &dest_parent,
+                    InotifyMask::IN_MOVED_TO,
+                    cookie,
+                    name_of(&dest),
+                    op.is_dir,
+                );
+                // Watches follow renamed directories (kernel re-keys the
+                // path internally; userspace bookkeeping must be
+                // updated to keep wd→path maps accurate).
+                if op.is_dir {
+                    let moved: Vec<(String, i32)> = inner
+                        .watches
+                        .iter()
+                        .filter(|(p, _)| **p == op.path || p.starts_with(&format!("{}/", op.path)))
+                        .map(|(p, w)| (p.clone(), *w))
+                        .collect();
+                    for (p, w) in moved {
+                        inner.watches.remove(&p);
+                        let suffix = &p[op.path.len()..];
+                        inner.watches.insert(format!("{dest}{suffix}"), w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::EventKind;
+
+    fn setup(max_watches: usize, max_queue: usize) -> (Arc<SimFs>, Arc<InotifySim>) {
+        let fs = SimFs::new();
+        let ino = InotifySim::attach(&fs, max_watches, max_queue);
+        (fs, ino)
+    }
+
+    #[test]
+    fn events_only_from_watched_dirs() {
+        let (fs, ino) = setup(100, 100);
+        ino.add_watch("/");
+        fs.mkdir("/sub");
+        fs.create("/sub/hidden.txt"); // /sub not watched
+        fs.create("/visible.txt");
+        let evs = ino.drain();
+        let names: Vec<&str> = evs.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"visible.txt"));
+        assert!(!names.contains(&"hidden.txt"), "no recursion in inotify");
+        assert!(names.contains(&"sub"));
+    }
+
+    #[test]
+    fn recursive_watch_crawls_all_dirs() {
+        let (fs, ino) = setup(100, 1000);
+        fs.mkdir("/a");
+        fs.mkdir("/a/b");
+        fs.mkdir("/c");
+        let placed = ino.add_watch_recursive(&fs, "/");
+        assert_eq!(placed, 4); // /, /a, /a/b, /c
+        fs.create("/a/b/deep.txt");
+        let evs = ino.drain();
+        assert!(evs.iter().any(|e| e.name == "deep.txt"));
+    }
+
+    #[test]
+    fn watch_limit_enforced() {
+        let (fs, ino) = setup(2, 100);
+        fs.mkdir("/a");
+        fs.mkdir("/b");
+        assert!(ino.add_watch("/").is_some());
+        assert!(ino.add_watch("/a").is_some());
+        assert!(ino.add_watch("/b").is_none(), "limit of 2");
+        assert_eq!(ino.watch_count(), 2);
+        assert_eq!(ino.watch_memory_bytes(), 2048);
+    }
+
+    #[test]
+    fn duplicate_watch_returns_same_wd() {
+        let (_fs, ino) = setup(10, 10);
+        let a = ino.add_watch("/").unwrap();
+        let b = ino.add_watch("/").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ino.watch_count(), 1);
+    }
+
+    #[test]
+    fn queue_overflow_raises_single_marker_and_drops() {
+        let (fs, ino) = setup(10, 5);
+        ino.add_watch("/");
+        for i in 0..20 {
+            fs.create(&format!("/f{i}"));
+        }
+        let evs = ino.drain();
+        // 5 real events + 1 overflow marker.
+        assert_eq!(evs.len(), 6);
+        assert!(evs[5].mask.has(InotifyMask::IN_Q_OVERFLOW));
+        assert_eq!(evs[5].kind(), EventKind::Overflow);
+        assert_eq!(ino.overflows.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn rename_pairs_share_cookie() {
+        let (fs, ino) = setup(10, 100);
+        ino.add_watch("/");
+        fs.create("/hello.txt");
+        fs.rename("/hello.txt", "/hi.txt");
+        let evs = ino.drain();
+        let from = evs.iter().find(|e| e.mask.has(InotifyMask::IN_MOVED_FROM)).unwrap();
+        let to = evs.iter().find(|e| e.mask.has(InotifyMask::IN_MOVED_TO)).unwrap();
+        assert_eq!(from.cookie, to.cookie);
+        assert_ne!(from.cookie, 0);
+        assert_eq!(from.name, "hello.txt");
+        assert_eq!(to.name, "hi.txt");
+    }
+
+    #[test]
+    fn deleted_watched_dir_reports_delete_self_and_unwatches() {
+        let (fs, ino) = setup(10, 100);
+        fs.mkdir("/d");
+        ino.add_watch("/");
+        ino.add_watch("/d");
+        fs.delete("/d");
+        let evs = ino.drain();
+        assert!(evs.iter().any(|e| e.mask.has(InotifyMask::IN_DELETE)));
+        assert!(evs.iter().any(|e| e.mask.has(InotifyMask::IN_DELETE_SELF)));
+        assert_eq!(ino.watch_count(), 1);
+    }
+
+    #[test]
+    fn watches_follow_renamed_directories() {
+        let (fs, ino) = setup(10, 100);
+        fs.mkdir("/d");
+        ino.add_watch("/d");
+        fs.rename("/d", "/e");
+        fs.create("/e/inside.txt");
+        let evs = ino.drain();
+        assert!(evs.iter().any(|e| e.name == "inside.txt"));
+        assert_eq!(ino.wd_path(1).as_deref(), Some("/e"));
+    }
+
+    #[test]
+    fn close_events_distinguish_write() {
+        let (fs, ino) = setup(10, 100);
+        ino.add_watch("/");
+        fs.create("/f");
+        fs.close("/f", true);
+        fs.close("/f", false);
+        let evs = ino.drain();
+        assert!(evs.iter().any(|e| e.kind() == EventKind::CloseWrite));
+        assert!(evs.iter().any(|e| e.kind() == EventKind::CloseNoWrite));
+    }
+}

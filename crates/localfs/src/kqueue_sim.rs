@@ -1,0 +1,253 @@
+//! Simulated kqueue (`EVFILT_VNODE`).
+//!
+//! kqueue watches *open file descriptors*, so the monitor must hold an
+//! fd per watched file — the scalability limit the paper calls out:
+//! "the kqueue monitor requires a file descriptor to be opened for
+//! every file being watched, restricting its application to very large
+//! file systems" (§II-A). The fd budget here models `RLIMIT_NOFILE`.
+
+use crate::simfs::{parent_of, RawListener, RawOp, RawOpKind, SimFs};
+use fsmon_events::kqueue::{KqueueEvent, NoteFlags};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A simulated kqueue instance.
+pub struct KqueueSim {
+    inner: Mutex<Inner>,
+    fd_limit: usize,
+}
+
+struct Inner {
+    /// path → (fd, is_dir). An fd pins the vnode like a real open fd.
+    fds: HashMap<String, (u64, bool)>,
+    next_fd: u64,
+    queue: VecDeque<KqueueEvent>,
+}
+
+impl KqueueSim {
+    /// Create an instance attached to `fs` with an fd budget.
+    pub fn attach(fs: &Arc<SimFs>, fd_limit: usize) -> Arc<KqueueSim> {
+        let sim = Arc::new(KqueueSim {
+            inner: Mutex::new(Inner {
+                fds: HashMap::new(),
+                next_fd: 3,
+                queue: VecDeque::new(),
+            }),
+            fd_limit,
+        });
+        fs.attach(sim.clone() as Arc<dyn RawListener>);
+        sim
+    }
+
+    /// Open + register a vnode watch (`EV_SET` on an opened fd).
+    /// Returns the fd, or `None` at the fd limit (`EMFILE`).
+    pub fn watch(&self, fs: &SimFs, path: &str) -> Option<u64> {
+        if !fs.exists(path) {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        if let Some((fd, _)) = inner.fds.get(path) {
+            return Some(*fd);
+        }
+        if inner.fds.len() >= self.fd_limit {
+            return None;
+        }
+        let fd = inner.next_fd;
+        inner.next_fd += 1;
+        inner.fds.insert(path.to_string(), (fd, fs.is_dir(path)));
+        Some(fd)
+    }
+
+    /// Watch a directory and every existing entry beneath it (the crawl
+    /// a kqueue-based recursive monitor performs). Returns fds placed.
+    pub fn watch_tree(&self, fs: &SimFs, root: &str) -> usize {
+        let mut placed = 0;
+        let mut stack = vec![root.to_string()];
+        while let Some(dir) = stack.pop() {
+            if self.watch(fs, &dir).is_some() {
+                placed += 1;
+            }
+            for child in fs.children(&dir) {
+                if fs.is_dir(&child) {
+                    stack.push(child);
+                } else if self.watch(fs, &child).is_some() {
+                    placed += 1;
+                }
+            }
+        }
+        placed
+    }
+
+    /// Close a watch.
+    pub fn unwatch(&self, path: &str) -> bool {
+        self.inner.lock().fds.remove(path).is_some()
+    }
+
+    /// Open fd count.
+    pub fn fd_count(&self) -> usize {
+        self.inner.lock().fds.len()
+    }
+
+    /// Drain pending kevents.
+    pub fn drain(&self) -> Vec<KqueueEvent> {
+        let mut inner = self.inner.lock();
+        inner.queue.drain(..).collect()
+    }
+
+    fn raise(inner: &mut Inner, path: &str, fflags: u32) {
+        if let Some((fd, is_dir)) = inner.fds.get(path).copied() {
+            inner.queue.push_back(KqueueEvent {
+                ident: fd,
+                fflags: NoteFlags(fflags),
+                path: path.to_string(),
+                is_dir,
+            });
+        }
+    }
+}
+
+impl RawListener for KqueueSim {
+    fn on_op(&self, op: &RawOp) {
+        let mut inner = self.inner.lock();
+        let parent = op.parent();
+        match op.kind {
+            // kqueue sees child creation/removal as NOTE_WRITE on the
+            // watched *directory*; the file itself has no fd yet.
+            RawOpKind::Create => {
+                Self::raise(&mut inner, &parent, NoteFlags::NOTE_WRITE);
+            }
+            RawOpKind::Modify => {
+                Self::raise(&mut inner, &op.path, NoteFlags::NOTE_WRITE | NoteFlags::NOTE_EXTEND);
+            }
+            RawOpKind::Attrib => {
+                Self::raise(&mut inner, &op.path, NoteFlags::NOTE_ATTRIB);
+            }
+            RawOpKind::Open => {
+                Self::raise(&mut inner, &op.path, NoteFlags::NOTE_OPEN);
+            }
+            RawOpKind::Close { wrote } => {
+                let flag = if wrote {
+                    NoteFlags::NOTE_CLOSE_WRITE
+                } else {
+                    NoteFlags::NOTE_CLOSE
+                };
+                Self::raise(&mut inner, &op.path, flag);
+            }
+            RawOpKind::Delete => {
+                Self::raise(&mut inner, &op.path, NoteFlags::NOTE_DELETE);
+                Self::raise(&mut inner, &parent, NoteFlags::NOTE_WRITE);
+                // The fd outlives the unlink (vnode pinned) but no
+                // further events arrive; drop the watch like a real
+                // monitor would on NOTE_DELETE.
+                inner.fds.remove(&op.path);
+            }
+            RawOpKind::Rename => {
+                Self::raise(&mut inner, &op.path, NoteFlags::NOTE_RENAME);
+                Self::raise(&mut inner, &parent, NoteFlags::NOTE_WRITE);
+                if let Some(dest) = &op.dest {
+                    // The fd follows the vnode across the rename.
+                    if let Some(entry) = inner.fds.remove(&op.path) {
+                        inner.fds.insert(dest.clone(), entry);
+                    }
+                    let dest_parent = parent_of(dest);
+                    if dest_parent != parent {
+                        Self::raise(&mut inner, &dest_parent, NoteFlags::NOTE_WRITE);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::EventKind;
+
+    fn setup(limit: usize) -> (Arc<SimFs>, Arc<KqueueSim>) {
+        let fs = SimFs::new();
+        let kq = KqueueSim::attach(&fs, limit);
+        (fs, kq)
+    }
+
+    #[test]
+    fn child_create_raises_write_on_watched_dir() {
+        let (fs, kq) = setup(10);
+        kq.watch(&fs, "/").unwrap();
+        fs.create("/f");
+        let evs = kq.drain();
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].fflags.has(NoteFlags::NOTE_WRITE));
+        assert_eq!(evs[0].path, "/");
+        assert!(evs[0].is_dir);
+    }
+
+    #[test]
+    fn modify_needs_file_fd() {
+        let (fs, kq) = setup(10);
+        fs.create("/f");
+        fs.modify("/f"); // unwatched: invisible
+        assert!(kq.drain().is_empty());
+        kq.watch(&fs, "/f").unwrap();
+        fs.modify("/f");
+        let evs = kq.drain();
+        assert_eq!(evs[0].kind(), EventKind::Modify);
+    }
+
+    #[test]
+    fn fd_limit_enforced() {
+        let (fs, kq) = setup(2);
+        fs.create("/a");
+        fs.create("/b");
+        fs.create("/c");
+        assert!(kq.watch(&fs, "/a").is_some());
+        assert!(kq.watch(&fs, "/b").is_some());
+        assert!(kq.watch(&fs, "/c").is_none(), "EMFILE at limit");
+        assert_eq!(kq.fd_count(), 2);
+    }
+
+    #[test]
+    fn watch_tree_opens_fd_per_entry() {
+        let (fs, kq) = setup(100);
+        fs.mkdir("/d");
+        fs.create("/d/f1");
+        fs.create("/d/f2");
+        fs.mkdir("/d/sub");
+        fs.create("/d/sub/f3");
+        let placed = kq.watch_tree(&fs, "/d");
+        assert_eq!(placed, 5, "/d, f1, f2, sub, f3");
+    }
+
+    #[test]
+    fn delete_raises_note_delete_and_drops_fd() {
+        let (fs, kq) = setup(10);
+        fs.create("/f");
+        kq.watch(&fs, "/f").unwrap();
+        fs.delete("/f");
+        let evs = kq.drain();
+        assert!(evs.iter().any(|e| e.fflags.has(NoteFlags::NOTE_DELETE)));
+        assert_eq!(kq.fd_count(), 0);
+    }
+
+    #[test]
+    fn rename_emits_note_rename_and_fd_follows() {
+        let (fs, kq) = setup(10);
+        fs.create("/a");
+        kq.watch(&fs, "/a").unwrap();
+        fs.rename("/a", "/b");
+        let evs = kq.drain();
+        assert!(evs.iter().any(|e| e.fflags.has(NoteFlags::NOTE_RENAME)));
+        // Modify via the new name is still visible on the same fd.
+        fs.modify("/b");
+        let evs = kq.drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].path, "/b");
+    }
+
+    #[test]
+    fn watch_missing_path_fails() {
+        let (fs, kq) = setup(10);
+        assert!(kq.watch(&fs, "/nope").is_none());
+    }
+}

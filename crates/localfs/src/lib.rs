@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # fsmon-localfs
+//!
+//! Local file-system monitoring substrates. Two halves:
+//!
+//! 1. **Simulated kernels** — an in-memory local file system
+//!    ([`SimFs`]) that dispatches raw operations to attached monitor
+//!    backends, each reproducing the semantics *and the limits* of one
+//!    real facility the paper surveys (§II-A):
+//!    * [`InotifySim`] — per-directory watches, a watch-count limit,
+//!      a bounded event queue that raises `IN_Q_OVERFLOW`, and no
+//!      recursion (each subdirectory needs its own watch).
+//!    * [`KqueueSim`] — an open file descriptor per watched vnode, an
+//!      fd limit, `NOTE_*` events; directory writes signal child
+//!      creation/deletion.
+//!    * [`FsEventsSim`] — recursive subtree streams, per-path flag
+//!      coalescing within a latency window, `MustScanSubDirs` on
+//!      overload.
+//!    * [`FswSim`] — Windows FileSystemWatcher: one watch per directory
+//!      tree, a byte buffer sized in the real API's units, buffer
+//!      overflow producing an `Error` event and loss.
+//! 2. **A real watcher** — [`PollWatcher`], a portable snapshot-diff
+//!    monitor over the actual on-disk file system, so FSMonitor is
+//!    genuinely usable on the machine running it.
+//!
+//! ```
+//! use fsmon_localfs::{SimFs, InotifySim};
+//!
+//! let fs = SimFs::new();
+//! let ino = InotifySim::attach(&fs, 128, 1024);
+//! ino.add_watch("/");
+//! fs.create("/hello.txt");
+//! let events = ino.drain();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].name, "hello.txt");
+//! ```
+
+pub mod fsevents_sim;
+pub mod fsw_sim;
+pub mod inotify_sim;
+pub mod kqueue_sim;
+pub mod poll;
+pub mod simfs;
+
+pub use fsevents_sim::FsEventsSim;
+pub use fsw_sim::FswSim;
+pub use inotify_sim::InotifySim;
+pub use kqueue_sim::KqueueSim;
+pub use poll::PollWatcher;
+pub use simfs::{RawOp, RawOpKind, SimFs};

@@ -1,0 +1,206 @@
+//! A real, portable polling watcher over the host file system.
+//!
+//! Snapshot-diff monitoring: scan the watched tree, compare with the
+//! previous snapshot, and emit standardized events for every difference.
+//! This is the fallback DSI that works on any storage a path can reach —
+//! the "arbitrary storage systems" floor of the paper's title — at the
+//! cost of latency proportional to the poll interval and tree size.
+
+use fsmon_events::{EventKind, MonitorSource, StandardEvent};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// Snapshot entry for one live path.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    is_dir: bool,
+    len: u64,
+    mtime: SystemTime,
+}
+
+/// A snapshot-diff watcher over a real directory tree.
+pub struct PollWatcher {
+    root: PathBuf,
+    snapshot: HashMap<PathBuf, Entry>,
+    primed: bool,
+}
+
+impl PollWatcher {
+    /// Watch `root` (captures no baseline until the first poll).
+    pub fn new(root: impl Into<PathBuf>) -> PollWatcher {
+        PollWatcher {
+            root: root.into(),
+            snapshot: HashMap::new(),
+            primed: false,
+        }
+    }
+
+    /// The watched root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Entries currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.snapshot.len()
+    }
+
+    fn scan(&self) -> HashMap<PathBuf, Entry> {
+        let mut out = HashMap::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let Ok(meta) = entry.metadata() else { continue };
+                let path = entry.path();
+                let e = Entry {
+                    is_dir: meta.is_dir(),
+                    len: meta.len(),
+                    mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                };
+                if e.is_dir {
+                    stack.push(path.clone());
+                }
+                out.insert(path, e);
+            }
+        }
+        out
+    }
+
+    fn rel(&self, path: &Path) -> String {
+        let rel = path.strip_prefix(&self.root).unwrap_or(path);
+        format!("/{}", rel.to_string_lossy())
+    }
+
+    /// Poll once: diff the tree against the previous snapshot and
+    /// return standardized events. The first poll primes the baseline
+    /// and returns nothing.
+    pub fn poll(&mut self) -> Vec<StandardEvent> {
+        let current = self.scan();
+        if !self.primed {
+            self.snapshot = current;
+            self.primed = true;
+            return Vec::new();
+        }
+        let root_str = self.root.to_string_lossy().to_string();
+        let mut events = Vec::new();
+        // Creations and modifications.
+        for (path, entry) in &current {
+            match self.snapshot.get(path) {
+                None => {
+                    let mut ev =
+                        StandardEvent::new(EventKind::Create, root_str.clone(), self.rel(path))
+                            .with_source(MonitorSource::Polling);
+                    ev.is_dir = entry.is_dir;
+                    events.push(ev);
+                }
+                Some(prev) if prev != entry => {
+                    let mut ev =
+                        StandardEvent::new(EventKind::Modify, root_str.clone(), self.rel(path))
+                            .with_source(MonitorSource::Polling);
+                    ev.is_dir = entry.is_dir;
+                    events.push(ev);
+                }
+                _ => {}
+            }
+        }
+        // Deletions.
+        for (path, entry) in &self.snapshot {
+            if !current.contains_key(path) {
+                let mut ev = StandardEvent::new(EventKind::Delete, root_str.clone(), self.rel(path))
+                    .with_source(MonitorSource::Polling);
+                ev.is_dir = entry.is_dir;
+                events.push(ev);
+            }
+        }
+        // Deterministic ordering: parents before children, creates
+        // before deletes at equal depth.
+        events.sort_by(|a, b| {
+            a.path
+                .matches('/')
+                .count()
+                .cmp(&b.path.matches('/').count())
+                .then(a.path.cmp(&b.path))
+        });
+        self.snapshot = current;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fsmon-poll-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn first_poll_primes_silently() {
+        let dir = tmpdir("prime");
+        std::fs::write(dir.join("existing.txt"), b"x").unwrap();
+        let mut w = PollWatcher::new(&dir);
+        assert!(w.poll().is_empty());
+        assert_eq!(w.tracked(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn detects_create_modify_delete() {
+        let dir = tmpdir("cmd");
+        let mut w = PollWatcher::new(&dir);
+        w.poll();
+
+        std::fs::write(dir.join("f.txt"), b"hello").unwrap();
+        let evs = w.poll();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::Create);
+        assert_eq!(evs[0].path, "/f.txt");
+        assert_eq!(evs[0].source, MonitorSource::Polling);
+
+        std::fs::write(dir.join("f.txt"), b"hello world, longer").unwrap();
+        let evs = w.poll();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::Modify);
+
+        std::fs::remove_file(dir.join("f.txt")).unwrap();
+        let evs = w.poll();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::Delete);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn detects_nested_trees_and_dir_flag() {
+        let dir = tmpdir("nest");
+        let mut w = PollWatcher::new(&dir);
+        w.poll();
+        std::fs::create_dir_all(dir.join("a/b")).unwrap();
+        std::fs::write(dir.join("a/b/deep.txt"), b"x").unwrap();
+        let evs = w.poll();
+        assert_eq!(evs.len(), 3);
+        // Parents sort before children.
+        assert_eq!(evs[0].path, "/a");
+        assert!(evs[0].is_dir);
+        assert_eq!(evs[2].path, "/a/b/deep.txt");
+        assert!(!evs[2].is_dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quiet_tree_produces_no_events() {
+        let dir = tmpdir("quiet");
+        std::fs::write(dir.join("f"), b"x").unwrap();
+        let mut w = PollWatcher::new(&dir);
+        w.poll();
+        assert!(w.poll().is_empty());
+        assert!(w.poll().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

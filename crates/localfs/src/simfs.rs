@@ -1,0 +1,421 @@
+//! The simulated local file system and its raw operation bus.
+//!
+//! [`SimFs`] maintains an in-memory path tree and broadcasts every
+//! mutation as a [`RawOp`] to attached kernel-monitor simulations. The
+//! monitors, not the file system, decide which operations become events
+//! and which are lost — that is where each facility's semantics live.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The kind of a raw file-system mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawOpKind {
+    /// A file or directory was created.
+    Create,
+    /// File contents changed.
+    Modify,
+    /// Metadata changed.
+    Attrib,
+    /// A file or directory was removed.
+    Delete,
+    /// Rename: the op carries both paths.
+    Rename,
+    /// A file was opened.
+    Open,
+    /// A file was closed (after writing when `wrote` is set).
+    Close {
+        /// Whether the close followed a write.
+        wrote: bool,
+    },
+}
+
+/// One raw mutation, as a kernel would observe it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawOp {
+    /// Operation kind.
+    pub kind: RawOpKind,
+    /// Absolute path of the subject (the *source* for renames).
+    pub path: String,
+    /// Rename destination.
+    pub dest: Option<String>,
+    /// Whether the subject is a directory.
+    pub is_dir: bool,
+    /// Monotonic operation counter (orders ops across the fs).
+    pub seq: u64,
+}
+
+impl RawOp {
+    /// Parent directory of the subject path (`/` for top-level names).
+    pub fn parent(&self) -> String {
+        parent_of(&self.path)
+    }
+}
+
+/// Parent directory of an absolute path.
+pub fn parent_of(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) => "/".to_string(),
+        Some(i) => path[..i].to_string(),
+        None => "/".to_string(),
+    }
+}
+
+/// Final component of an absolute path.
+pub fn name_of(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// A monitor backend attached to the raw operation bus.
+pub trait RawListener: Send + Sync {
+    /// Observe one raw operation.
+    fn on_op(&self, op: &RawOp);
+}
+
+#[derive(Default)]
+struct State {
+    /// Live paths; directories tracked separately for is_dir checks.
+    files: BTreeSet<String>,
+    dirs: BTreeSet<String>,
+}
+
+/// The simulated local file system.
+pub struct SimFs {
+    state: Mutex<State>,
+    listeners: Mutex<Vec<Arc<dyn RawListener>>>,
+    seq: AtomicU64,
+}
+
+impl Default for SimFs {
+    fn default() -> Self {
+        let mut state = State::default();
+        state.dirs.insert("/".to_string());
+        SimFs {
+            state: Mutex::new(state),
+            listeners: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SimFs {
+    /// An empty file system containing only `/`.
+    pub fn new() -> Arc<SimFs> {
+        Arc::new(SimFs::default())
+    }
+
+    /// Attach a monitor backend.
+    pub fn attach(&self, listener: Arc<dyn RawListener>) {
+        self.listeners.lock().push(listener);
+    }
+
+    fn dispatch(&self, kind: RawOpKind, path: &str, dest: Option<String>, is_dir: bool) {
+        let op = RawOp {
+            kind,
+            path: path.to_string(),
+            dest,
+            is_dir,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        for l in self.listeners.lock().iter() {
+            l.on_op(&op);
+        }
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        let st = self.state.lock();
+        st.files.contains(path) || st.dirs.contains(path)
+    }
+
+    /// Whether `path` is a directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        self.state.lock().dirs.contains(path)
+    }
+
+    /// All live directories (used by recursive watch installers).
+    pub fn all_dirs(&self) -> Vec<String> {
+        self.state.lock().dirs.iter().cloned().collect()
+    }
+
+    /// Direct children of `dir`.
+    pub fn children(&self, dir: &str) -> Vec<String> {
+        let st = self.state.lock();
+        let prefix = if dir == "/" { "/".to_string() } else { format!("{dir}/") };
+        st.files
+            .iter()
+            .chain(st.dirs.iter())
+            .filter(|p| {
+                p.starts_with(&prefix)
+                    && *p != dir
+                    && !p[prefix.len()..].contains('/')
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Create a file. Returns false if it already exists or the parent
+    /// is missing.
+    pub fn create(&self, path: &str) -> bool {
+        {
+            let mut st = self.state.lock();
+            if st.files.contains(path) || st.dirs.contains(path) {
+                return false;
+            }
+            if !st.dirs.contains(&parent_of(path)) {
+                return false;
+            }
+            st.files.insert(path.to_string());
+        }
+        self.dispatch(RawOpKind::Create, path, None, false);
+        true
+    }
+
+    /// Create a directory.
+    pub fn mkdir(&self, path: &str) -> bool {
+        {
+            let mut st = self.state.lock();
+            if st.files.contains(path) || st.dirs.contains(path) {
+                return false;
+            }
+            if !st.dirs.contains(&parent_of(path)) {
+                return false;
+            }
+            st.dirs.insert(path.to_string());
+        }
+        self.dispatch(RawOpKind::Create, path, None, true);
+        true
+    }
+
+    /// Modify a file's contents.
+    pub fn modify(&self, path: &str) -> bool {
+        if !self.state.lock().files.contains(path) {
+            return false;
+        }
+        self.dispatch(RawOpKind::Modify, path, None, false);
+        true
+    }
+
+    /// Open a file.
+    pub fn open(&self, path: &str) -> bool {
+        if !self.exists(path) {
+            return false;
+        }
+        let is_dir = self.is_dir(path);
+        self.dispatch(RawOpKind::Open, path, None, is_dir);
+        true
+    }
+
+    /// Close a file (`wrote` distinguishes CLOSE_WRITE/CLOSE_NOWRITE).
+    pub fn close(&self, path: &str, wrote: bool) -> bool {
+        if !self.exists(path) {
+            return false;
+        }
+        let is_dir = self.is_dir(path);
+        self.dispatch(RawOpKind::Close { wrote }, path, None, is_dir);
+        true
+    }
+
+    /// Change metadata.
+    pub fn chmod(&self, path: &str) -> bool {
+        if !self.exists(path) {
+            return false;
+        }
+        let is_dir = self.is_dir(path);
+        self.dispatch(RawOpKind::Attrib, path, None, is_dir);
+        true
+    }
+
+    /// Delete a file or an (empty) directory.
+    pub fn delete(&self, path: &str) -> bool {
+        let is_dir;
+        {
+            let mut st = self.state.lock();
+            if st.files.contains(path) {
+                st.files.remove(path);
+                is_dir = false;
+            } else if st.dirs.contains(path) {
+                let prefix = format!("{path}/");
+                if st.files.iter().chain(st.dirs.iter()).any(|p| p.starts_with(&prefix)) {
+                    return false; // not empty
+                }
+                st.dirs.remove(path);
+                is_dir = true;
+            } else {
+                return false;
+            }
+        }
+        self.dispatch(RawOpKind::Delete, path, None, is_dir);
+        true
+    }
+
+    /// Rename `from` to `to` (same or different directory). Fails if
+    /// the destination exists, its parent directory is missing, or a
+    /// directory would move into its own subtree (POSIX EINVAL).
+    pub fn rename(&self, from: &str, to: &str) -> bool {
+        if to == from || to.starts_with(&format!("{from}/")) {
+            return false;
+        }
+        let is_dir;
+        {
+            let mut st = self.state.lock();
+            if !st.dirs.contains(&parent_of(to)) {
+                return false;
+            }
+            if st.files.contains(from) {
+                if st.files.contains(to) || st.dirs.contains(to) {
+                    return false;
+                }
+                st.files.remove(from);
+                st.files.insert(to.to_string());
+                is_dir = false;
+            } else if st.dirs.contains(from) {
+                if st.files.contains(to) || st.dirs.contains(to) {
+                    return false;
+                }
+                st.dirs.remove(from);
+                st.dirs.insert(to.to_string());
+                // Re-root children.
+                let prefix = format!("{from}/");
+                let moved_files: Vec<String> =
+                    st.files.iter().filter(|p| p.starts_with(&prefix)).cloned().collect();
+                for p in moved_files {
+                    st.files.remove(&p);
+                    st.files.insert(format!("{to}/{}", &p[prefix.len()..]));
+                }
+                let moved_dirs: Vec<String> =
+                    st.dirs.iter().filter(|p| p.starts_with(&prefix)).cloned().collect();
+                for p in moved_dirs {
+                    st.dirs.remove(&p);
+                    st.dirs.insert(format!("{to}/{}", &p[prefix.len()..]));
+                }
+                is_dir = true;
+            } else {
+                return false;
+            }
+        }
+        self.dispatch(RawOpKind::Rename, from, Some(to.to_string()), is_dir);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Collector(Mutex<Vec<RawOp>>);
+    impl RawListener for Collector {
+        fn on_op(&self, op: &RawOp) {
+            self.0.lock().push(op.clone());
+        }
+    }
+
+    fn setup() -> (Arc<SimFs>, Arc<Collector>) {
+        let fs = SimFs::new();
+        let c = Arc::new(Collector(Mutex::new(Vec::new())));
+        fs.attach(c.clone());
+        (fs, c)
+    }
+
+    #[test]
+    fn create_modify_delete_dispatch_ops() {
+        let (fs, c) = setup();
+        assert!(fs.create("/f"));
+        assert!(fs.modify("/f"));
+        assert!(fs.delete("/f"));
+        let ops = c.0.lock();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].kind, RawOpKind::Create);
+        assert_eq!(ops[1].kind, RawOpKind::Modify);
+        assert_eq!(ops[2].kind, RawOpKind::Delete);
+        // Monotonic sequence.
+        assert!(ops[0].seq < ops[1].seq && ops[1].seq < ops[2].seq);
+    }
+
+    #[test]
+    fn create_requires_parent() {
+        let (fs, c) = setup();
+        assert!(!fs.create("/no/such/f"));
+        assert!(c.0.lock().is_empty());
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let (fs, _) = setup();
+        assert!(fs.create("/f"));
+        assert!(!fs.create("/f"));
+        assert!(fs.mkdir("/d"));
+        assert!(!fs.mkdir("/d"));
+    }
+
+    #[test]
+    fn delete_nonempty_dir_fails() {
+        let (fs, _) = setup();
+        fs.mkdir("/d");
+        fs.create("/d/f");
+        assert!(!fs.delete("/d"));
+        assert!(fs.delete("/d/f"));
+        assert!(fs.delete("/d"));
+    }
+
+    #[test]
+    fn rename_carries_both_paths_and_moves_children() {
+        let (fs, c) = setup();
+        fs.mkdir("/a");
+        fs.create("/a/f");
+        assert!(fs.rename("/a", "/b"));
+        assert!(fs.exists("/b/f"));
+        assert!(!fs.exists("/a/f"));
+        let ops = c.0.lock();
+        let ren = ops.last().unwrap();
+        assert_eq!(ren.kind, RawOpKind::Rename);
+        assert_eq!(ren.path, "/a");
+        assert_eq!(ren.dest.as_deref(), Some("/b"));
+        assert!(ren.is_dir);
+    }
+
+    #[test]
+    fn rename_over_existing_fails() {
+        let (fs, _) = setup();
+        fs.create("/a");
+        fs.create("/b");
+        assert!(!fs.rename("/a", "/b"));
+    }
+
+    #[test]
+    fn children_lists_direct_only() {
+        let (fs, _) = setup();
+        fs.mkdir("/d");
+        fs.create("/d/f1");
+        fs.mkdir("/d/sub");
+        fs.create("/d/sub/f2");
+        let mut ch = fs.children("/d");
+        ch.sort();
+        assert_eq!(ch, vec!["/d/f1", "/d/sub"]);
+        let root = fs.children("/");
+        assert_eq!(root, vec!["/d"]);
+    }
+
+    #[test]
+    fn path_helpers() {
+        assert_eq!(parent_of("/a/b/c"), "/a/b");
+        assert_eq!(parent_of("/a"), "/");
+        assert_eq!(name_of("/a/b/c"), "c");
+        assert_eq!(name_of("/f"), "f");
+    }
+
+    #[test]
+    fn open_close_ops() {
+        let (fs, c) = setup();
+        fs.create("/f");
+        fs.open("/f");
+        fs.close("/f", true);
+        fs.close("/f", false);
+        let ops = c.0.lock();
+        assert_eq!(ops[1].kind, RawOpKind::Open);
+        assert_eq!(ops[2].kind, RawOpKind::Close { wrote: true });
+        assert_eq!(ops[3].kind, RawOpKind::Close { wrote: false });
+    }
+}

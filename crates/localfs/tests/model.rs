@@ -1,0 +1,204 @@
+//! Model-based property tests for the simulated local file system and
+//! the event-completeness guarantees of the attached monitors.
+
+use fsmon_localfs::{FsEventsSim, InotifySim, SimFs};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(String),
+    Mkdir(String),
+    Modify(String),
+    Delete(String),
+    Rename(String, String),
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(vec!["x", "y", "z"]), 1..4)
+        .prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_path().prop_map(Op::Create),
+        arb_path().prop_map(Op::Mkdir),
+        arb_path().prop_map(Op::Modify),
+        arb_path().prop_map(Op::Delete),
+        (arb_path(), arb_path()).prop_map(|(a, b)| Op::Rename(a, b)),
+    ]
+}
+
+/// Reference model: path → is_dir.
+#[derive(Debug, Default)]
+struct Model {
+    entries: BTreeMap<String, bool>,
+}
+
+impl Model {
+    fn parent(path: &str) -> String {
+        match path.rfind('/') {
+            Some(0) => "/".into(),
+            Some(i) => path[..i].into(),
+            None => "/".into(),
+        }
+    }
+
+    fn parent_is_dir(&self, p: &str) -> bool {
+        let parent = Self::parent(p);
+        parent == "/" || self.entries.get(&parent) == Some(&true)
+    }
+
+    fn apply(&mut self, op: &Op) -> bool {
+        match op {
+            Op::Create(p) => {
+                if self.entries.contains_key(p) || !self.parent_is_dir(p) {
+                    return false;
+                }
+                self.entries.insert(p.clone(), false);
+                true
+            }
+            Op::Mkdir(p) => {
+                if self.entries.contains_key(p) || !self.parent_is_dir(p) {
+                    return false;
+                }
+                self.entries.insert(p.clone(), true);
+                true
+            }
+            Op::Modify(p) => self.entries.get(p) == Some(&false),
+            Op::Delete(p) => match self.entries.get(p) {
+                Some(false) => {
+                    self.entries.remove(p);
+                    true
+                }
+                Some(true) => {
+                    let prefix = format!("{p}/");
+                    if self.entries.keys().any(|k| k.starts_with(&prefix)) {
+                        false
+                    } else {
+                        self.entries.remove(p);
+                        true
+                    }
+                }
+                None => false,
+            },
+            Op::Rename(from, to) => {
+                if !self.entries.contains_key(from)
+                    || self.entries.contains_key(to)
+                    || !self.parent_is_dir(to)
+                    || to.starts_with(&format!("{from}/"))
+                    || from == to
+                {
+                    return false;
+                }
+                let is_dir = self.entries[from];
+                self.entries.remove(from);
+                self.entries.insert(to.clone(), is_dir);
+                if is_dir {
+                    let prefix = format!("{from}/");
+                    let moved: Vec<(String, bool)> = self
+                        .entries
+                        .iter()
+                        .filter(|(k, _)| k.starts_with(&prefix))
+                        .map(|(k, d)| (k.clone(), *d))
+                        .collect();
+                    for (k, d) in moved {
+                        self.entries.remove(&k);
+                        self.entries.insert(format!("{to}/{}", &k[prefix.len()..]), d);
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+fn apply_fs(fs: &SimFs, op: &Op) -> bool {
+    match op {
+        Op::Create(p) => fs.create(p),
+        Op::Mkdir(p) => fs.mkdir(p),
+        Op::Modify(p) => fs.modify(p),
+        Op::Delete(p) => fs.delete(p),
+        Op::Rename(a, b) => fs.rename(a, b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simulated local FS agrees with the reference model on every
+    /// op's outcome and the final namespace.
+    #[test]
+    fn simfs_agrees_with_model(ops in prop::collection::vec(arb_op(), 0..50)) {
+        let fs = SimFs::new();
+        let mut model = Model::default();
+        for (i, op) in ops.iter().enumerate() {
+            let got = apply_fs(&fs, op);
+            let expected = model.apply(op);
+            prop_assert_eq!(got, expected, "op {} {:?}", i, op);
+        }
+        for (path, is_dir) in &model.entries {
+            prop_assert!(fs.exists(path), "missing {}", path);
+            prop_assert_eq!(fs.is_dir(path), *is_dir, "type of {}", path);
+        }
+    }
+
+    /// The FSEvents subtree monitor sees exactly one event per
+    /// successful op (no coalescing window, generous buffer): event
+    /// count completeness under arbitrary histories. Renames produce
+    /// two ItemRenamed entries (source + destination).
+    #[test]
+    fn fsevents_event_count_matches_op_count(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let fs = SimFs::new();
+        let fse = FsEventsSim::attach(&fs, 0, 1 << 20);
+        fse.watch_subtree("/");
+        let mut model = Model::default();
+        let mut expected_events = 0usize;
+        for op in &ops {
+            let applied = model.apply(op);
+            let got = apply_fs(&fs, op);
+            assert_eq!(applied, got);
+            if applied {
+                expected_events += match op {
+                    Op::Rename(..) => 2,
+                    _ => 1,
+                };
+            }
+        }
+        prop_assert_eq!(fse.drain().len(), expected_events);
+    }
+
+    /// With a watch on every directory, inotify reports every
+    /// successful op at least once, and rename halves share cookies.
+    #[test]
+    fn inotify_sees_all_ops_with_full_watch_coverage(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let fs = SimFs::new();
+        let ino = InotifySim::attach(&fs, 1 << 16, 1 << 20);
+        ino.add_watch("/");
+        let mut model = Model::default();
+        let mut successful = 0usize;
+        for op in &ops {
+            // Keep watches on all dirs current (monitors crawl).
+            let applied = model.apply(op);
+            let got = apply_fs(&fs, op);
+            assert_eq!(applied, got);
+            if applied {
+                successful += 1;
+            }
+            ino.add_watch_recursive(&fs, "/");
+        }
+        let events = ino.drain();
+        // Every successful op produced at least one event (renames two,
+        // dir deletes may add DELETE_SELF).
+        prop_assert!(events.len() >= successful, "{} events for {} ops", events.len(), successful);
+        // Rename cookies pair exactly.
+        use fsmon_events::inotify::InotifyMask;
+        let from_cookies: Vec<u32> = events.iter()
+            .filter(|e| e.mask.has(InotifyMask::IN_MOVED_FROM))
+            .map(|e| e.cookie).collect();
+        let to_cookies: Vec<u32> = events.iter()
+            .filter(|e| e.mask.has(InotifyMask::IN_MOVED_TO))
+            .map(|e| e.cookie).collect();
+        prop_assert_eq!(from_cookies, to_cookies);
+    }
+}

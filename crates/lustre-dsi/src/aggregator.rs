@@ -1,0 +1,325 @@
+//! The MGS aggregator.
+//!
+//! "Collectors use a publisher-subscriber message queue to report events
+//! to an aggregator. When an event arrives … it is placed in a
+//! processing queue. The aggregator service is multithreaded, where one
+//! thread is responsible for publishing the aggregated file system
+//! events to the subscribed consumers, and the other thread stores the
+//! events into a local database to enable fault tolerance"
+//! (§IV Aggregation).
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use fsmon_events::{decode_event_batch, encode_event_batch, StandardEvent};
+use fsmon_mq::{Context, Message, PubSocket, SubSocket};
+use fsmon_store::EventStore;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Aggregator throughput counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggregatorStats {
+    /// Events received from collectors.
+    pub received: u64,
+    /// Events published to consumers.
+    pub published: u64,
+    /// Events persisted to the reliable store.
+    pub stored: u64,
+    /// Malformed frames discarded.
+    pub decode_errors: u64,
+}
+
+struct Shared {
+    received: AtomicU64,
+    published: AtomicU64,
+    stored: AtomicU64,
+    decode_errors: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// The aggregator service.
+pub struct Aggregator {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    store: Arc<dyn EventStore>,
+    consumer_endpoint: String,
+}
+
+impl Aggregator {
+    /// Start an aggregator: subscribe to every endpoint in
+    /// `collector_endpoints`, publish aggregated events at
+    /// `consumer_endpoint`, and persist to `store`.
+    pub fn start(
+        ctx: &Context,
+        collector_endpoints: &[String],
+        consumer_endpoint: &str,
+        store: Arc<dyn EventStore>,
+    ) -> Result<Aggregator, fsmon_mq::MqError> {
+        let sub = ctx.subscriber();
+        for ep in collector_endpoints {
+            sub.connect(ep)?;
+        }
+        sub.subscribe(b"mdt");
+        let publisher = ctx.publisher();
+        publisher.bind(consumer_endpoint)?;
+        let consumer_endpoint_actual = match publisher.local_addr() {
+            Some(addr) => format!("tcp://{addr}"),
+            None => consumer_endpoint.to_string(),
+        };
+
+        let shared = Arc::new(Shared {
+            received: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+
+        // The store lane: the receive/publish thread forwards every
+        // event here so persistence cannot stall publication.
+        let (store_tx, store_rx): (Sender<Vec<StandardEvent>>, Receiver<Vec<StandardEvent>>) =
+            bounded(1 << 14);
+
+        let mut threads = Vec::new();
+        // Thread 1: receive from collectors, stamp sequence ids,
+        // publish to consumers, hand off to the store lane. Ids are
+        // assigned here — before both publication and persistence — so
+        // a consumer's last-seen id from the live stream addresses the
+        // same event in the store (the replay API's contract). The
+        // store lane appends in stamp order, so its sequence numbers
+        // coincide with the stamps.
+        {
+            let shared = shared.clone();
+            let store_tx = store_tx.clone();
+            let mut next_id = 0u64;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("aggregator-publish".into())
+                    .spawn(move || {
+                        while !shared.stop.load(Ordering::Relaxed) {
+                            match sub.recv_timeout(Duration::from_millis(20)) {
+                                Ok(msg) => {
+                                    let Some(payload) = msg.part(1) else {
+                                        shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                        continue;
+                                    };
+                                    let payload = bytes::Bytes::copy_from_slice(payload);
+                                    match decode_event_batch(&payload) {
+                                        Ok(mut events) => {
+                                            for ev in &mut events {
+                                                next_id += 1;
+                                                ev.id = next_id;
+                                            }
+                                            let events = events;
+                                            let n = events.len() as u64;
+                                            shared.received.fetch_add(n, Ordering::Relaxed);
+                                            let out = Message::from_parts(vec![
+                                                bytes::Bytes::from_static(b"events"),
+                                                encode_event_batch(&events),
+                                            ]);
+                                            let _ = publisher.send(out);
+                                            shared.published.fetch_add(n, Ordering::Relaxed);
+                                            let _ = store_tx.send(events);
+                                        }
+                                        Err(_) => {
+                                            shared
+                                                .decode_errors
+                                                .fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                                Err(_) => continue,
+                            }
+                        }
+                    })
+                    .expect("spawn aggregator publish thread"),
+            );
+        }
+        // Thread 2: persist to the reliable event store.
+        {
+            let shared = shared.clone();
+            let store = store.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("aggregator-store".into())
+                    .spawn(move || loop {
+                        match store_rx.recv_timeout(Duration::from_millis(20)) {
+                            Ok(events) => {
+                                for ev in &events {
+                                    if store.append(ev).is_ok() {
+                                        shared.stored.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                if shared.stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn aggregator store thread"),
+            );
+        }
+        drop(store_tx);
+        Ok(Aggregator {
+            shared,
+            threads,
+            store,
+            consumer_endpoint: consumer_endpoint_actual,
+        })
+    }
+
+    /// The endpoint consumers should connect to (resolved to the real
+    /// port for `tcp://…:0` binds).
+    pub fn consumer_endpoint(&self) -> &str {
+        &self.consumer_endpoint
+    }
+
+    /// The reliable event store (the historic-events API surface).
+    pub fn store(&self) -> &Arc<dyn EventStore> {
+        &self.store
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> AggregatorStats {
+        AggregatorStats {
+            received: self.shared.received.load(Ordering::Relaxed),
+            published: self.shared.published.load(Ordering::Relaxed),
+            stored: self.shared.stored.load(Ordering::Relaxed),
+            decode_errors: self.shared.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop both worker threads and join them.
+    pub fn stop(mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until `received` reaches `n` or `timeout` elapses.
+    /// Returns whether the target was reached.
+    pub fn wait_received(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.shared.received.load(Ordering::Relaxed) >= n {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+}
+
+/// A SUB socket pre-wired the way consumers attach to the aggregator.
+pub fn consumer_socket(ctx: &Context, endpoint: &str) -> Result<SubSocket, fsmon_mq::MqError> {
+    let sub = ctx.subscriber();
+    sub.connect(endpoint)?;
+    sub.subscribe(b"events");
+    Ok(sub)
+}
+
+/// A PUB socket pre-wired the way collectors publish to the aggregator.
+pub fn collector_socket(ctx: &Context, endpoint: &str) -> Result<PubSocket, fsmon_mq::MqError> {
+    let publisher = ctx.publisher();
+    publisher.bind(endpoint)?;
+    Ok(publisher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::{EventKind, StandardEvent};
+    use fsmon_store::MemStore;
+
+    fn batch_msg(events: &[StandardEvent]) -> Message {
+        Message::from_parts(vec![
+            bytes::Bytes::from_static(b"mdt0"),
+            encode_event_batch(events),
+        ])
+    }
+
+    #[test]
+    fn aggregates_publishes_and_stores() {
+        let ctx = Context::new();
+        let collector_pub = collector_socket(&ctx, "inproc://col0").unwrap();
+        let store = Arc::new(MemStore::new());
+        let agg = Aggregator::start(
+            &ctx,
+            &["inproc://col0".to_string()],
+            "inproc://agg",
+            store.clone(),
+        )
+        .unwrap();
+        let consumer = consumer_socket(&ctx, "inproc://agg").unwrap();
+
+        let events: Vec<StandardEvent> = (0..5)
+            .map(|i| StandardEvent::new(EventKind::Create, "/mnt/lustre", format!("f{i}")))
+            .collect();
+        collector_pub.send(batch_msg(&events)).unwrap();
+
+        assert!(agg.wait_received(5, Duration::from_secs(2)));
+        let msg = consumer.recv_timeout(Duration::from_secs(2)).unwrap();
+        let got = decode_event_batch(&bytes::Bytes::copy_from_slice(msg.part(1).unwrap())).unwrap();
+        assert_eq!(got.len(), 5);
+
+        // The store lane catches up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while store.stats().appended < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(store.stats().appended, 5);
+        let stats = agg.stats();
+        assert_eq!(stats.received, 5);
+        assert_eq!(stats.published, 5);
+        agg.stop();
+    }
+
+    #[test]
+    fn aggregates_from_multiple_collectors() {
+        let ctx = Context::new();
+        let p0 = collector_socket(&ctx, "inproc://c0").unwrap();
+        let p1 = collector_socket(&ctx, "inproc://c1").unwrap();
+        let store = Arc::new(MemStore::new());
+        let agg = Aggregator::start(
+            &ctx,
+            &["inproc://c0".to_string(), "inproc://c1".to_string()],
+            "inproc://agg2",
+            store,
+        )
+        .unwrap();
+        let ev = |p: &str| vec![StandardEvent::new(EventKind::Create, "/r", p)];
+        p0.send(batch_msg(&ev("a"))).unwrap();
+        p1.send(Message::from_parts(vec![
+            bytes::Bytes::from_static(b"mdt1"),
+            encode_event_batch(&ev("b")),
+        ]))
+        .unwrap();
+        assert!(agg.wait_received(2, Duration::from_secs(2)));
+        agg.stop();
+    }
+
+    #[test]
+    fn malformed_frames_counted_not_fatal() {
+        let ctx = Context::new();
+        let publisher = collector_socket(&ctx, "inproc://bad").unwrap();
+        let store = Arc::new(MemStore::new());
+        let agg = Aggregator::start(&ctx, &["inproc://bad".to_string()], "inproc://agg3", store)
+            .unwrap();
+        publisher
+            .send(Message::from_parts(vec![
+                bytes::Bytes::from_static(b"mdt0"),
+                bytes::Bytes::from_static(b"not a batch"),
+            ]))
+            .unwrap();
+        // A good frame afterwards still flows.
+        publisher
+            .send(batch_msg(&[StandardEvent::new(EventKind::Create, "/r", "ok")]))
+            .unwrap();
+        assert!(agg.wait_received(1, Duration::from_secs(2)));
+        assert!(agg.stats().decode_errors >= 1);
+        agg.stop();
+    }
+}

@@ -1,0 +1,305 @@
+//! The consumer: client-side subscription with filtering and replay.
+//!
+//! "Whenever a new event arrives to the consumer it filters the events
+//! and only passes on events related to those files and directories
+//! requested by the application. This filtering of events is not done
+//! at the aggregator in order to alleviate potential overheads if a
+//! large number of consumers were to ask to monitor different files and
+//! directories" (§IV Consumption).
+
+use fsmon_core::EventFilter;
+use fsmon_events::{decode_event_batch, EventId, StandardEvent};
+use fsmon_mq::{Context, SubSocket};
+use fsmon_store::EventStore;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A consumer attached to the aggregator.
+pub struct Consumer {
+    sub: SubSocket,
+    filter: Mutex<EventFilter>,
+    store: Option<Arc<dyn EventStore>>,
+    pending: Mutex<VecDeque<StandardEvent>>,
+    /// Events accepted by the filter.
+    accepted: AtomicU64,
+    /// Events discarded by the filter.
+    filtered_out: AtomicU64,
+    /// Highest event id seen (resume point after a fault).
+    last_seen: AtomicU64,
+}
+
+impl Consumer {
+    /// Connect to the aggregator at `endpoint`. `store` enables the
+    /// historic-replay API (`None` for stateless consumers).
+    pub fn connect(
+        ctx: &Context,
+        endpoint: &str,
+        filter: EventFilter,
+        store: Option<Arc<dyn EventStore>>,
+    ) -> Result<Consumer, fsmon_mq::MqError> {
+        let sub = ctx.subscriber();
+        sub.connect(endpoint)?;
+        sub.subscribe(b"events");
+        Ok(Consumer {
+            sub,
+            filter: Mutex::new(filter),
+            store,
+            pending: Mutex::new(VecDeque::new()),
+            accepted: AtomicU64::new(0),
+            filtered_out: AtomicU64::new(0),
+            last_seen: AtomicU64::new(0),
+        })
+    }
+
+    /// Change the subscription filter (the paper's recursive monitoring
+    /// is "just modifying the filtering rule", §V-C1).
+    pub fn set_filter(&self, filter: EventFilter) {
+        *self.filter.lock() = filter;
+    }
+
+    /// `(accepted, filtered_out)` so far.
+    pub fn filter_stats(&self) -> (u64, u64) {
+        (
+            self.accepted.load(Ordering::Relaxed),
+            self.filtered_out.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Highest event id this consumer has observed.
+    pub fn last_seen(&self) -> EventId {
+        self.last_seen.load(Ordering::Relaxed)
+    }
+
+    fn ingest(&self, events: Vec<StandardEvent>) {
+        let filter = self.filter.lock().clone();
+        let mut pending = self.pending.lock();
+        for ev in events {
+            if ev.id > 0 {
+                self.last_seen.fetch_max(ev.id, Ordering::Relaxed);
+            }
+            if filter.matches(&ev) {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                pending.push_back(ev);
+            } else {
+                self.filtered_out.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain the socket into the pending queue. Returns as soon as at
+    /// least one *filter-matching* event is pending (callers waiting in
+    /// `recv` must not sleep out their full timeout once the event has
+    /// arrived), when the socket goes quiet, or at the deadline.
+    fn pump_socket(&self, budget: Duration) {
+        let deadline = Instant::now() + budget;
+        loop {
+            let msg = match self.sub.try_recv() {
+                Some(msg) => Some(msg),
+                None => {
+                    if !self.pending.lock().is_empty() || Instant::now() >= deadline {
+                        return;
+                    }
+                    self.sub.recv_timeout(deadline - Instant::now()).ok()
+                }
+            };
+            let Some(msg) = msg else { return };
+            if let Some(payload) = msg.part(1) {
+                if let Ok(events) = decode_event_batch(&bytes::Bytes::copy_from_slice(payload)) {
+                    self.ingest(events);
+                }
+            }
+            if !self.pending.lock().is_empty() {
+                // Sweep whatever else is already queued, then hand back.
+                while let Some(extra) = self.sub.try_recv() {
+                    if let Some(payload) = extra.part(1) {
+                        if let Ok(events) =
+                            decode_event_batch(&bytes::Bytes::copy_from_slice(payload))
+                        {
+                            self.ingest(events);
+                        }
+                    }
+                }
+                return;
+            }
+            if Instant::now() >= deadline {
+                return;
+            }
+        }
+    }
+
+    /// Receive one filtered event, waiting up to `timeout`.
+    pub fn recv(&self, timeout: Duration) -> Option<StandardEvent> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(ev) = self.pending.lock().pop_front() {
+                return Some(ev);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            self.pump_socket(deadline - Instant::now());
+            if self.pending.lock().is_empty() && Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Receive up to `max` filtered events, waiting up to `timeout`
+    /// for the first.
+    pub fn recv_batch(&self, max: usize, timeout: Duration) -> Vec<StandardEvent> {
+        let mut out = Vec::new();
+        if let Some(first) = self.recv(timeout) {
+            out.push(first);
+        } else {
+            return out;
+        }
+        self.pump_socket(Duration::from_millis(1));
+        let mut pending = self.pending.lock();
+        while out.len() < max {
+            match pending.pop_front() {
+                Some(ev) => out.push(ev),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Drain everything currently buffered (no waiting beyond a single
+    /// socket sweep).
+    pub fn drain(&self) -> Vec<StandardEvent> {
+        self.pump_socket(Duration::from_millis(1));
+        let mut pending = self.pending.lock();
+        pending.drain(..).collect()
+    }
+
+    /// Replay historic events with id greater than `since` from the
+    /// reliable store — the fault-recovery path ("the consumer service
+    /// is also responsible for retrieving the historic events … in the
+    /// situation that a consumer has failed", §IV Consumption). Replayed
+    /// events pass through the same filter.
+    pub fn replay_since(
+        &self,
+        since: EventId,
+        max: usize,
+    ) -> Result<Vec<StandardEvent>, fsmon_store::StoreError> {
+        let Some(store) = &self.store else {
+            return Ok(Vec::new());
+        };
+        let filter = self.filter.lock().clone();
+        let events = store.get_since(since, max)?;
+        Ok(events.into_iter().filter(|e| filter.matches(e)).collect())
+    }
+
+    /// Flag replayed events as reported so the next purge cycle can
+    /// remove them.
+    pub fn ack(&self, up_to: EventId) -> Result<(), fsmon_store::StoreError> {
+        if let Some(store) = &self.store {
+            store.mark_reported(up_to)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::{encode_event_batch, EventKind};
+    use fsmon_mq::Message;
+    use fsmon_store::{EventStore, MemStore};
+
+    fn publish(publisher: &fsmon_mq::PubSocket, events: &[StandardEvent]) {
+        publisher
+            .send(Message::from_parts(vec![
+                bytes::Bytes::from_static(b"events"),
+                encode_event_batch(events),
+            ]))
+            .unwrap();
+    }
+
+    fn ev(kind: EventKind, path: &str, id: u64) -> StandardEvent {
+        let mut e = StandardEvent::new(kind, "/mnt/lustre", path);
+        e.id = id;
+        e
+    }
+
+    #[test]
+    fn filtering_happens_client_side() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://agg").unwrap();
+        let consumer = Consumer::connect(
+            &ctx,
+            "inproc://agg",
+            EventFilter::subtree("/keep"),
+            None,
+        )
+        .unwrap();
+        publish(
+            &publisher,
+            &[
+                ev(EventKind::Create, "/keep/a", 1),
+                ev(EventKind::Create, "/drop/b", 2),
+                ev(EventKind::Create, "/keep/c", 3),
+            ],
+        );
+        let got = consumer.recv_batch(10, Duration::from_secs(2));
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|e| e.path.starts_with("/keep")));
+        let (accepted, dropped) = consumer.filter_stats();
+        assert_eq!((accepted, dropped), (2, 1));
+        assert_eq!(consumer.last_seen(), 3);
+    }
+
+    #[test]
+    fn recv_times_out_when_silent() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://agg").unwrap();
+        let consumer =
+            Consumer::connect(&ctx, "inproc://agg", EventFilter::all(), None).unwrap();
+        let start = Instant::now();
+        assert!(consumer.recv(Duration::from_millis(50)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn replay_respects_filter_and_ack() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://agg").unwrap();
+        let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
+        store.append(&ev(EventKind::Create, "/keep/a", 0)).unwrap();
+        store.append(&ev(EventKind::Create, "/drop/b", 0)).unwrap();
+        store.append(&ev(EventKind::Create, "/keep/c", 0)).unwrap();
+        let consumer = Consumer::connect(
+            &ctx,
+            "inproc://agg",
+            EventFilter::subtree("/keep"),
+            Some(store.clone()),
+        )
+        .unwrap();
+        let replay = consumer.replay_since(0, 100).unwrap();
+        assert_eq!(replay.len(), 2);
+        consumer.ack(3).unwrap();
+        assert_eq!(store.stats().reported_seq, 3);
+        store.purge_reported().unwrap();
+        assert!(consumer.replay_since(0, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn set_filter_applies_to_subsequent_events() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://agg").unwrap();
+        let consumer =
+            Consumer::connect(&ctx, "inproc://agg", EventFilter::all(), None).unwrap();
+        publish(&publisher, &[ev(EventKind::Create, "/x", 1)]);
+        assert!(consumer.recv(Duration::from_secs(1)).is_some());
+        consumer.set_filter(EventFilter::subtree("/nope"));
+        publish(&publisher, &[ev(EventKind::Create, "/x", 2)]);
+        assert!(consumer.recv(Duration::from_millis(100)).is_none());
+    }
+}

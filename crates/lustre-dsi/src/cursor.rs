@@ -1,0 +1,151 @@
+//! Persisted changelog cursors.
+//!
+//! A collector's only recovery state is "the last changelog index I
+//! processed" (records behind it are purged, records past it are still
+//! retained by the MDT). [`CursorFile`] persists those per-MDT cursors
+//! crash-safely, so a restarted monitor resumes exactly where the
+//! previous incarnation stopped — the collector-side half of the
+//! paper's fault-tolerance story (§III-A3 covers the consumer side).
+//!
+//! Format: one line per MDT, `mdt_index cursor`, written to a temp file
+//! and renamed (atomic on POSIX).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A crash-safe per-MDT cursor file.
+pub struct CursorFile {
+    path: PathBuf,
+    cursors: BTreeMap<u16, u64>,
+}
+
+impl CursorFile {
+    /// Open (or create) the cursor file at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<CursorFile> {
+        let path = path.into();
+        let mut cursors = BTreeMap::new();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    let mut parts = line.split_whitespace();
+                    if let (Some(mdt), Some(cursor)) = (parts.next(), parts.next()) {
+                        if let (Ok(mdt), Ok(cursor)) = (mdt.parse(), cursor.parse()) {
+                            cursors.insert(mdt, cursor);
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(CursorFile { path, cursors })
+    }
+
+    /// The cursor for `mdt` (0 = start from the beginning).
+    pub fn get(&self, mdt: u16) -> u64 {
+        self.cursors.get(&mdt).copied().unwrap_or(0)
+    }
+
+    /// All known cursors.
+    pub fn all(&self) -> &BTreeMap<u16, u64> {
+        &self.cursors
+    }
+
+    /// Update one cursor in memory (call [`flush`](CursorFile::flush)
+    /// to persist). Cursors never move backwards.
+    pub fn advance(&mut self, mdt: u16, cursor: u64) {
+        let entry = self.cursors.entry(mdt).or_insert(0);
+        *entry = (*entry).max(cursor);
+    }
+
+    /// Persist atomically (write + fsync + rename).
+    pub fn flush(&self) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            for (mdt, cursor) in &self.cursors {
+                writeln!(f, "{mdt} {cursor}")?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmppath(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fsmon-cursor-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn fresh_file_starts_at_zero() {
+        let path = tmppath("fresh");
+        let _ = std::fs::remove_file(&path);
+        let c = CursorFile::open(&path).unwrap();
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(3), 0);
+        assert!(c.all().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_across_reopen() {
+        let path = tmppath("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut c = CursorFile::open(&path).unwrap();
+            c.advance(0, 1500);
+            c.advance(3, 42);
+            c.flush().unwrap();
+        }
+        let c = CursorFile::open(&path).unwrap();
+        assert_eq!(c.get(0), 1500);
+        assert_eq!(c.get(3), 42);
+        assert_eq!(c.get(1), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cursors_never_regress() {
+        let path = tmppath("monotone");
+        let _ = std::fs::remove_file(&path);
+        let mut c = CursorFile::open(&path).unwrap();
+        c.advance(0, 100);
+        c.advance(0, 50);
+        assert_eq!(c.get(0), 100);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped() {
+        let path = tmppath("corrupt");
+        std::fs::write(&path, "0 100\ngarbage line\n1 not-a-number\n2 7\n").unwrap();
+        let c = CursorFile::open(&path).unwrap();
+        assert_eq!(c.get(0), 100);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.get(2), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_is_atomic_under_reopen_loop() {
+        let path = tmppath("atomic");
+        let _ = std::fs::remove_file(&path);
+        for round in 1..=20u64 {
+            let mut c = CursorFile::open(&path).unwrap();
+            assert_eq!(c.get(0), (round - 1) * 10);
+            c.advance(0, round * 10);
+            c.flush().unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

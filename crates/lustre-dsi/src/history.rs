@@ -1,0 +1,302 @@
+//! The historic-events API.
+//!
+//! "An API is provided to the consumers to retrieve historic events
+//! from the database whenever a fault occurs" (§IV Aggregation). In a
+//! deployed system the consumer and the MGS-side store are different
+//! nodes, so the API is a request–reply exchange over the message
+//! queue. Wire protocol (multipart):
+//!
+//! ```text
+//! request:  ["replay", u64 since (BE), u32 max (BE)]
+//!           ["ack",    u64 up_to (BE)]
+//! reply:    ["events", event-batch payload]
+//!           ["ok"]
+//!           ["error", utf-8 message]
+//! ```
+
+use fsmon_events::{decode_event_batch, encode_event_batch, EventId, StandardEvent};
+use fsmon_mq::{Context, Message, MqError, ReqSocket};
+use fsmon_store::EventStore;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counters for the history service.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistoryStats {
+    /// Replay requests served.
+    pub replays: u64,
+    /// Ack requests served.
+    pub acks: u64,
+    /// Malformed or failed requests.
+    pub errors: u64,
+}
+
+struct Shared {
+    replays: AtomicU64,
+    acks: AtomicU64,
+    errors: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// The MGS-side replay service.
+pub struct HistoryService {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    endpoint: String,
+}
+
+impl HistoryService {
+    /// Serve `store` at `endpoint` (`inproc://…` or `tcp://…:0`).
+    pub fn start(
+        ctx: &Context,
+        endpoint: &str,
+        store: Arc<dyn EventStore>,
+    ) -> Result<HistoryService, MqError> {
+        let rep = ctx.replier();
+        rep.bind(endpoint)?;
+        let endpoint_actual = match rep.local_addr() {
+            Some(addr) => format!("tcp://{addr}"),
+            None => endpoint.to_string(),
+        };
+        let shared = Arc::new(Shared {
+            replays: AtomicU64::new(0),
+            acks: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let shared_t = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name("history-service".into())
+            .spawn(move || {
+                while !shared_t.stop.load(Ordering::Relaxed) {
+                    let Ok(incoming) = rep.recv_timeout(Duration::from_millis(50)) else {
+                        continue;
+                    };
+                    let reply = Self::handle(&store, &incoming.request, &shared_t);
+                    let _ = incoming.reply(reply);
+                }
+            })
+            .expect("spawn history service");
+        Ok(HistoryService {
+            shared,
+            thread: Some(thread),
+            endpoint: endpoint_actual,
+        })
+    }
+
+    fn handle(store: &Arc<dyn EventStore>, request: &Message, shared: &Shared) -> Message {
+        let error = |msg: &str| {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            Message::from_parts(vec![b"error".to_vec(), msg.as_bytes().to_vec()])
+        };
+        match request.part(0) {
+            Some(b"replay") => {
+                let (Some(since_raw), Some(max_raw)) = (request.part(1), request.part(2)) else {
+                    return error("replay requires since and max");
+                };
+                let (Ok(since_bytes), Ok(max_bytes)) =
+                    (<[u8; 8]>::try_from(since_raw), <[u8; 4]>::try_from(max_raw))
+                else {
+                    return error("malformed replay fields");
+                };
+                let since = u64::from_be_bytes(since_bytes);
+                let max = u32::from_be_bytes(max_bytes) as usize;
+                match store.get_since(since, max.min(1 << 20)) {
+                    Ok(events) => {
+                        shared.replays.fetch_add(1, Ordering::Relaxed);
+                        Message::from_parts(vec![
+                            bytes::Bytes::from_static(b"events"),
+                            encode_event_batch(&events),
+                        ])
+                    }
+                    Err(e) => error(&format!("store: {e}")),
+                }
+            }
+            Some(b"ack") => {
+                let Some(up_to_raw) = request.part(1) else {
+                    return error("ack requires up_to");
+                };
+                let Ok(up_to_bytes) = <[u8; 8]>::try_from(up_to_raw) else {
+                    return error("malformed ack field");
+                };
+                match store.mark_reported(u64::from_be_bytes(up_to_bytes)) {
+                    Ok(()) => {
+                        shared.acks.fetch_add(1, Ordering::Relaxed);
+                        Message::single(b"ok".to_vec())
+                    }
+                    Err(e) => error(&format!("store: {e}")),
+                }
+            }
+            _ => error("unknown request"),
+        }
+    }
+
+    /// The endpoint clients connect their REQ sockets to.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> HistoryStats {
+        HistoryStats {
+            replays: self.shared.replays.load(Ordering::Relaxed),
+            acks: self.shared.acks.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the service thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HistoryService {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// A client of the history service.
+pub struct HistoryClient {
+    req: ReqSocket,
+    timeout: Duration,
+}
+
+impl HistoryClient {
+    /// Connect to a history service.
+    pub fn connect(ctx: &Context, endpoint: &str) -> Result<HistoryClient, MqError> {
+        let req = ctx.requester();
+        req.connect(endpoint)?;
+        Ok(HistoryClient {
+            req,
+            timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// Set the per-request timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Fetch events with id greater than `since`.
+    pub fn replay_since(&self, since: EventId, max: u32) -> Result<Vec<StandardEvent>, MqError> {
+        let request = Message::from_parts(vec![
+            b"replay".to_vec(),
+            since.to_be_bytes().to_vec(),
+            max.to_be_bytes().to_vec(),
+        ]);
+        let reply = self.req.request(request, self.timeout)?;
+        match reply.part(0) {
+            Some(b"events") => {
+                let payload = bytes::Bytes::copy_from_slice(reply.part(1).unwrap_or(&[]));
+                decode_event_batch(&payload).map_err(|_| MqError::Disconnected)
+            }
+            _ => Err(MqError::Disconnected),
+        }
+    }
+
+    /// Flag events up to `up_to` as reported.
+    pub fn ack(&self, up_to: EventId) -> Result<(), MqError> {
+        let request = Message::from_parts(vec![b"ack".to_vec(), up_to.to_be_bytes().to_vec()]);
+        let reply = self.req.request(request, self.timeout)?;
+        match reply.part(0) {
+            Some(b"ok") => Ok(()),
+            _ => Err(MqError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::{EventKind, StandardEvent};
+    use fsmon_store::MemStore;
+
+    fn service_with_events(n: u64) -> (Context, HistoryService, Arc<dyn EventStore>) {
+        let ctx = Context::new();
+        let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
+        for i in 0..n {
+            store
+                .append(&StandardEvent::new(EventKind::Create, "/r", format!("f{i}")))
+                .unwrap();
+        }
+        let svc = HistoryService::start(&ctx, "inproc://history", store.clone()).unwrap();
+        (ctx, svc, store)
+    }
+
+    #[test]
+    fn replay_over_the_wire() {
+        let (ctx, svc, _store) = service_with_events(10);
+        let client = HistoryClient::connect(&ctx, "inproc://history").unwrap();
+        let events = client.replay_since(4, 100).unwrap();
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[0].id, 5);
+        assert_eq!(svc.stats().replays, 1);
+        svc.stop();
+    }
+
+    #[test]
+    fn ack_advances_watermark_remotely() {
+        let (ctx, svc, store) = service_with_events(5);
+        let client = HistoryClient::connect(&ctx, "inproc://history").unwrap();
+        client.ack(3).unwrap();
+        assert_eq!(store.stats().reported_seq, 3);
+        store.purge_reported().unwrap();
+        let events = client.replay_since(0, 100).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(svc.stats().acks, 1);
+        svc.stop();
+    }
+
+    #[test]
+    fn malformed_requests_get_error_replies() {
+        let (ctx, svc, _store) = service_with_events(1);
+        let req = ctx.requester();
+        req.connect("inproc://history").unwrap();
+        let reply = req
+            .request(Message::single(b"bogus".to_vec()), Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(reply.part(0), Some(&b"error"[..]));
+        let reply = req
+            .request(
+                Message::from_parts(vec![b"replay".to_vec(), vec![1, 2]]),
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(reply.part(0), Some(&b"error"[..]));
+        assert_eq!(svc.stats().errors, 2);
+        svc.stop();
+    }
+
+    #[test]
+    fn tcp_history_service() {
+        let ctx = Context::new();
+        let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
+        store
+            .append(&StandardEvent::new(EventKind::Create, "/r", "x"))
+            .unwrap();
+        let svc = HistoryService::start(&ctx, "tcp://127.0.0.1:0", store).unwrap();
+        let client = HistoryClient::connect(&ctx, svc.endpoint()).unwrap();
+        let events = client.replay_since(0, 10).unwrap();
+        assert_eq!(events.len(), 1);
+        svc.stop();
+    }
+
+    #[test]
+    fn max_caps_reply_size() {
+        let (ctx, svc, _store) = service_with_events(50);
+        let client = HistoryClient::connect(&ctx, "inproc://history").unwrap();
+        let events = client.replay_since(0, 7).unwrap();
+        assert_eq!(events.len(), 7);
+        svc.stop();
+    }
+}

@@ -1,0 +1,631 @@
+//! The assembled scalable monitor and its DSI adapter.
+//!
+//! [`ScalableMonitor::start`] wires the full Fig. 4 pipeline over a
+//! simulated Lustre deployment: one collector thread per MDS, an
+//! aggregator on the (conceptual) MGS, and a consumer on the client.
+//! [`LustreDsi`] adapts the pipeline to `fsmon-core`'s
+//! [`StorageInterface`], making Lustre one more pluggable DSI.
+
+use crate::aggregator::Aggregator;
+use crate::collector::{Collector, CollectorStats};
+use crate::consumer::Consumer;
+use fsmon_core::dsi::{DsiError, RawEvent, StorageInterface};
+use fsmon_core::EventFilter;
+use fsmon_events::MonitorSource;
+use fsmon_mq::Context;
+use fsmon_store::{EventStore, MemStore};
+use lustre_sim::LustreFs;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which transport connects the pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// In-process channels (single-host runs, tests, benchmarks).
+    #[default]
+    Inproc,
+    /// TCP loopback — the deployment shape of the real system
+    /// (collector on each MDS, aggregator on the MGS).
+    Tcp,
+}
+
+/// Configuration for the scalable monitor.
+#[derive(Clone)]
+pub struct ScalableConfig {
+    /// LRU capacity for each collector's `fid2path` cache (0 disables;
+    /// the paper settles on 5000, §V-D4).
+    pub cache_size: usize,
+    /// Changelog records per collector batch.
+    pub batch_size: usize,
+    /// Stage transport.
+    pub transport: Transport,
+    /// Watch root reported on standardized events.
+    pub watch_root: String,
+    /// Collector idle sleep when the changelog is empty.
+    pub idle_sleep: Duration,
+    /// Reliable event store (defaults to in-memory).
+    pub store: Option<Arc<dyn EventStore>>,
+    /// How often the janitor purges reported events from the store
+    /// ("they are flagged as having been reported and can be removed
+    /// from the data store when next data purge cycle is initiated",
+    /// §IV Consumption). `None` disables automatic purging.
+    pub purge_interval: Option<Duration>,
+    /// Path of a crash-safe per-MDT cursor file. When set, collectors
+    /// resume from the persisted cursors at start and persist progress
+    /// as they go — a monitor restart neither loses nor duplicates
+    /// records.
+    pub cursor_file: Option<std::path::PathBuf>,
+}
+
+impl Default for ScalableConfig {
+    fn default() -> Self {
+        ScalableConfig {
+            cache_size: 5000,
+            batch_size: 1024,
+            transport: Transport::Inproc,
+            watch_root: "/mnt/lustre".to_string(),
+            idle_sleep: Duration::from_micros(200),
+            store: None,
+            purge_interval: Some(Duration::from_secs(30)),
+            cursor_file: None,
+        }
+    }
+}
+
+impl ScalableConfig {
+    /// Default configuration with the cache disabled (the paper's
+    /// "without cache" rows).
+    pub fn without_cache() -> ScalableConfig {
+        ScalableConfig {
+            cache_size: 0,
+            ..ScalableConfig::default()
+        }
+    }
+}
+
+static MONITOR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The running pipeline.
+pub struct ScalableMonitor {
+    collectors: Vec<Arc<Mutex<Collector>>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    aggregator: Aggregator,
+    consumer: Arc<Consumer>,
+    ctx: Context,
+    stop: Arc<AtomicBool>,
+    watch_root: String,
+    /// Wall time each collector spent inside `step()` (ns), indexed by
+    /// MDT. Busy time, not wall time, is what determines a collector's
+    /// service capacity on a shared-core host.
+    collector_busy_ns: Vec<Arc<AtomicU64>>,
+    history: crate::history::HistoryService,
+}
+
+impl ScalableMonitor {
+    /// Start collectors, aggregator, and a consumer over `fs`.
+    pub fn start(fs: &Arc<LustreFs>, config: ScalableConfig) -> Result<ScalableMonitor, fsmon_mq::MqError> {
+        let ctx = Context::new();
+        let run_id = MONITOR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let store: Arc<dyn EventStore> = config
+            .store
+            .clone()
+            .unwrap_or_else(|| Arc::new(MemStore::new()));
+
+        // Persisted cursors: resume collectors where the previous
+        // incarnation stopped.
+        let cursors = match &config.cursor_file {
+            Some(path) => Some(Arc::new(Mutex::new(
+                crate::cursor::CursorFile::open(path)
+                    .map_err(|e| fsmon_mq::MqError::BindFailed(format!("cursor file: {e}")))?,
+            ))),
+            None => None,
+        };
+
+        // Bind one publisher per collector, recording resolved endpoints.
+        let mut collector_endpoints = Vec::new();
+        let mut collectors = Vec::new();
+        for i in 0..fs.mdt_count() {
+            let publisher = ctx.publisher();
+            let endpoint = match config.transport {
+                Transport::Inproc => {
+                    let ep = format!("inproc://fsmon-{run_id}-mdt{i}");
+                    publisher.bind(&ep)?;
+                    ep
+                }
+                Transport::Tcp => {
+                    publisher.bind("tcp://127.0.0.1:0")?;
+                    format!("tcp://{}", publisher.local_addr().expect("tcp bound"))
+                }
+            };
+            collector_endpoints.push(endpoint);
+            let collector = match &cursors {
+                Some(cursors) => Collector::resume(
+                    fs.mdt(i),
+                    config.watch_root.clone(),
+                    config.cache_size,
+                    config.batch_size,
+                    Some(publisher),
+                    cursors.lock().get(i),
+                ),
+                None => Collector::new(
+                    fs.mdt(i),
+                    config.watch_root.clone(),
+                    config.cache_size,
+                    config.batch_size,
+                    Some(publisher),
+                ),
+            };
+            collectors.push(Arc::new(Mutex::new(collector)));
+        }
+
+        let consumer_endpoint = match config.transport {
+            Transport::Inproc => format!("inproc://fsmon-{run_id}-agg"),
+            Transport::Tcp => "tcp://127.0.0.1:0".to_string(),
+        };
+        let aggregator = Aggregator::start(&ctx, &collector_endpoints, &consumer_endpoint, store.clone())?;
+        // The MGS also serves the historic-events API over REQ/REP.
+        let history_endpoint = match config.transport {
+            Transport::Inproc => format!("inproc://fsmon-{run_id}-history"),
+            Transport::Tcp => "tcp://127.0.0.1:0".to_string(),
+        };
+        let history = crate::history::HistoryService::start(&ctx, &history_endpoint, store.clone())?;
+        // Give TCP subscriptions a beat to register publisher-side.
+        if config.transport == Transport::Tcp {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let consumer = Arc::new(Consumer::connect(
+            &ctx,
+            aggregator.consumer_endpoint(),
+            EventFilter::all(),
+            Some(store),
+        )?);
+        if config.transport == Transport::Tcp {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+
+        // One collection thread per MDS (Fig. 4: "deploying collectors
+        // on individual MDSs enables every MDS to be monitored in
+        // parallel").
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        // The janitor: periodic purge cycles over the reliable store.
+        if let Some(interval) = config.purge_interval {
+            let store = aggregator.store().clone();
+            let stop = stop.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("store-janitor".into())
+                    .spawn(move || {
+                        let mut slept = Duration::ZERO;
+                        while !stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_millis(20));
+                            slept += Duration::from_millis(20);
+                            if slept >= interval {
+                                slept = Duration::ZERO;
+                                let _ = store.purge_reported();
+                            }
+                        }
+                    })
+                    .expect("spawn janitor thread"),
+            );
+        }
+        let mut collector_busy_ns = Vec::new();
+        for (i, collector) in collectors.iter().enumerate() {
+            let collector = collector.clone();
+            let stop = stop.clone();
+            let idle = config.idle_sleep;
+            let busy = Arc::new(AtomicU64::new(0));
+            collector_busy_ns.push(busy.clone());
+            let cursors = cursors.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("collector-mdt{i}"))
+                    .spawn(move || {
+                        let mdt = i as u16;
+                        while !stop.load(Ordering::Relaxed) {
+                            let t0 = std::time::Instant::now();
+                            let (produced, cursor) = {
+                                let mut c = collector.lock();
+                                (c.step().len(), c.last_index())
+                            };
+                            if produced == 0 {
+                                std::thread::sleep(idle);
+                            } else {
+                                busy.fetch_add(
+                                    t0.elapsed().as_nanos() as u64,
+                                    Ordering::Relaxed,
+                                );
+                                if let Some(cursors) = &cursors {
+                                    let mut cf = cursors.lock();
+                                    cf.advance(mdt, cursor);
+                                    let _ = cf.flush();
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn collector thread"),
+            );
+        }
+
+        Ok(ScalableMonitor {
+            collectors,
+            threads,
+            aggregator,
+            consumer,
+            ctx,
+            stop,
+            watch_root: config.watch_root,
+            collector_busy_ns,
+            history,
+        })
+    }
+
+    /// The client-side consumer.
+    pub fn consumer(&self) -> &Arc<Consumer> {
+        &self.consumer
+    }
+
+    /// Attach an additional consumer with its own filter.
+    pub fn new_consumer(&self, filter: EventFilter) -> Result<Consumer, fsmon_mq::MqError> {
+        Consumer::connect(
+            &self.ctx,
+            self.aggregator.consumer_endpoint(),
+            filter,
+            Some(self.aggregator.store().clone()),
+        )
+    }
+
+    /// Aggregator counters.
+    pub fn aggregator_stats(&self) -> crate::aggregator::AggregatorStats {
+        self.aggregator.stats()
+    }
+
+    /// Per-collector counters.
+    pub fn collector_stats(&self) -> Vec<CollectorStats> {
+        self.collectors.iter().map(|c| c.lock().stats()).collect()
+    }
+
+    /// Sum of collector counters across MDSs.
+    pub fn total_collector_stats(&self) -> CollectorStats {
+        let mut total = CollectorStats::default();
+        for s in self.collector_stats() {
+            total.records += s.records;
+            total.events += s.events;
+            total.fid2path_calls += s.fid2path_calls;
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.parent_dir_removed += s.parent_dir_removed;
+            total.cache_entries += s.cache_entries;
+            total.cache_memory_bytes += s.cache_memory_bytes;
+        }
+        total
+    }
+
+    /// The reliable event store.
+    pub fn store(&self) -> Arc<dyn EventStore> {
+        self.aggregator.store().clone()
+    }
+
+    /// The historic-events API endpoint (connect a
+    /// [`crate::HistoryClient`] to it — this is how a consumer on
+    /// another node replays after a fault).
+    pub fn history_endpoint(&self) -> &str {
+        self.history.endpoint()
+    }
+
+    /// A connected history client.
+    pub fn history_client(&self) -> Result<crate::HistoryClient, fsmon_mq::MqError> {
+        crate::HistoryClient::connect(&self.ctx, self.history.endpoint())
+    }
+
+    /// History service counters.
+    pub fn history_stats(&self) -> crate::HistoryStats {
+        self.history.stats()
+    }
+
+    /// Per-collector busy time (ns spent inside `step`), indexed by MDT.
+    pub fn collector_busy_ns(&self) -> Vec<u64> {
+        self.collector_busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total backlog (unconsumed changelog records) across MDTs.
+    pub fn total_backlog(&self) -> u64 {
+        self.collectors.iter().map(|c| c.lock().backlog()).sum()
+    }
+
+    /// Block until the aggregator has received `n` events (or timeout).
+    pub fn wait_events(&self, n: u64, timeout: Duration) -> bool {
+        self.aggregator.wait_received(n, timeout)
+    }
+
+    /// Watch root reported on events.
+    pub fn watch_root(&self) -> &str {
+        &self.watch_root
+    }
+
+    /// Stop collector threads and the aggregator.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.aggregator.stop();
+    }
+}
+
+/// Adapter exposing the scalable pipeline as a `fsmon-core` DSI.
+pub struct LustreDsi {
+    consumer: Arc<Consumer>,
+    watch_root: String,
+}
+
+impl LustreDsi {
+    /// Wrap a running monitor's consumer.
+    pub fn new(monitor: &ScalableMonitor) -> LustreDsi {
+        LustreDsi {
+            consumer: monitor.consumer().clone(),
+            watch_root: monitor.watch_root().to_string(),
+        }
+    }
+}
+
+impl StorageInterface for LustreDsi {
+    fn name(&self) -> &'static str {
+        "lustre-changelog"
+    }
+
+    fn source(&self) -> MonitorSource {
+        MonitorSource::LustreChangelog
+    }
+
+    fn watch_root(&self) -> &str {
+        &self.watch_root
+    }
+
+    fn start(&mut self) -> Result<(), DsiError> {
+        Ok(())
+    }
+
+    fn poll(&mut self, max: usize) -> Vec<RawEvent> {
+        self.consumer
+            .drain()
+            .into_iter()
+            .take(max)
+            .map(RawEvent::Standard)
+            .collect()
+    }
+
+    fn stop(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::EventKind;
+    use lustre_sim::LustreConfig;
+
+    #[test]
+    fn end_to_end_single_mds() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+        let client = fs.client();
+        client.create("/a.txt").unwrap();
+        client.write("/a.txt", 0, 64).unwrap();
+        client.unlink("/a.txt").unwrap();
+        assert!(monitor.wait_events(3, Duration::from_secs(5)));
+        let events = monitor.consumer().recv_batch(10, Duration::from_secs(2));
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Create);
+        assert_eq!(events[1].kind, EventKind::Modify);
+        assert_eq!(events[2].kind, EventKind::Delete);
+        assert!(events.iter().all(|e| e.path == "/a.txt"));
+        monitor.stop();
+    }
+
+    #[test]
+    fn end_to_end_four_mds_dne() {
+        let fs = LustreFs::new(LustreConfig::small_dne(4));
+        let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+        let client = fs.client();
+        let mut expected = 0u64;
+        for i in 0..32 {
+            client.mkdir(&format!("/dir{i}")).unwrap();
+            client.create(&format!("/dir{i}/f")).unwrap();
+            expected += 2;
+        }
+        assert!(monitor.wait_events(expected, Duration::from_secs(5)));
+        // Every MDS contributed.
+        let per: Vec<u64> = monitor.collector_stats().iter().map(|s| s.events).collect();
+        assert_eq!(per.iter().sum::<u64>(), expected);
+        assert!(per.iter().filter(|n| **n > 0).count() >= 3, "{per:?}");
+        monitor.stop();
+    }
+
+    #[test]
+    fn no_event_loss_under_burst() {
+        let fs = LustreFs::new(LustreConfig::small_dne(2));
+        let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+        let client = fs.client();
+        let n = 5000u64;
+        for i in 0..n {
+            client.create(&format!("/f{i}")).unwrap();
+        }
+        assert!(
+            monitor.wait_events(n, Duration::from_secs(30)),
+            "only {} of {n} arrived",
+            monitor.aggregator_stats().received
+        );
+        let stats = monitor.aggregator_stats();
+        assert_eq!(stats.received, n, "no overall loss of events (§V-D2)");
+        monitor.stop();
+    }
+
+    #[test]
+    fn monitor_restart_resumes_from_persisted_cursors() {
+        let cursor_path = std::env::temp_dir().join(format!(
+            "fsmon-monitor-cursors-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&cursor_path);
+        let fs = LustreFs::new(LustreConfig::small_dne(2));
+        let config = || ScalableConfig {
+            cursor_file: Some(cursor_path.clone()),
+            ..ScalableConfig::default()
+        };
+        let client = fs.client();
+        // Incarnation 1 processes a first wave.
+        {
+            let monitor = ScalableMonitor::start(&fs, config()).unwrap();
+            for i in 0..20 {
+                client.mkdir(&format!("/wave1-{i}")).unwrap();
+            }
+            assert!(monitor.wait_events(20, Duration::from_secs(5)));
+            monitor.stop(); // "crash" after cursors were flushed
+        }
+        // A second wave lands while no monitor is running.
+        for i in 0..10 {
+            client.mkdir(&format!("/wave2-{i}")).unwrap();
+        }
+        // Incarnation 2 resumes: exactly the second wave, no replays.
+        let monitor = ScalableMonitor::start(&fs, config()).unwrap();
+        assert!(monitor.wait_events(10, Duration::from_secs(5)));
+        let events = monitor.consumer().recv_batch(100, Duration::from_secs(2));
+        assert_eq!(events.len(), 10, "{:?}", events.iter().map(|e| &e.path).collect::<Vec<_>>());
+        assert!(events.iter().all(|e| e.path.starts_with("/wave2-")));
+        monitor.stop();
+        std::fs::remove_file(&cursor_path).ok();
+    }
+
+    #[test]
+    fn janitor_purges_acked_events_on_schedule() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(
+            &fs,
+            ScalableConfig {
+                purge_interval: Some(Duration::from_millis(50)),
+                ..ScalableConfig::default()
+            },
+        )
+        .unwrap();
+        let client = fs.client();
+        for i in 0..5 {
+            client.create(&format!("/j{i}")).unwrap();
+        }
+        assert!(monitor.wait_events(5, Duration::from_secs(5)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while monitor.store().stats().appended < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        monitor.consumer().ack(3).unwrap();
+        // The janitor purges within a couple of cycles.
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while monitor.store().stats().retained > 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(monitor.store().stats().retained, 2);
+        monitor.stop();
+    }
+
+    #[test]
+    fn history_api_serves_replay_over_the_queue() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+        let client = fs.client();
+        for i in 0..8 {
+            client.create(&format!("/h{i}")).unwrap();
+        }
+        assert!(monitor.wait_events(8, Duration::from_secs(5)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while monitor.store().stats().appended < 8 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let history = monitor.history_client().unwrap();
+        let events = history.replay_since(3, 100).unwrap();
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().all(|e| e.id > 3));
+        history.ack(8).unwrap();
+        assert_eq!(monitor.store().stats().reported_seq, 8);
+        assert_eq!(monitor.history_stats().replays, 1);
+        monitor.stop();
+    }
+
+    #[test]
+    fn events_are_persisted_for_replay() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+        fs.client().create("/x").unwrap();
+        monitor.wait_events(1, Duration::from_secs(5));
+        // Wait for the store lane.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while monitor.store().stats().appended < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let replay = monitor.consumer().replay_since(0, 10).unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].path, "/x");
+        monitor.stop();
+    }
+
+    #[test]
+    fn filtered_consumer_sees_subset() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+        let filtered = monitor
+            .new_consumer(EventFilter::subtree("/keep"))
+            .unwrap();
+        let client = fs.client();
+        client.mkdir("/keep").unwrap();
+        client.mkdir("/drop").unwrap();
+        client.create("/keep/a").unwrap();
+        client.create("/drop/b").unwrap();
+        monitor.wait_events(4, Duration::from_secs(5));
+        let events = filtered.recv_batch(10, Duration::from_secs(2));
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.path.starts_with("/keep")));
+        monitor.stop();
+    }
+
+    #[test]
+    fn tcp_transport_end_to_end() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(
+            &fs,
+            ScalableConfig {
+                transport: Transport::Tcp,
+                ..ScalableConfig::default()
+            },
+        )
+        .unwrap();
+        fs.client().create("/over-tcp").unwrap();
+        assert!(monitor.wait_events(1, Duration::from_secs(5)));
+        let events = monitor.consumer().recv_batch(10, Duration::from_secs(2));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].path, "/over-tcp");
+        monitor.stop();
+    }
+
+    #[test]
+    fn lustre_dsi_plugs_into_fsmonitor() {
+        use fsmon_core::{FsMonitor, MonitorConfig};
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+        let dsi = LustreDsi::new(&monitor);
+        let mut fsmon = FsMonitor::new(Box::new(dsi), MonitorConfig::without_store());
+        let sub = fsmon.subscribe(EventFilter::all());
+        fs.client().create("/via-core.txt").unwrap();
+        monitor.wait_events(1, Duration::from_secs(5));
+        // Let the consumer buffer fill, then pump the core monitor.
+        std::thread::sleep(Duration::from_millis(50));
+        fsmon.pump(100);
+        let events = sub.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].path, "/via-core.txt");
+        assert_eq!(events[0].source, MonitorSource::LustreChangelog);
+        monitor.stop();
+    }
+}

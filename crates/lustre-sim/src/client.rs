@@ -1,0 +1,215 @@
+//! The client mount: the interface compute nodes use.
+//!
+//! A [`LustreClient`] is a cheap handle (clone freely; one per workload
+//! thread) exposing the POSIX-style surface the paper's workloads need.
+//! Open/close are modelled so that Lustre's `CLOSE` changelog records
+//! (visible in Table IX) can be generated when enabled.
+
+use crate::namespace::{FileType, FsError, LustreFs};
+use std::sync::Arc;
+
+/// Re-exported error type for client operations.
+pub type ClientError = FsError;
+
+/// A mounted client.
+#[derive(Clone)]
+pub struct LustreClient {
+    fs: Arc<LustreFs>,
+}
+
+impl LustreClient {
+    pub(crate) fn new(fs: Arc<LustreFs>) -> LustreClient {
+        LustreClient { fs }
+    }
+
+    /// The file system this client is mounted on.
+    pub fn fs(&self) -> &Arc<LustreFs> {
+        &self.fs
+    }
+
+    /// Create a regular file.
+    pub fn create(&self, path: &str) -> Result<(), ClientError> {
+        self.fs.create(path).map(|_| ())
+    }
+
+    /// Create a directory.
+    pub fn mkdir(&self, path: &str) -> Result<(), ClientError> {
+        self.fs.mkdir(path).map(|_| ())
+    }
+
+    /// Create every missing directory along `path` (like `mkdir -p`).
+    pub fn mkdir_all(&self, path: &str) -> Result<(), ClientError> {
+        if path == "/" {
+            return Ok(());
+        }
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        let mut cur = String::new();
+        for c in comps {
+            cur.push('/');
+            cur.push_str(c);
+            match self.fs.mkdir(&cur) {
+                Ok(_) | Err(FsError::Exists(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Write `len` bytes at `offset` (contents are not materialized; the
+    /// object layer accounts the capacity).
+    pub fn write(&self, path: &str, offset: u64, len: u64) -> Result<(), ClientError> {
+        self.fs.write(path, offset, len)
+    }
+
+    /// Append `len` bytes at the current end of file.
+    pub fn append(&self, path: &str, len: u64) -> Result<(), ClientError> {
+        let size = self.fs.size_of(path)?;
+        self.fs.write(path, size, len)
+    }
+
+    /// Truncate the file to `size`.
+    pub fn truncate(&self, path: &str, size: u64) -> Result<(), ClientError> {
+        self.fs.truncate(path, size)
+    }
+
+    /// Change permissions.
+    pub fn chmod(&self, path: &str, mode: u32) -> Result<(), ClientError> {
+        self.fs.setattr(path, mode)
+    }
+
+    /// Set an extended attribute.
+    pub fn setxattr(&self, path: &str, key: &str, value: &[u8]) -> Result<(), ClientError> {
+        self.fs.setxattr(path, key, value)
+    }
+
+    /// Issue an ioctl.
+    pub fn ioctl(&self, path: &str) -> Result<(), ClientError> {
+        self.fs.ioctl(path)
+    }
+
+    /// Hard link `existing` at `newpath`.
+    pub fn link(&self, existing: &str, newpath: &str) -> Result<(), ClientError> {
+        self.fs.hardlink(existing, newpath)
+    }
+
+    /// Symlink `target` at `linkpath`.
+    pub fn symlink(&self, target: &str, linkpath: &str) -> Result<(), ClientError> {
+        self.fs.symlink(target, linkpath).map(|_| ())
+    }
+
+    /// Create a device node.
+    pub fn mknod(&self, path: &str) -> Result<(), ClientError> {
+        self.fs.mknod(path).map(|_| ())
+    }
+
+    /// Rename `old` to `new`.
+    pub fn rename(&self, old: &str, new: &str) -> Result<(), ClientError> {
+        self.fs.rename(old, new).map(|_| ())
+    }
+
+    /// Unlink a file.
+    pub fn unlink(&self, path: &str) -> Result<(), ClientError> {
+        self.fs.unlink(path)
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, path: &str) -> Result<(), ClientError> {
+        self.fs.rmdir(path)
+    }
+
+    /// Recursively remove a directory tree.
+    pub fn remove_all(&self, path: &str) -> Result<(), ClientError> {
+        match self.fs.file_type(path)? {
+            FileType::Directory => {
+                for name in self.fs.readdir(path)? {
+                    let child = if path == "/" {
+                        format!("/{name}")
+                    } else {
+                        format!("{path}/{name}")
+                    };
+                    self.remove_all(&child)?;
+                }
+                if path != "/" {
+                    self.fs.rmdir(path)?;
+                }
+                Ok(())
+            }
+            _ => self.fs.unlink(path),
+        }
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.fs.resolve(path).is_ok()
+    }
+
+    /// Stat-like size query.
+    pub fn size_of(&self, path: &str) -> Result<u64, ClientError> {
+        self.fs.size_of(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LustreConfig;
+
+    fn client() -> LustreClient {
+        LustreFs::new(LustreConfig::small()).client()
+    }
+
+    #[test]
+    fn mkdir_all_is_idempotent() {
+        let c = client();
+        c.mkdir_all("/a/b/c").unwrap();
+        c.mkdir_all("/a/b/c").unwrap();
+        assert!(c.exists("/a/b/c"));
+    }
+
+    #[test]
+    fn append_extends_file() {
+        let c = client();
+        c.create("/f").unwrap();
+        c.append("/f", 100).unwrap();
+        c.append("/f", 50).unwrap();
+        assert_eq!(c.size_of("/f").unwrap(), 150);
+    }
+
+    #[test]
+    fn remove_all_clears_tree() {
+        let c = client();
+        c.mkdir_all("/a/b").unwrap();
+        c.create("/a/f1").unwrap();
+        c.create("/a/b/f2").unwrap();
+        c.remove_all("/a").unwrap();
+        assert!(!c.exists("/a"));
+    }
+
+    #[test]
+    fn clients_are_cloneable_and_share_fs() {
+        let c1 = client();
+        let c2 = c1.clone();
+        c1.create("/x").unwrap();
+        assert!(c2.exists("/x"));
+    }
+
+    #[test]
+    fn concurrent_clients_do_not_lose_operations() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let mut handles = vec![];
+        for t in 0..4 {
+            let c = fs.client();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    c.create(&format!("/t{t}-f{i}")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fs.op_counters().snapshot().0, 1000);
+        let handle = fs.mdt(0);
+        assert_eq!(handle.changelog_stats().appended, 1000);
+    }
+}

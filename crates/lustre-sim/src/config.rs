@@ -1,0 +1,278 @@
+//! Simulator configuration and testbed profiles.
+//!
+//! The paper evaluates on three Lustre testbeds (§V-A2): *AWS* (20 GB,
+//! five t2.micro instances, 1 MDS), *Thor* (500 GB, 10 OSS × 5 OST,
+//! 1 MDS), and *Iota* (897 TB pre-exascale machine, 4 MDSs with DNE).
+//! [`TestbedKind`] reproduces each as a configuration profile whose
+//! metadata-operation costs are calibrated so the *ratios* between
+//! testbeds match the paper's Table V baseline generation rates
+//! (352/534/832 ev/s on AWS … 1389/2538/3442 per MDS on Iota), scaled by
+//! a common speed-up factor so experiments complete quickly on a laptop.
+
+use crate::clock::CostModel;
+use fsmon_events::changelog::{ChangelogKind, ChangelogMask};
+
+/// Common speed-up applied to paper-derived latencies (20× faster than
+/// the real testbeds, preserving all ratios).
+pub const TIME_SCALE: u64 = 20;
+
+const fn op_cost_ns(paper_rate_per_sec: u64) -> u64 {
+    1_000_000_000 / paper_rate_per_sec / TIME_SCALE
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone)]
+pub struct LustreConfig {
+    /// Number of MDTs (one MDS each; DNE when > 1).
+    pub n_mdt: u16,
+    /// Number of OSSs.
+    pub n_oss: u32,
+    /// OSTs per OSS.
+    pub osts_per_oss: u32,
+    /// Capacity per OST, bytes.
+    pub ost_capacity: u64,
+    /// Default stripe count for new files.
+    pub default_stripe_count: u32,
+    /// Default stripe size, bytes.
+    pub default_stripe_size: u64,
+    /// Maximum records retained per changelog (0 = unbounded).
+    pub changelog_capacity: usize,
+    /// Whether OPEN records are written (off by default; Lustre disables
+    /// them unless `changelog_mask` includes OPEN).
+    pub record_open: bool,
+    /// Whether CLOSE records are written (on: Table IX reports CLOSE).
+    pub record_close: bool,
+    /// Which record types the MDTs write at all (Lustre's
+    /// `changelog_mask`). Defaults to everything; OPEN/CLOSE synthesis
+    /// is gated separately by `record_open`/`record_close`.
+    pub changelog_mask: ChangelogMask,
+    /// Wall-clock cost of a namespace create-class op (CREAT/MKDIR/…).
+    pub create_cost: CostModel,
+    /// Wall-clock cost of a modify-class op (MTIME/TRUNC/SATTR/…).
+    pub modify_cost: CostModel,
+    /// Wall-clock cost of a delete-class op (UNLNK/RMDIR).
+    pub delete_cost: CostModel,
+    /// Wall-clock cost of one *successful* `fid2path` invocation (a
+    /// full path walk on the MDS).
+    pub fid2path_cost: CostModel,
+    /// Wall-clock cost of a *failed* `fid2path` (the FID no longer
+    /// exists — a single index miss, far cheaper than a path walk).
+    pub fid2path_miss_cost: CostModel,
+}
+
+impl LustreConfig {
+    /// A small, fast configuration for unit tests: 1 MDT, free ops.
+    pub fn small() -> LustreConfig {
+        LustreConfig {
+            n_mdt: 1,
+            n_oss: 1,
+            osts_per_oss: 1,
+            ost_capacity: 1 << 30,
+            default_stripe_count: 1,
+            default_stripe_size: 1 << 20,
+            changelog_capacity: 0,
+            record_open: false,
+            record_close: false,
+            changelog_mask: ChangelogMask::ALL,
+            create_cost: CostModel::Free,
+            modify_cost: CostModel::Free,
+            delete_cost: CostModel::Free,
+            fid2path_cost: CostModel::Free,
+            fid2path_miss_cost: CostModel::Free,
+        }
+    }
+
+    /// Like [`small`](LustreConfig::small) but with `n` MDTs (DNE).
+    pub fn small_dne(n: u16) -> LustreConfig {
+        LustreConfig {
+            n_mdt: n,
+            ..LustreConfig::small()
+        }
+    }
+
+    /// The cost class charged for a record kind.
+    pub fn cost_for(&self, kind: ChangelogKind) -> CostModel {
+        match kind {
+            ChangelogKind::Creat
+            | ChangelogKind::Mkdir
+            | ChangelogKind::Hlink
+            | ChangelogKind::Slink
+            | ChangelogKind::Mknod => self.create_cost,
+            ChangelogKind::Unlnk | ChangelogKind::Rmdir => self.delete_cost,
+            _ => self.modify_cost,
+        }
+    }
+}
+
+/// The paper's three Lustre testbeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestbedKind {
+    /// 20 GB Lustre on five EC2 t2.micro instances: 1 MGS, 1 MDS,
+    /// 1 OSS × 1 OST (§V-A2).
+    Aws,
+    /// 500 GB deployment at Virginia Tech DSSL: 1 MDS, 10 OSS × 5 OST
+    /// of 10 GB each (§V-A2).
+    Thor,
+    /// 897 TB pre-exascale deployment at Argonne: Lustre DNE with
+    /// 4 MDSs, 44 compute nodes (§V-A2).
+    Iota,
+}
+
+impl TestbedKind {
+    /// All testbeds in paper order.
+    pub const ALL: [TestbedKind; 3] = [TestbedKind::Aws, TestbedKind::Thor, TestbedKind::Iota];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TestbedKind::Aws => "AWS",
+            TestbedKind::Thor => "Thor",
+            TestbedKind::Iota => "Iota",
+        }
+    }
+
+    /// Storage size label from Table V.
+    pub fn storage_label(self) -> &'static str {
+        match self {
+            TestbedKind::Aws => "20 GB",
+            TestbedKind::Thor => "250 GB",
+            TestbedKind::Iota => "897 TB",
+        }
+    }
+
+    /// Paper Table V baseline generation rates
+    /// `(create, modify, delete)` events/sec (per MDS on Iota).
+    pub fn paper_generation_rates(self) -> (u64, u64, u64) {
+        match self {
+            TestbedKind::Aws => (352, 534, 832),
+            TestbedKind::Thor => (746, 1347, 2104),
+            TestbedKind::Iota => (1389, 2538, 3442),
+        }
+    }
+
+    /// Paper Table VI reported rates `(without_cache, with_cache)`.
+    pub fn paper_reported_rates(self) -> (u64, u64) {
+        match self {
+            TestbedKind::Aws => (1053, 1348),
+            TestbedKind::Thor => (3968, 4487),
+            TestbedKind::Iota => (8162, 9487),
+        }
+    }
+
+    /// Paper Table V/VI total generation rate (the tables' "Total
+    /// events/sec" rows, which the paper reports separately from the
+    /// per-kind component rates).
+    pub fn paper_total_generation_rate(self) -> u64 {
+        match self {
+            TestbedKind::Aws => 1366,
+            TestbedKind::Thor => 4509,
+            TestbedKind::Iota => 9593,
+        }
+    }
+
+    /// The simulator configuration for this testbed.
+    pub fn config(self) -> LustreConfig {
+        let (create, modify, delete) = self.paper_generation_rates();
+        // fid2path cost calibrated from Table VI: the uncached pipeline
+        // loses (gen - reported)/gen of its throughput to fid2path, so
+        // the per-event resolution cost is that fraction of the mean
+        // per-event generation cost.
+        // Mean per-event generation cost of the mixed script, at our
+        // time scale (the component rates drive the op throttles, so
+        // the mean must come from them, not from the paper's published
+        // total — the paper's totals and component sums disagree).
+        let mean_op_ns = (op_cost_ns(create) + op_cost_ns(modify) + op_cost_ns(delete)) / 3;
+        let (no_cache, _with_cache) = self.paper_reported_rates();
+        let gen_total = self.paper_total_generation_rate();
+        // Pipelined queueing model (collector runs concurrently with
+        // the clients, as on the real testbeds): without the cache the
+        // collector saturates, so its service time — dominated by
+        // fid2path — sets the reported rate:
+        //   reported/generated = inter_arrival/f2p
+        //   ⇒ f2p = mean_op_cost × generated/no_cache_reported.
+        let fid2path_ns = mean_op_ns * gen_total / no_cache;
+        let gb = 1u64 << 30;
+        let (n_mdt, n_oss, osts_per_oss, ost_capacity) = match self {
+            TestbedKind::Aws => (1, 1, 1, 20 * gb),
+            TestbedKind::Thor => (1, 10, 5, 10 * gb),
+            // Iota: 897 TB across a wide OST pool.
+            TestbedKind::Iota => (4, 32, 4, 7 * (gb << 10)),
+        };
+        LustreConfig {
+            n_mdt,
+            n_oss,
+            osts_per_oss,
+            ost_capacity,
+            default_stripe_count: 1,
+            default_stripe_size: 1 << 20,
+            changelog_capacity: 0,
+            record_open: false,
+            record_close: false,
+            changelog_mask: ChangelogMask::ALL,
+            create_cost: CostModel::SpinNs(op_cost_ns(create)),
+            modify_cost: CostModel::SpinNs(op_cost_ns(modify)),
+            delete_cost: CostModel::SpinNs(op_cost_ns(delete)),
+            fid2path_cost: CostModel::SpinNs(fid2path_ns),
+            // A failed lookup is one index probe, not a path walk.
+            fid2path_miss_cost: CostModel::SpinNs(fid2path_ns / 10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_op_costs_preserve_paper_ratios() {
+        let aws = TestbedKind::Aws.config();
+        let iota = TestbedKind::Iota.config();
+        // Iota creates are ~3.9× faster than AWS creates (1389/352).
+        let ratio = aws.create_cost.ns() as f64 / iota.create_cost.ns() as f64;
+        assert!((ratio - 1389.0 / 352.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn iota_has_four_mdts() {
+        assert_eq!(TestbedKind::Iota.config().n_mdt, 4);
+        assert_eq!(TestbedKind::Aws.config().n_mdt, 1);
+        assert_eq!(TestbedKind::Thor.config().n_mdt, 1);
+    }
+
+    #[test]
+    fn fid2path_cost_is_positive_and_below_op_cost() {
+        for tb in TestbedKind::ALL {
+            let cfg = tb.config();
+            assert!(cfg.fid2path_cost.ns() > 0, "{tb:?}");
+            assert!(
+                cfg.fid2path_cost.ns() < cfg.create_cost.ns(),
+                "{tb:?}: fid2path should be a fraction of op cost"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_class_mapping() {
+        let cfg = TestbedKind::Thor.config();
+        assert_eq!(cfg.cost_for(ChangelogKind::Creat), cfg.create_cost);
+        assert_eq!(cfg.cost_for(ChangelogKind::Mkdir), cfg.create_cost);
+        assert_eq!(cfg.cost_for(ChangelogKind::Unlnk), cfg.delete_cost);
+        assert_eq!(cfg.cost_for(ChangelogKind::Mtime), cfg.modify_cost);
+        assert_eq!(cfg.cost_for(ChangelogKind::Xattr), cfg.modify_cost);
+    }
+
+    #[test]
+    fn thor_capacity_is_500gb() {
+        let cfg = TestbedKind::Thor.config();
+        let total = cfg.ost_capacity * (cfg.n_oss * cfg.osts_per_oss) as u64;
+        assert_eq!(total, 500 * (1u64 << 30));
+    }
+
+    #[test]
+    fn small_config_is_free() {
+        let cfg = LustreConfig::small();
+        assert_eq!(cfg.create_cost, CostModel::Free);
+        assert_eq!(cfg.n_mdt, 1);
+        assert_eq!(LustreConfig::small_dne(4).n_mdt, 4);
+    }
+}

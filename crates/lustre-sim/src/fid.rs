@@ -1,0 +1,174 @@
+//! Lustre File Identifiers (FIDs).
+//!
+//! A FID is a cluster-wide unique, never-reused identifier composed of a
+//! 64-bit sequence, a 32-bit object id within the sequence, and a 32-bit
+//! version. `lfs changelog` prints them as `[0x300005716:0x626c:0x0]`
+//! (Table I), and that is the `Display` format here.
+
+use serde::{Deserialize, Serialize};
+
+/// A Lustre FID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fid {
+    /// Sequence number; each MDT allocates from its own sequence range.
+    pub seq: u64,
+    /// Object id within the sequence.
+    pub oid: u32,
+    /// Version (0 for live objects).
+    pub ver: u32,
+}
+
+impl Fid {
+    /// The null FID (`[0x0:0x0:0x0]`), used where Lustre would pass
+    /// an empty FID (e.g. MTIME records carry no parent, Table I).
+    pub const NULL: Fid = Fid { seq: 0, oid: 0, ver: 0 };
+
+    /// Root FID of the file system (Lustre reserves a well-known root
+    /// FID; we use sequence 0x200000007 like real deployments).
+    pub const ROOT: Fid = Fid { seq: 0x200000007, oid: 1, ver: 0 };
+
+    /// Construct a FID.
+    pub fn new(seq: u64, oid: u32, ver: u32) -> Fid {
+        Fid { seq, oid, ver }
+    }
+
+    /// Whether this is the null FID.
+    pub fn is_null(self) -> bool {
+        self == Fid::NULL
+    }
+
+    /// Parse the bracketed changelog form `[0x...:0x...:0x...]` (with or
+    /// without the brackets).
+    pub fn parse(s: &str) -> Option<Fid> {
+        let s = s.trim().trim_start_matches('[').trim_end_matches(']');
+        let mut parts = s.split(':');
+        let seq = parse_hex(parts.next()?)?;
+        let oid = parse_hex(parts.next()?)? as u32;
+        let ver = parse_hex(parts.next()?)? as u32;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Fid::new(seq, oid, ver))
+    }
+
+    /// The sequence range conventionally assigned to MDT `idx` in this
+    /// simulator: mirrors Lustre's FID_SEQ_NORMAL start (0x200000400)
+    /// with a wide per-MDT stride so sequences never collide.
+    pub fn seq_base_for_mdt(idx: u16) -> u64 {
+        0x2_0000_0400 + (idx as u64) * 0x1_0000_0000
+    }
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"))?;
+    u64::from_str_radix(s, 16).ok()
+}
+
+impl std::fmt::Display for Fid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#x}:{:#x}:{:#x}]", self.seq, self.oid, self.ver)
+    }
+}
+
+/// Allocates FIDs for one MDT: a sequence base plus a rolling object id,
+/// moving to the next sequence when the oid space is exhausted —
+/// mirroring how Lustre MDTs consume sequence ranges.
+#[derive(Debug)]
+pub struct FidAllocator {
+    seq: u64,
+    next_oid: u32,
+}
+
+impl FidAllocator {
+    /// Allocator for MDT `idx`.
+    pub fn for_mdt(idx: u16) -> FidAllocator {
+        FidAllocator {
+            seq: Fid::seq_base_for_mdt(idx),
+            next_oid: 1,
+        }
+    }
+
+    /// Allocate the next FID (never reused).
+    pub fn alloc(&mut self) -> Fid {
+        let fid = Fid::new(self.seq, self.next_oid, 0);
+        if self.next_oid == u32::MAX {
+            self.seq += 1;
+            self.next_oid = 1;
+        } else {
+            self.next_oid += 1;
+        }
+        fid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_changelog_format() {
+        let fid = Fid::new(0x300005716, 0x626c, 0x0);
+        assert_eq!(fid.to_string(), "[0x300005716:0x626c:0x0]");
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        let fid = Fid::new(0x300005716, 0xe7, 0x2);
+        assert_eq!(Fid::parse(&fid.to_string()), Some(fid));
+    }
+
+    #[test]
+    fn parse_accepts_unbracketed() {
+        assert_eq!(
+            Fid::parse("0x1:0x2:0x3"),
+            Some(Fid::new(1, 2, 3))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Fid::parse("[1:2:3]"), None); // missing 0x
+        assert_eq!(Fid::parse("[0x1:0x2]"), None); // too few parts
+        assert_eq!(Fid::parse("[0x1:0x2:0x3:0x4]"), None); // too many
+        assert_eq!(Fid::parse(""), None);
+    }
+
+    #[test]
+    fn null_and_root_are_distinct() {
+        assert!(Fid::NULL.is_null());
+        assert!(!Fid::ROOT.is_null());
+        assert_ne!(Fid::NULL, Fid::ROOT);
+    }
+
+    #[test]
+    fn allocator_never_repeats() {
+        let mut a = FidAllocator::for_mdt(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(a.alloc()));
+        }
+    }
+
+    #[test]
+    fn allocators_for_different_mdts_never_collide() {
+        let mut a = FidAllocator::for_mdt(0);
+        let mut b = FidAllocator::for_mdt(1);
+        let xs: std::collections::HashSet<Fid> = (0..1000).map(|_| a.alloc()).collect();
+        for _ in 0..1000 {
+            assert!(!xs.contains(&b.alloc()));
+        }
+    }
+
+    #[test]
+    fn allocator_rolls_sequence_on_oid_exhaustion() {
+        let mut a = FidAllocator {
+            seq: 10,
+            next_oid: u32::MAX,
+        };
+        let x = a.alloc();
+        let y = a.alloc();
+        assert_eq!(x, Fid::new(10, u32::MAX, 0));
+        assert_eq!(y, Fid::new(11, 1, 0));
+    }
+}

@@ -1,0 +1,273 @@
+//! The object storage layer: OSSs, OSTs, and striped file layouts.
+//!
+//! Lustre stores file *contents* as objects on OSTs mounted on OSSs
+//! (paper §II-B1); a file's layout names the OST objects its stripes
+//! live on. The monitor itself never reads OSTs, but the simulator
+//! models them so client writes exercise a realistic data path (and so
+//! capacity numbers like "897 TB" are more than a label).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A single stripe object within a file layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeObject {
+    /// Index of the OST holding this object.
+    pub ost_index: u32,
+    /// Object id on that OST.
+    pub object_id: u64,
+}
+
+/// A striped file layout (Lustre LOV EA).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLayout {
+    /// Bytes per stripe before moving to the next object.
+    pub stripe_size: u64,
+    /// The stripe objects, in RAID-0 order.
+    pub objects: Vec<StripeObject>,
+}
+
+impl StripeLayout {
+    /// Which object a byte offset falls into and the in-object offset.
+    pub fn locate(&self, offset: u64) -> (StripeObject, u64) {
+        let stripe_number = offset / self.stripe_size;
+        let within = offset % self.stripe_size;
+        let obj_idx = (stripe_number as usize) % self.objects.len();
+        let round = stripe_number / self.objects.len() as u64;
+        (self.objects[obj_idx], round * self.stripe_size + within)
+    }
+
+    /// Stripe count.
+    pub fn stripe_count(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+#[derive(Debug, Default)]
+struct OstState {
+    used_bytes: u64,
+    /// High-water object size per object id (objects only grow or are
+    /// dropped whole).
+    next_object: u64,
+}
+
+/// The pool of OSTs across all OSSs.
+#[derive(Debug)]
+pub struct OstPool {
+    /// OST capacity in bytes (uniform across OSTs).
+    ost_capacity: u64,
+    osts_per_oss: u32,
+    states: Vec<Mutex<OstState>>,
+    next_start: Mutex<u32>,
+}
+
+/// Errors from the object layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OstError {
+    /// The target OST has no room for the write.
+    NoSpace {
+        /// The OST that was full.
+        ost_index: u32,
+    },
+    /// Layout requested more stripes than OSTs exist.
+    TooManyStripes,
+}
+
+impl std::fmt::Display for OstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OstError::NoSpace { ost_index } => write!(f, "OST{ost_index:04} out of space"),
+            OstError::TooManyStripes => write!(f, "stripe count exceeds OST count"),
+        }
+    }
+}
+
+impl std::error::Error for OstError {}
+
+impl OstPool {
+    /// Build a pool of `n_oss * osts_per_oss` OSTs of `ost_capacity`
+    /// bytes each.
+    pub fn new(n_oss: u32, osts_per_oss: u32, ost_capacity: u64) -> OstPool {
+        let total = (n_oss * osts_per_oss) as usize;
+        OstPool {
+            ost_capacity,
+            osts_per_oss,
+            states: (0..total).map(|_| Mutex::new(OstState::default())).collect(),
+            next_start: Mutex::new(0),
+        }
+    }
+
+    /// Number of OSTs in the pool.
+    pub fn ost_count(&self) -> u32 {
+        self.states.len() as u32
+    }
+
+    /// The OSS serving a given OST.
+    pub fn oss_of(&self, ost_index: u32) -> u32 {
+        ost_index / self.osts_per_oss
+    }
+
+    /// Total pool capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.ost_capacity * self.states.len() as u64
+    }
+
+    /// Total bytes currently used across the pool.
+    pub fn used_bytes(&self) -> u64 {
+        self.states.iter().map(|s| s.lock().used_bytes).sum()
+    }
+
+    /// Allocate a layout of `stripe_count` objects, round-robin from a
+    /// rotating start index (Lustre's QOS round-robin allocator).
+    pub fn allocate_layout(
+        &self,
+        stripe_count: u32,
+        stripe_size: u64,
+    ) -> Result<StripeLayout, OstError> {
+        let n = self.ost_count();
+        if stripe_count > n {
+            return Err(OstError::TooManyStripes);
+        }
+        let start = {
+            let mut s = self.next_start.lock();
+            let v = *s;
+            *s = (*s + 1) % n;
+            v
+        };
+        let mut objects = Vec::with_capacity(stripe_count as usize);
+        for k in 0..stripe_count {
+            let ost_index = (start + k) % n;
+            let mut st = self.states[ost_index as usize].lock();
+            let object_id = st.next_object;
+            st.next_object += 1;
+            objects.push(StripeObject { ost_index, object_id });
+        }
+        Ok(StripeLayout {
+            stripe_size,
+            objects,
+        })
+    }
+
+    /// Account a write of `len` bytes at `offset` through `layout`.
+    /// Returns the number of distinct OSTs touched.
+    pub fn write(&self, layout: &StripeLayout, offset: u64, len: u64) -> Result<u32, OstError> {
+        let mut touched = std::collections::HashSet::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let (obj, _) = layout.locate(pos);
+            let stripe_end = (pos / layout.stripe_size + 1) * layout.stripe_size;
+            let chunk = stripe_end.min(end) - pos;
+            let mut st = self.states[obj.ost_index as usize].lock();
+            if st.used_bytes + chunk > self.ost_capacity {
+                return Err(OstError::NoSpace {
+                    ost_index: obj.ost_index,
+                });
+            }
+            st.used_bytes += chunk;
+            touched.insert(obj.ost_index);
+            pos += chunk;
+        }
+        Ok(touched.len() as u32)
+    }
+
+    /// Release `size` bytes attributed to `layout` (on unlink/truncate),
+    /// spread back across its stripes the same way writes were.
+    pub fn release(&self, layout: &StripeLayout, size: u64) {
+        let mut pos = 0u64;
+        while pos < size {
+            let (obj, _) = layout.locate(pos);
+            let stripe_end = (pos / layout.stripe_size + 1) * layout.stripe_size;
+            let chunk = stripe_end.min(size) - pos;
+            let mut st = self.states[obj.ost_index as usize].lock();
+            st.used_bytes = st.used_bytes.saturating_sub(chunk);
+            pos += chunk;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_locate_round_robins_stripes() {
+        let layout = StripeLayout {
+            stripe_size: 100,
+            objects: vec![
+                StripeObject { ost_index: 0, object_id: 0 },
+                StripeObject { ost_index: 1, object_id: 0 },
+            ],
+        };
+        assert_eq!(layout.locate(0).0.ost_index, 0);
+        assert_eq!(layout.locate(99).0.ost_index, 0);
+        assert_eq!(layout.locate(100).0.ost_index, 1);
+        assert_eq!(layout.locate(200).0.ost_index, 0);
+        // Second round on object 0 begins at in-object offset 100.
+        assert_eq!(layout.locate(200).1, 100);
+    }
+
+    #[test]
+    fn allocate_rotates_start() {
+        let pool = OstPool::new(2, 2, 1 << 20);
+        let a = pool.allocate_layout(1, 1 << 16).unwrap();
+        let b = pool.allocate_layout(1, 1 << 16).unwrap();
+        assert_ne!(a.objects[0].ost_index, b.objects[0].ost_index);
+    }
+
+    #[test]
+    fn allocate_rejects_excess_stripes() {
+        let pool = OstPool::new(1, 2, 1 << 20);
+        assert_eq!(
+            pool.allocate_layout(3, 1 << 16),
+            Err(OstError::TooManyStripes)
+        );
+    }
+
+    #[test]
+    fn write_accounts_capacity_across_stripes() {
+        let pool = OstPool::new(1, 4, 1 << 20);
+        let layout = pool.allocate_layout(4, 100).unwrap();
+        let touched = pool.write(&layout, 0, 400).unwrap();
+        assert_eq!(touched, 4);
+        assert_eq!(pool.used_bytes(), 400);
+    }
+
+    #[test]
+    fn write_overflow_errors() {
+        let pool = OstPool::new(1, 1, 100);
+        let layout = pool.allocate_layout(1, 64).unwrap();
+        assert!(pool.write(&layout, 0, 100).is_ok());
+        assert!(matches!(
+            pool.write(&layout, 100, 1),
+            Err(OstError::NoSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn release_returns_space() {
+        let pool = OstPool::new(1, 2, 1000);
+        let layout = pool.allocate_layout(2, 100).unwrap();
+        pool.write(&layout, 0, 500).unwrap();
+        pool.release(&layout, 500);
+        assert_eq!(pool.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oss_mapping() {
+        let pool = OstPool::new(10, 5, 1);
+        assert_eq!(pool.ost_count(), 50);
+        assert_eq!(pool.oss_of(0), 0);
+        assert_eq!(pool.oss_of(4), 0);
+        assert_eq!(pool.oss_of(5), 1);
+        assert_eq!(pool.oss_of(49), 9);
+    }
+
+    #[test]
+    fn capacity_math() {
+        // Thor: 10 OSS × 5 OST × 10 GB = 500 GB (paper §V-A2).
+        let gb = 1u64 << 30;
+        let pool = OstPool::new(10, 5, 10 * gb);
+        assert_eq!(pool.capacity_bytes(), 500 * gb);
+    }
+}

@@ -1,0 +1,226 @@
+//! Changelog records.
+//!
+//! Each record carries the fields the paper lists in §IV-1: *EventID*
+//! (record number), *Type*, *Timestamp*, *Datestamp*, *Flags*, *Target
+//! FID*, *Parent FID*, *Target Name* — plus, for `RENME`, the
+//! source/source-parent FIDs (`s=[…]`, `sp=[…]`) of Table I.
+
+use crate::clock::render_timestamp;
+use crate::fid::Fid;
+use fsmon_events::changelog::{ChangelogKind, ChangelogRename};
+use serde::{Deserialize, Serialize};
+
+/// One record in an MDT Changelog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangelogRecord {
+    /// Record number within this MDT's changelog (the paper's EventID).
+    pub index: u64,
+    /// Operation type.
+    pub kind: ChangelogKind,
+    /// Simulated event time (ns since Unix epoch).
+    pub time_ns: u64,
+    /// Changelog flags word (e.g. `0x7` on MTIME records, Table I).
+    pub flags: u32,
+    /// FID of the file/directory the event occurred on (`t=[…]`).
+    pub target_fid: Fid,
+    /// FID of the parent directory (`p=[…]`; null for MTIME, Table I).
+    pub parent_fid: Fid,
+    /// Name of the file/directory that triggered the event.
+    pub target_name: String,
+    /// For `RENME`: the new/old FID pair (`s=[…]`, `sp=[…]`).
+    pub rename: Option<ChangelogRename<Fid>>,
+    /// For `RENME`: the destination name (second name column in Table I).
+    pub rename_target_name: Option<String>,
+    /// Index of the MDT whose changelog holds this record.
+    pub mdt_index: u16,
+}
+
+impl ChangelogRecord {
+    /// Render the record the way `lfs changelog` prints it (one line,
+    /// Table I layout).
+    pub fn render(&self) -> String {
+        let (time, date) = render_timestamp(self.time_ns);
+        let mut line = format!(
+            "{} {} {} {} {:#04x} t={}",
+            self.index,
+            self.kind.label(),
+            time,
+            date,
+            self.flags,
+            self.target_fid
+        );
+        if let Some(ren) = &self.rename {
+            line.push_str(&format!(" s={} sp={}", ren.new_fid, ren.old_fid));
+        }
+        if !self.parent_fid.is_null() {
+            line.push_str(&format!(" p={}", self.parent_fid));
+        }
+        line.push(' ');
+        line.push_str(&self.target_name);
+        if let Some(to) = &self.rename_target_name {
+            line.push_str(&format!(" {to}"));
+        }
+        line
+    }
+
+    /// Parse a rendered record line (inverse of [`render`]; used by
+    /// tests and by tools that re-ingest `lfs changelog` output).
+    ///
+    /// [`render`]: ChangelogRecord::render
+    pub fn parse(line: &str, mdt_index: u16) -> Option<ChangelogRecord> {
+        let mut toks = line.split_whitespace().peekable();
+        let index: u64 = toks.next()?.parse().ok()?;
+        let kind = ChangelogKind::parse(toks.next()?)?;
+        let time = toks.next()?; // HH:MM:SS.nnnnnnnnn
+        let _date = toks.next()?;
+        let flags = u32::from_str_radix(toks.next()?.trim_start_matches("0x"), 16).ok()?;
+        let mut target_fid = Fid::NULL;
+        let mut parent_fid = Fid::NULL;
+        let mut new_fid = None;
+        let mut old_fid = None;
+        let mut names: Vec<String> = Vec::new();
+        for tok in toks {
+            if let Some(v) = tok.strip_prefix("t=") {
+                target_fid = Fid::parse(v)?;
+            } else if let Some(v) = tok.strip_prefix("sp=") {
+                old_fid = Some(Fid::parse(v)?);
+            } else if let Some(v) = tok.strip_prefix("s=") {
+                new_fid = Some(Fid::parse(v)?);
+            } else if let Some(v) = tok.strip_prefix("p=") {
+                parent_fid = Fid::parse(v)?;
+            } else {
+                names.push(tok.to_string());
+            }
+        }
+        let time_ns = parse_time_ns(time)?;
+        let rename = match (new_fid, old_fid) {
+            (Some(new_fid), Some(old_fid)) => Some(ChangelogRename { new_fid, old_fid }),
+            _ => None,
+        };
+        let mut names = names.into_iter();
+        Some(ChangelogRecord {
+            index,
+            kind,
+            time_ns,
+            flags,
+            target_fid,
+            parent_fid,
+            target_name: names.next()?,
+            rename_target_name: names.next(),
+            rename,
+            mdt_index,
+        })
+    }
+}
+
+/// Parse `HH:MM:SS.nnnnnnnnn` into nanoseconds-within-day. The date is
+/// not recoverable from the time column alone, so parsed records carry
+/// only the intra-day offset — sufficient for ordering within a log.
+fn parse_time_ns(s: &str) -> Option<u64> {
+    let (hms, nanos) = s.split_once('.')?;
+    let mut parts = hms.split(':');
+    let h: u64 = parts.next()?.parse().ok()?;
+    let m: u64 = parts.next()?.parse().ok()?;
+    let sec: u64 = parts.next()?.parse().ok()?;
+    let nanos: u64 = nanos.parse().ok()?;
+    Some(((h * 3600 + m * 60 + sec) * 1_000_000_000) + nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_create() -> ChangelogRecord {
+        ChangelogRecord {
+            index: 11332885,
+            kind: ChangelogKind::Creat,
+            time_ns: 1_552_084_067_308_560_896,
+            flags: 0x0,
+            target_fid: Fid::new(0x300005716, 0x626c, 0),
+            parent_fid: Fid::new(0x300005716, 0xe7, 0),
+            target_name: "hello.txt".into(),
+            rename: None,
+            rename_target_name: None,
+            mdt_index: 0,
+        }
+    }
+
+    #[test]
+    fn render_matches_table1_layout() {
+        let line = sample_create().render();
+        assert_eq!(
+            line,
+            "11332885 01CREAT 22:27:47.308560896 2019.03.08 0x00 \
+             t=[0x300005716:0x626c:0x0] p=[0x300005716:0xe7:0x0] hello.txt"
+        );
+    }
+
+    #[test]
+    fn mtime_record_has_no_parent() {
+        let mut rec = sample_create();
+        rec.kind = ChangelogKind::Mtime;
+        rec.flags = 0x7;
+        rec.parent_fid = Fid::NULL;
+        let line = rec.render();
+        assert!(!line.contains("p="), "{line}");
+        assert!(line.contains("17MTIME"));
+        assert!(line.contains("0x07"));
+    }
+
+    #[test]
+    fn rename_record_renders_s_and_sp() {
+        let mut rec = sample_create();
+        rec.kind = ChangelogKind::Renme;
+        rec.rename = Some(ChangelogRename {
+            new_fid: Fid::new(0x300005716, 0x626b, 0),
+            old_fid: Fid::new(0x300005716, 0x626c, 0),
+        });
+        rec.rename_target_name = Some("hi.txt".into());
+        let line = rec.render();
+        assert!(line.contains("s=[0x300005716:0x626b:0x0]"), "{line}");
+        assert!(line.contains("sp=[0x300005716:0x626c:0x0]"), "{line}");
+        assert!(line.ends_with("hello.txt hi.txt"), "{line}");
+    }
+
+    #[test]
+    fn parse_roundtrips_create() {
+        let rec = sample_create();
+        let parsed = ChangelogRecord::parse(&rec.render(), 0).unwrap();
+        assert_eq!(parsed.index, rec.index);
+        assert_eq!(parsed.kind, rec.kind);
+        assert_eq!(parsed.target_fid, rec.target_fid);
+        assert_eq!(parsed.parent_fid, rec.parent_fid);
+        assert_eq!(parsed.target_name, rec.target_name);
+    }
+
+    #[test]
+    fn parse_roundtrips_rename() {
+        let mut rec = sample_create();
+        rec.kind = ChangelogKind::Renme;
+        rec.rename = Some(ChangelogRename {
+            new_fid: Fid::new(1, 2, 0),
+            old_fid: Fid::new(3, 4, 0),
+        });
+        rec.rename_target_name = Some("hi.txt".into());
+        let parsed = ChangelogRecord::parse(&rec.render(), 3).unwrap();
+        assert_eq!(parsed.rename, rec.rename);
+        assert_eq!(parsed.rename_target_name.as_deref(), Some("hi.txt"));
+        assert_eq!(parsed.mdt_index, 3);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(ChangelogRecord::parse("", 0).is_none());
+        assert!(ChangelogRecord::parse("x y z", 0).is_none());
+        assert!(ChangelogRecord::parse("1 99BOGUS 00:00:00.0 2019.01.01 0x0 t=[0x1:0x1:0x0] f", 0).is_none());
+    }
+
+    #[test]
+    fn time_parse() {
+        assert_eq!(
+            parse_time_ns("22:27:47.308560896"),
+            Some(((22 * 3600 + 27 * 60 + 47) * 1_000_000_000u64) + 308_560_896)
+        );
+        assert_eq!(parse_time_ns("bogus"), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! Model-based property tests: the simulated Lustre namespace against
+//! a naive reference model, under random operation sequences.
+
+use lustre_sim::{LustreConfig, LustreFs};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The reference model: path → is_dir.
+#[derive(Debug, Default, Clone)]
+struct Model {
+    entries: BTreeMap<String, bool>,
+}
+
+impl Model {
+    fn parent(path: &str) -> String {
+        match path.rfind('/') {
+            Some(0) => "/".into(),
+            Some(i) => path[..i].into(),
+            None => "/".into(),
+        }
+    }
+
+    fn parent_is_dir(&self, path: &str) -> bool {
+        let p = Self::parent(path);
+        p == "/" || self.entries.get(&p) == Some(&true)
+    }
+
+    fn create(&mut self, path: &str) -> bool {
+        if self.entries.contains_key(path) || !self.parent_is_dir(path) {
+            return false;
+        }
+        self.entries.insert(path.into(), false);
+        true
+    }
+
+    fn mkdir(&mut self, path: &str) -> bool {
+        if self.entries.contains_key(path) || !self.parent_is_dir(path) {
+            return false;
+        }
+        self.entries.insert(path.into(), true);
+        true
+    }
+
+    fn write(&mut self, path: &str) -> bool {
+        self.entries.get(path) == Some(&false)
+    }
+
+    fn unlink(&mut self, path: &str) -> bool {
+        if self.entries.get(path) == Some(&false) {
+            self.entries.remove(path);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn rmdir(&mut self, path: &str) -> bool {
+        if self.entries.get(path) != Some(&true) {
+            return false;
+        }
+        let prefix = format!("{path}/");
+        if self.entries.keys().any(|p| p.starts_with(&prefix)) {
+            return false;
+        }
+        self.entries.remove(path);
+        true
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> bool {
+        if !self.entries.contains_key(from)
+            || self.entries.contains_key(to)
+            || !self.parent_is_dir(to)
+            || to.starts_with(&format!("{from}/"))
+        {
+            return false;
+        }
+        let is_dir = self.entries[from];
+        self.entries.remove(from);
+        self.entries.insert(to.into(), is_dir);
+        if is_dir {
+            let prefix = format!("{from}/");
+            let moved: Vec<(String, bool)> = self
+                .entries
+                .iter()
+                .filter(|(p, _)| p.starts_with(&prefix))
+                .map(|(p, d)| (p.clone(), *d))
+                .collect();
+            for (p, d) in moved {
+                self.entries.remove(&p);
+                self.entries.insert(format!("{to}/{}", &p[prefix.len()..]), d);
+            }
+        }
+        true
+    }
+}
+
+/// One random operation over a small path alphabet.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(String),
+    Mkdir(String),
+    Write(String),
+    Unlink(String),
+    Rmdir(String),
+    Rename(String, String),
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    // Small alphabet so collisions and nesting actually happen.
+    prop::collection::vec(prop::sample::select(vec!["a", "b", "c", "d"]), 1..4)
+        .prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_path().prop_map(Op::Create),
+        arb_path().prop_map(Op::Mkdir),
+        arb_path().prop_map(Op::Write),
+        arb_path().prop_map(Op::Unlink),
+        arb_path().prop_map(Op::Rmdir),
+        (arb_path(), arb_path()).prop_map(|(a, b)| Op::Rename(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any operation sequence: the simulator and the model agree
+    /// on success/failure of each op and on the final namespace, every
+    /// live path's FID resolves back to that path, and the changelog
+    /// records exactly the successful mutations.
+    #[test]
+    fn namespace_agrees_with_reference_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let fs = LustreFs::new(LustreConfig::small());
+        let mut model = Model::default();
+        let mut successes = 0u64;
+
+        for (i, op) in ops.iter().enumerate() {
+            let (got, expected) = match op {
+                Op::Create(p) => (fs.create(p).is_ok(), model.create(p)),
+                Op::Mkdir(p) => (fs.mkdir(p).is_ok(), model.mkdir(p)),
+                Op::Write(p) => (fs.write(p, 0, 8).is_ok(), model.write(p)),
+                Op::Unlink(p) => (fs.unlink(p).is_ok(), model.unlink(p)),
+                Op::Rmdir(p) => (fs.rmdir(p).is_ok(), model.rmdir(p)),
+                Op::Rename(a, b) => (fs.rename(a, b).is_ok(), model.rename(a, b)),
+            };
+            prop_assert_eq!(got, expected, "op {} {:?} diverged", i, op);
+            if got {
+                // Renames write 1 (or 2 cross-MDT) records; everything
+                // else writes 1. Single-MDT here, so always 1.
+                successes += 1;
+            }
+        }
+
+        // Final namespace agreement.
+        for (path, is_dir) in &model.entries {
+            let fid = fs.resolve(path);
+            prop_assert!(fid.is_ok(), "model has {} but fs lost it", path);
+            let resolved = fs.fid2path(fid.unwrap()).unwrap();
+            prop_assert_eq!(&resolved, path, "fid2path roundtrip");
+            let ft = fs.file_type(path).unwrap();
+            prop_assert_eq!(
+                matches!(ft, lustre_sim::FileType::Directory),
+                *is_dir,
+                "type of {}", path
+            );
+        }
+        // And nothing extra: count live inodes (excluding root).
+        prop_assert_eq!(fs.inode_count() - 1, model.entries.len());
+
+        // Changelog records exactly the successful mutations.
+        let recorded = fs.mdt(0).changelog_stats().appended;
+        prop_assert_eq!(recorded, successes);
+    }
+
+    /// fid2path never panics and is consistent with resolve for any
+    /// sequence of creations.
+    #[test]
+    fn fid2path_total_function(paths in prop::collection::vec(arb_path(), 0..30)) {
+        let fs = LustreFs::new(LustreConfig::small());
+        for p in &paths {
+            // Build parents as dirs, leaf as file; ignore failures.
+            let comps: Vec<&str> = p.split('/').filter(|c| !c.is_empty()).collect();
+            let mut cur = String::new();
+            for c in &comps[..comps.len().saturating_sub(1)] {
+                cur.push('/');
+                cur.push_str(c);
+                let _ = fs.mkdir(&cur);
+            }
+            let _ = fs.create(p);
+        }
+        for p in &paths {
+            if let Ok(fid) = fs.resolve(p) {
+                let back = fs.fid2path(fid).unwrap();
+                prop_assert_eq!(&back, p);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Endpoint parsing: `inproc://name` and `tcp://host:port`.
+
+use crate::MqError;
+
+/// A parsed endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// In-process transport, addressed by name.
+    Inproc(String),
+    /// TCP transport, addressed by `host:port` (`0.0.0.0:0` binds an
+    /// ephemeral port).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse an endpoint string.
+    pub fn parse(s: &str) -> Result<Endpoint, MqError> {
+        if let Some(name) = s.strip_prefix("inproc://") {
+            if name.is_empty() {
+                return Err(MqError::BadEndpoint(s.to_string()));
+            }
+            Ok(Endpoint::Inproc(name.to_string()))
+        } else if let Some(addr) = s.strip_prefix("tcp://") {
+            if addr.is_empty() || !addr.contains(':') {
+                return Err(MqError::BadEndpoint(s.to_string()));
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else {
+            Err(MqError::BadEndpoint(s.to_string()))
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Inproc(name) => write!(f, "inproc://{name}"),
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_inproc() {
+        assert_eq!(
+            Endpoint::parse("inproc://events").unwrap(),
+            Endpoint::Inproc("events".into())
+        );
+    }
+
+    #[test]
+    fn parse_tcp() {
+        assert_eq!(
+            Endpoint::parse("tcp://127.0.0.1:5555").unwrap(),
+            Endpoint::Tcp("127.0.0.1:5555".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Endpoint::parse("ipc://x").is_err());
+        assert!(Endpoint::parse("inproc://").is_err());
+        assert!(Endpoint::parse("tcp://noport").is_err());
+        assert!(Endpoint::parse("").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["inproc://a", "tcp://127.0.0.1:1234"] {
+            assert_eq!(Endpoint::parse(s).unwrap().to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! PUB/SUB sockets: topic-prefix-filtered fan-out.
+//!
+//! Matches ZeroMQ semantics: a SUB receives nothing until it subscribes
+//! (subscribe to the empty prefix for everything); a slow SUB past its
+//! high-water mark loses the newest messages (the PUB never blocks);
+//! filtering happens publisher-side, including over TCP, where the SUB
+//! forwards its subscription list as control frames.
+
+use crate::endpoint::Endpoint;
+use crate::message::Message;
+use crate::registry::{Context, InprocBinding};
+use crate::tcp::{read_frame, spawn_listener, write_frame};
+use crate::MqError;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default per-subscriber high-water mark (messages).
+pub const DEFAULT_HWM: usize = 100_000;
+
+const CTRL_SUBSCRIBE: u8 = 1;
+const CTRL_UNSUBSCRIBE: u8 = 0;
+
+/// One subscriber attachment (inproc).
+pub(crate) struct SubEntry {
+    prefixes: Mutex<Vec<Vec<u8>>>,
+    sender: Sender<Message>,
+    alive: AtomicBool,
+    dropped: AtomicU64,
+}
+
+impl SubEntry {
+    fn matches(&self, topic: &[u8]) -> bool {
+        self.prefixes
+            .lock()
+            .iter()
+            .any(|p| topic.starts_with(p))
+    }
+}
+
+/// One subscriber connection (TCP).
+struct TcpSubConn {
+    stream: Mutex<TcpStream>,
+    prefixes: Mutex<Vec<Vec<u8>>>,
+    alive: AtomicBool,
+}
+
+impl TcpSubConn {
+    fn matches(&self, topic: &[u8]) -> bool {
+        self.prefixes.lock().iter().any(|p| topic.starts_with(p))
+    }
+}
+
+/// The shared fan-out state behind a PUB socket.
+#[derive(Default)]
+pub struct PubCore {
+    inproc_subs: Mutex<Vec<Arc<SubEntry>>>,
+    tcp_subs: Mutex<Vec<Arc<TcpSubConn>>>,
+    sent: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl PubCore {
+    fn publish(&self, msg: &Message) {
+        let topic = msg.topic();
+        {
+            let subs = self.inproc_subs.lock();
+            for sub in subs.iter() {
+                if !sub.alive.load(Ordering::Relaxed) || !sub.matches(topic) {
+                    continue;
+                }
+                match sub.sender.try_send(msg.clone()) {
+                    Ok(()) => {
+                        self.sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        sub.dropped.fetch_add(1, Ordering::Relaxed);
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        sub.alive.store(false, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        {
+            let conns = self.tcp_subs.lock();
+            for conn in conns.iter() {
+                if !conn.alive.load(Ordering::Relaxed) || !conn.matches(topic) {
+                    continue;
+                }
+                let mut stream = conn.stream.lock();
+                if write_frame(&mut stream, msg).is_err() {
+                    conn.alive.store(false, Ordering::Relaxed);
+                } else {
+                    self.sent.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn gc(&self) {
+        self.inproc_subs
+            .lock()
+            .retain(|s| s.alive.load(Ordering::Relaxed));
+        self.tcp_subs
+            .lock()
+            .retain(|c| c.alive.load(Ordering::Relaxed));
+    }
+}
+
+/// A publishing socket.
+pub struct PubSocket {
+    ctx: Context,
+    core: Arc<PubCore>,
+    bound_inproc: Mutex<Vec<String>>,
+    listener_alive: Arc<AtomicBool>,
+    bound_tcp: Mutex<Option<std::net::SocketAddr>>,
+}
+
+impl PubSocket {
+    pub(crate) fn new(ctx: Context) -> PubSocket {
+        PubSocket {
+            ctx,
+            core: Arc::new(PubCore::default()),
+            bound_inproc: Mutex::new(Vec::new()),
+            listener_alive: Arc::new(AtomicBool::new(true)),
+            bound_tcp: Mutex::new(None),
+        }
+    }
+
+    /// Bind to an endpoint. A socket may bind several endpoints.
+    pub fn bind(&self, endpoint: &str) -> Result<(), MqError> {
+        match Endpoint::parse(endpoint)? {
+            Endpoint::Inproc(name) => {
+                self.ctx
+                    .register(&name, InprocBinding::Publisher(self.core.clone()))?;
+                self.bound_inproc.lock().push(name);
+                Ok(())
+            }
+            Endpoint::Tcp(addr) => {
+                let core = self.core.clone();
+                let local = spawn_listener(&addr, self.listener_alive.clone(), move |stream| {
+                    let conn = Arc::new(TcpSubConn {
+                        stream: Mutex::new(stream.try_clone().expect("clone stream")),
+                        prefixes: Mutex::new(Vec::new()),
+                        alive: AtomicBool::new(true),
+                    });
+                    core.tcp_subs.lock().push(conn.clone());
+                    // Reader thread: consume subscription control frames.
+                    let mut reader = stream;
+                    std::thread::spawn(move || {
+                        while let Some(ctrl) = read_frame(&mut reader) {
+                            let frame = ctrl.topic().to_vec();
+                            if frame.is_empty() {
+                                continue;
+                            }
+                            let prefix = frame[1..].to_vec();
+                            let mut prefixes = conn.prefixes.lock();
+                            match frame[0] {
+                                CTRL_SUBSCRIBE => prefixes.push(prefix),
+                                CTRL_UNSUBSCRIBE => prefixes.retain(|p| *p != prefix),
+                                _ => {}
+                            }
+                        }
+                        conn.alive.store(false, Ordering::Relaxed);
+                    });
+                })
+                .map_err(|e| MqError::BindFailed(e.to_string()))?;
+                *self.bound_tcp.lock() = Some(local);
+                Ok(())
+            }
+        }
+    }
+
+    /// The TCP address actually bound (useful with port 0).
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        *self.bound_tcp.lock()
+    }
+
+    /// Publish a message to all matching subscribers. Never blocks on a
+    /// slow subscriber.
+    pub fn send(&self, msg: Message) -> Result<(), MqError> {
+        self.core.publish(&msg);
+        Ok(())
+    }
+
+    /// Number of live subscribers (inproc attachments + TCP
+    /// connections). Publishers that must not fire into the void —
+    /// like collectors that purge behind their publishes — check this
+    /// before sending.
+    pub fn subscriber_count(&self) -> usize {
+        let inproc = self
+            .core
+            .inproc_subs
+            .lock()
+            .iter()
+            .filter(|s| s.alive.load(Ordering::Relaxed))
+            .count();
+        let tcp = self
+            .core
+            .tcp_subs
+            .lock()
+            .iter()
+            .filter(|c| c.alive.load(Ordering::Relaxed))
+            .count();
+        inproc + tcp
+    }
+
+    /// `(messages delivered, messages dropped at HWM)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.core.sent.load(Ordering::Relaxed),
+            self.core.dropped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drop dead subscriber entries.
+    pub fn collect_garbage(&self) {
+        self.core.gc();
+    }
+}
+
+impl Drop for PubSocket {
+    fn drop(&mut self) {
+        self.listener_alive.store(false, Ordering::Relaxed);
+        for name in self.bound_inproc.lock().drain(..) {
+            self.ctx.unregister(&name);
+        }
+    }
+}
+
+enum SubAttachment {
+    Inproc(Arc<SubEntry>),
+    Tcp {
+        stream: Mutex<TcpStream>,
+        alive: Arc<AtomicBool>,
+    },
+}
+
+/// A subscribing socket.
+pub struct SubSocket {
+    ctx: Context,
+    hwm: usize,
+    queue_tx: Sender<Message>,
+    queue_rx: Receiver<Message>,
+    attachments: Mutex<Vec<SubAttachment>>,
+    prefixes: Mutex<Vec<Vec<u8>>>,
+}
+
+impl SubSocket {
+    pub(crate) fn new(ctx: Context) -> SubSocket {
+        Self::with_hwm(ctx, DEFAULT_HWM)
+    }
+
+    /// Create with an explicit high-water mark.
+    pub fn with_hwm(ctx: Context, hwm: usize) -> SubSocket {
+        let (queue_tx, queue_rx) = bounded(hwm);
+        SubSocket {
+            ctx,
+            hwm,
+            queue_tx,
+            queue_rx,
+            attachments: Mutex::new(Vec::new()),
+            prefixes: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Connect to a PUB endpoint. A SUB may connect to many publishers
+    /// (the aggregator subscribes to every collector this way).
+    pub fn connect(&self, endpoint: &str) -> Result<(), MqError> {
+        match Endpoint::parse(endpoint)? {
+            Endpoint::Inproc(name) => {
+                let binding = self.ctx.lookup(&name)?;
+                let InprocBinding::Publisher(core) = binding else {
+                    return Err(MqError::ConnectFailed(format!(
+                        "inproc://{name} is not a publisher"
+                    )));
+                };
+                let entry = Arc::new(SubEntry {
+                    prefixes: Mutex::new(self.prefixes.lock().clone()),
+                    sender: self.queue_tx.clone(),
+                    alive: AtomicBool::new(true),
+                    dropped: AtomicU64::new(0),
+                });
+                core.inproc_subs.lock().push(entry.clone());
+                self.attachments.lock().push(SubAttachment::Inproc(entry));
+                Ok(())
+            }
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(&addr)
+                    .map_err(|e| MqError::ConnectFailed(format!("{addr}: {e}")))?;
+                stream.set_nodelay(true).ok();
+                let alive = Arc::new(AtomicBool::new(true));
+                // Reader thread: decode data frames into the local queue.
+                let mut reader = stream
+                    .try_clone()
+                    .map_err(|e| MqError::ConnectFailed(e.to_string()))?;
+                let queue = self.queue_tx.clone();
+                let alive_r = alive.clone();
+                std::thread::spawn(move || {
+                    while alive_r.load(Ordering::Relaxed) {
+                        match read_frame(&mut reader) {
+                            Some(msg) => {
+                                // HWM: drop newest on overflow, like the
+                                // inproc path.
+                                let _ = queue.try_send(msg);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+                // Forward current subscriptions.
+                {
+                    let mut s = stream.try_clone().map_err(|e| MqError::ConnectFailed(e.to_string()))?;
+                    for prefix in self.prefixes.lock().iter() {
+                        let mut frame = vec![CTRL_SUBSCRIBE];
+                        frame.extend_from_slice(prefix);
+                        write_frame(&mut s, &Message::single(frame))
+                            .map_err(|e| MqError::ConnectFailed(e.to_string()))?;
+                    }
+                }
+                self.attachments.lock().push(SubAttachment::Tcp {
+                    stream: Mutex::new(stream),
+                    alive,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Subscribe to a topic prefix (empty = everything).
+    pub fn subscribe(&self, prefix: &[u8]) {
+        self.prefixes.lock().push(prefix.to_vec());
+        for att in self.attachments.lock().iter() {
+            match att {
+                SubAttachment::Inproc(entry) => entry.prefixes.lock().push(prefix.to_vec()),
+                SubAttachment::Tcp { stream, .. } => {
+                    let mut frame = vec![CTRL_SUBSCRIBE];
+                    frame.extend_from_slice(prefix);
+                    let _ = write_frame(&mut stream.lock(), &Message::single(frame));
+                }
+            }
+        }
+    }
+
+    /// Remove a previously added prefix.
+    pub fn unsubscribe(&self, prefix: &[u8]) {
+        self.prefixes.lock().retain(|p| p != prefix);
+        for att in self.attachments.lock().iter() {
+            match att {
+                SubAttachment::Inproc(entry) => {
+                    entry.prefixes.lock().retain(|p| p != prefix);
+                }
+                SubAttachment::Tcp { stream, .. } => {
+                    let mut frame = vec![CTRL_UNSUBSCRIBE];
+                    frame.extend_from_slice(prefix);
+                    let _ = write_frame(&mut stream.lock(), &Message::single(frame));
+                }
+            }
+        }
+    }
+
+    /// Receive, blocking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, MqError> {
+        self.queue_rx.recv_timeout(timeout).map_err(|_| MqError::Timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.queue_rx.try_recv().ok()
+    }
+
+    /// Messages dropped at this subscriber's HWM (inproc attachments).
+    pub fn dropped(&self) -> u64 {
+        self.attachments
+            .lock()
+            .iter()
+            .map(|a| match a {
+                SubAttachment::Inproc(e) => e.dropped.load(Ordering::Relaxed),
+                SubAttachment::Tcp { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// The configured high-water mark.
+    pub fn hwm(&self) -> usize {
+        self.hwm
+    }
+
+    /// Messages currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue_rx.len()
+    }
+}
+
+impl Drop for SubSocket {
+    fn drop(&mut self) {
+        for att in self.attachments.lock().iter() {
+            match att {
+                SubAttachment::Inproc(entry) => entry.alive.store(false, Ordering::Relaxed),
+                SubAttachment::Tcp { alive, stream } => {
+                    alive.store(false, Ordering::Relaxed);
+                    let _ = stream.lock().shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(topic: &str, payload: &str) -> Message {
+        Message::from_parts(vec![topic.as_bytes().to_vec(), payload.as_bytes().to_vec()])
+    }
+
+    #[test]
+    fn inproc_pubsub_delivers_matching_topics() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://t").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://t").unwrap();
+        sub.subscribe(b"a");
+        publisher.send(msg("a.1", "x")).unwrap();
+        publisher.send(msg("b.1", "y")).unwrap();
+        publisher.send(msg("a.2", "z")).unwrap();
+        let m1 = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        let m2 = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m1.topic(), b"a.1");
+        assert_eq!(m2.topic(), b"a.2");
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn unsubscribed_sub_receives_nothing() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://t").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://t").unwrap();
+        publisher.send(msg("a", "x")).unwrap();
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn empty_prefix_matches_everything() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://t").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://t").unwrap();
+        sub.subscribe(b"");
+        publisher.send(msg("anything", "x")).unwrap();
+        assert!(sub.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://t").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://t").unwrap();
+        sub.subscribe(b"a");
+        sub.unsubscribe(b"a");
+        publisher.send(msg("a", "x")).unwrap();
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_copies() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://t").unwrap();
+        let s1 = ctx.subscriber();
+        s1.connect("inproc://t").unwrap();
+        s1.subscribe(b"");
+        let s2 = ctx.subscriber();
+        s2.connect("inproc://t").unwrap();
+        s2.subscribe(b"");
+        publisher.send(msg("t", "x")).unwrap();
+        assert!(s1.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(s2.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn one_sub_connecting_to_many_pubs_aggregates() {
+        // The aggregator pattern: one SUB, N collector PUBs.
+        let ctx = Context::new();
+        let p1 = ctx.publisher();
+        p1.bind("inproc://mds0").unwrap();
+        let p2 = ctx.publisher();
+        p2.bind("inproc://mds1").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://mds0").unwrap();
+        sub.connect("inproc://mds1").unwrap();
+        sub.subscribe(b"");
+        p1.send(msg("a", "1")).unwrap();
+        p2.send(msg("b", "2")).unwrap();
+        let mut topics = vec![
+            sub.recv_timeout(Duration::from_secs(1)).unwrap().topic().to_vec(),
+            sub.recv_timeout(Duration::from_secs(1)).unwrap().topic().to_vec(),
+        ];
+        topics.sort();
+        assert_eq!(topics, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    #[test]
+    fn hwm_drops_newest_and_counts() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://t").unwrap();
+        let sub = SubSocket::with_hwm(ctx, 5);
+        sub.connect("inproc://t").unwrap();
+        sub.subscribe(b"");
+        for i in 0..10 {
+            publisher.send(msg("t", &i.to_string())).unwrap();
+        }
+        assert_eq!(sub.queued(), 5);
+        assert_eq!(sub.dropped(), 5);
+        let (sent, dropped) = publisher.stats();
+        assert_eq!(sent, 5);
+        assert_eq!(dropped, 5);
+        // The five retained are the oldest.
+        let first = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(first.part(1), Some(&b"0"[..]));
+    }
+
+    #[test]
+    fn dropped_subscriber_is_garbage_collected() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://t").unwrap();
+        {
+            let sub = ctx.subscriber();
+            sub.connect("inproc://t").unwrap();
+            sub.subscribe(b"");
+        }
+        publisher.send(msg("t", "x")).unwrap();
+        publisher.collect_garbage();
+        publisher.send(msg("t", "y")).unwrap();
+        let (sent, _) = publisher.stats();
+        assert_eq!(sent, 0, "no live subscribers to deliver to");
+    }
+
+    #[test]
+    fn pub_endpoint_name_freed_on_drop() {
+        let ctx = Context::new();
+        {
+            let p = ctx.publisher();
+            p.bind("inproc://x").unwrap();
+        }
+        let p2 = ctx.publisher();
+        assert!(p2.bind("inproc://x").is_ok());
+    }
+
+    #[test]
+    fn tcp_pubsub_roundtrip() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("tcp://127.0.0.1:0").unwrap();
+        let addr = publisher.local_addr().unwrap();
+        let sub = ctx.subscriber();
+        sub.connect(&format!("tcp://{addr}")).unwrap();
+        sub.subscribe(b"events");
+        // Give the control frame a moment to land publisher-side.
+        std::thread::sleep(Duration::from_millis(100));
+        publisher.send(msg("events.mdt0", "payload")).unwrap();
+        publisher.send(msg("other", "nope")).unwrap();
+        let m = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(m.topic(), b"events.mdt0");
+        assert_eq!(m.part(1), Some(&b"payload"[..]));
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn tcp_connect_refused_errors() {
+        let ctx = Context::new();
+        let sub = ctx.subscriber();
+        // Port 1 is essentially never listening.
+        assert!(matches!(
+            sub.connect("tcp://127.0.0.1:1"),
+            Err(MqError::ConnectFailed(_))
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+//! TCP transport plumbing: length-prefixed frames and a polling
+//! listener that can be shut down cleanly.
+
+use crate::message::Message;
+use bytes::Bytes;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Write one framed message: `u32 payload_len | payload`.
+pub fn write_frame(stream: &mut TcpStream, msg: &Message) -> std::io::Result<()> {
+    let payload = msg.encode();
+    let len = (payload.len() as u32).to_be_bytes();
+    stream.write_all(&len)?;
+    stream.write_all(&payload)?;
+    Ok(())
+}
+
+/// Read one framed message (blocking). Returns `None` on EOF or a
+/// malformed frame.
+pub fn read_frame(stream: &mut TcpStream) -> Option<Message> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).ok()?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > 1 << 30 {
+        return None;
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).ok()?;
+    Message::decode(Bytes::from(payload))
+}
+
+/// Spawn a listener thread that calls `on_conn` for every accepted
+/// connection until `alive` goes false. Returns the bound local address.
+pub fn spawn_listener(
+    addr: &str,
+    alive: Arc<AtomicBool>,
+    on_conn: impl Fn(TcpStream) + Send + 'static,
+) -> std::io::Result<std::net::SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    std::thread::Builder::new()
+        .name(format!("mq-listen-{local}"))
+        .spawn(move || {
+            while alive.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nodelay(true).ok();
+                        stream.set_nonblocking(false).ok();
+                        on_conn(stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn listener thread");
+    Ok(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_over_socket() {
+        let alive = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let local = spawn_listener("127.0.0.1:0", alive.clone(), move |mut s| {
+            let msg = read_frame(&mut s).unwrap();
+            tx.send(msg).unwrap();
+        })
+        .unwrap();
+        let mut client = TcpStream::connect(local).unwrap();
+        let msg = Message::from_parts(vec![b"topic".to_vec(), b"data".to_vec()]);
+        write_frame(&mut client, &msg).unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got, msg);
+        alive.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn read_frame_returns_none_on_eof() {
+        let alive = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let local = spawn_listener("127.0.0.1:0", alive.clone(), move |mut s| {
+            tx.send(read_frame(&mut s).is_none()).unwrap();
+        })
+        .unwrap();
+        let client = TcpStream::connect(local).unwrap();
+        drop(client); // immediate EOF
+        assert!(rx.recv_timeout(Duration::from_secs(2)).unwrap());
+        alive.store(false, Ordering::Relaxed);
+    }
+}

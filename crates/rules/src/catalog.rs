@@ -1,0 +1,242 @@
+//! The responsive catalog (paper §VI-B), as a reusable component.
+//!
+//! "Combining event detection with metadata extraction and cataloging
+//! services provides a new avenue to enabling search capabilities over
+//! research data" — the catalog consumes standardized events and keeps
+//! an index consistent with the namespace, with no crawling ever.
+
+use fsmon_events::{EventKind, StandardEvent};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// What the catalog knows about one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Inferred file type (extension-based; a Skluma-style extractor
+    /// would enrich this).
+    pub file_type: String,
+    /// Times the file was modified since cataloged.
+    pub versions: u32,
+    /// Timestamp of the last event affecting the entry.
+    pub updated_ns: u64,
+}
+
+/// An event-maintained file catalog.
+#[derive(Default)]
+pub struct Catalog {
+    entries: RwLock<BTreeMap<String, CatalogEntry>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Extension-based type inference (the stand-in for a metadata
+    /// extraction pipeline).
+    pub fn infer_type(path: &str) -> &'static str {
+        match path.rsplit('.').next() {
+            Some("csv") | Some("tsv") | Some("parquet") => "tabular",
+            Some("h5") | Some("hdf5") | Some("nc") | Some("zarr") => "scientific-array",
+            Some("txt") | Some("md") | Some("log") => "free-text",
+            Some("png") | Some("jpg") | Some("jpeg") | Some("tif") => "image",
+            Some("json") | Some("yaml") | Some("toml") => "structured",
+            _ => "unknown",
+        }
+    }
+
+    /// Apply one event to the index. Returns whether the index changed.
+    pub fn apply(&self, event: &StandardEvent) -> bool {
+        if event.is_dir {
+            // Directories are namespace, not data; a directory delete
+            // cascades via the per-file events the monitor reports.
+            return false;
+        }
+        let mut entries = self.entries.write();
+        match event.kind {
+            EventKind::Create | EventKind::HardLink | EventKind::SymLink => {
+                entries.insert(
+                    event.path.clone(),
+                    CatalogEntry {
+                        file_type: Self::infer_type(&event.path).to_string(),
+                        versions: 1,
+                        updated_ns: event.timestamp_ns,
+                    },
+                );
+                true
+            }
+            EventKind::Modify | EventKind::CloseWrite | EventKind::Truncate => {
+                match entries.get_mut(&event.path) {
+                    Some(entry) => {
+                        entry.versions += 1;
+                        entry.updated_ns = event.timestamp_ns;
+                        true
+                    }
+                    // A modify for an unknown path implies we missed the
+                    // create (e.g. joined mid-stream): index it now.
+                    None => {
+                        entries.insert(
+                            event.path.clone(),
+                            CatalogEntry {
+                                file_type: Self::infer_type(&event.path).to_string(),
+                                versions: 1,
+                                updated_ns: event.timestamp_ns,
+                            },
+                        );
+                        true
+                    }
+                }
+            }
+            EventKind::MovedTo => {
+                let old_entry = event
+                    .old_path
+                    .as_ref()
+                    .and_then(|old| entries.remove(old));
+                let mut entry = old_entry.unwrap_or(CatalogEntry {
+                    file_type: String::new(),
+                    versions: 1,
+                    updated_ns: 0,
+                });
+                // Type follows the (possibly new) extension.
+                entry.file_type = Self::infer_type(&event.path).to_string();
+                entry.updated_ns = event.timestamp_ns;
+                entries.insert(event.path.clone(), entry);
+                true
+            }
+            EventKind::MovedFrom => {
+                // The MovedTo half re-keys; a lone MovedFrom (moved out
+                // of the watched subtree) evicts.
+                false
+            }
+            EventKind::Delete | EventKind::ParentDirectoryRemoved => {
+                entries.remove(&event.path).is_some()
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of cataloged files.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Look up one path.
+    pub fn get(&self, path: &str) -> Option<CatalogEntry> {
+        self.entries.read().get(path).cloned()
+    }
+
+    /// All paths of a given inferred type (a Globus-Search-style
+    /// faceted query).
+    pub fn find_by_type(&self, file_type: &str) -> Vec<String> {
+        self.entries
+            .read()
+            .iter()
+            .filter(|(_, e)| e.file_type == file_type)
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// All paths under a prefix (component-aligned).
+    pub fn find_under(&self, prefix: &str) -> Vec<String> {
+        let prefix = prefix.trim_end_matches('/');
+        self.entries
+            .read()
+            .keys()
+            .filter(|p| {
+                p.strip_prefix(prefix)
+                    .is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, path: &str) -> StandardEvent {
+        StandardEvent::new(kind, "/mnt", path)
+    }
+
+    #[test]
+    fn create_modify_delete_lifecycle() {
+        let c = Catalog::new();
+        c.apply(&ev(EventKind::Create, "/a/data.csv"));
+        assert_eq!(c.get("/a/data.csv").unwrap().file_type, "tabular");
+        assert_eq!(c.get("/a/data.csv").unwrap().versions, 1);
+        c.apply(&ev(EventKind::Modify, "/a/data.csv"));
+        c.apply(&ev(EventKind::Modify, "/a/data.csv"));
+        assert_eq!(c.get("/a/data.csv").unwrap().versions, 3);
+        c.apply(&ev(EventKind::Delete, "/a/data.csv"));
+        assert!(c.get("/a/data.csv").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn rename_rekeys_and_retypes() {
+        let c = Catalog::new();
+        c.apply(&ev(EventKind::Create, "/raw.tmp"));
+        c.apply(&ev(EventKind::Modify, "/raw.tmp"));
+        c.apply(&ev(EventKind::MovedTo, "/final.h5").with_old_path("/raw.tmp"));
+        assert!(c.get("/raw.tmp").is_none());
+        let entry = c.get("/final.h5").unwrap();
+        assert_eq!(entry.file_type, "scientific-array");
+        assert_eq!(entry.versions, 2, "history carried across the rename");
+    }
+
+    #[test]
+    fn modify_of_unknown_path_backfills() {
+        let c = Catalog::new();
+        c.apply(&ev(EventKind::Modify, "/joined-late.txt"));
+        assert_eq!(c.get("/joined-late.txt").unwrap().file_type, "free-text");
+    }
+
+    #[test]
+    fn directories_ignored() {
+        let c = Catalog::new();
+        let mut dir = ev(EventKind::Create, "/d");
+        dir.is_dir = true;
+        assert!(!c.apply(&dir));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn faceted_queries() {
+        let c = Catalog::new();
+        c.apply(&ev(EventKind::Create, "/p/a.csv"));
+        c.apply(&ev(EventKind::Create, "/p/b.h5"));
+        c.apply(&ev(EventKind::Create, "/q/c.csv"));
+        let mut tabular = c.find_by_type("tabular");
+        tabular.sort();
+        assert_eq!(tabular, vec!["/p/a.csv", "/q/c.csv"]);
+        let mut under_p = c.find_under("/p");
+        under_p.sort();
+        assert_eq!(under_p, vec!["/p/a.csv", "/p/b.h5"]);
+        assert!(c.find_under("/px").is_empty(), "component boundary");
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes() {
+        let c = std::sync::Arc::new(Catalog::new());
+        let writer = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                for i in 0..1000 {
+                    c.apply(&ev(EventKind::Create, &format!("/f{i}.log")));
+                }
+            })
+        };
+        for _ in 0..100 {
+            let _ = c.find_by_type("free-text");
+        }
+        writer.join().unwrap();
+        assert_eq!(c.len(), 1000);
+    }
+}

@@ -1,0 +1,118 @@
+//! Debouncing action wrapper.
+//!
+//! High-rate event sources (a file being appended thousands of times a
+//! second) would otherwise launch a flow per event. [`Debounced`]
+//! fires its inner action at most once per path per window — the
+//! companion to `fsmon_events::coalesce` for streaming rules.
+
+use crate::rule::{Action, ActionError};
+use fsmon_events::StandardEvent;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Fires the inner action at most once per path per window.
+pub struct Debounced<A: Action> {
+    inner: A,
+    window: Duration,
+    last_fired: HashMap<String, Instant>,
+    /// Events swallowed by the debounce.
+    suppressed: u64,
+}
+
+impl<A: Action> Debounced<A> {
+    /// Wrap `inner` with a per-path window.
+    pub fn new(inner: A, window: Duration) -> Debounced<A> {
+        Debounced {
+            inner,
+            window,
+            last_fired: HashMap::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// Events suppressed so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+impl<A: Action> Action for Debounced<A> {
+    fn fire(&mut self, event: &StandardEvent) -> Result<(), ActionError> {
+        let now = Instant::now();
+        if let Some(last) = self.last_fired.get(&event.path) {
+            if now.duration_since(*last) < self.window {
+                self.suppressed += 1;
+                return Ok(());
+            }
+        }
+        self.last_fired.insert(event.path.clone(), now);
+        // Opportunistic cleanup so long-running engines don't grow the
+        // map without bound.
+        if self.last_fired.len() > 10_000 {
+            let window = self.window;
+            self.last_fired.retain(|_, t| now.duration_since(*t) < window);
+        }
+        self.inner.fire(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::EventKind;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn ev(path: &str) -> StandardEvent {
+        StandardEvent::new(EventKind::Modify, "/mnt", path)
+    }
+
+    fn counting_action(log: Arc<Mutex<Vec<String>>>) -> impl Action {
+        move |e: &StandardEvent| {
+            log.lock().push(e.path.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn suppresses_within_window_per_path() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut d = Debounced::new(counting_action(log.clone()), Duration::from_secs(10));
+        for _ in 0..5 {
+            d.fire(&ev("/hot.log")).unwrap();
+        }
+        d.fire(&ev("/other.log")).unwrap();
+        assert_eq!(log.lock().as_slice(), &["/hot.log", "/other.log"]);
+        assert_eq!(d.suppressed(), 4);
+    }
+
+    #[test]
+    fn fires_again_after_window() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut d = Debounced::new(counting_action(log.clone()), Duration::from_millis(30));
+        d.fire(&ev("/f")).unwrap();
+        d.fire(&ev("/f")).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        d.fire(&ev("/f")).unwrap();
+        assert_eq!(log.lock().len(), 2);
+        assert_eq!(d.suppressed(), 1);
+    }
+
+    #[test]
+    fn composes_into_rules() {
+        use crate::engine::Engine;
+        use crate::rule::{Rule, RuleSet};
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut rules = RuleSet::new();
+        rules.add(Rule::on_modify("qc", "/**").run(Debounced::new(
+            counting_action(log.clone()),
+            Duration::from_secs(10),
+        )));
+        let mut engine = Engine::new(rules);
+        for _ in 0..10 {
+            engine.process(&ev("/data.h5"));
+        }
+        assert_eq!(log.lock().len(), 1, "one QC run despite 10 writes");
+        assert_eq!(engine.stats().firings, 10, "the rule matched every time");
+    }
+}

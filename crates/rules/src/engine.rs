@@ -1,0 +1,171 @@
+//! The rule engine.
+
+use crate::rule::RuleSet;
+use fsmon_events::StandardEvent;
+use std::collections::HashMap;
+
+/// What the engine does when an action fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Count the failure and keep going (default — an automation
+    /// pipeline must not wedge on one bad flow launch).
+    #[default]
+    CountAndContinue,
+    /// Stop evaluating remaining rules for the failing event.
+    SkipEvent,
+}
+
+/// Per-engine counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events evaluated.
+    pub events: u64,
+    /// Total rule firings.
+    pub firings: u64,
+    /// Action failures.
+    pub failures: u64,
+    /// Firings per rule name.
+    pub per_rule: HashMap<String, u64>,
+}
+
+/// Evaluates events against a rule set.
+pub struct Engine {
+    rules: RuleSet,
+    policy: ErrorPolicy,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// An engine over `rules` with the default error policy.
+    pub fn new(rules: RuleSet) -> Engine {
+        Engine {
+            rules,
+            policy: ErrorPolicy::default(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Set the error policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ErrorPolicy) -> Engine {
+        self.policy = policy;
+        self
+    }
+
+    /// Evaluate one event: every matching rule fires, in order.
+    /// Returns the number of rules that fired.
+    pub fn process(&mut self, event: &StandardEvent) -> usize {
+        self.stats.events += 1;
+        let mut fired = 0;
+        for rule in self.rules.rules_mut() {
+            if !rule.matches(event) {
+                continue;
+            }
+            fired += 1;
+            self.stats.firings += 1;
+            *self
+                .stats
+                .per_rule
+                .entry(rule.name().to_string())
+                .or_insert(0) += 1;
+            if rule.fire(event).is_err() {
+                self.stats.failures += 1;
+                if self.policy == ErrorPolicy::SkipEvent {
+                    break;
+                }
+            }
+        }
+        fired
+    }
+
+    /// Evaluate a batch.
+    pub fn process_batch(&mut self, events: &[StandardEvent]) -> usize {
+        events.iter().map(|e| self.process(e)).sum()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{ActionError, Rule};
+    use fsmon_events::EventKind;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn ev(kind: EventKind, path: &str) -> StandardEvent {
+        StandardEvent::new(kind, "/mnt", path)
+    }
+
+    #[test]
+    fn all_matching_rules_fire_in_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut rules = RuleSet::new();
+        for name in ["a", "b"] {
+            let log = log.clone();
+            rules.add(Rule::on_create(name, "/**/*.h5").run(move |_e: &StandardEvent| {
+                log.lock().push(name);
+                Ok(())
+            }));
+        }
+        let mut engine = Engine::new(rules);
+        assert_eq!(engine.process(&ev(EventKind::Create, "/x/f.h5")), 2);
+        assert_eq!(*log.lock(), vec!["a", "b"]);
+        assert_eq!(engine.stats().per_rule["a"], 1);
+        assert_eq!(engine.stats().per_rule["b"], 1);
+    }
+
+    #[test]
+    fn count_and_continue_keeps_later_rules() {
+        let ran = Arc::new(Mutex::new(false));
+        let ran2 = ran.clone();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::on_create("boom", "/**").run(|_e: &StandardEvent| {
+            Err(ActionError("flow service down".into()))
+        }));
+        rules.add(Rule::on_create("after", "/**").run(move |_e: &StandardEvent| {
+            *ran2.lock() = true;
+            Ok(())
+        }));
+        let mut engine = Engine::new(rules);
+        engine.process(&ev(EventKind::Create, "/f"));
+        assert!(*ran.lock(), "second rule still ran");
+        assert_eq!(engine.stats().failures, 1);
+        assert_eq!(engine.stats().firings, 2);
+    }
+
+    #[test]
+    fn skip_event_policy_stops_at_failure() {
+        let ran = Arc::new(Mutex::new(false));
+        let ran2 = ran.clone();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::on_create("boom", "/**").run(|_e: &StandardEvent| {
+            Err(ActionError("down".into()))
+        }));
+        rules.add(Rule::on_create("after", "/**").run(move |_e: &StandardEvent| {
+            *ran2.lock() = true;
+            Ok(())
+        }));
+        let mut engine = Engine::new(rules).with_policy(ErrorPolicy::SkipEvent);
+        engine.process(&ev(EventKind::Create, "/f"));
+        assert!(!*ran.lock(), "second rule skipped");
+    }
+
+    #[test]
+    fn batch_processing_counts() {
+        let mut rules = RuleSet::new();
+        rules.add(Rule::on_create("r", "/keep/**"));
+        let mut engine = Engine::new(rules);
+        let events = vec![
+            ev(EventKind::Create, "/keep/a"),
+            ev(EventKind::Create, "/drop/b"),
+            ev(EventKind::Create, "/keep/c"),
+        ];
+        assert_eq!(engine.process_batch(&events), 2);
+        assert_eq!(engine.stats().events, 3);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # fsmon-rules
+//!
+//! The paper's §VI use cases — research automation and responsive
+//! cataloging — as a reusable library on top of FSMonitor:
+//!
+//! * [`pattern`] — path pattern matching (`*` within a component, `**`
+//!   across components) for rule scoping.
+//! * [`rule`] — [`Rule`]s bind an event predicate (path pattern + kind
+//!   set) to an [`Action`]; rules compose into a [`RuleSet`].
+//! * [`engine`] — the [`Engine`] evaluates event streams against a
+//!   rule set, with per-rule counters and an error policy, the way
+//!   "rule-based systems, such as Robinhood and Globus Automate,
+//!   enable users to apply actions in response to data events" (§VI-A).
+//! * [`catalog`] — the responsive catalog of §VI-B as a component: an
+//!   index maintained purely from events (create/modify/rename/delete),
+//!   queryable without crawling.
+//!
+//! ```
+//! use fsmon_rules::{Engine, Rule, RuleSet};
+//! use fsmon_events::{EventKind, StandardEvent};
+//! use std::sync::{Arc, atomic::{AtomicU32, Ordering}};
+//!
+//! let fired = Arc::new(AtomicU32::new(0));
+//! let fired2 = fired.clone();
+//! let mut rules = RuleSet::new();
+//! rules.add(
+//!     Rule::on_create("ingest", "/**/*.h5")
+//!         .run(move |_ev: &StandardEvent| { fired2.fetch_add(1, Ordering::Relaxed); Ok(()) }),
+//! );
+//! let mut engine = Engine::new(rules);
+//! engine.process(&StandardEvent::new(EventKind::Create, "/mnt", "run/shot.h5"));
+//! engine.process(&StandardEvent::new(EventKind::Create, "/mnt", "notes.txt"));
+//! assert_eq!(fired.load(Ordering::Relaxed), 1);
+//! ```
+
+pub mod catalog;
+pub mod debounce;
+pub mod engine;
+pub mod pattern;
+pub mod rule;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use debounce::Debounced;
+pub use engine::{Engine, EngineStats, ErrorPolicy};
+pub use pattern::PathPattern;
+pub use rule::{Action, ActionError, Rule, RuleSet};

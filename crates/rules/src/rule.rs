@@ -1,0 +1,193 @@
+//! Rules: event predicates bound to actions.
+
+use crate::pattern::PathPattern;
+use fsmon_events::kind::KindMask;
+use fsmon_events::{EventKind, StandardEvent};
+
+/// An action's failure, reported to the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionError(pub String);
+
+impl std::fmt::Display for ActionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+/// Something to do when a rule fires — launching a flow, updating a
+/// catalog, posting a webhook. Closures implement it directly.
+pub trait Action: Send {
+    /// Handle one matching event.
+    fn fire(&mut self, event: &StandardEvent) -> Result<(), ActionError>;
+}
+
+impl<F: FnMut(&StandardEvent) -> Result<(), ActionError> + Send> Action for F {
+    fn fire(&mut self, event: &StandardEvent) -> Result<(), ActionError> {
+        self(event)
+    }
+}
+
+/// A named rule: pattern + kind set + action.
+pub struct Rule {
+    name: String,
+    pattern: PathPattern,
+    kinds: KindMask,
+    action: Option<Box<dyn Action>>,
+}
+
+impl Rule {
+    /// A rule matching `kinds` on paths matching `pattern`.
+    pub fn new(name: impl Into<String>, pattern: impl Into<PathPattern>, kinds: KindMask) -> Rule {
+        Rule {
+            name: name.into(),
+            pattern: pattern.into(),
+            kinds,
+            action: None,
+        }
+    }
+
+    /// Shorthand: fire on creations matching `pattern`.
+    pub fn on_create(name: impl Into<String>, pattern: &str) -> Rule {
+        Rule::new(name, pattern, KindMask::only(EventKind::Create))
+    }
+
+    /// Shorthand: fire on modifications matching `pattern`.
+    pub fn on_modify(name: impl Into<String>, pattern: &str) -> Rule {
+        Rule::new(
+            name,
+            pattern,
+            KindMask::from_kinds([EventKind::Modify, EventKind::CloseWrite, EventKind::Truncate]),
+        )
+    }
+
+    /// Shorthand: fire on deletions matching `pattern`.
+    pub fn on_delete(name: impl Into<String>, pattern: &str) -> Rule {
+        Rule::new(
+            name,
+            pattern,
+            KindMask::from_kinds([EventKind::Delete, EventKind::ParentDirectoryRemoved]),
+        )
+    }
+
+    /// Attach the action (builder-style terminal).
+    #[must_use]
+    pub fn run(mut self, action: impl Action + 'static) -> Rule {
+        self.action = Some(Box::new(action));
+        self
+    }
+
+    /// The rule's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether `event` matches this rule's predicate.
+    pub fn matches(&self, event: &StandardEvent) -> bool {
+        self.kinds.contains(event.kind) && self.pattern.matches(&event.path)
+    }
+
+    pub(crate) fn fire(&mut self, event: &StandardEvent) -> Result<(), ActionError> {
+        match &mut self.action {
+            Some(action) => action.fire(event),
+            None => Ok(()),
+        }
+    }
+}
+
+/// An ordered collection of rules; every matching rule fires (not just
+/// the first).
+#[derive(Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// An empty set.
+    pub fn new() -> RuleSet {
+        RuleSet::default()
+    }
+
+    /// Append a rule.
+    pub fn add(&mut self, rule: Rule) -> &mut RuleSet {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rule names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.rules.iter().map(|r| r.name()).collect()
+    }
+
+    pub(crate) fn rules_mut(&mut self) -> &mut [Rule] {
+        &mut self.rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, path: &str) -> StandardEvent {
+        StandardEvent::new(kind, "/mnt", path)
+    }
+
+    #[test]
+    fn predicate_combines_pattern_and_kinds() {
+        let rule = Rule::on_create("r", "/data/*.h5");
+        assert!(rule.matches(&ev(EventKind::Create, "/data/a.h5")));
+        assert!(!rule.matches(&ev(EventKind::Modify, "/data/a.h5")), "kind");
+        assert!(!rule.matches(&ev(EventKind::Create, "/data/a.txt")), "pattern");
+    }
+
+    #[test]
+    fn closure_action_fires() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let count = Arc::new(AtomicU32::new(0));
+        let c = count.clone();
+        let mut rule = Rule::on_create("r", "/**").run(move |_e: &StandardEvent| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        rule.fire(&ev(EventKind::Create, "/x")).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn rule_without_action_is_a_noop() {
+        let mut rule = Rule::on_delete("r", "/**");
+        assert!(rule.fire(&ev(EventKind::Delete, "/x")).is_ok());
+    }
+
+    #[test]
+    fn shorthand_kind_sets() {
+        let modify = Rule::on_modify("m", "/**");
+        assert!(modify.matches(&ev(EventKind::CloseWrite, "/f")));
+        assert!(modify.matches(&ev(EventKind::Truncate, "/f")));
+        assert!(!modify.matches(&ev(EventKind::Create, "/f")));
+        let delete = Rule::on_delete("d", "/**");
+        assert!(delete.matches(&ev(EventKind::ParentDirectoryRemoved, "/f")));
+    }
+
+    #[test]
+    fn ruleset_preserves_order() {
+        let mut set = RuleSet::new();
+        set.add(Rule::on_create("first", "/**"));
+        set.add(Rule::on_create("second", "/**"));
+        assert_eq!(set.names(), vec!["first", "second"]);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for path patterns.
+
+use fsmon_rules::PathPattern;
+use proptest::prelude::*;
+
+fn arb_component() -> impl Strategy<Value = String> {
+    "[a-z0-9._-]{1,8}".prop_map(|s| s)
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(arb_component(), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A pattern built from a path by literal copying matches exactly
+    /// that path.
+    #[test]
+    fn literal_pattern_matches_its_own_path(comps in arb_path()) {
+        let path = format!("/{}", comps.join("/"));
+        prop_assert!(PathPattern::new(&path).matches(&path));
+    }
+
+    /// Replacing any single component with `*` still matches.
+    #[test]
+    fn star_generalizes_one_component(comps in arb_path(), idx in any::<prop::sample::Index>()) {
+        let path = format!("/{}", comps.join("/"));
+        let i = idx.index(comps.len());
+        let mut generalized = comps.clone();
+        generalized[i] = "*".to_string();
+        let pattern = format!("/{}", generalized.join("/"));
+        prop_assert!(PathPattern::new(&pattern).matches(&path), "{pattern} vs {path}");
+    }
+
+    /// Replacing any contiguous run of components with `**` still
+    /// matches.
+    #[test]
+    fn double_star_generalizes_a_run(
+        comps in arb_path(),
+        a in any::<prop::sample::Index>(),
+        b in any::<prop::sample::Index>(),
+    ) {
+        let path = format!("/{}", comps.join("/"));
+        let (mut i, mut j) = (a.index(comps.len()), b.index(comps.len()));
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let mut generalized: Vec<String> = comps[..i].to_vec();
+        generalized.push("**".to_string());
+        generalized.extend_from_slice(&comps[j + 1..]);
+        let pattern = format!("/{}", generalized.join("/"));
+        prop_assert!(PathPattern::new(&pattern).matches(&path), "{pattern} vs {path}");
+    }
+
+    /// Truncating or extending the path breaks a literal match.
+    #[test]
+    fn literal_pattern_rejects_different_lengths(comps in arb_path()) {
+        let path = format!("/{}", comps.join("/"));
+        let pattern = PathPattern::new(&path);
+        let longer = format!("{path}/extra");
+        prop_assert!(!pattern.matches(&longer));
+        if comps.len() > 1 {
+            let shorter = format!("/{}", comps[..comps.len() - 1].join("/"));
+            prop_assert!(!pattern.matches(&shorter));
+        }
+    }
+
+    /// `/**` matches every path.
+    #[test]
+    fn universal_pattern(comps in arb_path()) {
+        let path = format!("/{}", comps.join("/"));
+        prop_assert!(PathPattern::new("/**").matches(&path));
+    }
+
+    /// Prefixing with a component the path does not start with rejects.
+    #[test]
+    fn wrong_anchor_rejects(comps in arb_path()) {
+        let path = format!("/{}", comps.join("/"));
+        let pattern = format!("/zz-not-there/{}", comps.join("/"));
+        prop_assert!(!PathPattern::new(&pattern).matches(&path));
+    }
+}

@@ -1,0 +1,501 @@
+//! The simulated Spectrum Scale cluster.
+//!
+//! Mirrors the product's File Audit Logging data path (§II-B2 of the
+//! paper): operations on any protocol node generate audit events that
+//! are (1) published onto the cluster's multi-node message queue and
+//! (2) appended to the retention-enabled fileset. Consumers — like
+//! FSMonitor's [`crate::SpectrumDsi`] — subscribe to the queue;
+//! auditors read the retention fileset.
+
+use crate::audit::{AuditEvent, AuditEventType};
+use fsmon_mq::{Context, Message, PubSocket};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Topic the audit queue publishes on.
+pub const AUDIT_TOPIC: &[u8] = b"audit";
+
+struct Entry {
+    inode: u64,
+    is_dir: bool,
+    size: u64,
+}
+
+struct State {
+    entries: HashMap<String, Entry>,
+    retention: Vec<String>,
+}
+
+/// A simulated Spectrum Scale cluster with File Audit Logging enabled.
+pub struct SpectrumCluster {
+    cluster_name: String,
+    fs_name: String,
+    nodes: u32,
+    state: Mutex<State>,
+    next_inode: AtomicU64,
+    clock_ns: AtomicU64,
+    ctx: Context,
+    queue: PubSocket,
+    endpoint: String,
+    /// Retention policy: maximum records kept in the fileset (0 = all).
+    retention_cap: usize,
+}
+
+impl SpectrumCluster {
+    /// Bring up a cluster with `nodes` protocol nodes.
+    pub fn new(fs_name: &str, nodes: u32) -> Arc<SpectrumCluster> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let ctx = Context::new();
+        let queue = ctx.publisher();
+        let endpoint = format!(
+            "inproc://spectrum-audit-{}",
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        queue.bind(&endpoint).expect("bind audit queue");
+        let mut entries = HashMap::new();
+        entries.insert(
+            "/".to_string(),
+            Entry {
+                inode: 3, // GPFS root inode
+                is_dir: true,
+                size: 0,
+            },
+        );
+        Arc::new(SpectrumCluster {
+            cluster_name: format!("{fs_name}-cluster.example.com"),
+            fs_name: fs_name.to_string(),
+            nodes: nodes.max(1),
+            state: Mutex::new(State {
+                entries,
+                retention: Vec::new(),
+            }),
+            next_inode: AtomicU64::new(4),
+            clock_ns: AtomicU64::new(1_552_084_067_000_000_000),
+            ctx,
+            queue,
+            endpoint,
+            retention_cap: 0,
+        })
+    }
+
+    /// The message-queue context (consumers create their SUB sockets
+    /// from it).
+    pub fn mq_context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The audit queue endpoint consumers connect to.
+    pub fn audit_endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Number of protocol nodes.
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// A client bound to protocol node `node`.
+    pub fn node_client(self: &Arc<Self>, node: u32) -> NodeClient {
+        assert!(node < self.nodes, "no such protocol node");
+        NodeClient {
+            cluster: Arc::clone(self),
+            node_name: format!("protocol-node-{node}"),
+        }
+    }
+
+    /// The retention fileset's records (audit JSON lines, oldest first).
+    pub fn retention_fileset(&self) -> Vec<String> {
+        self.state.lock().retention.clone()
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.state.lock().entries.contains_key(path)
+    }
+
+    fn emit(&self, mut event: AuditEvent) {
+        event.event_time_ns = self.clock_ns.fetch_add(1_000, Ordering::Relaxed);
+        let text = event.to_json();
+        {
+            let mut st = self.state.lock();
+            st.retention.push(text.clone());
+            if self.retention_cap > 0 && st.retention.len() > self.retention_cap {
+                st.retention.remove(0);
+            }
+        }
+        let _ = self.queue.send(Message::from_parts(vec![
+            AUDIT_TOPIC.to_vec(),
+            text.into_bytes(),
+        ]));
+    }
+
+    fn blank(&self, node: &str, event: AuditEventType, path: &str) -> AuditEvent {
+        AuditEvent {
+            event,
+            path: path.to_string(),
+            old_path: None,
+            cluster_name: self.cluster_name.clone(),
+            node_name: node.to_string(),
+            fs_name: self.fs_name.clone(),
+            inode: 0,
+            file_size: 0,
+            is_dir: false,
+            event_time_ns: 0,
+        }
+    }
+
+    fn parent_of(path: &str) -> &str {
+        match path.rfind('/') {
+            Some(0) => "/",
+            Some(i) => &path[..i],
+            None => "/",
+        }
+    }
+}
+
+/// A client handle bound to one protocol node; every operation's audit
+/// record carries that node's name (the multi-node provenance the real
+/// facility records).
+#[derive(Clone)]
+pub struct NodeClient {
+    cluster: Arc<SpectrumCluster>,
+    node_name: String,
+}
+
+impl NodeClient {
+    /// This client's node name.
+    pub fn node_name(&self) -> &str {
+        &self.node_name
+    }
+
+    /// Create a file. Emits `CREATE`.
+    pub fn create(&self, path: &str) -> bool {
+        let c = &self.cluster;
+        let inode = {
+            let mut st = c.state.lock();
+            if st.entries.contains_key(path)
+                || !st
+                    .entries
+                    .get(SpectrumCluster::parent_of(path))
+                    .is_some_and(|e| e.is_dir)
+            {
+                return false;
+            }
+            let inode = c.next_inode.fetch_add(1, Ordering::Relaxed);
+            st.entries.insert(
+                path.to_string(),
+                Entry {
+                    inode,
+                    is_dir: false,
+                    size: 0,
+                },
+            );
+            inode
+        };
+        let mut ev = c.blank(&self.node_name, AuditEventType::Create, path);
+        ev.inode = inode;
+        c.emit(ev);
+        true
+    }
+
+    /// Create a directory. Emits `MKDIR`.
+    pub fn mkdir(&self, path: &str) -> bool {
+        let c = &self.cluster;
+        let inode = {
+            let mut st = c.state.lock();
+            if st.entries.contains_key(path)
+                || !st
+                    .entries
+                    .get(SpectrumCluster::parent_of(path))
+                    .is_some_and(|e| e.is_dir)
+            {
+                return false;
+            }
+            let inode = c.next_inode.fetch_add(1, Ordering::Relaxed);
+            st.entries.insert(
+                path.to_string(),
+                Entry {
+                    inode,
+                    is_dir: true,
+                    size: 0,
+                },
+            );
+            inode
+        };
+        let mut ev = c.blank(&self.node_name, AuditEventType::Mkdir, path);
+        ev.inode = inode;
+        ev.is_dir = true;
+        c.emit(ev);
+        true
+    }
+
+    /// Write `len` bytes then close — GPFS audit reports data changes
+    /// as `CLOSE` records carrying the new size (there is no per-write
+    /// event).
+    pub fn write_close(&self, path: &str, len: u64) -> bool {
+        let c = &self.cluster;
+        let (inode, size) = {
+            let mut st = c.state.lock();
+            let Some(entry) = st.entries.get_mut(path) else {
+                return false;
+            };
+            if entry.is_dir {
+                return false;
+            }
+            entry.size += len;
+            (entry.inode, entry.size)
+        };
+        let mut ev = c.blank(&self.node_name, AuditEventType::Close, path);
+        ev.inode = inode;
+        ev.file_size = size;
+        c.emit(ev);
+        true
+    }
+
+    /// Open a file. Emits `OPEN`.
+    pub fn open(&self, path: &str) -> bool {
+        let c = &self.cluster;
+        let inode = {
+            let st = c.state.lock();
+            match st.entries.get(path) {
+                Some(e) if !e.is_dir => e.inode,
+                _ => return false,
+            }
+        };
+        let mut ev = c.blank(&self.node_name, AuditEventType::Open, path);
+        ev.inode = inode;
+        c.emit(ev);
+        true
+    }
+
+    /// Rename. Emits `RENAME` with `oldPath`.
+    pub fn rename(&self, from: &str, to: &str) -> bool {
+        let c = &self.cluster;
+        let (inode, is_dir) = {
+            let mut st = c.state.lock();
+            if st.entries.contains_key(to) {
+                return false;
+            }
+            let Some(entry) = st.entries.remove(from) else {
+                return false;
+            };
+            let info = (entry.inode, entry.is_dir);
+            // Re-root children of renamed directories.
+            if entry.is_dir {
+                let prefix = format!("{from}/");
+                let moved: Vec<String> = st
+                    .entries
+                    .keys()
+                    .filter(|p| p.starts_with(&prefix))
+                    .cloned()
+                    .collect();
+                for p in moved {
+                    let e = st.entries.remove(&p).expect("child exists");
+                    st.entries.insert(format!("{to}/{}", &p[prefix.len()..]), e);
+                }
+            }
+            st.entries.insert(to.to_string(), entry);
+            info
+        };
+        let mut ev = c.blank(&self.node_name, AuditEventType::Rename, to);
+        ev.old_path = Some(from.to_string());
+        ev.inode = inode;
+        ev.is_dir = is_dir;
+        c.emit(ev);
+        true
+    }
+
+    /// Unlink a file. Emits `UNLINK` then `DESTROY` (the real facility
+    /// raises both when the last link drops).
+    pub fn unlink(&self, path: &str) -> bool {
+        let c = &self.cluster;
+        let inode = {
+            let mut st = c.state.lock();
+            match st.entries.get(path) {
+                Some(e) if !e.is_dir => {
+                    let inode = e.inode;
+                    st.entries.remove(path);
+                    inode
+                }
+                _ => return false,
+            }
+        };
+        let mut ev = c.blank(&self.node_name, AuditEventType::Unlink, path);
+        ev.inode = inode;
+        c.emit(ev);
+        let mut ev = c.blank(&self.node_name, AuditEventType::Destroy, path);
+        ev.inode = inode;
+        c.emit(ev);
+        true
+    }
+
+    /// Remove an empty directory. Emits `RMDIR`.
+    pub fn rmdir(&self, path: &str) -> bool {
+        let c = &self.cluster;
+        let inode = {
+            let mut st = c.state.lock();
+            let prefix = format!("{path}/");
+            if st.entries.keys().any(|p| p.starts_with(&prefix)) {
+                return false;
+            }
+            match st.entries.get(path) {
+                Some(e) if e.is_dir => {
+                    let inode = e.inode;
+                    st.entries.remove(path);
+                    inode
+                }
+                _ => return false,
+            }
+        };
+        let mut ev = c.blank(&self.node_name, AuditEventType::Rmdir, path);
+        ev.inode = inode;
+        ev.is_dir = true;
+        c.emit(ev);
+        true
+    }
+
+    /// Change an extended attribute. Emits `XATTRCHANGE`.
+    pub fn setxattr(&self, path: &str) -> bool {
+        self.attr_event(path, AuditEventType::XattrChange)
+    }
+
+    /// Change the ACL. Emits `ACLCHANGE`.
+    pub fn set_acl(&self, path: &str) -> bool {
+        self.attr_event(path, AuditEventType::AclChange)
+    }
+
+    /// Change POSIX attributes. Emits `GPFSATTRCHANGE`.
+    pub fn chmod(&self, path: &str) -> bool {
+        self.attr_event(path, AuditEventType::GpfsAttrChange)
+    }
+
+    fn attr_event(&self, path: &str, kind: AuditEventType) -> bool {
+        let c = &self.cluster;
+        let (inode, is_dir) = {
+            let st = c.state.lock();
+            match st.entries.get(path) {
+                Some(e) => (e.inode, e.is_dir),
+                None => return false,
+            }
+        };
+        let mut ev = c.blank(&self.node_name, kind, path);
+        ev.inode = inode;
+        ev.is_dir = is_dir;
+        c.emit(ev);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn operations_append_to_retention_fileset() {
+        let cluster = SpectrumCluster::new("fs0", 2);
+        let node = cluster.node_client(0);
+        assert!(node.create("/a"));
+        assert!(node.write_close("/a", 100));
+        assert!(node.unlink("/a"));
+        let records = cluster.retention_fileset();
+        assert_eq!(records.len(), 4); // CREATE, CLOSE, UNLINK, DESTROY
+        let parsed: Vec<AuditEvent> = records
+            .iter()
+            .map(|r| AuditEvent::from_json(r).unwrap())
+            .collect();
+        assert_eq!(parsed[0].event, AuditEventType::Create);
+        assert_eq!(parsed[1].event, AuditEventType::Close);
+        assert_eq!(parsed[1].file_size, 100);
+        assert_eq!(parsed[2].event, AuditEventType::Unlink);
+        assert_eq!(parsed[3].event, AuditEventType::Destroy);
+        // Inodes are consistent across the file's lifetime.
+        assert!(parsed.iter().all(|e| e.inode == parsed[0].inode));
+    }
+
+    #[test]
+    fn audit_queue_delivers_to_subscribers() {
+        let cluster = SpectrumCluster::new("fs0", 1);
+        let sub = cluster.mq_context().subscriber();
+        sub.connect(cluster.audit_endpoint()).unwrap();
+        sub.subscribe(AUDIT_TOPIC);
+        let node = cluster.node_client(0);
+        node.create("/f");
+        let msg = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        let ev = AuditEvent::from_json(
+            std::str::from_utf8(msg.part(1).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ev.event, AuditEventType::Create);
+        assert_eq!(ev.path, "/f");
+        assert_eq!(ev.node_name, "protocol-node-0");
+    }
+
+    #[test]
+    fn multi_node_provenance() {
+        let cluster = SpectrumCluster::new("fs0", 3);
+        cluster.node_client(0).create("/from0");
+        cluster.node_client(2).create("/from2");
+        let records: Vec<AuditEvent> = cluster
+            .retention_fileset()
+            .iter()
+            .map(|r| AuditEvent::from_json(r).unwrap())
+            .collect();
+        assert_eq!(records[0].node_name, "protocol-node-0");
+        assert_eq!(records[1].node_name, "protocol-node-2");
+    }
+
+    #[test]
+    fn rename_rekeys_children_and_reports_old_path() {
+        let cluster = SpectrumCluster::new("fs0", 1);
+        let node = cluster.node_client(0);
+        node.mkdir("/d");
+        node.create("/d/f");
+        assert!(node.rename("/d", "/e"));
+        assert!(cluster.exists("/e/f"));
+        assert!(!cluster.exists("/d/f"));
+        let last = cluster.retention_fileset().pop().unwrap();
+        let ev = AuditEvent::from_json(&last).unwrap();
+        assert_eq!(ev.event, AuditEventType::Rename);
+        assert_eq!(ev.old_path.as_deref(), Some("/d"));
+        assert!(ev.is_dir);
+    }
+
+    #[test]
+    fn namespace_rules_enforced() {
+        let cluster = SpectrumCluster::new("fs0", 1);
+        let node = cluster.node_client(0);
+        assert!(!node.create("/no/parent"));
+        node.create("/f");
+        assert!(!node.create("/f"), "duplicate");
+        assert!(!node.mkdir("/f"), "name taken");
+        assert!(!node.rmdir("/f"), "not a dir");
+        node.mkdir("/d");
+        node.create("/d/child");
+        assert!(!node.rmdir("/d"), "not empty");
+        assert!(!node.unlink("/d"), "is a dir");
+    }
+
+    #[test]
+    #[should_panic(expected = "no such protocol node")]
+    fn invalid_node_panics() {
+        let cluster = SpectrumCluster::new("fs0", 2);
+        let _ = cluster.node_client(5);
+    }
+
+    #[test]
+    fn timestamps_increase() {
+        let cluster = SpectrumCluster::new("fs0", 1);
+        let node = cluster.node_client(0);
+        node.create("/a");
+        node.create("/b");
+        let recs: Vec<AuditEvent> = cluster
+            .retention_fileset()
+            .iter()
+            .map(|r| AuditEvent::from_json(r).unwrap())
+            .collect();
+        assert!(recs[1].event_time_ns > recs[0].event_time_ns);
+    }
+}

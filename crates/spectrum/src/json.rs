@@ -1,0 +1,405 @@
+//! A minimal JSON codec for the audit record wire format.
+//!
+//! Spectrum Scale's File Audit Logging writes one JSON object per
+//! event. The records use a flat schema — string, integer, and boolean
+//! fields only — so this codec implements exactly that subset (plus
+//! escape handling) in-crate rather than pulling a JSON dependency.
+
+use std::collections::BTreeMap;
+
+/// A JSON value of the audit-record subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string.
+    Str(String),
+    /// An integer (audit records carry inode numbers, sizes, ids).
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A flat object. `BTreeMap` keeps field order deterministic.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Borrow a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document of the supported subset.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::Trailing(p.pos));
+        }
+        Ok(value)
+    }
+}
+
+/// Builder for flat audit objects.
+#[derive(Debug, Default)]
+pub struct ObjectBuilder {
+    map: BTreeMap<String, Json>,
+}
+
+impl ObjectBuilder {
+    /// An empty object.
+    pub fn new() -> ObjectBuilder {
+        ObjectBuilder::default()
+    }
+
+    /// Add a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: impl Into<String>) -> ObjectBuilder {
+        self.map.insert(key.to_string(), Json::Str(value.into()));
+        self
+    }
+
+    /// Add an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: i64) -> ObjectBuilder {
+        self.map.insert(key.to_string(), Json::Int(value));
+        self
+    }
+
+    /// Add a boolean field.
+    #[must_use]
+    pub fn bool(mut self, key: &str, value: bool) -> ObjectBuilder {
+        self.map.insert(key.to_string(), Json::Bool(value));
+        self
+    }
+
+    /// Finish the object.
+    pub fn build(self) -> Json {
+        Json::Object(self.map)
+    }
+}
+
+/// Parse errors, positioned by byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Unexpected end of input.
+    Eof,
+    /// Unexpected byte at offset.
+    Unexpected(usize),
+    /// Invalid escape sequence at offset.
+    BadEscape(usize),
+    /// Number failed to parse at offset.
+    BadNumber(usize),
+    /// Trailing bytes after the document.
+    Trailing(usize),
+    /// Input was not valid UTF-8 inside a string.
+    BadUtf8(usize),
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::Eof => write!(f, "unexpected end of JSON input"),
+            JsonError::Unexpected(p) => write!(f, "unexpected byte at offset {p}"),
+            JsonError::BadEscape(p) => write!(f, "invalid escape at offset {p}"),
+            JsonError::BadNumber(p) => write!(f, "invalid number at offset {p}"),
+            JsonError::Trailing(p) => write!(f, "trailing data at offset {p}"),
+            JsonError::BadUtf8(p) => write!(f, "invalid UTF-8 at offset {p}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(x) if x == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(JsonError::Unexpected(self.pos)),
+            None => Err(JsonError::Eof),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => {
+                self.keyword("true")?;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') => {
+                self.keyword("false")?;
+                Ok(Json::Bool(false))
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(JsonError::Unexpected(self.pos)),
+            None => Err(JsonError::Eof),
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(JsonError::Unexpected(self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<i64>().ok())
+            .map(Json::Int)
+            .ok_or(JsonError::BadNumber(start))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::Eof),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonError::Eof)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(JsonError::Eof);
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| JsonError::BadEscape(self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::BadEscape(self.pos))?;
+                            out.push(
+                                char::from_u32(code).ok_or(JsonError::BadEscape(self.pos))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError::BadEscape(self.pos - 1)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError::BadUtf8(self.pos))?;
+                    let c = rest.chars().next().ok_or(JsonError::Eof)?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                Some(_) => return Err(JsonError::Unexpected(self.pos)),
+                None => return Err(JsonError::Eof),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_flat_object() {
+        let obj = ObjectBuilder::new()
+            .str("event", "CREATE")
+            .str("path", "/gpfs/fs0/data file.bin")
+            .int("inode", 48291)
+            .int("fileSize", -1)
+            .bool("openFlags", true)
+            .build();
+        let text = obj.render();
+        assert_eq!(Json::parse(&text).unwrap(), obj);
+    }
+
+    #[test]
+    fn renders_deterministically_sorted_keys() {
+        let obj = ObjectBuilder::new().str("b", "2").str("a", "1").build();
+        assert_eq!(obj.render(), r#"{"a":"1","b":"2"}"#);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let obj = ObjectBuilder::new()
+            .str("path", "/dir/with \"quotes\"\\slash\nnewline\ttab")
+            .build();
+        let parsed = Json::parse(&obj.render()).unwrap();
+        assert_eq!(
+            parsed.get("path").unwrap().as_str().unwrap(),
+            "/dir/with \"quotes\"\\slash\nnewline\ttab"
+        );
+    }
+
+    #[test]
+    fn unicode_escape_and_raw_unicode() {
+        let parsed = Json::parse(r#"{"a":"Aé","b":"héllo"}"#).unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_str().unwrap(), "Aé");
+        assert_eq!(parsed.get("b").unwrap().as_str().unwrap(), "héllo");
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let parsed = Json::parse(" { \"a\" : 1 ,\n\t\"b\" : true } ").unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_int(), Some(1));
+        assert_eq!(parsed.get("b"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(Json::parse("{}").unwrap(), Json::Object(BTreeMap::new()));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let parsed = Json::parse(r#"{"n":-42}"#).unwrap();
+        assert_eq!(parsed.get("n").unwrap().as_int(), Some(-42));
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        for bad in [
+            "", "{", "}", "{\"a\"}", "{\"a\":}", "{\"a\":1,}", "nope", "{\"a\":1} extra",
+            "{\"a\":\"unterminated", "{\"a\":\"bad\\x\"}", "{\"a\":--1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn accessors_on_wrong_types_return_none() {
+        let v = Json::Int(1);
+        assert_eq!(v.as_str(), None);
+        assert_eq!(v.get("x"), None);
+        assert_eq!(Json::Str("s".into()).as_int(), None);
+    }
+}

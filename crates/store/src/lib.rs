@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+
+//! # fsmon-store
+//!
+//! The reliable event store backing FSMonitor's fault tolerance. The
+//! paper uses MySQL on the MGS ("one thread stores the events into a
+//! local database to enable fault tolerance … an API is provided to the
+//! consumers to retrieve historic events whenever a fault occurs",
+//! §IV Aggregation). The store's contract is a durable sequenced log,
+//! not a relational engine, so this crate implements exactly that:
+//!
+//! * [`MemStore`] — an in-memory store for tests and low-stakes runs.
+//! * [`FileStore`] — a segmented, CRC-checked append-only log with
+//!   torn-tail crash recovery, replay-from-sequence, reported-flag
+//!   watermarks, and purge cycles that reclaim fully reported segments.
+//!
+//! Both implement [`EventStore`], the interface the aggregator and the
+//! interface layer program against.
+//!
+//! ```
+//! use fsmon_store::{EventStore, MemStore};
+//! use fsmon_events::{StandardEvent, EventKind};
+//!
+//! let store = MemStore::new();
+//! let seq = store.append(&StandardEvent::new(EventKind::Create, "/r", "f")).unwrap();
+//! assert_eq!(seq, 1);
+//! let replay = store.get_since(0, 100).unwrap();
+//! assert_eq!(replay.len(), 1);
+//! store.mark_reported(seq).unwrap();
+//! store.purge_reported().unwrap();
+//! assert!(store.get_since(0, 100).unwrap().is_empty());
+//! ```
+
+pub mod crc;
+pub mod file;
+pub mod mem;
+
+pub use file::FileStore;
+pub use mem::MemStore;
+
+use fsmon_events::StandardEvent;
+
+/// Errors from the event store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record failed CRC or framing validation (corruption beyond the
+    /// recoverable torn tail).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corruption: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Counters describing store state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Events ever appended.
+    pub appended: u64,
+    /// Highest sequence assigned (0 if none).
+    pub last_seq: u64,
+    /// Reported watermark: events `<=` this have been consumed.
+    pub reported_seq: u64,
+    /// Events currently retained (not yet purged).
+    pub retained: u64,
+}
+
+/// The durable event log interface.
+///
+/// Sequences are dense, starting at 1, assigned by `append`.
+pub trait EventStore: Send + Sync {
+    /// Append an event; returns its assigned sequence number. The
+    /// stored copy has `id` set to that sequence.
+    fn append(&self, event: &StandardEvent) -> Result<u64, StoreError>;
+
+    /// Fetch up to `max` events with sequence strictly greater than
+    /// `since` (the consumer replay API: "if users provide an event
+    /// identifier, FSMonitor will only report events that have happened
+    /// since that event", §III-A3).
+    fn get_since(&self, since: u64, max: usize) -> Result<Vec<StandardEvent>, StoreError>;
+
+    /// Advance the reported watermark to `up_to` (idempotent; never
+    /// regresses).
+    fn mark_reported(&self, up_to: u64) -> Result<(), StoreError>;
+
+    /// Reclaim storage for reported events. Implementations may retain
+    /// more than strictly necessary (segment granularity).
+    fn purge_reported(&self) -> Result<(), StoreError>;
+
+    /// Current counters.
+    fn stats(&self) -> StoreStats;
+}

@@ -1,0 +1,136 @@
+//! In-memory event store.
+
+use crate::{EventStore, StoreError, StoreStats};
+use fsmon_events::StandardEvent;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A purely in-memory [`EventStore`]: fast, not durable. Used by tests
+/// and by deployments that accept losing replay history on restart.
+#[derive(Default)]
+pub struct MemStore {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    events: VecDeque<StandardEvent>,
+    next_seq: u64,
+    reported: u64,
+    appended: u64,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl EventStore for MemStore {
+    fn append(&self, event: &StandardEvent) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock();
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        let mut stored = event.clone();
+        stored.id = seq;
+        inner.events.push_back(stored);
+        inner.appended += 1;
+        Ok(seq)
+    }
+
+    fn get_since(&self, since: u64, max: usize) -> Result<Vec<StandardEvent>, StoreError> {
+        let inner = self.inner.lock();
+        let start = inner.events.partition_point(|e| e.id <= since);
+        Ok(inner.events.iter().skip(start).take(max).cloned().collect())
+    }
+
+    fn mark_reported(&self, up_to: u64) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        inner.reported = inner.reported.max(up_to);
+        Ok(())
+    }
+
+    fn purge_reported(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let watermark = inner.reported;
+        while inner.events.front().is_some_and(|e| e.id <= watermark) {
+            inner.events.pop_front();
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            appended: inner.appended,
+            last_seq: inner.next_seq,
+            reported_seq: inner.reported,
+            retained: inner.events.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::EventKind;
+
+    fn ev(name: &str) -> StandardEvent {
+        StandardEvent::new(EventKind::Create, "/r", name)
+    }
+
+    #[test]
+    fn append_assigns_dense_sequences() {
+        let s = MemStore::new();
+        assert_eq!(s.append(&ev("a")).unwrap(), 1);
+        assert_eq!(s.append(&ev("b")).unwrap(), 2);
+        let got = s.get_since(0, 10).unwrap();
+        assert_eq!(got[0].id, 1);
+        assert_eq!(got[1].id, 2);
+    }
+
+    #[test]
+    fn get_since_is_exclusive_and_limited() {
+        let s = MemStore::new();
+        for i in 0..10 {
+            s.append(&ev(&format!("f{i}"))).unwrap();
+        }
+        let got = s.get_since(4, 3).unwrap();
+        assert_eq!(got.iter().map(|e| e.id).collect::<Vec<_>>(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn purge_respects_watermark() {
+        let s = MemStore::new();
+        for i in 0..5 {
+            s.append(&ev(&format!("f{i}"))).unwrap();
+        }
+        s.mark_reported(3).unwrap();
+        s.purge_reported().unwrap();
+        let got = s.get_since(0, 10).unwrap();
+        assert_eq!(got.iter().map(|e| e.id).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(s.stats().retained, 2);
+    }
+
+    #[test]
+    fn watermark_never_regresses() {
+        let s = MemStore::new();
+        s.append(&ev("a")).unwrap();
+        s.mark_reported(5).unwrap();
+        s.mark_reported(2).unwrap();
+        assert_eq!(s.stats().reported_seq, 5);
+    }
+
+    #[test]
+    fn stats_track_counts() {
+        let s = MemStore::new();
+        for _ in 0..7 {
+            s.append(&ev("x")).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.appended, 7);
+        assert_eq!(st.last_seq, 7);
+        assert_eq!(st.retained, 7);
+    }
+}

@@ -1,0 +1,126 @@
+//! Durability stress tests: segment rolling, repeated crash/reopen
+//! cycles, and concurrent append/replay/purge.
+
+use fsmon_events::{EventKind, StandardEvent};
+use fsmon_store::{EventStore, FileStore};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn ev(i: u64) -> StandardEvent {
+    StandardEvent::new(EventKind::Create, "/mnt/lustre", format!("/stress/file-{i}"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsmon-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn many_segment_rolls_replay_in_order() {
+    let dir = tmpdir("rolls");
+    // ~90 bytes per record; 1 KiB segments roll every ~11 events.
+    let store = FileStore::open_with_segment_bytes(&dir, 1024).unwrap();
+    for i in 0..500 {
+        store.append(&ev(i)).unwrap();
+    }
+    let all = store.get_since(0, 1000).unwrap();
+    assert_eq!(all.len(), 500);
+    for (i, e) in all.iter().enumerate() {
+        assert_eq!(e.id, i as u64 + 1);
+        assert_eq!(e.path, format!("/stress/file-{i}"));
+    }
+    let segments = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with("seg-")
+        })
+        .count();
+    assert!(segments > 20, "many segments rolled: {segments}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repeated_crash_reopen_cycles_preserve_everything() {
+    let dir = tmpdir("cycles");
+    let mut expected = 0u64;
+    for cycle in 0..10 {
+        let store = FileStore::open_with_segment_bytes(&dir, 2048).unwrap();
+        assert_eq!(store.stats().last_seq, expected, "cycle {cycle}");
+        for _ in 0..37 {
+            expected = store.append(&ev(expected)).unwrap();
+        }
+        // Drop without any clean shutdown — the crash.
+    }
+    let store = FileStore::open(&dir).unwrap();
+    let all = store.get_since(0, 10_000).unwrap();
+    assert_eq!(all.len(), 370);
+    for (i, e) in all.iter().enumerate() {
+        assert_eq!(e.id, i as u64 + 1);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn purge_during_appends_never_loses_unreported_events() {
+    let dir = tmpdir("purge-race");
+    let store = Arc::new(FileStore::open_with_segment_bytes(&dir, 1024).unwrap());
+    let writer = {
+        let store = store.clone();
+        std::thread::spawn(move || {
+            for i in 0..2000 {
+                store.append(&ev(i)).unwrap();
+            }
+        })
+    };
+    // Concurrently consume: mark batches reported and purge.
+    let mut consumed = 0u64;
+    while consumed < 2000 {
+        let batch = store.get_since(consumed, 64).unwrap();
+        if batch.is_empty() {
+            std::thread::yield_now();
+            continue;
+        }
+        // Sequences are dense and ordered.
+        for (k, e) in batch.iter().enumerate() {
+            assert_eq!(e.id, consumed + 1 + k as u64);
+        }
+        consumed = batch.last().unwrap().id;
+        store.mark_reported(consumed).unwrap();
+        store.purge_reported().unwrap();
+    }
+    writer.join().unwrap();
+    // Everything reported; at most the active segment lingers.
+    store.purge_reported().unwrap();
+    assert!(store.get_since(consumed, 10).unwrap().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reopen_after_purge_does_not_resurrect_reported_events() {
+    let dir = tmpdir("resurrect");
+    {
+        let store = FileStore::open_with_segment_bytes(&dir, 512).unwrap();
+        for i in 0..100 {
+            store.append(&ev(i)).unwrap();
+        }
+        store.mark_reported(60).unwrap();
+        store.purge_reported().unwrap();
+    }
+    let store = FileStore::open(&dir).unwrap();
+    assert_eq!(store.stats().reported_seq, 60);
+    // Everything unreported survives; segment granularity may retain a
+    // few already-reported stragglers (the EventStore contract allows
+    // retaining more than strictly necessary), but replaying *since the
+    // watermark* must be exact.
+    let replay = store.get_since(60, 1000).unwrap();
+    let ids: Vec<u64> = replay.iter().map(|e| e.id).collect();
+    assert_eq!(ids, (61..=100).collect::<Vec<u64>>());
+    // New appends continue past the old maximum.
+    assert_eq!(store.append(&ev(0)).unwrap(), 101);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,203 @@
+//! A log-bucketed latency histogram.
+//!
+//! Fixed memory, lock-free recording, ~4% relative error per bucket —
+//! enough to report the p50/p95/p99 delivery latencies behind the
+//! paper's §V-D6 observation that FSMonitor introduced no noticeable
+//! event-reporting delay.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per power of two (higher = finer resolution).
+const SUB_BUCKETS: usize = 16;
+/// Covers values up to 2^40 ns ≈ 18 minutes.
+const MAX_POW: usize = 40;
+
+/// A concurrent histogram of nanosecond values.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..MAX_POW * SUB_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        let ns = ns.max(1);
+        let pow = 63 - ns.leading_zeros() as usize;
+        let pow = pow.min(MAX_POW - 1);
+        // Position within the power-of-two range.
+        let base = 1u64 << pow;
+        let frac = ((ns - base) * SUB_BUCKETS as u64 / base) as usize;
+        pow * SUB_BUCKETS + frac.min(SUB_BUCKETS - 1)
+    }
+
+    /// The representative (upper-bound) value of bucket `idx`.
+    fn bucket_value(idx: usize) -> u64 {
+        let pow = idx / SUB_BUCKETS;
+        let frac = (idx % SUB_BUCKETS) as u64;
+        let base = 1u64 << pow;
+        base + base * (frac + 1) / SUB_BUCKETS as u64
+    }
+
+    /// Record one latency observation.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, ns.
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Maximum observation, ns.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in [0, 1] (upper-bound estimate).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_value(idx);
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Render a `p50/p95/p99/max` summary in human units.
+    pub fn summary(&self) -> String {
+        fn human(ns: u64) -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.1}µs", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        format!(
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count(),
+            human(self.mean_ns()),
+            human(self.quantile_ns(0.50)),
+            human(self.quantile_ns(0.95)),
+            human(self.quantile_ns(0.99)),
+            human(self.max_ns()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_data() {
+        let h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 1_000); // 1µs .. 10ms uniform
+        }
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        // Log buckets: within ~7% of the true value.
+        assert!((4_600_000..=5_500_000).contains(&p50), "p50 {p50}");
+        assert!((9_200_000..=11_000_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.count(), 10_000);
+        let mean = h.mean_ns();
+        assert!((4_800_000..=5_200_000).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn bucket_error_bounded() {
+        for v in [1u64, 17, 1_000, 123_456, 9_999_999, 1 << 35] {
+            let idx = LatencyHistogram::bucket_index(v);
+            let rep = LatencyHistogram::bucket_value(idx);
+            assert!(rep >= v, "upper bound: {rep} >= {v}");
+            assert!(rep as f64 <= v as f64 * 1.13 + 2.0, "{v} -> {rep}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i % 1_000_000 + 1);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn max_tracked_exactly() {
+        let h = LatencyHistogram::new();
+        h.record(123);
+        h.record(77_777_777);
+        h.record(456);
+        assert_eq!(h.max_ns(), 77_777_777);
+    }
+
+    #[test]
+    fn summary_renders_units() {
+        let h = LatencyHistogram::new();
+        h.record(500);
+        h.record(5_000);
+        h.record(5_000_000);
+        h.record(5_000_000_000);
+        let s = h.summary();
+        assert!(s.contains("n=4"), "{s}");
+        assert!(s.contains("max=5.00s"), "{s}");
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # fsmon-testbed
+//!
+//! Shared evaluation infrastructure:
+//!
+//! * [`profiles`] — the paper's three local platforms (macOS, Ubuntu,
+//!   CentOS; §V-A1) with their baseline generation rates and the
+//!   per-monitor processing overheads that reproduce Table III's shape,
+//!   plus re-exports of the Lustre testbed profiles.
+//! * [`meter`] — event-rate measurement.
+//! * [`resources`] — real `/proc/self` CPU and RSS sampling, and a
+//!   modelled busy-time accounting used for per-component CPU columns
+//!   where real per-thread numbers are not comparable across simulated
+//!   testbeds.
+//! * [`table`] — the ASCII table renderer every `table*` harness binary
+//!   prints paper-vs-measured rows with.
+
+pub mod histogram;
+pub mod meter;
+pub mod profiles;
+pub mod resources;
+pub mod table;
+
+pub use histogram::LatencyHistogram;
+pub use meter::RateMeter;
+pub use profiles::LocalPlatform;
+pub use resources::{BusyMeter, CpuMemSample, ProcSampler};
+pub use table::Table;

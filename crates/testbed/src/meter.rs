@@ -1,0 +1,86 @@
+//! Event-rate measurement.
+
+use std::time::{Duration, Instant};
+
+/// Measures an event rate over a wall-clock window.
+#[derive(Debug, Clone)]
+pub struct RateMeter {
+    started: Instant,
+    count: u64,
+}
+
+impl RateMeter {
+    /// Start the clock.
+    pub fn start() -> RateMeter {
+        RateMeter {
+            started: Instant::now(),
+            count: 0,
+        }
+    }
+
+    /// Record `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Events recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Events per second over the elapsed window.
+    pub fn rate(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / secs
+        }
+    }
+
+    /// Rate computed against an externally supplied duration (e.g. a
+    /// workload's own measured window rather than the meter's).
+    pub fn rate_over(&self, window: Duration) -> f64 {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut m = RateMeter::start();
+        m.add(10);
+        m.add(5);
+        assert_eq!(m.count(), 15);
+    }
+
+    #[test]
+    fn rate_over_explicit_window() {
+        let mut m = RateMeter::start();
+        m.add(500);
+        assert!((m.rate_over(Duration::from_secs(2)) - 250.0).abs() < 1e-9);
+        assert_eq!(m.rate_over(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn live_rate_positive_after_sleep() {
+        let mut m = RateMeter::start();
+        m.add(100);
+        std::thread::sleep(Duration::from_millis(20));
+        let r = m.rate();
+        assert!(r > 0.0 && r < 100.0 / 0.02 + 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! CPU and memory measurement.
+//!
+//! Two instruments:
+//!
+//! * [`ProcSampler`] — real process-level CPU% and RSS from
+//!   `/proc/self`, for whole-run resource numbers on the host.
+//! * [`BusyMeter`] — modelled per-component CPU: a component accumulates
+//!   the busy time it spends working; CPU% = busy / wall. This is how
+//!   the per-component columns of Tables VII/VIII are produced, since
+//!   every simulated component shares one host process.
+
+use std::time::{Duration, Instant};
+
+/// A CPU + memory observation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CpuMemSample {
+    /// CPU utilization percent over the sampling window.
+    pub cpu_percent: f64,
+    /// Resident set size in bytes.
+    pub rss_bytes: u64,
+}
+
+/// Samples `/proc/self` for process CPU and memory.
+pub struct ProcSampler {
+    last_cpu_ticks: u64,
+    last_instant: Instant,
+    ticks_per_sec: f64,
+}
+
+impl ProcSampler {
+    /// Begin sampling (records the baseline).
+    pub fn start() -> ProcSampler {
+        ProcSampler {
+            last_cpu_ticks: read_cpu_ticks().unwrap_or(0),
+            last_instant: Instant::now(),
+            ticks_per_sec: 100.0, // Linux USER_HZ
+        }
+    }
+
+    /// CPU% since the previous sample (or start) and current RSS.
+    pub fn sample(&mut self) -> CpuMemSample {
+        let now_ticks = read_cpu_ticks().unwrap_or(self.last_cpu_ticks);
+        let now = Instant::now();
+        let dticks = now_ticks.saturating_sub(self.last_cpu_ticks) as f64;
+        let dt = now.duration_since(self.last_instant).as_secs_f64();
+        self.last_cpu_ticks = now_ticks;
+        self.last_instant = now;
+        CpuMemSample {
+            cpu_percent: if dt > 0.0 {
+                100.0 * (dticks / self.ticks_per_sec) / dt
+            } else {
+                0.0
+            },
+            rss_bytes: read_rss_bytes().unwrap_or(0),
+        }
+    }
+}
+
+/// Read utime+stime (clock ticks) from `/proc/self/stat`.
+fn read_cpu_ticks() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; skip past the closing paren.
+    let rest = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // After comm: field index 11 = utime, 12 = stime (0-based in rest).
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some(utime + stime)
+}
+
+/// Read VmRSS from `/proc/self/status`.
+fn read_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Modelled per-component CPU: accumulate busy time explicitly.
+#[derive(Debug)]
+pub struct BusyMeter {
+    started: Instant,
+    busy: Duration,
+}
+
+impl Default for BusyMeter {
+    fn default() -> Self {
+        BusyMeter::start()
+    }
+}
+
+impl BusyMeter {
+    /// Start the wall clock.
+    pub fn start() -> BusyMeter {
+        BusyMeter {
+            started: Instant::now(),
+            busy: Duration::ZERO,
+        }
+    }
+
+    /// Record `busy` time spent working.
+    pub fn add_busy(&mut self, busy: Duration) {
+        self.busy += busy;
+    }
+
+    /// Time a closure and count its duration as busy time. Returns the
+    /// closure's result.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.busy += t0.elapsed();
+        out
+    }
+
+    /// Busy time accumulated.
+    pub fn busy(&self) -> Duration {
+        self.busy
+    }
+
+    /// CPU% = busy / wall since start.
+    pub fn cpu_percent(&self) -> f64 {
+        let wall = self.started.elapsed().as_secs_f64();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.busy.as_secs_f64() / wall
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_sampler_reads_something_on_linux() {
+        let mut s = ProcSampler::start();
+        // Burn a little CPU.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let sample = s.sample();
+        assert!(sample.rss_bytes > 0, "RSS should be readable");
+        assert!(sample.cpu_percent >= 0.0);
+    }
+
+    #[test]
+    fn busy_meter_tracks_fraction() {
+        let mut m = BusyMeter::start();
+        m.time(|| std::thread::sleep(Duration::from_millis(20)));
+        std::thread::sleep(Duration::from_millis(20));
+        let cpu = m.cpu_percent();
+        assert!(cpu > 20.0 && cpu < 80.0, "cpu {cpu}");
+        assert!(m.busy() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn add_busy_accumulates() {
+        let mut m = BusyMeter::start();
+        m.add_busy(Duration::from_millis(5));
+        m.add_busy(Duration::from_millis(5));
+        assert_eq!(m.busy(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,173 @@
+//! Filebench-style file population and operation mix.
+//!
+//! "We used Filebench to create 50 000 files with sizes following a
+//! gamma distribution (mean 16 384 bytes and gamma 1.5), a mean
+//! directory width of 20, and mean directory depth of 3.6" (§V-B).
+//! Table IX shows the resulting `bigfileset` creations.
+
+use crate::gamma::sample_file_size;
+use crate::ior::mkdir_all;
+use crate::target::WorkloadTarget;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Filebench population parameters.
+#[derive(Debug, Clone)]
+pub struct FilebenchConfig {
+    /// Number of files to create (paper: 50 000).
+    pub files: u64,
+    /// Mean file size in bytes (paper: 16 384).
+    pub mean_size: f64,
+    /// Gamma shape (paper: 1.5).
+    pub gamma: f64,
+    /// Mean directory width (paper: 20).
+    pub dir_width: u32,
+    /// Mean directory depth (paper: 3.6).
+    pub dir_depth: f64,
+    /// Root directory of the fileset.
+    pub base: String,
+    /// RNG seed for reproducible trees.
+    pub seed: u64,
+}
+
+impl Default for FilebenchConfig {
+    fn default() -> Self {
+        FilebenchConfig {
+            files: 50_000,
+            mean_size: 16_384.0,
+            gamma: 1.5,
+            dir_width: 20,
+            dir_depth: 3.6,
+            base: "/bigfileset".to_string(),
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a Filebench population run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilebenchRun {
+    /// Files created.
+    pub files_created: u64,
+    /// Directories created.
+    pub dirs_created: u64,
+    /// Total bytes of all created files.
+    pub total_bytes: u64,
+    /// All operations performed (dir creates + file creates + writes).
+    pub operations: u64,
+}
+
+/// The Filebench workload generator.
+pub struct FilebenchWorkload {
+    config: FilebenchConfig,
+}
+
+impl FilebenchWorkload {
+    /// A generator with the given configuration.
+    pub fn new(config: FilebenchConfig) -> FilebenchWorkload {
+        FilebenchWorkload { config }
+    }
+
+    /// Populate the fileset: build a directory tree whose width is
+    /// uniform around `dir_width` and whose depth is geometrically
+    /// distributed around `dir_depth`, then fill it with
+    /// gamma-size-distributed files named `%08d` (Table IX shows
+    /// `/bigfileset/00000001`-style names).
+    pub fn populate(&self, target: &impl WorkloadTarget) -> FilebenchRun {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut run = FilebenchRun::default();
+        mkdir_all(target, &cfg.base);
+
+        // Build the directory pool. Enough directories that the mean
+        // leaf population matches roughly files / (width^depth)… in
+        // practice Filebench pre-creates ceil(files / width) leaves.
+        let n_dirs = ((cfg.files as f64 / cfg.dir_width as f64).ceil() as u64).max(1);
+        let mut dirs: Vec<String> = Vec::with_capacity(n_dirs as usize);
+        dirs.push(cfg.base.clone());
+        while (dirs.len() as u64) < n_dirs {
+            // Choose a parent whose depth keeps the mean near dir_depth:
+            // extend with probability 1 - 1/dir_depth, else branch at
+            // a shallow parent.
+            let parent = if rng.gen_bool((1.0 - 1.0 / cfg.dir_depth).clamp(0.05, 0.95)) {
+                dirs[rng.gen_range(0..dirs.len())].clone()
+            } else {
+                cfg.base.clone()
+            };
+            let name = format!("{parent}/d{:05}", dirs.len());
+            if target.mkdir(&name) {
+                run.dirs_created += 1;
+                run.operations += 1;
+                dirs.push(name);
+            }
+        }
+
+        for i in 0..cfg.files {
+            let dir = &dirs[rng.gen_range(0..dirs.len())];
+            let path = format!("{dir}/{i:08}");
+            if target.create(&path) {
+                run.files_created += 1;
+                run.operations += 1;
+                let size = sample_file_size(&mut rng, cfg.mean_size, cfg.gamma);
+                if target.write(&path, 0, size) {
+                    run.total_bytes += size;
+                    run.operations += 1;
+                }
+                target.close(&path, true);
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lustre_sim::{LustreConfig, LustreFs};
+
+    fn small_config(files: u64) -> FilebenchConfig {
+        FilebenchConfig {
+            files,
+            ..FilebenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn populates_requested_file_count() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = FilebenchWorkload::new(small_config(500)).populate(&fs.client());
+        assert_eq!(run.files_created, 500);
+        assert!(run.dirs_created >= 24, "≈ files/width dirs: {}", run.dirs_created);
+    }
+
+    #[test]
+    fn sizes_average_near_mean() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = FilebenchWorkload::new(small_config(2000)).populate(&fs.client());
+        let mean = run.total_bytes as f64 / run.files_created as f64;
+        assert!(
+            (mean - 16_384.0).abs() / 16_384.0 < 0.10,
+            "mean file size {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let fs1 = LustreFs::new(LustreConfig::small());
+        let fs2 = LustreFs::new(LustreConfig::small());
+        let r1 = FilebenchWorkload::new(small_config(200)).populate(&fs1.client());
+        let r2 = FilebenchWorkload::new(small_config(200)).populate(&fs2.client());
+        assert_eq!(r1.total_bytes, r2.total_bytes);
+        assert_eq!(r1.dirs_created, r2.dirs_created);
+    }
+
+    #[test]
+    fn paper_scale_total_size_plausible() {
+        // 50 000 × 16 384 B ≈ 782.8 MB (the paper's reported total).
+        // Validate the arithmetic at 1/10 scale.
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = FilebenchWorkload::new(small_config(5000)).populate(&fs.client());
+        let projected_mb = (run.total_bytes as f64 / run.files_created as f64) * 50_000.0 / 1e6;
+        assert!((700.0..900.0).contains(&projected_mb), "projected {projected_mb} MB");
+    }
+}

@@ -1,0 +1,88 @@
+//! Gamma-distributed sampling (Marsaglia–Tsang), implemented in-crate
+//! so Filebench's file-size distribution needs no extra dependency.
+
+use rand::Rng;
+
+/// Sample one value from Gamma(shape `k`, scale `theta`).
+///
+/// Uses Marsaglia & Tsang's squeeze method for `k >= 1` and the
+/// standard boost `Gamma(k) = Gamma(k+1) · U^{1/k}` for `k < 1`.
+pub fn sample_gamma<R: Rng>(rng: &mut R, k: f64, theta: f64) -> f64 {
+    assert!(k > 0.0 && theta > 0.0, "gamma parameters must be positive");
+    if k < 1.0 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return sample_gamma(rng, k + 1.0, theta) * u.powf(1.0 / k);
+    }
+    let d = k - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * theta;
+        }
+    }
+}
+
+/// Sample a file size from Gamma with the given `mean` and shape `k`
+/// (Filebench parameterizes sizes by mean + gamma shape; the paper uses
+/// mean 16 384 bytes and gamma 1.5).
+pub fn sample_file_size<R: Rng>(rng: &mut R, mean: f64, k: f64) -> u64 {
+    let theta = mean / k;
+    sample_gamma(rng, k, theta).round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_variance_converge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (k, theta) = (1.5, 16384.0 / 1.5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gamma(&mut rng, k, theta)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let expected_mean = k * theta; // 16384
+        let expected_var = k * theta * theta;
+        assert!((mean - expected_mean).abs() / expected_mean < 0.03, "mean {mean}");
+        assert!((var - expected_var).abs() / expected_var < 0.10, "var {var}");
+    }
+
+    #[test]
+    fn shape_below_one_works() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| sample_gamma(&mut rng, 0.5, 2.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(sample_gamma(&mut rng, 1.5, 100.0) > 0.0);
+            assert!(sample_file_size(&mut rng, 16384.0, 1.5) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shape_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_gamma(&mut rng, 0.0, 1.0);
+    }
+}

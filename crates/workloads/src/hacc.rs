@@ -1,0 +1,164 @@
+//! HACC-I/O's metadata footprint.
+//!
+//! "We run HACC-IO for 4 096 000 particles under file-per-process mode
+//! with 256 processes" (§V-B); "256 files were created and deleted.
+//! These file system events were correctly reported by FSMonitor"
+//! (§V-D6). File names follow the pattern visible in Table IX:
+//! `FPP1-Part00000000-of-00000256.data`.
+
+use crate::ior::mkdir_all;
+use crate::target::WorkloadTarget;
+
+/// Parallel I/O mode (shared by IOR and HACC-I/O configs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// All ranks write one shared file (IOR's SSF).
+    SingleSharedFile,
+    /// Each rank writes its own file (HACC's FPP).
+    FilePerProcess,
+}
+
+/// A HACC-I/O run configuration.
+#[derive(Debug, Clone)]
+pub struct HaccIoWorkload {
+    /// Total particles (paper: 4 096 000).
+    pub particles: u64,
+    /// MPI ranks (paper: 256).
+    pub processes: u32,
+    /// Bytes per particle (HACC records are 38 bytes: 9 floats + 2
+    /// 8-byte ids, padded).
+    pub bytes_per_particle: u64,
+    /// I/O mode (paper: FPP).
+    pub mode: IoMode,
+    /// Directory the output lives in.
+    pub base: String,
+    /// Whether files are deleted at the end of the run.
+    pub cleanup: bool,
+}
+
+impl Default for HaccIoWorkload {
+    fn default() -> Self {
+        HaccIoWorkload {
+            particles: 4_096_000,
+            processes: 256,
+            bytes_per_particle: 38,
+            mode: IoMode::FilePerProcess,
+            base: "/hacc-io".to_string(),
+            cleanup: true,
+        }
+    }
+}
+
+/// Counts of what a HACC-I/O run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HaccRun {
+    /// Files created.
+    pub files_created: u64,
+    /// Write calls issued.
+    pub writes: u64,
+    /// Files deleted.
+    pub files_deleted: u64,
+}
+
+impl HaccIoWorkload {
+    /// The file name rank `i` writes (Table IX's pattern).
+    pub fn file_name(&self, rank: u32) -> String {
+        format!(
+            "{}/FPP1-Part{:08}-of-{:08}.data",
+            self.base, rank, self.processes
+        )
+    }
+
+    /// Run against `target`.
+    pub fn run(&self, target: &impl WorkloadTarget) -> HaccRun {
+        let mut run = HaccRun::default();
+        mkdir_all(target, &self.base);
+        let per_rank_bytes = self.particles * self.bytes_per_particle / self.processes as u64;
+        match self.mode {
+            IoMode::FilePerProcess => {
+                for rank in 0..self.processes {
+                    let path = self.file_name(rank);
+                    if target.create(&path) {
+                        run.files_created += 1;
+                    }
+                    if target.write(&path, 0, per_rank_bytes.max(1)) {
+                        run.writes += 1;
+                    }
+                    target.close(&path, true);
+                }
+                if self.cleanup {
+                    for rank in 0..self.processes {
+                        if target.delete_file(&self.file_name(rank)) {
+                            run.files_deleted += 1;
+                        }
+                    }
+                }
+            }
+            IoMode::SingleSharedFile => {
+                let path = format!("{}/FPP1-Part-all.data", self.base);
+                if target.create(&path) {
+                    run.files_created += 1;
+                }
+                for rank in 0..self.processes {
+                    if target.write(&path, rank as u64 * per_rank_bytes, per_rank_bytes.max(1)) {
+                        run.writes += 1;
+                    }
+                }
+                target.close(&path, true);
+                if self.cleanup && target.delete_file(&path) {
+                    run.files_deleted += 1;
+                }
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lustre_sim::{LustreConfig, LustreFs};
+
+    #[test]
+    fn file_names_match_table9_pattern() {
+        let w = HaccIoWorkload::default();
+        assert_eq!(
+            w.file_name(0),
+            "/hacc-io/FPP1-Part00000000-of-00000256.data"
+        );
+        assert_eq!(
+            w.file_name(255),
+            "/hacc-io/FPP1-Part00000255-of-00000256.data"
+        );
+    }
+
+    #[test]
+    fn fpp_creates_and_deletes_one_file_per_rank() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = HaccIoWorkload {
+            processes: 32,
+            particles: 32_000,
+            ..HaccIoWorkload::default()
+        }
+        .run(&fs.client());
+        assert_eq!(run.files_created, 32);
+        assert_eq!(run.writes, 32);
+        assert_eq!(run.files_deleted, 32);
+    }
+
+    #[test]
+    fn ssf_mode_single_file() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = HaccIoWorkload {
+            mode: IoMode::SingleSharedFile,
+            processes: 8,
+            particles: 8_000,
+            cleanup: false,
+            ..HaccIoWorkload::default()
+        }
+        .run(&fs.client());
+        assert_eq!(run.files_created, 1);
+        assert_eq!(run.writes, 8);
+        assert_eq!(run.files_deleted, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The IOR benchmark's metadata footprint.
+//!
+//! IOR measures I/O bandwidth; what the monitor sees is its metadata
+//! trail. "As IOR was executed in single-shared-file mode, only one
+//! Create and Delete file events were generated from IOR" (§V-D6). In
+//! FPP mode every rank creates its own file.
+
+use crate::hacc::IoMode;
+use crate::target::WorkloadTarget;
+
+/// An IOR run configuration.
+#[derive(Debug, Clone)]
+pub struct IorWorkload {
+    /// SSF (paper: single shared file) or FPP.
+    pub mode: IoMode,
+    /// MPI ranks (paper: 128).
+    pub processes: u32,
+    /// Bytes written per rank.
+    pub block_size: u64,
+    /// Transfer size per write call.
+    pub transfer_size: u64,
+    /// Directory the test file(s) live in.
+    pub base: String,
+    /// Whether the run deletes its files afterwards (IOR default).
+    pub cleanup: bool,
+}
+
+impl Default for IorWorkload {
+    fn default() -> Self {
+        IorWorkload {
+            mode: IoMode::SingleSharedFile,
+            processes: 128,
+            block_size: 1 << 20,
+            transfer_size: 1 << 18,
+            base: "/ior/src".to_string(),
+            cleanup: true,
+        }
+    }
+}
+
+/// Counts of what an IOR run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IorRun {
+    /// Files created.
+    pub files_created: u64,
+    /// Write calls issued.
+    pub writes: u64,
+    /// Files deleted during cleanup.
+    pub files_deleted: u64,
+}
+
+impl IorWorkload {
+    /// Run against `target`. Parent directories are created first.
+    pub fn run(&self, target: &impl WorkloadTarget) -> IorRun {
+        let mut run = IorRun::default();
+        mkdir_all(target, &self.base);
+        match self.mode {
+            IoMode::SingleSharedFile => {
+                let path = format!("{}/testFileSSF", self.base);
+                if target.create(&path) {
+                    run.files_created += 1;
+                }
+                // Every rank writes its block at its own offset into the
+                // one shared file.
+                for rank in 0..self.processes {
+                    let base_offset = rank as u64 * self.block_size;
+                    let mut written = 0;
+                    while written < self.block_size {
+                        let len = self.transfer_size.min(self.block_size - written);
+                        if target.write(&path, base_offset + written, len) {
+                            run.writes += 1;
+                        }
+                        written += len;
+                    }
+                }
+                target.close(&path, true);
+                if self.cleanup && target.delete_file(&path) {
+                    run.files_deleted += 1;
+                }
+            }
+            IoMode::FilePerProcess => {
+                let paths: Vec<String> = (0..self.processes)
+                    .map(|rank| format!("{}/testFileFPP.{rank:08}", self.base))
+                    .collect();
+                for path in &paths {
+                    if target.create(path) {
+                        run.files_created += 1;
+                    }
+                    let mut written = 0;
+                    while written < self.block_size {
+                        let len = self.transfer_size.min(self.block_size - written);
+                        if target.write(path, written, len) {
+                            run.writes += 1;
+                        }
+                        written += len;
+                    }
+                    target.close(path, true);
+                }
+                if self.cleanup {
+                    for path in &paths {
+                        if target.delete_file(path) {
+                            run.files_deleted += 1;
+                        }
+                    }
+                }
+            }
+        }
+        run
+    }
+}
+
+pub(crate) fn mkdir_all(target: &impl WorkloadTarget, path: &str) {
+    let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+    let mut cur = String::new();
+    for c in comps {
+        cur.push('/');
+        cur.push_str(c);
+        target.mkdir(&cur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lustre_sim::{LustreConfig, LustreFs};
+
+    #[test]
+    fn ssf_creates_and_deletes_one_file() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = IorWorkload {
+            processes: 16,
+            block_size: 1 << 16,
+            transfer_size: 1 << 14,
+            ..IorWorkload::default()
+        }
+        .run(&fs.client());
+        assert_eq!(run.files_created, 1);
+        assert_eq!(run.files_deleted, 1);
+        assert_eq!(run.writes, 16 * 4); // 64 KiB / 16 KiB per rank
+        assert!(!fs.client().exists("/ior/src/testFileSSF"));
+    }
+
+    #[test]
+    fn fpp_creates_file_per_rank() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = IorWorkload {
+            mode: IoMode::FilePerProcess,
+            processes: 8,
+            block_size: 1 << 14,
+            transfer_size: 1 << 14,
+            cleanup: false,
+            ..IorWorkload::default()
+        }
+        .run(&fs.client());
+        assert_eq!(run.files_created, 8);
+        assert_eq!(run.files_deleted, 0);
+        assert!(fs.client().exists("/ior/src/testFileFPP.00000003"));
+    }
+
+    #[test]
+    fn paper_configuration_event_shape() {
+        // 128 processes, SSF: exactly one CREAT and one UNLNK record.
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = IorWorkload {
+            block_size: 1 << 16,
+            transfer_size: 1 << 16,
+            ..IorWorkload::default()
+        }
+        .run(&fs.client());
+        assert_eq!(run.files_created, 1);
+        assert_eq!(run.files_deleted, 1);
+        let (creates, _, deletes, _) = fs.op_counters().snapshot();
+        // +2 creates for the /ior and /ior/src directories.
+        assert_eq!(creates, 3);
+        assert_eq!(deletes, 1);
+    }
+}

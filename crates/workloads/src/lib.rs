@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # fsmon-workloads
+//!
+//! The workloads the paper evaluates with (§V-B), generated against any
+//! monitored target:
+//!
+//! * [`scripts::evaluate_output_script`] — the Table II event-definition
+//!   script (create, modify, rename, mkdir, move into dir, recursive
+//!   delete).
+//! * [`scripts::EvaluatePerformanceScript`] — the create/modify/delete
+//!   loop used for every throughput and resource measurement, plus the
+//!   create/delete-only and create/modify-only variants of §V-D3 and
+//!   the many-files variant that exercises cache-size sweeps.
+//! * [`ior::IorWorkload`] — the IOR benchmark's metadata footprint
+//!   (single-shared-file mode with 128 processes in the paper).
+//! * [`hacc::HaccIoWorkload`] — HACC-I/O in file-per-process mode with
+//!   256 processes.
+//! * [`filebench::FilebenchWorkload`] — Filebench-style file population:
+//!   50 000 files, gamma-distributed sizes (mean 16 384, shape 1.5),
+//!   mean directory width 20, mean depth 3.6.
+//!
+//! All workloads drive a [`WorkloadTarget`] — implemented for the
+//! simulated Lustre client and the simulated local file system — so the
+//! same generator exercises every DSI.
+
+pub mod filebench;
+pub mod gamma;
+pub mod hacc;
+pub mod ior;
+pub mod scripts;
+pub mod target;
+
+pub use filebench::{FilebenchConfig, FilebenchWorkload};
+pub use hacc::{HaccIoWorkload, IoMode};
+pub use ior::IorWorkload;
+pub use scripts::{evaluate_output_script, evaluate_output_script_stepped, EvaluatePerformanceScript, ScriptVariant};
+pub use target::WorkloadTarget;

@@ -1,0 +1,397 @@
+//! The paper's evaluation scripts.
+
+use crate::target::WorkloadTarget;
+use std::time::{Duration, Instant};
+
+/// Run `Evaluate_Output_Script` (§V-B): create `hello.txt`, modify it,
+/// rename to `hi.txt`, create directory `okdir`, move `hi.txt` into
+/// `okdir`, then delete `okdir` and its contents. Operates under
+/// `base` (e.g. `"/test"` — create it first). Returns the number of
+/// operations issued.
+pub fn evaluate_output_script(target: &impl WorkloadTarget, base: &str) -> usize {
+    evaluate_output_script_stepped(target, base, &mut || {})
+}
+
+/// Like [`evaluate_output_script`], invoking `step` after every
+/// operation. Monitors that must react between operations (a recursive
+/// inotify DSI installing a watch on the just-created `okdir` before
+/// events happen inside it) pump from the callback.
+pub fn evaluate_output_script_stepped(
+    target: &impl WorkloadTarget,
+    base: &str,
+    step: &mut dyn FnMut(),
+) -> usize {
+    let p = |name: &str| {
+        if base == "/" {
+            format!("/{name}")
+        } else {
+            format!("{base}/{name}")
+        }
+    };
+    let mut ops = 0;
+    let mut op = |done: bool| {
+        ops += done as usize;
+        step();
+    };
+    op(target.create(&p("hello.txt")));
+    op(target.write(&p("hello.txt"), 0, 64));
+    op(target.close(&p("hello.txt"), true));
+    op(target.rename(&p("hello.txt"), &p("hi.txt")));
+    op(target.mkdir(&p("okdir")));
+    op(target.rename(&p("hi.txt"), &p("okdir/hi.txt")));
+    op(target.delete_file(&p("okdir/hi.txt")));
+    op(target.delete_dir(&p("okdir")));
+    ops
+}
+
+/// Which variant of `Evaluate_Performance_Script` to run (§V-D3 tests
+/// the create/delete-only and create/modify-only modifications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptVariant {
+    /// The base script: create, modify, delete in a loop.
+    CreateModifyDelete,
+    /// "Continuous creation and deletion of files without modification."
+    CreateDelete,
+    /// "Only creation and modification of files, without deletion" —
+    /// files persist, so the loop creates once and keeps modifying.
+    CreateModify,
+}
+
+impl ScriptVariant {
+    /// Display name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScriptVariant::CreateModifyDelete => "create+modify+delete",
+            ScriptVariant::CreateDelete => "create+delete",
+            ScriptVariant::CreateModify => "create+modify",
+        }
+    }
+}
+
+/// Outcome of a performance-script run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScriptRun {
+    /// Operations issued (= events generated before OPEN/CLOSE
+    /// amplification).
+    pub operations: u64,
+    /// Creates issued.
+    pub creates: u64,
+    /// Modifies issued.
+    pub modifies: u64,
+    /// Deletes issued.
+    pub deletes: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ScriptRun {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.operations as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// `Evaluate_Performance_Script`: "repeatedly creates, modifies, and
+/// deletes a file hello.txt, in an infinite loop" (§V-B) — bounded here
+/// by iterations or a deadline. `working_set` controls how many
+/// distinct files the loop cycles over: 1 reproduces the paper's
+/// script verbatim; larger values run the *pipelined* form, where
+/// iteration `i` creates slot `i`, modifies slot `i − W/2`, and
+/// deletes slot `i − (W−1)` — the same steady-state op mix, but every
+/// file lives `W` iterations, as files do on a testbed where the
+/// monitor runs on other nodes and keeps up. Thousands of slots
+/// reproduce the cache-pressure regime of the Table VIII sweep.
+#[derive(Debug, Clone)]
+pub struct EvaluatePerformanceScript {
+    /// Variant to run.
+    pub variant: ScriptVariant,
+    /// Distinct files the loop cycles over.
+    pub working_set: usize,
+    /// Directory the files live in.
+    pub base: String,
+}
+
+impl Default for EvaluatePerformanceScript {
+    fn default() -> Self {
+        EvaluatePerformanceScript {
+            variant: ScriptVariant::CreateModifyDelete,
+            working_set: 1,
+            base: "/".to_string(),
+        }
+    }
+}
+
+impl EvaluatePerformanceScript {
+    /// The paper's script against directory `base`.
+    pub fn new(variant: ScriptVariant, base: impl Into<String>) -> EvaluatePerformanceScript {
+        EvaluatePerformanceScript {
+            variant,
+            working_set: 1,
+            base: base.into(),
+        }
+    }
+
+    /// Cycle over `n` distinct files instead of one.
+    #[must_use]
+    pub fn with_working_set(mut self, n: usize) -> EvaluatePerformanceScript {
+        self.working_set = n.max(1);
+        self
+    }
+
+    fn path(&self, slot: usize) -> String {
+        if self.base == "/" {
+            format!("/hello-{slot}.txt")
+        } else {
+            format!("{}/hello-{slot}.txt", self.base)
+        }
+    }
+
+    /// Run for `iterations` loop iterations.
+    pub fn run_iterations(&self, target: &impl WorkloadTarget, iterations: u64) -> ScriptRun {
+        let mut session = ScriptSession::new(self.clone());
+        session.prepare(target);
+        for _ in 0..iterations {
+            session.step(target);
+        }
+        session.finish()
+    }
+
+    /// Run until `deadline` elapses.
+    pub fn run_for(&self, target: &impl WorkloadTarget, deadline: Duration) -> ScriptRun {
+        let mut session = ScriptSession::new(self.clone());
+        session.prepare(target);
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            session.step(target);
+        }
+        session.finish()
+    }
+}
+
+/// A stateful, resumable run of the performance script. Harnesses that
+/// interleave generation with monitor work (flow control, draining)
+/// drive one iteration at a time with [`step`](ScriptSession::step).
+pub struct ScriptSession {
+    script: EvaluatePerformanceScript,
+    run: ScriptRun,
+    iter: u64,
+    started: Instant,
+    prepared: bool,
+}
+
+impl ScriptSession {
+    /// A fresh session for `script`.
+    pub fn new(script: EvaluatePerformanceScript) -> ScriptSession {
+        ScriptSession {
+            script,
+            run: ScriptRun::default(),
+            iter: 0,
+            started: Instant::now(),
+            prepared: false,
+        }
+    }
+
+    /// One-time setup (the `CreateModify` variant pre-creates its
+    /// files). Called automatically by the first `step`.
+    pub fn prepare(&mut self, target: &impl WorkloadTarget) {
+        if self.prepared {
+            return;
+        }
+        self.prepared = true;
+        self.started = Instant::now();
+        if self.script.variant == ScriptVariant::CreateModify {
+            for slot in 0..self.script.working_set {
+                if target.create(&self.script.path(slot)) {
+                    self.run.creates += 1;
+                    self.run.operations += 1;
+                }
+            }
+        }
+    }
+
+    /// Iterations completed.
+    pub fn iterations(&self) -> u64 {
+        self.iter
+    }
+
+    /// Finish: stamp the elapsed time and return the run record.
+    pub fn finish(mut self) -> ScriptRun {
+        self.run.elapsed = self.started.elapsed();
+        self.run
+    }
+
+    /// Counters so far (elapsed not yet stamped).
+    pub fn run_so_far(&self) -> ScriptRun {
+        let mut run = self.run;
+        run.elapsed = self.started.elapsed();
+        run
+    }
+
+    /// Execute one loop iteration.
+    pub fn step(&mut self, target: &impl WorkloadTarget) {
+        if !self.prepared {
+            self.prepare(target);
+        }
+        let this = &self.script;
+        let run = &mut self.run;
+        let iter = self.iter;
+        {
+            let w = this.working_set as u64;
+            match this.variant {
+                ScriptVariant::CreateModifyDelete => {
+                    // Pipelined: slot i is created now, modified W/2
+                    // iterations later, deleted W-1 iterations later.
+                    // With W == 1 all three hit the same slot in one
+                    // iteration — the paper's literal script.
+                    if target.create(&this.path((iter % w.max(1)) as usize + this.working_set)) {
+                        // Unique names per live generation: slot id
+                        // encodes position; reuse only after delete.
+                        run.creates += 1;
+                        run.operations += 1;
+                    }
+                    if iter >= w / 2 {
+                        let slot = ((iter - w / 2) % w) as usize + this.working_set;
+                        if target.write(&this.path(slot), 0, 1024) {
+                            run.modifies += 1;
+                            run.operations += 1;
+                        }
+                    }
+                    if iter >= w - 1 {
+                        let slot = ((iter - (w - 1)) % w) as usize + this.working_set;
+                        if target.delete_file(&this.path(slot)) {
+                            run.deletes += 1;
+                            run.operations += 1;
+                        }
+                    }
+                }
+                ScriptVariant::CreateDelete => {
+                    if target.create(&this.path((iter % w.max(1)) as usize + this.working_set)) {
+                        run.creates += 1;
+                        run.operations += 1;
+                    }
+                    if iter >= w - 1 {
+                        let slot = ((iter - (w - 1)) % w) as usize + this.working_set;
+                        if target.delete_file(&this.path(slot)) {
+                            run.deletes += 1;
+                            run.operations += 1;
+                        }
+                    }
+                }
+                ScriptVariant::CreateModify => {
+                    // Random re-reference (deterministic xorshift):
+                    // round-robin would be LRU's adversarial worst case
+                    // and would turn the Table VIII sweep into a cliff.
+                    let mut x = iter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    x ^= x >> 30;
+                    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    x ^= x >> 27;
+                    let slot = (x % this.working_set as u64) as usize;
+                    if target.write(&this.path(slot), 0, 1024) {
+                        run.modifies += 1;
+                        run.operations += 1;
+                    }
+                }
+            }
+            let _ = w;
+        }
+        self.iter += 1;
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_localfs::SimFs;
+    use lustre_sim::{LustreConfig, LustreFs};
+
+    #[test]
+    fn output_script_issues_all_eight_ops() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let client = fs.client();
+        client.mkdir("/test").unwrap();
+        // close() is a no-op success on the Lustre target.
+        assert_eq!(evaluate_output_script(&client, "/test"), 8);
+        assert!(!client.exists("/test/okdir"));
+    }
+
+    #[test]
+    fn output_script_on_simfs() {
+        let fs = SimFs::new();
+        fs.mkdir("/test");
+        assert_eq!(evaluate_output_script(&fs, "/test"), 8);
+        assert!(!fs.exists("/test/okdir"));
+    }
+
+    #[test]
+    fn performance_script_counts_ops() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let client = fs.client();
+        let run = EvaluatePerformanceScript::default().run_iterations(&client, 50);
+        assert_eq!(run.creates, 50);
+        assert_eq!(run.modifies, 50);
+        assert_eq!(run.deletes, 50);
+        assert_eq!(run.operations, 150);
+        assert!(run.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn create_delete_variant_skips_modifies() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = EvaluatePerformanceScript::new(ScriptVariant::CreateDelete, "/")
+            .run_iterations(&fs.client(), 30);
+        assert_eq!(run.creates, 30);
+        assert_eq!(run.modifies, 0);
+        assert_eq!(run.deletes, 30);
+    }
+
+    #[test]
+    fn create_modify_variant_creates_once_then_modifies() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = EvaluatePerformanceScript::new(ScriptVariant::CreateModify, "/")
+            .with_working_set(5)
+            .run_iterations(&fs.client(), 40);
+        assert_eq!(run.creates, 5);
+        assert_eq!(run.modifies, 40);
+        assert_eq!(run.deletes, 0);
+        // The files persist.
+        assert!(fs.client().exists("/hello-0.txt"));
+    }
+
+    #[test]
+    fn pipelined_working_set_keeps_files_alive_w_iterations() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let client = fs.client();
+        let script = EvaluatePerformanceScript::default().with_working_set(10);
+        let run = script.run_iterations(&client, 30);
+        assert_eq!(run.creates, 30);
+        // Modifies start at iteration W/2, deletes at W-1.
+        assert_eq!(run.modifies, 25);
+        assert_eq!(run.deletes, 21);
+        // Steady state: W-1 files live (created, not yet deleted),
+        // plus the root.
+        assert_eq!(fs.inode_count(), 10);
+        // Every op succeeded (no collisions between generations).
+        assert_eq!(run.operations, 30 + 25 + 21);
+    }
+
+    #[test]
+    fn deadline_run_terminates() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let run = EvaluatePerformanceScript::default()
+            .run_for(&fs.client(), Duration::from_millis(30));
+        assert!(run.elapsed >= Duration::from_millis(30));
+        assert!(run.operations > 0);
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(ScriptVariant::CreateModifyDelete.name(), "create+modify+delete");
+        assert_eq!(ScriptVariant::CreateDelete.name(), "create+delete");
+        assert_eq!(ScriptVariant::CreateModify.name(), "create+modify");
+    }
+}

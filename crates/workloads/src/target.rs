@@ -1,0 +1,114 @@
+//! The target abstraction workloads run against.
+
+use fsmon_localfs::SimFs;
+use lustre_sim::LustreClient;
+use std::sync::Arc;
+
+/// A file system a workload can drive. Operations return whether they
+/// succeeded; workloads treat failures as soft (they skip and continue)
+/// so a full run never wedges on a racing collector.
+pub trait WorkloadTarget {
+    /// Create a directory.
+    fn mkdir(&self, path: &str) -> bool;
+    /// Create a regular file.
+    fn create(&self, path: &str) -> bool;
+    /// Write `len` bytes at `offset`.
+    fn write(&self, path: &str, offset: u64, len: u64) -> bool;
+    /// Rename a file or directory.
+    fn rename(&self, from: &str, to: &str) -> bool;
+    /// Delete a file.
+    fn delete_file(&self, path: &str) -> bool;
+    /// Delete an (empty) directory.
+    fn delete_dir(&self, path: &str) -> bool;
+    /// Close a file (targets without close semantics may no-op).
+    fn close(&self, _path: &str, _wrote: bool) -> bool {
+        true
+    }
+}
+
+impl WorkloadTarget for LustreClient {
+    fn mkdir(&self, path: &str) -> bool {
+        LustreClient::mkdir(self, path).is_ok()
+    }
+
+    fn create(&self, path: &str) -> bool {
+        LustreClient::create(self, path).is_ok()
+    }
+
+    fn write(&self, path: &str, offset: u64, len: u64) -> bool {
+        LustreClient::write(self, path, offset, len).is_ok()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> bool {
+        LustreClient::rename(self, from, to).is_ok()
+    }
+
+    fn delete_file(&self, path: &str) -> bool {
+        LustreClient::unlink(self, path).is_ok()
+    }
+
+    fn delete_dir(&self, path: &str) -> bool {
+        LustreClient::rmdir(self, path).is_ok()
+    }
+}
+
+impl WorkloadTarget for Arc<SimFs> {
+    fn mkdir(&self, path: &str) -> bool {
+        SimFs::mkdir(self, path)
+    }
+
+    fn create(&self, path: &str) -> bool {
+        SimFs::create(self, path)
+    }
+
+    fn write(&self, path: &str, _offset: u64, _len: u64) -> bool {
+        SimFs::modify(self, path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> bool {
+        SimFs::rename(self, from, to)
+    }
+
+    fn delete_file(&self, path: &str) -> bool {
+        SimFs::delete(self, path)
+    }
+
+    fn delete_dir(&self, path: &str) -> bool {
+        SimFs::delete(self, path)
+    }
+
+    fn close(&self, path: &str, wrote: bool) -> bool {
+        SimFs::close(self, path, wrote)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lustre_sim::{LustreConfig, LustreFs};
+
+    #[test]
+    fn lustre_client_target_roundtrip() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let t = fs.client();
+        assert!(WorkloadTarget::mkdir(&t, "/d"));
+        assert!(WorkloadTarget::create(&t, "/d/f"));
+        assert!(WorkloadTarget::write(&t, "/d/f", 0, 10));
+        assert!(WorkloadTarget::rename(&t, "/d/f", "/d/g"));
+        assert!(WorkloadTarget::delete_file(&t, "/d/g"));
+        assert!(WorkloadTarget::delete_dir(&t, "/d"));
+        assert!(!WorkloadTarget::delete_dir(&t, "/d"), "already gone");
+    }
+
+    #[test]
+    fn simfs_target_roundtrip() {
+        let fs = SimFs::new();
+        assert!(WorkloadTarget::mkdir(&fs, "/d"));
+        assert!(WorkloadTarget::create(&fs, "/d/f"));
+        assert!(WorkloadTarget::write(&fs, "/d/f", 0, 10));
+        assert!(WorkloadTarget::close(&fs, "/d/f", true));
+        assert!(WorkloadTarget::rename(&fs, "/d/f", "/d/g"));
+        assert!(WorkloadTarget::delete_file(&fs, "/d/g"));
+        assert!(WorkloadTarget::delete_dir(&fs, "/d"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Monitoring IBM Spectrum Scale through File Audit Logging — the
+//! paper's §II-B2 extension, end to end.
+//!
+//! ```text
+//! cargo run -p fsmon-examples --bin spectrum_audit
+//! ```
+//!
+//! Brings up a simulated Spectrum Scale cluster with three protocol
+//! nodes, attaches FSMonitor through the audit-queue DSI, drives
+//! activity from different nodes, and shows (a) the standardized event
+//! stream, (b) the per-node provenance preserved in the retention
+//! fileset, and (c) that the same FSMonitor API works unchanged on a
+//! completely different storage system than Lustre.
+
+use fsmon_core::{EventFilter, FsMonitor, MonitorConfig};
+use fsmon_events::EventFormatter;
+use fsmon_spectrum::{AuditEvent, SpectrumCluster, SpectrumDsi};
+
+fn main() {
+    let cluster = SpectrumCluster::new("fs0", 3);
+    println!(
+        "simulated Spectrum Scale cluster: {} protocol nodes, audit queue at {}",
+        cluster.node_count(),
+        cluster.audit_endpoint()
+    );
+
+    let dsi = SpectrumDsi::connect(&cluster, "/gpfs/fs0").expect("connect audit queue");
+    let mut monitor = FsMonitor::new(Box::new(dsi), MonitorConfig::default());
+    let sub = monitor.subscribe(EventFilter::all());
+
+    // Users on different protocol nodes working concurrently.
+    let n0 = cluster.node_client(0);
+    let n1 = cluster.node_client(1);
+    let n2 = cluster.node_client(2);
+    n0.mkdir("/shared");
+    n0.create("/shared/results.csv");
+    n0.write_close("/shared/results.csv", 64_000);
+    n1.create("/shared/model.h5");
+    n1.write_close("/shared/model.h5", 8 << 20);
+    n1.set_acl("/shared/model.h5");
+    n2.rename("/shared/results.csv", "/shared/results-final.csv");
+    n2.unlink("/shared/model.h5");
+
+    monitor.pump_until_idle(32);
+    let events = sub.drain();
+    println!("\nstandardized events ({}):", events.len());
+    let fmt = EventFormatter::Inotify;
+    for ev in &events {
+        println!("  {}", fmt.render(ev));
+    }
+
+    // The retention fileset keeps the raw audit JSON with per-node
+    // provenance — the compliance view the product maintains.
+    println!("\nretention fileset (raw audit records with provenance):");
+    for line in cluster.retention_fileset() {
+        let audit = AuditEvent::from_json(&line).expect("valid audit record");
+        println!(
+            "  {:<14} {:<28} node={}",
+            audit.event.as_str(),
+            audit.path,
+            audit.node_name
+        );
+    }
+
+    // Replay from FSMonitor's own store works identically to Lustre.
+    let replay = monitor.events_since(0, 100).expect("replay");
+    assert_eq!(replay.len(), events.len());
+    println!(
+        "\n{} events replayable from FSMonitor's event store — same API as every other DSI",
+        replay.len()
+    );
+}

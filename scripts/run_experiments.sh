@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure (DESIGN.md §4) in sequence.
+# Usage: scripts/run_experiments.sh [output-file]
+set -u
+OUT="${1:-/dev/stdout}"
+cd "$(dirname "$0")/.."
+
+BINARIES=(table2 table3 table4 table5 table6 scale4mds table7 table8 robinhood_compare table9 latency)
+
+cargo build --release -p fsmon-bench --bins 2>&1 | tail -1
+
+for bin in "${BINARIES[@]}"; do
+    echo "==> $bin" >> "$OUT"
+    cargo run -q --release -p fsmon-bench --bin "$bin" >> "$OUT" 2>&1
+    echo >> "$OUT"
+done
+echo "all experiments complete" >> "$OUT"

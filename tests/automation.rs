@@ -1,0 +1,141 @@
+//! §VI use cases over the live pipeline: the rules engine and the
+//! responsive catalog driven by real monitor events.
+
+use fsmon_core::EventFilter;
+use fsmon_events::StandardEvent;
+use fsmon_lustre::{ScalableConfig, ScalableMonitor};
+use fsmon_rules::{ActionError, Catalog, Engine, Rule, RuleSet};
+use lustre_sim::{LustreConfig, LustreFs};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn rules_engine_drives_flows_from_live_lustre_events() {
+    let fs = LustreFs::new(LustreConfig::small());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let consumer = monitor
+        .new_consumer(EventFilter::subtree("/beamline"))
+        .unwrap();
+
+    let flows = Arc::new(Mutex::new(Vec::new()));
+    let mut rules = RuleSet::new();
+    {
+        let flows = flows.clone();
+        rules.add(Rule::on_create("ingest", "/beamline/**/*.h5").run(
+            move |ev: &StandardEvent| {
+                flows.lock().push(format!("ingest {}", ev.path));
+                Ok(())
+            },
+        ));
+    }
+    {
+        let flows = flows.clone();
+        rules.add(Rule::on_delete("deregister", "/beamline/**/*.h5").run(
+            move |ev: &StandardEvent| {
+                flows.lock().push(format!("deregister {}", ev.path));
+                Ok(())
+            },
+        ));
+    }
+    rules.add(Rule::on_create("unreliable", "/beamline/**").run(
+        |_ev: &StandardEvent| Err(ActionError("flow service 503".into())),
+    ));
+    let mut engine = Engine::new(rules);
+
+    let client = fs.client();
+    client.mkdir_all("/beamline/run7").unwrap();
+    client.create("/beamline/run7/shot-1.h5").unwrap();
+    client.create("/beamline/run7/notes.txt").unwrap();
+    client.unlink("/beamline/run7/shot-1.h5").unwrap();
+    monitor.wait_events(fs.op_counters().total(), Duration::from_secs(10));
+
+    let events = consumer.recv_batch(100, Duration::from_secs(2));
+    engine.process_batch(&events);
+
+    let flows = flows.lock();
+    assert_eq!(
+        flows.as_slice(),
+        &[
+            "ingest /beamline/run7/shot-1.h5".to_string(),
+            "deregister /beamline/run7/shot-1.h5".to_string(),
+        ]
+    );
+    // The failing rule fired (4 creates under /beamline) but never
+    // blocked the others.
+    assert_eq!(engine.stats().failures, 4);
+    assert_eq!(engine.stats().per_rule["unreliable"], 4);
+    monitor.stop();
+}
+
+#[test]
+fn catalog_stays_consistent_with_live_namespace() {
+    let fs = LustreFs::new(LustreConfig::small());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let catalog = Catalog::new();
+
+    let client = fs.client();
+    client.mkdir("/proj").unwrap();
+    client.create("/proj/a.csv").unwrap();
+    client.write("/proj/a.csv", 0, 100).unwrap();
+    client.create("/proj/b.tmp").unwrap();
+    client.rename("/proj/b.tmp", "/proj/b.h5").unwrap();
+    client.create("/proj/c.txt").unwrap();
+    client.unlink("/proj/c.txt").unwrap();
+    monitor.wait_events(fs.op_counters().total(), Duration::from_secs(10));
+
+    for ev in monitor.consumer().recv_batch(100, Duration::from_secs(2)) {
+        catalog.apply(&ev);
+    }
+
+    assert_eq!(catalog.len(), 2);
+    assert_eq!(catalog.get("/proj/a.csv").unwrap().versions, 2);
+    assert_eq!(catalog.get("/proj/b.h5").unwrap().file_type, "scientific-array");
+    assert!(catalog.get("/proj/b.tmp").is_none(), "rename re-keyed");
+    assert!(catalog.get("/proj/c.txt").is_none(), "delete evicted");
+    assert_eq!(catalog.find_by_type("tabular"), vec!["/proj/a.csv"]);
+    monitor.stop();
+}
+
+#[test]
+fn coalesced_stream_leaves_catalog_in_same_state() {
+    // The consumer-side coalescing utility composes with the catalog:
+    // both the raw and the compressed stream produce the same index.
+    let fs = LustreFs::new(LustreConfig::small());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let client = fs.client();
+    client.mkdir("/d").unwrap();
+    for i in 0..10 {
+        let path = format!("/d/f{i}.log");
+        client.create(&path).unwrap();
+        client.write(&path, 0, 10).unwrap();
+        client.write(&path, 10, 10).unwrap();
+        if i % 2 == 0 {
+            client.unlink(&path).unwrap();
+        }
+    }
+    monitor.wait_events(fs.op_counters().total(), Duration::from_secs(10));
+    let events = monitor.consumer().recv_batch(1000, Duration::from_secs(2));
+
+    let raw_catalog = Catalog::new();
+    for ev in &events {
+        raw_catalog.apply(ev);
+    }
+    let compressed = fsmon_events::coalesce(&events);
+    assert!(compressed.len() < events.len(), "something coalesced");
+    let coalesced_catalog = Catalog::new();
+    for ev in &compressed {
+        coalesced_catalog.apply(ev);
+    }
+    assert_eq!(raw_catalog.len(), coalesced_catalog.len());
+    for i in 0..10 {
+        let path = format!("/d/f{i}.log");
+        assert_eq!(
+            raw_catalog.get(&path).is_some(),
+            coalesced_catalog.get(&path).is_some(),
+            "{path}"
+        );
+    }
+    assert_eq!(raw_catalog.len(), 5);
+    monitor.stop();
+}

@@ -1,0 +1,198 @@
+//! End-to-end pipeline tests spanning lustre-sim, fsmon-lustre,
+//! fsmon-mq, fsmon-store, and fsmon-core.
+
+use fsmon_core::{EventFilter, FsMonitor, MonitorConfig};
+use fsmon_events::{EventKind, MonitorSource};
+use fsmon_lustre::{LustreDsi, ScalableConfig, ScalableMonitor, Transport};
+use lustre_sim::{LustreConfig, LustreFs};
+use std::time::Duration;
+
+#[test]
+fn full_pipeline_orders_and_resolves_every_event() {
+    let fs = LustreFs::new(LustreConfig::small());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let client = fs.client();
+
+    client.mkdir("/data").unwrap();
+    client.create("/data/a.dat").unwrap();
+    client.write("/data/a.dat", 0, 1024).unwrap();
+    client.rename("/data/a.dat", "/data/b.dat").unwrap();
+    client.unlink("/data/b.dat").unwrap();
+
+    // mkdir + create + write + (rename = 2 events) + unlink = 6.
+    assert!(monitor.wait_events(6, Duration::from_secs(10)));
+    let events = monitor.consumer().recv_batch(16, Duration::from_secs(2));
+    let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            EventKind::Create,    // mkdir
+            EventKind::Create,    // create
+            EventKind::Modify,    // write
+            EventKind::MovedFrom, // rename
+            EventKind::MovedTo,
+            EventKind::Delete,    // unlink
+        ]
+    );
+    assert!(events[0].is_dir);
+    assert_eq!(events[3].path, "/data/a.dat");
+    assert_eq!(events[4].path, "/data/b.dat");
+    assert_eq!(events[4].old_path.as_deref(), Some("/data/a.dat"));
+    assert_eq!(events[5].path, "/data/b.dat");
+    assert!(events.iter().all(|e| e.source == MonitorSource::LustreChangelog));
+    // Timestamps are monotone (single MDS).
+    for w in events.windows(2) {
+        assert!(w[1].timestamp_ns >= w[0].timestamp_ns);
+    }
+    monitor.stop();
+}
+
+#[test]
+fn changelogs_are_purged_behind_the_collectors() {
+    let fs = LustreFs::new(LustreConfig::small_dne(2));
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let client = fs.client();
+    for i in 0..500 {
+        client.create(&format!("/f{i}")).unwrap();
+    }
+    assert!(monitor.wait_events(500, Duration::from_secs(10)));
+    // Give collectors a beat to clear the final batch.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while std::time::Instant::now() < deadline {
+        let retained: usize = (0..fs.mdt_count())
+            .map(|i| fs.mdt(i).changelog_stats().retained)
+            .sum();
+        if retained == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let retained: usize = (0..fs.mdt_count())
+        .map(|i| fs.mdt(i).changelog_stats().retained)
+        .sum();
+    assert_eq!(retained, 0, "collectors purge consumed records (§IV Processing)");
+    monitor.stop();
+}
+
+#[test]
+fn tcp_deployment_shape_works_end_to_end() {
+    let fs = LustreFs::new(LustreConfig::small_dne(2));
+    let monitor = ScalableMonitor::start(
+        &fs,
+        ScalableConfig {
+            transport: Transport::Tcp,
+            ..ScalableConfig::default()
+        },
+    )
+    .unwrap();
+    let client = fs.client();
+    for i in 0..50 {
+        client.create(&format!("/tcp-{i}")).unwrap();
+    }
+    assert!(monitor.wait_events(50, Duration::from_secs(10)));
+    let events = monitor.consumer().recv_batch(64, Duration::from_secs(2));
+    assert_eq!(events.len(), 50);
+    monitor.stop();
+}
+
+#[test]
+fn lustre_dsi_through_core_fsmonitor_with_filtering() {
+    let fs = LustreFs::new(LustreConfig::small());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let dsi = LustreDsi::new(&monitor);
+    let mut fsmon = FsMonitor::new(Box::new(dsi), MonitorConfig::default());
+    let wanted = fsmon.subscribe(
+        EventFilter::subtree("/keep").with_kinds([EventKind::Create, EventKind::Delete]),
+    );
+    let client = fs.client();
+    client.mkdir("/keep").unwrap();
+    client.mkdir("/drop").unwrap();
+    client.create("/keep/a").unwrap();
+    client.write("/keep/a", 0, 10).unwrap(); // Modify: filtered out
+    client.create("/drop/b").unwrap(); // wrong subtree
+    client.unlink("/keep/a").unwrap();
+    monitor.wait_events(6, Duration::from_secs(10));
+    std::thread::sleep(Duration::from_millis(100));
+    fsmon.pump_until_idle(16);
+    let events = wanted.drain();
+    let got: Vec<(EventKind, String)> =
+        events.into_iter().map(|e| (e.kind, e.path)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (EventKind::Create, "/keep".to_string()),
+            (EventKind::Create, "/keep/a".to_string()),
+            (EventKind::Delete, "/keep/a".to_string()),
+        ]
+    );
+    // The core monitor's store has ALL events (filtering is per
+    // subscription, not global).
+    assert_eq!(fsmon.store_stats().appended, 6);
+    monitor.stop();
+}
+
+#[test]
+fn multiple_consumers_with_disjoint_filters() {
+    let fs = LustreFs::new(LustreConfig::small());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let proj_a = monitor.new_consumer(EventFilter::subtree("/a")).unwrap();
+    let proj_b = monitor.new_consumer(EventFilter::subtree("/b")).unwrap();
+    let client = fs.client();
+    client.mkdir("/a").unwrap();
+    client.mkdir("/b").unwrap();
+    client.create("/a/1").unwrap();
+    client.create("/b/2").unwrap();
+    client.create("/b/3").unwrap();
+    monitor.wait_events(5, Duration::from_secs(10));
+    let a_events = proj_a.recv_batch(16, Duration::from_secs(2));
+    let b_events = proj_b.recv_batch(16, Duration::from_secs(2));
+    assert_eq!(a_events.len(), 2); // /a, /a/1
+    assert_eq!(b_events.len(), 3); // /b, /b/2, /b/3
+    assert!(a_events.iter().all(|e| e.path.starts_with("/a")));
+    assert!(b_events.iter().all(|e| e.path.starts_with("/b")));
+    monitor.stop();
+}
+
+#[test]
+fn all_changelog_kinds_survive_the_full_pipeline() {
+    let mut cfg = LustreConfig::small();
+    cfg.record_close = true;
+    let fs = LustreFs::new(cfg);
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let client = fs.client();
+    client.create("/f").unwrap(); // CREAT + CLOSE
+    client.mkdir("/d").unwrap(); // MKDIR
+    client.link("/f", "/hard").unwrap(); // HLINK
+    client.symlink("/f", "/soft").unwrap(); // SLINK + CLOSE
+    client.mknod("/dev0").unwrap(); // MKNOD
+    client.write("/f", 0, 10).unwrap(); // MTIME
+    client.truncate("/f", 5).unwrap(); // TRUNC
+    client.chmod("/f", 0o600).unwrap(); // SATTR
+    client.setxattr("/f", "user.k", b"v").unwrap(); // XATTR
+    client.ioctl("/f").unwrap(); // IOCTL
+    client.rename("/f", "/g").unwrap(); // RENME -> 2 events
+    client.unlink("/g").unwrap(); // UNLNK
+    client.rmdir("/d").unwrap(); // RMDIR
+    let expected = fs.op_counters().total();
+    assert!(monitor.wait_events(expected, Duration::from_secs(10)));
+    let events = monitor.consumer().recv_batch(64, Duration::from_secs(2));
+    let kinds: std::collections::HashSet<EventKind> = events.iter().map(|e| e.kind).collect();
+    for k in [
+        EventKind::Create,
+        EventKind::Close,
+        EventKind::HardLink,
+        EventKind::SymLink,
+        EventKind::DeviceNode,
+        EventKind::Modify,
+        EventKind::Truncate,
+        EventKind::Attrib,
+        EventKind::Xattr,
+        EventKind::Ioctl,
+        EventKind::MovedFrom,
+        EventKind::MovedTo,
+        EventKind::Delete,
+    ] {
+        assert!(kinds.contains(&k), "missing {k:?}");
+    }
+    monitor.stop();
+}

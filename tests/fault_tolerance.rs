@@ -1,0 +1,128 @@
+//! Fault-tolerance integration tests: the reliable event store, replay
+//! after consumer failure, and crash recovery (paper §III-A3 and
+//! §IV Consumption).
+
+use fsmon_core::EventFilter;
+use fsmon_events::{EventKind, StandardEvent};
+use fsmon_lustre::{ScalableConfig, ScalableMonitor};
+use fsmon_store::{EventStore, FileStore, MemStore};
+use lustre_sim::{LustreConfig, LustreFs};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn consumer_crash_and_replay_from_last_seen_id() {
+    let fs = LustreFs::new(LustreConfig::small());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let client = fs.client();
+    for i in 0..20 {
+        client.create(&format!("/f{i}")).unwrap();
+    }
+    assert!(monitor.wait_events(20, Duration::from_secs(10)));
+    // Wait for the store lane to persist everything.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while monitor.store().stats().appended < 20 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Consumer observes the first half, then "crashes".
+    let consumer = monitor.consumer();
+    let mut last_seen = 0;
+    for _ in 0..10 {
+        let ev = consumer.recv(Duration::from_secs(2)).expect("event");
+        last_seen = last_seen.max(ev.id);
+    }
+    assert!(last_seen >= 10);
+
+    // A replacement consumer replays everything after last_seen.
+    let replacement = monitor.new_consumer(EventFilter::all()).unwrap();
+    let replayed = replacement.replay_since(last_seen, 100).unwrap();
+    assert_eq!(replayed.len() as u64, 20 - last_seen);
+    assert!(replayed.iter().all(|e| e.id > last_seen));
+
+    // Ack + purge removes reported history.
+    replacement.ack(20).unwrap();
+    monitor.store().purge_reported().unwrap();
+    assert!(replacement.replay_since(0, 100).unwrap().is_empty());
+    monitor.stop();
+}
+
+#[test]
+fn file_store_survives_process_restart_semantics() {
+    let dir = std::env::temp_dir().join(format!("fsmon-it-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // "Process 1": monitor with a durable store.
+    {
+        let store: Arc<dyn EventStore> = Arc::new(FileStore::open(&dir).unwrap());
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(
+            &fs,
+            ScalableConfig {
+                store: Some(store),
+                ..ScalableConfig::default()
+            },
+        )
+        .unwrap();
+        let client = fs.client();
+        for i in 0..15 {
+            client.create(&format!("/durable-{i}")).unwrap();
+        }
+        assert!(monitor.wait_events(15, Duration::from_secs(10)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while monitor.store().stats().appended < 15 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        monitor.stop();
+    }
+
+    // "Process 2": reopen and replay history.
+    let store = FileStore::open(&dir).unwrap();
+    let replay = store.get_since(0, 100).unwrap();
+    assert_eq!(replay.len(), 15);
+    assert!(replay.iter().all(|e| e.kind == EventKind::Create));
+    assert!(replay.iter().any(|e| e.path == "/durable-7"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_watermark_is_shared_across_consumers() {
+    let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
+    for i in 0..10 {
+        store
+            .append(&StandardEvent::new(EventKind::Create, "/r", format!("f{i}")))
+            .unwrap();
+    }
+    store.mark_reported(4).unwrap();
+    store.purge_reported().unwrap();
+    let rest = store.get_since(0, 100).unwrap();
+    assert_eq!(rest.len(), 6);
+    assert_eq!(rest[0].id, 5);
+}
+
+#[test]
+fn subscriber_overflow_is_bounded_and_counted() {
+    use fsmon_core::{FsMonitor, MonitorConfig};
+    use fsmon_core::dsi::local::SimInotifyDsi;
+    use fsmon_localfs::{InotifySim, SimFs};
+
+    let fs = SimFs::new();
+    let ino = InotifySim::attach(&fs, 1 << 16, 1 << 20);
+    let dsi = SimInotifyDsi::recursive(ino, fs.clone(), "/");
+    let mut monitor = FsMonitor::new(
+        Box::new(dsi),
+        MonitorConfig {
+            subscription_capacity: 16,
+            ..MonitorConfig::without_store()
+        },
+    );
+    let slow = monitor.subscribe(EventFilter::all());
+    for i in 0..100 {
+        fs.create(&format!("/f{i}"));
+    }
+    monitor.pump_until_idle(64);
+    // The slow subscriber kept only its queue capacity; the loss is
+    // visible, not silent.
+    assert_eq!(slow.queued(), 16);
+    assert_eq!(slow.dropped(), 84);
+}

@@ -1,0 +1,132 @@
+//! Cross-platform standardization tests: the Table II property — the
+//! same script produces the same standardized definitions on every
+//! platform FSMonitor supports.
+
+use fsmon_core::dsi::local::{SimFsEventsDsi, SimFswDsi, SimInotifyDsi, SimKqueueDsi};
+use fsmon_core::{EventFilter, FsMonitor, MonitorConfig};
+use fsmon_events::{EventFormatter, EventKind, StandardEvent};
+use fsmon_localfs::{FsEventsSim, FswSim, InotifySim, KqueueSim, SimFs};
+use fsmon_workloads::evaluate_output_script_stepped;
+
+/// Run the output script on a platform, pumping between ops.
+fn run_platform(platform: &str) -> Vec<StandardEvent> {
+    let fs = SimFs::new();
+    fs.mkdir("/test");
+    let mut monitor = match platform {
+        "linux" => {
+            let sim = InotifySim::attach(&fs, 4096, 1 << 16);
+            FsMonitor::new(
+                Box::new(SimInotifyDsi::recursive(sim, fs.clone(), "/test")),
+                MonitorConfig::without_store(),
+            )
+        }
+        "macos" => {
+            let sim = FsEventsSim::attach(&fs, 0, 1 << 16);
+            FsMonitor::new(
+                Box::new(SimFsEventsDsi::new(sim, "/test")),
+                MonitorConfig::without_store(),
+            )
+        }
+        "windows" => {
+            let sim = FswSim::attach(&fs, 1 << 20, true);
+            FsMonitor::new(
+                Box::new(SimFswDsi::new(sim, fs.clone(), "/test")),
+                MonitorConfig::without_store(),
+            )
+        }
+        "bsd" => {
+            let sim = KqueueSim::attach(&fs, 1 << 16);
+            FsMonitor::new(
+                Box::new(SimKqueueDsi::new(sim, fs.clone(), "/test")),
+                MonitorConfig::without_store(),
+            )
+        }
+        _ => unreachable!(),
+    };
+    let sub = monitor.subscribe(EventFilter::all());
+    evaluate_output_script_stepped(&fs.clone(), "/test", &mut || {
+        monitor.pump_until_idle(64);
+    });
+    monitor.pump_until_idle(64);
+    sub.drain()
+}
+
+/// The structural signature: kinds+paths, ignoring open/close (which
+/// only some kernels report) and kqueue's parent-dir NOTE_WRITE noise.
+fn signature(events: &[StandardEvent]) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| {
+            !matches!(
+                e.kind,
+                EventKind::Open
+                    | EventKind::Close
+                    | EventKind::CloseWrite
+                    | EventKind::CloseNoWrite
+            )
+        })
+        .map(|e| format!("{} {}", e.kind_label(), e.path))
+        .collect()
+}
+
+#[test]
+fn linux_and_macos_agree_structurally() {
+    // The paper's Table II claim, verbatim.
+    assert_eq!(signature(&run_platform("linux")), signature(&run_platform("macos")));
+}
+
+#[test]
+fn linux_produces_the_table2_sequence() {
+    let sig = signature(&run_platform("linux"));
+    assert_eq!(
+        sig,
+        vec![
+            "CREATE /hello.txt",
+            "MODIFY /hello.txt",
+            "MOVED_FROM /hello.txt",
+            "MOVED_TO /hi.txt",
+            "CREATE,ISDIR /okdir",
+            "MOVED_FROM /hi.txt",
+            "MOVED_TO /okdir/hi.txt",
+            "DELETE /okdir/hi.txt",
+            "DELETE,ISDIR /okdir",
+        ]
+    );
+}
+
+#[test]
+fn windows_reports_the_four_native_types_standardized() {
+    let events = run_platform("windows");
+    // FileSystemWatcher has no MOVED_FROM; renames arrive as a single
+    // Renamed event standardized to MovedTo with old_path.
+    let moved: Vec<&StandardEvent> =
+        events.iter().filter(|e| e.kind == EventKind::MovedTo).collect();
+    assert_eq!(moved.len(), 2);
+    assert_eq!(moved[0].old_path.as_deref(), Some("/hello.txt"));
+    assert!(events.iter().any(|e| e.kind == EventKind::Create && e.path == "/hello.txt"));
+    assert!(events.iter().any(|e| e.kind == EventKind::Delete && e.path == "/okdir/hi.txt"));
+}
+
+#[test]
+fn every_platform_renders_in_every_dialect() {
+    for platform in ["linux", "macos", "windows", "bsd"] {
+        let events = run_platform(platform);
+        assert!(!events.is_empty(), "{platform} produced no events");
+        for fmt in EventFormatter::ALL {
+            for ev in &events {
+                let line = fmt.render(ev);
+                assert!(!line.is_empty(), "{platform}/{fmt:?} rendered empty");
+            }
+        }
+    }
+}
+
+#[test]
+fn event_ids_are_dense_and_monotone_per_monitor() {
+    for platform in ["linux", "macos", "windows"] {
+        let events = run_platform(platform);
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.id, i as u64 + 1, "{platform}");
+        }
+    }
+}

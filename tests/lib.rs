@@ -1,0 +1,2 @@
+//! Cross-crate integration tests live in this package's test targets;
+//! the library itself is empty.

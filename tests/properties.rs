@@ -1,0 +1,147 @@
+//! Property-based tests over cross-crate invariants.
+
+use bytes::Bytes;
+use fsmon_events::{
+    decode_event, decode_event_batch, encode_event, encode_event_batch, EventKind,
+    MonitorSource, StandardEvent,
+};
+use fsmon_lustre::Collector;
+use lustre_sim::{ChangelogRecord, Fid, LustreConfig, LustreFs};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    prop::sample::select(EventKind::ALL.to_vec())
+}
+
+fn arb_source() -> impl Strategy<Value = MonitorSource> {
+    prop::sample::select(MonitorSource::ALL.to_vec())
+}
+
+prop_compose! {
+    fn arb_event()(
+        kind in arb_kind(),
+        source in arb_source(),
+        is_dir in any::<bool>(),
+        id in any::<u64>(),
+        cookie in any::<u32>(),
+        ts in any::<u64>(),
+        mdt in prop::option::of(0u16..4),
+        root in "/[a-z]{1,8}(/[a-z]{1,8}){0,2}",
+        path in "/[a-zA-Z0-9._-]{1,12}(/[a-zA-Z0-9._-]{1,12}){0,3}",
+        old in prop::option::of("/[a-z]{1,12}"),
+    ) -> StandardEvent {
+        StandardEvent {
+            id, kind, is_dir,
+            watch_root: root,
+            path,
+            old_path: old,
+            cookie,
+            timestamp_ns: ts,
+            source,
+            mdt_index: mdt,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_roundtrip_any_event(ev in arb_event()) {
+        let frame = encode_event(&ev);
+        prop_assert_eq!(decode_event(&frame).unwrap(), ev);
+    }
+
+    #[test]
+    fn wire_roundtrip_batches(evs in prop::collection::vec(arb_event(), 0..50)) {
+        let frame = encode_event_batch(&evs);
+        prop_assert_eq!(decode_event_batch(&frame).unwrap(), evs);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(raw in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Must return an error or a value, never panic.
+        let _ = decode_event(&Bytes::from(raw.clone()));
+        let _ = decode_event_batch(&Bytes::from(raw));
+    }
+
+    #[test]
+    fn changelog_record_render_parse_roundtrip(
+        oid in 1u32..1_000_000,
+        parent_oid in 1u32..1_000_000,
+        // Names without whitespace (the textual format is
+        // whitespace-delimited, as lfs changelog output is).
+        name in "[a-zA-Z0-9._-]{1,32}",
+        code in prop::sample::select(
+            fsmon_events::changelog::ChangelogKind::ALL.to_vec()
+        ),
+        ts in 0u64..4_000_000_000_000_000_000,
+    ) {
+        let rec = ChangelogRecord {
+            index: 42,
+            kind: code,
+            time_ns: ts,
+            flags: 0,
+            target_fid: Fid::new(0x200000400, oid, 0),
+            parent_fid: Fid::new(0x200000400, parent_oid, 0),
+            target_name: name,
+            rename: None,
+            rename_target_name: None,
+            mdt_index: 0,
+        };
+        let parsed = ChangelogRecord::parse(&rec.render(), 0).unwrap();
+        prop_assert_eq!(parsed.kind, rec.kind);
+        prop_assert_eq!(parsed.target_fid, rec.target_fid);
+        prop_assert_eq!(parsed.parent_fid, rec.parent_fid);
+        prop_assert_eq!(parsed.target_name, rec.target_name);
+    }
+
+    #[test]
+    fn collector_resolves_every_live_path_correctly(
+        names in prop::collection::hash_set("[a-z]{1,10}", 1..20),
+        depth in 0usize..3,
+    ) {
+        let fs = LustreFs::new(LustreConfig::small());
+        let client = fs.client();
+        let mut dir = String::new();
+        for d in 0..depth {
+            dir = format!("{dir}/level{d}");
+            client.mkdir(&dir).unwrap();
+        }
+        let mut collector = Collector::new(fs.mdt(0), "/mnt/lustre", 1000, 4096, None);
+        let mut expected: Vec<String> = Vec::new();
+        for name in &names {
+            let path = format!("{dir}/{name}");
+            client.create(&path).unwrap();
+            expected.push(path);
+        }
+        let events = collector.drain(100);
+        let got: std::collections::HashSet<String> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Create && !e.is_dir)
+            .map(|e| e.path.clone())
+            .collect();
+        for path in expected {
+            prop_assert!(got.contains(&path), "missing {}", path);
+        }
+    }
+
+    #[test]
+    fn fid_display_parse_roundtrip(seq in any::<u64>(), oid in any::<u32>(), ver in any::<u32>()) {
+        let fid = Fid::new(seq, oid, ver);
+        prop_assert_eq!(Fid::parse(&fid.to_string()), Some(fid));
+    }
+
+    #[test]
+    fn filter_matches_are_prefix_consistent(
+        prefix in "/[a-z]{1,6}",
+        rest in "(/[a-z]{1,6}){0,3}",
+    ) {
+        use fsmon_core::EventFilter;
+        let filter = EventFilter::subtree(prefix.clone());
+        let inside = StandardEvent::new(EventKind::Create, "/r", format!("{prefix}{rest}"));
+        prop_assert!(filter.matches(&inside));
+        let outside = StandardEvent::new(EventKind::Create, "/r", format!("{prefix}x{rest}"));
+        prop_assert!(!filter.matches(&outside), "{}", outside.path);
+    }
+}

@@ -1,0 +1,147 @@
+//! Benchmark workloads through the full scalable pipeline — the
+//! Table IX integrity properties at test scale.
+
+use fsmon_core::EventFilter;
+use fsmon_events::EventKind;
+use fsmon_lustre::{ScalableConfig, ScalableMonitor};
+use fsmon_workloads::{
+    FilebenchConfig, FilebenchWorkload, HaccIoWorkload, IorWorkload,
+};
+use lustre_sim::{LustreConfig, LustreFs, TestbedKind};
+use std::time::Duration;
+
+fn unthrottled_thor() -> LustreConfig {
+    let mut cfg = TestbedKind::Thor.config();
+    cfg.create_cost = lustre_sim::CostModel::Free;
+    cfg.modify_cost = lustre_sim::CostModel::Free;
+    cfg.delete_cost = lustre_sim::CostModel::Free;
+    cfg.fid2path_cost = lustre_sim::CostModel::Free;
+    cfg.fid2path_miss_cost = lustre_sim::CostModel::Free;
+    cfg
+}
+
+#[test]
+fn ior_ssf_produces_exactly_one_create_and_delete() {
+    let fs = LustreFs::new(unthrottled_thor());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let run = IorWorkload {
+        processes: 128,
+        block_size: 1 << 18,
+        transfer_size: 1 << 16,
+        ..IorWorkload::default()
+    }
+    .run(&fs.client());
+    assert_eq!(run.files_created, 1);
+    assert_eq!(run.files_deleted, 1);
+    let expected = fs.op_counters().total();
+    assert!(monitor.wait_events(expected, Duration::from_secs(30)));
+    let events = monitor.consumer().recv_batch(1 << 20, Duration::from_secs(2));
+    let creates = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Create && e.path.contains("testFileSSF"))
+        .count();
+    let deletes = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Delete && e.path.contains("testFileSSF"))
+        .count();
+    assert_eq!((creates, deletes), (1, 1), "paper §V-D6");
+    monitor.stop();
+}
+
+#[test]
+fn hacc_fpp_produces_one_create_delete_per_rank() {
+    let fs = LustreFs::new(unthrottled_thor());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let workload = HaccIoWorkload {
+        processes: 64,
+        particles: 64_000,
+        ..HaccIoWorkload::default()
+    };
+    let run = workload.run(&fs.client());
+    assert_eq!(run.files_created, 64);
+    assert_eq!(run.files_deleted, 64);
+    let expected = fs.op_counters().total();
+    assert!(monitor.wait_events(expected, Duration::from_secs(30)));
+    let events = monitor.consumer().recv_batch(1 << 20, Duration::from_secs(2));
+    for rank in [0u32, 31, 63] {
+        let name = workload.file_name(rank);
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::Create && e.path == name),
+            "create for {name}"
+        );
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::Delete && e.path == name),
+            "delete for {name}"
+        );
+    }
+    monitor.stop();
+}
+
+#[test]
+fn filebench_population_is_fully_reported_with_no_loss() {
+    let fs = LustreFs::new(unthrottled_thor());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    let run = FilebenchWorkload::new(FilebenchConfig {
+        files: 2000,
+        ..FilebenchConfig::default()
+    })
+    .populate(&fs.client());
+    assert_eq!(run.files_created, 2000);
+    let expected = fs.op_counters().total();
+    assert!(monitor.wait_events(expected, Duration::from_secs(60)));
+    let events = monitor.consumer().recv_batch(1 << 20, Duration::from_secs(2));
+    let file_creates = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Create && !e.is_dir && e.path.starts_with("/bigfileset"))
+        .count();
+    assert_eq!(file_creates, 2000, "every Filebench create reported");
+    assert_eq!(events.len() as u64, expected, "no loss under load");
+    monitor.stop();
+}
+
+#[test]
+fn concurrent_workloads_do_not_interfere() {
+    let fs = LustreFs::new(unthrottled_thor());
+    let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+    // Filter to HACC only, while IOR runs concurrently — the §IV
+    // Consumption scenario.
+    let hacc_only = monitor
+        .new_consumer(EventFilter::subtree("/hacc-io"))
+        .unwrap();
+    let ior = {
+        let client = fs.client();
+        std::thread::spawn(move || {
+            IorWorkload {
+                processes: 32,
+                block_size: 1 << 16,
+                transfer_size: 1 << 16,
+                ..IorWorkload::default()
+            }
+            .run(&client)
+        })
+    };
+    let hacc = {
+        let client = fs.client();
+        std::thread::spawn(move || {
+            HaccIoWorkload {
+                processes: 32,
+                particles: 32_000,
+                cleanup: false,
+                ..HaccIoWorkload::default()
+            }
+            .run(&client)
+        })
+    };
+    ior.join().unwrap();
+    let hacc_run = hacc.join().unwrap();
+    let expected = fs.op_counters().total();
+    assert!(monitor.wait_events(expected, Duration::from_secs(30)));
+    let events = hacc_only.recv_batch(1 << 20, Duration::from_secs(2));
+    assert!(events.iter().all(|e| e.path.starts_with("/hacc-io")));
+    let creates = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Create && !e.is_dir)
+        .count() as u64;
+    assert_eq!(creates, hacc_run.files_created);
+    monitor.stop();
+}
