@@ -51,7 +51,10 @@ fn bench_collector(c: &mut Criterion) {
                         for i in 0..batch {
                             client.create(&format!("/f{i}")).unwrap();
                         }
-                        (Collector::new(fs.mdt(0), "/mnt/lustre", 5000, batch, None), fs)
+                        (
+                            Collector::new(fs.mdt(0), "/mnt/lustre", 5000, batch, None),
+                            fs,
+                        )
                     },
                     |(mut collector, _fs)| black_box(collector.step().len()),
                     criterion::BatchSize::SmallInput,

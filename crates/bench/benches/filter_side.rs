@@ -24,7 +24,9 @@ fn events(n: usize) -> Vec<StandardEvent> {
 }
 
 fn filters(n: usize) -> Vec<EventFilter> {
-    (0..n).map(|i| EventFilter::subtree(format!("/proj{i}"))).collect()
+    (0..n)
+        .map(|i| EventFilter::subtree(format!("/proj{i}")))
+        .collect()
 }
 
 fn bench_filter_side(c: &mut Criterion) {

@@ -71,11 +71,8 @@ fn main() {
         let client = fs.client();
         let stop = stop.clone();
         std::thread::spawn(move || {
-            let script = EvaluatePerformanceScript::new(
-                ScriptVariant::CreateModifyDelete,
-                "/",
-            )
-            .with_working_set(1024);
+            let script = EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
+                .with_working_set(1024);
             let mut session = fsmon_workloads::scripts::ScriptSession::new(script);
             while !stop.load(Ordering::Relaxed) {
                 session.step(&client);
@@ -109,7 +106,10 @@ fn main() {
         human(idle.max_ns()),
     ]);
     table.row([
-        format!("under load ({:.0} background ops/sec)", load_run.ops_per_sec()),
+        format!(
+            "under load ({:.0} background ops/sec)",
+            load_run.ops_per_sec()
+        ),
         human(loaded.quantile_ns(0.50)),
         human(loaded.quantile_ns(0.95)),
         human(loaded.quantile_ns(0.99)),
@@ -118,6 +118,6 @@ fn main() {
     table.note("paper's observation to reproduce: no qualitative delay under concurrent applications (latencies stay in the same regime)");
     table.note(format!("idle summary:   {}", idle.summary()));
     table.note(format!("loaded summary: {}", loaded.summary()));
-    table.print();
+    table.emit("latency");
     monitor.stop();
 }

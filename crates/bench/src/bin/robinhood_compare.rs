@@ -60,7 +60,9 @@ fn main() {
         String::new(),
         String::new(),
     ]);
-    table.note(format!("Robinhood modelled CPU busy (remote fid2path share): {rh_cpu:.2}%"));
+    table.note(format!(
+        "Robinhood modelled CPU busy (remote fid2path share): {rh_cpu:.2}%"
+    ));
     table.note("shape to reproduce: FSMonitor > Robinhood; the gap comes from serialized polling RPCs and the client-side fid2path penalty");
-    table.print();
+    table.emit("robinhood_compare");
 }

@@ -52,8 +52,10 @@ fn main() {
     let linux = run_linux();
     let macos = run_macos();
 
-    let mut table = Table::new("Table II: File system events of FSMonitor")
-        .header(["FSMonitor on Linux (inotify DSI)", "FSMonitor on macOS (FSEvents DSI)"]);
+    let mut table = Table::new("Table II: File system events of FSMonitor").header([
+        "FSMonitor on Linux (inotify DSI)",
+        "FSMonitor on macOS (FSEvents DSI)",
+    ]);
     let fmt = EventFormatter::Inotify;
     let rows = linux.len().max(macos.len());
     for i in 0..rows {
@@ -67,15 +69,20 @@ fn main() {
         "kind sequences match where both kernels report the op; FSEvents omits \
          open/close and coalesces, exactly as the real facility does",
     );
-    table.print();
+    table.emit("table2");
 
     // Cross-platform agreement on the structural events.
     let key = |evs: &[StandardEvent]| -> Vec<String> {
         evs.iter()
-            .filter(|e| !matches!(e.kind, fsmon_events::EventKind::Close
-                | fsmon_events::EventKind::CloseWrite
-                | fsmon_events::EventKind::CloseNoWrite
-                | fsmon_events::EventKind::Open))
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    fsmon_events::EventKind::Close
+                        | fsmon_events::EventKind::CloseWrite
+                        | fsmon_events::EventKind::CloseNoWrite
+                        | fsmon_events::EventKind::Open
+                )
+            })
             .map(|e| format!("{} {}", e.kind_label(), e.path))
             .collect()
     };

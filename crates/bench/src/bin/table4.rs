@@ -53,5 +53,5 @@ fn main() {
         ]);
     }
     table.note("paper's conclusion to reproduce: no monitor makes heavy use of machine resources; differences are not decisive");
-    table.print();
+    table.emit("table4");
 }

@@ -74,9 +74,18 @@ fn main() {
     for tb in TestbedKind::ALL {
         let (p_create, p_modify, p_delete) = tb.paper_generation_rates();
         rows[0].push(tb.storage_label().to_string());
-        rows[1].push(format!("{p_create} / {}", rate(class_rate(tb, "create", window))));
-        rows[2].push(format!("{p_modify} / {}", rate(class_rate(tb, "modify", window))));
-        rows[3].push(format!("{p_delete} / {}", rate(class_rate(tb, "delete", window))));
+        rows[1].push(format!(
+            "{p_create} / {}",
+            rate(class_rate(tb, "create", window))
+        ));
+        rows[2].push(format!(
+            "{p_modify} / {}",
+            rate(class_rate(tb, "modify", window))
+        ));
+        rows[3].push(format!(
+            "{p_delete} / {}",
+            rate(class_rate(tb, "delete", window))
+        ));
         let mixed = lustre_throughput(
             tb,
             None,
@@ -95,5 +104,5 @@ fn main() {
         table.row(row);
     }
     table.note("measured at 20x time scale; shape to reproduce: AWS < Thor < Iota, delete > modify > create per testbed");
-    table.print();
+    table.emit("table5");
 }

@@ -10,21 +10,45 @@ use std::time::Duration;
 
 fn main() {
     let window = Duration::from_secs(2);
-    let mut table =
-        Table::new("Table VI: Lustre Testbed Baseline Event Reporting Rates (events/sec)").header(
-            ["", "AWS (paper/measured)", "Thor (paper/measured)", "Iota (paper/measured)"],
-        );
+    let mut table = Table::new(
+        "Table VI: Lustre Testbed Baseline Event Reporting Rates (events/sec)",
+    )
+    .header([
+        "",
+        "AWS (paper/measured)",
+        "Thor (paper/measured)",
+        "Iota (paper/measured)",
+    ]);
     let mut rows: Vec<Vec<String>> = vec![
         vec!["Generated events/sec".into()],
         vec!["Reported without cache".into()],
         vec!["Reported with cache (5000)".into()],
     ];
     for tb in TestbedKind::ALL {
-        let gen = lustre_throughput(tb, None, ScriptVariant::CreateModifyDelete, 1, window, false);
-        let without =
-            lustre_throughput(tb, Some(0), ScriptVariant::CreateModifyDelete, 4096, window, false);
-        let with =
-            lustre_throughput(tb, Some(5000), ScriptVariant::CreateModifyDelete, 4096, window, false);
+        let gen = lustre_throughput(
+            tb,
+            None,
+            ScriptVariant::CreateModifyDelete,
+            1,
+            window,
+            false,
+        );
+        let without = lustre_throughput(
+            tb,
+            Some(0),
+            ScriptVariant::CreateModifyDelete,
+            4096,
+            window,
+            false,
+        );
+        let with = lustre_throughput(
+            tb,
+            Some(5000),
+            ScriptVariant::CreateModifyDelete,
+            4096,
+            window,
+            false,
+        );
         let (p_no, p_yes) = tb.paper_reported_rates();
         rows[0].push(format!(
             "{} / {}",
@@ -38,5 +62,5 @@ fn main() {
         table.row(row);
     }
     table.note("shape to reproduce: without-cache < with-cache <= generated, on every testbed; no events lost");
-    table.print();
+    table.emit("table6");
 }

@@ -82,7 +82,7 @@ fn main() {
         "2.8 / (recv queue)".to_string(),
     ]);
     table.note("collector CPU is the modelled fid2path busy share; cache cuts it on every testbed (paper's key claim)");
-    table.print();
+    table.emit("table7");
 
     // §V-D3: script variants on Iota.
     let base = lustre_throughput(
@@ -110,7 +110,12 @@ fn main() {
         false,
     );
     let mut variants = Table::new("§V-D3: Collector CPU vs script variant (Iota, cache 5000)")
-        .header(["Variant", "Collector CPU% (measured)", "fid2path calls / event", "Paper direction"]);
+        .header([
+            "Variant",
+            "Collector CPU% (measured)",
+            "fid2path calls / event",
+            "Paper direction",
+        ]);
     let per_event = |r: &fsmon_bench::LustreRun| {
         r.collector.fid2path_calls as f64 / r.collector.events.max(1) as f64
     };
@@ -132,6 +137,8 @@ fn main() {
         f2(per_event(&create_modify)),
         "lower (2.3%, -21.5%)".to_string(),
     ]);
-    variants.note("shape to reproduce: create+delete > base > create+modify in collector CPU and calls/event");
-    variants.print();
+    variants.note(
+        "shape to reproduce: create+delete > base > create+modify in collector CPU and calls/event",
+    );
+    variants.emit("table7_variants");
 }

@@ -6,11 +6,11 @@
 //! Filebench populates its `bigfileset`. FSMonitor watches /mnt/lustre
 //! and must report all of it with no loss.
 
+use fsmon_events::{EventFormatter, EventKind};
 use fsmon_lustre::{ScalableConfig, ScalableMonitor};
 use fsmon_testbed::profiles::TestbedKind;
 use fsmon_testbed::Table;
 use fsmon_workloads::{FilebenchConfig, FilebenchWorkload, HaccIoWorkload, IorWorkload};
-use fsmon_events::{EventFormatter, EventKind};
 use lustre_sim::LustreFs;
 use std::time::Duration;
 
@@ -61,7 +61,9 @@ fn main() {
     let events = {
         let mut out = Vec::new();
         loop {
-            let batch = monitor.consumer().recv_batch(usize::MAX, Duration::from_millis(300));
+            let batch = monitor
+                .consumer()
+                .recv_batch(usize::MAX, Duration::from_millis(300));
             if batch.is_empty() {
                 break;
             }
@@ -72,11 +74,17 @@ fn main() {
 
     // Table IX excerpt: first and last few monitored lines.
     let fmt = EventFormatter::Inotify;
-    let mut table = Table::new("Table IX: FSMonitor events for IOR, HACC-IO and Filebench (excerpt)")
-        .header(["FSMonitor events"]);
+    let mut table =
+        Table::new("Table IX: FSMonitor events for IOR, HACC-IO and Filebench (excerpt)")
+            .header(["FSMonitor events"]);
     let interesting: Vec<&fsmon_events::StandardEvent> = events
         .iter()
-        .filter(|e| matches!(e.kind, EventKind::Create | EventKind::Delete | EventKind::Close))
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::Create | EventKind::Delete | EventKind::Close
+            )
+        })
         .collect();
     for ev in interesting.iter().take(6) {
         table.row([fmt.render(ev)]);
@@ -85,7 +93,7 @@ fn main() {
     for ev in interesting.iter().rev().take(6).rev() {
         table.row([fmt.render(ev)]);
     }
-    table.print();
+    table.emit("table9");
 
     // Verification counts per application.
     let count = |pred: &dyn Fn(&fsmon_events::StandardEvent) -> bool| {
@@ -127,7 +135,7 @@ fn main() {
     ));
     checks.note("Filebench at 1/10 scale (5000 files) to keep the run short; paper used 50000 — scale with --release and patience");
     checks.note("paper observation to reproduce: all creates reported before the IOR/HACC deletes; no delay, no loss");
-    checks.print();
+    checks.emit("table9_checks");
 
     monitor.stop();
 }

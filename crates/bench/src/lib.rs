@@ -8,6 +8,4 @@
 
 pub mod harness;
 
-pub use harness::{
-    local_reporting_rate, lustre_throughput, LocalRun, LustreRun, MonitorKind,
-};
+pub use harness::{local_reporting_rate, lustre_throughput, LocalRun, LustreRun, MonitorKind};

@@ -53,8 +53,44 @@ pub enum Command {
         /// Collector cache size.
         cache: usize,
     },
+    /// Dump pipeline telemetry (live run or a previously exported file).
+    Stats {
+        /// Output dialect.
+        format: StatsFormat,
+        /// Parse this exported snapshot instead of running a pipeline.
+        from: Option<String>,
+        /// Number of MDSs for the live run.
+        mds: u16,
+        /// Workload seconds for the live run.
+        seconds: u64,
+        /// Collector cache size for the live run.
+        cache: usize,
+    },
     /// Print usage.
     Help,
+}
+
+/// How `fsmon stats` renders a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Human-oriented per-stage summary.
+    Summary,
+    /// Prometheus text exposition format.
+    Prometheus,
+    /// JSON.
+    Json,
+}
+
+impl StatsFormat {
+    /// Parse a `--format` value.
+    pub fn parse(s: &str) -> Option<StatsFormat> {
+        match s {
+            "summary" => Some(StatsFormat::Summary),
+            "prometheus" | "prom" => Some(StatsFormat::Prometheus),
+            "json" => Some(StatsFormat::Json),
+            _ => None,
+        }
+    }
 }
 
 /// Parse failures, with the message to show the user.
@@ -79,6 +115,8 @@ USAGE:
                      [--duration SECS] [--interval-ms MS]
   fsmon replay --store DIR [--since ID] [--max N]
   fsmon demo-lustre [--mds N] [--seconds S] [--cache N]
+  fsmon stats [--format summary|prometheus|json] [--from FILE]
+              [--mds N] [--seconds S] [--cache N]
   fsmon help
 
 FORMATS: inotify (default), kqueue, fsevents, filesystemwatcher
@@ -101,6 +139,7 @@ impl Cli {
             Some("watch") => Self::parse_watch(&mut iter)?,
             Some("replay") => Self::parse_replay(&mut iter)?,
             Some("demo-lustre") => Self::parse_demo(&mut iter)?,
+            Some("stats") => Self::parse_stats(&mut iter)?,
             Some(other) => return Err(ParseError(format!("unknown command: {other}"))),
         };
         Ok(Cli { command })
@@ -219,12 +258,55 @@ impl Cli {
                         .parse()
                         .map_err(|_| ParseError("--cache must be a number".into()))?
                 }
-                other => {
-                    return Err(ParseError(format!("unknown flag for demo-lustre: {other}")))
-                }
+                other => return Err(ParseError(format!("unknown flag for demo-lustre: {other}"))),
             }
         }
-        Ok(Command::DemoLustre { mds, seconds, cache })
+        Ok(Command::DemoLustre {
+            mds,
+            seconds,
+            cache,
+        })
+    }
+
+    fn parse_stats<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut format = StatsFormat::Summary;
+        let mut from = None;
+        let mut mds = 1;
+        let mut seconds = 1;
+        let mut cache = 5000;
+        while let Some(arg) = iter.next() {
+            match arg {
+                "--format" => {
+                    let v = take_value(arg, iter)?;
+                    format = StatsFormat::parse(v)
+                        .ok_or_else(|| ParseError(format!("unknown stats format: {v}")))?;
+                }
+                "--from" => from = Some(take_value(arg, iter)?.to_string()),
+                "--mds" => {
+                    mds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--mds must be a number".into()))?
+                }
+                "--seconds" => {
+                    seconds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--seconds must be a number".into()))?
+                }
+                "--cache" => {
+                    cache = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--cache must be a number".into()))?
+                }
+                other => return Err(ParseError(format!("unknown flag for stats: {other}"))),
+            }
+        }
+        Ok(Command::Stats {
+            format,
+            from,
+            mds,
+            seconds,
+            cache,
+        })
     }
 }
 
@@ -325,8 +407,10 @@ mod tests {
 
     #[test]
     fn replay_parsing() {
-        let cli = Cli::parse(["replay", "--store", "/tmp/ev", "--since", "42", "--max", "10"])
-            .unwrap();
+        let cli = Cli::parse([
+            "replay", "--store", "/tmp/ev", "--since", "42", "--max", "10",
+        ])
+        .unwrap();
         assert_eq!(
             cli.command,
             Command::Replay {
@@ -341,8 +425,16 @@ mod tests {
 
     #[test]
     fn demo_parsing() {
-        let cli = Cli::parse(["demo-lustre", "--mds", "2", "--seconds", "1", "--cache", "0"])
-            .unwrap();
+        let cli = Cli::parse([
+            "demo-lustre",
+            "--mds",
+            "2",
+            "--seconds",
+            "1",
+            "--cache",
+            "0",
+        ])
+        .unwrap();
         assert_eq!(
             cli.command,
             Command::DemoLustre {
@@ -360,6 +452,43 @@ mod tests {
                 cache: 5000
             }
         );
+    }
+
+    #[test]
+    fn stats_parsing() {
+        let cli = Cli::parse(["stats"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Stats {
+                format: StatsFormat::Summary,
+                from: None,
+                mds: 1,
+                seconds: 1,
+                cache: 5000
+            }
+        );
+        let cli = Cli::parse([
+            "stats",
+            "--format",
+            "json",
+            "--from",
+            "/tmp/snap.json",
+            "--mds",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Stats {
+                format: StatsFormat::Json,
+                from: Some("/tmp/snap.json".into()),
+                mds: 2,
+                seconds: 1,
+                cache: 5000
+            }
+        );
+        assert!(Cli::parse(["stats", "--format", "xml"]).is_err());
+        assert!(Cli::parse(["stats", "--wat"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the group/bench API subset the workspace's micro-benchmarks
+//! use, with a simple measurement loop: warm-up for the configured
+//! time, then run timed batches until the measurement window closes and
+//! report per-iteration mean and median-of-batches. No statistical
+//! regression machinery — the numbers are honest wall-clock medians,
+//! printed one line per benchmark:
+//!
+//! ```text
+//! lru/hit/200             time: 13 ns/iter (median 12 ns, 154201924 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// benchmarked expression.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` setup cost is amortized. The shim runs one
+/// setup per measured invocation regardless, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name, rendered `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A bare name with no parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// The timing context passed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// (total_ns, iters) per measured batch.
+    batches: Vec<(u64, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: discover a batch size that takes ~1ms, then spin
+        // until the warm-up window closes.
+        let mut batch: u64 = 1;
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt < Duration::from_millis(1) && batch < 1 << 40 {
+                batch *= 2;
+            }
+        }
+        let end = Instant::now() + self.measure;
+        while Instant::now() < end {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.batches.push((t0.elapsed().as_nanos() as u64, batch));
+        }
+        if self.batches.is_empty() {
+            // Degenerate windows (zero measure time): record one batch.
+            let t0 = Instant::now();
+            black_box(routine());
+            self.batches.push((t0.elapsed().as_nanos() as u64, 1));
+        }
+    }
+
+    /// Time `routine` over fresh state from `setup` each invocation;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let end = Instant::now() + self.measure;
+        while Instant::now() < end {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.batches.push((t0.elapsed().as_nanos() as u64, 1));
+            black_box(out);
+        }
+        if self.batches.is_empty() {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.batches.push((t0.elapsed().as_nanos() as u64, 1));
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        let total_ns: u64 = self.batches.iter().map(|(ns, _)| ns).sum();
+        let total_iters: u64 = self.batches.iter().map(|(_, n)| n).sum();
+        let mean = total_ns as f64 / total_iters.max(1) as f64;
+        let mut per_iter: Vec<f64> = self
+            .batches
+            .iter()
+            .map(|&(ns, n)| ns as f64 / n.max(1) as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(", {:.1} Melem/s", n as f64 / mean * 1e3 / 1e6)
+            }
+            Throughput::Bytes(n) => {
+                format!(", {:.1} MiB/s", n as f64 / mean * 1e9 / (1024.0 * 1024.0))
+            }
+        });
+        println!(
+            "{label:<40} time: {mean:>10.1} ns/iter (median {median:.1} ns, {total_iters} iters{})",
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    crit: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples (accepted for API compatibility; the shim
+    /// sizes batches by time, not count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// How long to measure each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.crit.measure = d;
+        self
+    }
+
+    /// How long to warm up each benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.crit.warm_up = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = if id.id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let mut b = Bencher {
+            warm_up: self.crit.warm_up,
+            measure: self.crit.measure,
+            batches: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&label, self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            crit: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function(BenchmarkId { id: String::new() }, f);
+        self
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,326 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the `crossbeam::channel` subset the workspace uses:
+//! bounded/unbounded MPMC channels whose `Sender` *and* `Receiver`
+//! clone, with `send` / `try_send` / `recv` / `try_recv` /
+//! `recv_timeout` and disconnect detection. Built on a
+//! `Mutex<VecDeque>` + two condvars; correctness over raw throughput
+//! (the real crate is lock-free, this one is honest about being a
+//! vendored fallback).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error for [`Sender::send`]: every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error for [`Receiver::recv`]: channel empty and every sender gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and every sender gone.
+        Disconnected,
+    }
+
+    /// Error for [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline.
+        Timeout,
+        /// Channel empty and every sender gone.
+        Disconnected,
+    }
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        /// Signalled when a message is pushed or all senders drop.
+        not_empty: Condvar,
+        /// Signalled when a message is popped or all receivers drop.
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// The receiving half; clonable (MPMC: clones *share* the queue).
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// A channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap))
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                buf: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        fn is_full(&self, st: &State<T>) -> bool {
+            self.cap.is_some_and(|c| st.buf.len() >= c)
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued (or all receivers gone).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if !self.0.is_full(&st) {
+                    st.buf.push_back(msg);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .0
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Enqueue without blocking.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.lock();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if self.0.is_full(&st) {
+                return Err(TrySendError::Full(msg));
+            }
+            st.buf.push_back(msg);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently in flight.
+        pub fn len(&self) -> usize {
+            self.0.lock().buf.len()
+        }
+
+        /// True when no message is in flight.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives (or all senders gone and empty).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.lock();
+            loop {
+                if let Some(msg) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .0
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.lock();
+            if let Some(msg) = st.buf.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.lock();
+            loop {
+                if let Some(msg) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = g;
+            }
+        }
+
+        /// Messages currently in flight.
+        pub fn len(&self) -> usize {
+            self.0.lock().buf.len()
+        }
+
+        /// True when no message is in flight.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Drain whatever is available right now.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.0.lock().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.0.lock().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.lock();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_backpressure_and_disconnect() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded::<u32>(8);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn mpmc_under_threads() {
+            let (tx, rx) = bounded(4);
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..100u64 {
+                            tx.send(p * 1000 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut n = 0u64;
+                        while rx.recv().is_ok() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(total, 400);
+        }
+    }
+}

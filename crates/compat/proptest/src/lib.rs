@@ -1,0 +1,874 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Generate-only property testing: strategies produce random values,
+//! the `proptest!` macro runs each property over N cases, and a failing
+//! case prints its inputs before propagating the panic. No shrinking —
+//! failures report the raw generated case. The strategy vocabulary
+//! covers what the workspace's model tests use: integer ranges,
+//! `any::<T>()`, tuples, `prop_map`, `prop_oneof!`, `prop_compose!`,
+//! `prop::collection::vec`, `prop::sample::{select, Index}`,
+//! `prop::option::of`, and regex-lite string patterns such as
+//! `"/[a-z]{1,8}(/[a-z]{1,8}){0,2}"`.
+
+pub mod test_runner {
+    //! Deterministic RNG and case-loop plumbing used by the macros.
+
+    /// SplitMix64: deterministic per seed, good enough to explore the
+    //  state spaces these model tests cover.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the run seeded by `seed`.
+        pub fn new(seed: u64, case: u64) -> TestRng {
+            TestRng {
+                state: seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Per-property configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Base seed for a run: `PROPTEST_SEED` env var or a fixed default
+    /// so CI is reproducible.
+    pub fn base_seed() -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_0001)
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discard values failing `pred` (regenerates, up to a retry
+        /// cap; the label mirrors proptest's API).
+        fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, pred }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive candidates");
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Choose uniformly among `options`.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Wrap a generation closure (used by `prop_compose!`).
+    pub struct Compose<F> {
+        f: F,
+    }
+
+    impl<F> Compose<F> {
+        /// Strategy from a closure.
+        pub fn new(f: F) -> Compose<F> {
+            Compose { f }
+        }
+    }
+
+    impl<V, F: Fn(&mut TestRng) -> V> Strategy for Compose<F> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.f)(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy over empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "strategy over empty range");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Regex-lite string strategy: literals, `[...]` classes (with
+    /// ranges and a trailing literal `-`), `(...)` groups, `|`
+    /// alternation, and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers
+    /// (`*`/`+` capped at 8 repeats).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let chars: Vec<char> = self.chars().collect();
+            let mut pos = 0;
+            gen_alternation(&chars, &mut pos, rng, &mut out, None);
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+
+    /// Generate one branch of `a|b|...` until `stop` (a closing paren)
+    /// or end of pattern.
+    fn gen_alternation(
+        pat: &[char],
+        pos: &mut usize,
+        rng: &mut TestRng,
+        out: &mut String,
+        stop: Option<char>,
+    ) {
+        // Collect branch spans first so the choice is uniform.
+        let start = *pos;
+        let mut branches: Vec<(usize, usize)> = Vec::new();
+        let mut depth = 0usize;
+        let mut branch_start = start;
+        let mut i = start;
+        while i < pat.len() {
+            match pat[i] {
+                '(' => depth += 1,
+                ')' => {
+                    if depth == 0 && stop == Some(')') {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                '|' if depth == 0 => {
+                    branches.push((branch_start, i));
+                    branch_start = i + 1;
+                }
+                '\\' => i += 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        branches.push((branch_start, i));
+        let (bs, be) = branches[rng.below(branches.len() as u64) as usize];
+        let mut bpos = bs;
+        gen_sequence(pat, &mut bpos, be, rng, out);
+        *pos = i;
+    }
+
+    /// Generate a plain sequence of quantified atoms in `[*pos, end)`.
+    fn gen_sequence(pat: &[char], pos: &mut usize, end: usize, rng: &mut TestRng, out: &mut String) {
+        while *pos < end {
+            let atom_start = *pos;
+            // Parse one atom into a reusable generator closure.
+            enum Atom {
+                Lit(char),
+                Class(Vec<char>),
+                Group(usize, usize),
+            }
+            let atom = match pat[*pos] {
+                '[' => {
+                    let mut set = Vec::new();
+                    *pos += 1;
+                    while *pos < end && pat[*pos] != ']' {
+                        if pat[*pos] == '\\' {
+                            *pos += 1;
+                            set.push(pat[*pos]);
+                            *pos += 1;
+                        } else if *pos + 2 < end && pat[*pos + 1] == '-' && pat[*pos + 2] != ']' {
+                            let (lo, hi) = (pat[*pos], pat[*pos + 2]);
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            *pos += 3;
+                        } else {
+                            set.push(pat[*pos]);
+                            *pos += 1;
+                        }
+                    }
+                    *pos += 1; // ']'
+                    Atom::Class(set)
+                }
+                '(' => {
+                    let gstart = *pos + 1;
+                    let mut depth = 1usize;
+                    let mut j = gstart;
+                    while j < end && depth > 0 {
+                        match pat[j] {
+                            '(' => depth += 1,
+                            ')' => depth -= 1,
+                            '\\' => j += 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    *pos = j; // past ')'
+                    Atom::Group(gstart, j - 1)
+                }
+                '\\' => {
+                    *pos += 1;
+                    let c = pat[*pos];
+                    *pos += 1;
+                    Atom::Lit(c)
+                }
+                '.' => {
+                    *pos += 1;
+                    Atom::Class(('a'..='z').chain('0'..='9').collect())
+                }
+                c => {
+                    *pos += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let _ = atom_start;
+            // Parse an optional quantifier.
+            let (min, max) = if *pos < end {
+                match pat[*pos] {
+                    '{' => {
+                        let mut j = *pos + 1;
+                        let mut first = String::new();
+                        while pat[j].is_ascii_digit() {
+                            first.push(pat[j]);
+                            j += 1;
+                        }
+                        let m: u64 = first.parse().unwrap();
+                        let n = if pat[j] == ',' {
+                            j += 1;
+                            let mut second = String::new();
+                            while pat[j].is_ascii_digit() {
+                                second.push(pat[j]);
+                                j += 1;
+                            }
+                            second.parse().unwrap()
+                        } else {
+                            m
+                        };
+                        *pos = j + 1; // past '}'
+                        (m, n)
+                    }
+                    '?' => {
+                        *pos += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        *pos += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        *pos += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let reps = min + rng.below(max - min + 1);
+            for _ in 0..reps {
+                match &atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        assert!(!set.is_empty(), "empty character class");
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Group(gs, ge) => {
+                        let mut gpos = *gs;
+                        let mut sub = String::new();
+                        // Alternation inside the group.
+                        let slice = &pat[..*ge];
+                        gen_alternation(slice, &mut gpos, rng, &mut sub, None);
+                        out.push_str(&sub);
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical uniform strategy.
+    pub trait ArbitraryValue {
+        /// Draw one uniform value.
+        fn draw(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn draw(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn draw(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for char {
+        fn draw(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated paths readable.
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+
+    /// The strategy behind `any::<T>()`.
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::draw(rng)
+        }
+    }
+
+    /// Uniform strategy for `T`.
+    pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::*`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Accepted size bounds for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        assert!(size.min < size.max, "vec strategy over empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let n = self.size.min + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for hash sets; generates up to the requested size,
+    /// fewer when the element strategy collides.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `HashSet` of roughly `size` elements drawn from `element`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        let size = size.into();
+        assert!(size.min < size.max, "hash_set strategy over empty size range");
+        HashSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> std::collections::HashSet<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let want = self.size.min + rng.below(span) as usize;
+            let mut out = std::collections::HashSet::new();
+            // Bounded retries: collisions may keep us under `want`.
+            for _ in 0..want * 4 {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::*`.
+
+    use crate::arbitrary::ArbitraryValue;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A deferred index into a collection of then-unknown length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl ArbitraryValue for Index {
+        fn draw(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+
+    /// Strategy cloning a uniformly chosen element of `options`.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod option {
+    //! `prop::option::*`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `None` a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option` of values from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! What `use proptest::prelude::*` brings in.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest};
+
+    pub mod prop {
+        //! The `prop::` module path used inside strategies.
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Assert inside a property (no shrinking: plain assert with context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Build a named strategy function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($fnarg:tt)*)(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($fnarg)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Compose::new(
+                move |rng: &mut $crate::test_runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut *rng);)+
+                    $body
+                },
+            )
+        }
+    };
+}
+
+/// Run each contained `#[test]` function over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let seed = $crate::test_runner::base_seed();
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::test_runner::TestRng::new(seed, case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let __case_desc = {
+                    let mut s = String::new();
+                    $(
+                        s.push_str(concat!("  ", stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}\n", &$arg));
+                    )+
+                    s
+                };
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || { $body })
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {case} of {} failed (seed {seed}):\n{__case_desc}",
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::test_runner::TestRng::new(1, 0);
+        for case in 0..500u64 {
+            rng = crate::test_runner::TestRng::new(1, case);
+            let s = Strategy::generate(&"/[a-z]{1,8}(/[a-z]{1,8}){0,2}", &mut rng);
+            assert!(s.starts_with('/'), "{s}");
+            let comps: Vec<&str> = s[1..].split('/').collect();
+            assert!((1..=3).contains(&comps.len()), "{s}");
+            for c in comps {
+                assert!((1..=8).contains(&c.len()), "{s}");
+                assert!(c.chars().all(|ch| ch.is_ascii_lowercase()), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_dot() {
+        for case in 0..300u64 {
+            let mut rng = crate::test_runner::TestRng::new(2, case);
+            let s = Strategy::generate(&"[a-z0-9._-]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._-".contains(c)),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_picks_each_branch() {
+        let mut saw = std::collections::HashSet::new();
+        for case in 0..64u64 {
+            let mut rng = crate::test_runner::TestRng::new(3, case);
+            saw.insert(Strategy::generate(&"(abc|xyz)", &mut rng));
+        }
+        assert_eq!(
+            saw,
+            ["abc".to_string(), "xyz".to_string()].into_iter().collect()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_pipeline_works(
+            v in prop::collection::vec(0u32..100, 1..20),
+            flag in any::<bool>(),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v[pick.index(v.len())] < 100);
+            prop_assert_eq!(flag || !flag, true);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![
+            (0usize..4).prop_map(|n| n * 2),
+            (10usize..14).prop_map(|n| n * 3),
+        ]) {
+            prop_assert!(x % 2 == 0 || x % 3 == 0);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in the workspace serializes through serde (no `serde_json`,
+//! no bincode — wire encoding and JSON rendering are hand-rolled), but
+//! many types carry `#[derive(Serialize, Deserialize)]`. This shim
+//! keeps those derives compiling offline: the traits are blanket
+//! markers and the derives (from the sibling `serde_derive` shim)
+//! expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

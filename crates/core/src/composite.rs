@@ -35,7 +35,11 @@ impl CompositeDsi {
 
     /// Add a member DSI under a mount `label`.
     #[must_use]
-    pub fn with(mut self, label: impl Into<String>, dsi: Box<dyn StorageInterface>) -> CompositeDsi {
+    pub fn with(
+        mut self,
+        label: impl Into<String>,
+        dsi: Box<dyn StorageInterface>,
+    ) -> CompositeDsi {
         self.members.push(Member {
             label: label.into(),
             dsi,
@@ -137,7 +141,10 @@ mod tests {
         let ino = InotifySim::attach(&scratch, 4096, 1 << 16);
         let fse = FsEventsSim::attach(&archive, 0, 1 << 16);
         let composite = CompositeDsi::new("/site")
-            .with("scratch", Box::new(SimInotifyDsi::recursive(ino, scratch.clone(), "/")))
+            .with(
+                "scratch",
+                Box::new(SimInotifyDsi::recursive(ino, scratch.clone(), "/")),
+            )
             .with("archive", Box::new(SimFsEventsDsi::new(fse, "/")));
         assert_eq!(composite.len(), 2);
         let mut monitor = FsMonitor::new(Box::new(composite), MonitorConfig::without_store());
@@ -163,15 +170,20 @@ mod tests {
     fn rename_old_paths_rerooted_too() {
         let fs = SimFs::new();
         let ino = InotifySim::attach(&fs, 4096, 1 << 16);
-        let composite = CompositeDsi::new("/site")
-            .with("tier0", Box::new(SimInotifyDsi::recursive(ino, fs.clone(), "/")));
+        let composite = CompositeDsi::new("/site").with(
+            "tier0",
+            Box::new(SimInotifyDsi::recursive(ino, fs.clone(), "/")),
+        );
         let mut monitor = FsMonitor::new(Box::new(composite), MonitorConfig::without_store());
         let sub = monitor.subscribe(EventFilter::all());
         fs.create("/a");
         fs.rename("/a", "/b");
         monitor.pump_until_idle(16);
         let events = sub.drain();
-        let to = events.iter().find(|e| e.kind == EventKind::MovedTo).unwrap();
+        let to = events
+            .iter()
+            .find(|e| e.kind == EventKind::MovedTo)
+            .unwrap();
         assert_eq!(to.path, "/tier0/b");
         assert_eq!(to.old_path.as_deref(), Some("/tier0/a"));
     }

@@ -159,6 +159,18 @@ pub mod local {
     use fsmon_localfs::{FsEventsSim, FswSim, InotifySim, KqueueSim, PollWatcher, SimFs};
     use std::sync::Arc;
 
+    /// `(extracted_total, native_overflows_total)` counters for one DSI
+    /// kind, labelled `dsi=<name>`.
+    fn dsi_counters(
+        name: &'static str,
+    ) -> (Arc<fsmon_telemetry::Counter>, Arc<fsmon_telemetry::Counter>) {
+        let scope = fsmon_telemetry::root().scope("dsi").with_label("dsi", name);
+        (
+            scope.counter("extracted_total"),
+            scope.counter("native_overflows_total"),
+        )
+    }
+
     /// DSI over the simulated inotify kernel: places a watch on the
     /// root and — unlike bare `inotifywait` — crawls new directories to
     /// keep recursive coverage (the capability the paper highlights in
@@ -169,17 +181,22 @@ pub mod local {
         root: String,
         recursive: bool,
         started: bool,
+        extracted: Arc<fsmon_telemetry::Counter>,
+        overflows: Arc<fsmon_telemetry::Counter>,
     }
 
     impl SimInotifyDsi {
         /// Non-recursive DSI (bare inotify semantics).
         pub fn new(sim: Arc<InotifySim>, root: impl Into<String>) -> SimInotifyDsi {
+            let (extracted, overflows) = dsi_counters("inotify");
             SimInotifyDsi {
                 sim,
                 fs: None,
                 root: root.into(),
                 recursive: false,
                 started: false,
+                extracted,
+                overflows,
             }
         }
 
@@ -190,12 +207,15 @@ pub mod local {
             fs: Arc<SimFs>,
             root: impl Into<String>,
         ) -> SimInotifyDsi {
+            let (extracted, overflows) = dsi_counters("inotify");
             SimInotifyDsi {
                 sim,
                 fs: Some(fs),
                 root: root.into(),
                 recursive: true,
                 started: false,
+                extracted,
+                overflows,
             }
         }
     }
@@ -231,6 +251,13 @@ pub mod local {
             let events = self.sim.read(max);
             let mut out = Vec::with_capacity(events.len());
             for event in events {
+                if event
+                    .mask
+                    .has(fsmon_events::inotify::InotifyMask::IN_Q_OVERFLOW)
+                {
+                    // The kernel queue dropped events between reads.
+                    self.overflows.inc();
+                }
                 // A DELETE_SELF on a watch that no longer resolves is
                 // redundant: the parent watch already reported the
                 // delete (Watchdog suppresses these the same way).
@@ -244,7 +271,9 @@ pub mod local {
                 // Maintain recursive coverage: watch directories as they
                 // are created.
                 if self.recursive
-                    && event.mask.has(fsmon_events::inotify::InotifyMask::IN_CREATE)
+                    && event
+                        .mask
+                        .has(fsmon_events::inotify::InotifyMask::IN_CREATE)
                     && event.mask.is_dir()
                 {
                     if let Some(dir) = self.sim.wd_path(event.wd) {
@@ -256,13 +285,17 @@ pub mod local {
                         self.sim.add_watch(&new_dir);
                     }
                 }
-                let dir_abs = self.sim.wd_path(event.wd).unwrap_or_else(|| self.root.clone());
+                let dir_abs = self
+                    .sim
+                    .wd_path(event.wd)
+                    .unwrap_or_else(|| self.root.clone());
                 let dir_rel = dir_abs
                     .strip_prefix(self.root.trim_end_matches('/'))
                     .unwrap_or("")
                     .to_string();
                 out.push(RawEvent::Inotify { event, dir_rel });
             }
+            self.extracted.add(out.len() as u64);
             out
         }
 
@@ -428,6 +461,7 @@ pub mod local {
     pub struct PollingDsi {
         watcher: PollWatcher,
         root: String,
+        extracted: Arc<fsmon_telemetry::Counter>,
     }
 
     impl PollingDsi {
@@ -437,6 +471,7 @@ pub mod local {
             PollingDsi {
                 watcher: PollWatcher::new(root.clone()),
                 root,
+                extracted: dsi_counters("polling").0,
             }
         }
     }
@@ -463,12 +498,15 @@ pub mod local {
         }
 
         fn poll(&mut self, max: usize) -> Vec<RawEvent> {
-            self.watcher
+            let out: Vec<RawEvent> = self
+                .watcher
                 .poll()
                 .into_iter()
                 .take(max)
                 .map(RawEvent::Standard)
-                .collect()
+                .collect();
+            self.extracted.add(out.len() as u64);
+            out
         }
 
         fn stop(&mut self) {}

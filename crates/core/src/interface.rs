@@ -77,6 +77,41 @@ impl Drop for Subscription {
     }
 }
 
+/// Interface-layer instrument handles (registered once per monitor,
+/// incremented lock-free on the pump hot path).
+struct InterfaceMetrics {
+    /// Raw events extracted from the DSI (labelled by DSI name).
+    raw_events: Arc<fsmon_telemetry::Counter>,
+    /// Events fully processed through resolve + persist + fan-out.
+    processed: Arc<fsmon_telemetry::Counter>,
+    /// Filter passes that reached a subscriber's queue.
+    delivered: Arc<fsmon_telemetry::Counter>,
+    /// Events a subscriber's filter rejected.
+    filtered_out: Arc<fsmon_telemetry::Counter>,
+    /// Events lost because a subscriber's queue was full.
+    dropped: Arc<fsmon_telemetry::Counter>,
+    /// Pump batch sizes (non-empty polls only).
+    batch_size: Arc<fsmon_telemetry::Histogram>,
+}
+
+impl InterfaceMetrics {
+    fn new(dsi_name: &'static str) -> InterfaceMetrics {
+        let dsi = fsmon_telemetry::root()
+            .scope("dsi")
+            .with_label("dsi", dsi_name);
+        let consumer = fsmon_telemetry::root().scope("consumer");
+        let interface = fsmon_telemetry::root().scope("interface");
+        InterfaceMetrics {
+            raw_events: dsi.counter("raw_events_total"),
+            processed: interface.counter("events_total"),
+            delivered: consumer.counter("delivered_total"),
+            filtered_out: consumer.counter("filtered_total"),
+            dropped: consumer.counter("dropped_total"),
+            batch_size: interface.histogram("batch_size"),
+        }
+    }
+}
+
 /// The FSMonitor: one DSI, a resolution layer, an optional event
 /// store, and any number of filtered subscriptions.
 pub struct FsMonitor {
@@ -86,6 +121,11 @@ pub struct FsMonitor {
     subs: Arc<Mutex<Vec<SubEntry>>>,
     config: MonitorConfig,
     started: bool,
+    /// Events processed across all pumps. Lives on the monitor (not the
+    /// spawn loop) so the count is advanced *inside* `pump`, before
+    /// subscribers can observe the delivered events.
+    processed: Arc<AtomicU64>,
+    metrics: InterfaceMetrics,
 }
 
 impl FsMonitor {
@@ -103,6 +143,7 @@ impl FsMonitor {
         };
         let resolution = ResolutionLayer::new(dsi.watch_root());
         let started = dsi.start().is_ok();
+        let metrics = InterfaceMetrics::new(dsi.name());
         FsMonitor {
             dsi,
             resolution,
@@ -110,6 +151,8 @@ impl FsMonitor {
             subs: Arc::new(Mutex::new(Vec::new())),
             config,
             started,
+            processed: Arc::new(AtomicU64::new(0)),
+            metrics,
         }
     }
 
@@ -169,8 +212,14 @@ impl FsMonitor {
         if raw.is_empty() {
             return 0;
         }
+        self.metrics.raw_events.add(raw.len() as u64);
         let events = self.resolution.resolve_batch(raw);
         let n = events.len();
+        self.metrics.batch_size.record(n as u64);
+        self.metrics.processed.add(n as u64);
+        // Advance before fan-out: a subscriber that observes an event
+        // must also observe it counted (MonitorHandle::processed).
+        self.processed.fetch_add(n as u64, Ordering::Relaxed);
         let subs = self.subs.lock();
         for mut ev in events {
             if let Some(store) = &self.store {
@@ -179,15 +228,23 @@ impl FsMonitor {
                 }
             }
             for sub in subs.iter() {
-                if sub.alive.load(Ordering::Relaxed) && sub.filter.matches(&ev) {
-                    match sub.tx.try_send(ev.clone()) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(_)) => {
-                            sub.dropped.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            sub.alive.store(false, Ordering::Relaxed);
-                        }
+                if !sub.alive.load(Ordering::Relaxed) {
+                    continue;
+                }
+                if !sub.filter.matches(&ev) {
+                    self.metrics.filtered_out.inc();
+                    continue;
+                }
+                match sub.tx.try_send(ev.clone()) {
+                    Ok(()) => {
+                        self.metrics.delivered.inc();
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        sub.dropped.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.dropped.inc();
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        sub.alive.store(false, Ordering::Relaxed);
                     }
                 }
             }
@@ -210,7 +267,11 @@ impl FsMonitor {
 
     /// Replay events with id greater than `since` from the event store
     /// (the consumer fault-recovery API).
-    pub fn events_since(&self, since: EventId, max: usize) -> Result<Vec<StandardEvent>, StoreError> {
+    pub fn events_since(
+        &self,
+        since: EventId,
+        max: usize,
+    ) -> Result<Vec<StandardEvent>, StoreError> {
         match &self.store {
             Some(store) => store.get_since(since, max),
             None => Ok(Vec::new()),
@@ -243,15 +304,13 @@ impl FsMonitor {
         let subs = self.subs.clone();
         let store = self.store.clone();
         let interval = self.config.poll_interval;
-        let processed = Arc::new(AtomicU64::new(0));
-        let processed_t = processed.clone();
+        let processed = self.processed.clone();
         let thread = std::thread::Builder::new()
             .name("fsmonitor-pump".into())
             .spawn(move || {
                 let _ = self.start();
                 while !stop_t.load(Ordering::Relaxed) {
                     let n = self.pump(self.config.batch_size);
-                    processed_t.fetch_add(n as u64, Ordering::Relaxed);
                     if n == 0 {
                         std::thread::sleep(interval);
                     }
@@ -299,7 +358,11 @@ impl MonitorHandle {
     }
 
     /// Replay from the store.
-    pub fn events_since(&self, since: EventId, max: usize) -> Result<Vec<StandardEvent>, StoreError> {
+    pub fn events_since(
+        &self,
+        since: EventId,
+        max: usize,
+    ) -> Result<Vec<StandardEvent>, StoreError> {
         match &self.store {
             Some(store) => store.get_since(since, max),
             None => Ok(Vec::new()),
@@ -397,7 +460,13 @@ mod tests {
     #[test]
     fn pump_until_idle_drains_everything() {
         let fs = SimFs::new();
-        let mut m = monitor(&fs, MonitorConfig { batch_size: 8, ..MonitorConfig::default() });
+        let mut m = monitor(
+            &fs,
+            MonitorConfig {
+                batch_size: 8,
+                ..MonitorConfig::default()
+            },
+        );
         let sub = m.subscribe(EventFilter::all());
         for i in 0..100 {
             fs.create(&format!("/f{i}"));
@@ -421,11 +490,19 @@ mod tests {
     #[test]
     fn background_mode_processes_and_stops() {
         let fs = SimFs::new();
-        let m = monitor(&fs, MonitorConfig { poll_interval: Duration::from_millis(1), ..MonitorConfig::default() });
+        let m = monitor(
+            &fs,
+            MonitorConfig {
+                poll_interval: Duration::from_millis(1),
+                ..MonitorConfig::default()
+            },
+        );
         let handle = m.spawn();
         let sub = handle.subscribe(EventFilter::all());
         fs.create("/bg.txt");
-        let ev = sub.recv_timeout(Duration::from_secs(2)).expect("event arrives");
+        let ev = sub
+            .recv_timeout(Duration::from_secs(2))
+            .expect("event arrives");
         assert_eq!(ev.path, "/bg.txt");
         assert!(handle.processed() >= 1);
         handle.stop();

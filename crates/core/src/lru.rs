@@ -8,8 +8,18 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Arc;
 
 const NIL: usize = usize::MAX;
+
+/// Telemetry handles for an instrumented cache (see
+/// [`LruCache::instrument`]).
+struct LruTelemetry {
+    hits: Arc<fsmon_telemetry::Counter>,
+    misses: Arc<fsmon_telemetry::Counter>,
+    evictions: Arc<fsmon_telemetry::Counter>,
+    entries: Arc<fsmon_telemetry::Gauge>,
+}
 
 struct Node<K, V> {
     key: K,
@@ -50,6 +60,7 @@ pub struct LruCache<K, V> {
     head: usize, // most recently used
     tail: usize, // least recently used
     stats: LruStats,
+    telemetry: Option<LruTelemetry>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
@@ -64,7 +75,22 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             stats: LruStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Mirror this cache's counters into telemetry instruments under
+    /// `scope` (`<scope>_hits_total`, `_misses_total`,
+    /// `_evictions_total`, `_entries`). The fid2path caches register
+    /// under `fsmon_fid2path` with an `mdt` label.
+    pub fn instrument(mut self, scope: &fsmon_telemetry::Scope) -> LruCache<K, V> {
+        self.telemetry = Some(LruTelemetry {
+            hits: scope.counter("hits_total"),
+            misses: scope.counter("misses_total"),
+            evictions: scope.counter("evictions_total"),
+            entries: scope.gauge("entries"),
+        });
+        self
     }
 
     /// Configured capacity.
@@ -124,12 +150,18 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         match self.map.get(key).copied() {
             Some(idx) => {
                 self.stats.hits += 1;
+                if let Some(t) = &self.telemetry {
+                    t.hits.inc();
+                }
                 self.detach(idx);
                 self.attach_front(idx);
                 Some(self.slab[idx].value.clone())
             }
             None => {
                 self.stats.misses += 1;
+                if let Some(t) = &self.telemetry {
+                    t.misses.inc();
+                }
                 None
             }
         }
@@ -159,6 +191,10 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             self.map.remove(&old_key);
             self.free.push(victim);
             self.stats.evictions += 1;
+            if let Some(t) = &self.telemetry {
+                t.evictions.inc();
+                t.entries.sub(1);
+            }
         }
         let idx = match self.free.pop() {
             Some(idx) => {
@@ -182,6 +218,9 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         };
         self.map.insert(key, idx);
         self.attach_front(idx);
+        if let Some(t) = &self.telemetry {
+            t.entries.add(1);
+        }
     }
 
     /// Remove `key` (e.g. after a delete event invalidates a fid→path
@@ -190,16 +229,32 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         let idx = self.map.remove(key)?;
         self.detach(idx);
         self.free.push(idx);
+        if let Some(t) = &self.telemetry {
+            t.entries.sub(1);
+        }
         Some(self.slab[idx].value.clone())
     }
 
     /// Drop every entry (counters survive).
     pub fn clear(&mut self) {
+        if let Some(t) = &self.telemetry {
+            t.entries.sub(self.map.len() as i64);
+        }
         self.map.clear();
         self.slab.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+    }
+}
+
+impl<K, V> Drop for LruCache<K, V> {
+    fn drop(&mut self) {
+        // The entries gauge may be shared with other caches under the
+        // same scope; give this cache's share back.
+        if let Some(t) = &self.telemetry {
+            t.entries.sub(self.map.len() as i64);
+        }
     }
 }
 

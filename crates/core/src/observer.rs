@@ -79,6 +79,9 @@ impl Observer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_t = stop.clone();
         let interval = self.poll_interval;
+        let observer_scope = fsmon_telemetry::root().scope("observer");
+        let dispatched = observer_scope.counter("dispatched_total");
+        let overflows = observer_scope.counter("overflows_total");
         let thread = std::thread::Builder::new()
             .name("fsmonitor-observer".into())
             .spawn(move || {
@@ -88,8 +91,10 @@ impl Observer {
                     for ev in sub.drain() {
                         for s in scheduled.iter_mut() {
                             if ev.kind == EventKind::Overflow {
+                                overflows.inc();
                                 s.handler.on_overflow(&ev);
                             } else if s.filter.matches(&ev) {
+                                dispatched.inc();
                                 s.handler.on_event(&ev);
                             }
                         }

@@ -9,6 +9,7 @@
 use crate::dsi::RawEvent;
 use fsmon_events::{EventId, EventKind, StandardEvent};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Throughput and composition counters.
@@ -33,17 +34,27 @@ pub struct ResolutionLayer {
     /// awaiting its destination half.
     pending_fsevents_rename: Option<String>,
     stats: ResolutionStats,
+    t_processed: Arc<fsmon_telemetry::Counter>,
+    t_renames: Arc<fsmon_telemetry::Counter>,
+    t_overflows: Arc<fsmon_telemetry::Counter>,
+    /// Depth of the cookie-pairing queue (pending `MovedFrom` halves).
+    t_pending: Arc<fsmon_telemetry::Gauge>,
 }
 
 impl ResolutionLayer {
     /// A resolution layer standardizing against `watch_root`.
     pub fn new(watch_root: impl Into<String>) -> ResolutionLayer {
+        let scope = fsmon_telemetry::root().scope("resolution");
         ResolutionLayer {
             watch_root: watch_root.into(),
             next_id: 0,
             pending_moves: HashMap::new(),
             pending_fsevents_rename: None,
             stats: ResolutionStats::default(),
+            t_processed: scope.counter("processed_total"),
+            t_renames: scope.counter("renames_paired_total"),
+            t_overflows: scope.counter("overflows_total"),
+            t_pending: scope.gauge("pending_renames"),
         }
     }
 
@@ -83,6 +94,7 @@ impl ResolutionLayer {
                     ev.kind = EventKind::MovedTo;
                     ev.old_path = Some(old);
                     self.stats.renames_paired += 1;
+                    self.t_renames.inc();
                 }
                 None => {
                     self.pending_fsevents_rename = Some(ev.path.clone());
@@ -102,26 +114,44 @@ impl ResolutionLayer {
         }
         match ev.kind {
             EventKind::MovedFrom if ev.cookie != 0 => {
-                self.pending_moves.insert(ev.cookie, ev.path.clone());
+                let was_new = self
+                    .pending_moves
+                    .insert(ev.cookie, ev.path.clone())
+                    .is_none();
+                if was_new {
+                    self.t_pending.add(1);
+                }
             }
             EventKind::MovedTo if ev.cookie != 0 => {
                 if let Some(old) = self.pending_moves.remove(&ev.cookie) {
                     ev.old_path = Some(old);
                     self.stats.renames_paired += 1;
+                    self.t_renames.inc();
+                    self.t_pending.sub(1);
                 }
             }
             EventKind::Overflow => {
                 self.stats.overflows += 1;
+                self.t_overflows.inc();
             }
             _ => {}
         }
         self.stats.processed += 1;
+        self.t_processed.inc();
         ev
     }
 
     /// Standardize a batch, preserving order.
     pub fn resolve_batch(&mut self, raw: Vec<RawEvent>) -> Vec<StandardEvent> {
         raw.into_iter().map(|r| self.resolve(r)).collect()
+    }
+}
+
+impl Drop for ResolutionLayer {
+    fn drop(&mut self) {
+        // Unpaired halves die with the layer; keep the global queue-depth
+        // gauge from drifting upward across monitor lifetimes.
+        self.t_pending.sub(self.pending_moves.len() as i64);
     }
 }
 

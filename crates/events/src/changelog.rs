@@ -92,7 +92,10 @@ impl ChangelogKind {
 
     /// Inverse of [`code`](ChangelogKind::code).
     pub fn from_code(code: u8) -> Option<ChangelogKind> {
-        ChangelogKind::ALL.iter().copied().find(|k| k.code() == code)
+        ChangelogKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.code() == code)
     }
 
     /// The 5-letter type name as printed by `lfs changelog`.
@@ -125,7 +128,10 @@ impl ChangelogKind {
     /// Parse an `NNTYPE` label or bare type name.
     pub fn parse(s: &str) -> Option<ChangelogKind> {
         let name = s.trim_start_matches(|c: char| c.is_ascii_digit());
-        ChangelogKind::ALL.iter().copied().find(|k| k.name() == name)
+        ChangelogKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
     }
 
     /// Map to the standardized event kind (and whether the subject is a
@@ -265,10 +271,22 @@ mod tests {
 
     #[test]
     fn standard_mapping_directionality() {
-        assert_eq!(ChangelogKind::Mkdir.to_standard(), (EventKind::Create, true));
-        assert_eq!(ChangelogKind::Rmdir.to_standard(), (EventKind::Delete, true));
-        assert_eq!(ChangelogKind::Creat.to_standard(), (EventKind::Create, false));
-        assert_eq!(ChangelogKind::Mtime.to_standard(), (EventKind::Modify, false));
+        assert_eq!(
+            ChangelogKind::Mkdir.to_standard(),
+            (EventKind::Create, true)
+        );
+        assert_eq!(
+            ChangelogKind::Rmdir.to_standard(),
+            (EventKind::Delete, true)
+        );
+        assert_eq!(
+            ChangelogKind::Creat.to_standard(),
+            (EventKind::Create, false)
+        );
+        assert_eq!(
+            ChangelogKind::Mtime.to_standard(),
+            (EventKind::Modify, false)
+        );
     }
 
     #[test]
@@ -301,7 +319,9 @@ mod tests {
         let mask = ChangelogMask::NONE.with(ChangelogKind::Creat);
         assert!(mask.records(ChangelogKind::Creat));
         assert!(!mask.records(ChangelogKind::Unlnk));
-        assert!(!mask.without(ChangelogKind::Creat).records(ChangelogKind::Creat));
+        assert!(!mask
+            .without(ChangelogKind::Creat)
+            .records(ChangelogKind::Creat));
     }
 
     #[test]

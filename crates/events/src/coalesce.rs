@@ -43,7 +43,8 @@ pub fn coalesce(events: &[StandardEvent]) -> Vec<StandardEvent> {
 fn coalesce_once(events: &[StandardEvent]) -> Vec<StandardEvent> {
     let mut out: Vec<StandardEvent> = Vec::with_capacity(events.len());
     // Index into `out` of the last un-merged event per path.
-    let mut last_for_path: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut last_for_path: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
     // Marks removed entries (cancelled create+delete pairs).
     let mut dead: Vec<bool> = Vec::with_capacity(events.len());
 
@@ -167,7 +168,10 @@ mod tests {
         let out = coalesce(&input);
         assert_eq!(
             kinds(&out),
-            vec![(EventKind::Modify, "/f".into()), (EventKind::Modify, "/g".into())]
+            vec![
+                (EventKind::Modify, "/f".into()),
+                (EventKind::Modify, "/g".into())
+            ]
         );
     }
 
@@ -213,7 +217,10 @@ mod tests {
         let out = coalesce(&input);
         assert_eq!(
             kinds(&out),
-            vec![(EventKind::Create, "/a".into()), (EventKind::Create, "/b".into())]
+            vec![
+                (EventKind::Create, "/a".into()),
+                (EventKind::Create, "/b".into())
+            ]
         );
     }
 

@@ -258,8 +258,7 @@ mod tests {
 
     #[test]
     fn path_under_checks_old_path_too() {
-        let ev = StandardEvent::new(EventKind::MovedTo, "/r", "/new/f")
-            .with_old_path("/old/f");
+        let ev = StandardEvent::new(EventKind::MovedTo, "/r", "/new/f").with_old_path("/old/f");
         assert!(ev.path_under("/old"));
         assert!(ev.path_under("/new"));
         assert!(!ev.path_under("/other"));

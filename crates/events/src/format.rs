@@ -131,7 +131,10 @@ mod tests {
         for f in EventFormatter::ALL {
             assert_eq!(EventFormatter::parse(f.as_str()), Some(f));
         }
-        assert_eq!(EventFormatter::parse("INOTIFY"), Some(EventFormatter::Inotify));
+        assert_eq!(
+            EventFormatter::parse("INOTIFY"),
+            Some(EventFormatter::Inotify)
+        );
         assert_eq!(EventFormatter::parse("bogus"), None);
     }
 

@@ -119,8 +119,8 @@ impl FsEventsEvent {
             .path
             .strip_prefix(watch_root.trim_end_matches('/'))
             .unwrap_or(&self.path);
-        let mut ev = StandardEvent::new(self.kind(), watch_root, rel)
-            .with_source(MonitorSource::FsEvents);
+        let mut ev =
+            StandardEvent::new(self.kind(), watch_root, rel).with_source(MonitorSource::FsEvents);
         ev.is_dir = self.is_dir();
         ev
     }
@@ -129,9 +129,9 @@ impl FsEventsEvent {
 /// Translate a standardized event into the FSEvents vocabulary.
 pub fn standard_to_fsevents(ev: &StandardEvent, event_id: u64) -> FsEventsEvent {
     let mut flags = match ev.kind {
-        EventKind::Create
-        | EventKind::HardLink
-        | EventKind::DeviceNode => FsEventFlags::ITEM_CREATED,
+        EventKind::Create | EventKind::HardLink | EventKind::DeviceNode => {
+            FsEventFlags::ITEM_CREATED
+        }
         EventKind::SymLink => FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_SYMLINK,
         EventKind::Modify | EventKind::Truncate | EventKind::Ioctl => FsEventFlags::ITEM_MODIFIED,
         EventKind::Delete | EventKind::ParentDirectoryRemoved => FsEventFlags::ITEM_REMOVED,
@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn classify_created() {
-        let e = fse(FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_FILE, "/r/f");
+        let e = fse(
+            FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_FILE,
+            "/r/f",
+        );
         assert_eq!(e.kind(), EventKind::Create);
         assert!(!e.is_dir());
     }
@@ -207,7 +210,10 @@ mod tests {
 
     #[test]
     fn dir_flag_propagates() {
-        let e = fse(FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_DIR, "/r/d");
+        let e = fse(
+            FsEventFlags::ITEM_CREATED | FsEventFlags::ITEM_IS_DIR,
+            "/r/d",
+        );
         let s = e.to_standard("/r");
         assert!(s.is_dir);
         assert_eq!(s.path, "/d");

@@ -101,10 +101,9 @@ fn normalize_rel(p: &str) -> String {
 /// `Changed`, link creations as `Created`, …).
 pub fn standard_to_fsw(ev: &StandardEvent) -> FswEvent {
     let change_type = match ev.kind {
-        EventKind::Create
-        | EventKind::HardLink
-        | EventKind::SymLink
-        | EventKind::DeviceNode => FswChangeType::Created,
+        EventKind::Create | EventKind::HardLink | EventKind::SymLink | EventKind::DeviceNode => {
+            FswChangeType::Created
+        }
         EventKind::Modify
         | EventKind::Truncate
         | EventKind::Attrib

@@ -226,7 +226,10 @@ mod tests {
 
     #[test]
     fn classify_delete_self() {
-        assert_eq!(ev(InotifyMask::IN_DELETE_SELF, "").kind(), EventKind::Delete);
+        assert_eq!(
+            ev(InotifyMask::IN_DELETE_SELF, "").kind(),
+            EventKind::Delete
+        );
     }
 
     #[test]

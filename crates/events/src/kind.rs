@@ -199,9 +199,7 @@ impl KindMask {
 
     /// Build a mask from an iterator of kinds.
     pub fn from_kinds<I: IntoIterator<Item = EventKind>>(kinds: I) -> KindMask {
-        kinds
-            .into_iter()
-            .fold(KindMask::NONE, |m, k| m.with(k))
+        kinds.into_iter().fold(KindMask::NONE, |m, k| m.with(k))
     }
 
     /// This mask plus `kind`.

@@ -114,8 +114,8 @@ impl KqueueEvent {
             .path
             .strip_prefix(watch_root.trim_end_matches('/'))
             .unwrap_or(&self.path);
-        let mut ev = StandardEvent::new(self.kind(), watch_root, rel)
-            .with_source(MonitorSource::Kqueue);
+        let mut ev =
+            StandardEvent::new(self.kind(), watch_root, rel).with_source(MonitorSource::Kqueue);
         ev.is_dir = self.is_dir;
         ev
     }
@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn classify_write_as_modify() {
         assert_eq!(kev(NoteFlags::NOTE_WRITE, "/r/f").kind(), EventKind::Modify);
-        assert_eq!(kev(NoteFlags::NOTE_EXTEND, "/r/f").kind(), EventKind::Modify);
+        assert_eq!(
+            kev(NoteFlags::NOTE_EXTEND, "/r/f").kind(),
+            EventKind::Modify
+        );
     }
 
     #[test]
@@ -172,7 +175,10 @@ mod tests {
     #[test]
     fn classify_open_close() {
         assert_eq!(kev(NoteFlags::NOTE_OPEN, "/r/f").kind(), EventKind::Open);
-        assert_eq!(kev(NoteFlags::NOTE_CLOSE, "/r/f").kind(), EventKind::CloseNoWrite);
+        assert_eq!(
+            kev(NoteFlags::NOTE_CLOSE, "/r/f").kind(),
+            EventKind::CloseNoWrite
+        );
         assert_eq!(
             kev(NoteFlags::NOTE_CLOSE_WRITE, "/r/f").kind(),
             EventKind::CloseWrite

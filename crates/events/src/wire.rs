@@ -270,7 +270,10 @@ mod tests {
         let frame = encode_event(&sample());
         let mut raw = frame.to_vec();
         raw[9] = 250; // kind tag position: version(1)+id(8)
-        assert_eq!(decode_event(&Bytes::from(raw)), Err(WireError::BadKind(250)));
+        assert_eq!(
+            decode_event(&Bytes::from(raw)),
+            Err(WireError::BadKind(250))
+        );
     }
 
     #[test]

@@ -57,8 +57,8 @@ fn arb_events() -> impl Strategy<Value = Vec<StandardEvent>> {
                     _ => EventKind::Modify,
                 },
                 None => match r % 6 {
-                    0 => EventKind::Create,   // prior: absent
-                    1 => EventKind::Delete,   // prior: present
+                    0 => EventKind::Create, // prior: absent
+                    1 => EventKind::Delete, // prior: present
                     2 => EventKind::Attrib,
                     3 => EventKind::Truncate,
                     4 => EventKind::Xattr,

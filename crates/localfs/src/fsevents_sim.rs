@@ -69,9 +69,10 @@ impl FsEventsSim {
     }
 
     fn covered(inner: &Inner, path: &str) -> bool {
-        inner.roots.iter().any(|r| {
-            r == "/" || path == r.as_str() || path.starts_with(&format!("{r}/"))
-        })
+        inner
+            .roots
+            .iter()
+            .any(|r| r == "/" || path == r.as_str() || path.starts_with(&format!("{r}/")))
     }
 
     fn push(&self, inner: &mut Inner, path: &str, flags: u32) {
@@ -122,10 +123,18 @@ impl RawListener for FsEventsSim {
         };
         match op.kind {
             RawOpKind::Create => {
-                self.push(&mut inner, &op.path.clone(), FsEventFlags::ITEM_CREATED | item);
+                self.push(
+                    &mut inner,
+                    &op.path.clone(),
+                    FsEventFlags::ITEM_CREATED | item,
+                );
             }
             RawOpKind::Modify => {
-                self.push(&mut inner, &op.path.clone(), FsEventFlags::ITEM_MODIFIED | item);
+                self.push(
+                    &mut inner,
+                    &op.path.clone(),
+                    FsEventFlags::ITEM_MODIFIED | item,
+                );
             }
             RawOpKind::Attrib => {
                 self.push(
@@ -135,10 +144,18 @@ impl RawListener for FsEventsSim {
                 );
             }
             RawOpKind::Delete => {
-                self.push(&mut inner, &op.path.clone(), FsEventFlags::ITEM_REMOVED | item);
+                self.push(
+                    &mut inner,
+                    &op.path.clone(),
+                    FsEventFlags::ITEM_REMOVED | item,
+                );
             }
             RawOpKind::Rename => {
-                self.push(&mut inner, &op.path.clone(), FsEventFlags::ITEM_RENAMED | item);
+                self.push(
+                    &mut inner,
+                    &op.path.clone(),
+                    FsEventFlags::ITEM_RENAMED | item,
+                );
                 if let Some(dest) = op.dest.clone() {
                     if Self::covered(&inner, &dest) {
                         self.push(&mut inner, &dest, FsEventFlags::ITEM_RENAMED | item);

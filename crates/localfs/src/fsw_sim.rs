@@ -83,7 +83,11 @@ impl FswSim {
         let Some(root) = &inner.root else {
             return false;
         };
-        let prefix = if root == "/" { "/".to_string() } else { format!("{root}/") };
+        let prefix = if root == "/" {
+            "/".to_string()
+        } else {
+            format!("{root}/")
+        };
         if !path.starts_with(&prefix) {
             return false;
         }
@@ -96,8 +100,7 @@ impl FswSim {
     }
 
     fn push(&self, inner: &mut Inner, ev: FswEvent) {
-        let cost = report_cost(&ev.full_path)
-            + ev.old_full_path.as_deref().map_or(0, report_cost);
+        let cost = report_cost(&ev.full_path) + ev.old_full_path.as_deref().map_or(0, report_cost);
         if inner.buffered_bytes + cost > self.buffer_size {
             self.lost.fetch_add(1, Ordering::Relaxed);
             if !inner.error_pending {
@@ -120,10 +123,7 @@ impl RawListener for FswSim {
     fn on_op(&self, op: &RawOp) {
         let mut inner = self.inner.lock();
         if !self.covers(&inner, &op.path)
-            && !op
-                .dest
-                .as_deref()
-                .is_some_and(|d| self.covers(&inner, d))
+            && !op.dest.as_deref().is_some_and(|d| self.covers(&inner, d))
         {
             return;
         }

@@ -152,7 +152,11 @@ impl InotifySim {
         let Some(&wd) = inner.watches.get(dir) else {
             return; // directory not watched: event invisible (no recursion)
         };
-        let mask = if is_dir { mask | InotifyMask::IN_ISDIR } else { mask };
+        let mask = if is_dir {
+            mask | InotifyMask::IN_ISDIR
+        } else {
+            mask
+        };
         self.enqueue(
             inner,
             InotifyEvent {
@@ -183,16 +187,44 @@ impl RawListener for InotifySim {
         let name = name_of(&op.path);
         match op.kind {
             RawOpKind::Create => {
-                self.event_for(&mut inner, &parent, InotifyMask::IN_CREATE, 0, name, op.is_dir);
+                self.event_for(
+                    &mut inner,
+                    &parent,
+                    InotifyMask::IN_CREATE,
+                    0,
+                    name,
+                    op.is_dir,
+                );
             }
             RawOpKind::Modify => {
-                self.event_for(&mut inner, &parent, InotifyMask::IN_MODIFY, 0, name, op.is_dir);
+                self.event_for(
+                    &mut inner,
+                    &parent,
+                    InotifyMask::IN_MODIFY,
+                    0,
+                    name,
+                    op.is_dir,
+                );
             }
             RawOpKind::Attrib => {
-                self.event_for(&mut inner, &parent, InotifyMask::IN_ATTRIB, 0, name, op.is_dir);
+                self.event_for(
+                    &mut inner,
+                    &parent,
+                    InotifyMask::IN_ATTRIB,
+                    0,
+                    name,
+                    op.is_dir,
+                );
             }
             RawOpKind::Open => {
-                self.event_for(&mut inner, &parent, InotifyMask::IN_OPEN, 0, name, op.is_dir);
+                self.event_for(
+                    &mut inner,
+                    &parent,
+                    InotifyMask::IN_OPEN,
+                    0,
+                    name,
+                    op.is_dir,
+                );
             }
             RawOpKind::Close { wrote } => {
                 let mask = if wrote {
@@ -203,7 +235,14 @@ impl RawListener for InotifySim {
                 self.event_for(&mut inner, &parent, mask, 0, name, op.is_dir);
             }
             RawOpKind::Delete => {
-                self.event_for(&mut inner, &parent, InotifyMask::IN_DELETE, 0, name, op.is_dir);
+                self.event_for(
+                    &mut inner,
+                    &parent,
+                    InotifyMask::IN_DELETE,
+                    0,
+                    name,
+                    op.is_dir,
+                );
                 // A watched directory that is removed reports
                 // IN_DELETE_SELF on its own wd and the watch dies.
                 if op.is_dir && inner.watches.contains_key(&op.path) {
@@ -342,8 +381,14 @@ mod tests {
         fs.create("/hello.txt");
         fs.rename("/hello.txt", "/hi.txt");
         let evs = ino.drain();
-        let from = evs.iter().find(|e| e.mask.has(InotifyMask::IN_MOVED_FROM)).unwrap();
-        let to = evs.iter().find(|e| e.mask.has(InotifyMask::IN_MOVED_TO)).unwrap();
+        let from = evs
+            .iter()
+            .find(|e| e.mask.has(InotifyMask::IN_MOVED_FROM))
+            .unwrap();
+        let to = evs
+            .iter()
+            .find(|e| e.mask.has(InotifyMask::IN_MOVED_TO))
+            .unwrap();
         assert_eq!(from.cookie, to.cookie);
         assert_ne!(from.cookie, 0);
         assert_eq!(from.name, "hello.txt");

@@ -118,7 +118,11 @@ impl RawListener for KqueueSim {
                 Self::raise(&mut inner, &parent, NoteFlags::NOTE_WRITE);
             }
             RawOpKind::Modify => {
-                Self::raise(&mut inner, &op.path, NoteFlags::NOTE_WRITE | NoteFlags::NOTE_EXTEND);
+                Self::raise(
+                    &mut inner,
+                    &op.path,
+                    NoteFlags::NOTE_WRITE | NoteFlags::NOTE_EXTEND,
+                );
             }
             RawOpKind::Attrib => {
                 Self::raise(&mut inner, &op.path, NoteFlags::NOTE_ATTRIB);

@@ -110,8 +110,9 @@ impl PollWatcher {
         // Deletions.
         for (path, entry) in &self.snapshot {
             if !current.contains_key(path) {
-                let mut ev = StandardEvent::new(EventKind::Delete, root_str.clone(), self.rel(path))
-                    .with_source(MonitorSource::Polling);
+                let mut ev =
+                    StandardEvent::new(EventKind::Delete, root_str.clone(), self.rel(path))
+                        .with_source(MonitorSource::Polling);
                 ev.is_dir = entry.is_dir;
                 events.push(ev);
             }

@@ -143,15 +143,15 @@ impl SimFs {
     /// Direct children of `dir`.
     pub fn children(&self, dir: &str) -> Vec<String> {
         let st = self.state.lock();
-        let prefix = if dir == "/" { "/".to_string() } else { format!("{dir}/") };
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            format!("{dir}/")
+        };
         st.files
             .iter()
             .chain(st.dirs.iter())
-            .filter(|p| {
-                p.starts_with(&prefix)
-                    && *p != dir
-                    && !p[prefix.len()..].contains('/')
-            })
+            .filter(|p| p.starts_with(&prefix) && *p != dir && !p[prefix.len()..].contains('/'))
             .cloned()
             .collect()
     }
@@ -238,7 +238,12 @@ impl SimFs {
                 is_dir = false;
             } else if st.dirs.contains(path) {
                 let prefix = format!("{path}/");
-                if st.files.iter().chain(st.dirs.iter()).any(|p| p.starts_with(&prefix)) {
+                if st
+                    .files
+                    .iter()
+                    .chain(st.dirs.iter())
+                    .any(|p| p.starts_with(&prefix))
+                {
                     return false; // not empty
                 }
                 st.dirs.remove(path);
@@ -279,14 +284,22 @@ impl SimFs {
                 st.dirs.insert(to.to_string());
                 // Re-root children.
                 let prefix = format!("{from}/");
-                let moved_files: Vec<String> =
-                    st.files.iter().filter(|p| p.starts_with(&prefix)).cloned().collect();
+                let moved_files: Vec<String> = st
+                    .files
+                    .iter()
+                    .filter(|p| p.starts_with(&prefix))
+                    .cloned()
+                    .collect();
                 for p in moved_files {
                     st.files.remove(&p);
                     st.files.insert(format!("{to}/{}", &p[prefix.len()..]));
                 }
-                let moved_dirs: Vec<String> =
-                    st.dirs.iter().filter(|p| p.starts_with(&prefix)).cloned().collect();
+                let moved_dirs: Vec<String> = st
+                    .dirs
+                    .iter()
+                    .filter(|p| p.starts_with(&prefix))
+                    .cloned()
+                    .collect();
                 for p in moved_dirs {
                     st.dirs.remove(&p);
                     st.dirs.insert(format!("{to}/{}", &p[prefix.len()..]));

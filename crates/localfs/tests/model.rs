@@ -104,7 +104,8 @@ impl Model {
                         .collect();
                     for (k, d) in moved {
                         self.entries.remove(&k);
-                        self.entries.insert(format!("{to}/{}", &k[prefix.len()..]), d);
+                        self.entries
+                            .insert(format!("{to}/{}", &k[prefix.len()..]), d);
                     }
                 }
                 true

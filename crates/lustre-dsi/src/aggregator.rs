@@ -75,6 +75,15 @@ impl Aggregator {
             stop: AtomicBool::new(false),
         });
 
+        let agg_scope = fsmon_telemetry::root().scope("aggregator");
+        let t_received = agg_scope.counter("received_total");
+        let t_published = agg_scope.counter("published_total");
+        let t_stored = agg_scope.counter("stored_total");
+        let t_decode_errors = agg_scope.counter("decode_errors_total");
+        // Events published to live consumers but not yet persisted —
+        // the publish-lane vs store-lane lag.
+        let t_lag = agg_scope.gauge("store_lag");
+
         // The store lane: the receive/publish thread forwards every
         // event here so persistence cannot stall publication.
         let (store_tx, store_rx): (Sender<Vec<StandardEvent>>, Receiver<Vec<StandardEvent>>) =
@@ -91,6 +100,12 @@ impl Aggregator {
         {
             let shared = shared.clone();
             let store_tx = store_tx.clone();
+            let (t_received, t_published, t_decode_errors, t_lag) = (
+                t_received,
+                t_published,
+                t_decode_errors.clone(),
+                t_lag.clone(),
+            );
             let mut next_id = 0u64;
             threads.push(
                 std::thread::Builder::new()
@@ -101,6 +116,7 @@ impl Aggregator {
                                 Ok(msg) => {
                                     let Some(payload) = msg.part(1) else {
                                         shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                        t_decode_errors.inc();
                                         continue;
                                     };
                                     let payload = bytes::Bytes::copy_from_slice(payload);
@@ -113,18 +129,23 @@ impl Aggregator {
                                             let events = events;
                                             let n = events.len() as u64;
                                             shared.received.fetch_add(n, Ordering::Relaxed);
+                                            t_received.add(n);
                                             let out = Message::from_parts(vec![
                                                 bytes::Bytes::from_static(b"events"),
                                                 encode_event_batch(&events),
                                             ]);
                                             let _ = publisher.send(out);
                                             shared.published.fetch_add(n, Ordering::Relaxed);
+                                            t_published.add(n);
+                                            t_lag.set(
+                                                shared.published.load(Ordering::Relaxed) as i64
+                                                    - shared.stored.load(Ordering::Relaxed) as i64,
+                                            );
                                             let _ = store_tx.send(events);
                                         }
                                         Err(_) => {
-                                            shared
-                                                .decode_errors
-                                                .fetch_add(1, Ordering::Relaxed);
+                                            shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                            t_decode_errors.inc();
                                         }
                                     }
                                 }
@@ -148,8 +169,13 @@ impl Aggregator {
                                 for ev in &events {
                                     if store.append(ev).is_ok() {
                                         shared.stored.fetch_add(1, Ordering::Relaxed);
+                                        t_stored.inc();
                                     }
                                 }
+                                t_lag.set(
+                                    shared.published.load(Ordering::Relaxed) as i64
+                                        - shared.stored.load(Ordering::Relaxed) as i64,
+                                );
                             }
                             Err(_) => {
                                 if shared.stop.load(Ordering::Relaxed) {
@@ -306,8 +332,8 @@ mod tests {
         let ctx = Context::new();
         let publisher = collector_socket(&ctx, "inproc://bad").unwrap();
         let store = Arc::new(MemStore::new());
-        let agg = Aggregator::start(&ctx, &["inproc://bad".to_string()], "inproc://agg3", store)
-            .unwrap();
+        let agg =
+            Aggregator::start(&ctx, &["inproc://bad".to_string()], "inproc://agg3", store).unwrap();
         publisher
             .send(Message::from_parts(vec![
                 bytes::Bytes::from_static(b"mdt0"),
@@ -316,7 +342,11 @@ mod tests {
             .unwrap();
         // A good frame afterwards still flows.
         publisher
-            .send(batch_msg(&[StandardEvent::new(EventKind::Create, "/r", "ok")]))
+            .send(batch_msg(&[StandardEvent::new(
+                EventKind::Create,
+                "/r",
+                "ok",
+            )]))
             .unwrap();
         assert!(agg.wait_received(1, Duration::from_secs(2)));
         assert!(agg.stats().decode_errors >= 1);

@@ -45,6 +45,13 @@ pub struct Collector {
     publisher: Option<PubSocket>,
     topic: Vec<u8>,
     stats: CollectorStats,
+    t_records: std::sync::Arc<fsmon_telemetry::Counter>,
+    t_events: std::sync::Arc<fsmon_telemetry::Counter>,
+    t_fid2path: std::sync::Arc<fsmon_telemetry::Counter>,
+    /// Changelog read+process latency per step (ns).
+    t_read_ns: std::sync::Arc<fsmon_telemetry::Histogram>,
+    /// Changelog clear (purge) latency per step (ns).
+    t_purge_ns: std::sync::Arc<fsmon_telemetry::Histogram>,
 }
 
 impl Collector {
@@ -60,11 +67,18 @@ impl Collector {
     ) -> Collector {
         let user = mdt.register_user();
         let topic = format!("mdt{}", mdt.index()).into_bytes();
+        let mdt_label = mdt.index().to_string();
+        let scope = fsmon_telemetry::root()
+            .scope("collector")
+            .with_label("mdt", mdt_label.clone());
+        let fid2path_scope = fsmon_telemetry::root()
+            .scope("fid2path")
+            .with_label("mdt", mdt_label);
         Collector {
             mdt,
             user,
             cache: if cache_size > 0 {
-                Some(LruCache::new(cache_size))
+                Some(LruCache::new(cache_size).instrument(&fid2path_scope))
             } else {
                 None
             },
@@ -74,6 +88,11 @@ impl Collector {
             publisher,
             topic,
             stats: CollectorStats::default(),
+            t_records: scope.counter("records_total"),
+            t_events: scope.counter("events_total"),
+            t_fid2path: fid2path_scope.counter("calls_total"),
+            t_read_ns: scope.histogram("read_ns"),
+            t_purge_ns: scope.histogram("purge_ns"),
         }
     }
 
@@ -145,6 +164,7 @@ impl Collector {
             }
         }
         self.stats.fid2path_calls += 1;
+        self.t_fid2path.inc();
         match self.mdt.fid2path(fid) {
             Ok(path) => {
                 if let Some(cache) = &mut self.cache {
@@ -228,6 +248,7 @@ impl Collector {
                         // construction; charge it like the paper's
                         // pipeline does, then fall back to the parent.
                         self.stats.fid2path_calls += 1;
+                        self.t_fid2path.inc();
                         match self.mdt.fid2path(rec.target_fid) {
                             Ok(p) => p,
                             Err(_) => match self.resolve_fid(rec.parent_fid) {
@@ -288,6 +309,7 @@ impl Collector {
                 return Vec::new();
             }
         }
+        let t_read = std::time::Instant::now();
         let records = self.mdt.read_changelog(self.last_index, self.batch_size);
         if records.is_empty() {
             return Vec::new();
@@ -297,16 +319,18 @@ impl Collector {
             events.extend(self.process_record(rec));
         }
         self.stats.records += records.len() as u64;
+        self.t_records.add(records.len() as u64);
+        self.t_events.add(events.len() as u64);
+        self.t_read_ns.record(t_read.elapsed().as_nanos() as u64);
         self.last_index = records.last().expect("non-empty").index;
         // "After processing a batch … a collector will purge the
         // Changelogs" (§IV Processing).
+        let t_purge = std::time::Instant::now();
         self.mdt.clear_changelog(self.user, self.last_index);
+        self.t_purge_ns.record(t_purge.elapsed().as_nanos() as u64);
         if let Some(publisher) = &self.publisher {
             let payload = encode_event_batch(&events);
-            let msg = Message::from_parts(vec![
-                bytes::Bytes::from(self.topic.clone()),
-                payload,
-            ]);
+            let msg = Message::from_parts(vec![bytes::Bytes::from(self.topic.clone()), payload]);
             let _ = publisher.send(msg);
         }
         events
@@ -559,11 +583,14 @@ mod tests {
         for i in 10..20 {
             client.create(&format!("/f{i}")).unwrap();
         }
-        let mut second =
-            Collector::resume(fs.mdt(0), "/mnt/lustre", 100, 1024, None, cursor);
+        let mut second = Collector::resume(fs.mdt(0), "/mnt/lustre", 100, 1024, None, cursor);
         let events = second.drain(10);
         let paths: Vec<&str> = events.iter().map(|e| e.path.as_str()).collect();
-        assert_eq!(events.len(), 10, "exactly the post-crash records: {paths:?}");
+        assert_eq!(
+            events.len(),
+            10,
+            "exactly the post-crash records: {paths:?}"
+        );
         assert_eq!(events[0].path, "/f10");
         assert_eq!(events[9].path, "/f19");
     }
@@ -613,8 +640,7 @@ mod tests {
         client.unlink("/g").unwrap();
         client.rmdir("/d").unwrap();
         let events = c.drain(100);
-        let kinds: std::collections::HashSet<EventKind> =
-            events.iter().map(|e| e.kind).collect();
+        let kinds: std::collections::HashSet<EventKind> = events.iter().map(|e| e.kind).collect();
         for expected in [
             EventKind::Create,
             EventKind::HardLink,
@@ -629,7 +655,10 @@ mod tests {
             EventKind::MovedTo,
             EventKind::Delete,
         ] {
-            assert!(kinds.contains(&expected), "missing {expected:?} in {kinds:?}");
+            assert!(
+                kinds.contains(&expected),
+                "missing {expected:?} in {kinds:?}"
+            );
         }
         let _ = fsmon_events::changelog::ChangelogKind::ALL; // all types exercised
     }

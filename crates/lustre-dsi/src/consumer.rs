@@ -29,6 +29,8 @@ pub struct Consumer {
     filtered_out: AtomicU64,
     /// Highest event id seen (resume point after a fault).
     last_seen: AtomicU64,
+    t_delivered: Arc<fsmon_telemetry::Counter>,
+    t_filtered: Arc<fsmon_telemetry::Counter>,
 }
 
 impl Consumer {
@@ -43,6 +45,10 @@ impl Consumer {
         let sub = ctx.subscriber();
         sub.connect(endpoint)?;
         sub.subscribe(b"events");
+        // Same instruments the core interface layer's fan-out reports
+        // into: "consumer delivered" means the same thing in both
+        // pipelines.
+        let scope = fsmon_telemetry::root().scope("consumer");
         Ok(Consumer {
             sub,
             filter: Mutex::new(filter),
@@ -51,6 +57,8 @@ impl Consumer {
             accepted: AtomicU64::new(0),
             filtered_out: AtomicU64::new(0),
             last_seen: AtomicU64::new(0),
+            t_delivered: scope.counter("delivered_total"),
+            t_filtered: scope.counter("filtered_total"),
         })
     }
 
@@ -82,9 +90,11 @@ impl Consumer {
             }
             if filter.matches(&ev) {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
+                self.t_delivered.inc();
                 pending.push_back(ev);
             } else {
                 self.filtered_out.fetch_add(1, Ordering::Relaxed);
+                self.t_filtered.inc();
             }
         }
     }
@@ -230,13 +240,8 @@ mod tests {
         let ctx = Context::new();
         let publisher = ctx.publisher();
         publisher.bind("inproc://agg").unwrap();
-        let consumer = Consumer::connect(
-            &ctx,
-            "inproc://agg",
-            EventFilter::subtree("/keep"),
-            None,
-        )
-        .unwrap();
+        let consumer =
+            Consumer::connect(&ctx, "inproc://agg", EventFilter::subtree("/keep"), None).unwrap();
         publish(
             &publisher,
             &[
@@ -258,8 +263,7 @@ mod tests {
         let ctx = Context::new();
         let publisher = ctx.publisher();
         publisher.bind("inproc://agg").unwrap();
-        let consumer =
-            Consumer::connect(&ctx, "inproc://agg", EventFilter::all(), None).unwrap();
+        let consumer = Consumer::connect(&ctx, "inproc://agg", EventFilter::all(), None).unwrap();
         let start = Instant::now();
         assert!(consumer.recv(Duration::from_millis(50)).is_none());
         assert!(start.elapsed() >= Duration::from_millis(50));
@@ -294,8 +298,7 @@ mod tests {
         let ctx = Context::new();
         let publisher = ctx.publisher();
         publisher.bind("inproc://agg").unwrap();
-        let consumer =
-            Consumer::connect(&ctx, "inproc://agg", EventFilter::all(), None).unwrap();
+        let consumer = Consumer::connect(&ctx, "inproc://agg", EventFilter::all(), None).unwrap();
         publish(&publisher, &[ev(EventKind::Create, "/x", 1)]);
         assert!(consumer.recv(Duration::from_secs(1)).is_some());
         consumer.set_filter(EventFilter::subtree("/nope"));

@@ -226,7 +226,11 @@ mod tests {
         let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
         for i in 0..n {
             store
-                .append(&StandardEvent::new(EventKind::Create, "/r", format!("f{i}")))
+                .append(&StandardEvent::new(
+                    EventKind::Create,
+                    "/r",
+                    format!("f{i}"),
+                ))
                 .unwrap();
         }
         let svc = HistoryService::start(&ctx, "inproc://history", store.clone()).unwrap();

@@ -105,7 +105,10 @@ pub struct ScalableMonitor {
 
 impl ScalableMonitor {
     /// Start collectors, aggregator, and a consumer over `fs`.
-    pub fn start(fs: &Arc<LustreFs>, config: ScalableConfig) -> Result<ScalableMonitor, fsmon_mq::MqError> {
+    pub fn start(
+        fs: &Arc<LustreFs>,
+        config: ScalableConfig,
+    ) -> Result<ScalableMonitor, fsmon_mq::MqError> {
         let ctx = Context::new();
         let run_id = MONITOR_SEQ.fetch_add(1, Ordering::Relaxed);
         let store: Arc<dyn EventStore> = config
@@ -164,13 +167,19 @@ impl ScalableMonitor {
             Transport::Inproc => format!("inproc://fsmon-{run_id}-agg"),
             Transport::Tcp => "tcp://127.0.0.1:0".to_string(),
         };
-        let aggregator = Aggregator::start(&ctx, &collector_endpoints, &consumer_endpoint, store.clone())?;
+        let aggregator = Aggregator::start(
+            &ctx,
+            &collector_endpoints,
+            &consumer_endpoint,
+            store.clone(),
+        )?;
         // The MGS also serves the historic-events API over REQ/REP.
         let history_endpoint = match config.transport {
             Transport::Inproc => format!("inproc://fsmon-{run_id}-history"),
             Transport::Tcp => "tcp://127.0.0.1:0".to_string(),
         };
-        let history = crate::history::HistoryService::start(&ctx, &history_endpoint, store.clone())?;
+        let history =
+            crate::history::HistoryService::start(&ctx, &history_endpoint, store.clone())?;
         // Give TCP subscriptions a beat to register publisher-side.
         if config.transport == Transport::Tcp {
             std::thread::sleep(Duration::from_millis(100));
@@ -194,6 +203,9 @@ impl ScalableMonitor {
         if let Some(interval) = config.purge_interval {
             let store = aggregator.store().clone();
             let stop = stop.clone();
+            let purge_ns = fsmon_telemetry::root()
+                .scope("janitor")
+                .histogram("purge_ns");
             threads.push(
                 std::thread::Builder::new()
                     .name("store-janitor".into())
@@ -204,7 +216,9 @@ impl ScalableMonitor {
                             slept += Duration::from_millis(20);
                             if slept >= interval {
                                 slept = Duration::ZERO;
+                                let t0 = std::time::Instant::now();
                                 let _ = store.purge_reported();
+                                purge_ns.record(t0.elapsed().as_nanos() as u64);
                             }
                         }
                     })
@@ -219,6 +233,10 @@ impl ScalableMonitor {
             let busy = Arc::new(AtomicU64::new(0));
             collector_busy_ns.push(busy.clone());
             let cursors = cursors.clone();
+            let step_ns = fsmon_telemetry::root()
+                .scope("collector")
+                .with_label("mdt", i.to_string())
+                .histogram("step_ns");
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("collector-mdt{i}"))
@@ -233,10 +251,9 @@ impl ScalableMonitor {
                             if produced == 0 {
                                 std::thread::sleep(idle);
                             } else {
-                                busy.fetch_add(
-                                    t0.elapsed().as_nanos() as u64,
-                                    Ordering::Relaxed,
-                                );
+                                let elapsed = t0.elapsed().as_nanos() as u64;
+                                busy.fetch_add(elapsed, Ordering::Relaxed);
+                                step_ns.record(elapsed);
                                 if let Some(cursors) = &cursors {
                                     let mut cf = cursors.lock();
                                     cf.advance(mdt, cursor);
@@ -467,10 +484,8 @@ mod tests {
 
     #[test]
     fn monitor_restart_resumes_from_persisted_cursors() {
-        let cursor_path = std::env::temp_dir().join(format!(
-            "fsmon-monitor-cursors-{}",
-            std::process::id()
-        ));
+        let cursor_path =
+            std::env::temp_dir().join(format!("fsmon-monitor-cursors-{}", std::process::id()));
         let _ = std::fs::remove_file(&cursor_path);
         let fs = LustreFs::new(LustreConfig::small_dne(2));
         let config = || ScalableConfig {
@@ -495,7 +510,12 @@ mod tests {
         let monitor = ScalableMonitor::start(&fs, config()).unwrap();
         assert!(monitor.wait_events(10, Duration::from_secs(5)));
         let events = monitor.consumer().recv_batch(100, Duration::from_secs(2));
-        assert_eq!(events.len(), 10, "{:?}", events.iter().map(|e| &e.path).collect::<Vec<_>>());
+        assert_eq!(
+            events.len(),
+            10,
+            "{:?}",
+            events.iter().map(|e| &e.path).collect::<Vec<_>>()
+        );
         assert!(events.iter().all(|e| e.path.starts_with("/wave2-")));
         monitor.stop();
         std::fs::remove_file(&cursor_path).ok();
@@ -575,9 +595,7 @@ mod tests {
     fn filtered_consumer_sees_subset() {
         let fs = LustreFs::new(LustreConfig::small());
         let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
-        let filtered = monitor
-            .new_consumer(EventFilter::subtree("/keep"))
-            .unwrap();
+        let filtered = monitor.new_consumer(EventFilter::subtree("/keep")).unwrap();
         let client = fs.client();
         client.mkdir("/keep").unwrap();
         client.mkdir("/drop").unwrap();

@@ -76,7 +76,11 @@ pub struct RobinhoodMonitor {
 
 impl RobinhoodMonitor {
     /// Attach the baseline to every MDS of `fs`.
-    pub fn new(fs: &Arc<LustreFs>, watch_root: impl Into<String>, config: RobinhoodConfig) -> RobinhoodMonitor {
+    pub fn new(
+        fs: &Arc<LustreFs>,
+        watch_root: impl Into<String>,
+        config: RobinhoodConfig,
+    ) -> RobinhoodMonitor {
         let mdts: Vec<MdtHandle> = (0..fs.mdt_count()).map(|i| fs.mdt(i)).collect();
         let users = mdts.iter().map(|m| m.register_user()).collect();
         let cursors = vec![0; mdts.len()];
@@ -152,7 +156,11 @@ impl RobinhoodMonitor {
         events
     }
 
-    fn process_record(&mut self, mdt: usize, rec: &lustre_sim::ChangelogRecord) -> Vec<StandardEvent> {
+    fn process_record(
+        &mut self,
+        mdt: usize,
+        rec: &lustre_sim::ChangelogRecord,
+    ) -> Vec<StandardEvent> {
         use fsmon_events::{EventKind, MonitorSource};
         let (kind, is_dir) = rec.kind.to_standard();
         let watch_root = self.watch_root.clone();
@@ -171,7 +179,10 @@ impl RobinhoodMonitor {
             };
             let old_path = self
                 .resolve_fid(mdt, old_fid)
-                .or_else(|_| self.resolve_fid(mdt, rec.parent_fid).map(|d| join(&d, &rec.target_name)))
+                .or_else(|_| {
+                    self.resolve_fid(mdt, rec.parent_fid)
+                        .map(|d| join(&d, &rec.target_name))
+                })
                 .unwrap_or_else(|_| format!("/{}", rec.target_name));
             let new_path = self
                 .resolve_fid(mdt, new_fid)
@@ -183,10 +194,7 @@ impl RobinhoodMonitor {
             return vec![from, to];
         }
         let path = if rec.kind.deletes_target() {
-            let cached = self
-                .cache
-                .as_mut()
-                .and_then(|c| c.get(&rec.target_fid));
+            let cached = self.cache.as_mut().and_then(|c| c.get(&rec.target_fid));
             match cached {
                 Some(p) => p,
                 None => self
@@ -196,7 +204,10 @@ impl RobinhoodMonitor {
             }
         } else {
             self.resolve_fid(mdt, rec.target_fid)
-                .or_else(|_| self.resolve_fid(mdt, rec.parent_fid).map(|d| join(&d, &rec.target_name)))
+                .or_else(|_| {
+                    self.resolve_fid(mdt, rec.parent_fid)
+                        .map(|d| join(&d, &rec.target_name))
+                })
                 .unwrap_or_else(|_| format!("/{}", rec.target_name))
         };
         if let (true, Some(cache)) = (rec.kind.deletes_target(), self.cache.as_mut()) {
@@ -259,7 +270,9 @@ mod tests {
         }
         let events = rh.drain(100);
         assert_eq!(events.len(), 16);
-        assert!(events.iter().all(|e| e.kind == EventKind::Create && e.is_dir));
+        assert!(events
+            .iter()
+            .all(|e| e.kind == EventKind::Create && e.is_dir));
         assert_eq!(rh.stats().records, 16);
         assert_eq!(rh.db().stats().appended, 16);
     }

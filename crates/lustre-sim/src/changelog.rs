@@ -115,9 +115,7 @@ impl Changelog {
     pub fn read(&self, since: u64, max: usize) -> Vec<ChangelogRecord> {
         let inner = self.inner.lock();
         // Records are index-ordered; binary search for the first > since.
-        let start = inner
-            .records
-            .partition_point(|r| r.index <= since);
+        let start = inner.records.partition_point(|r| r.index <= since);
         inner
             .records
             .iter()

@@ -208,7 +208,10 @@ mod tests {
 
     #[test]
     fn scaling() {
-        assert_eq!(CostModel::SpinNs(1000).scaled(3, 2), CostModel::SpinNs(1500));
+        assert_eq!(
+            CostModel::SpinNs(1000).scaled(3, 2),
+            CostModel::SpinNs(1500)
+        );
         assert_eq!(CostModel::Free.scaled(3, 2), CostModel::Free);
         assert_eq!(CostModel::SpinNs(100).ns(), 100);
     }

@@ -21,11 +21,19 @@ pub struct Fid {
 impl Fid {
     /// The null FID (`[0x0:0x0:0x0]`), used where Lustre would pass
     /// an empty FID (e.g. MTIME records carry no parent, Table I).
-    pub const NULL: Fid = Fid { seq: 0, oid: 0, ver: 0 };
+    pub const NULL: Fid = Fid {
+        seq: 0,
+        oid: 0,
+        ver: 0,
+    };
 
     /// Root FID of the file system (Lustre reserves a well-known root
     /// FID; we use sequence 0x200000007 like real deployments).
-    pub const ROOT: Fid = Fid { seq: 0x200000007, oid: 1, ver: 0 };
+    pub const ROOT: Fid = Fid {
+        seq: 0x200000007,
+        oid: 1,
+        ver: 0,
+    };
 
     /// Construct a FID.
     pub fn new(seq: u64, oid: u32, ver: u32) -> Fid {
@@ -120,10 +128,7 @@ mod tests {
 
     #[test]
     fn parse_accepts_unbracketed() {
-        assert_eq!(
-            Fid::parse("0x1:0x2:0x3"),
-            Some(Fid::new(1, 2, 3))
-        );
+        assert_eq!(Fid::parse("0x1:0x2:0x3"), Some(Fid::new(1, 2, 3)));
     }
 
     #[test]

@@ -170,7 +170,9 @@ impl LustreFs {
                 symlink_target: None,
             },
         );
-        let allocators = (0..cfg.n_mdt).map(|i| Mutex::new(FidAllocator::for_mdt(i))).collect();
+        let allocators = (0..cfg.n_mdt)
+            .map(|i| Mutex::new(FidAllocator::for_mdt(i)))
+            .collect();
         let changelogs = (0..cfg.n_mdt)
             .map(|i| Arc::new(Changelog::new(i, cfg.changelog_capacity)))
             .collect();
@@ -257,7 +259,9 @@ impl LustreFs {
         let inodes = self.inodes.read();
         let mut cur = Fid::ROOT;
         for comp in comps {
-            let node = inodes.get(&cur).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            let node = inodes
+                .get(&cur)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
             let children = node
                 .children
                 .as_ref()
@@ -325,7 +329,13 @@ impl LustreFs {
         self.changelogs[mdt as usize].append(record)
     }
 
-    fn blank_record(&self, kind: ChangelogKind, target: Fid, parent: Fid, name: &str) -> ChangelogRecord {
+    fn blank_record(
+        &self,
+        kind: ChangelogKind,
+        target: Fid,
+        parent: Fid,
+        name: &str,
+    ) -> ChangelogRecord {
         let time_ns = self.clock.advance(self.cfg.cost_for(kind).ns());
         ChangelogRecord {
             index: 0,
@@ -389,7 +399,11 @@ impl LustreFs {
                 },
             );
             let parent = inodes.get_mut(&parent_fid).expect("parent exists");
-            parent.children.as_mut().expect("is dir").insert(name.clone(), fid);
+            parent
+                .children
+                .as_mut()
+                .expect("is dir")
+                .insert(name.clone(), fid);
             (fid, parent_fid, mdt)
         };
         let rec = self.blank_record(ChangelogKind::Creat, fid, parent_fid, &name);
@@ -441,7 +455,11 @@ impl LustreFs {
                 },
             );
             let parent = inodes.get_mut(&parent_fid).expect("parent exists");
-            parent.children.as_mut().expect("is dir").insert(name.clone(), fid);
+            parent
+                .children
+                .as_mut()
+                .expect("is dir")
+                .insert(name.clone(), fid);
             parent.nlink += 1;
             (fid, parent_fid, mdt)
         };
@@ -464,7 +482,9 @@ impl LustreFs {
             }
             let layout = node.layout.clone().expect("regular file has layout");
             drop(inodes);
-            self.osts.write(&layout, offset, len).map_err(|_| FsError::NoSpace)?;
+            self.osts
+                .write(&layout, offset, len)
+                .map_err(|_| FsError::NoSpace)?;
             let mut inodes = self.inodes.write();
             let node = inodes
                 .get_mut(&fid)
@@ -640,7 +660,11 @@ impl LustreFs {
                 },
             );
             let parent = inodes.get_mut(&parent_fid).expect("parent exists");
-            parent.children.as_mut().expect("is dir").insert(name.clone(), fid);
+            parent
+                .children
+                .as_mut()
+                .expect("is dir")
+                .insert(name.clone(), fid);
             (fid, parent_fid, mdt)
         };
         let rec = self.blank_record(kind, fid, parent_fid, &name);
@@ -712,14 +736,25 @@ impl LustreFs {
                 }
             }
             let old_parent = inodes.get_mut(&old_parent_fid).expect("parent exists");
-            old_parent.children.as_mut().expect("is dir").remove(&old_name);
+            old_parent
+                .children
+                .as_mut()
+                .expect("is dir")
+                .remove(&old_name);
             let new_parent = inodes.get_mut(&new_parent_fid).expect("parent exists");
             new_parent
                 .children
                 .as_mut()
                 .expect("is dir")
                 .insert(new_name.clone(), new_fid);
-            (old_fid, new_fid, old_parent_fid, new_parent_fid, src_mdt, dst_mdt)
+            (
+                old_fid,
+                new_fid,
+                old_parent_fid,
+                new_parent_fid,
+                src_mdt,
+                dst_mdt,
+            )
         };
         let mut rec = self.blank_record(ChangelogKind::Renme, old_fid, src_parent, &old_name);
         rec.rename = Some(ChangelogRename { new_fid, old_fid });
@@ -812,28 +847,39 @@ impl LustreFs {
     pub fn file_type(&self, path: &str) -> Result<FileType, FsError> {
         let fid = self.resolve(path)?;
         let inodes = self.inodes.read();
-        Ok(inodes.get(&fid).ok_or_else(|| FsError::NotFound(path.to_string()))?.ftype)
+        Ok(inodes
+            .get(&fid)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?
+            .ftype)
     }
 
     /// Size of the file at `path`.
     pub fn size_of(&self, path: &str) -> Result<u64, FsError> {
         let fid = self.resolve(path)?;
         let inodes = self.inodes.read();
-        Ok(inodes.get(&fid).ok_or_else(|| FsError::NotFound(path.to_string()))?.size)
+        Ok(inodes
+            .get(&fid)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?
+            .size)
     }
 
     /// MDT owning the inode at `path`.
     pub fn mdt_of(&self, path: &str) -> Result<u16, FsError> {
         let fid = self.resolve(path)?;
         let inodes = self.inodes.read();
-        Ok(inodes.get(&fid).ok_or_else(|| FsError::NotFound(path.to_string()))?.mdt)
+        Ok(inodes
+            .get(&fid)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?
+            .mdt)
     }
 
     /// Read a symlink's target.
     pub fn readlink(&self, path: &str) -> Result<String, FsError> {
         let fid = self.resolve(path)?;
         let inodes = self.inodes.read();
-        let node = inodes.get(&fid).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let node = inodes
+            .get(&fid)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         node.symlink_target
             .clone()
             .ok_or_else(|| FsError::InvalidPath(format!("{path} is not a symlink")))
@@ -843,7 +889,9 @@ impl LustreFs {
     pub fn readdir(&self, path: &str) -> Result<Vec<String>, FsError> {
         let fid = self.resolve(path)?;
         let inodes = self.inodes.read();
-        let node = inodes.get(&fid).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let node = inodes
+            .get(&fid)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         node.children
             .as_ref()
             .map(|c| c.keys().cloned().collect())
@@ -1100,7 +1148,11 @@ mod tests {
         fs.mknod("/dev0").unwrap();
         assert_eq!(fs.readlink("/ln").unwrap(), "/target");
         assert!(fs.readlink("/dev0").is_err());
-        let kinds: Vec<_> = fs.changelogs[0].read(0, 10).iter().map(|r| r.kind).collect();
+        let kinds: Vec<_> = fs.changelogs[0]
+            .read(0, 10)
+            .iter()
+            .map(|r| r.kind)
+            .collect();
         assert_eq!(kinds, vec![ChangelogKind::Slink, ChangelogKind::Mknod]);
         assert_eq!(fs.file_type("/ln").unwrap(), FileType::Symlink);
         assert_eq!(fs.file_type("/dev0").unwrap(), FileType::Device);
@@ -1114,7 +1166,11 @@ mod tests {
         fs.setxattr("/f", "user.tag", b"v").unwrap();
         fs.ioctl("/f").unwrap();
         fs.truncate("/f", 0).unwrap();
-        let kinds: Vec<_> = fs.changelogs[0].read(1, 10).iter().map(|r| r.kind).collect();
+        let kinds: Vec<_> = fs.changelogs[0]
+            .read(1, 10)
+            .iter()
+            .map(|r| r.kind)
+            .collect();
         assert_eq!(
             kinds,
             vec![
@@ -1146,7 +1202,9 @@ mod tests {
         assert_eq!(fs.mdt_of("/d/f").unwrap(), mdt);
         // The CREAT record lands on the parent's MDT changelog.
         let recs = fs.changelogs[mdt as usize].read(0, 10);
-        assert!(recs.iter().any(|r| r.kind == ChangelogKind::Creat && r.target_name == "f"));
+        assert!(recs
+            .iter()
+            .any(|r| r.kind == ChangelogKind::Creat && r.target_name == "f"));
     }
 
     #[test]
@@ -1197,7 +1255,11 @@ mod tests {
         fs.write("/f", 0, 10).unwrap(); // MTIME masked out
         fs.setattr("/f", 0o600).unwrap(); // SATTR masked out
         fs.unlink("/f").unwrap();
-        let kinds: Vec<_> = fs.changelogs[0].read(0, 10).iter().map(|r| r.kind).collect();
+        let kinds: Vec<_> = fs.changelogs[0]
+            .read(0, 10)
+            .iter()
+            .map(|r| r.kind)
+            .collect();
         assert_eq!(kinds, vec![ChangelogKind::Creat, ChangelogKind::Unlnk]);
         // The operations themselves all happened.
         let (c, m, d, _) = fs.op_counters().snapshot();
@@ -1210,14 +1272,21 @@ mod tests {
         cfg.record_close = true;
         let fs = LustreFs::new(cfg);
         fs.create("/f").unwrap();
-        let kinds: Vec<_> = fs.changelogs[0].read(0, 10).iter().map(|r| r.kind).collect();
+        let kinds: Vec<_> = fs.changelogs[0]
+            .read(0, 10)
+            .iter()
+            .map(|r| r.kind)
+            .collect();
         assert_eq!(kinds, vec![ChangelogKind::Creat, ChangelogKind::Close]);
     }
 
     #[test]
     fn invalid_paths_rejected() {
         let fs = fs();
-        assert!(matches!(fs.create("relative"), Err(FsError::InvalidPath(_))));
+        assert!(matches!(
+            fs.create("relative"),
+            Err(FsError::InvalidPath(_))
+        ));
         assert!(matches!(fs.create("/a/../b"), Err(FsError::InvalidPath(_))));
         assert!(matches!(fs.resolve(""), Err(FsError::InvalidPath(_))));
     }

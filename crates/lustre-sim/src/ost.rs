@@ -92,7 +92,9 @@ impl OstPool {
         OstPool {
             ost_capacity,
             osts_per_oss,
-            states: (0..total).map(|_| Mutex::new(OstState::default())).collect(),
+            states: (0..total)
+                .map(|_| Mutex::new(OstState::default()))
+                .collect(),
             next_start: Mutex::new(0),
         }
     }
@@ -140,7 +142,10 @@ impl OstPool {
             let mut st = self.states[ost_index as usize].lock();
             let object_id = st.next_object;
             st.next_object += 1;
-            objects.push(StripeObject { ost_index, object_id });
+            objects.push(StripeObject {
+                ost_index,
+                object_id,
+            });
         }
         Ok(StripeLayout {
             stripe_size,
@@ -195,8 +200,14 @@ mod tests {
         let layout = StripeLayout {
             stripe_size: 100,
             objects: vec![
-                StripeObject { ost_index: 0, object_id: 0 },
-                StripeObject { ost_index: 1, object_id: 0 },
+                StripeObject {
+                    ost_index: 0,
+                    object_id: 0,
+                },
+                StripeObject {
+                    ost_index: 1,
+                    object_id: 0,
+                },
             ],
         };
         assert_eq!(layout.locate(0).0.ost_index, 0);

@@ -212,7 +212,10 @@ mod tests {
     fn parse_rejects_malformed() {
         assert!(ChangelogRecord::parse("", 0).is_none());
         assert!(ChangelogRecord::parse("x y z", 0).is_none());
-        assert!(ChangelogRecord::parse("1 99BOGUS 00:00:00.0 2019.01.01 0x0 t=[0x1:0x1:0x0] f", 0).is_none());
+        assert!(
+            ChangelogRecord::parse("1 99BOGUS 00:00:00.0 2019.01.01 0x0 t=[0x1:0x1:0x0] f", 0)
+                .is_none()
+        );
     }
 
     #[test]

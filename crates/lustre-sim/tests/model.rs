@@ -87,7 +87,8 @@ impl Model {
                 .collect();
             for (p, d) in moved {
                 self.entries.remove(&p);
-                self.entries.insert(format!("{to}/{}", &p[prefix.len()..]), d);
+                self.entries
+                    .insert(format!("{to}/{}", &p[prefix.len()..]), d);
             }
         }
         true

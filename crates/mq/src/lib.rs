@@ -37,16 +37,16 @@ pub mod endpoint;
 pub mod message;
 pub mod pubsub;
 pub mod pushpull;
-pub mod reqrep;
 pub mod registry;
+pub mod reqrep;
 pub mod tcp;
 
 pub use endpoint::Endpoint;
 pub use message::Message;
 pub use pubsub::{PubSocket, SubSocket};
 pub use pushpull::{PullSocket, PushSocket};
-pub use reqrep::{Incoming, RepSocket, ReqSocket};
 pub use registry::Context;
+pub use reqrep::{Incoming, RepSocket, ReqSocket};
 
 /// Errors surfaced by socket operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -34,10 +34,7 @@ pub(crate) struct SubEntry {
 
 impl SubEntry {
     fn matches(&self, topic: &[u8]) -> bool {
-        self.prefixes
-            .lock()
-            .iter()
-            .any(|p| topic.starts_with(p))
+        self.prefixes.lock().iter().any(|p| topic.starts_with(p))
     }
 }
 
@@ -55,12 +52,29 @@ impl TcpSubConn {
 }
 
 /// The shared fan-out state behind a PUB socket.
-#[derive(Default)]
 pub struct PubCore {
     inproc_subs: Mutex<Vec<Arc<SubEntry>>>,
     tcp_subs: Mutex<Vec<Arc<TcpSubConn>>>,
     sent: AtomicU64,
     dropped: AtomicU64,
+    t_published: Arc<fsmon_telemetry::Counter>,
+    t_dropped: Arc<fsmon_telemetry::Counter>,
+    t_tcp_frames: Arc<fsmon_telemetry::Counter>,
+}
+
+impl Default for PubCore {
+    fn default() -> PubCore {
+        let scope = fsmon_telemetry::root().scope("mq");
+        PubCore {
+            inproc_subs: Mutex::new(Vec::new()),
+            tcp_subs: Mutex::new(Vec::new()),
+            sent: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            t_published: scope.counter("published_total"),
+            t_dropped: scope.counter("hwm_dropped_total"),
+            t_tcp_frames: scope.counter("tcp_frames_total"),
+        }
+    }
 }
 
 impl PubCore {
@@ -75,10 +89,12 @@ impl PubCore {
                 match sub.sender.try_send(msg.clone()) {
                     Ok(()) => {
                         self.sent.fetch_add(1, Ordering::Relaxed);
+                        self.t_published.inc();
                     }
                     Err(TrySendError::Full(_)) => {
                         sub.dropped.fetch_add(1, Ordering::Relaxed);
                         self.dropped.fetch_add(1, Ordering::Relaxed);
+                        self.t_dropped.inc();
                     }
                     Err(TrySendError::Disconnected(_)) => {
                         sub.alive.store(false, Ordering::Relaxed);
@@ -97,6 +113,8 @@ impl PubCore {
                     conn.alive.store(false, Ordering::Relaxed);
                 } else {
                     self.sent.fetch_add(1, Ordering::Relaxed);
+                    self.t_published.inc();
+                    self.t_tcp_frames.inc();
                 }
             }
         }
@@ -315,7 +333,9 @@ impl SubSocket {
                 });
                 // Forward current subscriptions.
                 {
-                    let mut s = stream.try_clone().map_err(|e| MqError::ConnectFailed(e.to_string()))?;
+                    let mut s = stream
+                        .try_clone()
+                        .map_err(|e| MqError::ConnectFailed(e.to_string()))?;
                     for prefix in self.prefixes.lock().iter() {
                         let mut frame = vec![CTRL_SUBSCRIBE];
                         frame.extend_from_slice(prefix);
@@ -366,7 +386,9 @@ impl SubSocket {
 
     /// Receive, blocking up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, MqError> {
-        self.queue_rx.recv_timeout(timeout).map_err(|_| MqError::Timeout)
+        self.queue_rx
+            .recv_timeout(timeout)
+            .map_err(|_| MqError::Timeout)
     }
 
     /// Non-blocking receive.
@@ -504,8 +526,14 @@ mod tests {
         p1.send(msg("a", "1")).unwrap();
         p2.send(msg("b", "2")).unwrap();
         let mut topics = vec![
-            sub.recv_timeout(Duration::from_secs(1)).unwrap().topic().to_vec(),
-            sub.recv_timeout(Duration::from_secs(1)).unwrap().topic().to_vec(),
+            sub.recv_timeout(Duration::from_secs(1))
+                .unwrap()
+                .topic()
+                .to_vec(),
+            sub.recv_timeout(Duration::from_secs(1))
+                .unwrap()
+                .topic()
+                .to_vec(),
         ];
         topics.sort();
         assert_eq!(topics, vec![b"a".to_vec(), b"b".to_vec()]);

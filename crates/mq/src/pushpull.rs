@@ -69,20 +69,21 @@ impl PullSocket {
             }
             Endpoint::Tcp(addr) => {
                 let core = self.core.clone();
-                let local = spawn_listener(&addr, self.listener_alive.clone(), move |mut stream| {
-                    let core = core.clone();
-                    std::thread::spawn(move || {
-                        while let Some(msg) = read_frame(&mut stream) {
-                            // Blocking send: TCP pushers experience
-                            // backpressure via the unread socket buffer.
-                            if core.tx.send(msg).is_err() {
-                                break;
+                let local =
+                    spawn_listener(&addr, self.listener_alive.clone(), move |mut stream| {
+                        let core = core.clone();
+                        std::thread::spawn(move || {
+                            while let Some(msg) = read_frame(&mut stream) {
+                                // Blocking send: TCP pushers experience
+                                // backpressure via the unread socket buffer.
+                                if core.tx.send(msg).is_err() {
+                                    break;
+                                }
+                                core.received.fetch_add(1, Ordering::Relaxed);
                             }
-                            core.received.fetch_add(1, Ordering::Relaxed);
-                        }
-                    });
-                })
-                .map_err(|e| MqError::BindFailed(e.to_string()))?;
+                        });
+                    })
+                    .map_err(|e| MqError::BindFailed(e.to_string()))?;
                 *self.bound_tcp.lock() = Some(local);
                 Ok(())
             }
@@ -276,7 +277,8 @@ mod tests {
         let addr = pull.local_addr().unwrap();
         let push = ctx.pusher();
         push.connect(&format!("tcp://{addr}")).unwrap();
-        push.send(Message::from_parts(vec![b"hello".to_vec()])).unwrap();
+        push.send(Message::from_parts(vec![b"hello".to_vec()]))
+            .unwrap();
         let m = pull.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(m.part(0), Some(&b"hello"[..]));
     }

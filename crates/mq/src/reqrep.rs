@@ -84,9 +84,8 @@ impl RepSocket {
             Endpoint::Tcp(addr) => {
                 let core = self.core.clone();
                 let local = spawn_listener(&addr, self.listener_alive.clone(), move |stream| {
-                    let writer = Arc::new(Mutex::new(
-                        stream.try_clone().expect("clone rep stream"),
-                    ));
+                    let writer =
+                        Arc::new(Mutex::new(stream.try_clone().expect("clone rep stream")));
                     let mut reader = stream;
                     let core = core.clone();
                     std::thread::spawn(move || {

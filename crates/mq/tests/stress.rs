@@ -141,7 +141,10 @@ fn tcp_reqrep_many_clients() {
                     let reply = req
                         .request(Message::single(vec![c, i]), Duration::from_secs(5))
                         .unwrap();
-                    assert_eq!(reply.part(0), Some(&[c.wrapping_mul(2), i.wrapping_mul(2)][..]));
+                    assert_eq!(
+                        reply.part(0),
+                        Some(&[c.wrapping_mul(2), i.wrapping_mul(2)][..])
+                    );
                 }
             })
         })

@@ -89,10 +89,7 @@ impl Catalog {
                 }
             }
             EventKind::MovedTo => {
-                let old_entry = event
-                    .old_path
-                    .as_ref()
-                    .and_then(|old| entries.remove(old));
+                let old_entry = event.old_path.as_ref().and_then(|old| entries.remove(old));
                 let mut entry = old_entry.unwrap_or(CatalogEntry {
                     file_type: String::new(),
                     versions: 1,

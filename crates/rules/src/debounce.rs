@@ -50,7 +50,8 @@ impl<A: Action> Action for Debounced<A> {
         // map without bound.
         if self.last_fired.len() > 10_000 {
             let window = self.window;
-            self.last_fired.retain(|_, t| now.duration_since(*t) < window);
+            self.last_fired
+                .retain(|_, t| now.duration_since(*t) < window);
         }
         self.inner.fire(event)
     }

@@ -107,10 +107,12 @@ mod tests {
         let mut rules = RuleSet::new();
         for name in ["a", "b"] {
             let log = log.clone();
-            rules.add(Rule::on_create(name, "/**/*.h5").run(move |_e: &StandardEvent| {
-                log.lock().push(name);
-                Ok(())
-            }));
+            rules.add(
+                Rule::on_create(name, "/**/*.h5").run(move |_e: &StandardEvent| {
+                    log.lock().push(name);
+                    Ok(())
+                }),
+            );
         }
         let mut engine = Engine::new(rules);
         assert_eq!(engine.process(&ev(EventKind::Create, "/x/f.h5")), 2);
@@ -124,13 +126,16 @@ mod tests {
         let ran = Arc::new(Mutex::new(false));
         let ran2 = ran.clone();
         let mut rules = RuleSet::new();
-        rules.add(Rule::on_create("boom", "/**").run(|_e: &StandardEvent| {
-            Err(ActionError("flow service down".into()))
-        }));
-        rules.add(Rule::on_create("after", "/**").run(move |_e: &StandardEvent| {
-            *ran2.lock() = true;
-            Ok(())
-        }));
+        rules.add(
+            Rule::on_create("boom", "/**")
+                .run(|_e: &StandardEvent| Err(ActionError("flow service down".into()))),
+        );
+        rules.add(
+            Rule::on_create("after", "/**").run(move |_e: &StandardEvent| {
+                *ran2.lock() = true;
+                Ok(())
+            }),
+        );
         let mut engine = Engine::new(rules);
         engine.process(&ev(EventKind::Create, "/f"));
         assert!(*ran.lock(), "second rule still ran");
@@ -143,13 +148,16 @@ mod tests {
         let ran = Arc::new(Mutex::new(false));
         let ran2 = ran.clone();
         let mut rules = RuleSet::new();
-        rules.add(Rule::on_create("boom", "/**").run(|_e: &StandardEvent| {
-            Err(ActionError("down".into()))
-        }));
-        rules.add(Rule::on_create("after", "/**").run(move |_e: &StandardEvent| {
-            *ran2.lock() = true;
-            Ok(())
-        }));
+        rules.add(
+            Rule::on_create("boom", "/**")
+                .run(|_e: &StandardEvent| Err(ActionError("down".into()))),
+        );
+        rules.add(
+            Rule::on_create("after", "/**").run(move |_e: &StandardEvent| {
+                *ran2.lock() = true;
+                Ok(())
+            }),
+        );
         let mut engine = Engine::new(rules).with_policy(ErrorPolicy::SkipEvent);
         engine.process(&ev(EventKind::Create, "/f"));
         assert!(!*ran.lock(), "second rule skipped");

@@ -58,7 +58,11 @@ impl Rule {
         Rule::new(
             name,
             pattern,
-            KindMask::from_kinds([EventKind::Modify, EventKind::CloseWrite, EventKind::Truncate]),
+            KindMask::from_kinds([
+                EventKind::Modify,
+                EventKind::CloseWrite,
+                EventKind::Truncate,
+            ]),
         )
     }
 
@@ -148,7 +152,10 @@ mod tests {
         let rule = Rule::on_create("r", "/data/*.h5");
         assert!(rule.matches(&ev(EventKind::Create, "/data/a.h5")));
         assert!(!rule.matches(&ev(EventKind::Modify, "/data/a.h5")), "kind");
-        assert!(!rule.matches(&ev(EventKind::Create, "/data/a.txt")), "pattern");
+        assert!(
+            !rule.matches(&ev(EventKind::Create, "/data/a.txt")),
+            "pattern"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl AuditEventType {
 
     /// Parse an audit JSON event name.
     pub fn parse(s: &str) -> Option<AuditEventType> {
-        AuditEventType::ALL.iter().copied().find(|t| t.as_str() == s)
+        AuditEventType::ALL
+            .iter()
+            .copied()
+            .find(|t| t.as_str() == s)
     }
 
     /// Map into the standardized vocabulary: `(kind, is_dir)`.
@@ -155,12 +158,15 @@ impl AuditEvent {
                 .ok_or_else(|| AuditParseError::WrongType(k.to_string()))
         };
         let event_name = str_field("event")?;
-        let event = AuditEventType::parse(&event_name)
-            .ok_or(AuditParseError::UnknownEvent(event_name))?;
+        let event =
+            AuditEventType::parse(&event_name).ok_or(AuditParseError::UnknownEvent(event_name))?;
         Ok(AuditEvent {
             event,
             path: str_field("path")?,
-            old_path: doc.get("oldPath").and_then(|v| v.as_str()).map(str::to_string),
+            old_path: doc
+                .get("oldPath")
+                .and_then(|v| v.as_str())
+                .map(str::to_string),
             cluster_name: str_field("clusterName")?,
             node_name: str_field("nodeName")?,
             fs_name: str_field("fsName")?,
@@ -185,7 +191,11 @@ impl AuditEvent {
         ev.is_dir = self.is_dir || type_is_dir;
         if let Some(old) = &self.old_path {
             let rel = strip(old);
-            ev.old_path = Some(if rel.starts_with('/') { rel } else { format!("/{rel}") });
+            ev.old_path = Some(if rel.starts_with('/') {
+                rel
+            } else {
+                format!("/{rel}")
+            });
         }
         ev
     }
@@ -249,7 +259,10 @@ mod tests {
         ev.event = AuditEventType::Rename;
         ev.old_path = Some("/gpfs/fs0/project/old.bin".into());
         let decoded = AuditEvent::from_json(&ev.to_json()).unwrap();
-        assert_eq!(decoded.old_path.as_deref(), Some("/gpfs/fs0/project/old.bin"));
+        assert_eq!(
+            decoded.old_path.as_deref(),
+            Some("/gpfs/fs0/project/old.bin")
+        );
         let std = decoded.to_standard("/gpfs/fs0");
         assert_eq!(std.kind, EventKind::MovedTo);
         assert_eq!(std.old_path.as_deref(), Some("/project/old.bin"));
@@ -266,10 +279,22 @@ mod tests {
 
     #[test]
     fn standard_mapping() {
-        assert_eq!(AuditEventType::Mkdir.to_standard(), (EventKind::Create, true));
-        assert_eq!(AuditEventType::Destroy.to_standard(), (EventKind::Delete, false));
-        assert_eq!(AuditEventType::AclChange.to_standard(), (EventKind::Attrib, false));
-        assert_eq!(AuditEventType::XattrChange.to_standard(), (EventKind::Xattr, false));
+        assert_eq!(
+            AuditEventType::Mkdir.to_standard(),
+            (EventKind::Create, true)
+        );
+        assert_eq!(
+            AuditEventType::Destroy.to_standard(),
+            (EventKind::Delete, false)
+        );
+        assert_eq!(
+            AuditEventType::AclChange.to_standard(),
+            (EventKind::Attrib, false)
+        );
+        assert_eq!(
+            AuditEventType::XattrChange.to_standard(),
+            (EventKind::Xattr, false)
+        );
     }
 
     #[test]

@@ -424,10 +424,7 @@ mod tests {
         let node = cluster.node_client(0);
         node.create("/f");
         let msg = sub.recv_timeout(Duration::from_secs(1)).unwrap();
-        let ev = AuditEvent::from_json(
-            std::str::from_utf8(msg.part(1).unwrap()).unwrap(),
-        )
-        .unwrap();
+        let ev = AuditEvent::from_json(std::str::from_utf8(msg.part(1).unwrap()).unwrap()).unwrap();
         assert_eq!(ev.event, AuditEventType::Create);
         assert_eq!(ev.path, "/f");
         assert_eq!(ev.node_name, "protocol-node-0");

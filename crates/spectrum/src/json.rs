@@ -273,9 +273,7 @@ impl<'a> Parser<'a> {
                                 .map_err(|_| JsonError::BadEscape(self.pos))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| JsonError::BadEscape(self.pos))?;
-                            out.push(
-                                char::from_u32(code).ok_or(JsonError::BadEscape(self.pos))?,
-                            );
+                            out.push(char::from_u32(code).ok_or(JsonError::BadEscape(self.pos))?);
                             self.pos += 4;
                         }
                         _ => return Err(JsonError::BadEscape(self.pos - 1)),
@@ -388,8 +386,17 @@ mod tests {
     #[test]
     fn malformed_inputs_error_not_panic() {
         for bad in [
-            "", "{", "}", "{\"a\"}", "{\"a\":}", "{\"a\":1,}", "nope", "{\"a\":1} extra",
-            "{\"a\":\"unterminated", "{\"a\":\"bad\\x\"}", "{\"a\":--1}",
+            "",
+            "{",
+            "}",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "nope",
+            "{\"a\":1} extra",
+            "{\"a\":\"unterminated",
+            "{\"a\":\"bad\\x\"}",
+            "{\"a\":--1}",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }

@@ -50,6 +50,11 @@ struct Inner {
 /// A durable [`EventStore`] over a directory of segment files.
 pub struct FileStore {
     inner: Mutex<Inner>,
+    t_appends: std::sync::Arc<fsmon_telemetry::Counter>,
+    t_append_ns: std::sync::Arc<fsmon_telemetry::Histogram>,
+    t_rolls: std::sync::Arc<fsmon_telemetry::Counter>,
+    t_purged_segments: std::sync::Arc<fsmon_telemetry::Counter>,
+    t_purge_ns: std::sync::Arc<fsmon_telemetry::Histogram>,
 }
 
 impl FileStore {
@@ -72,7 +77,10 @@ impl FileStore {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if let Some(rest) = name.strip_prefix("seg-").and_then(|s| s.strip_suffix(".log")) {
+            if let Some(rest) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+            {
                 if let Ok(first) = rest.parse::<u64>() {
                     seg_paths.push((first, entry.path()));
                 }
@@ -110,6 +118,9 @@ impl FileStore {
             });
         }
         let reported = read_watermark(&dir)?;
+        let scope = fsmon_telemetry::root()
+            .scope("store")
+            .with_label("backend", "file");
         Ok(FileStore {
             inner: Mutex::new(Inner {
                 dir,
@@ -120,6 +131,11 @@ impl FileStore {
                 reported,
                 appended,
             }),
+            t_appends: scope.counter("appends_total"),
+            t_append_ns: scope.histogram("append_ns"),
+            t_rolls: scope.counter("segment_rolls_total"),
+            t_purged_segments: scope.counter("purged_segments_total"),
+            t_purge_ns: scope.histogram("purge_ns"),
         })
     }
 
@@ -194,6 +210,7 @@ fn recover_segment(path: &Path) -> Result<(Vec<StandardEvent>, u64), StoreError>
 
 impl EventStore for FileStore {
     fn append(&self, event: &StandardEvent) -> Result<u64, StoreError> {
+        let t0 = std::time::Instant::now();
         let mut inner = self.inner.lock();
         inner.next_seq += 1;
         let seq = inner.next_seq;
@@ -204,12 +221,20 @@ impl EventStore for FileStore {
         frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         frame.extend_from_slice(&crc32(&payload).to_be_bytes());
         frame.extend_from_slice(&payload);
-        let seg = Self::active_segment(&mut inner, seq)?;
-        seg.file.as_mut().expect("open file").write_all(&frame)?;
-        seg.bytes += frame.len() as u64;
-        seg.last_seq = seq;
+        let segs_before = inner.segments.len();
+        {
+            let seg = Self::active_segment(&mut inner, seq)?;
+            seg.file.as_mut().expect("open file").write_all(&frame)?;
+            seg.bytes += frame.len() as u64;
+            seg.last_seq = seq;
+        }
+        if inner.segments.len() > segs_before {
+            self.t_rolls.inc();
+        }
         inner.events.push_back(stored);
         inner.appended += 1;
+        self.t_appends.inc();
+        self.t_append_ns.record(t0.elapsed().as_nanos() as u64);
         Ok(seq)
     }
 
@@ -229,6 +254,7 @@ impl EventStore for FileStore {
     }
 
     fn purge_reported(&self) -> Result<(), StoreError> {
+        let t0 = std::time::Instant::now();
         let mut inner = self.inner.lock();
         let watermark = inner.reported;
         // Drop whole segments that are fully reported. Removing the
@@ -242,12 +268,14 @@ impl EventStore for FileStore {
             }
             !fully_reported
         });
+        self.t_purged_segments.add(removed.len() as u64);
         for path in removed {
             std::fs::remove_file(path)?;
         }
         while inner.events.front().is_some_and(|e| e.id <= watermark) {
             inner.events.pop_front();
         }
+        self.t_purge_ns.record(t0.elapsed().as_nanos() as u64);
         Ok(())
     }
 
@@ -272,10 +300,8 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "fsmon-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("fsmon-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -288,7 +314,10 @@ mod tests {
             store.append(&ev(&format!("f{i}"))).unwrap();
         }
         let got = store.get_since(5, 100).unwrap();
-        assert_eq!(got.iter().map(|e| e.id).collect::<Vec<_>>(), vec![6, 7, 8, 9, 10]);
+        assert_eq!(
+            got.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9, 10]
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,12 +4,27 @@ use crate::{EventStore, StoreError, StoreStats};
 use fsmon_events::StandardEvent;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A purely in-memory [`EventStore`]: fast, not durable. Used by tests
 /// and by deployments that accept losing replay history on restart.
-#[derive(Default)]
 pub struct MemStore {
     inner: Mutex<Inner>,
+    t_appends: Arc<fsmon_telemetry::Counter>,
+    t_purged: Arc<fsmon_telemetry::Counter>,
+}
+
+impl Default for MemStore {
+    fn default() -> MemStore {
+        let scope = fsmon_telemetry::root()
+            .scope("store")
+            .with_label("backend", "mem");
+        MemStore {
+            inner: Mutex::default(),
+            t_appends: scope.counter("appends_total"),
+            t_purged: scope.counter("purged_events_total"),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -36,6 +51,7 @@ impl EventStore for MemStore {
         stored.id = seq;
         inner.events.push_back(stored);
         inner.appended += 1;
+        self.t_appends.inc();
         Ok(seq)
     }
 
@@ -54,9 +70,12 @@ impl EventStore for MemStore {
     fn purge_reported(&self) -> Result<(), StoreError> {
         let mut inner = self.inner.lock();
         let watermark = inner.reported;
+        let mut purged = 0u64;
         while inner.events.front().is_some_and(|e| e.id <= watermark) {
             inner.events.pop_front();
+            purged += 1;
         }
+        self.t_purged.add(purged);
         Ok(())
     }
 

@@ -7,7 +7,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 fn ev(i: u64) -> StandardEvent {
-    StandardEvent::new(EventKind::Create, "/mnt/lustre", format!("/stress/file-{i}"))
+    StandardEvent::new(
+        EventKind::Create,
+        "/mnt/lustre",
+        format!("/stress/file-{i}"),
+    )
 }
 
 fn tmpdir(tag: &str) -> PathBuf {

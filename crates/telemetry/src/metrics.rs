@@ -1,0 +1,412 @@
+//! The metric instruments: striped atomic counters, gauges, and
+//! log-bucketed histograms.
+//!
+//! All hot paths are single atomic RMW operations on `Relaxed`
+//! ordering — no locks, no allocation. Counters stripe their cells
+//! across cache lines so concurrent writers on different cores do not
+//! bounce one line between them; reads sum the stripes (reads are the
+//! cold path: snapshots and tests).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Pad to a cache line so neighbouring stripes never share one.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// Number of counter stripes. Eight covers the collector/aggregator/
+/// consumer thread counts this pipeline runs without wasting memory on
+/// wider machines.
+const STRIPES: usize = 8;
+
+/// Stable per-thread stripe index, assigned round-robin on first use.
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// A monotonically increasing counter.
+///
+/// `add` is one relaxed `fetch_add` on the calling thread's stripe;
+/// `get` sums the stripes.
+pub struct Counter {
+    stripes: [CachePadded<AtomicU64>; STRIPES],
+}
+
+impl Default for Counter {
+    fn default() -> Counter {
+        Counter::new()
+    }
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter {
+            stripes: std::array::from_fn(|_| CachePadded(AtomicU64::new(0))),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A signed instantaneous value (queue depths, lags).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (e.g. enqueue).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` (e.g. dequeue).
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else the position of the highest
+/// set bit plus one — bucket `i` (i ≥ 1) covers `[2^(i-1), 2^i - 1]`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (saturates at `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (latencies in ns, sizes
+/// in events or bytes).
+///
+/// Recording is two relaxed `fetch_add`s: the value's power-of-two
+/// bucket and the running sum. Relative error of any quantile estimate
+/// is bounded by 2× (one bucket), which is plenty to tell a 100 ns
+/// append from a 10 µs segment roll.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Time `f` and record the elapsed nanoseconds.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// A guard that records the elapsed nanoseconds when dropped.
+    pub fn start_timer(&self) -> HistogramTimer<'_> {
+        HistogramTimer {
+            histogram: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// A point-in-time copy of the buckets and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count())
+            .field("sum", &snap.sum)
+            .finish()
+    }
+}
+
+/// Records elapsed time into its histogram on drop.
+pub struct HistogramTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for HistogramTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram
+            .record(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// An owned, mergeable copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`HISTOGRAM_BUCKETS` entries).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with the canonical bucket count.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Element-wise merge: bucket counts and sums add. Associative and
+    /// commutative, so shard and process snapshots combine in any
+    /// order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Per-bucket saturating difference against an earlier snapshot of
+    /// the same histogram (for windowed rates).
+    pub fn delta_from(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = self.buckets.clone();
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = b.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0));
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn gauge_tracks_depth() {
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bound covers it.
+        for v in [0u64, 1, 2, 7, 8, 1000, 1 << 40] {
+            assert!(v <= bucket_upper_bound(bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_and_mean() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 1024] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap.sum, 1039);
+        assert!((snap.mean() - 207.8).abs() < 0.01);
+        assert_eq!(snap.quantile(0.0), 1);
+        // p50 = 3rd of 5 samples = 4, reported as its bucket bound 7.
+        assert_eq!(snap.quantile(0.5), 7);
+        // 1024 lands in the [1024, 2047] bucket.
+        assert_eq!(snap.quantile(1.0), 2047);
+    }
+
+    #[test]
+    fn timer_records_elapsed() {
+        let h = Histogram::new();
+        h.time(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        {
+            let _t = h.start_timer();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert!(snap.sum >= 2_000_000, "sum {} ns", snap.sum);
+    }
+
+    #[test]
+    fn snapshot_merge_adds() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(1);
+        a.record(100);
+        b.record(100);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum, 201);
+        assert_eq!(m.buckets[bucket_of(100)], 2);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let h = Histogram::new();
+        h.record(5);
+        let before = h.snapshot();
+        h.record(5);
+        h.record(9);
+        let delta = h.snapshot().delta_from(&before);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum, 14);
+    }
+}

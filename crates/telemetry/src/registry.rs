@@ -1,0 +1,357 @@
+//! The sharded metrics registry and the [`Scope`] handle layers use to
+//! name their instruments.
+//!
+//! Registration (name → instrument lookup) is the cold path: it takes
+//! one shard's `RwLock` briefly and hands back an `Arc` the caller
+//! keeps. The hot path — incrementing through that `Arc` — never
+//! touches the registry again. Sharding by name hash keeps concurrent
+//! registrations (e.g. per-MDT collectors starting up) off one lock.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricValue, Snapshot};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of registry shards (power of two).
+const SHARDS: usize = 16;
+
+/// A metric's identity: its name plus its sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Full metric name, e.g. `fsmon_store_appends_total`.
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Build an id, sorting the labels into canonical order.
+    pub fn new(name: impl Into<String>, mut labels: Vec<(String, String)>) -> MetricId {
+        labels.sort();
+        MetricId {
+            name: name.into(),
+            labels,
+        }
+    }
+}
+
+impl std::fmt::Display for MetricId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}=\"{v}\"")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One registered instrument.
+#[derive(Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Default)]
+struct Shard {
+    instruments: RwLock<HashMap<MetricId, Instrument>>,
+}
+
+struct RegistryInner {
+    shards: [Shard; SHARDS],
+}
+
+/// A sharded, lock-sparing metrics registry. Cheap to clone (it is an
+/// `Arc` handle); all clones view the same instruments.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests and embedded uses; production
+    /// code goes through [`global`]).
+    pub fn new() -> Registry {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                shards: std::array::from_fn(|_| Shard::default()),
+            }),
+        }
+    }
+
+    fn shard(&self, id: &MetricId) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        id.hash(&mut h);
+        &self.inner.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get_or_register<T>(
+        &self,
+        id: MetricId,
+        wrap: impl Fn(Arc<T>) -> Instrument,
+        unwrap: impl Fn(&Instrument) -> Option<Arc<T>>,
+        fresh: impl Fn() -> T,
+    ) -> Arc<T> {
+        let shard = self.shard(&id);
+        if let Some(found) = shard.instruments.read().expect("registry lock").get(&id) {
+            if let Some(out) = unwrap(found) {
+                return out;
+            }
+            panic!("metric {id} re-registered with a different type");
+        }
+        let mut map = shard.instruments.write().expect("registry lock");
+        // Lost a race to another registrant? Use theirs.
+        if let Some(found) = map.get(&id) {
+            return unwrap(found)
+                .unwrap_or_else(|| panic!("metric {id} re-registered with a different type"));
+        }
+        let out = Arc::new(fresh());
+        map.insert(id, wrap(out.clone()));
+        out
+    }
+
+    /// Get or register a counter.
+    pub fn counter(&self, id: MetricId) -> Arc<Counter> {
+        self.get_or_register(
+            id,
+            Instrument::Counter,
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            Counter::new,
+        )
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, id: MetricId) -> Arc<Gauge> {
+        self.get_or_register(
+            id,
+            Instrument::Gauge,
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            Gauge::new,
+        )
+    }
+
+    /// Get or register a histogram.
+    pub fn histogram(&self, id: MetricId) -> Arc<Histogram> {
+        self.get_or_register(
+            id,
+            Instrument::Histogram,
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            Histogram::new,
+        )
+    }
+
+    /// A scope rooted at `prefix` (instrument names become
+    /// `prefix_name`).
+    pub fn scope(&self, prefix: impl Into<String>) -> Scope {
+        Scope {
+            registry: self.clone(),
+            prefix: prefix.into(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for shard in &self.inner.shards {
+            for (id, instrument) in shard.instruments.read().expect("registry lock").iter() {
+                let value = match instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                snap.metrics.insert(id.clone(), value);
+            }
+        }
+        snap
+    }
+}
+
+/// The process-wide registry every pipeline layer reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The conventional root scope (`fsmon_…`) on the global registry.
+pub fn root() -> Scope {
+    global().scope("fsmon")
+}
+
+/// A named, labelled naming context over a [`Registry`].
+///
+/// Layers derive their instruments from a scope so names stay
+/// consistent (`fsmon_<layer>_<instrument>`) and labels (e.g.
+/// `mdt="3"`) apply to everything the layer registers.
+#[derive(Clone)]
+pub struct Scope {
+    registry: Registry,
+    prefix: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Scope {
+    /// A child scope: `fsmon` → `fsmon_store`.
+    pub fn scope(&self, name: &str) -> Scope {
+        Scope {
+            registry: self.registry.clone(),
+            prefix: if self.prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}_{name}", self.prefix)
+            },
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// This scope with an extra label on every instrument it registers.
+    pub fn with_label(&self, key: impl Into<String>, value: impl Into<String>) -> Scope {
+        let mut labels = self.labels.clone();
+        labels.push((key.into(), value.into()));
+        Scope {
+            registry: self.registry.clone(),
+            prefix: self.prefix.clone(),
+            labels,
+        }
+    }
+
+    fn id(&self, name: &str) -> MetricId {
+        let full = if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}_{name}", self.prefix)
+        };
+        MetricId::new(full, self.labels.clone())
+    }
+
+    /// Get or register a counter named `<prefix>_<name>`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(self.id(name))
+    }
+
+    /// Get or register a gauge named `<prefix>_<name>`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(self.id(name))
+    }
+
+    /// Get or register a histogram named `<prefix>_<name>`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(self.id(name))
+    }
+
+    /// The registry this scope registers into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_id_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter(MetricId::new("x_total", vec![]));
+        let b = r.counter(MetricId::new("x_total", vec![]));
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
+    fn labels_distinguish_instruments() {
+        let r = Registry::new();
+        let a = r.counter(MetricId::new(
+            "x_total",
+            vec![("dsi".into(), "inotify".into())],
+        ));
+        let b = r.counter(MetricId::new(
+            "x_total",
+            vec![("dsi".into(), "kqueue".into())],
+        ));
+        a.inc();
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let ab = MetricId::new(
+            "m",
+            vec![("a".into(), "1".into()), ("b".into(), "2".into())],
+        );
+        let ba = MetricId::new(
+            "m",
+            vec![("b".into(), "2".into()), ("a".into(), "1".into())],
+        );
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn scope_builds_prefixed_names() {
+        let r = Registry::new();
+        let store = r.scope("fsmon").scope("store");
+        store.counter("appends_total").add(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("fsmon_store_appends_total"), 5);
+    }
+
+    #[test]
+    fn scope_labels_apply_to_instruments() {
+        let r = Registry::new();
+        let mdt0 = r.scope("fsmon").scope("collector").with_label("mdt", "0");
+        let mdt1 = r.scope("fsmon").scope("collector").with_label("mdt", "1");
+        mdt0.counter("records_total").add(2);
+        mdt1.counter("records_total").add(3);
+        let snap = r.snapshot();
+        // Name-level sum sees both label sets.
+        assert_eq!(snap.counter("fsmon_collector_records_total"), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter(MetricId::new("dual", vec![]));
+        r.gauge(MetricId::new("dual", vec![]));
+    }
+
+    #[test]
+    fn snapshot_reflects_all_kinds() {
+        let r = Registry::new();
+        let s = r.scope("t");
+        s.counter("c").add(1);
+        s.gauge("g").set(-4);
+        s.histogram("h").record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 3);
+        assert_eq!(snap.counter("t_c"), 1);
+        assert_eq!(snap.gauge("t_g"), Some(-4));
+        assert_eq!(snap.histogram("t_h").unwrap().count(), 1);
+    }
+}

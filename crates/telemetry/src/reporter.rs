@@ -1,0 +1,127 @@
+//! A background thread that periodically snapshots a registry and
+//! hands the snapshot (plus the delta since the previous tick) to a
+//! callback — the CLI's live stats line, a log appender, or a file
+//! exporter.
+
+use crate::registry::Registry;
+use crate::snapshot::Snapshot;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running reporter thread. Stops (and joins) on
+/// [`stop`](Reporter::stop) or drop.
+pub struct Reporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Spawn a reporter over `registry` firing every `interval`. The
+    /// callback receives the full snapshot and the delta since the
+    /// last tick (the first tick's delta is the full snapshot). A
+    /// final tick fires on stop so short-lived runs still report.
+    pub fn spawn(
+        registry: Registry,
+        interval: Duration,
+        mut on_tick: impl FnMut(&Snapshot, &Snapshot) + Send + 'static,
+    ) -> Reporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_t = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("telemetry-reporter".into())
+            .spawn(move || {
+                let mut previous = Snapshot::default();
+                loop {
+                    // Sleep in small steps so stop() is prompt even
+                    // with long intervals.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop_t.load(Ordering::Relaxed) {
+                        let step = (interval - slept).min(Duration::from_millis(20));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    let stopping = stop_t.load(Ordering::Relaxed);
+                    let snapshot = registry.snapshot();
+                    let delta = snapshot.delta_from(&previous);
+                    on_tick(&snapshot, &delta);
+                    previous = snapshot;
+                    if stopping {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn telemetry reporter");
+        Reporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the reporter after one final tick and join the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn reporter_ticks_and_final_tick_on_stop() {
+        let registry = Registry::new();
+        let counter = registry.scope("t").counter("ticks_seen");
+        counter.add(5);
+        let seen: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen_t = seen.clone();
+        let reporter = Reporter::spawn(
+            registry.clone(),
+            Duration::from_millis(30),
+            move |snap, delta| {
+                seen_t
+                    .lock()
+                    .unwrap()
+                    .push((snap.counter("t_ticks_seen"), delta.counter("t_ticks_seen")));
+            },
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        counter.add(2);
+        reporter.stop();
+        let seen = seen.lock().unwrap();
+        assert!(!seen.is_empty());
+        // First tick: full snapshot as delta.
+        assert_eq!(seen[0], (5, 5));
+        // The final tick observed the post-sleep increment.
+        assert_eq!(seen.last().unwrap().0, 7);
+        // Deltas telescope back to the total.
+        let delta_sum: u64 = seen.iter().map(|(_, d)| d).sum();
+        assert_eq!(delta_sum, 7);
+    }
+
+    #[test]
+    fn drop_stops_the_thread() {
+        let registry = Registry::new();
+        let fired = Arc::new(AtomicBool::new(false));
+        let fired_t = fired.clone();
+        let reporter = Reporter::spawn(registry, Duration::from_secs(3600), move |_, _| {
+            fired_t.store(true, Ordering::Relaxed);
+        });
+        drop(reporter); // joins; the forced final tick fires
+        assert!(fired.load(Ordering::Relaxed));
+    }
+}

@@ -1,0 +1,188 @@
+//! Point-in-time snapshots of a registry, with associative merge and
+//! windowed delta.
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::MetricId;
+use std::collections::BTreeMap;
+
+/// One metric's captured value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Instantaneous signed value.
+    Gauge(i64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A registry snapshot: every instrument's identity and value at one
+/// moment, ordered by id so renderings are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// The captured metrics.
+    pub metrics: BTreeMap<MetricId, MetricValue>,
+}
+
+impl Snapshot {
+    /// Merge `other` in: counters and histograms add (associative,
+    /// commutative — process- or shard-level snapshots combine in any
+    /// grouping), gauges add too, treating each side as a disjoint
+    /// contribution to the same quantity (e.g. per-process queue
+    /// depths summing to fleet depth).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (id, value) in &other.metrics {
+            match self.metrics.get_mut(id) {
+                None => {
+                    self.metrics.insert(id.clone(), value.clone());
+                }
+                Some(mine) => match (mine, value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    (mine, _) => {
+                        panic!("snapshot merge type mismatch on {id}: {mine:?} vs {value:?}")
+                    }
+                },
+            }
+        }
+    }
+
+    /// The change since `earlier`: counters and histograms subtract
+    /// (saturating), gauges keep their current value. Metrics absent
+    /// from `earlier` appear whole.
+    pub fn delta_from(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (id, value) in &self.metrics {
+            let delta = match (value, earlier.metrics.get(id)) {
+                (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                    MetricValue::Counter(now.saturating_sub(*then))
+                }
+                (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                    MetricValue::Histogram(now.delta_from(then))
+                }
+                (value, _) => value.clone(),
+            };
+            out.metrics.insert(id.clone(), delta);
+        }
+        out
+    }
+
+    /// Sum of every counter with this name, across label sets. Returns
+    /// 0 if none exist.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(id, _)| id.name == name)
+            .map(|(_, v)| match v {
+                MetricValue::Counter(n) => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The gauge with this name (first label set), if any.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.metrics.iter().find_map(|(id, v)| match v {
+            MetricValue::Gauge(g) if id.name == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// Every histogram with this name merged across label sets, if any
+    /// exist.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for (id, v) in &self.metrics {
+            if let MetricValue::Histogram(h) = v {
+                if id.name == name {
+                    match &mut merged {
+                        None => merged = Some(h.clone()),
+                        Some(m) => m.merge(h),
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    /// Exact lookup by id.
+    pub fn get(&self, id: &MetricId) -> Option<&MetricValue> {
+        self.metrics.get(id)
+    }
+
+    /// Number of captured metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_snap(name: &str, n: u64) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.metrics
+            .insert(MetricId::new(name, vec![]), MetricValue::Counter(n));
+        s
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = counter_snap("c", 3);
+        a.merge(&counter_snap("c", 4));
+        assert_eq!(a.counter("c"), 7);
+    }
+
+    #[test]
+    fn merge_keeps_disjoint_metrics() {
+        let mut a = counter_snap("a", 1);
+        a.merge(&counter_snap("b", 2));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.counter("a"), 1);
+        assert_eq!(a.counter("b"), 2);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_keeps_gauges() {
+        let mut before = counter_snap("c", 10);
+        before
+            .metrics
+            .insert(MetricId::new("g", vec![]), MetricValue::Gauge(5));
+        let mut after = counter_snap("c", 25);
+        after
+            .metrics
+            .insert(MetricId::new("g", vec![]), MetricValue::Gauge(2));
+        let d = after.delta_from(&before);
+        assert_eq!(d.counter("c"), 15);
+        assert_eq!(d.gauge("g"), Some(2));
+    }
+
+    #[test]
+    fn histogram_lookup_merges_label_sets() {
+        let mut s = Snapshot::default();
+        let mut h1 = HistogramSnapshot::empty();
+        h1.buckets[1] = 2;
+        h1.sum = 2;
+        let mut h2 = HistogramSnapshot::empty();
+        h2.buckets[2] = 1;
+        h2.sum = 3;
+        s.metrics.insert(
+            MetricId::new("h", vec![("mdt".into(), "0".into())]),
+            MetricValue::Histogram(h1),
+        );
+        s.metrics.insert(
+            MetricId::new("h", vec![("mdt".into(), "1".into())]),
+            MetricValue::Histogram(h2),
+        );
+        let merged = s.histogram("h").unwrap();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum, 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: histogram merge is associative, commutative, and
+//! count/sum-preserving, and both exporters round-trip arbitrary
+//! snapshots.
+
+use fsmon_telemetry::export::{parse_json, parse_prometheus, render_json, render_prometheus};
+use fsmon_telemetry::{Histogram, HistogramSnapshot, MetricId, MetricValue, Snapshot};
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn merge_preserves_count_and_sum(
+        a in prop::collection::vec(0u64..1u64 << 48, 0..64),
+        b in prop::collection::vec(0u64..1u64 << 48, 0..64),
+    ) {
+        let ha = histogram_of(&a);
+        let hb = histogram_of(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), a.len() as u64 + b.len() as u64);
+        let expect_sum: u64 = a.iter().chain(b.iter()).sum();
+        prop_assert_eq!(merged.sum, expect_sum);
+        // Merging is equivalent to recording the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, histogram_of(&all));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..1u64 << 48, 0..32),
+        b in prop::collection::vec(0u64..1u64 << 48, 0..32),
+        c in prop::collection::vec(0u64..1u64 << 48, 0..32),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // b ⊕ a == a ⊕ b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_identity_is_empty(
+        a in prop::collection::vec(0u64..1u64 << 48, 0..64),
+    ) {
+        let ha = histogram_of(&a);
+        let mut merged = ha.clone();
+        merged.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&merged, &ha);
+        let mut from_empty = HistogramSnapshot::empty();
+        from_empty.merge(&ha);
+        prop_assert_eq!(from_empty, ha);
+    }
+
+    #[test]
+    fn delta_inverts_merge(
+        a in prop::collection::vec(0u64..1u64 << 48, 0..48),
+        b in prop::collection::vec(0u64..1u64 << 48, 0..48),
+    ) {
+        let ha = histogram_of(&a);
+        let hb = histogram_of(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.delta_from(&ha), hb);
+        prop_assert_eq!(merged.delta_from(&hb), ha);
+    }
+
+    #[test]
+    fn exporters_round_trip_arbitrary_snapshots(
+        counters in prop::collection::vec(("[a-z]{1,12}_total", 0u64..u64::MAX / 2), 0..8),
+        gauge in -1_000_000i64..1_000_000,
+        samples in prop::collection::vec(0u64..1u64 << 40, 0..64),
+        label in "[a-zA-Z0-9/_.-]{0,16}",
+    ) {
+        let mut snap = Snapshot::default();
+        for (name, value) in &counters {
+            snap.metrics.insert(
+                MetricId::new(format!("p_{name}"), vec![("l".into(), label.clone())]),
+                MetricValue::Counter(*value),
+            );
+        }
+        snap.metrics.insert(
+            MetricId::new("p_gauge", vec![]),
+            MetricValue::Gauge(gauge),
+        );
+        snap.metrics.insert(
+            MetricId::new("p_hist_ns", vec![("l".into(), label.clone())]),
+            MetricValue::Histogram(histogram_of(&samples)),
+        );
+        let via_prom = parse_prometheus(&render_prometheus(&snap)).unwrap();
+        prop_assert_eq!(&via_prom, &snap);
+        let via_json = parse_json(&render_json(&snap)).unwrap();
+        prop_assert_eq!(&via_json, &snap);
+    }
+}

@@ -1,0 +1,93 @@
+//! Multi-thread stress: concurrent writers on shared instruments plus
+//! concurrent registration and snapshotting must neither lose updates
+//! nor deadlock.
+
+use fsmon_telemetry::{MetricId, Registry};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_increments_are_all_counted() {
+    let registry = Registry::new();
+    let scope = registry.scope("stress");
+    let counter = scope.counter("hits_total");
+    let gauge = scope.gauge("inflight");
+    let histogram = scope.histogram("size");
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let counter = counter.clone();
+        let gauge = gauge.clone();
+        let histogram = histogram.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                counter.inc();
+                gauge.add(1);
+                gauge.sub(1);
+                histogram.record(t as u64 * 1000 + (i % 7));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("stress_hits_total"),
+        THREADS as u64 * PER_THREAD
+    );
+    assert_eq!(snap.gauge("stress_inflight"), Some(0));
+    let h = snap.histogram("stress_size").unwrap();
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn concurrent_registration_converges_on_one_instrument() {
+    let registry = Registry::new();
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let registry = registry.clone();
+        handles.push(std::thread::spawn(move || {
+            // Everyone races to register the same ids, then increments
+            // whatever instrument won.
+            for round in 0..1000u64 {
+                let c =
+                    registry.counter(MetricId::new(format!("race_total_{}", round % 10), vec![]));
+                c.inc();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = registry.snapshot();
+    let total: u64 = (0..10)
+        .map(|i| snap.counter(&format!("race_total_{i}")))
+        .sum();
+    assert_eq!(total, 8 * 1000, "no increment lost to a registration race");
+    assert_eq!(snap.len(), 10, "exactly one instrument per id");
+}
+
+#[test]
+fn snapshots_during_writes_are_coherent_and_monotonic() {
+    let registry = Registry::new();
+    let counter = registry.scope("s").counter("n");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_w = stop.clone();
+    let counter_w = counter.clone();
+    let writer = std::thread::spawn(move || {
+        while !stop_w.load(std::sync::atomic::Ordering::Relaxed) {
+            counter_w.inc();
+        }
+    });
+    let mut last = 0u64;
+    for _ in 0..200 {
+        let now = registry.snapshot().counter("s_n");
+        assert!(now >= last, "counter went backwards: {last} -> {now}");
+        last = now;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+    assert_eq!(registry.snapshot().counter("s_n"), counter.get());
+}

@@ -30,7 +30,9 @@ impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> LatencyHistogram {
         LatencyHistogram {
-            buckets: (0..MAX_POW * SUB_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            buckets: (0..MAX_POW * SUB_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),

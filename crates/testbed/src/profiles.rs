@@ -8,8 +8,8 @@
 //! FSMonitor on Linux ("because of the minimal delay caused in the
 //! interface layer of FSMonitor due to the parsing of the path").
 
-pub use lustre_sim::config::{LustreConfig, TestbedKind};
 use lustre_sim::clock::CostModel;
+pub use lustre_sim::config::{LustreConfig, TestbedKind};
 
 /// The local platforms of §V-A1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,8 +24,11 @@ pub enum LocalPlatform {
 
 impl LocalPlatform {
     /// All platforms in paper order.
-    pub const ALL: [LocalPlatform; 3] =
-        [LocalPlatform::MacOs, LocalPlatform::Ubuntu, LocalPlatform::CentOs];
+    pub const ALL: [LocalPlatform; 3] = [
+        LocalPlatform::MacOs,
+        LocalPlatform::Ubuntu,
+        LocalPlatform::CentOs,
+    ];
 
     /// Display name as used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -139,7 +142,10 @@ mod tests {
     #[test]
     fn inotifywait_at_least_as_fast_as_fsmonitor_on_linux() {
         for p in [LocalPlatform::Ubuntu, LocalPlatform::CentOs] {
-            assert!(p.other_overhead().ns() <= p.fsmonitor_overhead().ns(), "{p:?}");
+            assert!(
+                p.other_overhead().ns() <= p.fsmonitor_overhead().ns(),
+                "{p:?}"
+            );
         }
     }
 

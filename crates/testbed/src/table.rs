@@ -107,6 +107,57 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Render as a JSON document:
+    /// `{"title": …, "header": […], "rows": [[…]…], "notes": […]}`.
+    pub fn to_json(&self) -> String {
+        let arr = |items: &[String]| -> String {
+            let cells: Vec<String> = items.iter().map(|s| json_escape(s)).collect();
+            format!("[{}]", cells.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"title\":{},\"header\":{},\"rows\":[{}],\"notes\":{}}}",
+            json_escape(&self.title),
+            arr(&self.header),
+            rows.join(","),
+            arr(&self.notes),
+        )
+    }
+
+    /// Print the table; when `--json` is among the process arguments,
+    /// also write the JSON rendering to `BENCH_<name>.json` in the
+    /// current directory (the machine-readable lane of every table
+    /// binary).
+    pub fn emit(&self, name: &str) {
+        self.print();
+        if std::env::args().any(|a| a == "--json") {
+            let path = format!("BENCH_{name}.json");
+            match std::fs::write(&path, self.to_json()) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Escape a string as a JSON string literal (quotes included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format a float with one decimal place.
@@ -159,6 +210,19 @@ mod tests {
         t.row(["only-one"]);
         let out = t.render();
         assert!(out.contains("only-one"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut t = Table::new("T \"quoted\"").header(["a", "b"]);
+        t.row(["x\n", "1"]);
+        t.note("50% \\ done");
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\"title\":\"T \\\"quoted\\\"\",\"header\":[\"a\",\"b\"],\
+             \"rows\":[[\"x\\n\",\"1\"]],\"notes\":[\"50% \\\\ done\"]}"
+        );
     }
 
     #[test]

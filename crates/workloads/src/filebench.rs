@@ -137,7 +137,11 @@ mod tests {
         let fs = LustreFs::new(LustreConfig::small());
         let run = FilebenchWorkload::new(small_config(500)).populate(&fs.client());
         assert_eq!(run.files_created, 500);
-        assert!(run.dirs_created >= 24, "≈ files/width dirs: {}", run.dirs_created);
+        assert!(
+            run.dirs_created >= 24,
+            "≈ files/width dirs: {}",
+            run.dirs_created
+        );
     }
 
     #[test]
@@ -168,6 +172,9 @@ mod tests {
         let fs = LustreFs::new(LustreConfig::small());
         let run = FilebenchWorkload::new(small_config(5000)).populate(&fs.client());
         let projected_mb = (run.total_bytes as f64 / run.files_created as f64) * 50_000.0 / 1e6;
-        assert!((700.0..900.0).contains(&projected_mb), "projected {projected_mb} MB");
+        assert!(
+            (700.0..900.0).contains(&projected_mb),
+            "projected {projected_mb} MB"
+        );
     }
 }

@@ -55,8 +55,14 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let expected_mean = k * theta; // 16384
         let expected_var = k * theta * theta;
-        assert!((mean - expected_mean).abs() / expected_mean < 0.03, "mean {mean}");
-        assert!((var - expected_var).abs() / expected_var < 0.10, "var {var}");
+        assert!(
+            (mean - expected_mean).abs() / expected_mean < 0.03,
+            "mean {mean}"
+        );
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.10,
+            "var {var}"
+        );
     }
 
     #[test]

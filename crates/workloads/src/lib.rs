@@ -34,5 +34,8 @@ pub mod target;
 pub use filebench::{FilebenchConfig, FilebenchWorkload};
 pub use hacc::{HaccIoWorkload, IoMode};
 pub use ior::IorWorkload;
-pub use scripts::{evaluate_output_script, evaluate_output_script_stepped, EvaluatePerformanceScript, ScriptVariant};
+pub use scripts::{
+    evaluate_output_script, evaluate_output_script_stepped, EvaluatePerformanceScript,
+    ScriptVariant,
+};
 pub use target::WorkloadTarget;

@@ -302,7 +302,6 @@ impl ScriptSession {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,15 +381,18 @@ mod tests {
     #[test]
     fn deadline_run_terminates() {
         let fs = LustreFs::new(LustreConfig::small());
-        let run = EvaluatePerformanceScript::default()
-            .run_for(&fs.client(), Duration::from_millis(30));
+        let run =
+            EvaluatePerformanceScript::default().run_for(&fs.client(), Duration::from_millis(30));
         assert!(run.elapsed >= Duration::from_millis(30));
         assert!(run.operations > 0);
     }
 
     #[test]
     fn variant_names() {
-        assert_eq!(ScriptVariant::CreateModifyDelete.name(), "create+modify+delete");
+        assert_eq!(
+            ScriptVariant::CreateModifyDelete.name(),
+            "create+modify+delete"
+        );
         assert_eq!(ScriptVariant::CreateDelete.name(), "create+delete");
         assert_eq!(ScriptVariant::CreateModify.name(), "create+modify");
     }

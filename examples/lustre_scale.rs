@@ -67,12 +67,14 @@ fn main() {
     let collector = monitor.total_collector_stats();
     println!("\nresults after {elapsed:.1?}:");
     println!("  events generated : {total_ops}");
-    println!("  events reported  : {} ({:.1}% of generated)",
+    println!(
+        "  events reported  : {} ({:.1}% of generated)",
         agg.received,
         100.0 * agg.received as f64 / total_ops.max(1) as f64
     );
     println!("  events persisted : {}", agg.stored);
-    println!("  fid2path calls   : {} (cache hit ratio {:.1}%)",
+    println!(
+        "  fid2path calls   : {} (cache hit ratio {:.1}%)",
         collector.fid2path_calls,
         100.0 * collector.cache_hits as f64
             / (collector.cache_hits + collector.cache_misses).max(1) as f64

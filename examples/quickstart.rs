@@ -16,7 +16,8 @@ use fsmon_events::EventFormatter;
 use std::path::PathBuf;
 
 fn main() {
-    let dir: PathBuf = std::env::temp_dir().join(format!("fsmon-quickstart-{}", std::process::id()));
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("fsmon-quickstart-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create watch dir");
     println!("watching {}", dir.display());

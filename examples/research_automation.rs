@@ -76,7 +76,9 @@ fn main() {
     }
     client.create("/scratch/notes.txt").unwrap(); // outside the filter
     client.create("/beamline/run42/README").unwrap(); // wrong suffix
-    client.write("/beamline/run42/shot-0000.h5", 0, 1 << 20).unwrap();
+    client
+        .write("/beamline/run42/shot-0000.h5", 0, 1 << 20)
+        .unwrap();
     client.unlink("/beamline/run42/shot-0004.h5").unwrap();
 
     // React to the stream.

@@ -47,13 +47,21 @@ fn main() {
     client.mkdir_all("/proj/climate").unwrap();
     client.mkdir_all("/proj/genomics").unwrap();
     client.create("/proj/climate/temps-2019.csv").unwrap();
-    client.write("/proj/climate/temps-2019.csv", 0, 80_000).unwrap();
+    client
+        .write("/proj/climate/temps-2019.csv", 0, 80_000)
+        .unwrap();
     client.create("/proj/climate/model-output.h5").unwrap();
-    client.write("/proj/climate/model-output.h5", 0, 4 << 20).unwrap();
+    client
+        .write("/proj/climate/model-output.h5", 0, 4 << 20)
+        .unwrap();
     client.create("/proj/genomics/reads.txt").unwrap();
     client.create("/proj/genomics/plot.png").unwrap();
-    client.rename("/proj/genomics/reads.txt", "/proj/genomics/reads-v1.txt").unwrap();
-    client.write("/proj/climate/temps-2019.csv", 80_000, 20_000).unwrap();
+    client
+        .rename("/proj/genomics/reads.txt", "/proj/genomics/reads-v1.txt")
+        .unwrap();
+    client
+        .write("/proj/climate/temps-2019.csv", 80_000, 20_000)
+        .unwrap();
     client.unlink("/proj/genomics/plot.png").unwrap();
 
     // The catalog: maintained purely from the event stream.
@@ -93,7 +101,10 @@ fn main() {
         }
     }
 
-    println!("catalog after event-driven updates ({} entries):", catalog.len());
+    println!(
+        "catalog after event-driven updates ({} entries):",
+        catalog.len()
+    );
     let mut paths: Vec<_> = catalog.keys().collect();
     paths.sort();
     for path in paths {
@@ -113,9 +124,18 @@ fn main() {
     println!("\nsearch file_type=tabular -> {tabular:?}");
 
     assert_eq!(catalog.len(), 3, "csv, h5, renamed txt remain");
-    assert!(catalog.contains_key("/proj/genomics/reads-v1.txt"), "rename re-keyed");
-    assert!(!catalog.contains_key("/proj/genomics/plot.png"), "delete evicted");
-    assert_eq!(catalog["/proj/climate/temps-2019.csv"].versions, 3, "two writes tracked");
+    assert!(
+        catalog.contains_key("/proj/genomics/reads-v1.txt"),
+        "rename re-keyed"
+    );
+    assert!(
+        !catalog.contains_key("/proj/genomics/plot.png"),
+        "delete evicted"
+    );
+    assert_eq!(
+        catalog["/proj/climate/temps-2019.csv"].versions, 3,
+        "two writes tracked"
+    );
     monitor.stop();
     println!("catalog is consistent with the namespace — no crawl performed");
 }

@@ -22,12 +22,12 @@ fn rules_engine_drives_flows_from_live_lustre_events() {
     let mut rules = RuleSet::new();
     {
         let flows = flows.clone();
-        rules.add(Rule::on_create("ingest", "/beamline/**/*.h5").run(
-            move |ev: &StandardEvent| {
+        rules.add(
+            Rule::on_create("ingest", "/beamline/**/*.h5").run(move |ev: &StandardEvent| {
                 flows.lock().push(format!("ingest {}", ev.path));
                 Ok(())
-            },
-        ));
+            }),
+        );
     }
     {
         let flows = flows.clone();
@@ -38,9 +38,10 @@ fn rules_engine_drives_flows_from_live_lustre_events() {
             },
         ));
     }
-    rules.add(Rule::on_create("unreliable", "/beamline/**").run(
-        |_ev: &StandardEvent| Err(ActionError("flow service 503".into())),
-    ));
+    rules.add(
+        Rule::on_create("unreliable", "/beamline/**")
+            .run(|_ev: &StandardEvent| Err(ActionError("flow service 503".into()))),
+    );
     let mut engine = Engine::new(rules);
 
     let client = fs.client();
@@ -90,7 +91,10 @@ fn catalog_stays_consistent_with_live_namespace() {
 
     assert_eq!(catalog.len(), 2);
     assert_eq!(catalog.get("/proj/a.csv").unwrap().versions, 2);
-    assert_eq!(catalog.get("/proj/b.h5").unwrap().file_type, "scientific-array");
+    assert_eq!(
+        catalog.get("/proj/b.h5").unwrap().file_type,
+        "scientific-array"
+    );
     assert!(catalog.get("/proj/b.tmp").is_none(), "rename re-keyed");
     assert!(catalog.get("/proj/c.txt").is_none(), "delete evicted");
     assert_eq!(catalog.find_by_type("tabular"), vec!["/proj/a.csv"]);

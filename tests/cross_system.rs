@@ -23,7 +23,12 @@ use std::time::Duration;
 fn signature(events: &[StandardEvent]) -> Vec<String> {
     let mut out: Vec<String> = events
         .iter()
-        .filter(|e| !matches!(e.kind, EventKind::Open | EventKind::Close | EventKind::CloseNoWrite))
+        .filter(|e| {
+            !matches!(
+                e.kind,
+                EventKind::Open | EventKind::Close | EventKind::CloseNoWrite
+            )
+        })
         .map(|e| {
             let kind = if e.kind == EventKind::CloseWrite {
                 EventKind::Modify.to_string()

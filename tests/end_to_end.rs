@@ -31,7 +31,7 @@ fn full_pipeline_orders_and_resolves_every_event() {
             EventKind::Modify,    // write
             EventKind::MovedFrom, // rename
             EventKind::MovedTo,
-            EventKind::Delete,    // unlink
+            EventKind::Delete, // unlink
         ]
     );
     assert!(events[0].is_dir);
@@ -39,7 +39,9 @@ fn full_pipeline_orders_and_resolves_every_event() {
     assert_eq!(events[4].path, "/data/b.dat");
     assert_eq!(events[4].old_path.as_deref(), Some("/data/a.dat"));
     assert_eq!(events[5].path, "/data/b.dat");
-    assert!(events.iter().all(|e| e.source == MonitorSource::LustreChangelog));
+    assert!(events
+        .iter()
+        .all(|e| e.source == MonitorSource::LustreChangelog));
     // Timestamps are monotone (single MDS).
     for w in events.windows(2) {
         assert!(w[1].timestamp_ns >= w[0].timestamp_ns);
@@ -70,7 +72,10 @@ fn changelogs_are_purged_behind_the_collectors() {
     let retained: usize = (0..fs.mdt_count())
         .map(|i| fs.mdt(i).changelog_stats().retained)
         .sum();
-    assert_eq!(retained, 0, "collectors purge consumed records (§IV Processing)");
+    assert_eq!(
+        retained, 0,
+        "collectors purge consumed records (§IV Processing)"
+    );
     monitor.stop();
 }
 
@@ -115,8 +120,7 @@ fn lustre_dsi_through_core_fsmonitor_with_filtering() {
     std::thread::sleep(Duration::from_millis(100));
     fsmon.pump_until_idle(16);
     let events = wanted.drain();
-    let got: Vec<(EventKind, String)> =
-        events.into_iter().map(|e| (e.kind, e.path)).collect();
+    let got: Vec<(EventKind, String)> = events.into_iter().map(|e| (e.kind, e.path)).collect();
     assert_eq!(
         got,
         vec![

@@ -90,7 +90,11 @@ fn store_watermark_is_shared_across_consumers() {
     let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
     for i in 0..10 {
         store
-            .append(&StandardEvent::new(EventKind::Create, "/r", format!("f{i}")))
+            .append(&StandardEvent::new(
+                EventKind::Create,
+                "/r",
+                format!("f{i}"),
+            ))
             .unwrap();
     }
     store.mark_reported(4).unwrap();
@@ -102,8 +106,8 @@ fn store_watermark_is_shared_across_consumers() {
 
 #[test]
 fn subscriber_overflow_is_bounded_and_counted() {
-    use fsmon_core::{FsMonitor, MonitorConfig};
     use fsmon_core::dsi::local::SimInotifyDsi;
+    use fsmon_core::{FsMonitor, MonitorConfig};
     use fsmon_localfs::{InotifySim, SimFs};
 
     let fs = SimFs::new();

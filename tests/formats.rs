@@ -72,7 +72,10 @@ fn signature(events: &[StandardEvent]) -> Vec<String> {
 #[test]
 fn linux_and_macos_agree_structurally() {
     // The paper's Table II claim, verbatim.
-    assert_eq!(signature(&run_platform("linux")), signature(&run_platform("macos")));
+    assert_eq!(
+        signature(&run_platform("linux")),
+        signature(&run_platform("macos"))
+    );
 }
 
 #[test]
@@ -99,12 +102,18 @@ fn windows_reports_the_four_native_types_standardized() {
     let events = run_platform("windows");
     // FileSystemWatcher has no MOVED_FROM; renames arrive as a single
     // Renamed event standardized to MovedTo with old_path.
-    let moved: Vec<&StandardEvent> =
-        events.iter().filter(|e| e.kind == EventKind::MovedTo).collect();
+    let moved: Vec<&StandardEvent> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::MovedTo)
+        .collect();
     assert_eq!(moved.len(), 2);
     assert_eq!(moved[0].old_path.as_deref(), Some("/hello.txt"));
-    assert!(events.iter().any(|e| e.kind == EventKind::Create && e.path == "/hello.txt"));
-    assert!(events.iter().any(|e| e.kind == EventKind::Delete && e.path == "/okdir/hi.txt"));
+    assert!(events
+        .iter()
+        .any(|e| e.kind == EventKind::Create && e.path == "/hello.txt"));
+    assert!(events
+        .iter()
+        .any(|e| e.kind == EventKind::Delete && e.path == "/okdir/hi.txt"));
 }
 
 #[test]

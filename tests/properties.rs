@@ -2,8 +2,8 @@
 
 use bytes::Bytes;
 use fsmon_events::{
-    decode_event, decode_event_batch, encode_event, encode_event_batch, EventKind,
-    MonitorSource, StandardEvent,
+    decode_event, decode_event_batch, encode_event, encode_event_batch, EventKind, MonitorSource,
+    StandardEvent,
 };
 use fsmon_lustre::Collector;
 use lustre_sim::{ChangelogRecord, Fid, LustreConfig, LustreFs};

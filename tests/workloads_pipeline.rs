@@ -4,9 +4,7 @@
 use fsmon_core::EventFilter;
 use fsmon_events::EventKind;
 use fsmon_lustre::{ScalableConfig, ScalableMonitor};
-use fsmon_workloads::{
-    FilebenchConfig, FilebenchWorkload, HaccIoWorkload, IorWorkload,
-};
+use fsmon_workloads::{FilebenchConfig, FilebenchWorkload, HaccIoWorkload, IorWorkload};
 use lustre_sim::{LustreConfig, LustreFs, TestbedKind};
 use std::time::Duration;
 
@@ -35,7 +33,9 @@ fn ior_ssf_produces_exactly_one_create_and_delete() {
     assert_eq!(run.files_deleted, 1);
     let expected = fs.op_counters().total();
     assert!(monitor.wait_events(expected, Duration::from_secs(30)));
-    let events = monitor.consumer().recv_batch(1 << 20, Duration::from_secs(2));
+    let events = monitor
+        .consumer()
+        .recv_batch(1 << 20, Duration::from_secs(2));
     let creates = events
         .iter()
         .filter(|e| e.kind == EventKind::Create && e.path.contains("testFileSSF"))
@@ -62,15 +62,21 @@ fn hacc_fpp_produces_one_create_delete_per_rank() {
     assert_eq!(run.files_deleted, 64);
     let expected = fs.op_counters().total();
     assert!(monitor.wait_events(expected, Duration::from_secs(30)));
-    let events = monitor.consumer().recv_batch(1 << 20, Duration::from_secs(2));
+    let events = monitor
+        .consumer()
+        .recv_batch(1 << 20, Duration::from_secs(2));
     for rank in [0u32, 31, 63] {
         let name = workload.file_name(rank);
         assert!(
-            events.iter().any(|e| e.kind == EventKind::Create && e.path == name),
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::Create && e.path == name),
             "create for {name}"
         );
         assert!(
-            events.iter().any(|e| e.kind == EventKind::Delete && e.path == name),
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::Delete && e.path == name),
             "delete for {name}"
         );
     }
@@ -89,7 +95,9 @@ fn filebench_population_is_fully_reported_with_no_loss() {
     assert_eq!(run.files_created, 2000);
     let expected = fs.op_counters().total();
     assert!(monitor.wait_events(expected, Duration::from_secs(60)));
-    let events = monitor.consumer().recv_batch(1 << 20, Duration::from_secs(2));
+    let events = monitor
+        .consumer()
+        .recv_batch(1 << 20, Duration::from_secs(2));
     let file_creates = events
         .iter()
         .filter(|e| e.kind == EventKind::Create && !e.is_dir && e.path.starts_with("/bigfileset"))
