@@ -59,12 +59,27 @@ pub enum Command {
         format: StatsFormat,
         /// Parse this exported snapshot instead of running a pipeline.
         from: Option<String>,
+        /// Diff two exported snapshots (`before`, `after`) instead of
+        /// running a pipeline.
+        diff: Option<(String, String)>,
         /// Number of MDSs for the live run.
         mds: u16,
         /// Workload seconds for the live run.
         seconds: u64,
         /// Collector cache size for the live run.
         cache: usize,
+    },
+    /// Run the pipeline under a fault-injection plan and report a
+    /// loss/duplication verdict.
+    Chaos {
+        /// Named fault plan (`none`, `basic`, `storm`).
+        plan: String,
+        /// Deterministic seed for every injection site.
+        seed: u64,
+        /// Number of MDSs.
+        mds: u16,
+        /// Workload seconds.
+        seconds: u64,
     },
     /// Print usage.
     Help,
@@ -116,7 +131,8 @@ USAGE:
   fsmon replay --store DIR [--since ID] [--max N]
   fsmon demo-lustre [--mds N] [--seconds S] [--cache N]
   fsmon stats [--format summary|prometheus|json] [--from FILE]
-              [--mds N] [--seconds S] [--cache N]
+              [--diff BEFORE AFTER] [--mds N] [--seconds S] [--cache N]
+  fsmon chaos [--plan none|basic|storm] [--seed N] [--mds N] [--seconds S]
   fsmon help
 
 FORMATS: inotify (default), kqueue, fsevents, filesystemwatcher
@@ -140,6 +156,7 @@ impl Cli {
             Some("replay") => Self::parse_replay(&mut iter)?,
             Some("demo-lustre") => Self::parse_demo(&mut iter)?,
             Some("stats") => Self::parse_stats(&mut iter)?,
+            Some("chaos") => Self::parse_chaos(&mut iter)?,
             Some(other) => return Err(ParseError(format!("unknown command: {other}"))),
         };
         Ok(Cli { command })
@@ -271,6 +288,7 @@ impl Cli {
     fn parse_stats<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
         let mut format = StatsFormat::Summary;
         let mut from = None;
+        let mut diff = None;
         let mut mds = 1;
         let mut seconds = 1;
         let mut cache = 5000;
@@ -282,6 +300,14 @@ impl Cli {
                         .ok_or_else(|| ParseError(format!("unknown stats format: {v}")))?;
                 }
                 "--from" => from = Some(take_value(arg, iter)?.to_string()),
+                "--diff" => {
+                    let before = take_value(arg, iter)?.to_string();
+                    let after = iter
+                        .next()
+                        .ok_or_else(|| ParseError("--diff requires two files".into()))?
+                        .to_string();
+                    diff = Some((before, after));
+                }
                 "--mds" => {
                     mds = take_value(arg, iter)?
                         .parse()
@@ -303,9 +329,44 @@ impl Cli {
         Ok(Command::Stats {
             format,
             from,
+            diff,
             mds,
             seconds,
             cache,
+        })
+    }
+
+    fn parse_chaos<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut plan = "basic".to_string();
+        let mut seed = 7;
+        let mut mds = 1;
+        let mut seconds = 2;
+        while let Some(arg) = iter.next() {
+            match arg {
+                "--plan" => plan = take_value(arg, iter)?.to_string(),
+                "--seed" => {
+                    seed = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--seed must be a number".into()))?
+                }
+                "--mds" => {
+                    mds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--mds must be a number".into()))?
+                }
+                "--seconds" => {
+                    seconds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--seconds must be a number".into()))?
+                }
+                other => return Err(ParseError(format!("unknown flag for chaos: {other}"))),
+            }
+        }
+        Ok(Command::Chaos {
+            plan,
+            seed,
+            mds,
+            seconds,
         })
     }
 }
@@ -462,6 +523,7 @@ mod tests {
             Command::Stats {
                 format: StatsFormat::Summary,
                 from: None,
+                diff: None,
                 mds: 1,
                 seconds: 1,
                 cache: 5000
@@ -482,6 +544,7 @@ mod tests {
             Command::Stats {
                 format: StatsFormat::Json,
                 from: Some("/tmp/snap.json".into()),
+                diff: None,
                 mds: 2,
                 seconds: 1,
                 cache: 5000
@@ -489,6 +552,55 @@ mod tests {
         );
         assert!(Cli::parse(["stats", "--format", "xml"]).is_err());
         assert!(Cli::parse(["stats", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn stats_diff_takes_two_files() {
+        let cli = Cli::parse(["stats", "--diff", "/a.prom", "/b.prom"]).unwrap();
+        match cli.command {
+            Command::Stats { diff, .. } => {
+                assert_eq!(diff, Some(("/a.prom".into(), "/b.prom".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Cli::parse(["stats", "--diff", "/only-one"]).is_err());
+    }
+
+    #[test]
+    fn chaos_parsing() {
+        let cli = Cli::parse(["chaos"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Chaos {
+                plan: "basic".into(),
+                seed: 7,
+                mds: 1,
+                seconds: 2
+            }
+        );
+        let cli = Cli::parse([
+            "chaos",
+            "--plan",
+            "storm",
+            "--seed",
+            "42",
+            "--mds",
+            "2",
+            "--seconds",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Chaos {
+                plan: "storm".into(),
+                seed: 42,
+                mds: 2,
+                seconds: 1
+            }
+        );
+        assert!(Cli::parse(["chaos", "--seed", "abc"]).is_err());
+        assert!(Cli::parse(["chaos", "--wat"]).is_err());
     }
 
     #[test]

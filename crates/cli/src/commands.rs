@@ -48,10 +48,25 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
         Command::Stats {
             format,
             from,
+            diff,
             mds,
             seconds,
             cache,
-        } => stats(format, from.as_deref(), mds, seconds, cache, out),
+        } => stats(
+            format,
+            from.as_deref(),
+            diff.as_ref(),
+            mds,
+            seconds,
+            cache,
+            out,
+        ),
+        Command::Chaos {
+            plan,
+            seed,
+            mds,
+            seconds,
+        } => chaos(&plan, seed, mds, seconds, out),
     }
 }
 
@@ -311,55 +326,137 @@ fn write_stats_summary(snap: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
         snap.counter("fsmon_consumer_filtered_total"),
         snap.counter("fsmon_consumer_dropped_total"),
     );
+    let _ = writeln!(
+        out,
+        "faults    : {} injected",
+        snap.counter("fsmon_faults_injected_total"),
+    );
+    let _ = writeln!(
+        out,
+        "recovery  : {} collector restarts, {} lane restarts, {} store retries, {} dedup-dropped",
+        snap.counter("fsmon_supervisor_restarts_total"),
+        snap.counter("fsmon_aggregator_lane_restarts_total"),
+        snap.counter("fsmon_aggregator_store_retries_total"),
+        snap.counter("fsmon_aggregator_dedup_dropped_total"),
+    );
+    let _ = writeln!(
+        out,
+        "            {} gaps detected, {} events healed, {} dups dropped, {} reconnects",
+        snap.counter("fsmon_consumer_gaps_detected_total"),
+        snap.counter("fsmon_consumer_gap_events_healed_total"),
+        snap.counter("fsmon_consumer_duplicates_dropped_total"),
+        snap.counter("fsmon_consumer_reconnects_total"),
+    );
+}
+
+/// Load an exported snapshot file, auto-detecting the dialect:
+/// JSON documents open with '{', Prometheus text with '#' or a
+/// metric name.
+fn load_snapshot(path: &str, out: &mut dyn Write) -> Option<fsmon_telemetry::Snapshot> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot read {path}: {e}");
+            return None;
+        }
+    };
+    let parsed = if text.trim_start().starts_with('{') {
+        fsmon_telemetry::export::parse_json(&text)
+    } else {
+        fsmon_telemetry::export::parse_prometheus(&text)
+    };
+    match parsed {
+        Ok(s) => Some(s),
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot parse {path}: {e}");
+            None
+        }
+    }
+}
+
+/// Per-instrument listing of a delta snapshot: one line per metric
+/// that changed, keyed by its full id (`name{label="v"}`). Counters
+/// and histograms with a zero delta are elided; gauges always show
+/// their current value.
+fn write_delta_listing(delta: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
+    use fsmon_telemetry::MetricValue;
+    let mut shown = 0usize;
+    for (id, value) in &delta.metrics {
+        match value {
+            MetricValue::Counter(0) => continue,
+            MetricValue::Counter(n) => {
+                let _ = writeln!(out, "{id} +{n}");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "{id} = {g}");
+            }
+            MetricValue::Histogram(h) => {
+                if h.count() == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{id} +{} samples (p50 {} / p99 {})",
+                    h.count(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                );
+            }
+        }
+        shown += 1;
+    }
+    if shown == 0 {
+        let _ = writeln!(out, "(no change)");
+    }
 }
 
 fn stats(
     format: StatsFormat,
     from: Option<&str>,
+    diff: Option<&(String, String)>,
     mds: u16,
     seconds: u64,
     cache: usize,
     out: &mut dyn Write,
 ) -> i32 {
-    let snap = match from {
-        Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    let _ = writeln!(out, "error: cannot read {path}: {e}");
-                    return 2;
-                }
-            };
-            // Exported snapshots are self-describing: JSON documents
-            // open with '{', Prometheus text with '#' or a metric name.
-            let parsed = if text.trim_start().starts_with('{') {
-                fsmon_telemetry::export::parse_json(&text)
-            } else {
-                fsmon_telemetry::export::parse_prometheus(&text)
-            };
-            match parsed {
-                Ok(s) => s,
-                Err(e) => {
-                    let _ = writeln!(out, "error: cannot parse {path}: {e}");
-                    return 2;
-                }
-            }
+    let snap = if let Some((before_path, after_path)) = diff {
+        let Some(before) = load_snapshot(before_path, out) else {
+            return 2;
+        };
+        let Some(after) = load_snapshot(after_path, out) else {
+            return 2;
+        };
+        let delta = after.delta_from(&before);
+        if format == StatsFormat::Summary {
+            let _ = writeln!(out, "--- delta {before_path} -> {after_path} ---");
+            write_delta_listing(&delta, out);
+            return 0;
         }
-        None => {
-            // Keep stdout machine-parseable for the export formats.
-            if format == StatsFormat::Summary {
-                let _ = writeln!(
-                    out,
-                    "running simulated pipeline: {mds} MDS(s), {seconds}s, cache {cache}"
-                );
-            } else {
-                eprintln!("running simulated pipeline: {mds} MDS(s), {seconds}s, cache {cache}");
+        delta
+    } else {
+        match from {
+            Some(path) => match load_snapshot(path, out) {
+                Some(s) => s,
+                None => return 2,
+            },
+            None => {
+                // Keep stdout machine-parseable for the export formats.
+                if format == StatsFormat::Summary {
+                    let _ = writeln!(
+                        out,
+                        "running simulated pipeline: {mds} MDS(s), {seconds}s, cache {cache}"
+                    );
+                } else {
+                    eprintln!(
+                        "running simulated pipeline: {mds} MDS(s), {seconds}s, cache {cache}"
+                    );
+                }
+                if let Err(e) = run_sim_pipeline(mds, seconds, cache) {
+                    let _ = writeln!(out, "error: {e}");
+                    return 2;
+                }
+                fsmon_telemetry::global().snapshot()
             }
-            if let Err(e) = run_sim_pipeline(mds, seconds, cache) {
-                let _ = writeln!(out, "error: {e}");
-                return 2;
-            }
-            fsmon_telemetry::global().snapshot()
         }
     };
     match format {
@@ -372,6 +469,157 @@ fn stats(
         }
     }
     0
+}
+
+/// Run the simulated pipeline under an armed fault plan and verify the
+/// end-to-end delivery guarantee: every generated event reaches the
+/// consumer exactly once (live or healed from the store), despite
+/// injected disconnects, store errors, and lane crashes.
+fn chaos(plan_name: &str, seed: u64, mds: u16, seconds: u64, out: &mut dyn Write) -> i32 {
+    use fsmon_faults::FaultPlan;
+    use fsmon_lustre::{ScalableConfig, ScalableMonitor};
+    use fsmon_telemetry::MetricValue;
+    use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
+    use lustre_sim::{LustreConfig, LustreFs};
+    use std::sync::Arc;
+
+    let Some(plan) = FaultPlan::named(plan_name, seed) else {
+        let _ = writeln!(
+            out,
+            "error: unknown fault plan {plan_name:?} (known: {})",
+            FaultPlan::NAMED.join(", ")
+        );
+        return 2;
+    };
+    let faults = plan.arm();
+    let before = fsmon_telemetry::global().snapshot();
+
+    // Small segments so the run exercises rolls (and, under `storm`,
+    // torn-tail quarantine) rather than staying inside one segment.
+    let dir = std::env::temp_dir().join(format!("fsmon-chaos-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = match FileStore::open_with(dir.join("store"), 64 * 1024, faults.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot open chaos store: {e}");
+            return 2;
+        }
+    };
+
+    let _ = writeln!(
+        out,
+        "chaos: plan {plan_name:?} seed {seed}, {mds} MDS(s), {seconds}s workload"
+    );
+    let fs = LustreFs::new(LustreConfig::small_dne(mds.max(1)));
+    let monitor = match ScalableMonitor::start(
+        &fs,
+        ScalableConfig {
+            cache_size: 2000,
+            // Small batches mean more publishes, so injected faults land
+            // between batches often enough to matter.
+            batch_size: 64,
+            store: Some(Arc::new(store)),
+            cursor_file: Some(dir.join("cursors")),
+            faults: faults.clone(),
+            ..ScalableConfig::default()
+        },
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    let consumer = monitor.consumer().clone();
+
+    let client = fs.client();
+    let run = EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
+        .with_working_set(1024)
+        .run_for(&client, Duration::from_secs(seconds.max(1)));
+    let expected = run.operations;
+    monitor.wait_events(expected, Duration::from_secs(60));
+
+    // Drain the live feed until it goes quiet.
+    let mut ids: Vec<u64> = Vec::new();
+    let live_deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let batch = consumer.recv_batch(8192, Duration::from_millis(200));
+        if batch.is_empty() || Instant::now() >= live_deadline {
+            ids.extend(batch.iter().map(|e| e.id));
+            break;
+        }
+        ids.extend(batch.iter().map(|e| e.id));
+    }
+
+    // Stopping joins the store lane, so the store now holds every
+    // stamped event; anything the live feed missed heals from there.
+    monitor.stop();
+    consumer.catch_up();
+    loop {
+        let batch = consumer.recv_batch(8192, Duration::from_millis(50));
+        if batch.is_empty() {
+            break;
+        }
+        ids.extend(batch.iter().map(|e| e.id));
+    }
+
+    let total = ids.len() as u64;
+    ids.sort_unstable();
+    ids.dedup();
+    let unique = ids.len() as u64;
+    // Stamped ids are dense from 1, so a fault-free run delivers
+    // exactly 1..=expected. Ids beyond that range mean an upstream
+    // duplicate slipped past dedup and was stamped as a fresh event.
+    let in_range = ids
+        .iter()
+        .filter(|&&id| (1..=expected).contains(&id))
+        .count() as u64;
+    let lost = expected - in_range;
+    let duplicated = (total - unique) + (unique - in_range);
+
+    let after = fsmon_telemetry::global().snapshot();
+    let delta = after.delta_from(&before);
+    let _ = writeln!(out, "--- fault/recovery counters ---");
+    let interesting = [
+        "fsmon_faults_",
+        "restarts_total",
+        "retries_total",
+        "dedup_dropped",
+        "gaps_detected",
+        "gap_events_healed",
+        "duplicates_dropped",
+        "reconnects_total",
+        "errors_total",
+        "torn_tails",
+        "quarantined",
+    ];
+    for (id, value) in &delta.metrics {
+        if let MetricValue::Counter(n) = value {
+            if *n > 0 && interesting.iter().any(|p| id.name.contains(p)) {
+                let _ = writeln!(out, "{id} +{n}");
+            }
+        }
+    }
+
+    let rate = expected as f64 / run.elapsed.as_secs_f64().max(1e-9);
+    let _ = writeln!(
+        out,
+        "generated : {expected} events in {:.1?} ({rate:.0} ev/s)",
+        run.elapsed
+    );
+    let _ = writeln!(out, "delivered : {total} events ({unique} unique)");
+    let pass = lost == 0 && duplicated == 0;
+    let _ = writeln!(
+        out,
+        "verdict   : lost {lost}, duplicated {duplicated} -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    if pass {
+        0
+    } else {
+        1
+    }
 }
 
 #[cfg(test)]
@@ -515,6 +763,69 @@ mod tests {
             assert!(out.contains(line), "missing {line:?} in {out}");
         }
         assert!(!out.contains("collector : 0 records"), "{out}");
+    }
+
+    #[test]
+    fn chaos_basic_plan_passes_with_zero_loss() {
+        let (code, out) = run_str(&["chaos", "--plan", "basic", "--seed", "7", "--seconds", "1"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("verdict   : lost 0, duplicated 0 -> PASS"),
+            "{out}"
+        );
+        assert!(out.contains("fault/recovery counters"), "{out}");
+    }
+
+    #[test]
+    fn chaos_unknown_plan_errors() {
+        let (code, out) = run_str(&["chaos", "--plan", "nope"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("none, basic, storm"), "{out}");
+    }
+
+    #[test]
+    fn stats_diff_reports_counter_deltas() {
+        let c = fsmon_telemetry::root()
+            .scope("clidiff")
+            .counter("ticks_total");
+        c.add(3);
+        let dir = std::env::temp_dir();
+        let a = dir.join(format!("fsmon-diff-a-{}.prom", std::process::id()));
+        let b = dir.join(format!("fsmon-diff-b-{}.json", std::process::id()));
+        std::fs::write(
+            &a,
+            fsmon_telemetry::export::render_prometheus(&fsmon_telemetry::global().snapshot()),
+        )
+        .unwrap();
+        c.add(5);
+        std::fs::write(
+            &b,
+            fsmon_telemetry::export::render_json(&fsmon_telemetry::global().snapshot()),
+        )
+        .unwrap();
+
+        let (code, out) = run_str(&["stats", "--diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("fsmon_clidiff_ticks_total +5"), "{out}");
+
+        // Machine formats render the delta snapshot itself.
+        let (code, out) = run_str(&[
+            "stats",
+            "--diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--format",
+            "json",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let delta = fsmon_telemetry::export::parse_json(&out).unwrap();
+        assert_eq!(delta.counter("fsmon_clidiff_ticks_total"), 5);
+
+        let (code, _) = run_str(&["stats", "--diff", a.to_str().unwrap(), "/nope.prom"]);
+        assert_eq!(code, 2);
+
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     #[test]

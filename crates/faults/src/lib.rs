@@ -1,0 +1,545 @@
+#![warn(missing_docs)]
+
+//! # fsmon-faults
+//!
+//! A deterministic, seed-driven fault-injection plane for the FSMonitor
+//! pipeline, plus the shared [`Retry`] policy every recovery path uses.
+//!
+//! The model: a [`FaultPlan`] names the faults to inject — a
+//! probability, an optional warm-up skip, and an injection budget per
+//! [`FaultPoint`] — and a seed. Arming the plan yields a cheap,
+//! cloneable [`Faults`] handle that components consult at their fault
+//! points via [`Faults::inject`]. When unarmed (the default
+//! everywhere), `inject` is a single `Option` check — production code
+//! pays nothing.
+//!
+//! Determinism: every fault point owns its own SplitMix64 stream,
+//! seeded from `(plan seed, point name)`. Whether a fault fires depends
+//! only on the seed and how many times *that point* has been consulted,
+//! never on thread interleaving across points — so a chaos run with a
+//! given seed injects a reproducible fault schedule per site.
+//!
+//! Every injection increments `fsmon_faults_injected_total{point=…}` so
+//! chaos verdicts can show what was actually thrown at the pipeline.
+//!
+//! ```
+//! use fsmon_faults::{FaultPlan, FaultPoint, FaultRule};
+//!
+//! let faults = FaultPlan::new(7)
+//!     .with(FaultPoint::StoreAppend, FaultRule::percent(50))
+//!     .arm();
+//! let fired = (0..100)
+//!     .filter(|_| faults.inject(FaultPoint::StoreAppend).is_some())
+//!     .count();
+//! assert!(fired > 10 && fired < 90);
+//! // Same seed, same schedule.
+//! let again = FaultPlan::new(7)
+//!     .with(FaultPoint::StoreAppend, FaultRule::percent(50))
+//!     .arm();
+//! let fired2 = (0..100)
+//!     .filter(|_| again.inject(FaultPoint::StoreAppend).is_some())
+//!     .count();
+//! assert_eq!(fired, fired2);
+//! ```
+
+mod retry;
+
+pub use retry::{Backoff, Retry};
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A place in the pipeline where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// `fid2path` returns a transient error.
+    Fid2Path = 0,
+    /// `fid2path` stalls for the rule's delay before answering.
+    Fid2PathDelay = 1,
+    /// Reading a changelog batch fails transiently.
+    ChangelogRead = 2,
+    /// Clearing (purging) consumed changelog records fails.
+    ChangelogPurge = 3,
+    /// A pub/sub link drops: TCP connection reset, inproc peer lost.
+    MqDisconnect = 4,
+    /// The publisher's high-water mark saturates and a send is dropped.
+    MqHwm = 5,
+    /// A store append fails with an I/O error before any bytes land.
+    StoreAppend = 6,
+    /// A store append tears mid-frame, leaving a torn tail on disk.
+    StoreTornTail = 7,
+    /// A collector lane thread crashes at a loop boundary.
+    CollectorCrash = 8,
+    /// The aggregator's publish lane crashes at a loop boundary.
+    AggregatorPublishCrash = 9,
+    /// The aggregator's store lane crashes at a loop boundary.
+    AggregatorStoreCrash = 10,
+}
+
+/// Number of distinct fault points.
+const POINTS: usize = 11;
+
+impl FaultPoint {
+    /// Every fault point, in declaration order.
+    pub const ALL: [FaultPoint; POINTS] = [
+        FaultPoint::Fid2Path,
+        FaultPoint::Fid2PathDelay,
+        FaultPoint::ChangelogRead,
+        FaultPoint::ChangelogPurge,
+        FaultPoint::MqDisconnect,
+        FaultPoint::MqHwm,
+        FaultPoint::StoreAppend,
+        FaultPoint::StoreTornTail,
+        FaultPoint::CollectorCrash,
+        FaultPoint::AggregatorPublishCrash,
+        FaultPoint::AggregatorStoreCrash,
+    ];
+
+    /// Stable label used for seeding and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::Fid2Path => "fid2path",
+            FaultPoint::Fid2PathDelay => "fid2path_delay",
+            FaultPoint::ChangelogRead => "changelog_read",
+            FaultPoint::ChangelogPurge => "changelog_purge",
+            FaultPoint::MqDisconnect => "mq_disconnect",
+            FaultPoint::MqHwm => "mq_hwm",
+            FaultPoint::StoreAppend => "store_append",
+            FaultPoint::StoreTornTail => "store_torn_tail",
+            FaultPoint::CollectorCrash => "collector_crash",
+            FaultPoint::AggregatorPublishCrash => "aggregator_publish_crash",
+            FaultPoint::AggregatorStoreCrash => "aggregator_store_crash",
+        }
+    }
+}
+
+/// What the consulted component should do about an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation (return the point's transient error).
+    Fail,
+    /// Stall for the given duration, then proceed normally.
+    Delay(Duration),
+    /// Crash: the lane should exit its loop as if the thread died.
+    Crash,
+}
+
+/// When and how often one fault point fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Firing probability per consultation, in parts per 10 000.
+    pub per_10k: u32,
+    /// Injection budget; 0 means unlimited.
+    pub max: u64,
+    /// Skip the first `after` consultations (warm-up grace).
+    pub after: u64,
+    /// Stall length for delay points; ignored elsewhere.
+    pub delay: Duration,
+}
+
+impl FaultRule {
+    /// Fire with probability `pct`% per consultation, no budget cap.
+    pub fn percent(pct: u32) -> FaultRule {
+        FaultRule {
+            per_10k: pct.saturating_mul(100).min(10_000),
+            max: 0,
+            after: 0,
+            delay: Duration::from_millis(5),
+        }
+    }
+
+    /// Fire with probability `per_10k`/10000 per consultation.
+    pub fn per_10k(per_10k: u32) -> FaultRule {
+        FaultRule {
+            per_10k: per_10k.min(10_000),
+            max: 0,
+            after: 0,
+            delay: Duration::from_millis(5),
+        }
+    }
+
+    /// Cap the total number of injections at this point.
+    pub fn limit(mut self, max: u64) -> FaultRule {
+        self.max = max;
+        self
+    }
+
+    /// Skip the first `after` consultations before rolling the dice.
+    pub fn after(mut self, after: u64) -> FaultRule {
+        self.after = after;
+        self
+    }
+
+    /// Set the stall length used by delay points.
+    pub fn delay(mut self, delay: Duration) -> FaultRule {
+        self.delay = delay;
+        self
+    }
+}
+
+/// A seeded schedule of injectable faults. Build one, then [`arm`]
+/// it into the [`Faults`] handle the pipeline consults.
+///
+/// [`arm`]: FaultPlan::arm
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<(FaultPoint, FaultRule)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing until rules are added).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add (or replace) the rule for one fault point.
+    pub fn with(mut self, point: FaultPoint, rule: FaultRule) -> FaultPlan {
+        self.rules.retain(|(p, _)| *p != point);
+        self.rules.push((point, rule));
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Look up a named plan: `none`, `basic`, or `storm`.
+    ///
+    /// * `none` — injects nothing; a control run.
+    /// * `basic` — the acceptance trio: mq disconnects, store append
+    ///   I/O errors, and collector crashes.
+    /// * `storm` — everything at once, including torn tails, HWM
+    ///   saturation, fid2path errors/latency, changelog read/purge
+    ///   failures, and aggregator lane crashes.
+    pub fn named(name: &str, seed: u64) -> Option<FaultPlan> {
+        match name {
+            "none" => Some(FaultPlan::new(seed)),
+            "basic" => Some(
+                FaultPlan::new(seed)
+                    .with(FaultPoint::MqDisconnect, FaultRule::per_10k(40).limit(8))
+                    .with(FaultPoint::StoreAppend, FaultRule::per_10k(200).limit(64))
+                    .with(
+                        FaultPoint::CollectorCrash,
+                        FaultRule::per_10k(150).after(20).limit(6),
+                    ),
+            ),
+            "storm" => Some(
+                FaultPlan::new(seed)
+                    .with(FaultPoint::Fid2Path, FaultRule::per_10k(100).limit(200))
+                    .with(
+                        FaultPoint::Fid2PathDelay,
+                        FaultRule::per_10k(50)
+                            .limit(50)
+                            .delay(Duration::from_millis(2)),
+                    )
+                    .with(FaultPoint::ChangelogRead, FaultRule::per_10k(200).limit(64))
+                    .with(
+                        FaultPoint::ChangelogPurge,
+                        FaultRule::per_10k(200).limit(64),
+                    )
+                    .with(FaultPoint::MqDisconnect, FaultRule::per_10k(60).limit(10))
+                    .with(FaultPoint::MqHwm, FaultRule::per_10k(80).limit(200))
+                    .with(FaultPoint::StoreAppend, FaultRule::per_10k(250).limit(64))
+                    .with(FaultPoint::StoreTornTail, FaultRule::per_10k(120).limit(16))
+                    .with(
+                        FaultPoint::CollectorCrash,
+                        FaultRule::per_10k(120).after(20).limit(6),
+                    )
+                    .with(
+                        FaultPoint::AggregatorPublishCrash,
+                        FaultRule::per_10k(30).after(50).limit(3),
+                    )
+                    .with(
+                        FaultPoint::AggregatorStoreCrash,
+                        FaultRule::per_10k(30).after(50).limit(3),
+                    ),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Names accepted by [`FaultPlan::named`].
+    pub const NAMED: [&'static str; 3] = ["none", "basic", "storm"];
+
+    /// Arm the plan: build the runtime plane the pipeline consults.
+    pub fn arm(&self) -> Faults {
+        Faults(Some(Arc::new(FaultPlane::new(self))))
+    }
+}
+
+/// Per-point runtime state: its RNG stream and its counters.
+struct Site {
+    rule: FaultRule,
+    rng: u64,
+    consults: u64,
+    injected: u64,
+    counter: Arc<fsmon_telemetry::metrics::Counter>,
+}
+
+/// The armed runtime behind a [`Faults`] handle.
+pub struct FaultPlane {
+    sites: [Mutex<Option<Site>>; POINTS],
+    injected_total: AtomicU64,
+}
+
+impl FaultPlane {
+    fn new(plan: &FaultPlan) -> FaultPlane {
+        let scope = fsmon_telemetry::root().scope("faults");
+        let sites: [Mutex<Option<Site>>; POINTS] = Default::default();
+        for (point, rule) in &plan.rules {
+            // Independent deterministic stream per site: mix the plan
+            // seed with the point's name so adding a rule for one point
+            // never shifts another point's schedule.
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in point.name().bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let counter = scope
+                .with_label("point", point.name())
+                .counter("injected_total");
+            *sites[*point as usize].lock() = Some(Site {
+                rule: *rule,
+                rng: plan.seed ^ h,
+                consults: 0,
+                injected: 0,
+                counter,
+            });
+        }
+        FaultPlane {
+            sites,
+            injected_total: AtomicU64::new(0),
+        }
+    }
+
+    fn inject(&self, point: FaultPoint) -> Option<FaultAction> {
+        let mut slot = self.sites[point as usize].lock();
+        let site = slot.as_mut()?;
+        site.consults += 1;
+        if site.consults <= site.rule.after {
+            return None;
+        }
+        if site.rule.max != 0 && site.injected >= site.rule.max {
+            return None;
+        }
+        if splitmix64(&mut site.rng) % 10_000 >= site.rule.per_10k as u64 {
+            return None;
+        }
+        site.injected += 1;
+        site.counter.inc();
+        self.injected_total.fetch_add(1, Ordering::Relaxed);
+        Some(match point {
+            FaultPoint::Fid2PathDelay => FaultAction::Delay(site.rule.delay),
+            FaultPoint::CollectorCrash
+            | FaultPoint::AggregatorPublishCrash
+            | FaultPoint::AggregatorStoreCrash => FaultAction::Crash,
+            _ => FaultAction::Fail,
+        })
+    }
+}
+
+/// A cheap, cloneable handle components consult at their fault points.
+///
+/// The default handle is unarmed and injects nothing; production code
+/// paths carry one at zero cost.
+#[derive(Clone, Default)]
+pub struct Faults(Option<Arc<FaultPlane>>);
+
+impl Faults {
+    /// The unarmed handle: never injects.
+    pub fn none() -> Faults {
+        Faults(None)
+    }
+
+    /// Whether a plan is armed behind this handle.
+    pub fn armed(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Consult the plane at `point`. `None` means proceed normally.
+    #[inline]
+    pub fn inject(&self, point: FaultPoint) -> Option<FaultAction> {
+        self.0.as_ref()?.inject(point)
+    }
+
+    /// Consult `point` and, for points that can stall, serve the stall
+    /// here. Returns `true` when the operation should fail.
+    pub fn inject_or_delay(&self, point: FaultPoint) -> bool {
+        match self.inject(point) {
+            None => false,
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                false
+            }
+            Some(_) => true,
+        }
+    }
+
+    /// Total faults injected through this handle so far.
+    pub fn injected_total(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|p| p.injected_total.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Faults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Faults")
+            .field("armed", &self.armed())
+            .field("injected_total", &self.injected_total())
+            .finish()
+    }
+}
+
+/// SplitMix64 step: advances `state` and returns the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(plan: &FaultPlan, point: FaultPoint, n: usize) -> Vec<bool> {
+        let faults = plan.arm();
+        (0..n).map(|_| faults.inject(point).is_some()).collect()
+    }
+
+    #[test]
+    fn unarmed_handle_never_injects() {
+        let faults = Faults::none();
+        for point in FaultPoint::ALL {
+            assert_eq!(faults.inject(point), None);
+        }
+        assert!(!faults.armed());
+        assert_eq!(faults.injected_total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::new(42).with(FaultPoint::StoreAppend, FaultRule::per_10k(3000));
+        assert_eq!(
+            schedule(&plan, FaultPoint::StoreAppend, 500),
+            schedule(&plan, FaultPoint::StoreAppend, 500)
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(1).with(FaultPoint::StoreAppend, FaultRule::per_10k(3000));
+        let b = FaultPlan::new(2).with(FaultPoint::StoreAppend, FaultRule::per_10k(3000));
+        assert_ne!(
+            schedule(&a, FaultPoint::StoreAppend, 500),
+            schedule(&b, FaultPoint::StoreAppend, 500)
+        );
+    }
+
+    #[test]
+    fn sites_are_independent_streams() {
+        // Adding a rule for another point must not shift this point's
+        // schedule.
+        let solo = FaultPlan::new(9).with(FaultPoint::MqHwm, FaultRule::per_10k(2500));
+        let duo = FaultPlan::new(9)
+            .with(FaultPoint::MqHwm, FaultRule::per_10k(2500))
+            .with(FaultPoint::Fid2Path, FaultRule::per_10k(2500));
+        let want = schedule(&solo, FaultPoint::MqHwm, 300);
+        let faults = duo.arm();
+        let got: Vec<bool> = (0..300)
+            .map(|_| {
+                // Interleave consultations of the other site.
+                let _ = faults.inject(FaultPoint::Fid2Path);
+                faults.inject(FaultPoint::MqHwm).is_some()
+            })
+            .collect();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn budget_and_warmup_are_enforced() {
+        let faults = FaultPlan::new(5)
+            .with(
+                FaultPoint::CollectorCrash,
+                FaultRule::per_10k(10_000).after(10).limit(3),
+            )
+            .arm();
+        let fired = (0..50)
+            .filter(|_| faults.inject(FaultPoint::CollectorCrash).is_some())
+            .count();
+        assert_eq!(fired, 3, "budget caps injections");
+        assert_eq!(faults.injected_total(), 3);
+        // None fired during warm-up: re-run and index consultations.
+        let again = FaultPlan::new(5)
+            .with(
+                FaultPoint::CollectorCrash,
+                FaultRule::per_10k(10_000).after(10).limit(3),
+            )
+            .arm();
+        for i in 0..10 {
+            assert!(
+                again.inject(FaultPoint::CollectorCrash).is_none(),
+                "warm-up consultation {i} must not fire"
+            );
+        }
+        assert!(again.inject(FaultPoint::CollectorCrash).is_some());
+    }
+
+    #[test]
+    fn actions_match_points() {
+        let faults = FaultPlan::new(3)
+            .with(FaultPoint::Fid2PathDelay, FaultRule::per_10k(10_000))
+            .with(FaultPoint::CollectorCrash, FaultRule::per_10k(10_000))
+            .with(FaultPoint::StoreAppend, FaultRule::per_10k(10_000))
+            .arm();
+        assert!(matches!(
+            faults.inject(FaultPoint::Fid2PathDelay),
+            Some(FaultAction::Delay(_))
+        ));
+        assert_eq!(
+            faults.inject(FaultPoint::CollectorCrash),
+            Some(FaultAction::Crash)
+        );
+        assert_eq!(
+            faults.inject(FaultPoint::StoreAppend),
+            Some(FaultAction::Fail)
+        );
+    }
+
+    #[test]
+    fn named_plans_resolve() {
+        for name in FaultPlan::NAMED {
+            assert!(FaultPlan::named(name, 7).is_some(), "{name}");
+        }
+        assert!(FaultPlan::named("bogus", 7).is_none());
+        // `none` injects nothing even at high consultation volume.
+        let none = FaultPlan::named("none", 7).unwrap().arm();
+        assert!((0..1000).all(|_| none.inject(FaultPoint::StoreAppend).is_none()));
+    }
+
+    #[test]
+    fn injections_visible_in_telemetry() {
+        let before = fsmon_telemetry::global().snapshot();
+        let faults = FaultPlan::new(11)
+            .with(
+                FaultPoint::MqDisconnect,
+                FaultRule::per_10k(10_000).limit(4),
+            )
+            .arm();
+        for _ in 0..10 {
+            let _ = faults.inject(FaultPoint::MqDisconnect);
+        }
+        let delta = fsmon_telemetry::global().snapshot().delta_from(&before);
+        assert_eq!(delta.counter("fsmon_faults_injected_total"), 4);
+    }
+}

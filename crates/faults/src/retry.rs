@@ -1,0 +1,218 @@
+//! The shared retry policy: bounded exponential backoff with
+//! decorrelated jitter and an overall deadline.
+//!
+//! One policy type serves every recovery path in the pipeline —
+//! collectors retrying `fid2path` and changelog reads, consumers
+//! re-dialing the mq, the aggregator's store lane riding out transient
+//! append failures — so backoff behaviour is tuned in one place.
+
+use std::time::{Duration, Instant};
+
+/// A bounded exponential backoff policy with decorrelated jitter.
+///
+/// `run` retries a fallible closure; `backoff` hands out an iterator of
+/// sleep durations for callers that need to drive the loop themselves
+/// (e.g. to check a stop flag between attempts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retry {
+    /// First (and minimum) sleep between attempts.
+    pub base: Duration,
+    /// Upper bound on any single sleep.
+    pub cap: Duration,
+    /// Maximum number of attempts (including the first); 0 acts as 1.
+    pub max_attempts: u32,
+    /// Overall budget across all attempts and sleeps.
+    pub deadline: Duration,
+    /// Seed for the jitter stream (deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for Retry {
+    fn default() -> Retry {
+        Retry {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+            max_attempts: 8,
+            deadline: Duration::from_secs(5),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl Retry {
+    /// A policy tuned for in-process transients: tiny sleeps, a handful
+    /// of attempts, five-second budget.
+    pub fn fast() -> Retry {
+        Retry::default()
+    }
+
+    /// A patient policy for link-level recovery (mq reconnects).
+    pub fn patient() -> Retry {
+        Retry {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(250),
+            max_attempts: 20,
+            deadline: Duration::from_secs(30),
+            ..Retry::default()
+        }
+    }
+
+    /// Override the jitter seed (chaos runs derive it from the plan).
+    pub fn with_seed(mut self, seed: u64) -> Retry {
+        self.seed = seed;
+        self
+    }
+
+    /// The sleep schedule as an iterator. Yields at most
+    /// `max_attempts - 1` sleeps and stops once the deadline would be
+    /// exceeded; an exhausted iterator means "give up".
+    pub fn backoff(&self) -> Backoff {
+        Backoff {
+            rng: self.seed | 1,
+            prev: self.base,
+            base: self.base,
+            cap: self.cap,
+            left: self.max_attempts.saturating_sub(1),
+            deadline: Instant::now() + self.deadline,
+        }
+    }
+
+    /// Run `op` until it succeeds or the policy is exhausted. The
+    /// closure receives the attempt number (0-based); the last error is
+    /// returned on exhaustion.
+    pub fn run<T, E>(&self, mut op: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
+        let mut backoff = self.backoff();
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => match backoff.next() {
+                    Some(sleep) => {
+                        std::thread::sleep(sleep);
+                        attempt += 1;
+                    }
+                    None => return Err(e),
+                },
+            }
+        }
+    }
+}
+
+/// Iterator of backoff sleeps produced by [`Retry::backoff`].
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    rng: u64,
+    prev: Duration,
+    base: Duration,
+    cap: Duration,
+    left: u32,
+    deadline: Instant,
+}
+
+impl Iterator for Backoff {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        if self.left == 0 || Instant::now() >= self.deadline {
+            return None;
+        }
+        self.left -= 1;
+        // Decorrelated jitter: uniform in [base, prev * 3], capped.
+        let lo = self.base.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64).saturating_mul(3).max(lo + 1);
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let pick = lo + z % (hi - lo);
+        let sleep = Duration::from_nanos(pick).min(self.cap);
+        // Never sleep past the deadline.
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        let sleep = sleep.min(remaining);
+        self.prev = sleep.max(self.base);
+        Some(sleep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_first_try_without_sleeping() {
+        let t0 = Instant::now();
+        let out: Result<u32, ()> = Retry::fast().run(|_| Ok(7));
+        assert_eq!(out, Ok(7));
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let mut calls = 0;
+        let out: Result<u32, &str> = Retry::fast().run(|attempt| {
+            calls += 1;
+            if attempt < 3 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out, Ok(3));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts_with_last_error() {
+        let mut calls = 0;
+        let policy = Retry {
+            max_attempts: 4,
+            ..Retry::fast()
+        };
+        let out: Result<(), u32> = policy.run(|attempt| {
+            calls += 1;
+            Err(attempt)
+        });
+        assert_eq!(out, Err(3), "last error surfaces");
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn backoff_respects_bounds_and_budget() {
+        let policy = Retry {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(10),
+            max_attempts: 6,
+            deadline: Duration::from_secs(60),
+            seed: 99,
+        };
+        let sleeps: Vec<Duration> = policy.backoff().collect();
+        assert_eq!(sleeps.len(), 5);
+        for s in &sleeps {
+            assert!(*s >= policy.base && *s <= policy.cap, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn deadline_stops_the_schedule() {
+        let policy = Retry {
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(20),
+            max_attempts: 1000,
+            deadline: Duration::from_millis(60),
+            ..Retry::fast()
+        };
+        let t0 = Instant::now();
+        let out: Result<(), ()> = policy.run(|_| Err(()));
+        assert!(out.is_err());
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let policy = Retry::fast().with_seed(1234);
+        let a: Vec<Duration> = policy.backoff().collect();
+        let b: Vec<Duration> = policy.backoff().collect();
+        assert_eq!(a, b);
+    }
+}

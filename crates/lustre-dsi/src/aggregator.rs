@@ -7,11 +7,23 @@
 //! events to the subscribed consumers, and the other thread stores the
 //! events into a local database to enable fault tolerance"
 //! (§IV Aggregation).
+//!
+//! Both lanes are restartable: each runs until stopped or until an
+//! injected crash kills it at a loop boundary, and
+//! [`Aggregator::respawn_dead_lanes`] brings a dead lane back on the
+//! same shared state (the SUB queue and the store channel both outlive
+//! the threads), so no in-flight event is lost across a lane restart.
+//! Batches from restarted collectors carry their changelog index range,
+//! and the publish lane drops ranges it has already stamped — the
+//! at-least-once upstream becomes exactly-once downstream.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use fsmon_events::{decode_event_batch, encode_event_batch, StandardEvent};
+use fsmon_faults::{FaultPoint, Faults, Retry};
 use fsmon_mq::{Context, Message, PubSocket, SubSocket};
 use fsmon_store::EventStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,6 +39,10 @@ pub struct AggregatorStats {
     pub stored: u64,
     /// Malformed frames discarded.
     pub decode_errors: u64,
+    /// Events dropped as re-published duplicates (collector restarts).
+    pub dedup_dropped: u64,
+    /// Lane threads restarted after a crash.
+    pub lane_restarts: u64,
 }
 
 struct Shared {
@@ -34,13 +50,42 @@ struct Shared {
     published: AtomicU64,
     stored: AtomicU64,
     decode_errors: AtomicU64,
+    dedup_dropped: AtomicU64,
+    lane_restarts: AtomicU64,
+    next_id: AtomicU64,
     stop: AtomicBool,
+    publish_alive: AtomicBool,
+    store_alive: AtomicBool,
+    /// Per-collector-topic highest changelog index already stamped.
+    /// Batches at or below their topic's highwater are restart
+    /// re-publications and are dropped whole.
+    highwater: Mutex<HashMap<Vec<u8>, u64>>,
+}
+
+/// Everything a lane thread needs; shared so lanes can be respawned.
+struct LaneCtx {
+    sub: Arc<SubSocket>,
+    publisher: Arc<PubSocket>,
+    store_tx: Sender<Vec<StandardEvent>>,
+    store_rx: Receiver<Vec<StandardEvent>>,
+    store: Arc<dyn EventStore>,
+    shared: Arc<Shared>,
+    faults: Faults,
+    retry: Retry,
+    t_received: Arc<fsmon_telemetry::Counter>,
+    t_published: Arc<fsmon_telemetry::Counter>,
+    t_stored: Arc<fsmon_telemetry::Counter>,
+    t_decode_errors: Arc<fsmon_telemetry::Counter>,
+    t_dedup_dropped: Arc<fsmon_telemetry::Counter>,
+    t_store_retries: Arc<fsmon_telemetry::Counter>,
+    t_lag: Arc<fsmon_telemetry::Gauge>,
 }
 
 /// The aggregator service.
 pub struct Aggregator {
     shared: Arc<Shared>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    lane: Arc<LaneCtx>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     store: Arc<dyn EventStore>,
     consumer_endpoint: String,
 }
@@ -55,13 +100,37 @@ impl Aggregator {
         consumer_endpoint: &str,
         store: Arc<dyn EventStore>,
     ) -> Result<Aggregator, fsmon_mq::MqError> {
-        let sub = ctx.subscriber();
+        Self::start_with(
+            ctx,
+            collector_endpoints,
+            consumer_endpoint,
+            store,
+            Faults::none(),
+            Retry::fast(),
+        )
+    }
+
+    /// [`start`](Aggregator::start) with an explicit fault plane (lane
+    /// crashes, consumer-link disconnects/HWM) and retry policy for
+    /// transient store failures.
+    pub fn start_with(
+        ctx: &Context,
+        collector_endpoints: &[String],
+        consumer_endpoint: &str,
+        store: Arc<dyn EventStore>,
+        faults: Faults,
+        retry: Retry,
+    ) -> Result<Aggregator, fsmon_mq::MqError> {
+        let sub = Arc::new(ctx.subscriber());
         for ep in collector_endpoints {
             sub.connect(ep)?;
         }
         sub.subscribe(b"mdt");
-        let publisher = ctx.publisher();
+        let publisher = Arc::new(ctx.publisher());
         publisher.bind(consumer_endpoint)?;
+        // The consumer-facing link is the one hop with a replay path
+        // (the store), so mq faults are armed here and only here.
+        publisher.arm_faults(faults.clone());
         let consumer_endpoint_actual = match publisher.local_addr() {
             Some(addr) => format!("tcp://{addr}"),
             None => consumer_endpoint.to_string(),
@@ -72,128 +141,115 @@ impl Aggregator {
             published: AtomicU64::new(0),
             stored: AtomicU64::new(0),
             decode_errors: AtomicU64::new(0),
+            dedup_dropped: AtomicU64::new(0),
+            lane_restarts: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            publish_alive: AtomicBool::new(false),
+            store_alive: AtomicBool::new(false),
+            highwater: Mutex::new(HashMap::new()),
         });
 
         let agg_scope = fsmon_telemetry::root().scope("aggregator");
-        let t_received = agg_scope.counter("received_total");
-        let t_published = agg_scope.counter("published_total");
-        let t_stored = agg_scope.counter("stored_total");
-        let t_decode_errors = agg_scope.counter("decode_errors_total");
-        // Events published to live consumers but not yet persisted —
-        // the publish-lane vs store-lane lag.
-        let t_lag = agg_scope.gauge("store_lag");
-
         // The store lane: the receive/publish thread forwards every
         // event here so persistence cannot stall publication.
         let (store_tx, store_rx): (Sender<Vec<StandardEvent>>, Receiver<Vec<StandardEvent>>) =
             bounded(1 << 14);
+        let lane = Arc::new(LaneCtx {
+            sub,
+            publisher,
+            store_tx,
+            store_rx,
+            store: store.clone(),
+            shared: shared.clone(),
+            faults,
+            retry,
+            t_received: agg_scope.counter("received_total"),
+            t_published: agg_scope.counter("published_total"),
+            t_stored: agg_scope.counter("stored_total"),
+            t_decode_errors: agg_scope.counter("decode_errors_total"),
+            t_dedup_dropped: agg_scope.counter("dedup_dropped_total"),
+            t_store_retries: agg_scope.counter("store_retries_total"),
+            // Events published to live consumers but not yet persisted —
+            // the publish-lane vs store-lane lag.
+            t_lag: agg_scope.gauge("store_lag"),
+        });
 
-        let mut threads = Vec::new();
-        // Thread 1: receive from collectors, stamp sequence ids,
-        // publish to consumers, hand off to the store lane. Ids are
-        // assigned here — before both publication and persistence — so
-        // a consumer's last-seen id from the live stream addresses the
-        // same event in the store (the replay API's contract). The
-        // store lane appends in stamp order, so its sequence numbers
-        // coincide with the stamps.
-        {
-            let shared = shared.clone();
-            let store_tx = store_tx.clone();
-            let (t_received, t_published, t_decode_errors, t_lag) = (
-                t_received,
-                t_published,
-                t_decode_errors.clone(),
-                t_lag.clone(),
-            );
-            let mut next_id = 0u64;
-            threads.push(
-                std::thread::Builder::new()
-                    .name("aggregator-publish".into())
-                    .spawn(move || {
-                        while !shared.stop.load(Ordering::Relaxed) {
-                            match sub.recv_timeout(Duration::from_millis(20)) {
-                                Ok(msg) => {
-                                    let Some(payload) = msg.part(1) else {
-                                        shared.decode_errors.fetch_add(1, Ordering::Relaxed);
-                                        t_decode_errors.inc();
-                                        continue;
-                                    };
-                                    let payload = bytes::Bytes::copy_from_slice(payload);
-                                    match decode_event_batch(&payload) {
-                                        Ok(mut events) => {
-                                            for ev in &mut events {
-                                                next_id += 1;
-                                                ev.id = next_id;
-                                            }
-                                            let events = events;
-                                            let n = events.len() as u64;
-                                            shared.received.fetch_add(n, Ordering::Relaxed);
-                                            t_received.add(n);
-                                            let out = Message::from_parts(vec![
-                                                bytes::Bytes::from_static(b"events"),
-                                                encode_event_batch(&events),
-                                            ]);
-                                            let _ = publisher.send(out);
-                                            shared.published.fetch_add(n, Ordering::Relaxed);
-                                            t_published.add(n);
-                                            t_lag.set(
-                                                shared.published.load(Ordering::Relaxed) as i64
-                                                    - shared.stored.load(Ordering::Relaxed) as i64,
-                                            );
-                                            let _ = store_tx.send(events);
-                                        }
-                                        Err(_) => {
-                                            shared.decode_errors.fetch_add(1, Ordering::Relaxed);
-                                            t_decode_errors.inc();
-                                        }
-                                    }
-                                }
-                                Err(_) => continue,
-                            }
-                        }
-                    })
-                    .expect("spawn aggregator publish thread"),
-            );
-        }
-        // Thread 2: persist to the reliable event store.
-        {
-            let shared = shared.clone();
-            let store = store.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("aggregator-store".into())
-                    .spawn(move || loop {
-                        match store_rx.recv_timeout(Duration::from_millis(20)) {
-                            Ok(events) => {
-                                for ev in &events {
-                                    if store.append(ev).is_ok() {
-                                        shared.stored.fetch_add(1, Ordering::Relaxed);
-                                        t_stored.inc();
-                                    }
-                                }
-                                t_lag.set(
-                                    shared.published.load(Ordering::Relaxed) as i64
-                                        - shared.stored.load(Ordering::Relaxed) as i64,
-                                );
-                            }
-                            Err(_) => {
-                                if shared.stop.load(Ordering::Relaxed) {
-                                    break;
-                                }
-                            }
-                        }
-                    })
-                    .expect("spawn aggregator store thread"),
-            );
-        }
-        drop(store_tx);
-        Ok(Aggregator {
+        let agg = Aggregator {
             shared,
-            threads,
+            lane,
+            threads: Mutex::new(Vec::new()),
             store,
             consumer_endpoint: consumer_endpoint_actual,
-        })
+        };
+        agg.spawn_publish_lane();
+        agg.spawn_store_lane();
+        Ok(agg)
+    }
+
+    fn spawn_publish_lane(&self) {
+        let lane = self.lane.clone();
+        lane.shared.publish_alive.store(true, Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name("aggregator-publish".into())
+            .spawn(move || run_publish_lane(lane))
+            .expect("spawn aggregator publish thread");
+        self.threads.lock().push(handle);
+    }
+
+    fn spawn_store_lane(&self) {
+        let lane = self.lane.clone();
+        lane.shared.store_alive.store(true, Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name("aggregator-store".into())
+            .spawn(move || run_store_lane(lane))
+            .expect("spawn aggregator store thread");
+        self.threads.lock().push(handle);
+    }
+
+    /// Subscribe to one more collector endpoint — the supervisor calls
+    /// this when a restarted collector comes back on a fresh endpoint.
+    pub fn attach_collector(&self, endpoint: &str) -> Result<(), fsmon_mq::MqError> {
+        self.lane.sub.connect(endpoint)
+    }
+
+    /// `(publish lane alive, store lane alive)`.
+    pub fn lanes_alive(&self) -> (bool, bool) {
+        (
+            self.shared.publish_alive.load(Ordering::Relaxed),
+            self.shared.store_alive.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Respawn any lane that died (injected crash or panic) while the
+    /// aggregator is not stopping. Both lanes resume on shared state —
+    /// the SUB queue and the store channel survive the thread — so a
+    /// restart loses nothing. Returns the number of lanes restarted.
+    pub fn respawn_dead_lanes(&self) -> usize {
+        if self.shared.stop.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let scope = fsmon_telemetry::root().scope("aggregator");
+        let mut restarted = 0;
+        if !self.shared.publish_alive.load(Ordering::Relaxed) {
+            self.spawn_publish_lane();
+            self.shared.lane_restarts.fetch_add(1, Ordering::Relaxed);
+            scope
+                .with_label("lane", "publish")
+                .counter("lane_restarts_total")
+                .inc();
+            restarted += 1;
+        }
+        if !self.shared.store_alive.load(Ordering::Relaxed) {
+            self.spawn_store_lane();
+            self.shared.lane_restarts.fetch_add(1, Ordering::Relaxed);
+            scope
+                .with_label("lane", "store")
+                .counter("lane_restarts_total")
+                .inc();
+            restarted += 1;
+        }
+        restarted
     }
 
     /// The endpoint consumers should connect to (resolved to the real
@@ -214,13 +270,16 @@ impl Aggregator {
             published: self.shared.published.load(Ordering::Relaxed),
             stored: self.shared.stored.load(Ordering::Relaxed),
             decode_errors: self.shared.decode_errors.load(Ordering::Relaxed),
+            dedup_dropped: self.shared.dedup_dropped.load(Ordering::Relaxed),
+            lane_restarts: self.shared.lane_restarts.load(Ordering::Relaxed),
         }
     }
 
     /// Stop both worker threads and join them.
-    pub fn stop(mut self) {
+    pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::Relaxed);
-        for t in self.threads.drain(..) {
+        let threads: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in threads {
             let _ = t.join();
         }
     }
@@ -237,6 +296,188 @@ impl Aggregator {
         }
         false
     }
+}
+
+/// The receive/stamp/publish lane. Ids are assigned here — before both
+/// publication and persistence — so a consumer's last-seen id from the
+/// live stream addresses the same event in the store (the replay API's
+/// contract). The store lane appends in stamp order, so its sequence
+/// numbers coincide with the stamps.
+fn run_publish_lane(lane: Arc<LaneCtx>) {
+    let shared = &lane.shared;
+    while !shared.stop.load(Ordering::Relaxed) {
+        // Crash injection sits at the loop boundary: no message is in
+        // hand, so the lane dies with fully consistent state and a
+        // respawn resumes from the still-queued SUB messages.
+        if lane
+            .faults
+            .inject(FaultPoint::AggregatorPublishCrash)
+            .is_some()
+        {
+            break;
+        }
+        let msg = match lane.sub.recv_timeout(Duration::from_millis(20)) {
+            Ok(msg) => msg,
+            Err(_) => continue,
+        };
+        let Some(payload) = msg.part(1) else {
+            shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+            lane.t_decode_errors.inc();
+            continue;
+        };
+        let payload = bytes::Bytes::copy_from_slice(payload);
+        let mut events = match decode_event_batch(&payload) {
+            Ok(events) => events,
+            Err(_) => {
+                shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                lane.t_decode_errors.inc();
+                continue;
+            }
+        };
+        // Dedup by changelog index (frame 2, when present): a restarted
+        // collector resumes from its durable cursor, so events at or
+        // below this topic's highwater were already stamped and
+        // forwarded by a previous incarnation. A whole batch below the
+        // highwater is dropped outright; a straddling batch (the
+        // restart read more records than the crashed incarnation's
+        // final publish) is trimmed to the unseen suffix using the
+        // per-event indices.
+        if let Some(range) = decode_range(msg.part(2)) {
+            let mut hw = shared.highwater.lock();
+            let entry = hw.entry(msg.topic().to_vec()).or_insert(0);
+            let before = events.len();
+            if range.last <= *entry {
+                events.clear();
+            } else if range.first <= *entry {
+                if let Some(indices) = range.indices.filter(|idx| idx.len() == before) {
+                    let hw_val = *entry;
+                    let mut it = indices.iter();
+                    events.retain(|_| *it.next().expect("len checked") > hw_val);
+                }
+                // Without per-event indices the whole straddling batch
+                // is accepted: at-least-once favors no-loss, and the
+                // consumer's id-based dedup has no gap to misread.
+            }
+            *entry = (*entry).max(range.last);
+            let dropped = (before - events.len()) as u64;
+            if dropped > 0 {
+                shared.dedup_dropped.fetch_add(dropped, Ordering::Relaxed);
+                lane.t_dedup_dropped.add(dropped);
+            }
+            if events.is_empty() {
+                continue;
+            }
+        }
+        for ev in &mut events {
+            ev.id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        }
+        let events = events;
+        let n = events.len() as u64;
+        shared.received.fetch_add(n, Ordering::Relaxed);
+        lane.t_received.add(n);
+        let out = Message::from_parts(vec![
+            bytes::Bytes::from_static(b"events"),
+            encode_event_batch(&events),
+        ]);
+        let _ = lane.publisher.send(out);
+        shared.published.fetch_add(n, Ordering::Relaxed);
+        lane.t_published.add(n);
+        lane.t_lag.set(
+            shared.published.load(Ordering::Relaxed) as i64
+                - shared.stored.load(Ordering::Relaxed) as i64,
+        );
+        let _ = lane.store_tx.send(events);
+    }
+    lane.shared.publish_alive.store(false, Ordering::Relaxed);
+}
+
+/// The persistence lane: appends every event to the reliable store,
+/// riding out transient failures with the shared retry policy. An
+/// event is never skipped — the store is the replay source consumers
+/// heal from, so durability here is the loss-free contract.
+fn run_store_lane(lane: Arc<LaneCtx>) {
+    let shared = &lane.shared;
+    loop {
+        if lane
+            .faults
+            .inject(FaultPoint::AggregatorStoreCrash)
+            .is_some()
+        {
+            break;
+        }
+        match lane.store_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(events) => {
+                for ev in &events {
+                    let mut backoff = lane.retry.backoff();
+                    loop {
+                        match lane.store.append(ev) {
+                            Ok(_) => {
+                                shared.stored.fetch_add(1, Ordering::Relaxed);
+                                lane.t_stored.inc();
+                                break;
+                            }
+                            Err(_) if shared.stop.load(Ordering::Relaxed) => break,
+                            Err(_) => {
+                                lane.t_store_retries.inc();
+                                // Exhausting one backoff schedule starts
+                                // another: persistence never gives up on
+                                // an event while the pipeline runs.
+                                let sleep = backoff.next().unwrap_or_else(|| {
+                                    backoff = lane.retry.backoff();
+                                    lane.retry.cap
+                                });
+                                std::thread::sleep(sleep);
+                            }
+                        }
+                    }
+                }
+                lane.t_lag.set(
+                    shared.published.load(Ordering::Relaxed) as i64
+                        - shared.stored.load(Ordering::Relaxed) as i64,
+                );
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        }
+    }
+    lane.shared.store_alive.store(false, Ordering::Relaxed);
+}
+
+/// A batch's changelog index range, plus (optionally) the index of the
+/// record behind each event.
+struct BatchRange {
+    first: u64,
+    last: u64,
+    indices: Option<Vec<u64>>,
+}
+
+/// Parse a `u64 first | u64 last | u64 per-event-index…` frame. The
+/// per-event list is optional (a bare 16-byte range is valid).
+fn decode_range(frame: Option<&[u8]>) -> Option<BatchRange> {
+    let frame = frame?;
+    if frame.len() < 16 || frame.len() % 8 != 0 {
+        return None;
+    }
+    let first = u64::from_be_bytes(frame[..8].try_into().ok()?);
+    let last = u64::from_be_bytes(frame[8..16].try_into().ok()?);
+    let indices = if frame.len() > 16 {
+        Some(
+            frame[16..]
+                .chunks_exact(8)
+                .map(|c| u64::from_be_bytes(c.try_into().expect("chunks_exact(8)")))
+                .collect(),
+        )
+    } else {
+        None
+    };
+    Some(BatchRange {
+        first,
+        last,
+        indices,
+    })
 }
 
 /// A SUB socket pre-wired the way consumers attach to the aggregator.
@@ -264,6 +505,17 @@ mod tests {
         Message::from_parts(vec![
             bytes::Bytes::from_static(b"mdt0"),
             encode_event_batch(events),
+        ])
+    }
+
+    fn ranged_msg(events: &[StandardEvent], first: u64, last: u64) -> Message {
+        let mut meta = Vec::with_capacity(16);
+        meta.extend_from_slice(&first.to_be_bytes());
+        meta.extend_from_slice(&last.to_be_bytes());
+        Message::from_parts(vec![
+            bytes::Bytes::from_static(b"mdt0"),
+            encode_event_batch(events),
+            bytes::Bytes::from(meta),
         ])
     }
 
@@ -350,6 +602,140 @@ mod tests {
             .unwrap();
         assert!(agg.wait_received(1, Duration::from_secs(2)));
         assert!(agg.stats().decode_errors >= 1);
+        agg.stop();
+    }
+
+    #[test]
+    fn replayed_changelog_ranges_are_deduplicated() {
+        let ctx = Context::new();
+        let publisher = collector_socket(&ctx, "inproc://dedup").unwrap();
+        let store = Arc::new(MemStore::new());
+        let agg = Aggregator::start(
+            &ctx,
+            &["inproc://dedup".to_string()],
+            "inproc://agg4",
+            store.clone(),
+        )
+        .unwrap();
+        let ev = |p: &str| StandardEvent::new(EventKind::Create, "/r", p);
+        publisher
+            .send(ranged_msg(&[ev("a"), ev("b")], 1, 2))
+            .unwrap();
+        assert!(agg.wait_received(2, Duration::from_secs(2)));
+        // A restarted collector re-publishes the same range: dropped.
+        publisher
+            .send(ranged_msg(&[ev("a"), ev("b")], 1, 2))
+            .unwrap();
+        // A fresh range flows.
+        publisher.send(ranged_msg(&[ev("c")], 3, 3)).unwrap();
+        assert!(agg.wait_received(3, Duration::from_secs(2)));
+        let stats = agg.stats();
+        assert_eq!(stats.received, 3, "duplicate batch not re-counted");
+        assert_eq!(stats.dedup_dropped, 2);
+        agg.stop();
+        assert_eq!(store.stats().appended, 3);
+    }
+
+    fn indexed_msg(events: &[StandardEvent], indices: &[u64]) -> Message {
+        let first = *indices.first().unwrap();
+        let last = *indices.last().unwrap();
+        let mut meta = Vec::with_capacity(16 + 8 * indices.len());
+        meta.extend_from_slice(&first.to_be_bytes());
+        meta.extend_from_slice(&last.to_be_bytes());
+        for idx in indices {
+            meta.extend_from_slice(&idx.to_be_bytes());
+        }
+        Message::from_parts(vec![
+            bytes::Bytes::from_static(b"mdt0"),
+            encode_event_batch(events),
+            bytes::Bytes::from(meta),
+        ])
+    }
+
+    #[test]
+    fn straddling_batches_are_trimmed_to_the_unseen_suffix() {
+        let ctx = Context::new();
+        let publisher = collector_socket(&ctx, "inproc://straddle").unwrap();
+        let store = Arc::new(MemStore::new());
+        let agg = Aggregator::start(
+            &ctx,
+            &["inproc://straddle".to_string()],
+            "inproc://agg6",
+            store.clone(),
+        )
+        .unwrap();
+        let consumer = consumer_socket(&ctx, "inproc://agg6").unwrap();
+        let ev = |p: &str| StandardEvent::new(EventKind::Create, "/r", p);
+        publisher
+            .send(indexed_msg(&[ev("a"), ev("b")], &[1, 2]))
+            .unwrap();
+        assert!(agg.wait_received(2, Duration::from_secs(2)));
+        // A restarted collector resumed from a stale cursor and read a
+        // wider batch: records 1–2 again plus fresh record 3.
+        publisher
+            .send(indexed_msg(&[ev("a"), ev("b"), ev("c")], &[1, 2, 3]))
+            .unwrap();
+        assert!(agg.wait_received(3, Duration::from_secs(2)));
+        let stats = agg.stats();
+        assert_eq!(stats.received, 3, "only the unseen suffix was accepted");
+        assert_eq!(stats.dedup_dropped, 2);
+        // The consumer sees a, b, c exactly once, densely stamped.
+        let mut got = Vec::new();
+        while let Ok(msg) = consumer.recv_timeout(Duration::from_millis(200)) {
+            got.extend(
+                decode_event_batch(&bytes::Bytes::copy_from_slice(msg.part(1).unwrap())).unwrap(),
+            );
+        }
+        let paths: Vec<&str> = got.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, vec!["/a", "/b", "/c"]);
+        assert_eq!(got.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        agg.stop();
+    }
+
+    #[test]
+    fn crashed_lanes_respawn_and_resume() {
+        use fsmon_faults::{FaultPlan, FaultRule};
+        let ctx = Context::new();
+        let publisher = collector_socket(&ctx, "inproc://crash").unwrap();
+        let store = Arc::new(MemStore::new());
+        // Both lanes crash once, immediately.
+        let faults = FaultPlan::new(7)
+            .with(
+                FaultPoint::AggregatorPublishCrash,
+                FaultRule::per_10k(10_000).limit(1),
+            )
+            .with(
+                FaultPoint::AggregatorStoreCrash,
+                FaultRule::per_10k(10_000).limit(1),
+            )
+            .arm();
+        let agg = Aggregator::start_with(
+            &ctx,
+            &["inproc://crash".to_string()],
+            "inproc://agg5",
+            store.clone(),
+            faults,
+            Retry::fast(),
+        )
+        .unwrap();
+        // Let both lanes hit their loop tops and die.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while agg.lanes_alive() != (false, false) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(agg.lanes_alive(), (false, false), "both lanes crashed");
+        // Events published while the lanes are down wait in the SUB
+        // queue.
+        let ev = StandardEvent::new(EventKind::Create, "/r", "while-down");
+        publisher.send(batch_msg(&[ev])).unwrap();
+        assert_eq!(agg.respawn_dead_lanes(), 2);
+        assert!(agg.wait_received(1, Duration::from_secs(2)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while store.stats().appended < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(store.stats().appended, 1, "nothing lost across restart");
+        assert_eq!(agg.stats().lane_restarts, 2);
         agg.stop();
     }
 }

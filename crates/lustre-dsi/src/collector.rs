@@ -2,9 +2,10 @@
 
 use fsmon_core::LruCache;
 use fsmon_events::{encode_event_batch, EventKind, MonitorSource, StandardEvent};
+use fsmon_faults::Retry;
 use fsmon_mq::{Message, PubSocket};
 use lustre_sim::changelog::ChangelogUser;
-use lustre_sim::namespace::MdtHandle;
+use lustre_sim::namespace::{FsError, MdtHandle};
 use lustre_sim::Fid;
 
 /// Collector throughput and cache-effectiveness counters.
@@ -44,6 +45,7 @@ pub struct Collector {
     watch_root: String,
     publisher: Option<PubSocket>,
     topic: Vec<u8>,
+    retry: Retry,
     stats: CollectorStats,
     t_records: std::sync::Arc<fsmon_telemetry::Counter>,
     t_events: std::sync::Arc<fsmon_telemetry::Counter>,
@@ -52,6 +54,9 @@ pub struct Collector {
     t_read_ns: std::sync::Arc<fsmon_telemetry::Histogram>,
     /// Changelog clear (purge) latency per step (ns).
     t_purge_ns: std::sync::Arc<fsmon_telemetry::Histogram>,
+    t_fid2path_retries: std::sync::Arc<fsmon_telemetry::Counter>,
+    t_read_errors: std::sync::Arc<fsmon_telemetry::Counter>,
+    t_purge_errors: std::sync::Arc<fsmon_telemetry::Counter>,
 }
 
 impl Collector {
@@ -87,13 +92,23 @@ impl Collector {
             watch_root: watch_root.into(),
             publisher,
             topic,
+            retry: Retry::fast(),
             stats: CollectorStats::default(),
             t_records: scope.counter("records_total"),
             t_events: scope.counter("events_total"),
             t_fid2path: fid2path_scope.counter("calls_total"),
             t_read_ns: scope.histogram("read_ns"),
             t_purge_ns: scope.histogram("purge_ns"),
+            t_fid2path_retries: scope.counter("fid2path_retries_total"),
+            t_read_errors: scope.counter("read_errors_total"),
+            t_purge_errors: scope.counter("purge_errors_total"),
         }
+    }
+
+    /// Override the retry policy for transient MDS errors.
+    pub fn with_retry(mut self, retry: Retry) -> Collector {
+        self.retry = retry;
+        self
     }
 
     /// Rebuild a collector after a crash, resuming from the last
@@ -165,14 +180,32 @@ impl Collector {
         }
         self.stats.fid2path_calls += 1;
         self.t_fid2path.inc();
-        match self.mdt.fid2path(fid) {
+        // Transient MDS errors (injected or real) are retried with
+        // backoff; a permanent failure (deleted FID) falls through to
+        // Algorithm 1's parent-based reconstruction. Exhausting the
+        // retry budget degrades the same way — reconstruction, not
+        // loss.
+        let mut backoff = self.retry.backoff();
+        let resolved = loop {
+            match self.mdt.fid2path(fid) {
+                Err(FsError::Transient(_)) => match backoff.next() {
+                    Some(sleep) => {
+                        self.t_fid2path_retries.inc();
+                        std::thread::sleep(sleep);
+                    }
+                    None => break Err(()),
+                },
+                other => break other.map_err(|_| ()),
+            }
+        };
+        match resolved {
             Ok(path) => {
                 if let Some(cache) = &mut self.cache {
                     cache.insert(fid, path.clone());
                 }
                 Ok(path)
             }
-            Err(_) => Err(()),
+            Err(()) => Err(()),
         }
     }
 
@@ -305,18 +338,42 @@ impl Collector {
     /// keeps the records in the changelog until the aggregator is back.
     pub fn step(&mut self) -> Vec<StandardEvent> {
         if let Some(publisher) = &self.publisher {
-            if publisher.subscriber_count() == 0 {
+            // Match against the actual topic, not mere connection
+            // count: a TCP subscriber exists before its subscription
+            // control frames land, and publishing into that window
+            // would purge the only copy of the batch.
+            if !publisher.has_subscriber_matching(&self.topic) {
                 return Vec::new();
             }
         }
         let t_read = std::time::Instant::now();
-        let records = self.mdt.read_changelog(self.last_index, self.batch_size);
+        let records = match self
+            .mdt
+            .try_read_changelog(self.last_index, self.batch_size)
+        {
+            Ok(records) => records,
+            Err(_) => {
+                // Transient read failure: nothing was consumed, the
+                // cursor is unchanged, and the lane loop simply comes
+                // back — the changelog is the retry buffer.
+                self.t_read_errors.inc();
+                return Vec::new();
+            }
+        };
         if records.is_empty() {
             return Vec::new();
         }
+        let first_index = records.first().expect("non-empty").index;
         let mut events = Vec::with_capacity(records.len());
+        // Changelog index of the record behind each event (RENME yields
+        // two events for one record), so the aggregator can drop
+        // exactly the re-published events when a restarted collector's
+        // batch straddles its dedup highwater.
+        let mut event_indices: Vec<u64> = Vec::with_capacity(records.len());
         for rec in &records {
-            events.extend(self.process_record(rec));
+            let produced = self.process_record(rec);
+            event_indices.extend(std::iter::repeat_n(rec.index, produced.len()));
+            events.extend(produced);
         }
         self.stats.records += records.len() as u64;
         self.t_records.add(records.len() as u64);
@@ -326,11 +383,34 @@ impl Collector {
         // "After processing a batch … a collector will purge the
         // Changelogs" (§IV Processing).
         let t_purge = std::time::Instant::now();
-        self.mdt.clear_changelog(self.user, self.last_index);
+        if self
+            .mdt
+            .try_clear_changelog(self.user, self.last_index)
+            .is_err()
+        {
+            // Safe to skip: clearing is idempotent and monotone, so the
+            // next successful clear covers these records too.
+            self.t_purge_errors.inc();
+        }
         self.t_purge_ns.record(t_purge.elapsed().as_nanos() as u64);
         if let Some(publisher) = &self.publisher {
             let payload = encode_event_batch(&events);
-            let msg = Message::from_parts(vec![bytes::Bytes::from(self.topic.clone()), payload]);
+            // Frame 2 carries the batch's changelog index range plus one
+            // index per event, so the aggregator can drop re-published
+            // duplicates after a collector restart — whole batches or
+            // the overlapping prefix of a straddling one
+            // (at-least-once → exactly-once).
+            let mut meta = Vec::with_capacity(16 + 8 * event_indices.len());
+            meta.extend_from_slice(&first_index.to_be_bytes());
+            meta.extend_from_slice(&self.last_index.to_be_bytes());
+            for idx in &event_indices {
+                meta.extend_from_slice(&idx.to_be_bytes());
+            }
+            let msg = Message::from_parts(vec![
+                bytes::Bytes::from(self.topic.clone()),
+                payload,
+                bytes::Bytes::from(meta),
+            ]);
             let _ = publisher.send(msg);
         }
         events

@@ -9,13 +9,28 @@
 
 use fsmon_core::EventFilter;
 use fsmon_events::{decode_event_batch, EventId, StandardEvent};
+use fsmon_faults::Retry;
 use fsmon_mq::{Context, SubSocket};
 use fsmon_store::EventStore;
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Duplicate/gap/reconnect counters — the consumer's view of how much
+/// recovery machinery fired beneath it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConsumerRecoveryStats {
+    /// Events dropped because their id was already seen.
+    pub duplicates_dropped: u64,
+    /// Sequence-id gaps observed in the live stream.
+    pub gaps_detected: u64,
+    /// Events recovered from the reliable store to fill gaps.
+    pub gap_events_healed: u64,
+    /// Successful reconnects after a broken aggregator link.
+    pub reconnects: u64,
+}
 
 /// A consumer attached to the aggregator.
 pub struct Consumer {
@@ -23,24 +38,52 @@ pub struct Consumer {
     filter: Mutex<EventFilter>,
     store: Option<Arc<dyn EventStore>>,
     pending: Mutex<VecDeque<StandardEvent>>,
+    /// Ids known missing (seen a later id live, not yet healed).
+    missing: Mutex<BTreeSet<EventId>>,
+    retry: Retry,
     /// Events accepted by the filter.
     accepted: AtomicU64,
     /// Events discarded by the filter.
     filtered_out: AtomicU64,
     /// Highest event id seen (resume point after a fault).
     last_seen: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    gaps_detected: AtomicU64,
+    gap_events_healed: AtomicU64,
+    reconnects: AtomicU64,
     t_delivered: Arc<fsmon_telemetry::Counter>,
     t_filtered: Arc<fsmon_telemetry::Counter>,
+    t_duplicates: Arc<fsmon_telemetry::Counter>,
+    t_gaps: Arc<fsmon_telemetry::Counter>,
+    t_healed: Arc<fsmon_telemetry::Counter>,
+    t_reconnects: Arc<fsmon_telemetry::Counter>,
 }
 
 impl Consumer {
     /// Connect to the aggregator at `endpoint`. `store` enables the
-    /// historic-replay API (`None` for stateless consumers).
+    /// historic-replay API (`None` for stateless consumers). Counters
+    /// carry the label set `{consumer="main"}`; use
+    /// [`connect_named`](Consumer::connect_named) to tell multiple
+    /// consumers apart in `fsmon stats` output.
     pub fn connect(
         ctx: &Context,
         endpoint: &str,
         filter: EventFilter,
         store: Option<Arc<dyn EventStore>>,
+    ) -> Result<Consumer, fsmon_mq::MqError> {
+        Self::connect_named(ctx, endpoint, filter, store, "main")
+    }
+
+    /// [`connect`](Consumer::connect) with an explicit consumer name:
+    /// every counter this consumer reports carries the label
+    /// `consumer=<name>`, so per-consumer delivery/filtering is visible
+    /// in snapshots while `Snapshot::counter` still sums the total.
+    pub fn connect_named(
+        ctx: &Context,
+        endpoint: &str,
+        filter: EventFilter,
+        store: Option<Arc<dyn EventStore>>,
+        name: &str,
     ) -> Result<Consumer, fsmon_mq::MqError> {
         let sub = ctx.subscriber();
         sub.connect(endpoint)?;
@@ -48,17 +91,29 @@ impl Consumer {
         // Same instruments the core interface layer's fan-out reports
         // into: "consumer delivered" means the same thing in both
         // pipelines.
-        let scope = fsmon_telemetry::root().scope("consumer");
+        let scope = fsmon_telemetry::root()
+            .scope("consumer")
+            .with_label("consumer", name);
         Ok(Consumer {
             sub,
             filter: Mutex::new(filter),
             store,
             pending: Mutex::new(VecDeque::new()),
+            missing: Mutex::new(BTreeSet::new()),
+            retry: Retry::fast(),
             accepted: AtomicU64::new(0),
             filtered_out: AtomicU64::new(0),
             last_seen: AtomicU64::new(0),
+            duplicates_dropped: AtomicU64::new(0),
+            gaps_detected: AtomicU64::new(0),
+            gap_events_healed: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
             t_delivered: scope.counter("delivered_total"),
             t_filtered: scope.counter("filtered_total"),
+            t_duplicates: scope.counter("duplicates_dropped_total"),
+            t_gaps: scope.counter("gaps_detected_total"),
+            t_healed: scope.counter("gap_events_healed_total"),
+            t_reconnects: scope.counter("reconnects_total"),
         })
     }
 
@@ -81,20 +136,168 @@ impl Consumer {
         self.last_seen.load(Ordering::Relaxed)
     }
 
+    /// Duplicate/gap/reconnect counters so far.
+    pub fn recovery_stats(&self) -> ConsumerRecoveryStats {
+        ConsumerRecoveryStats {
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+            gaps_detected: self.gaps_detected.load(Ordering::Relaxed),
+            gap_events_healed: self.gap_events_healed.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
+    }
+
     fn ingest(&self, events: Vec<StandardEvent>) {
-        let filter = self.filter.lock().clone();
-        let mut pending = self.pending.lock();
         for ev in events {
-            if ev.id > 0 {
-                self.last_seen.fetch_max(ev.id, Ordering::Relaxed);
+            self.ingest_live(ev);
+        }
+    }
+
+    /// Take one event from the live stream: drop duplicates (an
+    /// at-least-once upstream may re-deliver after a restart), note and
+    /// heal sequence gaps (events published while this consumer was
+    /// disconnected), then filter.
+    fn ingest_live(&self, ev: StandardEvent) {
+        if ev.id > 0 {
+            let last = self.last_seen.load(Ordering::Relaxed);
+            if ev.id <= last {
+                self.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+                self.t_duplicates.inc();
+                return;
             }
-            if filter.matches(&ev) {
-                self.accepted.fetch_add(1, Ordering::Relaxed);
-                self.t_delivered.inc();
-                pending.push_back(ev);
-            } else {
-                self.filtered_out.fetch_add(1, Ordering::Relaxed);
-                self.t_filtered.inc();
+            if last > 0 && ev.id > last + 1 {
+                // Heal before pushing `ev` so recovered events keep
+                // stream order in the pending queue.
+                self.note_gap(last + 1, ev.id - 1);
+            }
+            self.last_seen.fetch_max(ev.id, Ordering::Relaxed);
+        }
+        self.deliver(ev);
+    }
+
+    /// Filter one event into the pending queue (or the filtered count).
+    fn deliver(&self, ev: StandardEvent) {
+        let matches = self.filter.lock().matches(&ev);
+        if matches {
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+            self.t_delivered.inc();
+            self.pending.lock().push_back(ev);
+        } else {
+            self.filtered_out.fetch_add(1, Ordering::Relaxed);
+            self.t_filtered.inc();
+        }
+    }
+
+    /// Record ids `from..=to` as missing and try to heal them from the
+    /// reliable store right away.
+    fn note_gap(&self, from: EventId, to: EventId) {
+        self.gaps_detected.fetch_add(1, Ordering::Relaxed);
+        self.t_gaps.inc();
+        self.missing.lock().extend(from..=to);
+        self.heal_missing();
+    }
+
+    /// Fetch known-missing events from the reliable store, retrying
+    /// briefly (the aggregator's store lane may run behind its publish
+    /// lane). Healed events flow through the normal filter path and are
+    /// counted as `gap_events_healed`. Ids the store still cannot
+    /// produce stay recorded; [`catch_up`](Consumer::catch_up) retries
+    /// them later. Returns the number of events healed by this call.
+    pub fn heal_missing(&self) -> usize {
+        let Some(store) = &self.store else {
+            return 0;
+        };
+        let mut healed = 0usize;
+        let mut backoff = self.retry.backoff();
+        loop {
+            let (lo, hi, want) = {
+                let missing = self.missing.lock();
+                match (missing.first(), missing.last()) {
+                    (Some(&lo), Some(&hi)) => (lo, hi, missing.len()),
+                    _ => break,
+                }
+            };
+            let span = (hi - lo + 1) as usize;
+            let fetched = store.get_since(lo - 1, span).unwrap_or_default();
+            let mut recovered = Vec::new();
+            {
+                let mut missing = self.missing.lock();
+                for ev in fetched {
+                    if ev.id > hi {
+                        break;
+                    }
+                    if missing.remove(&ev.id) {
+                        recovered.push(ev);
+                    }
+                }
+            }
+            for ev in recovered {
+                self.gap_events_healed.fetch_add(1, Ordering::Relaxed);
+                self.t_healed.inc();
+                self.deliver(ev);
+                healed += 1;
+            }
+            if self.missing.lock().len() < want {
+                // Progress — reset the clock before the next round.
+                backoff = self.retry.backoff();
+                continue;
+            }
+            match backoff.next() {
+                Some(sleep) => std::thread::sleep(sleep),
+                None => break,
+            }
+        }
+        healed
+    }
+
+    /// Recover everything this consumer can still be missing: heal
+    /// recorded gaps, then pull any events the store holds beyond the
+    /// highest id seen live (a tail lost to a disconnect has no later
+    /// event to reveal it as a gap). Returns the number of events
+    /// recovered.
+    pub fn catch_up(&self) -> usize {
+        let mut recovered = self.heal_missing();
+        let Some(store) = &self.store else {
+            return recovered;
+        };
+        loop {
+            let since = self.last_seen.load(Ordering::Relaxed);
+            let tail = match store.get_since(since, 4096) {
+                Ok(tail) if tail.is_empty() => break,
+                Ok(tail) => tail,
+                Err(_) => break,
+            };
+            for ev in tail {
+                if ev.id > 0 && ev.id <= self.last_seen.load(Ordering::Relaxed) {
+                    continue;
+                }
+                self.last_seen.fetch_max(ev.id, Ordering::Relaxed);
+                self.gap_events_healed.fetch_add(1, Ordering::Relaxed);
+                self.t_healed.inc();
+                self.deliver(ev);
+                recovered += 1;
+            }
+        }
+        recovered
+    }
+
+    /// Re-dial the aggregator after a broken link, with backoff. Any
+    /// events missed while down surface as a sequence gap (healed from
+    /// the store) or via [`catch_up`](Consumer::catch_up).
+    fn try_reconnect(&self) {
+        let mut backoff = self.retry.backoff();
+        loop {
+            if let Ok(n) = self.sub.reconnect() {
+                if !self.sub.disconnected() {
+                    if n > 0 {
+                        self.reconnects.fetch_add(n as u64, Ordering::Relaxed);
+                        self.t_reconnects.add(n as u64);
+                    }
+                    return;
+                }
+            }
+            match backoff.next() {
+                Some(sleep) => std::thread::sleep(sleep),
+                None => return,
             }
         }
     }
@@ -104,6 +307,9 @@ impl Consumer {
     /// `recv` must not sleep out their full timeout once the event has
     /// arrived), when the socket goes quiet, or at the deadline.
     fn pump_socket(&self, budget: Duration) {
+        if self.sub.disconnected() {
+            self.try_reconnect();
+        }
         let deadline = Instant::now() + budget;
         loop {
             let msg = match self.sub.try_recv() {
@@ -291,6 +497,90 @@ mod tests {
         assert_eq!(store.stats().reported_seq, 3);
         store.purge_reported().unwrap();
         assert!(consumer.replay_since(0, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_ids_are_dropped_once_seen() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://agg").unwrap();
+        let consumer = Consumer::connect(&ctx, "inproc://agg", EventFilter::all(), None).unwrap();
+        publish(
+            &publisher,
+            &[
+                ev(EventKind::Create, "/a", 1),
+                ev(EventKind::Create, "/b", 2),
+            ],
+        );
+        assert_eq!(consumer.recv_batch(10, Duration::from_secs(2)).len(), 2);
+        // An at-least-once redelivery of the same ids.
+        publish(
+            &publisher,
+            &[
+                ev(EventKind::Create, "/a", 1),
+                ev(EventKind::Create, "/b", 2),
+            ],
+        );
+        publish(&publisher, &[ev(EventKind::Create, "/c", 3)]);
+        let got = consumer.recv_batch(10, Duration::from_secs(2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, 3);
+        assert_eq!(consumer.recovery_stats().duplicates_dropped, 2);
+    }
+
+    #[test]
+    fn sequence_gaps_heal_from_the_store() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://agg").unwrap();
+        let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
+        // The store holds everything the aggregator published (ids are
+        // assigned by append order: 1..=4).
+        for p in ["/a", "/b", "/c", "/d"] {
+            store.append(&ev(EventKind::Create, p, 0)).unwrap();
+        }
+        let consumer = Consumer::connect(
+            &ctx,
+            "inproc://agg",
+            EventFilter::all(),
+            Some(store.clone()),
+        )
+        .unwrap();
+        // The live stream skips ids 2 and 3 (lost to a broken link).
+        publish(&publisher, &[ev(EventKind::Create, "/a", 1)]);
+        publish(&publisher, &[ev(EventKind::Create, "/d", 4)]);
+        let got = consumer.recv_batch(10, Duration::from_secs(2));
+        let ids: Vec<u64> = got.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4], "healed events keep stream order");
+        let rec = consumer.recovery_stats();
+        assert_eq!(rec.gaps_detected, 1);
+        assert_eq!(rec.gap_events_healed, 2);
+    }
+
+    #[test]
+    fn catch_up_recovers_a_lost_tail() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://agg").unwrap();
+        let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
+        for p in ["/a", "/b", "/c"] {
+            store.append(&ev(EventKind::Create, p, 0)).unwrap();
+        }
+        let consumer = Consumer::connect(
+            &ctx,
+            "inproc://agg",
+            EventFilter::all(),
+            Some(store.clone()),
+        )
+        .unwrap();
+        // Only the first event arrives live; the tail has no later
+        // event to reveal it as a gap.
+        publish(&publisher, &[ev(EventKind::Create, "/a", 1)]);
+        assert_eq!(consumer.recv_batch(10, Duration::from_secs(2)).len(), 1);
+        assert_eq!(consumer.catch_up(), 2);
+        let ids: Vec<u64> = consumer.drain().iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(consumer.last_seen(), 3);
     }
 
     #[test]

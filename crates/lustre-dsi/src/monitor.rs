@@ -12,6 +12,7 @@ use crate::consumer::Consumer;
 use fsmon_core::dsi::{DsiError, RawEvent, StorageInterface};
 use fsmon_core::EventFilter;
 use fsmon_events::MonitorSource;
+use fsmon_faults::{FaultPoint, Faults, Retry};
 use fsmon_mq::Context;
 use fsmon_store::{EventStore, MemStore};
 use lustre_sim::LustreFs;
@@ -57,6 +58,14 @@ pub struct ScalableConfig {
     /// as they go — a monitor restart neither loses nor duplicates
     /// records.
     pub cursor_file: Option<std::path::PathBuf>,
+    /// Fault plane consulted by collector lanes (crash injection) and
+    /// armed on the aggregator's consumer-facing link. Unarmed
+    /// ([`Faults::none`]) by default; the supervisor restarts whatever
+    /// the plane kills.
+    pub faults: Faults,
+    /// Retry policy handed to collectors (transient MDS errors) and the
+    /// aggregator's store lane.
+    pub retry: Retry,
 }
 
 impl Default for ScalableConfig {
@@ -70,6 +79,8 @@ impl Default for ScalableConfig {
             store: None,
             purge_interval: Some(Duration::from_secs(30)),
             cursor_file: None,
+            faults: Faults::none(),
+            retry: Retry::fast(),
         }
     }
 }
@@ -90,8 +101,9 @@ static MONITOR_SEQ: AtomicU64 = AtomicU64::new(0);
 /// The running pipeline.
 pub struct ScalableMonitor {
     collectors: Vec<Arc<Mutex<Collector>>>,
-    threads: Vec<std::thread::JoinHandle<()>>,
-    aggregator: Aggregator,
+    collector_alive: Vec<Arc<AtomicBool>>,
+    threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    aggregator: Arc<Aggregator>,
     consumer: Arc<Consumer>,
     ctx: Context,
     stop: Arc<AtomicBool>,
@@ -101,6 +113,64 @@ pub struct ScalableMonitor {
     /// service capacity on a shared-core host.
     collector_busy_ns: Vec<Arc<AtomicU64>>,
     history: crate::history::HistoryService,
+    collector_restarts: Arc<AtomicU64>,
+}
+
+/// Everything one collector lane thread needs; bundled so the
+/// supervisor can respawn a lane with the same wiring.
+struct CollectorLane {
+    collector: Arc<Mutex<Collector>>,
+    alive: Arc<AtomicBool>,
+    busy: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    idle: Duration,
+    cursors: Option<Arc<Mutex<crate::cursor::CursorFile>>>,
+    faults: Faults,
+    mdt: u16,
+}
+
+/// Run one collector lane until stop — or until an injected crash
+/// kills it between publishing a batch and persisting its cursor (the
+/// worst-case window: the restarted incarnation re-reads and
+/// re-publishes, and the aggregator's changelog-index dedup absorbs
+/// the duplicates).
+fn spawn_collector_lane(threads: &Mutex<Vec<std::thread::JoinHandle<()>>>, lane: CollectorLane) {
+    lane.alive.store(true, Ordering::Relaxed);
+    let step_ns = fsmon_telemetry::root()
+        .scope("collector")
+        .with_label("mdt", lane.mdt.to_string())
+        .histogram("step_ns");
+    let handle = std::thread::Builder::new()
+        .name(format!("collector-mdt{}", lane.mdt))
+        .spawn(move || {
+            while !lane.stop.load(Ordering::Relaxed) {
+                let t0 = std::time::Instant::now();
+                let (produced, cursor) = {
+                    let mut c = lane.collector.lock();
+                    (c.step().len(), c.last_index())
+                };
+                if lane.faults.inject(FaultPoint::CollectorCrash).is_some() {
+                    // Died before the cursor flush below.
+                    lane.alive.store(false, Ordering::Relaxed);
+                    return;
+                }
+                if produced == 0 {
+                    std::thread::sleep(lane.idle);
+                } else {
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    lane.busy.fetch_add(elapsed, Ordering::Relaxed);
+                    step_ns.record(elapsed);
+                    if let Some(cursors) = &lane.cursors {
+                        let mut cf = cursors.lock();
+                        cf.advance(lane.mdt, cursor);
+                        let _ = cf.flush();
+                    }
+                }
+            }
+            lane.alive.store(false, Ordering::Relaxed);
+        })
+        .expect("spawn collector thread");
+    threads.lock().push(handle);
 }
 
 impl ScalableMonitor {
@@ -115,6 +185,9 @@ impl ScalableMonitor {
             .store
             .clone()
             .unwrap_or_else(|| Arc::new(MemStore::new()));
+        // Arm the simulated MDS: fid2path and changelog calls consult
+        // the plane (a no-op unless the plan armed those points).
+        fs.arm_faults(config.faults.clone());
 
         // Persisted cursors: resume collectors where the previous
         // incarnation stopped.
@@ -160,19 +233,21 @@ impl ScalableMonitor {
                     Some(publisher),
                 ),
             };
-            collectors.push(Arc::new(Mutex::new(collector)));
+            collectors.push(Arc::new(Mutex::new(collector.with_retry(config.retry))));
         }
 
         let consumer_endpoint = match config.transport {
             Transport::Inproc => format!("inproc://fsmon-{run_id}-agg"),
             Transport::Tcp => "tcp://127.0.0.1:0".to_string(),
         };
-        let aggregator = Aggregator::start(
+        let aggregator = Arc::new(Aggregator::start_with(
             &ctx,
             &collector_endpoints,
             &consumer_endpoint,
             store.clone(),
-        )?;
+            config.faults.clone(),
+            config.retry,
+        )?);
         // The MGS also serves the historic-events API over REQ/REP.
         let history_endpoint = match config.transport {
             Transport::Inproc => format!("inproc://fsmon-{run_id}-history"),
@@ -198,7 +273,8 @@ impl ScalableMonitor {
         // on individual MDSs enables every MDS to be monitored in
         // parallel").
         let stop = Arc::new(AtomicBool::new(false));
-        let mut threads = Vec::new();
+        let threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
         // The janitor: periodic purge cycles over the reliable store.
         if let Some(interval) = config.purge_interval {
             let store = aggregator.store().clone();
@@ -206,7 +282,7 @@ impl ScalableMonitor {
             let purge_ns = fsmon_telemetry::root()
                 .scope("janitor")
                 .histogram("purge_ns");
-            threads.push(
+            threads.lock().push(
                 std::thread::Builder::new()
                     .name("store-janitor".into())
                     .spawn(move || {
@@ -226,48 +302,126 @@ impl ScalableMonitor {
             );
         }
         let mut collector_busy_ns = Vec::new();
+        let mut collector_alive = Vec::new();
         for (i, collector) in collectors.iter().enumerate() {
-            let collector = collector.clone();
-            let stop = stop.clone();
-            let idle = config.idle_sleep;
             let busy = Arc::new(AtomicU64::new(0));
+            let alive = Arc::new(AtomicBool::new(false));
             collector_busy_ns.push(busy.clone());
-            let cursors = cursors.clone();
-            let step_ns = fsmon_telemetry::root()
-                .scope("collector")
-                .with_label("mdt", i.to_string())
-                .histogram("step_ns");
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("collector-mdt{i}"))
-                    .spawn(move || {
-                        let mdt = i as u16;
-                        while !stop.load(Ordering::Relaxed) {
-                            let t0 = std::time::Instant::now();
-                            let (produced, cursor) = {
-                                let mut c = collector.lock();
-                                (c.step().len(), c.last_index())
-                            };
-                            if produced == 0 {
-                                std::thread::sleep(idle);
-                            } else {
-                                let elapsed = t0.elapsed().as_nanos() as u64;
-                                busy.fetch_add(elapsed, Ordering::Relaxed);
-                                step_ns.record(elapsed);
-                                if let Some(cursors) = &cursors {
-                                    let mut cf = cursors.lock();
-                                    cf.advance(mdt, cursor);
-                                    let _ = cf.flush();
-                                }
-                            }
-                        }
-                    })
-                    .expect("spawn collector thread"),
+            collector_alive.push(alive.clone());
+            spawn_collector_lane(
+                &threads,
+                CollectorLane {
+                    collector: collector.clone(),
+                    alive,
+                    busy,
+                    stop: stop.clone(),
+                    idle: config.idle_sleep,
+                    cursors: cursors.clone(),
+                    faults: config.faults.clone(),
+                    mdt: i as u16,
+                },
             );
+        }
+        let collector_restarts = Arc::new(AtomicU64::new(0));
+
+        // The supervisor: polls lane liveness and restarts whatever
+        // died. A restarted collector resumes from the durable cursor
+        // (or the surviving in-memory one) on a fresh endpoint, with a
+        // fresh changelog user — the dead incarnation's user is
+        // deregistered only after the new one is registered, so its
+        // watermark never stops pinning the unconsumed tail.
+        {
+            let stop = stop.clone();
+            let threads_sup = threads.clone();
+            let aggregator = aggregator.clone();
+            let collectors = collectors.clone();
+            let alive = collector_alive.clone();
+            let busy = collector_busy_ns.clone();
+            let cursors = cursors.clone();
+            let fs = fs.clone();
+            let ctx = ctx.clone();
+            let restarts = collector_restarts.clone();
+            let config = config.clone();
+            let handle = std::thread::Builder::new()
+                .name("fsmon-supervisor".into())
+                .spawn(move || {
+                    let scope = fsmon_telemetry::root().scope("supervisor");
+                    let mut generation = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(5));
+                        aggregator.respawn_dead_lanes();
+                        for i in 0..collectors.len() {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if alive[i].load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            generation += 1;
+                            let mdt = i as u16;
+                            let cursor = match &cursors {
+                                Some(cf) => cf.lock().get(mdt),
+                                None => collectors[i].lock().last_index(),
+                            };
+                            let publisher = ctx.publisher();
+                            let endpoint = match config.transport {
+                                Transport::Inproc => {
+                                    let ep =
+                                        format!("inproc://fsmon-{run_id}-mdt{i}-r{generation}");
+                                    if publisher.bind(&ep).is_err() {
+                                        continue;
+                                    }
+                                    ep
+                                }
+                                Transport::Tcp => {
+                                    if publisher.bind("tcp://127.0.0.1:0").is_err() {
+                                        continue;
+                                    }
+                                    format!("tcp://{}", publisher.local_addr().expect("tcp bound"))
+                                }
+                            };
+                            if aggregator.attach_collector(&endpoint).is_err() {
+                                continue;
+                            }
+                            let fresh = Collector::resume(
+                                fs.mdt(mdt),
+                                config.watch_root.clone(),
+                                config.cache_size,
+                                config.batch_size,
+                                Some(publisher),
+                                cursor,
+                            )
+                            .with_retry(config.retry);
+                            let dead = std::mem::replace(&mut *collectors[i].lock(), fresh);
+                            dead.shutdown();
+                            restarts.fetch_add(1, Ordering::Relaxed);
+                            scope
+                                .with_label("lane", format!("mdt{i}"))
+                                .counter("restarts_total")
+                                .inc();
+                            spawn_collector_lane(
+                                &threads_sup,
+                                CollectorLane {
+                                    collector: collectors[i].clone(),
+                                    alive: alive[i].clone(),
+                                    busy: busy[i].clone(),
+                                    stop: stop.clone(),
+                                    idle: config.idle_sleep,
+                                    cursors: cursors.clone(),
+                                    faults: config.faults.clone(),
+                                    mdt,
+                                },
+                            );
+                        }
+                    }
+                })
+                .expect("spawn supervisor thread");
+            threads.lock().push(handle);
         }
 
         Ok(ScalableMonitor {
             collectors,
+            collector_alive,
             threads,
             aggregator,
             consumer,
@@ -276,6 +430,7 @@ impl ScalableMonitor {
             watch_root: config.watch_root,
             collector_busy_ns,
             history,
+            collector_restarts,
         })
     }
 
@@ -291,6 +446,23 @@ impl ScalableMonitor {
             self.aggregator.consumer_endpoint(),
             filter,
             Some(self.aggregator.store().clone()),
+        )
+    }
+
+    /// Attach an additional consumer whose telemetry carries the label
+    /// `consumer=<name>` (per-consumer delivery counters in `fsmon
+    /// stats`).
+    pub fn new_consumer_named(
+        &self,
+        filter: EventFilter,
+        name: &str,
+    ) -> Result<Consumer, fsmon_mq::MqError> {
+        Consumer::connect_named(
+            &self.ctx,
+            self.aggregator.consumer_endpoint(),
+            filter,
+            Some(self.aggregator.store().clone()),
+            name,
         )
     }
 
@@ -365,11 +537,57 @@ impl ScalableMonitor {
         &self.watch_root
     }
 
-    /// Stop collector threads and the aggregator.
-    pub fn stop(mut self) {
+    /// Collector lane restarts performed by the supervisor so far
+    /// (aggregator lane restarts are in
+    /// [`aggregator_stats`](ScalableMonitor::aggregator_stats)).
+    pub fn supervisor_restarts(&self) -> u64 {
+        self.collector_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Liveness of each collector lane, indexed by MDT.
+    pub fn collector_lanes_alive(&self) -> Vec<bool> {
+        self.collector_alive
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Block until every collector lane reports alive (or timeout) —
+    /// useful after a burst of injected crashes to let the supervisor
+    /// finish restarting.
+    pub fn wait_lanes_alive(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            let (pub_alive, store_alive) = self.aggregator.lanes_alive();
+            if pub_alive
+                && store_alive
+                && self
+                    .collector_alive
+                    .iter()
+                    .all(|a| a.load(Ordering::Relaxed))
+            {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    /// Stop collector threads, the supervisor, and the aggregator.
+    pub fn stop(self) {
         self.stop.store(true, Ordering::Relaxed);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        // The supervisor may still be pushing restarted lanes while we
+        // drain; loop until the vec stays empty (the supervisor itself
+        // is joined in one of these passes, after which no new handles
+        // can appear).
+        loop {
+            let handles: Vec<_> = self.threads.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for t in handles {
+                let _ = t.join();
+            }
         }
         self.aggregator.stop();
     }
@@ -519,6 +737,64 @@ mod tests {
         assert!(events.iter().all(|e| e.path.starts_with("/wave2-")));
         monitor.stop();
         std::fs::remove_file(&cursor_path).ok();
+    }
+
+    #[test]
+    fn supervisor_restarts_crashed_collectors_without_loss_or_dup() {
+        use fsmon_faults::{FaultPlan, FaultRule};
+        let fs = LustreFs::new(LustreConfig::small());
+        // Crash the collector a few times while events stream.
+        let faults = FaultPlan::new(11)
+            .with(
+                FaultPoint::CollectorCrash,
+                FaultRule::per_10k(300).after(10).limit(4),
+            )
+            .arm();
+        let monitor = ScalableMonitor::start(
+            &fs,
+            ScalableConfig {
+                faults,
+                batch_size: 16,
+                ..ScalableConfig::default()
+            },
+        )
+        .unwrap();
+        let client = fs.client();
+        let n = 1500u64;
+        for i in 0..n {
+            client.create(&format!("/c{i}")).unwrap();
+            if i % 100 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert!(
+            monitor.wait_events(n, Duration::from_secs(30)),
+            "only {} of {n} arrived (restarts: {})",
+            monitor.aggregator_stats().received,
+            monitor.supervisor_restarts()
+        );
+        assert!(
+            monitor.supervisor_restarts() >= 1,
+            "the fault plan should have killed the collector at least once"
+        );
+        // Exactly-once delivery: n unique dense ids, no duplicates.
+        let mut events = Vec::new();
+        loop {
+            let batch = monitor
+                .consumer()
+                .recv_batch(4096, Duration::from_millis(300));
+            if batch.is_empty() {
+                break;
+            }
+            events.extend(batch);
+        }
+        let mut ids: Vec<u64> = events.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len() as u64, n, "no loss, no duplicates");
+        assert_eq!(*ids.last().unwrap(), n, "ids stay dense across restarts");
+        assert_eq!(monitor.consumer().recovery_stats().duplicates_dropped, 0);
+        monitor.stop();
     }
 
     #[test]

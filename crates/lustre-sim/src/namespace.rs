@@ -14,6 +14,7 @@ use crate::fid::{Fid, FidAllocator};
 use crate::ost::{OstPool, StripeLayout};
 use crate::record::ChangelogRecord;
 use fsmon_events::changelog::{ChangelogKind, ChangelogRename};
+use fsmon_faults::{FaultPoint, Faults};
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -71,6 +72,9 @@ pub enum FsError {
     /// `fid2path` on a FID that no longer exists (deleted), the error
     /// Algorithm 1 catches.
     Fid2PathFailed(Fid),
+    /// A transient fault (injected MDS hiccup): the operation is safe
+    /// to retry, unlike [`FsError::Fid2PathFailed`] which is permanent.
+    Transient(String),
 }
 
 impl std::fmt::Display for FsError {
@@ -84,6 +88,7 @@ impl std::fmt::Display for FsError {
             FsError::NoSpace => write!(f, "no space left on device"),
             FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
             FsError::Fid2PathFailed(fid) => write!(f, "fid2path: cannot resolve {fid}"),
+            FsError::Transient(what) => write!(f, "transient fault: {what}"),
         }
     }
 }
@@ -145,6 +150,7 @@ pub struct LustreFs {
     osts: OstPool,
     ops: OpCounters,
     fid2path_calls: AtomicU64,
+    faults: RwLock<Faults>,
 }
 
 impl LustreFs {
@@ -186,7 +192,20 @@ impl LustreFs {
             osts,
             ops: OpCounters::default(),
             fid2path_calls: AtomicU64::new(0),
+            faults: RwLock::new(Faults::none()),
         })
+    }
+
+    /// Arm a fault-injection plane on this file system. MDS-side
+    /// operations (`fid2path`, changelog reads and purges) consult it;
+    /// the default is unarmed and injects nothing.
+    pub fn arm_faults(&self, faults: Faults) {
+        *self.faults.write() = faults;
+    }
+
+    /// The currently armed fault handle (cheap clone).
+    pub fn faults(&self) -> Faults {
+        self.faults.read().clone()
     }
 
     /// The configuration the file system was built with.
@@ -280,6 +299,14 @@ impl LustreFs {
     /// Algorithm 1's collectors catch.
     pub fn fid2path(&self, fid: Fid) -> Result<String, FsError> {
         self.fid2path_calls.fetch_add(1, Ordering::Relaxed);
+        {
+            let faults = self.faults.read();
+            // Latency spike: stall, then proceed normally.
+            faults.inject_or_delay(FaultPoint::Fid2PathDelay);
+            if faults.inject(FaultPoint::Fid2Path).is_some() {
+                return Err(FsError::Transient(format!("fid2path {fid}")));
+            }
+        }
         let walk = || -> Result<String, FsError> {
             let inodes = self.inodes.read();
             let mut parts: Vec<String> = Vec::new();
@@ -975,9 +1002,50 @@ impl MdtHandle {
         self.changelog.read(since, max)
     }
 
+    /// Fallible changelog read: consults the armed fault plane and
+    /// fails transiently when an injection fires. Collectors use this
+    /// and retry; [`MdtHandle::read_changelog`] stays infallible for
+    /// callers outside the fault domain.
+    pub fn try_read_changelog(
+        &self,
+        since: u64,
+        max: usize,
+    ) -> Result<Vec<ChangelogRecord>, FsError> {
+        if self.fs.faults().inject(FaultPoint::ChangelogRead).is_some() {
+            return Err(FsError::Transient(format!(
+                "changelog read on mdt{}",
+                self.index()
+            )));
+        }
+        Ok(self.changelog.read(since, max))
+    }
+
     /// Clear records up to `up_to` for `user`.
     pub fn clear_changelog(&self, user: crate::changelog::ChangelogUser, up_to: u64) {
         self.changelog.clear(user, up_to)
+    }
+
+    /// Fallible changelog purge: consults the armed fault plane. A
+    /// failed purge is safe to skip — clearing is idempotent and
+    /// monotone, so the next successful clear covers the gap.
+    pub fn try_clear_changelog(
+        &self,
+        user: crate::changelog::ChangelogUser,
+        up_to: u64,
+    ) -> Result<(), FsError> {
+        if self
+            .fs
+            .faults()
+            .inject(FaultPoint::ChangelogPurge)
+            .is_some()
+        {
+            return Err(FsError::Transient(format!(
+                "changelog purge on mdt{}",
+                self.index()
+            )));
+        }
+        self.changelog.clear(user, up_to);
+        Ok(())
     }
 
     /// Changelog health counters.

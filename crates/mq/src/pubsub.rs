@@ -12,6 +12,7 @@ use crate::registry::{Context, InprocBinding};
 use crate::tcp::{read_frame, spawn_listener, write_frame};
 use crate::MqError;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use fsmon_faults::{FaultPoint, Faults};
 use parking_lot::Mutex;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -57,6 +58,7 @@ pub struct PubCore {
     tcp_subs: Mutex<Vec<Arc<TcpSubConn>>>,
     sent: AtomicU64,
     dropped: AtomicU64,
+    faults: Mutex<Faults>,
     t_published: Arc<fsmon_telemetry::Counter>,
     t_dropped: Arc<fsmon_telemetry::Counter>,
     t_tcp_frames: Arc<fsmon_telemetry::Counter>,
@@ -70,6 +72,7 @@ impl Default for PubCore {
             tcp_subs: Mutex::new(Vec::new()),
             sent: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            faults: Mutex::new(Faults::none()),
             t_published: scope.counter("published_total"),
             t_dropped: scope.counter("hwm_dropped_total"),
             t_tcp_frames: scope.counter("tcp_frames_total"),
@@ -80,13 +83,27 @@ impl Default for PubCore {
 impl PubCore {
     fn publish(&self, msg: &Message) {
         let topic = msg.topic();
+        let faults = self.faults.lock().clone();
         {
             let subs = self.inproc_subs.lock();
             for sub in subs.iter() {
                 if !sub.alive.load(Ordering::Relaxed) || !sub.matches(topic) {
                     continue;
                 }
-                match sub.sender.try_send(msg.clone()) {
+                // Injected link loss: the peer sees the same shared
+                // entry go dead and can re-dial.
+                if faults.inject(FaultPoint::MqDisconnect).is_some() {
+                    sub.alive.store(false, Ordering::Relaxed);
+                    continue;
+                }
+                // Injected HWM saturation: drop-newest, like a full
+                // queue.
+                let full = faults.inject(FaultPoint::MqHwm).is_some();
+                match if full {
+                    Err(TrySendError::Full(msg.clone()))
+                } else {
+                    sub.sender.try_send(msg.clone())
+                } {
                     Ok(()) => {
                         self.sent.fetch_add(1, Ordering::Relaxed);
                         self.t_published.inc();
@@ -109,6 +126,16 @@ impl PubCore {
                     continue;
                 }
                 let mut stream = conn.stream.lock();
+                if faults.inject(FaultPoint::MqDisconnect).is_some() {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    conn.alive.store(false, Ordering::Relaxed);
+                    continue;
+                }
+                if faults.inject(FaultPoint::MqHwm).is_some() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.t_dropped.inc();
+                    continue;
+                }
                 if write_frame(&mut stream, msg).is_err() {
                     conn.alive.store(false, Ordering::Relaxed);
                 } else {
@@ -228,6 +255,35 @@ impl PubSocket {
         inproc + tcp
     }
 
+    /// Whether any live subscriber's prefix set matches `topic`.
+    /// Stricter than [`subscriber_count`]: over TCP a connection may
+    /// exist before its subscription control frames land, and a
+    /// publisher that purges behind its publishes must not fire until
+    /// someone will actually receive.
+    ///
+    /// [`subscriber_count`]: PubSocket::subscriber_count
+    pub fn has_subscriber_matching(&self, topic: &[u8]) -> bool {
+        self.core
+            .inproc_subs
+            .lock()
+            .iter()
+            .any(|s| s.alive.load(Ordering::Relaxed) && s.matches(topic))
+            || self
+                .core
+                .tcp_subs
+                .lock()
+                .iter()
+                .any(|c| c.alive.load(Ordering::Relaxed) && c.matches(topic))
+    }
+
+    /// Arm fault injection on this publisher: sends consult the plane
+    /// for injected disconnects and HWM saturation. Scoped per socket
+    /// so chaos plans can target one hop (the aggregator→consumer link)
+    /// without poisoning links that have no replay path.
+    pub fn arm_faults(&self, faults: Faults) {
+        *self.core.faults.lock() = faults;
+    }
+
     /// `(messages delivered, messages dropped at HWM)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (
@@ -252,11 +308,31 @@ impl Drop for PubSocket {
 }
 
 enum SubAttachment {
-    Inproc(Arc<SubEntry>),
+    Inproc {
+        entry: Arc<SubEntry>,
+        endpoint: String,
+    },
     Tcp {
         stream: Mutex<TcpStream>,
         alive: Arc<AtomicBool>,
+        endpoint: String,
     },
+}
+
+impl SubAttachment {
+    fn alive(&self) -> bool {
+        match self {
+            SubAttachment::Inproc { entry, .. } => entry.alive.load(Ordering::Relaxed),
+            SubAttachment::Tcp { alive, .. } => alive.load(Ordering::Relaxed),
+        }
+    }
+
+    fn endpoint(&self) -> &str {
+        match self {
+            SubAttachment::Inproc { endpoint, .. } => endpoint,
+            SubAttachment::Tcp { endpoint, .. } => endpoint,
+        }
+    }
 }
 
 /// A subscribing socket.
@@ -305,7 +381,10 @@ impl SubSocket {
                     dropped: AtomicU64::new(0),
                 });
                 core.inproc_subs.lock().push(entry.clone());
-                self.attachments.lock().push(SubAttachment::Inproc(entry));
+                self.attachments.lock().push(SubAttachment::Inproc {
+                    entry,
+                    endpoint: endpoint.to_string(),
+                });
                 Ok(())
             }
             Endpoint::Tcp(addr) => {
@@ -346,6 +425,7 @@ impl SubSocket {
                 self.attachments.lock().push(SubAttachment::Tcp {
                     stream: Mutex::new(stream),
                     alive,
+                    endpoint: endpoint.to_string(),
                 });
                 Ok(())
             }
@@ -357,7 +437,7 @@ impl SubSocket {
         self.prefixes.lock().push(prefix.to_vec());
         for att in self.attachments.lock().iter() {
             match att {
-                SubAttachment::Inproc(entry) => entry.prefixes.lock().push(prefix.to_vec()),
+                SubAttachment::Inproc { entry, .. } => entry.prefixes.lock().push(prefix.to_vec()),
                 SubAttachment::Tcp { stream, .. } => {
                     let mut frame = vec![CTRL_SUBSCRIBE];
                     frame.extend_from_slice(prefix);
@@ -372,7 +452,7 @@ impl SubSocket {
         self.prefixes.lock().retain(|p| p != prefix);
         for att in self.attachments.lock().iter() {
             match att {
-                SubAttachment::Inproc(entry) => {
+                SubAttachment::Inproc { entry, .. } => {
                     entry.prefixes.lock().retain(|p| p != prefix);
                 }
                 SubAttachment::Tcp { stream, .. } => {
@@ -402,10 +482,50 @@ impl SubSocket {
             .lock()
             .iter()
             .map(|a| match a {
-                SubAttachment::Inproc(e) => e.dropped.load(Ordering::Relaxed),
+                SubAttachment::Inproc { entry, .. } => entry.dropped.load(Ordering::Relaxed),
                 SubAttachment::Tcp { .. } => 0,
             })
             .sum()
+    }
+
+    /// Whether any attachment has gone dead (publisher dropped the
+    /// link, TCP reset, or an injected disconnect).
+    pub fn disconnected(&self) -> bool {
+        self.attachments.lock().iter().any(|a| !a.alive())
+    }
+
+    /// Re-dial every dead attachment at its original endpoint. Returns
+    /// the number of links re-established. A dead attachment is only
+    /// dropped once its replacement connects, so a dial failure leaves
+    /// the endpoint queued for the next attempt ([`disconnected`] stays
+    /// true and the caller's retry loop comes back).
+    ///
+    /// [`disconnected`]: SubSocket::disconnected
+    pub fn reconnect(&self) -> Result<usize, MqError> {
+        let dead: Vec<String> = self
+            .attachments
+            .lock()
+            .iter()
+            .filter(|a| !a.alive())
+            .map(|a| a.endpoint().to_string())
+            .collect();
+        let t_reconnects = fsmon_telemetry::root()
+            .scope("mq")
+            .counter("reconnects_total");
+        let mut n = 0;
+        for endpoint in &dead {
+            self.connect(endpoint)?;
+            let mut atts = self.attachments.lock();
+            if let Some(pos) = atts
+                .iter()
+                .position(|a| !a.alive() && a.endpoint() == endpoint)
+            {
+                atts.remove(pos);
+            }
+            t_reconnects.inc();
+            n += 1;
+        }
+        Ok(n)
     }
 
     /// The configured high-water mark.
@@ -423,8 +543,8 @@ impl Drop for SubSocket {
     fn drop(&mut self) {
         for att in self.attachments.lock().iter() {
             match att {
-                SubAttachment::Inproc(entry) => entry.alive.store(false, Ordering::Relaxed),
-                SubAttachment::Tcp { alive, stream } => {
+                SubAttachment::Inproc { entry, .. } => entry.alive.store(false, Ordering::Relaxed),
+                SubAttachment::Tcp { alive, stream, .. } => {
                     alive.store(false, Ordering::Relaxed);
                     let _ = stream.lock().shutdown(std::net::Shutdown::Both);
                 }
@@ -605,6 +725,59 @@ mod tests {
         assert_eq!(m.topic(), b"events.mdt0");
         assert_eq!(m.part(1), Some(&b"payload"[..]));
         assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn injected_disconnect_is_visible_and_reconnect_heals() {
+        use fsmon_faults::{FaultPlan, FaultPoint, FaultRule};
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://chaos").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://chaos").unwrap();
+        sub.subscribe(b"");
+        // First send severs the link, deterministically.
+        publisher.arm_faults(
+            FaultPlan::new(1)
+                .with(
+                    FaultPoint::MqDisconnect,
+                    FaultRule::per_10k(10_000).limit(1),
+                )
+                .arm(),
+        );
+        publisher.send(msg("t", "lost")).unwrap();
+        assert!(sub.try_recv().is_none());
+        assert!(sub.disconnected());
+        assert!(!publisher.has_subscriber_matching(b"t"));
+        // Re-dial and delivery resumes (budget of one is spent).
+        assert_eq!(sub.reconnect().unwrap(), 1);
+        assert!(!sub.disconnected());
+        publisher.send(msg("t", "back")).unwrap();
+        let m = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.part(1), Some(&b"back"[..]));
+    }
+
+    #[test]
+    fn injected_hwm_drops_are_counted() {
+        use fsmon_faults::{FaultPlan, FaultPoint, FaultRule};
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://hwm").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://hwm").unwrap();
+        sub.subscribe(b"");
+        publisher.arm_faults(
+            FaultPlan::new(2)
+                .with(FaultPoint::MqHwm, FaultRule::per_10k(10_000).limit(3))
+                .arm(),
+        );
+        for i in 0..10 {
+            publisher.send(msg("t", &i.to_string())).unwrap();
+        }
+        let (sent, dropped) = publisher.stats();
+        assert_eq!(dropped, 3);
+        assert_eq!(sent, 7);
+        assert!(!sub.disconnected(), "HWM loss is not a link failure");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::crc::crc32;
 use crate::{EventStore, StoreError, StoreStats};
 use bytes::Bytes;
 use fsmon_events::{decode_event, encode_event, StandardEvent};
+use fsmon_faults::{FaultPoint, Faults};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -50,18 +51,21 @@ struct Inner {
 /// A durable [`EventStore`] over a directory of segment files.
 pub struct FileStore {
     inner: Mutex<Inner>,
+    faults: Faults,
     t_appends: std::sync::Arc<fsmon_telemetry::Counter>,
     t_append_ns: std::sync::Arc<fsmon_telemetry::Histogram>,
     t_rolls: std::sync::Arc<fsmon_telemetry::Counter>,
     t_purged_segments: std::sync::Arc<fsmon_telemetry::Counter>,
     t_purge_ns: std::sync::Arc<fsmon_telemetry::Histogram>,
+    t_append_errors: std::sync::Arc<fsmon_telemetry::Counter>,
+    t_torn_tails: std::sync::Arc<fsmon_telemetry::Counter>,
 }
 
 impl FileStore {
     /// Open (or create) a store in `dir`, recovering any existing
     /// segments.
     pub fn open(dir: impl AsRef<Path>) -> Result<FileStore, StoreError> {
-        Self::open_with_segment_bytes(dir, DEFAULT_SEGMENT_BYTES)
+        Self::open_with(dir, DEFAULT_SEGMENT_BYTES, Faults::none())
     }
 
     /// Open with a custom segment roll size (small values exercise
@@ -69,6 +73,16 @@ impl FileStore {
     pub fn open_with_segment_bytes(
         dir: impl AsRef<Path>,
         segment_bytes: u64,
+    ) -> Result<FileStore, StoreError> {
+        Self::open_with(dir, segment_bytes, Faults::none())
+    }
+
+    /// Open with a fault-injection handle: appends consult it for
+    /// injected I/O errors and torn tails (no-op when unarmed).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        segment_bytes: u64,
+        faults: Faults,
     ) -> Result<FileStore, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
@@ -88,17 +102,38 @@ impl FileStore {
         }
         seg_paths.sort();
 
+        let scope = fsmon_telemetry::root()
+            .scope("store")
+            .with_label("backend", "file");
+        let t_quarantined = scope.counter("quarantined_segments_total");
+        let t_quarantined_bytes = scope.counter("quarantined_bytes_total");
+
         let mut segments = Vec::new();
         let mut events = std::collections::VecDeque::new();
         let mut next_seq = 0u64;
         let mut appended = 0u64;
         for (first_seq, path) in seg_paths {
             let (recovered, valid_bytes) = recover_segment(&path)?;
-            // Truncate the torn tail, if any.
             let meta_len = std::fs::metadata(&path)?.len();
+            if meta_len > 0 && valid_bytes == 0 {
+                // Nothing in the segment is readable: quarantine the
+                // whole file and keep going — one bad segment must not
+                // take the pipeline down.
+                std::fs::rename(&path, quarantine_path(&path))?;
+                t_quarantined.inc();
+                t_quarantined_bytes.add(meta_len);
+                continue;
+            }
             if valid_bytes < meta_len {
+                // Torn/corrupt tail: preserve the bytes for post-mortem,
+                // then truncate back to the last valid record.
+                let mut raw = Vec::new();
+                File::open(&path)?.read_to_end(&mut raw)?;
+                std::fs::write(quarantine_path(&path), &raw[valid_bytes as usize..])?;
                 let f = OpenOptions::new().write(true).open(&path)?;
                 f.set_len(valid_bytes)?;
+                t_quarantined.inc();
+                t_quarantined_bytes.add(meta_len - valid_bytes);
             }
             let last_seq = recovered
                 .last()
@@ -118,9 +153,6 @@ impl FileStore {
             });
         }
         let reported = read_watermark(&dir)?;
-        let scope = fsmon_telemetry::root()
-            .scope("store")
-            .with_label("backend", "file");
         Ok(FileStore {
             inner: Mutex::new(Inner {
                 dir,
@@ -131,11 +163,14 @@ impl FileStore {
                 reported,
                 appended,
             }),
+            faults,
             t_appends: scope.counter("appends_total"),
             t_append_ns: scope.histogram("append_ns"),
             t_rolls: scope.counter("segment_rolls_total"),
             t_purged_segments: scope.counter("purged_segments_total"),
             t_purge_ns: scope.histogram("purge_ns"),
+            t_append_errors: scope.counter("append_errors_total"),
+            t_torn_tails: scope.counter("torn_tails_total"),
         })
     }
 
@@ -161,6 +196,15 @@ impl FileStore {
         }
         Ok(seg)
     }
+}
+
+/// Sibling path a corrupt segment (or its torn tail) is preserved at.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy())
+        .unwrap_or_default();
+    path.with_file_name(format!("{name}.quarantine"))
 }
 
 fn read_watermark(dir: &Path) -> Result<u64, StoreError> {
@@ -212,8 +256,15 @@ impl EventStore for FileStore {
     fn append(&self, event: &StandardEvent) -> Result<u64, StoreError> {
         let t0 = std::time::Instant::now();
         let mut inner = self.inner.lock();
-        inner.next_seq += 1;
-        let seq = inner.next_seq;
+        // Injected transient I/O error: fail before any state changes,
+        // so a retry reuses the same sequence number.
+        if self.faults.inject(FaultPoint::StoreAppend).is_some() {
+            self.t_append_errors.inc();
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected append I/O error",
+            )));
+        }
+        let seq = inner.next_seq + 1;
         let mut stored = event.clone();
         stored.id = seq;
         let payload = encode_event(&stored);
@@ -221,16 +272,49 @@ impl EventStore for FileStore {
         frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         frame.extend_from_slice(&crc32(&payload).to_be_bytes());
         frame.extend_from_slice(&payload);
+        let torn = self.faults.inject(FaultPoint::StoreTornTail).is_some();
         let segs_before = inner.segments.len();
         {
             let seg = Self::active_segment(&mut inner, seq)?;
-            seg.file.as_mut().expect("open file").write_all(&frame)?;
-            seg.bytes += frame.len() as u64;
-            seg.last_seq = seq;
+            if torn {
+                // Injected torn tail: half a frame lands on disk, as if
+                // the process died mid-write.
+                let cut = 8 + payload.len() / 2;
+                seg.file
+                    .as_mut()
+                    .expect("open file")
+                    .write_all(&frame[..cut])?;
+                seg.file = None;
+            } else {
+                seg.file.as_mut().expect("open file").write_all(&frame)?;
+                seg.bytes += frame.len() as u64;
+                seg.last_seq = seq;
+            }
+        }
+        if torn {
+            // Poison the segment so the next append rolls to a fresh
+            // one: the torn bytes stay at this segment's tail, exactly
+            // where open-time recovery expects to quarantine them. A
+            // segment with no valid records yet is healed in place
+            // instead — rolling would reuse its `seg-<seq>` file name
+            // and land valid records after the garbage.
+            let max = inner.segment_bytes;
+            if let Some(seg) = inner.segments.last_mut() {
+                if seg.last_seq >= seg.first_seq {
+                    seg.bytes = max;
+                } else {
+                    let f = OpenOptions::new().write(true).open(&seg.path)?;
+                    f.set_len(0)?;
+                }
+            }
+            self.t_torn_tails.inc();
+            self.t_append_errors.inc();
+            return Err(StoreError::Io(std::io::Error::other("injected torn tail")));
         }
         if inner.segments.len() > segs_before {
             self.t_rolls.inc();
         }
+        inner.next_seq = seq;
         inner.events.push_back(stored);
         inner.appended += 1;
         self.t_appends.inc();
