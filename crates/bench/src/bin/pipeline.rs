@@ -1,0 +1,212 @@
+//! Pipeline concurrency bench: parallel FID resolution plus sharded
+//! aggregator fan-out against the serial baseline.
+//!
+//! Generates a changelog backlog first (unmonitored — the simulated
+//! changelog retains everything until a user clears it), then starts
+//! the pipeline and times the drain. The pipeline is saturated for the
+//! whole window, so events/sec is its true service rate (§V-D2's
+//! saturated regime), measured once with one resolver thread and one
+//! publish lane and once with the tuned pool. Writes
+//! `BENCH_pipeline.json` with both runs plus the speedup.
+//!
+//! Usage: `pipeline [--seconds N] [--out PATH] [--baseline PATH]`
+//!
+//! With `--baseline`, the tuned events/sec is also compared against
+//! the committed baseline file and the process exits nonzero on a
+//! >20% throughput regression — the CI smoke gate.
+
+use fsmon_lustre::{ScalableConfig, ScalableMonitor};
+use fsmon_testbed::profiles::TestbedKind;
+use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
+use lustre_sim::LustreFs;
+use std::time::{Duration, Instant};
+
+/// Cache far smaller than the working set, so most events pay the
+/// fid2path cost and the resolver pool is what's under test.
+const CACHE: usize = 1024;
+const WORKING_SET: usize = 8192;
+const TUNED_THREADS: usize = 4;
+const TUNED_LANES: usize = 4;
+/// Allowed throughput regression against the committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+struct Measured {
+    resolver_threads: usize,
+    publish_lanes: usize,
+    events_per_sec: f64,
+    drain_secs: f64,
+    p99_resolve_ns: u64,
+    cache_hit_ratio: f64,
+    generated: u64,
+    reported: u64,
+}
+
+fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measured {
+    let mut config = TestbedKind::Aws.config();
+    config.n_mdt = 1;
+    let telemetry_before = fsmon_telemetry::global().snapshot();
+    let fs = LustreFs::new(config);
+
+    // Build the backlog with no monitor attached: the changelog holds
+    // every record until a registered user clears it, so the pipeline
+    // starts saturated and stays saturated until the last event.
+    let client = fs.client();
+    EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
+        .with_working_set(WORKING_SET)
+        .run_for(&client, Duration::from_secs(seconds));
+    let generated = fs.mdt(0).changelog_stats().appended;
+
+    let t0 = Instant::now();
+    let monitor = ScalableMonitor::start(
+        &fs,
+        ScalableConfig {
+            cache_size: CACHE,
+            resolver_threads,
+            publish_lanes,
+            ..ScalableConfig::default()
+        },
+    )
+    .expect("start scalable monitor");
+    // The performance script issues no renames, so records map 1:1 to
+    // events and the aggregator's received count hits `generated`
+    // exactly when the backlog is drained.
+    monitor.wait_events(generated, Duration::from_secs(600));
+    let drain = t0.elapsed();
+    let reported = monitor.aggregator_stats().received;
+    monitor.stop();
+
+    let delta = fsmon_telemetry::global()
+        .snapshot()
+        .delta_from(&telemetry_before);
+    let hits = delta.counter("fsmon_fid2path_hits_total") as f64;
+    let misses = delta.counter("fsmon_fid2path_misses_total") as f64;
+    Measured {
+        resolver_threads,
+        publish_lanes,
+        events_per_sec: generated as f64 / drain.as_secs_f64().max(1e-9),
+        drain_secs: drain.as_secs_f64(),
+        p99_resolve_ns: delta
+            .histogram("fsmon_fid2path_resolve_ns")
+            .map(|h| h.quantile(0.99))
+            .unwrap_or(0),
+        cache_hit_ratio: if hits + misses == 0.0 {
+            0.0
+        } else {
+            hits / (hits + misses)
+        },
+        generated,
+        reported,
+    }
+}
+
+fn render(m: &Measured) -> String {
+    format!(
+        "{{\n    \"resolver_threads\": {},\n    \"publish_lanes\": {},\n    \
+         \"events_per_sec\": {:.1},\n    \"drain_secs\": {:.3},\n    \
+         \"p99_resolve_ns\": {},\n    \"cache_hit_ratio\": {:.4},\n    \
+         \"generated\": {},\n    \"reported\": {}\n  }}",
+        m.resolver_threads,
+        m.publish_lanes,
+        m.events_per_sec,
+        m.drain_secs,
+        m.p99_resolve_ns,
+        m.cache_hit_ratio,
+        m.generated,
+        m.reported,
+    )
+}
+
+/// Pull `"tuned": { ... "events_per_sec": <n> ... }` out of a
+/// previously written report without a JSON dependency.
+fn baseline_events_per_sec(text: &str) -> Option<f64> {
+    let tuned = &text[text.find("\"tuned\"")?..];
+    let after_key = &tuned[tuned.find("\"events_per_sec\"")? + "\"events_per_sec\"".len()..];
+    let num = after_key.trim_start_matches([':', ' ', '\t', '\n']);
+    let end = num
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
+fn main() {
+    let mut seconds = 3u64;
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seconds" => {
+                seconds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seconds needs a number");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: pipeline [--seconds N] [--out PATH] [--baseline PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("pipeline bench: serial baseline (1 resolver thread, 1 publish lane), {seconds}s");
+    let serial = measure(seconds, 1, 1);
+    eprintln!(
+        "  capacity {:.0} ev/s, p99 resolve {} ns, hit ratio {:.1}%",
+        serial.events_per_sec,
+        serial.p99_resolve_ns,
+        100.0 * serial.cache_hit_ratio
+    );
+    eprintln!("pipeline bench: tuned ({TUNED_THREADS} resolver threads, {TUNED_LANES} publish lanes), {seconds}s");
+    let tuned = measure(seconds, TUNED_THREADS, TUNED_LANES);
+    eprintln!(
+        "  capacity {:.0} ev/s, p99 resolve {} ns, hit ratio {:.1}%",
+        tuned.events_per_sec,
+        tuned.p99_resolve_ns,
+        100.0 * tuned.cache_hit_ratio
+    );
+
+    let speedup = tuned.events_per_sec / serial.events_per_sec.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"testbed\": \"aws\",\n  \
+         \"seconds\": {seconds},\n  \"cache\": {CACHE},\n  \
+         \"working_set\": {WORKING_SET},\n  \"serial\": {},\n  \
+         \"tuned\": {},\n  \"speedup\": {speedup:.2}\n}}\n",
+        render(&serial),
+        render(&tuned),
+    );
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("{json}");
+    println!("speedup: {speedup:.2}x (tuned vs serial collector capacity)");
+
+    let mut failed = false;
+    if speedup < 2.0 {
+        eprintln!("FAIL: speedup {speedup:.2}x < 2.0x with {TUNED_THREADS} resolver threads");
+        failed = true;
+    }
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let committed = baseline_events_per_sec(&text)
+            .unwrap_or_else(|| panic!("no tuned events_per_sec in {path}"));
+        let floor = committed * (1.0 - REGRESSION_TOLERANCE);
+        if tuned.events_per_sec < floor {
+            eprintln!(
+                "FAIL: tuned {:.0} ev/s regressed >{:.0}% below committed baseline {committed:.0} ev/s",
+                tuned.events_per_sec,
+                100.0 * REGRESSION_TOLERANCE
+            );
+            failed = true;
+        } else {
+            println!(
+                "baseline check: tuned {:.0} ev/s vs committed {committed:.0} ev/s (floor {floor:.0}) OK",
+                tuned.events_per_sec
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

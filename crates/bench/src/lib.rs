@@ -8,4 +8,7 @@
 
 pub mod harness;
 
-pub use harness::{local_reporting_rate, lustre_throughput, LocalRun, LustreRun, MonitorKind};
+pub use harness::{
+    local_reporting_rate, lustre_throughput, lustre_throughput_tuned, LocalRun, LustreRun,
+    MonitorKind,
+};

@@ -52,6 +52,10 @@ pub enum Command {
         seconds: u64,
         /// Collector cache size.
         cache: usize,
+        /// Parallel `fid2path` resolver threads per collector.
+        resolver_threads: usize,
+        /// Aggregator publish worker lanes.
+        publish_lanes: usize,
     },
     /// Dump pipeline telemetry (live run or a previously exported file).
     Stats {
@@ -80,6 +84,10 @@ pub enum Command {
         mds: u16,
         /// Workload seconds.
         seconds: u64,
+        /// Parallel `fid2path` resolver threads per collector.
+        resolver_threads: usize,
+        /// Aggregator publish worker lanes.
+        publish_lanes: usize,
     },
     /// Print usage.
     Help,
@@ -130,9 +138,11 @@ USAGE:
                      [--duration SECS] [--interval-ms MS]
   fsmon replay --store DIR [--since ID] [--max N]
   fsmon demo-lustre [--mds N] [--seconds S] [--cache N]
+                    [--resolver-threads N] [--publish-lanes N]
   fsmon stats [--format summary|prometheus|json] [--from FILE]
               [--diff BEFORE AFTER] [--mds N] [--seconds S] [--cache N]
   fsmon chaos [--plan none|basic|storm] [--seed N] [--mds N] [--seconds S]
+              [--resolver-threads N] [--publish-lanes N]
   fsmon help
 
 FORMATS: inotify (default), kqueue, fsevents, filesystemwatcher
@@ -258,6 +268,8 @@ impl Cli {
         let mut mds = 4;
         let mut seconds = 2;
         let mut cache = 5000;
+        let mut resolver_threads = 4;
+        let mut publish_lanes = 2;
         while let Some(arg) = iter.next() {
             match arg {
                 "--mds" => {
@@ -275,6 +287,16 @@ impl Cli {
                         .parse()
                         .map_err(|_| ParseError("--cache must be a number".into()))?
                 }
+                "--resolver-threads" => {
+                    resolver_threads = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--resolver-threads must be a number".into()))?
+                }
+                "--publish-lanes" => {
+                    publish_lanes = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--publish-lanes must be a number".into()))?
+                }
                 other => return Err(ParseError(format!("unknown flag for demo-lustre: {other}"))),
             }
         }
@@ -282,6 +304,8 @@ impl Cli {
             mds,
             seconds,
             cache,
+            resolver_threads,
+            publish_lanes,
         })
     }
 
@@ -341,6 +365,8 @@ impl Cli {
         let mut seed = 7;
         let mut mds = 1;
         let mut seconds = 2;
+        let mut resolver_threads = 4;
+        let mut publish_lanes = 2;
         while let Some(arg) = iter.next() {
             match arg {
                 "--plan" => plan = take_value(arg, iter)?.to_string(),
@@ -359,6 +385,16 @@ impl Cli {
                         .parse()
                         .map_err(|_| ParseError("--seconds must be a number".into()))?
                 }
+                "--resolver-threads" => {
+                    resolver_threads = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--resolver-threads must be a number".into()))?
+                }
+                "--publish-lanes" => {
+                    publish_lanes = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--publish-lanes must be a number".into()))?
+                }
                 other => return Err(ParseError(format!("unknown flag for chaos: {other}"))),
             }
         }
@@ -367,6 +403,8 @@ impl Cli {
             seed,
             mds,
             seconds,
+            resolver_threads,
+            publish_lanes,
         })
     }
 }
@@ -501,16 +539,27 @@ mod tests {
             Command::DemoLustre {
                 mds: 2,
                 seconds: 1,
-                cache: 0
+                cache: 0,
+                resolver_threads: 4,
+                publish_lanes: 2
             }
         );
-        let cli = Cli::parse(["demo-lustre"]).unwrap();
+        let cli = Cli::parse([
+            "demo-lustre",
+            "--resolver-threads",
+            "8",
+            "--publish-lanes",
+            "4",
+        ])
+        .unwrap();
         assert_eq!(
             cli.command,
             Command::DemoLustre {
                 mds: 4,
                 seconds: 2,
-                cache: 5000
+                cache: 5000,
+                resolver_threads: 8,
+                publish_lanes: 4
             }
         );
     }
@@ -575,7 +624,9 @@ mod tests {
                 plan: "basic".into(),
                 seed: 7,
                 mds: 1,
-                seconds: 2
+                seconds: 2,
+                resolver_threads: 4,
+                publish_lanes: 2
             }
         );
         let cli = Cli::parse([
@@ -588,6 +639,10 @@ mod tests {
             "2",
             "--seconds",
             "1",
+            "--resolver-threads",
+            "8",
+            "--publish-lanes",
+            "4",
         ])
         .unwrap();
         assert_eq!(
@@ -596,7 +651,9 @@ mod tests {
                 plan: "storm".into(),
                 seed: 42,
                 mds: 2,
-                seconds: 1
+                seconds: 1,
+                resolver_threads: 8,
+                publish_lanes: 4
             }
         );
         assert!(Cli::parse(["chaos", "--seed", "abc"]).is_err());

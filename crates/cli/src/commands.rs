@@ -44,7 +44,9 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             mds,
             seconds,
             cache,
-        } => demo_lustre(mds, seconds, cache, out),
+            resolver_threads,
+            publish_lanes,
+        } => demo_lustre(mds, seconds, cache, resolver_threads, publish_lanes, out),
         Command::Stats {
             format,
             from,
@@ -66,7 +68,17 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             seed,
             mds,
             seconds,
-        } => chaos(&plan, seed, mds, seconds, out),
+            resolver_threads,
+            publish_lanes,
+        } => chaos(
+            &plan,
+            seed,
+            mds,
+            seconds,
+            resolver_threads,
+            publish_lanes,
+            out,
+        ),
     }
 }
 
@@ -198,17 +210,30 @@ fn drain_consumer(monitor: &fsmon_lustre::ScalableMonitor, expected: u64) {
     }
 }
 
-fn demo_lustre(mds: u16, seconds: u64, cache: usize, out: &mut dyn Write) -> i32 {
+fn demo_lustre(
+    mds: u16,
+    seconds: u64,
+    cache: usize,
+    resolver_threads: usize,
+    publish_lanes: usize,
+    out: &mut dyn Write,
+) -> i32 {
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
     use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
     use lustre_sim::{LustreConfig, LustreFs};
 
-    let _ = writeln!(out, "simulated Lustre: {mds} MDS(s), cache {cache}");
+    let _ = writeln!(
+        out,
+        "simulated Lustre: {mds} MDS(s), cache {cache}, \
+         {resolver_threads} resolver thread(s), {publish_lanes} publish lane(s)"
+    );
     let fs = LustreFs::new(LustreConfig::small_dne(mds.max(1)));
     let monitor = match ScalableMonitor::start(
         &fs,
         ScalableConfig {
             cache_size: cache,
+            resolver_threads,
+            publish_lanes,
             ..ScalableConfig::default()
         },
     ) {
@@ -475,7 +500,16 @@ fn stats(
 /// end-to-end delivery guarantee: every generated event reaches the
 /// consumer exactly once (live or healed from the store), despite
 /// injected disconnects, store errors, and lane crashes.
-fn chaos(plan_name: &str, seed: u64, mds: u16, seconds: u64, out: &mut dyn Write) -> i32 {
+#[allow(clippy::too_many_arguments)]
+fn chaos(
+    plan_name: &str,
+    seed: u64,
+    mds: u16,
+    seconds: u64,
+    resolver_threads: usize,
+    publish_lanes: usize,
+    out: &mut dyn Write,
+) -> i32 {
     use fsmon_faults::FaultPlan;
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
     use fsmon_telemetry::MetricValue;
@@ -521,6 +555,8 @@ fn chaos(plan_name: &str, seed: u64, mds: u16, seconds: u64, out: &mut dyn Write
             store: Some(Arc::new(store)),
             cursor_file: Some(dir.join("cursors")),
             faults: faults.clone(),
+            resolver_threads,
+            publish_lanes,
             ..ScalableConfig::default()
         },
     ) {

@@ -1,9 +1,10 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! [`Bytes`] is a cheaply clonable view into shared immutable storage
-//! (an `Arc<[u8]>` plus a start offset — cloning is a refcount bump,
-//! and [`Buf`] consumption just advances the offset). [`BytesMut`] is
-//! a growable buffer that [`freeze`](BytesMut::freeze)s into `Bytes`.
+//! (an `Arc<[u8]>` plus a start/end window — cloning, slicing and
+//! splitting are refcount bumps over the same storage, and [`Buf`]
+//! consumption just advances the window). [`BytesMut`] is a growable
+//! buffer that [`freeze`](BytesMut::freeze)s into `Bytes`.
 //! Multi-byte integer accessors are big-endian, matching the real
 //! crate's `get_u32`/`put_u32` family.
 
@@ -14,6 +15,7 @@ use std::sync::Arc;
 pub struct Bytes {
     data: Arc<[u8]>,
     start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -28,6 +30,7 @@ impl Bytes {
         Bytes {
             data: Arc::from(s),
             start: 0,
+            end: s.len(),
         }
     }
 
@@ -36,12 +39,13 @@ impl Bytes {
         Bytes {
             data: Arc::from(s),
             start: 0,
+            end: s.len(),
         }
     }
 
     /// Remaining length.
     pub fn len(&self) -> usize {
-        self.data.len() - self.start
+        self.end - self.start
     }
 
     /// True when nothing remains.
@@ -51,10 +55,11 @@ impl Bytes {
 
     /// The remaining bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..]
+        &self.data[self.start..self.end]
     }
 
-    /// A clone viewing `range` of the remaining bytes.
+    /// A zero-copy view of `range` of the remaining bytes, sharing the
+    /// underlying storage (refcount bump, no allocation).
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         let start = match range.start_bound() {
             std::ops::Bound::Included(&n) => n,
@@ -68,21 +73,20 @@ impl Bytes {
         };
         assert!(start <= end && end <= self.len());
         Bytes {
-            data: Arc::from(&self.as_slice()[start..end]),
-            start: 0,
+            data: self.data.clone(),
+            start: self.start + start,
+            end: self.start + end,
         }
     }
 
     /// Split off and return the first `at` bytes, advancing `self`.
+    /// Both halves share the underlying storage (no copy).
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len());
         let head = Bytes {
             data: self.data.clone(),
             start: self.start,
-        };
-        let head = Bytes {
-            data: Arc::from(&head.as_slice()[..at]),
-            start: 0,
+            end: self.start + at,
         };
         self.start += at;
         head
@@ -147,9 +151,11 @@ impl std::hash::Hash for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
         Bytes {
             data: Arc::from(v.into_boxed_slice()),
             start: 0,
+            end,
         }
     }
 }
@@ -225,6 +231,17 @@ impl BytesMut {
     /// Convert to an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Freeze the current contents into [`Bytes`] and clear `self`,
+    /// keeping the allocation for reuse. One copy into shared storage
+    /// (the shim's `Bytes` owns an `Arc<[u8]>`); the win over
+    /// [`freeze`](BytesMut::freeze) is that the writer keeps its grown
+    /// capacity across iterations instead of reallocating per frame.
+    pub fn split_frozen(&mut self) -> Bytes {
+        let frozen = Bytes::copy_from_slice(&self.data);
+        self.data.clear();
+        frozen
     }
 }
 
@@ -415,5 +432,33 @@ mod tests {
         let head = rest.split_to(4);
         assert_eq!(head.as_slice(), b"head");
         assert_eq!(rest.as_slice(), b"tail");
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let whole = Bytes::copy_from_slice(b"abcdefgh");
+        let mid = whole.slice(2..6);
+        assert_eq!(mid.as_slice(), b"cdef");
+        assert!(Arc::ptr_eq(&whole.data, &mid.data), "slice must not copy");
+        let mut rest = whole.clone();
+        let head = rest.split_to(3);
+        assert!(Arc::ptr_eq(&rest.data, &head.data), "split must not copy");
+        let inner = mid.slice(1..3);
+        assert_eq!(inner.as_slice(), b"de");
+        assert!(Arc::ptr_eq(&whole.data, &inner.data));
+    }
+
+    #[test]
+    fn split_frozen_clears_but_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"first frame");
+        let cap = buf.data.capacity();
+        let frozen = buf.split_frozen();
+        assert_eq!(frozen.as_slice(), b"first frame");
+        assert!(buf.is_empty());
+        assert_eq!(buf.data.capacity(), cap, "allocation must be retained");
+        buf.put_slice(b"second");
+        assert_eq!(buf.split_frozen().as_slice(), b"second");
+        assert_eq!(frozen.as_slice(), b"first frame", "earlier frame unaffected");
     }
 }

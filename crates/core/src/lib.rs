@@ -46,6 +46,7 @@ pub mod interface;
 pub mod lru;
 pub mod observer;
 pub mod resolution;
+pub mod sharded_lru;
 
 pub use composite::CompositeDsi;
 pub use config::MonitorConfig;
@@ -55,3 +56,4 @@ pub use interface::{FsMonitor, Subscription};
 pub use lru::LruCache;
 pub use observer::{EventHandler, Observer, ObserverGuard};
 pub use resolution::{ResolutionLayer, ResolutionStats};
+pub use sharded_lru::ShardedLruCache;

@@ -45,4 +45,7 @@ pub use fswatcher::{FswChangeType, FswEvent};
 pub use inotify::{InotifyEvent, InotifyMask};
 pub use kind::EventKind;
 pub use kqueue::{KqueueEvent, NoteFlags};
-pub use wire::{decode_event, decode_event_batch, encode_event, encode_event_batch, WireError};
+pub use wire::{
+    decode_event, decode_event_batch, encode_event, encode_event_batch, encode_event_batch_into,
+    encode_event_batch_offsets, patch_event_id, WireError,
+};

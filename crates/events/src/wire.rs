@@ -76,8 +76,13 @@ fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
     if buf.remaining() < len as usize {
         return Err(WireError::Truncated);
     }
-    let raw = buf.split_to(len as usize);
-    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+    // Decode straight from the frame slice: one copy into the String,
+    // instead of split_to + to_vec copying the payload twice.
+    let s = std::str::from_utf8(&buf.chunk()[..len as usize])
+        .map_err(|_| WireError::BadUtf8)?
+        .to_string();
+    buf.advance(len as usize);
+    Ok(s)
 }
 
 /// Serialize one event into `buf`.
@@ -163,15 +168,53 @@ pub fn decode_event(frame: &Bytes) -> Result<StandardEvent, WireError> {
     decode_event_from(&mut buf)
 }
 
+/// Byte offset of the `u64 id` field inside one encoded event record:
+/// it sits immediately after the version byte.
+pub const EVENT_ID_OFFSET: usize = 1;
+
 /// Serialize a batch of events into a single frame (the aggregator's
 /// batching granularity, paper §III-A2).
 pub fn encode_event_batch(events: &[StandardEvent]) -> Bytes {
     let mut buf = BytesMut::with_capacity(4 + events.len() * 96);
+    encode_event_batch_into(events, &mut buf);
+    buf.split_frozen()
+}
+
+/// Serialize a batch into a caller-owned buffer (cleared first), so a
+/// hot publish lane reuses one grown allocation instead of allocating
+/// per frame. Freeze the result with [`BytesMut::split_frozen`] to
+/// keep the buffer's capacity for the next batch.
+pub fn encode_event_batch_into(events: &[StandardEvent], buf: &mut BytesMut) {
+    buf.clear();
     buf.put_u32(events.len() as u32);
     for ev in events {
-        encode_event_into(ev, &mut buf);
+        encode_event_into(ev, buf);
     }
-    buf.freeze()
+}
+
+/// Like [`encode_event_batch_into`], additionally recording into
+/// `id_offsets` the byte offset of each event's `id` field within the
+/// frame, so a downstream sequencer can stamp ids in place with
+/// [`patch_event_id`] after encode (ids are not known until the single
+/// sequencer stage assigns them).
+pub fn encode_event_batch_offsets(
+    events: &[StandardEvent],
+    buf: &mut BytesMut,
+    id_offsets: &mut Vec<usize>,
+) {
+    buf.clear();
+    id_offsets.clear();
+    buf.put_u32(events.len() as u32);
+    for ev in events {
+        id_offsets.push(buf.len() + EVENT_ID_OFFSET);
+        encode_event_into(ev, buf);
+    }
+}
+
+/// Overwrite the big-endian `id` field at `id_offset` (as recorded by
+/// [`encode_event_batch_offsets`]) in an encoded frame.
+pub fn patch_event_id(buf: &mut BytesMut, id_offset: usize, id: u64) {
+    buf[id_offset..id_offset + 8].copy_from_slice(&id.to_be_bytes());
 }
 
 /// Decode a batch frame.
@@ -237,6 +280,41 @@ mod tests {
             .collect();
         let frame = encode_event_batch(&evs);
         assert_eq!(decode_event_batch(&frame).unwrap(), evs);
+    }
+
+    #[test]
+    fn offsets_encode_then_patch_stamps_ids() {
+        let evs: Vec<_> = (0..5)
+            .map(|i| {
+                let mut e = sample();
+                e.id = 0; // unstamped at encode time
+                e.path = format!("/f{i}");
+                e
+            })
+            .collect();
+        let mut buf = BytesMut::new();
+        let mut offsets = Vec::new();
+        encode_event_batch_offsets(&evs, &mut buf, &mut offsets);
+        assert_eq!(offsets.len(), evs.len());
+        for (i, off) in offsets.iter().enumerate() {
+            patch_event_id(&mut buf, *off, 100 + i as u64);
+        }
+        let decoded = decode_event_batch(&buf.split_frozen()).unwrap();
+        let ids: Vec<u64> = decoded.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![100, 101, 102, 103, 104]);
+        assert_eq!(decoded[3].path, "/f3");
+    }
+
+    #[test]
+    fn reusable_buffer_matches_fresh_encoding() {
+        let evs: Vec<_> = (0..3).map(|_| sample()).collect();
+        let mut buf = BytesMut::new();
+        encode_event_batch_into(&evs, &mut buf);
+        let reused = buf.split_frozen();
+        assert_eq!(reused, encode_event_batch(&evs));
+        // Second use of the same buffer starts clean.
+        encode_event_batch_into(&evs[..1], &mut buf);
+        assert_eq!(buf.split_frozen(), encode_event_batch(&evs[..1]));
     }
 
     #[test]

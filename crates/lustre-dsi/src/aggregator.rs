@@ -8,25 +8,65 @@
 //! events into a local database to enable fault tolerance"
 //! (§IV Aggregation).
 //!
-//! Both lanes are restartable: each runs until stopped or until an
+//! # Sharded publish fan-out
+//!
+//! The publish side is a short pipeline rather than one thread, so that
+//! decode + dedup + encode (the CPU work) scales across cores while the
+//! consumer-visible stream keeps its ordering contract:
+//!
+//! ```text
+//! SUB queue → demux ─┬→ worker lane 0 ─┬→ sequencer → PUB + store lane
+//!                    ├→ worker lane 1 ─┤
+//!                    └→ …            ──┘
+//! ```
+//!
+//! * The **demux** routes each raw frame to a worker lane by topic
+//!   hash, so one collector's batches always take the same lane and
+//!   stay in arrival order (and each topic's dedup highwater is only
+//!   ever touched from one lane at a time).
+//! * **Worker lanes** decode, drop replayed changelog ranges, and
+//!   pre-encode the surviving events into a reusable frame buffer,
+//!   recording the byte offset of each event's id field.
+//! * The single **sequencer** assigns dense global ids, patches them
+//!   into the pre-encoded frame in place, and publishes. Because one
+//!   stage both stamps and sends, publish order *is* id order — the
+//!   invariant consumers rely on to detect duplicates and gaps — no
+//!   matter how many lanes run upstream.
+//! * The **store lane** group-commits: it drains every batch queued at
+//!   wakeup and hands the store one [`append_batch`] call, so
+//!   persistence cannot stall publication and the store amortizes its
+//!   per-append overhead. The sequencer forwards events in stamp
+//!   order, so store sequence numbers coincide with the stamps.
+//!
+//! Every stage is restartable: each runs until stopped or until an
 //! injected crash kills it at a loop boundary, and
-//! [`Aggregator::respawn_dead_lanes`] brings a dead lane back on the
-//! same shared state (the SUB queue and the store channel both outlive
-//! the threads), so no in-flight event is lost across a lane restart.
-//! Batches from restarted collectors carry their changelog index range,
-//! and the publish lane drops ranges it has already stamped — the
+//! [`Aggregator::respawn_dead_lanes`] brings dead stages back on the
+//! same shared state (the SUB queue and all inter-stage channels
+//! outlive the threads), so no in-flight event is lost across a
+//! restart. Batches from restarted collectors carry their changelog
+//! index range, and the worker lanes drop ranges already stamped — the
 //! at-least-once upstream becomes exactly-once downstream.
+//!
+//! [`append_batch`]: fsmon_store::EventStore::append_batch
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use fsmon_events::{decode_event_batch, encode_event_batch, StandardEvent};
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use fsmon_events::{decode_event_batch, encode_event_batch_offsets, patch_event_id, StandardEvent};
 use fsmon_faults::{FaultPoint, Faults, Retry};
 use fsmon_mq::{Context, Message, PubSocket, SubSocket};
 use fsmon_store::EventStore;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::hash::Hasher;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Publish lanes when the caller doesn't tune the fan-out.
+pub const DEFAULT_PUBLISH_LANES: usize = 2;
+
+/// Most events the store lane folds into one group commit.
+const STORE_GROUP_MAX: usize = 4096;
 
 /// Aggregator throughput counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -54,18 +94,41 @@ struct Shared {
     lane_restarts: AtomicU64,
     next_id: AtomicU64,
     stop: AtomicBool,
-    publish_alive: AtomicBool,
+    demux_alive: AtomicBool,
+    worker_alive: Vec<AtomicBool>,
+    sequencer_alive: AtomicBool,
     store_alive: AtomicBool,
     /// Per-collector-topic highest changelog index already stamped.
     /// Batches at or below their topic's highwater are restart
-    /// re-publications and are dropped whole.
+    /// re-publications and are dropped whole. Topic-hash routing pins
+    /// each topic to one worker lane, so an entry is never contended
+    /// while a batch for it is in flight.
     highwater: Mutex<HashMap<Vec<u8>, u64>>,
+}
+
+/// A batch a worker lane prepared for the sequencer: events decoded and
+/// deduplicated, wire frame already encoded except for the ids, whose
+/// byte offsets are recorded so the sequencer can stamp in place.
+struct PreparedBatch {
+    buf: BytesMut,
+    id_offsets: Vec<usize>,
+    events: Vec<StandardEvent>,
 }
 
 /// Everything a lane thread needs; shared so lanes can be respawned.
 struct LaneCtx {
     sub: Arc<SubSocket>,
     publisher: Arc<PubSocket>,
+    lanes: usize,
+    work_tx: Vec<Sender<Message>>,
+    work_rx: Vec<Receiver<Message>>,
+    seq_tx: Sender<PreparedBatch>,
+    seq_rx: Receiver<PreparedBatch>,
+    /// Frame buffers flow back from the sequencer to the workers so a
+    /// hot pipeline reuses a few grown allocations instead of
+    /// allocating one per published frame.
+    recycle_tx: Sender<BytesMut>,
+    recycle_rx: Receiver<BytesMut>,
     store_tx: Sender<Vec<StandardEvent>>,
     store_rx: Receiver<Vec<StandardEvent>>,
     store: Arc<dyn EventStore>,
@@ -121,6 +184,31 @@ impl Aggregator {
         faults: Faults,
         retry: Retry,
     ) -> Result<Aggregator, fsmon_mq::MqError> {
+        Self::start_tuned(
+            ctx,
+            collector_endpoints,
+            consumer_endpoint,
+            store,
+            faults,
+            retry,
+            DEFAULT_PUBLISH_LANES,
+        )
+    }
+
+    /// [`start_with`](Aggregator::start_with) with an explicit publish
+    /// fan-out: `publish_lanes` worker lanes decode/dedup/encode
+    /// concurrently (clamped to at least 1) behind the single
+    /// sequencer that keeps ids dense and ordered.
+    pub fn start_tuned(
+        ctx: &Context,
+        collector_endpoints: &[String],
+        consumer_endpoint: &str,
+        store: Arc<dyn EventStore>,
+        faults: Faults,
+        retry: Retry,
+        publish_lanes: usize,
+    ) -> Result<Aggregator, fsmon_mq::MqError> {
+        let lanes = publish_lanes.max(1);
         let sub = Arc::new(ctx.subscriber());
         for ep in collector_endpoints {
             sub.connect(ep)?;
@@ -145,19 +233,37 @@ impl Aggregator {
             lane_restarts: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
             stop: AtomicBool::new(false),
-            publish_alive: AtomicBool::new(false),
+            demux_alive: AtomicBool::new(false),
+            worker_alive: (0..lanes).map(|_| AtomicBool::new(false)).collect(),
+            sequencer_alive: AtomicBool::new(false),
             store_alive: AtomicBool::new(false),
             highwater: Mutex::new(HashMap::new()),
         });
 
         let agg_scope = fsmon_telemetry::root().scope("aggregator");
-        // The store lane: the receive/publish thread forwards every
-        // event here so persistence cannot stall publication.
+        let mut work_tx = Vec::with_capacity(lanes);
+        let mut work_rx = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let (tx, rx): (Sender<Message>, Receiver<Message>) = bounded(1 << 12);
+            work_tx.push(tx);
+            work_rx.push(rx);
+        }
+        let (seq_tx, seq_rx): (Sender<PreparedBatch>, Receiver<PreparedBatch>) = bounded(1 << 12);
+        let (recycle_tx, recycle_rx): (Sender<BytesMut>, Receiver<BytesMut>) = bounded(4 * lanes);
+        // The store lane: the sequencer forwards every stamped event
+        // here so persistence cannot stall publication.
         let (store_tx, store_rx): (Sender<Vec<StandardEvent>>, Receiver<Vec<StandardEvent>>) =
             bounded(1 << 14);
         let lane = Arc::new(LaneCtx {
             sub,
             publisher,
+            lanes,
+            work_tx,
+            work_rx,
+            seq_tx,
+            seq_rx,
+            recycle_tx,
+            recycle_rx,
             store_tx,
             store_rx,
             store: store.clone(),
@@ -171,7 +277,7 @@ impl Aggregator {
             t_dedup_dropped: agg_scope.counter("dedup_dropped_total"),
             t_store_retries: agg_scope.counter("store_retries_total"),
             // Events published to live consumers but not yet persisted —
-            // the publish-lane vs store-lane lag.
+            // the publish-side vs store-lane lag.
             t_lag: agg_scope.gauge("store_lag"),
         });
 
@@ -182,18 +288,42 @@ impl Aggregator {
             store,
             consumer_endpoint: consumer_endpoint_actual,
         };
-        agg.spawn_publish_lane();
+        agg.spawn_demux();
+        for i in 0..lanes {
+            agg.spawn_worker(i);
+        }
+        agg.spawn_sequencer();
         agg.spawn_store_lane();
         Ok(agg)
     }
 
-    fn spawn_publish_lane(&self) {
+    fn spawn_demux(&self) {
         let lane = self.lane.clone();
-        lane.shared.publish_alive.store(true, Ordering::Relaxed);
+        lane.shared.demux_alive.store(true, Ordering::Relaxed);
         let handle = std::thread::Builder::new()
-            .name("aggregator-publish".into())
-            .spawn(move || run_publish_lane(lane))
-            .expect("spawn aggregator publish thread");
+            .name("aggregator-demux".into())
+            .spawn(move || run_demux(lane))
+            .expect("spawn aggregator demux thread");
+        self.threads.lock().push(handle);
+    }
+
+    fn spawn_worker(&self, i: usize) {
+        let lane = self.lane.clone();
+        lane.shared.worker_alive[i].store(true, Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name(format!("aggregator-worker{i}"))
+            .spawn(move || run_worker_lane(lane, i))
+            .expect("spawn aggregator worker thread");
+        self.threads.lock().push(handle);
+    }
+
+    fn spawn_sequencer(&self) {
+        let lane = self.lane.clone();
+        lane.shared.sequencer_alive.store(true, Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name("aggregator-sequencer".into())
+            .spawn(move || run_sequencer(lane))
+            .expect("spawn aggregator sequencer thread");
         self.threads.lock().push(handle);
     }
 
@@ -213,32 +343,55 @@ impl Aggregator {
         self.lane.sub.connect(endpoint)
     }
 
-    /// `(publish lane alive, store lane alive)`.
+    /// `(publish side fully alive, store lane alive)`. The publish
+    /// side counts as alive only when the demux, every worker lane,
+    /// and the sequencer are all running.
     pub fn lanes_alive(&self) -> (bool, bool) {
-        (
-            self.shared.publish_alive.load(Ordering::Relaxed),
-            self.shared.store_alive.load(Ordering::Relaxed),
-        )
+        let publish = self.shared.demux_alive.load(Ordering::Relaxed)
+            && self
+                .shared
+                .worker_alive
+                .iter()
+                .all(|w| w.load(Ordering::Relaxed))
+            && self.shared.sequencer_alive.load(Ordering::Relaxed);
+        (publish, self.shared.store_alive.load(Ordering::Relaxed))
     }
 
-    /// Respawn any lane that died (injected crash or panic) while the
-    /// aggregator is not stopping. Both lanes resume on shared state —
-    /// the SUB queue and the store channel survive the thread — so a
-    /// restart loses nothing. Returns the number of lanes restarted.
+    /// Respawn any stage that died (injected crash or panic) while the
+    /// aggregator is not stopping. Every stage resumes on shared state
+    /// — the SUB queue and all inter-stage channels survive the thread
+    /// — so a restart loses nothing. Returns the number of stages
+    /// restarted.
     pub fn respawn_dead_lanes(&self) -> usize {
         if self.shared.stop.load(Ordering::Relaxed) {
             return 0;
         }
         let scope = fsmon_telemetry::root().scope("aggregator");
         let mut restarted = 0;
-        if !self.shared.publish_alive.load(Ordering::Relaxed) {
-            self.spawn_publish_lane();
-            self.shared.lane_restarts.fetch_add(1, Ordering::Relaxed);
+        let mut publish_restarts = 0;
+        if !self.shared.demux_alive.load(Ordering::Relaxed) {
+            self.spawn_demux();
+            publish_restarts += 1;
+        }
+        for i in 0..self.lane.lanes {
+            if !self.shared.worker_alive[i].load(Ordering::Relaxed) {
+                self.spawn_worker(i);
+                publish_restarts += 1;
+            }
+        }
+        if !self.shared.sequencer_alive.load(Ordering::Relaxed) {
+            self.spawn_sequencer();
+            publish_restarts += 1;
+        }
+        if publish_restarts > 0 {
+            self.shared
+                .lane_restarts
+                .fetch_add(publish_restarts, Ordering::Relaxed);
             scope
                 .with_label("lane", "publish")
                 .counter("lane_restarts_total")
-                .inc();
-            restarted += 1;
+                .add(publish_restarts);
+            restarted += publish_restarts as usize;
         }
         if !self.shared.store_alive.load(Ordering::Relaxed) {
             self.spawn_store_lane();
@@ -275,7 +428,7 @@ impl Aggregator {
         }
     }
 
-    /// Stop both worker threads and join them.
+    /// Stop every stage thread and join them.
     pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         let threads: Vec<_> = self.threads.lock().drain(..).collect();
@@ -298,16 +451,44 @@ impl Aggregator {
     }
 }
 
-/// The receive/stamp/publish lane. Ids are assigned here — before both
-/// publication and persistence — so a consumer's last-seen id from the
-/// live stream addresses the same event in the store (the replay API's
-/// contract). The store lane appends in stamp order, so its sequence
-/// numbers coincide with the stamps.
-fn run_publish_lane(lane: Arc<LaneCtx>) {
+/// Route a topic to its worker lane. Stable for the process lifetime,
+/// so one collector's batches always share a lane (order + highwater
+/// exclusivity both depend on this).
+fn lane_of(topic: &[u8], lanes: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write(topic);
+    (h.finish() as usize) % lanes
+}
+
+/// Send on a bounded inter-stage channel, backing off while full and
+/// bailing out when the aggregator is stopping (at stop, queued work is
+/// abandoned exactly as the SUB queue itself is). Returns whether the
+/// message was enqueued.
+fn send_or_stop<T>(tx: &Sender<T>, shared: &Shared, msg: T) -> bool {
+    let mut msg = msg;
+    loop {
+        match tx.try_send(msg) {
+            Ok(()) => return true,
+            Err(TrySendError::Full(m)) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return false;
+                }
+                msg = m;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(TrySendError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+/// The demux stage: drain the SUB queue and route each raw frame to a
+/// worker lane by topic hash. No decoding happens here — the stage is
+/// pure routing so it never becomes the bottleneck.
+fn run_demux(lane: Arc<LaneCtx>) {
     let shared = &lane.shared;
     while !shared.stop.load(Ordering::Relaxed) {
         // Crash injection sits at the loop boundary: no message is in
-        // hand, so the lane dies with fully consistent state and a
+        // hand, so the stage dies with fully consistent state and a
         // respawn resumes from the still-queued SUB messages.
         if lane
             .faults
@@ -320,12 +501,35 @@ fn run_publish_lane(lane: Arc<LaneCtx>) {
             Ok(msg) => msg,
             Err(_) => continue,
         };
-        let Some(payload) = msg.part(1) else {
+        let slot = lane_of(msg.topic(), lane.lanes);
+        send_or_stop(&lane.work_tx[slot], shared, msg);
+    }
+    lane.shared.demux_alive.store(false, Ordering::Relaxed);
+}
+
+/// A worker lane: decode, dedup against the topic's changelog
+/// highwater, and pre-encode the survivors for the sequencer.
+fn run_worker_lane(lane: Arc<LaneCtx>, slot: usize) {
+    let shared = &lane.shared;
+    while !shared.stop.load(Ordering::Relaxed) {
+        if lane
+            .faults
+            .inject(FaultPoint::AggregatorPublishCrash)
+            .is_some()
+        {
+            break;
+        }
+        let msg = match lane.work_rx[slot].recv_timeout(Duration::from_millis(20)) {
+            Ok(msg) => msg,
+            Err(_) => continue,
+        };
+        // Zero-copy payload: a refcounted handle into the frame's
+        // storage, not a fresh allocation per batch.
+        let Some(payload) = msg.part_bytes(1) else {
             shared.decode_errors.fetch_add(1, Ordering::Relaxed);
             lane.t_decode_errors.inc();
             continue;
         };
-        let payload = bytes::Bytes::copy_from_slice(payload);
         let mut events = match decode_event_batch(&payload) {
             Ok(events) => events,
             Err(_) => {
@@ -368,33 +572,81 @@ fn run_publish_lane(lane: Arc<LaneCtx>) {
                 continue;
             }
         }
-        for ev in &mut events {
-            ev.id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        }
-        let events = events;
         let n = events.len() as u64;
         shared.received.fetch_add(n, Ordering::Relaxed);
         lane.t_received.add(n);
-        let out = Message::from_parts(vec![
+        // Pre-encode the frame now, on the concurrent side of the
+        // pipeline; the sequencer only patches ids into place.
+        let mut buf = lane.recycle_rx.try_recv().unwrap_or_default();
+        let mut id_offsets = Vec::with_capacity(events.len());
+        encode_event_batch_offsets(&events, &mut buf, &mut id_offsets);
+        send_or_stop(
+            &lane.seq_tx,
+            shared,
+            PreparedBatch {
+                buf,
+                id_offsets,
+                events,
+            },
+        );
+    }
+    lane.shared.worker_alive[slot].store(false, Ordering::Relaxed);
+}
+
+/// The sequencer: the single stage that assigns ids. Ids are stamped
+/// here — before both publication and persistence — so a consumer's
+/// last-seen id from the live stream addresses the same event in the
+/// store (the replay API's contract), and because the same stage
+/// publishes in FIFO order, the consumer-visible stream is dense and
+/// ordered regardless of how many worker lanes feed it. The store lane
+/// appends in stamp order, so its sequence numbers coincide with the
+/// stamps.
+fn run_sequencer(lane: Arc<LaneCtx>) {
+    let shared = &lane.shared;
+    while !shared.stop.load(Ordering::Relaxed) {
+        if lane
+            .faults
+            .inject(FaultPoint::AggregatorPublishCrash)
+            .is_some()
+        {
+            break;
+        }
+        let mut batch = match lane.seq_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(batch) => batch,
+            Err(_) => continue,
+        };
+        for (ev, off) in batch.events.iter_mut().zip(&batch.id_offsets) {
+            let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+            ev.id = id;
+            patch_event_id(&mut batch.buf, *off, id);
+        }
+        let n = batch.events.len() as u64;
+        let frame = batch.buf.split_frozen();
+        let _ = lane.publisher.send(Message::from_parts(vec![
             bytes::Bytes::from_static(b"events"),
-            encode_event_batch(&events),
-        ]);
-        let _ = lane.publisher.send(out);
+            frame,
+        ]));
         shared.published.fetch_add(n, Ordering::Relaxed);
         lane.t_published.add(n);
         lane.t_lag.set(
             shared.published.load(Ordering::Relaxed) as i64
                 - shared.stored.load(Ordering::Relaxed) as i64,
         );
-        let _ = lane.store_tx.send(events);
+        // Hand the (cleared, capacity-retaining) buffer back to the
+        // workers; if the pool is full it's simply dropped.
+        let _ = lane.recycle_tx.try_send(batch.buf);
+        send_or_stop(&lane.store_tx, shared, batch.events);
     }
-    lane.shared.publish_alive.store(false, Ordering::Relaxed);
+    lane.shared.sequencer_alive.store(false, Ordering::Relaxed);
 }
 
-/// The persistence lane: appends every event to the reliable store,
-/// riding out transient failures with the shared retry policy. An
-/// event is never skipped — the store is the replay source consumers
-/// heal from, so durability here is the loss-free contract.
+/// The persistence lane: group-commits every event to the reliable
+/// store, riding out transient failures with the shared retry policy.
+/// An event is never skipped — the store is the replay source consumers
+/// heal from, so durability here is the loss-free contract. On a
+/// partial batch failure the already-appended prefix is measured from
+/// the store's own counters and only the suffix is retried, keeping
+/// appends exactly-once.
 fn run_store_lane(lane: Arc<LaneCtx>) {
     let shared = &lane.shared;
     loop {
@@ -406,28 +658,50 @@ fn run_store_lane(lane: Arc<LaneCtx>) {
             break;
         }
         match lane.store_rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(events) => {
-                for ev in &events {
-                    let mut backoff = lane.retry.backoff();
-                    loop {
-                        match lane.store.append(ev) {
-                            Ok(_) => {
-                                shared.stored.fetch_add(1, Ordering::Relaxed);
-                                lane.t_stored.inc();
+            Ok(first) => {
+                // Group commit: fold everything already queued into one
+                // append_batch call so the store amortizes per-append
+                // locking and the lag drains in large strides.
+                let mut group = first;
+                while group.len() < STORE_GROUP_MAX {
+                    match lane.store_rx.try_recv() {
+                        Ok(more) => group.extend(more),
+                        Err(_) => break,
+                    }
+                }
+                let mut offset = 0;
+                let mut backoff = lane.retry.backoff();
+                while offset < group.len() {
+                    let before = lane.store.stats().appended;
+                    match lane.store.append_batch(&group[offset..]) {
+                        Ok(_) => {
+                            let n = (group.len() - offset) as u64;
+                            shared.stored.fetch_add(n, Ordering::Relaxed);
+                            lane.t_stored.add(n);
+                            offset = group.len();
+                        }
+                        Err(_) => {
+                            // The store appends a prefix then fails;
+                            // resume from the measured prefix so no
+                            // event is double-written.
+                            let done = (lane.store.stats().appended - before) as usize;
+                            if done > 0 {
+                                shared.stored.fetch_add(done as u64, Ordering::Relaxed);
+                                lane.t_stored.add(done as u64);
+                                offset += done;
+                            }
+                            if shared.stop.load(Ordering::Relaxed) {
                                 break;
                             }
-                            Err(_) if shared.stop.load(Ordering::Relaxed) => break,
-                            Err(_) => {
-                                lane.t_store_retries.inc();
-                                // Exhausting one backoff schedule starts
-                                // another: persistence never gives up on
-                                // an event while the pipeline runs.
-                                let sleep = backoff.next().unwrap_or_else(|| {
-                                    backoff = lane.retry.backoff();
-                                    lane.retry.cap
-                                });
-                                std::thread::sleep(sleep);
-                            }
+                            lane.t_store_retries.inc();
+                            // Exhausting one backoff schedule starts
+                            // another: persistence never gives up on an
+                            // event while the pipeline runs.
+                            let sleep = backoff.next().unwrap_or_else(|| {
+                                backoff = lane.retry.backoff();
+                                lane.retry.cap
+                            });
+                            std::thread::sleep(sleep);
                         }
                     }
                 }
@@ -498,7 +772,7 @@ pub fn collector_socket(ctx: &Context, endpoint: &str) -> Result<PubSocket, fsmo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fsmon_events::{EventKind, StandardEvent};
+    use fsmon_events::{encode_event_batch, EventKind, StandardEvent};
     use fsmon_store::MemStore;
 
     fn batch_msg(events: &[StandardEvent]) -> Message {
@@ -698,7 +972,8 @@ mod tests {
         let ctx = Context::new();
         let publisher = collector_socket(&ctx, "inproc://crash").unwrap();
         let store = Arc::new(MemStore::new());
-        // Both lanes crash once, immediately.
+        // One publish-side stage and the store lane each crash once,
+        // immediately.
         let faults = FaultPlan::new(7)
             .with(
                 FaultPoint::AggregatorPublishCrash,
@@ -718,14 +993,14 @@ mod tests {
             Retry::fast(),
         )
         .unwrap();
-        // Let both lanes hit their loop tops and die.
+        // Let the doomed stages hit their loop tops and die.
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
         while agg.lanes_alive() != (false, false) && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert_eq!(agg.lanes_alive(), (false, false), "both lanes crashed");
-        // Events published while the lanes are down wait in the SUB
-        // queue.
+        assert_eq!(agg.lanes_alive(), (false, false), "both sides crashed");
+        // Events published while stages are down wait in the SUB queue
+        // (or an inter-stage channel).
         let ev = StandardEvent::new(EventKind::Create, "/r", "while-down");
         publisher.send(batch_msg(&[ev])).unwrap();
         assert_eq!(agg.respawn_dead_lanes(), 2);
@@ -736,6 +1011,87 @@ mod tests {
         }
         assert_eq!(store.stats().appended, 1, "nothing lost across restart");
         assert_eq!(agg.stats().lane_restarts, 2);
+        agg.stop();
+    }
+
+    /// Tentpole invariant: with several worker lanes racing, the
+    /// sequencer still emits one dense, ordered id stream, each topic's
+    /// events keep their arrival order, and the store's sequence
+    /// numbers coincide with the stamps.
+    #[test]
+    fn sharded_lanes_stamp_dense_ordered_ids() {
+        let ctx = Context::new();
+        let p0 = collector_socket(&ctx, "inproc://lanes0").unwrap();
+        let p1 = collector_socket(&ctx, "inproc://lanes1").unwrap();
+        let store = Arc::new(MemStore::new());
+        let agg = Aggregator::start_tuned(
+            &ctx,
+            &["inproc://lanes0".to_string(), "inproc://lanes1".to_string()],
+            "inproc://agg7",
+            store.clone(),
+            Faults::none(),
+            Retry::fast(),
+            4,
+        )
+        .unwrap();
+        let consumer = consumer_socket(&ctx, "inproc://agg7").unwrap();
+        let ev = |root: &str, name: String| StandardEvent::new(EventKind::Create, root, name);
+        for i in 0..10u32 {
+            p0.send(Message::from_parts(vec![
+                bytes::Bytes::from_static(b"mdt0"),
+                encode_event_batch(&[
+                    ev("/r0", format!("a{}", 2 * i)),
+                    ev("/r0", format!("a{}", 2 * i + 1)),
+                ]),
+            ]))
+            .unwrap();
+            p1.send(Message::from_parts(vec![
+                bytes::Bytes::from_static(b"mdt1"),
+                encode_event_batch(&[
+                    ev("/r1", format!("b{}", 2 * i)),
+                    ev("/r1", format!("b{}", 2 * i + 1)),
+                ]),
+            ]))
+            .unwrap();
+        }
+        assert!(agg.wait_received(40, Duration::from_secs(2)));
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while got.len() < 40 && std::time::Instant::now() < deadline {
+            if let Ok(msg) = consumer.recv_timeout(Duration::from_millis(200)) {
+                got.extend(
+                    decode_event_batch(&bytes::Bytes::copy_from_slice(msg.part(1).unwrap()))
+                        .unwrap(),
+                );
+            }
+        }
+        assert_eq!(got.len(), 40);
+        // Publish order is id order, and ids are dense from 1.
+        assert_eq!(
+            got.iter().map(|e| e.id).collect::<Vec<_>>(),
+            (1..=40).collect::<Vec<u64>>()
+        );
+        // Each topic's events keep their per-collector arrival order.
+        for (root, prefix) in [("/r0", "a"), ("/r1", "b")] {
+            let names: Vec<String> = got
+                .iter()
+                .filter(|e| e.watch_root == root)
+                .map(|e| e.path.trim_start_matches('/').to_string())
+                .collect();
+            let want: Vec<String> = (0..20).map(|i| format!("{prefix}{i}")).collect();
+            assert_eq!(names, want, "topic {root} reordered");
+        }
+        // The store lane catches up and its seqs coincide with stamps.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while store.stats().appended < 40 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(store.stats().appended, 40);
+        let replay = store.get_since(0, 100).unwrap();
+        assert_eq!(
+            replay.iter().map(|e| e.id).collect::<Vec<_>>(),
+            (1..=40).collect::<Vec<u64>>()
+        );
         agg.stop();
     }
 }

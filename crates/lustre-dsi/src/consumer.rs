@@ -322,18 +322,16 @@ impl Consumer {
                 }
             };
             let Some(msg) = msg else { return };
-            if let Some(payload) = msg.part(1) {
-                if let Ok(events) = decode_event_batch(&bytes::Bytes::copy_from_slice(payload)) {
+            if let Some(payload) = msg.part_bytes(1) {
+                if let Ok(events) = decode_event_batch(&payload) {
                     self.ingest(events);
                 }
             }
             if !self.pending.lock().is_empty() {
                 // Sweep whatever else is already queued, then hand back.
                 while let Some(extra) = self.sub.try_recv() {
-                    if let Some(payload) = extra.part(1) {
-                        if let Ok(events) =
-                            decode_event_batch(&bytes::Bytes::copy_from_slice(payload))
-                        {
+                    if let Some(payload) = extra.part_bytes(1) {
+                        if let Ok(events) = decode_event_batch(&payload) {
                             self.ingest(events);
                         }
                     }

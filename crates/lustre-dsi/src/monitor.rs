@@ -66,6 +66,14 @@ pub struct ScalableConfig {
     /// Retry policy handed to collectors (transient MDS errors) and the
     /// aggregator's store lane.
     pub retry: Retry,
+    /// Worker threads each collector uses to resolve `fid2path`
+    /// concurrently against its sharded cache (1 = inline, the serial
+    /// baseline). Resolution dominates collector cost (§V-D), so this
+    /// is the pipeline's primary scaling knob.
+    pub resolver_threads: usize,
+    /// Aggregator publish-side worker lanes (decode/dedup/encode fan
+    /// out by collector topic; the single sequencer keeps ids dense).
+    pub publish_lanes: usize,
 }
 
 impl Default for ScalableConfig {
@@ -81,6 +89,8 @@ impl Default for ScalableConfig {
             cursor_file: None,
             faults: Faults::none(),
             retry: Retry::fast(),
+            resolver_threads: 4,
+            publish_lanes: 2,
         }
     }
 }
@@ -233,20 +243,25 @@ impl ScalableMonitor {
                     Some(publisher),
                 ),
             };
-            collectors.push(Arc::new(Mutex::new(collector.with_retry(config.retry))));
+            collectors.push(Arc::new(Mutex::new(
+                collector
+                    .with_retry(config.retry)
+                    .with_resolver_threads(config.resolver_threads),
+            )));
         }
 
         let consumer_endpoint = match config.transport {
             Transport::Inproc => format!("inproc://fsmon-{run_id}-agg"),
             Transport::Tcp => "tcp://127.0.0.1:0".to_string(),
         };
-        let aggregator = Arc::new(Aggregator::start_with(
+        let aggregator = Arc::new(Aggregator::start_tuned(
             &ctx,
             &collector_endpoints,
             &consumer_endpoint,
             store.clone(),
             config.faults.clone(),
             config.retry,
+            config.publish_lanes,
         )?);
         // The MGS also serves the historic-events API over REQ/REP.
         let history_endpoint = match config.transport {
@@ -391,7 +406,8 @@ impl ScalableMonitor {
                                 Some(publisher),
                                 cursor,
                             )
-                            .with_retry(config.retry);
+                            .with_retry(config.retry)
+                            .with_resolver_threads(config.resolver_threads);
                             let dead = std::mem::replace(&mut *collectors[i].lock(), fresh);
                             dead.shutdown();
                             restarts.fetch_add(1, Ordering::Relaxed);

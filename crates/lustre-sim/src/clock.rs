@@ -59,9 +59,25 @@ pub enum CostModel {
     /// Busy-wait for this many nanoseconds of wall-clock time.
     ///
     /// A spin (not a sleep) because modelled costs are in the tens of
-    /// microseconds, far below reliable OS sleep granularity.
+    /// microseconds, far below reliable OS sleep granularity. Models
+    /// work the charging thread's *own node* performs.
     SpinNs(u64),
+    /// Wait for this many nanoseconds of wall-clock time, blocking.
+    ///
+    /// Models blocking on a *remote* service (an RPC, an external
+    /// tool doing I/O): the charging thread consumes no CPU, so
+    /// concurrent charges overlap even on a single host core — the
+    /// way concurrent `fid2path` RPCs overlap on the MDS in a real
+    /// deployment. Costs below the OS sleep granularity
+    /// ([`SLEEP_GRANULARITY_NS`]) fall back to the spin-yield wait so
+    /// timer slack cannot inflate them severalfold.
+    WaitNs(u64),
 }
+
+/// Below this, `thread::sleep` overshoot (default Linux timer slack is
+/// 50µs) would dominate the modelled cost, so [`CostModel::WaitNs`]
+/// spins instead of sleeping.
+pub const SLEEP_GRANULARITY_NS: u64 = 100_000;
 
 impl CostModel {
     /// Pay the cost.
@@ -75,18 +91,12 @@ impl CostModel {
     pub fn charge(self) {
         match self {
             CostModel::Free => {}
-            CostModel::SpinNs(ns) => {
-                let deadline = Instant::now() + Duration::from_nanos(ns);
-                loop {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
-                    }
-                    if deadline - now > Duration::from_micros(5) {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
-                    }
+            CostModel::SpinNs(ns) => spin_wait(ns),
+            CostModel::WaitNs(ns) => {
+                if ns >= SLEEP_GRANULARITY_NS {
+                    std::thread::sleep(Duration::from_nanos(ns));
+                } else {
+                    spin_wait(ns);
                 }
             }
         }
@@ -96,7 +106,7 @@ impl CostModel {
     pub fn ns(self) -> u64 {
         match self {
             CostModel::Free => 0,
-            CostModel::SpinNs(ns) => ns,
+            CostModel::SpinNs(ns) | CostModel::WaitNs(ns) => ns,
         }
     }
 
@@ -107,6 +117,23 @@ impl CostModel {
         match self {
             CostModel::Free => CostModel::Free,
             CostModel::SpinNs(ns) => CostModel::SpinNs(ns * num / den.max(1)),
+            CostModel::WaitNs(ns) => CostModel::WaitNs(ns * num / den.max(1)),
+        }
+    }
+}
+
+/// Spin-yield until `ns` nanoseconds of wall clock have passed.
+fn spin_wait(ns: u64) {
+    let deadline = Instant::now() + Duration::from_nanos(ns);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if deadline - now > Duration::from_micros(5) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
         }
     }
 }
@@ -214,6 +241,42 @@ mod tests {
         );
         assert_eq!(CostModel::Free.scaled(3, 2), CostModel::Free);
         assert_eq!(CostModel::SpinNs(100).ns(), 100);
+        assert_eq!(
+            CostModel::WaitNs(1000).scaled(3, 2),
+            CostModel::WaitNs(1500)
+        );
+        assert_eq!(CostModel::WaitNs(100).ns(), 100);
+    }
+
+    #[test]
+    fn wait_cost_takes_wall_time() {
+        let start = Instant::now();
+        CostModel::WaitNs(2_000_000).charge(); // 2ms: sleeps
+        assert!(start.elapsed() >= Duration::from_millis(2));
+        let start = Instant::now();
+        CostModel::WaitNs(20_000).charge(); // 20µs: below granularity, spins
+        let paid = start.elapsed();
+        assert!(paid >= Duration::from_micros(20));
+        // A sleep here would overshoot by the ~50µs timer slack; the
+        // spin fallback keeps the overshoot small (bound is generous
+        // for scheduling noise, but far below millisecond sleeps).
+        assert!(paid < Duration::from_millis(1), "{paid:?}");
+    }
+
+    #[test]
+    fn concurrent_waits_overlap() {
+        // Four threads each waiting 5ms must finish together (the
+        // point of WaitNs: blocked waiters burn no CPU), far sooner
+        // than four serialized waits even on a single core.
+        let start = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| CostModel::WaitNs(5_000_000).charge()))
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed < Duration::from_millis(15), "{elapsed:?}");
     }
 
     #[test]

@@ -212,8 +212,14 @@ impl TestbedKind {
             create_cost: CostModel::SpinNs(op_cost_ns(create)),
             modify_cost: CostModel::SpinNs(op_cost_ns(modify)),
             delete_cost: CostModel::SpinNs(op_cost_ns(delete)),
-            fid2path_cost: CostModel::SpinNs(fid2path_ns),
-            // A failed lookup is one index probe, not a path walk.
+            // fid2path is an RPC to the MDS: the collector *waits* on
+            // it rather than burning its own CPU, so concurrent
+            // resolver threads overlap their lookups the way
+            // concurrent RPCs overlap on a real MDS.
+            fid2path_cost: CostModel::WaitNs(fid2path_ns),
+            // A failed lookup is one index probe, not a path walk —
+            // too short for reliable sleep granularity, so it stays a
+            // spin.
             fid2path_miss_cost: CostModel::SpinNs(fid2path_ns / 10),
         }
     }

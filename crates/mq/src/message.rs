@@ -51,6 +51,12 @@ impl Message {
         self.parts.get(i).map(|b| b.as_ref())
     }
 
+    /// Clone part `i` by refcount — a zero-copy handle into the frame's
+    /// shared storage, for decoders that outlive the `Message`.
+    pub fn part_bytes(&self, i: usize) -> Option<Bytes> {
+        self.parts.get(i).cloned()
+    }
+
     /// The topic frame (part 0), empty if absent.
     pub fn topic(&self) -> &[u8] {
         self.part(0).unwrap_or(&[])

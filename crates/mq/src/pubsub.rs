@@ -9,9 +9,9 @@
 use crate::endpoint::Endpoint;
 use crate::message::Message;
 use crate::registry::{Context, InprocBinding};
-use crate::tcp::{read_frame, spawn_listener, write_frame};
+use crate::tcp::{read_frame, spawn_listener, write_encoded, write_frame};
 use crate::MqError;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use fsmon_faults::{FaultPoint, Faults};
 use parking_lot::Mutex;
 use std::net::TcpStream;
@@ -21,6 +21,16 @@ use std::time::Duration;
 
 /// Default per-subscriber high-water mark (messages).
 pub const DEFAULT_HWM: usize = 100_000;
+
+/// Per-TCP-subscriber writer queue depth (frames) — the outbound HWM.
+/// A publish into a full queue is a stall: the frame is dropped for
+/// that subscriber and counted, never blocking the publish path.
+const TCP_WRITER_QUEUE: usize = 4096;
+
+/// Consecutive stalls after which a TCP subscriber is declared slow
+/// and forcibly disconnected (it can re-dial and heal from the store's
+/// replay path; a wedged peer must not pin queue memory forever).
+const SLOW_SUB_DISCONNECT_AFTER: u64 = 1024;
 
 const CTRL_SUBSCRIBE: u8 = 1;
 const CTRL_UNSUBSCRIBE: u8 = 0;
@@ -39,16 +49,32 @@ impl SubEntry {
     }
 }
 
-/// One subscriber connection (TCP).
+/// One subscriber connection (TCP). The publish path never writes to
+/// the socket: it enqueues the pre-encoded frame on `frame_tx` and a
+/// dedicated writer thread drains the queue onto the wire, so one slow
+/// or wedged peer cannot stall the publisher (or the other
+/// subscribers) behind a blocking `write`.
 struct TcpSubConn {
+    /// Pre-encoded frames awaiting the writer thread.
+    frame_tx: Sender<bytes::Bytes>,
+    /// Kept only for shutdown (injected disconnects, slow-subscriber
+    /// eviction); data writes happen on the writer thread's own clone.
     stream: Mutex<TcpStream>,
     prefixes: Mutex<Vec<Vec<u8>>>,
     alive: AtomicBool,
+    /// Consecutive publish stalls (full writer queue); reset by any
+    /// successful enqueue.
+    stalled: AtomicU64,
 }
 
 impl TcpSubConn {
     fn matches(&self, topic: &[u8]) -> bool {
         self.prefixes.lock().iter().any(|p| topic.starts_with(p))
+    }
+
+    fn disconnect(&self) {
+        let _ = self.stream.lock().shutdown(std::net::Shutdown::Both);
+        self.alive.store(false, Ordering::Relaxed);
     }
 }
 
@@ -62,6 +88,8 @@ pub struct PubCore {
     t_published: Arc<fsmon_telemetry::Counter>,
     t_dropped: Arc<fsmon_telemetry::Counter>,
     t_tcp_frames: Arc<fsmon_telemetry::Counter>,
+    t_publish_stalls: Arc<fsmon_telemetry::Counter>,
+    t_slow_disconnects: Arc<fsmon_telemetry::Counter>,
 }
 
 impl Default for PubCore {
@@ -76,6 +104,8 @@ impl Default for PubCore {
             t_published: scope.counter("published_total"),
             t_dropped: scope.counter("hwm_dropped_total"),
             t_tcp_frames: scope.counter("tcp_frames_total"),
+            t_publish_stalls: scope.counter("publish_stalls_total"),
+            t_slow_disconnects: scope.counter("slow_subscriber_disconnects_total"),
         }
     }
 }
@@ -121,14 +151,17 @@ impl PubCore {
         }
         {
             let conns = self.tcp_subs.lock();
+            // Encode once for the whole fan-out (lazily, so topics with
+            // no TCP match pay nothing); each subscriber's writer gets
+            // a refcounted clone of the same buffer. No socket write
+            // happens under this lock — enqueueing is the only work.
+            let mut encoded: Option<bytes::Bytes> = None;
             for conn in conns.iter() {
                 if !conn.alive.load(Ordering::Relaxed) || !conn.matches(topic) {
                     continue;
                 }
-                let mut stream = conn.stream.lock();
                 if faults.inject(FaultPoint::MqDisconnect).is_some() {
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                    conn.alive.store(false, Ordering::Relaxed);
+                    conn.disconnect();
                     continue;
                 }
                 if faults.inject(FaultPoint::MqHwm).is_some() {
@@ -136,12 +169,29 @@ impl PubCore {
                     self.t_dropped.inc();
                     continue;
                 }
-                if write_frame(&mut stream, msg).is_err() {
-                    conn.alive.store(false, Ordering::Relaxed);
-                } else {
-                    self.sent.fetch_add(1, Ordering::Relaxed);
-                    self.t_published.inc();
-                    self.t_tcp_frames.inc();
+                let frame = encoded.get_or_insert_with(|| msg.encode()).clone();
+                match conn.frame_tx.try_send(frame) {
+                    Ok(()) => {
+                        conn.stalled.store(0, Ordering::Relaxed);
+                        self.sent.fetch_add(1, Ordering::Relaxed);
+                        self.t_published.inc();
+                        self.t_tcp_frames.inc();
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        // Publish stall: drop-newest for this subscriber
+                        // only, and evict peers that stay wedged.
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        self.t_dropped.inc();
+                        self.t_publish_stalls.inc();
+                        let stalls = conn.stalled.fetch_add(1, Ordering::Relaxed) + 1;
+                        if stalls >= SLOW_SUB_DISCONNECT_AFTER {
+                            conn.disconnect();
+                            self.t_slow_disconnects.inc();
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        conn.alive.store(false, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -189,12 +239,36 @@ impl PubSocket {
             Endpoint::Tcp(addr) => {
                 let core = self.core.clone();
                 let local = spawn_listener(&addr, self.listener_alive.clone(), move |stream| {
+                    let (frame_tx, frame_rx) = bounded::<bytes::Bytes>(TCP_WRITER_QUEUE);
                     let conn = Arc::new(TcpSubConn {
+                        frame_tx,
                         stream: Mutex::new(stream.try_clone().expect("clone stream")),
                         prefixes: Mutex::new(Vec::new()),
                         alive: AtomicBool::new(true),
+                        stalled: AtomicU64::new(0),
                     });
                     core.tcp_subs.lock().push(conn.clone());
+                    // Writer thread: drain queued frames onto the wire.
+                    // Publish latency is decoupled from this peer's
+                    // socket — a blocked write here blocks nobody else.
+                    let writer_conn = conn.clone();
+                    let mut writer = stream.try_clone().expect("clone stream");
+                    std::thread::spawn(move || loop {
+                        match frame_rx.recv_timeout(Duration::from_millis(100)) {
+                            Ok(frame) => {
+                                if write_encoded(&mut writer, &frame).is_err() {
+                                    writer_conn.alive.store(false, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                            Err(RecvTimeoutError::Timeout) => {
+                                if !writer_conn.alive.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                            }
+                        }
+                    });
                     // Reader thread: consume subscription control frames.
                     let mut reader = stream;
                     std::thread::spawn(move || {
@@ -725,6 +799,46 @@ mod tests {
         assert_eq!(m.topic(), b"events.mdt0");
         assert_eq!(m.part(1), Some(&b"payload"[..]));
         assert!(sub.try_recv().is_none());
+    }
+
+    /// A TCP subscriber whose writer queue is full causes a publish
+    /// stall (drop-newest for that peer, publisher never blocks), and
+    /// a peer that stays wedged past the threshold is disconnected.
+    #[test]
+    fn full_writer_queue_stalls_then_disconnects_slow_subscriber() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (_peer, _) = listener.accept().unwrap();
+        // A one-slot queue with no writer thread draining it models a
+        // peer whose socket never accepts another byte.
+        let (frame_tx, _frame_rx) = bounded::<bytes::Bytes>(1);
+        let conn = Arc::new(TcpSubConn {
+            frame_tx,
+            stream: Mutex::new(client),
+            prefixes: Mutex::new(vec![Vec::new()]),
+            alive: AtomicBool::new(true),
+            // One stall away from eviction.
+            stalled: AtomicU64::new(SLOW_SUB_DISCONNECT_AFTER - 1),
+        });
+        let core = PubCore::default();
+        core.tcp_subs.lock().push(conn.clone());
+        let m = msg("t", "x");
+        core.publish(&m); // fills the queue
+        assert_eq!(core.sent.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            conn.stalled.load(Ordering::Relaxed),
+            0,
+            "enqueue resets stalls"
+        );
+        conn.stalled
+            .store(SLOW_SUB_DISCONNECT_AFTER - 1, Ordering::Relaxed);
+        core.publish(&m); // queue full: stall, threshold crossed, evicted
+        assert_eq!(core.dropped.load(Ordering::Relaxed), 1);
+        assert!(
+            !conn.alive.load(Ordering::Relaxed),
+            "slow peer disconnected"
+        );
     }
 
     #[test]

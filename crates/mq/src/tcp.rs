@@ -11,10 +11,17 @@ use std::time::Duration;
 
 /// Write one framed message: `u32 payload_len | payload`.
 pub fn write_frame(stream: &mut TcpStream, msg: &Message) -> std::io::Result<()> {
-    let payload = msg.encode();
+    write_encoded(stream, &msg.encode())
+}
+
+/// Write an already-encoded message (the output of
+/// [`Message::encode`]) with the frame length prefix. Fan-out paths
+/// encode once and push the same refcounted buffer to every
+/// subscriber's writer, instead of re-encoding per connection.
+pub fn write_encoded(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
     let len = (payload.len() as u32).to_be_bytes();
     stream.write_all(&len)?;
-    stream.write_all(&payload)?;
+    stream.write_all(payload)?;
     Ok(())
 }
 

@@ -88,6 +88,20 @@ pub trait EventStore: Send + Sync {
     /// stored copy has `id` set to that sequence.
     fn append(&self, event: &StandardEvent) -> Result<u64, StoreError>;
 
+    /// Append a batch in order (group commit); returns the last
+    /// assigned sequence (0 for an empty batch). The default loops
+    /// [`append`](EventStore::append) and stops at the first error;
+    /// events before the failure are durably appended, so a caller can
+    /// resume the suffix from the `stats().appended` delta without
+    /// double-writing.
+    fn append_batch(&self, events: &[StandardEvent]) -> Result<u64, StoreError> {
+        let mut last = 0;
+        for ev in events {
+            last = self.append(ev)?;
+        }
+        Ok(last)
+    }
+
     /// Fetch up to `max` events with sequence strictly greater than
     /// `since` (the consumer replay API: "if users provide an event
     /// identifier, FSMonitor will only report events that have happened

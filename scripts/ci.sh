@@ -16,4 +16,22 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> pipeline bench smoke (parallel resolution / sharded fan-out)"
+# Saturated-drain run; compares the tuned configuration against the
+# committed baseline and fails on a >20% throughput regression (and on
+# a <2x parallel speedup). --seconds must match the committed
+# baseline's window: throughput grows with drain length (longer runs
+# amortize startup and build fuller batches), so differently sized
+# windows are not comparable. Writes its report to a scratch path so
+# the committed BENCH_pipeline.json only changes when regenerated
+# deliberately.
+if [ -f BENCH_pipeline.json ]; then
+    cargo build --release -q -p fsmon-bench --bin pipeline
+    target/release/pipeline --seconds 3 \
+        --out target/BENCH_pipeline.smoke.json \
+        --baseline BENCH_pipeline.json
+else
+    echo "    (no committed BENCH_pipeline.json; skipping)"
+fi
+
 echo "CI green."
