@@ -1,4 +1,4 @@
-//! Filtering-side ablation (DESIGN.md §5, paper §IV Consumption).
+//! Filtering-side ablation (DESIGN.md §6, paper §IV Consumption).
 //!
 //! The paper filters at the *consumer*, not the aggregator, "to
 //! alleviate potential overheads if a large number of consumers were to

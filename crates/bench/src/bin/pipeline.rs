@@ -6,14 +6,17 @@
 //! the pipeline and times the drain. The pipeline is saturated for the
 //! whole window, so events/sec is its true service rate (§V-D2's
 //! saturated regime), measured once with one resolver thread and one
-//! publish lane and once with the tuned pool. Writes
+//! publish lane and once with the tuned pool. Each run samples 1% of
+//! events with wall-clock trace records, so the report also carries
+//! end-to-end and per-stage latency quantiles. Writes
 //! `BENCH_pipeline.json` with both runs plus the speedup.
 //!
 //! Usage: `pipeline [--seconds N] [--out PATH] [--baseline PATH]`
 //!
-//! With `--baseline`, the tuned events/sec is also compared against
-//! the committed baseline file and the process exits nonzero on a
-//! >20% throughput regression — the CI smoke gate.
+//! With `--baseline`, the tuned events/sec and traced e2e p99 are also
+//! compared against the committed baseline file and the process exits
+//! nonzero on a >20% regression of either — the CI smoke gate. The
+//! latency gate is skipped when the baseline predates the field.
 
 use fsmon_lustre::{ScalableConfig, ScalableMonitor};
 use fsmon_testbed::profiles::TestbedKind;
@@ -29,6 +32,15 @@ const TUNED_THREADS: usize = 4;
 const TUNED_LANES: usize = 4;
 /// Allowed throughput regression against the committed baseline.
 const REGRESSION_TOLERANCE: f64 = 0.20;
+/// Trace sampling rate for the latency columns: 1% keeps the wire
+/// overhead negligible while still folding thousands of samples.
+const TRACE_PER_10K: u32 = 100;
+
+struct StageQuantiles {
+    stage: &'static str,
+    p50_ns: u64,
+    p99_ns: u64,
+}
 
 struct Measured {
     resolver_threads: usize,
@@ -39,6 +51,12 @@ struct Measured {
     cache_hit_ratio: f64,
     generated: u64,
     reported: u64,
+    /// End-to-end wall-clock latency of sampled traces (first to last
+    /// stamped stage), dominated by queue delay in the saturated drain.
+    e2e_p50_ns: u64,
+    e2e_p99_ns: u64,
+    /// Per-stage latency attribution from the same traces.
+    stages: Vec<StageQuantiles>,
 }
 
 fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measured {
@@ -63,16 +81,37 @@ fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measu
             cache_size: CACHE,
             resolver_threads,
             publish_lanes,
+            trace_sample_per_10k: TRACE_PER_10K,
+            // The sim clock is frozen during the drain (the backlog was
+            // generated up front), so stamp traces with wall time: the
+            // per-stage deltas then measure real queue delay.
+            trace_clock: Some(fsmon_telemetry::trace::wall_clock()),
             ..ScalableConfig::default()
         },
     )
     .expect("start scalable monitor");
+    // Drain the live feed concurrently so Deliver stamps happen as
+    // batches arrive: the traced e2e latency then measures the real
+    // read→deliver pipeline delay under saturation, not how long
+    // frames sat in the subscriber buffer waiting for a reader.
+    let consumer = monitor.consumer().clone();
+    let drain_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let drainer = {
+        let stop = drain_stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                consumer.recv_batch(8192, Duration::from_millis(50));
+            }
+        })
+    };
     // The performance script issues no renames, so records map 1:1 to
     // events and the aggregator's received count hits `generated`
     // exactly when the backlog is drained.
     monitor.wait_events(generated, Duration::from_secs(600));
     let drain = t0.elapsed();
     let reported = monitor.aggregator_stats().received;
+    drain_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    drainer.join().expect("consumer drainer");
     monitor.stop();
 
     let delta = fsmon_telemetry::global()
@@ -80,6 +119,8 @@ fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measu
         .delta_from(&telemetry_before);
     let hits = delta.counter("fsmon_fid2path_hits_total") as f64;
     let misses = delta.counter("fsmon_fid2path_misses_total") as f64;
+    let e2e = delta.histogram("fsmon_trace_e2e_ns");
+    let stages = stage_quantiles(&delta);
     Measured {
         resolver_threads,
         publish_lanes,
@@ -96,15 +137,65 @@ fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measu
         },
         generated,
         reported,
+        e2e_p50_ns: e2e.as_ref().map(|h| h.quantile(0.5)).unwrap_or(0),
+        e2e_p99_ns: e2e.as_ref().map(|h| h.quantile(0.99)).unwrap_or(0),
+        stages,
     }
 }
 
+/// Per-stage p50/p99 from the delta's `fsmon_trace_stage_ns`
+/// histograms, merged across MDT label sets, in pipeline order.
+fn stage_quantiles(delta: &fsmon_telemetry::Snapshot) -> Vec<StageQuantiles> {
+    use fsmon_telemetry::{MetricValue, TraceStage};
+    TraceStage::ALL
+        .iter()
+        .filter_map(|stage| {
+            let mut merged: Option<fsmon_telemetry::HistogramSnapshot> = None;
+            for (id, value) in &delta.metrics {
+                let MetricValue::Histogram(h) = value else {
+                    continue;
+                };
+                let is_stage = id.name == "fsmon_trace_stage_ns"
+                    && id
+                        .labels
+                        .iter()
+                        .any(|(k, v)| k == "stage" && v == stage.name());
+                if !is_stage || h.count() == 0 {
+                    continue;
+                }
+                match &mut merged {
+                    None => merged = Some(h.clone()),
+                    Some(m) => m.merge(h),
+                }
+            }
+            merged.map(|h| StageQuantiles {
+                stage: stage.name(),
+                p50_ns: h.quantile(0.5),
+                p99_ns: h.quantile(0.99),
+            })
+        })
+        .collect()
+}
+
 fn render(m: &Measured) -> String {
+    let stages = m
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "\"{}\": {{ \"p50_ns\": {}, \"p99_ns\": {} }}",
+                s.stage, s.p50_ns, s.p99_ns
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\n    \"resolver_threads\": {},\n    \"publish_lanes\": {},\n    \
          \"events_per_sec\": {:.1},\n    \"drain_secs\": {:.3},\n    \
          \"p99_resolve_ns\": {},\n    \"cache_hit_ratio\": {:.4},\n    \
-         \"generated\": {},\n    \"reported\": {}\n  }}",
+         \"generated\": {},\n    \"reported\": {},\n    \
+         \"e2e_p50_ns\": {},\n    \"e2e_p99_ns\": {},\n    \
+         \"stage_latency\": {{ {stages} }}\n  }}",
         m.resolver_threads,
         m.publish_lanes,
         m.events_per_sec,
@@ -113,14 +204,18 @@ fn render(m: &Measured) -> String {
         m.cache_hit_ratio,
         m.generated,
         m.reported,
+        m.e2e_p50_ns,
+        m.e2e_p99_ns,
     )
 }
 
-/// Pull `"tuned": { ... "events_per_sec": <n> ... }` out of a
-/// previously written report without a JSON dependency.
-fn baseline_events_per_sec(text: &str) -> Option<f64> {
+/// Pull `"tuned": { ... "<key>": <n> ... }` out of a previously
+/// written report without a JSON dependency. `None` when the baseline
+/// predates the field.
+fn baseline_tuned_field(text: &str, key: &str) -> Option<f64> {
     let tuned = &text[text.find("\"tuned\"")?..];
-    let after_key = &tuned[tuned.find("\"events_per_sec\"")? + "\"events_per_sec\"".len()..];
+    let quoted = format!("\"{key}\"");
+    let after_key = &tuned[tuned.find(&quoted)? + quoted.len()..];
     let num = after_key.trim_start_matches([':', ' ', '\t', '\n']);
     let end = num
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
@@ -154,17 +249,19 @@ fn main() {
     eprintln!("pipeline bench: serial baseline (1 resolver thread, 1 publish lane), {seconds}s");
     let serial = measure(seconds, 1, 1);
     eprintln!(
-        "  capacity {:.0} ev/s, p99 resolve {} ns, hit ratio {:.1}%",
+        "  capacity {:.0} ev/s, p99 resolve {} ns, e2e p99 {} ns, hit ratio {:.1}%",
         serial.events_per_sec,
         serial.p99_resolve_ns,
+        serial.e2e_p99_ns,
         100.0 * serial.cache_hit_ratio
     );
     eprintln!("pipeline bench: tuned ({TUNED_THREADS} resolver threads, {TUNED_LANES} publish lanes), {seconds}s");
     let tuned = measure(seconds, TUNED_THREADS, TUNED_LANES);
     eprintln!(
-        "  capacity {:.0} ev/s, p99 resolve {} ns, hit ratio {:.1}%",
+        "  capacity {:.0} ev/s, p99 resolve {} ns, e2e p99 {} ns, hit ratio {:.1}%",
         tuned.events_per_sec,
         tuned.p99_resolve_ns,
+        tuned.e2e_p99_ns,
         100.0 * tuned.cache_hit_ratio
     );
 
@@ -189,7 +286,7 @@ fn main() {
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let committed = baseline_events_per_sec(&text)
+        let committed = baseline_tuned_field(&text, "events_per_sec")
             .unwrap_or_else(|| panic!("no tuned events_per_sec in {path}"));
         let floor = committed * (1.0 - REGRESSION_TOLERANCE);
         if tuned.events_per_sec < floor {
@@ -204,6 +301,28 @@ fn main() {
                 "baseline check: tuned {:.0} ev/s vs committed {committed:.0} ev/s (floor {floor:.0}) OK",
                 tuned.events_per_sec
             );
+        }
+        // Latency gate: traced end-to-end p99 must not regress more
+        // than the tolerance above the committed baseline. Skipped when
+        // the baseline predates the field (or recorded no traces).
+        match baseline_tuned_field(&text, "e2e_p99_ns") {
+            Some(committed_p99) if committed_p99 > 0.0 => {
+                let ceiling = committed_p99 * (1.0 + REGRESSION_TOLERANCE);
+                if tuned.e2e_p99_ns as f64 > ceiling {
+                    eprintln!(
+                        "FAIL: e2e p99 {} ns regressed >{:.0}% above committed baseline {committed_p99:.0} ns",
+                        tuned.e2e_p99_ns,
+                        100.0 * REGRESSION_TOLERANCE
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "baseline check: e2e p99 {} ns vs committed {committed_p99:.0} ns (ceiling {ceiling:.0}) OK",
+                        tuned.e2e_p99_ns
+                    );
+                }
+            }
+            _ => println!("baseline check: no committed e2e_p99_ns; latency gate skipped"),
         }
     }
     if failed {

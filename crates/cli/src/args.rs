@@ -73,6 +73,22 @@ pub enum Command {
         /// Collector cache size for the live run.
         cache: usize,
     },
+    /// Live terminal view of the running pipeline: per-tick stage
+    /// deltas, trace latency, and the merged fleet snapshot.
+    Top {
+        /// Number of MDSs.
+        mds: u16,
+        /// Workload seconds.
+        seconds: u64,
+        /// Collector cache size.
+        cache: usize,
+        /// Parallel `fid2path` resolver threads per collector.
+        resolver_threads: usize,
+        /// Aggregator publish worker lanes.
+        publish_lanes: usize,
+        /// Refresh interval in milliseconds.
+        interval_ms: u64,
+    },
     /// Run the pipeline under a fault-injection plan and report a
     /// loss/duplication verdict.
     Chaos {
@@ -141,6 +157,8 @@ USAGE:
                     [--resolver-threads N] [--publish-lanes N]
   fsmon stats [--format summary|prometheus|json] [--from FILE]
               [--diff BEFORE AFTER] [--mds N] [--seconds S] [--cache N]
+  fsmon top   [--mds N] [--seconds S] [--cache N] [--resolver-threads N]
+              [--publish-lanes N] [--interval-ms MS]
   fsmon chaos [--plan none|basic|storm] [--seed N] [--mds N] [--seconds S]
               [--resolver-threads N] [--publish-lanes N]
   fsmon help
@@ -166,6 +184,7 @@ impl Cli {
             Some("replay") => Self::parse_replay(&mut iter)?,
             Some("demo-lustre") => Self::parse_demo(&mut iter)?,
             Some("stats") => Self::parse_stats(&mut iter)?,
+            Some("top") => Self::parse_top(&mut iter)?,
             Some("chaos") => Self::parse_chaos(&mut iter)?,
             Some(other) => return Err(ParseError(format!("unknown command: {other}"))),
         };
@@ -357,6 +376,58 @@ impl Cli {
             mds,
             seconds,
             cache,
+        })
+    }
+
+    fn parse_top<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut mds = 2;
+        let mut seconds = 5;
+        let mut cache = 5000;
+        let mut resolver_threads = 4;
+        let mut publish_lanes = 2;
+        let mut interval_ms = 500;
+        while let Some(arg) = iter.next() {
+            match arg {
+                "--mds" => {
+                    mds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--mds must be a number".into()))?
+                }
+                "--seconds" => {
+                    seconds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--seconds must be a number".into()))?
+                }
+                "--cache" => {
+                    cache = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--cache must be a number".into()))?
+                }
+                "--resolver-threads" => {
+                    resolver_threads = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--resolver-threads must be a number".into()))?
+                }
+                "--publish-lanes" => {
+                    publish_lanes = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--publish-lanes must be a number".into()))?
+                }
+                "--interval-ms" => {
+                    interval_ms = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--interval-ms must be a number".into()))?
+                }
+                other => return Err(ParseError(format!("unknown flag for top: {other}"))),
+            }
+        }
+        Ok(Command::Top {
+            mds,
+            seconds,
+            cache,
+            resolver_threads,
+            publish_lanes,
+            interval_ms,
         })
     }
 
@@ -613,6 +684,47 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(Cli::parse(["stats", "--diff", "/only-one"]).is_err());
+    }
+
+    #[test]
+    fn top_parsing() {
+        let cli = Cli::parse(["top"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Top {
+                mds: 2,
+                seconds: 5,
+                cache: 5000,
+                resolver_threads: 4,
+                publish_lanes: 2,
+                interval_ms: 500
+            }
+        );
+        let cli = Cli::parse([
+            "top",
+            "--mds",
+            "4",
+            "--seconds",
+            "2",
+            "--cache",
+            "100",
+            "--interval-ms",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Top {
+                mds: 4,
+                seconds: 2,
+                cache: 100,
+                resolver_threads: 4,
+                publish_lanes: 2,
+                interval_ms: 250
+            }
+        );
+        assert!(Cli::parse(["top", "--interval-ms", "soon"]).is_err());
+        assert!(Cli::parse(["top", "--wat"]).is_err());
     }
 
     #[test]

@@ -63,6 +63,22 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             cache,
             out,
         ),
+        Command::Top {
+            mds,
+            seconds,
+            cache,
+            resolver_threads,
+            publish_lanes,
+            interval_ms,
+        } => top(
+            mds,
+            seconds,
+            cache,
+            resolver_threads,
+            publish_lanes,
+            interval_ms,
+            out,
+        ),
         Command::Chaos {
             plan,
             seed,
@@ -179,6 +195,9 @@ fn run_sim_pipeline(mds: u16, seconds: u64, cache: usize) -> Result<(u64, Durati
         &fs,
         ScalableConfig {
             cache_size: cache,
+            // 1% sampled traces so the summary can attribute per-stage
+            // latency without distorting throughput.
+            trace_sample_per_10k: 100,
             ..ScalableConfig::default()
         },
     )
@@ -234,6 +253,7 @@ fn demo_lustre(
             cache_size: cache,
             resolver_threads,
             publish_lanes,
+            trace_sample_per_10k: 100,
             ..ScalableConfig::default()
         },
     ) {
@@ -372,6 +392,83 @@ fn write_stats_summary(snap: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
         snap.counter("fsmon_consumer_duplicates_dropped_total"),
         snap.counter("fsmon_consumer_reconnects_total"),
     );
+    write_latency_summary(snap, out);
+}
+
+/// Per-stage latency attribution from sampled trace records: one line
+/// per pipeline stage with the merged p50/p99 and the MDT owning the
+/// worst p99, plus the end-to-end distribution and the exemplar trace.
+/// Silent when the snapshot holds no completed traces.
+fn write_latency_summary(snap: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
+    use fsmon_telemetry::{MetricValue, TraceStage};
+    let traced = snap.counter("fsmon_trace_records_total");
+    if traced == 0 {
+        return;
+    }
+    match snap.histogram("fsmon_trace_e2e_ns") {
+        Some(h) if h.count() > 0 => {
+            let _ = writeln!(
+                out,
+                "latency   : {traced} traced, e2e p50 {} ns / p99 {} ns",
+                h.quantile(0.5),
+                h.quantile(0.99),
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "latency   : {traced} traced");
+        }
+    }
+    for stage in TraceStage::ALL {
+        // Merge this stage's histograms across MDTs, remembering which
+        // MDT owns the worst p99 — the attribution the fleet operator
+        // acts on.
+        let mut merged: Option<fsmon_telemetry::HistogramSnapshot> = None;
+        let mut worst: Option<(u64, String)> = None;
+        for (id, value) in &snap.metrics {
+            let MetricValue::Histogram(h) = value else {
+                continue;
+            };
+            if id.name != "fsmon_trace_stage_ns" || h.count() == 0 {
+                continue;
+            }
+            let labeled = |key: &str| {
+                id.labels
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+            };
+            if labeled("stage").as_deref() != Some(stage.name()) {
+                continue;
+            }
+            let p99 = h.quantile(0.99);
+            if worst.as_ref().is_none_or(|(w, _)| p99 > *w) {
+                worst = Some((p99, labeled("mdt").unwrap_or_default()));
+            }
+            match &mut merged {
+                None => merged = Some(h.clone()),
+                Some(m) => m.merge(h),
+            }
+        }
+        if let (Some(h), Some((worst_p99, worst_mdt))) = (merged, worst) {
+            let _ = writeln!(
+                out,
+                "            {:<12} p50 {} ns / p99 {} ns (worst mdt {} at {} ns)",
+                stage.name(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                worst_mdt,
+                worst_p99,
+            );
+        }
+    }
+    if let Some(id) = snap.gauge("fsmon_trace_exemplar_event_id") {
+        let _ = writeln!(
+            out,
+            "exemplar  : event {id} (mdt {}) end-to-end {} ns",
+            snap.gauge("fsmon_trace_exemplar_mdt").unwrap_or(0),
+            snap.gauge("fsmon_trace_exemplar_total_ns").unwrap_or(0),
+        );
+    }
 }
 
 /// Load an exported snapshot file, auto-detecting the dialect:
@@ -496,6 +593,122 @@ fn stats(
     0
 }
 
+/// Live view of the running pipeline: a workload drives the simulated
+/// cluster in the background while the foreground ticks, printing one
+/// line per interval with stage deltas and trace latency, then the
+/// merged fleet snapshot (every collector's published telemetry folded
+/// into one view) and the final per-stage summary.
+fn top(
+    mds: u16,
+    seconds: u64,
+    cache: usize,
+    resolver_threads: usize,
+    publish_lanes: usize,
+    interval_ms: u64,
+    out: &mut dyn Write,
+) -> i32 {
+    use fsmon_lustre::{ScalableConfig, ScalableMonitor};
+    use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
+    use lustre_sim::{LustreConfig, LustreFs};
+
+    let mds = mds.max(1);
+    let _ = writeln!(
+        out,
+        "fsmon top: {mds} MDS(s), {seconds}s workload, {}ms refresh",
+        interval_ms.max(50)
+    );
+    let fs = LustreFs::new(LustreConfig::small_dne(mds));
+    let monitor = match ScalableMonitor::start(
+        &fs,
+        ScalableConfig {
+            cache_size: cache,
+            resolver_threads,
+            publish_lanes,
+            trace_sample_per_10k: 100,
+            ..ScalableConfig::default()
+        },
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+
+    let client = fs.client();
+    let worker = std::thread::spawn(move || {
+        EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
+            .with_working_set(1024)
+            .run_for(&client, Duration::from_secs(seconds.max(1)))
+    });
+
+    let mut prev = fsmon_telemetry::global().snapshot();
+    let mut tick = 0u64;
+    while !worker.is_finished() {
+        // Pull the live feed so Deliver stamps fold into the trace
+        // histograms; recv_batch's timeout paces the tick.
+        let _ = monitor
+            .consumer()
+            .recv_batch(8192, Duration::from_millis(interval_ms.max(50)));
+        let snap = fsmon_telemetry::global().snapshot();
+        let delta = snap.delta_from(&prev);
+        prev = snap;
+        tick += 1;
+        let e2e = delta
+            .histogram("fsmon_trace_e2e_ns")
+            .filter(|h| h.count() > 0)
+            .map(|h| format!("  e2e p99 {} ns", h.quantile(0.99)))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "tick {tick:>3}: +{} collected  +{} published  +{} stored  +{} delivered{e2e}",
+            delta.counter("fsmon_collector_events_total"),
+            delta.counter("fsmon_aggregator_published_total"),
+            delta.counter("fsmon_store_appends_total"),
+            delta.counter("fsmon_consumer_delivered_total"),
+        );
+    }
+    let run = worker.join().expect("workload thread");
+    monitor.wait_events(run.operations, Duration::from_secs(60));
+    drain_consumer(&monitor, run.operations);
+
+    // Fold every collector's telemetry into the fleet view. Snapshots
+    // travel the same mq path as events, so give the aggregator's demux
+    // a moment to ingest one from each MDT.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        monitor.publish_fleet_snapshots();
+        if monitor.fleet_sources().len() >= mds as usize || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let fleet = monitor.fleet_snapshot();
+    let sources = monitor.fleet_sources();
+    let _ = writeln!(
+        out,
+        "--- fleet ({} sources: {}) ---",
+        sources.len(),
+        sources.join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "fleet     : {} records, {} events, {} traced, backlog {}",
+        fleet.counter("fsmon_collector_records_total"),
+        fleet.counter("fsmon_collector_events_total"),
+        fleet.counter("fsmon_collector_traces_total"),
+        fleet.gauge("fsmon_collector_backlog").unwrap_or(0),
+    );
+    let _ = writeln!(
+        out,
+        "generated : {} events in {:.1?}",
+        run.operations, run.elapsed
+    );
+    monitor.stop();
+    write_stats_summary(&fsmon_telemetry::global().snapshot(), out);
+    0
+}
+
 /// Run the simulated pipeline under an armed fault plan and verify the
 /// end-to-end delivery guarantee: every generated event reaches the
 /// consumer exactly once (live or healed from the store), despite
@@ -550,7 +763,9 @@ fn chaos(
         ScalableConfig {
             cache_size: 2000,
             // Small batches mean more publishes, so injected faults land
-            // between batches often enough to matter.
+            // between batches often enough to matter. 1% tracing rides
+            // along to prove sampling survives the fault plan.
+            trace_sample_per_10k: 100,
             batch_size: 64,
             store: Some(Arc::new(store)),
             cursor_file: Some(dir.join("cursors")),
@@ -574,6 +789,26 @@ fn chaos(
         .run_for(&client, Duration::from_secs(seconds.max(1)));
     let expected = run.operations;
     monitor.wait_events(expected, Duration::from_secs(60));
+
+    // Exercise the history REQ/REP path under the same plan: storm
+    // injects request drops/errors, and the retry loop must heal them.
+    match monitor.history_client() {
+        Ok(history) => match history.replay_since_retry(0, 64, &fsmon_faults::Retry::fast()) {
+            Ok(events) => {
+                let _ = writeln!(
+                    out,
+                    "history   : replayed {} events through the faulted REQ/REP path",
+                    events.len()
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "history   : replay failed past retry budget: {e}");
+            }
+        },
+        Err(e) => {
+            let _ = writeln!(out, "history   : connect failed: {e}");
+        }
+    }
 
     // Drain the live feed until it goes quiet.
     let mut ids: Vec<u64> = Vec::new();
@@ -635,6 +870,18 @@ fn chaos(
                 let _ = writeln!(out, "{id} +{n}");
             }
         }
+    }
+
+    let traced = delta.counter("fsmon_trace_records_total");
+    if traced > 0 {
+        let p99 = delta
+            .histogram("fsmon_trace_e2e_ns")
+            .map(|h| h.quantile(0.99))
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "tracing   : {traced} sampled traces completed (e2e p99 {p99} ns)"
+        );
     }
 
     let rate = expected as f64 / run.elapsed.as_secs_f64().max(1e-9);
@@ -799,6 +1046,28 @@ mod tests {
             assert!(out.contains(line), "missing {line:?} in {out}");
         }
         assert!(!out.contains("collector : 0 records"), "{out}");
+    }
+
+    #[test]
+    fn top_ticks_and_merges_the_fleet_view() {
+        let (code, out) = run_str(&[
+            "top",
+            "--mds",
+            "2",
+            "--seconds",
+            "1",
+            "--cache",
+            "100",
+            "--interval-ms",
+            "100",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("tick "), "{out}");
+        assert!(out.contains("--- fleet (2 sources"), "{out}");
+        assert!(out.contains("fleet     :"), "{out}");
+        // Tracing is on at 1%, so the final summary attributes latency.
+        assert!(out.contains("latency   :"), "{out}");
+        assert!(out.contains("exemplar  :"), "{out}");
     }
 
     #[test]

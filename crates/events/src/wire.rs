@@ -217,6 +217,56 @@ pub fn patch_event_id(buf: &mut BytesMut, id_offset: usize, id: u64) {
     buf[id_offset..id_offset + 8].copy_from_slice(&id.to_be_bytes());
 }
 
+/// Upper bound on one meta TLV section's payload.
+const MAX_TLV: u32 = 1 << 22;
+
+/// TLV tag for a trace section: back-to-back fixed-width trace
+/// records (see `fsmon-telemetry::trace`). The payload is opaque to
+/// this codec.
+pub const TLV_TRACE: u8 = 1;
+
+/// Append one TLV section (`u8 tag | u32 len | payload`) to a meta
+/// frame. Sections concatenate, so meta extensions never disturb
+/// existing readers: an untraced batch simply carries no trace
+/// section and pays zero bytes.
+pub fn append_tlv(buf: &mut BytesMut, tag: u8, payload: &[u8]) {
+    buf.put_u8(tag);
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+}
+
+/// Encode a single TLV section as a standalone frame.
+pub fn encode_tlv(tag: u8, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(5 + payload.len());
+    append_tlv(&mut buf, tag, payload);
+    buf.freeze()
+}
+
+/// Find the first section with `tag` in a TLV frame. Returns the
+/// payload slice, `Ok(None)` when absent (including an empty frame).
+pub fn find_tlv(frame: &[u8], tag: u8) -> Result<Option<&[u8]>, WireError> {
+    let mut rest = frame;
+    while !rest.is_empty() {
+        if rest.len() < 5 {
+            return Err(WireError::Truncated);
+        }
+        let section_tag = rest[0];
+        let len = u32::from_be_bytes([rest[1], rest[2], rest[3], rest[4]]);
+        if len > MAX_TLV {
+            return Err(WireError::LengthOverflow(len as u64));
+        }
+        let end = 5 + len as usize;
+        if rest.len() < end {
+            return Err(WireError::Truncated);
+        }
+        if section_tag == tag {
+            return Ok(Some(&rest[5..end]));
+        }
+        rest = &rest[end..];
+    }
+    Ok(None)
+}
+
 /// Decode a batch frame.
 pub fn decode_event_batch(frame: &Bytes) -> Result<Vec<StandardEvent>, WireError> {
     let mut buf = frame.clone();
@@ -315,6 +365,40 @@ mod tests {
         // Second use of the same buffer starts clean.
         encode_event_batch_into(&evs[..1], &mut buf);
         assert_eq!(buf.split_frozen(), encode_event_batch(&evs[..1]));
+    }
+
+    #[test]
+    fn tlv_sections_concatenate_and_lookup_by_tag() {
+        let mut buf = BytesMut::new();
+        append_tlv(&mut buf, 9, b"other");
+        append_tlv(&mut buf, TLV_TRACE, b"trace-bytes");
+        let frame = buf.freeze();
+        assert_eq!(
+            find_tlv(&frame, TLV_TRACE).unwrap(),
+            Some(&b"trace-bytes"[..])
+        );
+        assert_eq!(find_tlv(&frame, 9).unwrap(), Some(&b"other"[..]));
+        assert_eq!(find_tlv(&frame, 3).unwrap(), None);
+        assert_eq!(find_tlv(&[], TLV_TRACE).unwrap(), None);
+    }
+
+    #[test]
+    fn tlv_rejects_truncation_and_overflow() {
+        let frame = encode_tlv(TLV_TRACE, b"payload");
+        assert!(matches!(
+            find_tlv(&frame[..frame.len() - 1], TLV_TRACE),
+            Err(WireError::Truncated)
+        ));
+        assert!(matches!(
+            find_tlv(&frame[..3], TLV_TRACE),
+            Err(WireError::Truncated)
+        ));
+        let mut raw = frame.to_vec();
+        raw[1..5].copy_from_slice(&(MAX_TLV + 1).to_be_bytes());
+        assert!(matches!(
+            find_tlv(&raw, TLV_TRACE),
+            Err(WireError::LengthOverflow(_))
+        ));
     }
 
     #[test]

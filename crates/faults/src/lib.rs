@@ -76,10 +76,15 @@ pub enum FaultPoint {
     AggregatorPublishCrash = 9,
     /// The aggregator's store lane crashes at a loop boundary.
     AggregatorStoreCrash = 10,
+    /// The history REQ/REP service fails a request with an error
+    /// reply (the client's retry path must heal it).
+    HistoryRequest = 11,
+    /// A Spectrum Scale audit-log poll fails transiently.
+    SpectrumScan = 12,
 }
 
 /// Number of distinct fault points.
-const POINTS: usize = 11;
+const POINTS: usize = 13;
 
 impl FaultPoint {
     /// Every fault point, in declaration order.
@@ -95,6 +100,8 @@ impl FaultPoint {
         FaultPoint::CollectorCrash,
         FaultPoint::AggregatorPublishCrash,
         FaultPoint::AggregatorStoreCrash,
+        FaultPoint::HistoryRequest,
+        FaultPoint::SpectrumScan,
     ];
 
     /// Stable label used for seeding and telemetry.
@@ -111,6 +118,8 @@ impl FaultPoint {
             FaultPoint::CollectorCrash => "collector_crash",
             FaultPoint::AggregatorPublishCrash => "aggregator_publish_crash",
             FaultPoint::AggregatorStoreCrash => "aggregator_store_crash",
+            FaultPoint::HistoryRequest => "history_request",
+            FaultPoint::SpectrumScan => "spectrum_scan",
         }
     }
 }
@@ -259,7 +268,12 @@ impl FaultPlan {
                     .with(
                         FaultPoint::AggregatorStoreCrash,
                         FaultRule::per_10k(30).after(50).limit(3),
-                    ),
+                    )
+                    .with(
+                        FaultPoint::HistoryRequest,
+                        FaultRule::per_10k(2000).limit(16),
+                    )
+                    .with(FaultPoint::SpectrumScan, FaultRule::per_10k(200).limit(32)),
             ),
             _ => None,
         }

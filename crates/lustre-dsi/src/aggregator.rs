@@ -51,12 +51,14 @@
 
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use fsmon_events::wire::{encode_tlv, find_tlv, TLV_TRACE};
 use fsmon_events::{decode_event_batch, encode_event_batch_offsets, patch_event_id, StandardEvent};
 use fsmon_faults::{FaultPoint, Faults, Retry};
 use fsmon_mq::{Context, Message, PubSocket, SubSocket};
 use fsmon_store::EventStore;
+use fsmon_telemetry::{trace, Snapshot, TraceRecord, TraceStage, Tracer};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -113,6 +115,9 @@ struct PreparedBatch {
     buf: BytesMut,
     id_offsets: Vec<usize>,
     events: Vec<StandardEvent>,
+    /// Sampled trace records riding with the batch, positions already
+    /// remapped past any dedup trim.
+    traces: Vec<TraceRecord>,
 }
 
 /// Everything a lane thread needs; shared so lanes can be respawned.
@@ -129,12 +134,20 @@ struct LaneCtx {
     /// allocating one per published frame.
     recycle_tx: Sender<BytesMut>,
     recycle_rx: Receiver<BytesMut>,
-    store_tx: Sender<Vec<StandardEvent>>,
-    store_rx: Receiver<Vec<StandardEvent>>,
+    store_tx: Sender<(Vec<StandardEvent>, Vec<TraceRecord>)>,
+    store_rx: Receiver<(Vec<StandardEvent>, Vec<TraceRecord>)>,
     store: Arc<dyn EventStore>,
     shared: Arc<Shared>,
     faults: Faults,
     retry: Retry,
+    /// Shared stage clock for trace stamping (sampling itself happens
+    /// at the collectors; the aggregator only stamps what arrives).
+    tracer: Tracer,
+    /// Latest registry snapshot per `telemetry.<source>` topic — the
+    /// fleet view's raw material. Merged on demand by
+    /// [`Aggregator::fleet_snapshot`].
+    fleet: Mutex<BTreeMap<String, Snapshot>>,
+    t_fleet_snapshots: Arc<fsmon_telemetry::Counter>,
     t_received: Arc<fsmon_telemetry::Counter>,
     t_published: Arc<fsmon_telemetry::Counter>,
     t_stored: Arc<fsmon_telemetry::Counter>,
@@ -208,12 +221,44 @@ impl Aggregator {
         retry: Retry,
         publish_lanes: usize,
     ) -> Result<Aggregator, fsmon_mq::MqError> {
+        Self::start_traced(
+            ctx,
+            collector_endpoints,
+            consumer_endpoint,
+            store,
+            faults,
+            retry,
+            publish_lanes,
+            Tracer::disabled(),
+        )
+    }
+
+    /// [`start_tuned`](Aggregator::start_tuned) with a [`Tracer`] whose
+    /// clock stamps the ingest/sequence/store-commit stages onto trace
+    /// records that arrive from collectors. The sequencer's id counter
+    /// resumes from the store's last persisted sequence, so an
+    /// aggregator restarted over an existing store continues the dense
+    /// id stream instead of reissuing ids the store already holds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_traced(
+        ctx: &Context,
+        collector_endpoints: &[String],
+        consumer_endpoint: &str,
+        store: Arc<dyn EventStore>,
+        faults: Faults,
+        retry: Retry,
+        publish_lanes: usize,
+        tracer: Tracer,
+    ) -> Result<Aggregator, fsmon_mq::MqError> {
         let lanes = publish_lanes.max(1);
         let sub = Arc::new(ctx.subscriber());
         for ep in collector_endpoints {
             sub.connect(ep)?;
         }
         sub.subscribe(b"mdt");
+        // Collectors publish fleet registry snapshots alongside event
+        // batches; the demux folds them into the fleet view.
+        sub.subscribe(b"telemetry.");
         let publisher = Arc::new(ctx.publisher());
         publisher.bind(consumer_endpoint)?;
         // The consumer-facing link is the one hop with a replay path
@@ -231,7 +276,9 @@ impl Aggregator {
             decode_errors: AtomicU64::new(0),
             dedup_dropped: AtomicU64::new(0),
             lane_restarts: AtomicU64::new(0),
-            next_id: AtomicU64::new(0),
+            // Resume the dense id stream where the store left off: a
+            // fresh store reports 0 and ids start at 1 as before.
+            next_id: AtomicU64::new(store.stats().last_seq),
             stop: AtomicBool::new(false),
             demux_alive: AtomicBool::new(false),
             worker_alive: (0..lanes).map(|_| AtomicBool::new(false)).collect(),
@@ -252,8 +299,8 @@ impl Aggregator {
         let (recycle_tx, recycle_rx): (Sender<BytesMut>, Receiver<BytesMut>) = bounded(4 * lanes);
         // The store lane: the sequencer forwards every stamped event
         // here so persistence cannot stall publication.
-        let (store_tx, store_rx): (Sender<Vec<StandardEvent>>, Receiver<Vec<StandardEvent>>) =
-            bounded(1 << 14);
+        type StoreItem = (Vec<StandardEvent>, Vec<TraceRecord>);
+        let (store_tx, store_rx): (Sender<StoreItem>, Receiver<StoreItem>) = bounded(1 << 14);
         let lane = Arc::new(LaneCtx {
             sub,
             publisher,
@@ -270,6 +317,9 @@ impl Aggregator {
             shared: shared.clone(),
             faults,
             retry,
+            tracer,
+            fleet: Mutex::new(BTreeMap::new()),
+            t_fleet_snapshots: agg_scope.counter("fleet_snapshots_total"),
             t_received: agg_scope.counter("received_total"),
             t_published: agg_scope.counter("published_total"),
             t_stored: agg_scope.counter("stored_total"),
@@ -416,6 +466,25 @@ impl Aggregator {
         &self.store
     }
 
+    /// The fleet view: every collector's latest `telemetry.<source>`
+    /// registry snapshot, folded with
+    /// [`Snapshot::merge_fleet`](fsmon_telemetry::Snapshot::merge_fleet)
+    /// — counters and histograms add across sources, gauges keep each
+    /// source's last write. Empty until the first snapshot arrives.
+    pub fn fleet_snapshot(&self) -> Snapshot {
+        let fleet = self.lane.fleet.lock();
+        let mut merged = Snapshot::default();
+        for snap in fleet.values() {
+            merged.merge_fleet(snap);
+        }
+        merged
+    }
+
+    /// Sources (topics) that have contributed to the fleet view.
+    pub fn fleet_sources(&self) -> Vec<String> {
+        self.lane.fleet.lock().keys().cloned().collect()
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> AggregatorStats {
         AggregatorStats {
@@ -501,10 +570,39 @@ fn run_demux(lane: Arc<LaneCtx>) {
             Ok(msg) => msg,
             Err(_) => continue,
         };
+        // Fleet registry snapshots are folded here rather than routed:
+        // they are rare (one JSON frame per collector every few dozen
+        // batches) and keeping the map single-writer avoids lane races.
+        if msg.topic().starts_with(b"telemetry.") {
+            ingest_fleet_snapshot(&lane, &msg);
+            continue;
+        }
         let slot = lane_of(msg.topic(), lane.lanes);
         send_or_stop(&lane.work_tx[slot], shared, msg);
     }
     lane.shared.demux_alive.store(false, Ordering::Relaxed);
+}
+
+/// Fold one `telemetry.<source>` frame into the fleet view: parse the
+/// JSON registry snapshot and keep it as the source's latest (snapshots
+/// are cumulative, so last-write per source + fleet merge across
+/// sources is exact). Malformed frames count as decode errors.
+fn ingest_fleet_snapshot(lane: &LaneCtx, msg: &Message) {
+    let parsed = msg
+        .part(1)
+        .and_then(|payload| std::str::from_utf8(payload).ok())
+        .and_then(|text| fsmon_telemetry::export::parse_json(text).ok());
+    match parsed {
+        Some(snap) => {
+            let source = String::from_utf8_lossy(msg.topic()).into_owned();
+            lane.fleet.lock().insert(source, snap);
+            lane.t_fleet_snapshots.inc();
+        }
+        None => {
+            lane.shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+            lane.t_decode_errors.inc();
+        }
+    }
 }
 
 /// A worker lane: decode, dedup against the topic's changelog
@@ -538,6 +636,20 @@ fn run_worker_lane(lane: Arc<LaneCtx>, slot: usize) {
                 continue;
             }
         };
+        // Sampled traces ride as a fourth frame (TLV-framed); untraced
+        // batches have no part 3 and pay nothing here. Stamp the ingest
+        // stage on arrival.
+        let mut traces: Vec<TraceRecord> = msg
+            .part(3)
+            .and_then(|frame| find_tlv(frame, TLV_TRACE).ok().flatten())
+            .and_then(TraceRecord::decode_all)
+            .unwrap_or_default();
+        if !traces.is_empty() && lane.tracer.enabled() {
+            let ingest_ns = lane.tracer.now_ns();
+            for rec in &mut traces {
+                rec.stamp(TraceStage::Ingest, ingest_ns);
+            }
+        }
         // Dedup by changelog index (frame 2, when present): a restarted
         // collector resumes from its durable cursor, so events at or
         // below this topic's highwater were already stamped and
@@ -552,11 +664,24 @@ fn run_worker_lane(lane: Arc<LaneCtx>, slot: usize) {
             let before = events.len();
             if range.last <= *entry {
                 events.clear();
+                traces.clear();
             } else if range.first <= *entry {
                 if let Some(indices) = range.indices.filter(|idx| idx.len() == before) {
                     let hw_val = *entry;
                     let mut it = indices.iter();
-                    events.retain(|_| *it.next().expect("len checked") > hw_val);
+                    let mut kept: Vec<u32> = Vec::with_capacity(before);
+                    let mut pos = 0u32;
+                    events.retain(|_| {
+                        let keep = *it.next().expect("len checked") > hw_val;
+                        if keep {
+                            kept.push(pos);
+                        }
+                        pos += 1;
+                        keep
+                    });
+                    // Trace records index their batch by position, so a
+                    // trim must drop trimmed traces and remap survivors.
+                    trace::retain_traces(&mut traces, &kept);
                 }
                 // Without per-event indices the whole straddling batch
                 // is accepted: at-least-once favors no-loss, and the
@@ -587,6 +712,7 @@ fn run_worker_lane(lane: Arc<LaneCtx>, slot: usize) {
                 buf,
                 id_offsets,
                 events,
+                traces,
             },
         );
     }
@@ -622,10 +748,26 @@ fn run_sequencer(lane: Arc<LaneCtx>) {
         }
         let n = batch.events.len() as u64;
         let frame = batch.buf.split_frozen();
-        let _ = lane.publisher.send(Message::from_parts(vec![
-            bytes::Bytes::from_static(b"events"),
-            frame,
-        ]));
+        let mut parts = vec![bytes::Bytes::from_static(b"events"), frame];
+        if !batch.traces.is_empty() {
+            // The sequencer is the stage that learns each event's global
+            // id — copy it into the trace and stamp the sequence stage,
+            // then re-attach the traces for the consumer hop.
+            let seq_ns = lane.tracer.now_ns();
+            for rec in &mut batch.traces {
+                if let Some(ev) = batch.events.get(rec.pos as usize) {
+                    rec.event_id = ev.id;
+                }
+                if lane.tracer.enabled() {
+                    rec.stamp(TraceStage::Sequence, seq_ns);
+                }
+            }
+            parts.push(encode_tlv(
+                TLV_TRACE,
+                &TraceRecord::encode_all(&batch.traces),
+            ));
+        }
+        let _ = lane.publisher.send(Message::from_parts(parts));
         shared.published.fetch_add(n, Ordering::Relaxed);
         lane.t_published.add(n);
         lane.t_lag.set(
@@ -635,7 +777,7 @@ fn run_sequencer(lane: Arc<LaneCtx>) {
         // Hand the (cleared, capacity-retaining) buffer back to the
         // workers; if the pool is full it's simply dropped.
         let _ = lane.recycle_tx.try_send(batch.buf);
-        send_or_stop(&lane.store_tx, shared, batch.events);
+        send_or_stop(&lane.store_tx, shared, (batch.events, batch.traces));
     }
     lane.shared.sequencer_alive.store(false, Ordering::Relaxed);
 }
@@ -658,14 +800,18 @@ fn run_store_lane(lane: Arc<LaneCtx>) {
             break;
         }
         match lane.store_rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(first) => {
+            Ok((first, first_traces)) => {
                 // Group commit: fold everything already queued into one
                 // append_batch call so the store amortizes per-append
                 // locking and the lag drains in large strides.
                 let mut group = first;
+                let mut traces = first_traces;
                 while group.len() < STORE_GROUP_MAX {
                     match lane.store_rx.try_recv() {
-                        Ok(more) => group.extend(more),
+                        Ok((more, more_traces)) => {
+                            group.extend(more);
+                            traces.extend(more_traces);
+                        }
                         Err(_) => break,
                     }
                 }
@@ -709,6 +855,17 @@ fn run_store_lane(lane: Arc<LaneCtx>) {
                     shared.published.load(Ordering::Relaxed) as i64
                         - shared.stored.load(Ordering::Relaxed) as i64,
                 );
+                // Traced events in a fully committed group get their
+                // store-commit stage stamped and folded here — the only
+                // stage the consumer hop never sees (the store lane is
+                // a branch, not a link, of the delivery path).
+                if offset == group.len() && !traces.is_empty() && lane.tracer.enabled() {
+                    let commit_ns = lane.tracer.now_ns();
+                    for rec in &mut traces {
+                        rec.stamp(TraceStage::StoreCommit, commit_ns);
+                        trace::fold_stage(rec, TraceStage::StoreCommit);
+                    }
+                }
             }
             Err(_) => {
                 if shared.stop.load(Ordering::Relaxed) {
@@ -1012,6 +1169,153 @@ mod tests {
         assert_eq!(store.stats().appended, 1, "nothing lost across restart");
         assert_eq!(agg.stats().lane_restarts, 2);
         agg.stop();
+    }
+
+    /// Observability invariant: trace records attached by a collector
+    /// survive the aggregator's dedup trim (positions remapped, trimmed
+    /// traces dropped) and the sequencer's id patching (each trace
+    /// learns its event's dense id), while the collector-stamped stages
+    /// pass through byte-identically.
+    #[test]
+    fn trace_records_survive_trim_and_id_patching() {
+        use fsmon_telemetry::{TraceRecord, TraceStage, Tracer};
+        let ctx = Context::new();
+        let publisher = collector_socket(&ctx, "inproc://trace-src").unwrap();
+        let store = Arc::new(MemStore::new());
+        // A fixed clock makes the aggregator's own stamps predictable.
+        let tracer = Tracer::new(10_000, Arc::new(|| 7_000));
+        let agg = Aggregator::start_traced(
+            &ctx,
+            &["inproc://trace-src".to_string()],
+            "inproc://agg-trace",
+            store.clone(),
+            Faults::none(),
+            Retry::fast(),
+            1,
+            tracer,
+        )
+        .unwrap();
+        let consumer = consumer_socket(&ctx, "inproc://agg-trace").unwrap();
+        let ev = |p: &str| StandardEvent::new(EventKind::Create, "/r", p);
+        let traced_msg = |events: &[StandardEvent], indices: &[u64], traces: &[TraceRecord]| {
+            let mut meta = Vec::with_capacity(16 + 8 * indices.len());
+            meta.extend_from_slice(&indices.first().unwrap().to_be_bytes());
+            meta.extend_from_slice(&indices.last().unwrap().to_be_bytes());
+            for idx in indices {
+                meta.extend_from_slice(&idx.to_be_bytes());
+            }
+            Message::from_parts(vec![
+                bytes::Bytes::from_static(b"mdt0"),
+                encode_event_batch(events),
+                bytes::Bytes::from(meta),
+                encode_tlv(TLV_TRACE, &TraceRecord::encode_all(traces)),
+            ])
+        };
+        let collector_trace = |pos: u32, base: u64| {
+            let mut rec = TraceRecord::new(pos, 3);
+            rec.stamp(TraceStage::Read, base);
+            rec.stamp(TraceStage::Resolve, base + 10);
+            rec.stamp(TraceStage::Publish, base + 20);
+            rec
+        };
+        // Batch 1: records 1–2, both positions traced.
+        publisher
+            .send(traced_msg(
+                &[ev("a"), ev("b")],
+                &[1, 2],
+                &[collector_trace(0, 100), collector_trace(1, 200)],
+            ))
+            .unwrap();
+        assert!(agg.wait_received(2, Duration::from_secs(2)));
+        let msg = consumer.recv_timeout(Duration::from_secs(2)).unwrap();
+        let traces = find_tlv(msg.part(2).unwrap(), TLV_TRACE)
+            .unwrap()
+            .and_then(TraceRecord::decode_all)
+            .unwrap();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(
+            traces.iter().map(|t| t.event_id).collect::<Vec<_>>(),
+            vec![1, 2],
+            "sequencer ids patched into the traces"
+        );
+        // Collector stamps pass through byte-identically; the
+        // aggregator added ingest + sequence from its fixed clock.
+        assert_eq!(traces[0].stamps[TraceStage::Read as usize], 100);
+        assert_eq!(traces[0].stamps[TraceStage::Resolve as usize], 110);
+        assert_eq!(traces[0].stamps[TraceStage::Publish as usize], 120);
+        assert_eq!(traces[0].stamps[TraceStage::Ingest as usize], 7_000);
+        assert_eq!(traces[0].stamps[TraceStage::Sequence as usize], 7_000);
+        // Batch 2 straddles the highwater: records 1–2 replayed plus
+        // fresh record 3, traced at positions 0 and 2. The replayed
+        // prefix is trimmed, so only the pos-2 trace survives — at
+        // position 0 of the trimmed batch, with record 3's new id.
+        publisher
+            .send(traced_msg(
+                &[ev("a"), ev("b"), ev("c")],
+                &[1, 2, 3],
+                &[collector_trace(0, 300), collector_trace(2, 400)],
+            ))
+            .unwrap();
+        assert!(agg.wait_received(3, Duration::from_secs(2)));
+        let msg = consumer.recv_timeout(Duration::from_secs(2)).unwrap();
+        let events =
+            decode_event_batch(&bytes::Bytes::copy_from_slice(msg.part(1).unwrap())).unwrap();
+        assert_eq!(events.len(), 1, "replayed prefix trimmed");
+        assert_eq!(events[0].id, 3);
+        let traces = find_tlv(msg.part(2).unwrap(), TLV_TRACE)
+            .unwrap()
+            .and_then(TraceRecord::decode_all)
+            .unwrap();
+        assert_eq!(traces.len(), 1, "trimmed event's trace dropped");
+        assert_eq!(traces[0].pos, 0, "surviving trace remapped");
+        assert_eq!(traces[0].event_id, 3);
+        assert_eq!(traces[0].stamps[TraceStage::Read as usize], 400);
+        agg.stop();
+    }
+
+    /// Restart continuity (whole-process recovery): a second aggregator
+    /// started over the first one's store resumes the dense id stream
+    /// where the persisted sequence left off.
+    #[test]
+    fn restarted_aggregator_resumes_ids_from_the_store() {
+        let ctx = Context::new();
+        let publisher = collector_socket(&ctx, "inproc://resume-src").unwrap();
+        let store = Arc::new(MemStore::new());
+        let ev = |p: &str| StandardEvent::new(EventKind::Create, "/r", p);
+        let agg = Aggregator::start(
+            &ctx,
+            &["inproc://resume-src".to_string()],
+            "inproc://agg-resume1",
+            store.clone(),
+        )
+        .unwrap();
+        publisher.send(batch_msg(&[ev("a"), ev("b")])).unwrap();
+        assert!(agg.wait_received(2, Duration::from_secs(2)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while store.stats().appended < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        agg.stop(); // the "crash": only the store survives
+        let agg2 = Aggregator::start(
+            &ctx,
+            &["inproc://resume-src".to_string()],
+            "inproc://agg-resume2",
+            store.clone(),
+        )
+        .unwrap();
+        publisher.send(batch_msg(&[ev("c")])).unwrap();
+        assert!(agg2.wait_received(1, Duration::from_secs(2)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while store.stats().appended < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let replay = store.get_since(0, 10).unwrap();
+        assert_eq!(
+            replay.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "id stream continues across the restart, no reuse, no gap"
+        );
+        agg2.stop();
     }
 
     /// Tentpole invariant: with several worker lanes racing, the

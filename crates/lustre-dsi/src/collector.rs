@@ -7,9 +7,11 @@
 //! contract (batch index ranges) is unchanged.
 
 use fsmon_core::ShardedLruCache;
+use fsmon_events::wire::{encode_tlv, TLV_TRACE};
 use fsmon_events::{encode_event_batch_into, EventKind, MonitorSource, StandardEvent};
 use fsmon_faults::Retry;
 use fsmon_mq::{Message, PubSocket};
+use fsmon_telemetry::{TraceRecord, TraceStage, Tracer};
 use lustre_sim::changelog::ChangelogUser;
 use lustre_sim::namespace::{FsError, MdtHandle};
 use lustre_sim::{ChangelogRecord, Fid};
@@ -45,6 +47,51 @@ pub const CACHE_ENTRY_BYTES: usize = 112;
 /// derived from the pool width so cache behaviour (and per-shard
 /// capacity) doesn't shift when the ablation knob changes.
 const CACHE_SHARDS: usize = 8;
+
+/// Productive steps between fleet snapshot publications on the
+/// collector's `telemetry.mdt<i>` topic.
+const FLEET_SNAPSHOT_STEPS: u64 = 16;
+
+/// The per-collector mirror registry behind fleet aggregation. Every
+/// in-process collector shares the *global* registry (per-MDT labels
+/// keep series apart, but a snapshot of it covers all of them), so the
+/// fleet view is built from private registries instead: each collector
+/// mirrors its own throughput counters here and periodically publishes
+/// a JSON snapshot on `telemetry.mdt<i>` — exactly what a collector on
+/// a remote MDS would put on the wire. The aggregator folds these with
+/// [`fsmon_telemetry::Snapshot::merge_fleet`].
+struct FleetMirror {
+    registry: fsmon_telemetry::Registry,
+    records: Arc<fsmon_telemetry::Counter>,
+    events: Arc<fsmon_telemetry::Counter>,
+    traces: Arc<fsmon_telemetry::Counter>,
+    backlog: Arc<fsmon_telemetry::Gauge>,
+    topic: Vec<u8>,
+    steps: u64,
+}
+
+impl FleetMirror {
+    fn new(mdt_index: u16) -> FleetMirror {
+        let registry = fsmon_telemetry::Registry::new();
+        let scope = registry
+            .scope("fsmon")
+            .scope("collector")
+            .with_label("mdt", mdt_index.to_string());
+        FleetMirror {
+            records: scope.counter("records_total"),
+            events: scope.counter("events_total"),
+            traces: scope.counter("traces_total"),
+            backlog: scope.gauge("backlog"),
+            topic: format!("telemetry.mdt{mdt_index}").into_bytes(),
+            steps: 0,
+            registry,
+        }
+    }
+
+    fn snapshot_json(&self) -> String {
+        fsmon_telemetry::export::render_json(&self.registry.snapshot())
+    }
+}
 
 /// The thread-safe resolution core shared between the collector and
 /// its worker pool: Algorithm 1's `processEvent` with all mutable
@@ -154,6 +201,11 @@ pub struct Collector {
     batch_size: usize,
     publisher: Option<PubSocket>,
     topic: Vec<u8>,
+    /// Sampled per-event tracing; disabled by default.
+    tracer: Tracer,
+    /// Private registry mirrored to `telemetry.mdt<i>` for the fleet
+    /// view.
+    fleet: FleetMirror,
     stats: CollectorStats,
     /// Reusable frame buffer for batch encoding (capacity persists
     /// across steps; frames are frozen out by refcounted copy).
@@ -207,6 +259,7 @@ impl Collector {
             t_fid2path_retries: scope.counter("fid2path_retries_total"),
             t_resolve_ns: fid2path_scope.histogram("resolve_ns"),
         };
+        let fleet = FleetMirror::new(mdt.index());
         Collector {
             mdt,
             user,
@@ -217,6 +270,8 @@ impl Collector {
             batch_size,
             publisher,
             topic,
+            tracer: Tracer::disabled(),
+            fleet,
             stats: CollectorStats::default(),
             enc_buf: bytes::BytesMut::new(),
             t_records: scope.counter("records_total"),
@@ -235,6 +290,15 @@ impl Collector {
         Arc::get_mut(&mut self.resolver)
             .expect("set retry before the collector starts stepping")
             .retry = retry;
+        self
+    }
+
+    /// Stamp sampled events with per-stage trace timestamps using
+    /// `tracer`'s shared clock and sampling policy. Traces ride as an
+    /// extra message part behind the batch meta; untraced batches (and
+    /// a disabled tracer) add zero bytes to the wire.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Collector {
+        self.tracer = tracer;
         self
     }
 
@@ -333,6 +397,7 @@ impl Collector {
                 return Vec::new();
             }
         }
+        let tracing = self.tracer.enabled() && self.publisher.is_some();
         let t_read = std::time::Instant::now();
         let records = match self
             .mdt
@@ -360,7 +425,23 @@ impl Collector {
         // yields two events for one record), so the aggregator can drop
         // exactly the re-published events when a restarted collector's
         // batch straddles its dedup highwater.
+        let read_ns = if tracing { self.tracer.now_ns() } else { 0 };
         let (events, event_indices) = self.resolve_batch(records);
+        // Sample traces by batch position: each sampled event gets a
+        // record stamped with the read and resolve stage completions
+        // (batch-granular — the stages run per batch, not per event).
+        let mut traces: Vec<TraceRecord> = Vec::new();
+        if tracing {
+            let resolve_ns = self.tracer.now_ns();
+            for pos in 0..events.len() {
+                if self.tracer.sample() {
+                    let mut rec = TraceRecord::new(pos as u32, self.mdt.index());
+                    rec.stamp(TraceStage::Read, read_ns);
+                    rec.stamp(TraceStage::Resolve, resolve_ns);
+                    traces.push(rec);
+                }
+            }
+        }
         self.stats.records += n_records as u64;
         self.t_records.add(n_records as u64);
         self.t_events.add(events.len() as u64);
@@ -395,14 +476,49 @@ impl Collector {
             for idx in &event_indices {
                 meta.extend_from_slice(&idx.to_be_bytes());
             }
-            let msg = Message::from_parts(vec![
+            let mut parts = vec![
                 bytes::Bytes::from(self.topic.clone()),
                 payload,
                 bytes::Bytes::from(meta),
-            ]);
-            let _ = publisher.send(msg);
+            ];
+            if !traces.is_empty() {
+                // Stamp the publish stage and attach the traces as a
+                // fourth frame: a TLV section so future meta can ride
+                // alongside without a wire version bump.
+                let publish_ns = self.tracer.now_ns();
+                for rec in &mut traces {
+                    rec.stamp(TraceStage::Publish, publish_ns);
+                }
+                self.fleet.traces.add(traces.len() as u64);
+                parts.push(encode_tlv(TLV_TRACE, &TraceRecord::encode_all(&traces)));
+            }
+            let _ = publisher.send(Message::from_parts(parts));
+            // Fleet view upkeep: mirror this batch into the private
+            // registry and periodically publish the snapshot.
+            self.fleet.records.add(n_records as u64);
+            self.fleet.events.add(events.len() as u64);
+            self.fleet.backlog.set(self.mdt.backlog(self.user) as i64);
+            self.fleet.steps += 1;
+            if self.fleet.steps.is_multiple_of(FLEET_SNAPSHOT_STEPS) {
+                self.publish_fleet_snapshot();
+            }
         }
         events
+    }
+
+    /// Publish this collector's private registry snapshot on its
+    /// `telemetry.mdt<i>` topic (no-op without a publisher). Called
+    /// automatically every [`FLEET_SNAPSHOT_STEPS`] productive steps;
+    /// callers may force one (e.g. on shutdown) so the fleet view ends
+    /// current.
+    pub fn publish_fleet_snapshot(&self) {
+        if let Some(publisher) = &self.publisher {
+            let json = self.fleet.snapshot_json();
+            let _ = publisher.send(Message::from_parts(vec![
+                bytes::Bytes::from(self.fleet.topic.clone()),
+                bytes::Bytes::from(json.into_bytes()),
+            ]));
+        }
     }
 
     /// Resolve a batch of records into ordered events. With more than

@@ -8,10 +8,12 @@
 //! directories" (§IV Consumption).
 
 use fsmon_core::EventFilter;
+use fsmon_events::wire::{find_tlv, TLV_TRACE};
 use fsmon_events::{decode_event_batch, EventId, StandardEvent};
 use fsmon_faults::Retry;
-use fsmon_mq::{Context, SubSocket};
+use fsmon_mq::{Context, Message, SubSocket};
 use fsmon_store::EventStore;
+use fsmon_telemetry::{trace, TraceRecord, TraceStage, Tracer};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +43,10 @@ pub struct Consumer {
     /// Ids known missing (seen a later id live, not yet healed).
     missing: Mutex<BTreeSet<EventId>>,
     retry: Retry,
+    /// Stamps the deliver stage on arriving trace records and folds
+    /// completed traces into the latency histograms. Disabled unless
+    /// set by [`connect_traced`](Consumer::connect_traced).
+    tracer: Tracer,
     /// Events accepted by the filter.
     accepted: AtomicU64,
     /// Events discarded by the filter.
@@ -85,6 +91,22 @@ impl Consumer {
         store: Option<Arc<dyn EventStore>>,
         name: &str,
     ) -> Result<Consumer, fsmon_mq::MqError> {
+        Self::connect_traced(ctx, endpoint, filter, store, name, Tracer::disabled())
+    }
+
+    /// [`connect_named`](Consumer::connect_named) with a [`Tracer`]:
+    /// trace records arriving behind event frames get their deliver
+    /// stage stamped with the tracer's clock, completing the end-to-end
+    /// trace, and are folded into the per-stage/per-MDT latency
+    /// histograms (and the worst-case exemplar).
+    pub fn connect_traced(
+        ctx: &Context,
+        endpoint: &str,
+        filter: EventFilter,
+        store: Option<Arc<dyn EventStore>>,
+        name: &str,
+        tracer: Tracer,
+    ) -> Result<Consumer, fsmon_mq::MqError> {
         let sub = ctx.subscriber();
         sub.connect(endpoint)?;
         sub.subscribe(b"events");
@@ -101,6 +123,7 @@ impl Consumer {
             pending: Mutex::new(VecDeque::new()),
             missing: Mutex::new(BTreeSet::new()),
             retry: Retry::fast(),
+            tracer,
             accepted: AtomicU64::new(0),
             filtered_out: AtomicU64::new(0),
             last_seen: AtomicU64::new(0),
@@ -149,6 +172,38 @@ impl Consumer {
     fn ingest(&self, events: Vec<StandardEvent>) {
         for ev in events {
             self.ingest_live(ev);
+        }
+    }
+
+    /// Decode one live frame into the pending queue, completing any
+    /// trace records riding behind it.
+    fn ingest_frame(&self, msg: &Message) {
+        if let Some(payload) = msg.part_bytes(1) {
+            if let Ok(events) = decode_event_batch(&payload) {
+                self.fold_traces(msg.part(2));
+                self.ingest(events);
+            }
+        }
+    }
+
+    /// Terminal trace stage: stamp `deliver` on each record arriving in
+    /// the frame's trace part and fold the completed trace into the
+    /// per-stage/per-MDT latency histograms and the exemplar. Requires
+    /// a tracer (its clock must match the stamps upstream stages used).
+    fn fold_traces(&self, frame: Option<&[u8]>) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let Some(records) = frame
+            .and_then(|f| find_tlv(f, TLV_TRACE).ok().flatten())
+            .and_then(TraceRecord::decode_all)
+        else {
+            return;
+        };
+        let deliver_ns = self.tracer.now_ns();
+        for mut rec in records {
+            rec.stamp(TraceStage::Deliver, deliver_ns);
+            trace::fold_delivered(&rec);
         }
     }
 
@@ -322,19 +377,11 @@ impl Consumer {
                 }
             };
             let Some(msg) = msg else { return };
-            if let Some(payload) = msg.part_bytes(1) {
-                if let Ok(events) = decode_event_batch(&payload) {
-                    self.ingest(events);
-                }
-            }
+            self.ingest_frame(&msg);
             if !self.pending.lock().is_empty() {
                 // Sweep whatever else is already queued, then hand back.
                 while let Some(extra) = self.sub.try_recv() {
-                    if let Some(payload) = extra.part_bytes(1) {
-                        if let Ok(events) = decode_event_batch(&payload) {
-                            self.ingest(events);
-                        }
-                    }
+                    self.ingest_frame(&extra);
                 }
                 return;
             }

@@ -15,6 +15,7 @@
 //! ```
 
 use fsmon_events::{decode_event_batch, encode_event_batch, EventId, StandardEvent};
+use fsmon_faults::{FaultPoint, Faults};
 use fsmon_mq::{Context, Message, MqError, ReqSocket};
 use fsmon_store::EventStore;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,6 +54,19 @@ impl HistoryService {
         endpoint: &str,
         store: Arc<dyn EventStore>,
     ) -> Result<HistoryService, MqError> {
+        Self::start_with_faults(ctx, endpoint, store, Faults::none())
+    }
+
+    /// Like [`HistoryService::start`], consulting `faults` at the
+    /// [`FaultPoint::HistoryRequest`] site: an injected fault fails the
+    /// request with an error reply, which the client's retry loop must
+    /// absorb.
+    pub fn start_with_faults(
+        ctx: &Context,
+        endpoint: &str,
+        store: Arc<dyn EventStore>,
+        faults: Faults,
+    ) -> Result<HistoryService, MqError> {
         let rep = ctx.replier();
         rep.bind(endpoint)?;
         let endpoint_actual = match rep.local_addr() {
@@ -73,7 +87,7 @@ impl HistoryService {
                     let Ok(incoming) = rep.recv_timeout(Duration::from_millis(50)) else {
                         continue;
                     };
-                    let reply = Self::handle(&store, &incoming.request, &shared_t);
+                    let reply = Self::handle(&store, &incoming.request, &shared_t, &faults);
                     let _ = incoming.reply(reply);
                 }
             })
@@ -85,11 +99,19 @@ impl HistoryService {
         })
     }
 
-    fn handle(store: &Arc<dyn EventStore>, request: &Message, shared: &Shared) -> Message {
+    fn handle(
+        store: &Arc<dyn EventStore>,
+        request: &Message,
+        shared: &Shared,
+        faults: &Faults,
+    ) -> Message {
         let error = |msg: &str| {
             shared.errors.fetch_add(1, Ordering::Relaxed);
             Message::from_parts(vec![b"error".to_vec(), msg.as_bytes().to_vec()])
         };
+        if faults.inject_or_delay(FaultPoint::HistoryRequest) {
+            return error("injected: history service unavailable");
+        }
         match request.part(0) {
             Some(b"replay") => {
                 let (Some(since_raw), Some(max_raw)) = (request.part(1), request.part(2)) else {
@@ -204,6 +226,18 @@ impl HistoryClient {
         }
     }
 
+    /// Like [`HistoryClient::replay_since`], retrying error replies
+    /// and timeouts under `retry` — the client-side healing path for
+    /// injected [`FaultPoint::HistoryRequest`] failures.
+    pub fn replay_since_retry(
+        &self,
+        since: EventId,
+        max: u32,
+        retry: &fsmon_faults::Retry,
+    ) -> Result<Vec<StandardEvent>, MqError> {
+        retry.run(|_| self.replay_since(since, max))
+    }
+
     /// Flag events up to `up_to` as reported.
     pub fn ack(&self, up_to: EventId) -> Result<(), MqError> {
         let request = Message::from_parts(vec![b"ack".to_vec(), up_to.to_be_bytes().to_vec()]);
@@ -292,6 +326,42 @@ mod tests {
         let client = HistoryClient::connect(&ctx, svc.endpoint()).unwrap();
         let events = client.replay_since(0, 10).unwrap();
         assert_eq!(events.len(), 1);
+        svc.stop();
+    }
+
+    #[test]
+    fn injected_faults_fail_requests_and_retry_heals() {
+        use fsmon_faults::{FaultPlan, FaultRule, Retry};
+        let ctx = Context::new();
+        let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
+        for i in 0..5 {
+            store
+                .append(&StandardEvent::new(
+                    EventKind::Create,
+                    "/r",
+                    format!("f{i}"),
+                ))
+                .unwrap();
+        }
+        // Every request fails until the 4-injection budget runs dry.
+        let faults = FaultPlan::new(7)
+            .with(
+                FaultPoint::HistoryRequest,
+                FaultRule::per_10k(10_000).limit(4),
+            )
+            .arm();
+        let svc = HistoryService::start_with_faults(&ctx, "inproc://history-faulty", store, faults)
+            .unwrap();
+        let client = HistoryClient::connect(&ctx, "inproc://history-faulty").unwrap();
+        assert!(
+            client.replay_since(0, 100).is_err(),
+            "first request hits the injected fault"
+        );
+        let events = client
+            .replay_since_retry(0, 100, &Retry::fast())
+            .expect("retry outlasts the injection budget");
+        assert_eq!(events.len(), 5);
+        assert!(svc.stats().errors >= 1);
         svc.stop();
     }
 

@@ -74,6 +74,19 @@ pub struct ScalableConfig {
     /// Aggregator publish-side worker lanes (decode/dedup/encode fan
     /// out by collector topic; the single sequencer keeps ids dense).
     pub publish_lanes: usize,
+    /// Trace sampling rate: this many events out of every 10 000 carry
+    /// an end-to-end trace record through the pipeline (0 disables
+    /// tracing entirely — untraced runs pay zero wire bytes). Stamps
+    /// come from the simulated Lustre clock, so traces are
+    /// deterministic under a seeded chaos run.
+    pub trace_sample_per_10k: u32,
+    /// Clock the tracer stamps stages with. `None` (the default) uses
+    /// the simulated Lustre clock, which only advances with workload
+    /// operations — right for deterministic chaos traces, wrong for a
+    /// saturated drain of a pre-built backlog where no operations run.
+    /// Benches that need real queue-delay latencies supply a wall
+    /// clock here.
+    pub trace_clock: Option<fsmon_telemetry::ClockFn>,
 }
 
 impl Default for ScalableConfig {
@@ -91,6 +104,8 @@ impl Default for ScalableConfig {
             retry: Retry::fast(),
             resolver_threads: 4,
             publish_lanes: 2,
+            trace_sample_per_10k: 0,
+            trace_clock: None,
         }
     }
 }
@@ -124,6 +139,7 @@ pub struct ScalableMonitor {
     collector_busy_ns: Vec<Arc<AtomicU64>>,
     history: crate::history::HistoryService,
     collector_restarts: Arc<AtomicU64>,
+    tracer: fsmon_telemetry::Tracer,
 }
 
 /// Everything one collector lane thread needs; bundled so the
@@ -199,6 +215,19 @@ impl ScalableMonitor {
         // the plane (a no-op unless the plan armed those points).
         fs.arm_faults(config.faults.clone());
 
+        // The pipeline tracer stamps stages with the *simulated* clock:
+        // under a seeded chaos run the whole workload (and therefore
+        // every clock advance) is deterministic, so traces are too.
+        let tracer = if config.trace_sample_per_10k > 0 {
+            let clock = config.trace_clock.clone().unwrap_or_else(|| {
+                let clock_fs = fs.clone();
+                Arc::new(move || clock_fs.clock().now_ns())
+            });
+            fsmon_telemetry::Tracer::new(config.trace_sample_per_10k, clock)
+        } else {
+            fsmon_telemetry::Tracer::disabled()
+        };
+
         // Persisted cursors: resume collectors where the previous
         // incarnation stopped.
         let cursors = match &config.cursor_file {
@@ -246,7 +275,8 @@ impl ScalableMonitor {
             collectors.push(Arc::new(Mutex::new(
                 collector
                     .with_retry(config.retry)
-                    .with_resolver_threads(config.resolver_threads),
+                    .with_resolver_threads(config.resolver_threads)
+                    .with_tracer(tracer.clone()),
             )));
         }
 
@@ -254,7 +284,7 @@ impl ScalableMonitor {
             Transport::Inproc => format!("inproc://fsmon-{run_id}-agg"),
             Transport::Tcp => "tcp://127.0.0.1:0".to_string(),
         };
-        let aggregator = Arc::new(Aggregator::start_tuned(
+        let aggregator = Arc::new(Aggregator::start_traced(
             &ctx,
             &collector_endpoints,
             &consumer_endpoint,
@@ -262,23 +292,32 @@ impl ScalableMonitor {
             config.faults.clone(),
             config.retry,
             config.publish_lanes,
+            tracer.clone(),
         )?);
-        // The MGS also serves the historic-events API over REQ/REP.
+        // The MGS also serves the historic-events API over REQ/REP,
+        // consulting the same fault plane (injected request failures
+        // exercise the client-side retry path).
         let history_endpoint = match config.transport {
             Transport::Inproc => format!("inproc://fsmon-{run_id}-history"),
             Transport::Tcp => "tcp://127.0.0.1:0".to_string(),
         };
-        let history =
-            crate::history::HistoryService::start(&ctx, &history_endpoint, store.clone())?;
+        let history = crate::history::HistoryService::start_with_faults(
+            &ctx,
+            &history_endpoint,
+            store.clone(),
+            config.faults.clone(),
+        )?;
         // Give TCP subscriptions a beat to register publisher-side.
         if config.transport == Transport::Tcp {
             std::thread::sleep(Duration::from_millis(100));
         }
-        let consumer = Arc::new(Consumer::connect(
+        let consumer = Arc::new(Consumer::connect_traced(
             &ctx,
             aggregator.consumer_endpoint(),
             EventFilter::all(),
             Some(store),
+            "main",
+            tracer.clone(),
         )?);
         if config.transport == Transport::Tcp {
             std::thread::sleep(Duration::from_millis(100));
@@ -357,6 +396,7 @@ impl ScalableMonitor {
             let ctx = ctx.clone();
             let restarts = collector_restarts.clone();
             let config = config.clone();
+            let tracer = tracer.clone();
             let handle = std::thread::Builder::new()
                 .name("fsmon-supervisor".into())
                 .spawn(move || {
@@ -407,7 +447,8 @@ impl ScalableMonitor {
                                 cursor,
                             )
                             .with_retry(config.retry)
-                            .with_resolver_threads(config.resolver_threads);
+                            .with_resolver_threads(config.resolver_threads)
+                            .with_tracer(tracer.clone());
                             let dead = std::mem::replace(&mut *collectors[i].lock(), fresh);
                             dead.shutdown();
                             restarts.fetch_add(1, Ordering::Relaxed);
@@ -447,6 +488,7 @@ impl ScalableMonitor {
             collector_busy_ns,
             history,
             collector_restarts,
+            tracer,
         })
     }
 
@@ -473,13 +515,42 @@ impl ScalableMonitor {
         filter: EventFilter,
         name: &str,
     ) -> Result<Consumer, fsmon_mq::MqError> {
-        Consumer::connect_named(
+        Consumer::connect_traced(
             &self.ctx,
             self.aggregator.consumer_endpoint(),
             filter,
             Some(self.aggregator.store().clone()),
             name,
+            self.tracer.clone(),
         )
+    }
+
+    /// The pipeline's shared tracer (disabled unless
+    /// [`ScalableConfig::trace_sample_per_10k`] is set).
+    pub fn tracer(&self) -> &fsmon_telemetry::Tracer {
+        &self.tracer
+    }
+
+    /// The fleet view: collector registry snapshots merged across MDTs
+    /// (counters/histograms add, gauges last-write). Collectors publish
+    /// a snapshot every few dozen batches; call
+    /// [`publish_fleet_snapshots`](ScalableMonitor::publish_fleet_snapshots)
+    /// first for an up-to-the-moment view.
+    pub fn fleet_snapshot(&self) -> fsmon_telemetry::Snapshot {
+        self.aggregator.fleet_snapshot()
+    }
+
+    /// Sources (collector telemetry topics) seen in the fleet view.
+    pub fn fleet_sources(&self) -> Vec<String> {
+        self.aggregator.fleet_sources()
+    }
+
+    /// Force every collector to publish its fleet registry snapshot
+    /// now (they otherwise publish every few dozen productive steps).
+    pub fn publish_fleet_snapshots(&self) {
+        for c in &self.collectors {
+            c.lock().publish_fleet_snapshot();
+        }
     }
 
     /// Aggregator counters.
@@ -810,6 +881,64 @@ mod tests {
         assert_eq!(ids.len() as u64, n, "no loss, no duplicates");
         assert_eq!(*ids.last().unwrap(), n, "ids stay dense across restarts");
         assert_eq!(monitor.consumer().recovery_stats().duplicates_dropped, 0);
+        monitor.stop();
+    }
+
+    #[test]
+    fn tracing_flows_end_to_end_and_fleet_view_merges() {
+        let fs = LustreFs::new(LustreConfig::small_dne(2));
+        let monitor = ScalableMonitor::start(
+            &fs,
+            ScalableConfig {
+                trace_sample_per_10k: 10_000, // trace everything
+                ..ScalableConfig::default()
+            },
+        )
+        .unwrap();
+        let client = fs.client();
+        let n = 200u64;
+        for i in 0..n {
+            client.mkdir(&format!("/dir{i}")).unwrap();
+        }
+        assert!(monitor.wait_events(n, Duration::from_secs(10)));
+        // Drain the consumer: delivery is the terminal trace stage.
+        let mut got = 0usize;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got < n as usize && std::time::Instant::now() < deadline {
+            got += monitor
+                .consumer()
+                .recv_batch(4096, Duration::from_millis(200))
+                .len();
+        }
+        assert_eq!(got, n as usize);
+        // Completed traces landed in the per-stage histograms and the
+        // worst-case exemplar identifies its producing MDT.
+        let snap = fsmon_telemetry::global().snapshot();
+        assert!(snap.counter("fsmon_trace_records_total") > 0);
+        let exemplar = fsmon_telemetry::trace::exemplar().expect("exemplar recorded");
+        assert!(exemplar.event_id >= 1);
+        assert!(exemplar.mdt < 2);
+        // The fleet view: force snapshots out and merge across MDTs.
+        monitor.publish_fleet_snapshots();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut fleet = monitor.fleet_snapshot();
+        while fleet.counter("fsmon_collector_events_total") < n
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(20));
+            monitor.publish_fleet_snapshots();
+            fleet = monitor.fleet_snapshot();
+        }
+        assert_eq!(
+            fleet.counter("fsmon_collector_events_total"),
+            n,
+            "fleet merge sums per-MDT counters exactly"
+        );
+        assert!(
+            monitor.fleet_sources().len() >= 2,
+            "both MDTs contributed snapshots: {:?}",
+            monitor.fleet_sources()
+        );
         monitor.stop();
     }
 

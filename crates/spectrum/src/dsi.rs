@@ -4,6 +4,7 @@ use crate::audit::AuditEvent;
 use crate::cluster::{SpectrumCluster, AUDIT_TOPIC};
 use fsmon_core::dsi::{DsiError, RawEvent, StorageInterface};
 use fsmon_events::MonitorSource;
+use fsmon_faults::{FaultPoint, Faults};
 use fsmon_mq::{MqError, SubSocket};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,6 +16,9 @@ pub struct SpectrumDsi {
     /// Records that failed to parse (malformed queue traffic is
     /// counted, never fatal).
     parse_errors: AtomicU64,
+    /// Injected scan failures absorbed so far.
+    scan_faults: AtomicU64,
+    faults: Faults,
 }
 
 impl SpectrumDsi {
@@ -24,6 +28,18 @@ impl SpectrumDsi {
         cluster: &Arc<SpectrumCluster>,
         watch_root: impl Into<String>,
     ) -> Result<SpectrumDsi, MqError> {
+        Self::connect_with_faults(cluster, watch_root, Faults::none())
+    }
+
+    /// Like [`SpectrumDsi::connect`], consulting `faults` at the
+    /// [`FaultPoint::SpectrumScan`] site: an injected fault makes one
+    /// `poll` come back empty, leaving the queued audit records in
+    /// place for the next poll — a transient scan failure with no loss.
+    pub fn connect_with_faults(
+        cluster: &Arc<SpectrumCluster>,
+        watch_root: impl Into<String>,
+        faults: Faults,
+    ) -> Result<SpectrumDsi, MqError> {
         let sub = cluster.mq_context().subscriber();
         sub.connect(cluster.audit_endpoint())?;
         sub.subscribe(AUDIT_TOPIC);
@@ -31,12 +47,19 @@ impl SpectrumDsi {
             sub,
             watch_root: watch_root.into(),
             parse_errors: AtomicU64::new(0),
+            scan_faults: AtomicU64::new(0),
+            faults,
         })
     }
 
     /// Malformed audit records seen so far.
     pub fn parse_errors(&self) -> u64 {
         self.parse_errors.load(Ordering::Relaxed)
+    }
+
+    /// Injected scan failures absorbed so far.
+    pub fn scan_faults(&self) -> u64 {
+        self.scan_faults.load(Ordering::Relaxed)
     }
 }
 
@@ -58,6 +81,12 @@ impl StorageInterface for SpectrumDsi {
     }
 
     fn poll(&mut self, max: usize) -> Vec<RawEvent> {
+        if self.faults.inject_or_delay(FaultPoint::SpectrumScan) {
+            // Transient: records stay queued on the subscriber and the
+            // next poll drains them.
+            self.scan_faults.fetch_add(1, Ordering::Relaxed);
+            return Vec::new();
+        }
         let mut out = Vec::new();
         while out.len() < max {
             let Some(msg) = self.sub.try_recv() else {
@@ -157,6 +186,30 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(dsi.parse_errors(), 0);
         let _ = Message::single(b"x".to_vec()); // keep import used
+    }
+
+    #[test]
+    fn injected_scan_faults_lose_nothing() {
+        use fsmon_faults::{FaultPlan, FaultRule};
+        let cluster = SpectrumCluster::new("fs0", 1);
+        let faults = FaultPlan::new(7)
+            .with(
+                fsmon_faults::FaultPoint::SpectrumScan,
+                FaultRule::per_10k(10_000).limit(3),
+            )
+            .arm();
+        let mut dsi = SpectrumDsi::connect_with_faults(&cluster, "/gpfs/fs0", faults).unwrap();
+        let node = cluster.node_client(0);
+        node.create("/a");
+        node.create("/b");
+        // The first three polls hit the injection budget and come back
+        // empty; the records stay queued and the fourth drains them.
+        let mut got = Vec::new();
+        for _ in 0..8 {
+            got.extend(dsi.poll(16));
+        }
+        assert_eq!(got.len(), 2, "no audit record lost to scan faults");
+        assert_eq!(dsi.scan_faults(), 3);
     }
 
     #[test]

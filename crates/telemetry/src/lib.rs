@@ -47,8 +47,10 @@ pub mod metrics;
 pub mod registry;
 pub mod reporter;
 pub mod snapshot;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer};
 pub use registry::{global, root, MetricId, Registry, Scope};
 pub use reporter::Reporter;
 pub use snapshot::{MetricValue, Snapshot};
+pub use trace::{ClockFn, TraceRecord, TraceStage, Tracer, TRACE_RECORD_BYTES, TRACE_STAGES};

@@ -48,6 +48,31 @@ impl Snapshot {
         }
     }
 
+    /// Fleet merge: fold another *process's* snapshot into this
+    /// fleet-wide view. Counters and histograms add as in [`merge`],
+    /// but gauges take the incoming value (last-write): a fleet gauge
+    /// is the most recent reading of an instantaneous quantity, not a
+    /// sum of readings.
+    ///
+    /// [`merge`]: Snapshot::merge
+    pub fn merge_fleet(&mut self, other: &Snapshot) {
+        for (id, value) in &other.metrics {
+            match self.metrics.get_mut(id) {
+                None => {
+                    self.metrics.insert(id.clone(), value.clone());
+                }
+                Some(mine) => match (mine, value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = *b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    (mine, _) => {
+                        panic!("fleet merge type mismatch on {id}: {mine:?} vs {value:?}")
+                    }
+                },
+            }
+        }
+    }
+
     /// The change since `earlier`: counters and histograms subtract
     /// (saturating), gauges keep their current value. Metrics absent
     /// from `earlier` appear whole.
@@ -162,6 +187,21 @@ mod tests {
         let d = after.delta_from(&before);
         assert_eq!(d.counter("c"), 15);
         assert_eq!(d.gauge("g"), Some(2));
+    }
+
+    #[test]
+    fn fleet_merge_sums_counters_but_last_writes_gauges() {
+        let mut fleet = counter_snap("c", 3);
+        fleet
+            .metrics
+            .insert(MetricId::new("g", vec![]), MetricValue::Gauge(5));
+        let mut incoming = counter_snap("c", 4);
+        incoming
+            .metrics
+            .insert(MetricId::new("g", vec![]), MetricValue::Gauge(-2));
+        fleet.merge_fleet(&incoming);
+        assert_eq!(fleet.counter("c"), 7);
+        assert_eq!(fleet.gauge("g"), Some(-2), "gauge takes the incoming value");
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! Sampled per-event trace records with per-stage latency attribution.
+//!
+//! A [`TraceRecord`] rides next to its event batch on the wire (an
+//! opaque TLV section in batch meta, see `fsmon-events::wire`) and
+//! collects one monotonic timestamp per pipeline stage: changelog read
+//! → fid2path resolve → collector publish → aggregator ingest →
+//! sequence stamp → store commit → consumer deliver. Untraced batches
+//! carry no section at all, so the default configuration pays zero
+//! wire bytes and zero hot-path work beyond one atomic add in the
+//! sampler.
+//!
+//! Completed traces fold into per-stage, per-MDT log-bucketed
+//! histograms (`fsmon_trace_stage_ns{stage=…,mdt=…}`) plus an
+//! end-to-end distribution (`fsmon_trace_e2e_ns{mdt=…}`), and the
+//! worst end-to-end trace is kept as the process *exemplar* — the
+//! concrete event id, MDT, and stage breakdown behind the p99 — so
+//! `fsmon stats` can answer "which MDT produced the tail".
+//!
+//! Timestamps come from a pluggable [`ClockFn`]: wall clock by
+//! default, the simulated Lustre clock under seeded chaos runs so
+//! trace output is deterministic for a given seed.
+
+use crate::registry::root;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of traced pipeline stages.
+pub const TRACE_STAGES: usize = 7;
+
+/// A pipeline stage a trace timestamp can be stamped at, in pipeline
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceStage {
+    /// Changelog batch read completed on the collector.
+    Read = 0,
+    /// `fid2path` resolution of the batch completed.
+    Resolve = 1,
+    /// The collector published the batch to the aggregator.
+    Publish = 2,
+    /// An aggregator worker lane decoded (ingested) the batch.
+    Ingest = 3,
+    /// The sequencer stamped the event's dense global id.
+    Sequence = 4,
+    /// The store lane committed the event durably.
+    StoreCommit = 5,
+    /// A consumer delivered the event.
+    Deliver = 6,
+}
+
+impl TraceStage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [TraceStage; TRACE_STAGES] = [
+        TraceStage::Read,
+        TraceStage::Resolve,
+        TraceStage::Publish,
+        TraceStage::Ingest,
+        TraceStage::Sequence,
+        TraceStage::StoreCommit,
+        TraceStage::Deliver,
+    ];
+
+    /// Stable label used in metric label sets.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStage::Read => "read",
+            TraceStage::Resolve => "resolve",
+            TraceStage::Publish => "publish",
+            TraceStage::Ingest => "ingest",
+            TraceStage::Sequence => "sequence",
+            TraceStage::StoreCommit => "store_commit",
+            TraceStage::Deliver => "deliver",
+        }
+    }
+}
+
+/// Encoded size of one [`TraceRecord`]: `u32 pos | u16 mdt | u64 id |
+/// 7 × u64 stamp`.
+pub const TRACE_RECORD_BYTES: usize = 4 + 2 + 8 + 8 * TRACE_STAGES;
+
+/// One sampled event's trace: where it sits in its batch, which MDT
+/// produced it, its (eventually sequencer-stamped) global id, and one
+/// nanosecond timestamp per stage (0 = not stamped yet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Event position within its batch frame. Dedup trims remap it via
+    /// [`retain_traces`] so it always indexes the *current* batch.
+    pub pos: u32,
+    /// Producing MDT.
+    pub mdt: u16,
+    /// Dense global event id; 0 until the sequencer stamps it.
+    pub event_id: u64,
+    /// Per-stage timestamps in nanoseconds (clock-relative), 0 when
+    /// the stage has not run yet.
+    pub stamps: [u64; TRACE_STAGES],
+}
+
+impl TraceRecord {
+    /// A fresh, unstamped record for the event at `pos` in its batch.
+    pub fn new(pos: u32, mdt: u16) -> TraceRecord {
+        TraceRecord {
+            pos,
+            mdt,
+            event_id: 0,
+            stamps: [0; TRACE_STAGES],
+        }
+    }
+
+    /// Stamp `stage` with `now_ns` (idempotent: first stamp wins).
+    pub fn stamp(&mut self, stage: TraceStage, now_ns: u64) {
+        let slot = &mut self.stamps[stage as usize];
+        if *slot == 0 {
+            *slot = now_ns.max(1);
+        }
+    }
+
+    /// The timestamp of the last stamped stage at or before `stage`,
+    /// if any stage has been stamped.
+    pub fn last_stamp_before(&self, stage: TraceStage) -> Option<u64> {
+        self.stamps[..stage as usize]
+            .iter()
+            .rev()
+            .copied()
+            .find(|&s| s != 0)
+    }
+
+    /// End-to-end duration: last stamped minus first stamped stage.
+    pub fn total_ns(&self) -> u64 {
+        let mut stamped = self.stamps.iter().copied().filter(|&s| s != 0);
+        let Some(first) = stamped.next() else {
+            return 0;
+        };
+        let last = stamped.next_back().unwrap_or(first);
+        last.saturating_sub(first)
+    }
+
+    /// Append the fixed-width encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.pos.to_be_bytes());
+        out.extend_from_slice(&self.mdt.to_be_bytes());
+        out.extend_from_slice(&self.event_id.to_be_bytes());
+        for s in &self.stamps {
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+    }
+
+    /// Decode one record from exactly [`TRACE_RECORD_BYTES`] bytes.
+    pub fn decode(raw: &[u8]) -> Option<TraceRecord> {
+        if raw.len() != TRACE_RECORD_BYTES {
+            return None;
+        }
+        let pos = u32::from_be_bytes(raw[0..4].try_into().ok()?);
+        let mdt = u16::from_be_bytes(raw[4..6].try_into().ok()?);
+        let event_id = u64::from_be_bytes(raw[6..14].try_into().ok()?);
+        let mut stamps = [0u64; TRACE_STAGES];
+        for (i, s) in stamps.iter_mut().enumerate() {
+            let at = 14 + 8 * i;
+            *s = u64::from_be_bytes(raw[at..at + 8].try_into().ok()?);
+        }
+        Some(TraceRecord {
+            pos,
+            mdt,
+            event_id,
+            stamps,
+        })
+    }
+
+    /// Encode a slice of records back-to-back.
+    pub fn encode_all(records: &[TraceRecord]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(records.len() * TRACE_RECORD_BYTES);
+        for r in records {
+            r.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decode a back-to-back encoding; `None` on any framing error.
+    pub fn decode_all(raw: &[u8]) -> Option<Vec<TraceRecord>> {
+        if !raw.len().is_multiple_of(TRACE_RECORD_BYTES) {
+            return None;
+        }
+        raw.chunks(TRACE_RECORD_BYTES)
+            .map(TraceRecord::decode)
+            .collect()
+    }
+}
+
+/// Remap trace records after their batch was trimmed: `kept[i]` is the
+/// *original* position of the event now at position `i`. Records whose
+/// event was trimmed are dropped; survivors get `pos` rewritten so
+/// they keep indexing their event.
+pub fn retain_traces(records: &mut Vec<TraceRecord>, kept: &[u32]) {
+    records.retain_mut(|rec| match kept.iter().position(|&k| k == rec.pos) {
+        Some(new_pos) => {
+            rec.pos = new_pos as u32;
+            true
+        }
+        None => false,
+    });
+}
+
+/// A pluggable monotonic nanosecond clock shared by every stage that
+/// stamps traces.
+pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Wall clock: nanoseconds since a process-wide epoch taken on first
+/// use, so stamps from different threads are directly comparable.
+pub fn wall_clock() -> ClockFn {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(std::time::Instant::now);
+    Arc::new(move || epoch.elapsed().as_nanos() as u64)
+}
+
+/// The sampling + clock policy one pipeline shares. Cheap to clone;
+/// clones share the sampler state so the sampling interval holds
+/// across collector lanes.
+#[derive(Clone)]
+pub struct Tracer {
+    clock: ClockFn,
+    per_10k: u32,
+    seen: Arc<AtomicU64>,
+}
+
+impl Tracer {
+    /// A tracer sampling `per_10k`/10000 of events, stamping with
+    /// `clock`. `per_10k == 0` disables tracing entirely.
+    pub fn new(per_10k: u32, clock: ClockFn) -> Tracer {
+        Tracer {
+            clock,
+            per_10k: per_10k.min(10_000),
+            seen: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The disabled tracer: samples nothing, costs nothing.
+    pub fn disabled() -> Tracer {
+        Tracer::new(0, Arc::new(|| 0))
+    }
+
+    /// A wall-clock tracer.
+    pub fn wall(per_10k: u32) -> Tracer {
+        Tracer::new(per_10k, wall_clock())
+    }
+
+    /// Whether any sampling can happen.
+    pub fn enabled(&self) -> bool {
+        self.per_10k > 0
+    }
+
+    /// Current clock reading.
+    pub fn now_ns(&self) -> u64 {
+        if self.per_10k == 0 {
+            return 0;
+        }
+        (self.clock)()
+    }
+
+    /// The shared clock, for stages that stamp records sampled
+    /// elsewhere.
+    pub fn clock(&self) -> ClockFn {
+        self.clock.clone()
+    }
+
+    /// Deterministic sampling decision for the next event: evenly
+    /// spaced, `per_10k` out of every 10 000 consultations fire.
+    pub fn sample(&self) -> bool {
+        if self.per_10k == 0 {
+            return false;
+        }
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        let rate = self.per_10k as u64;
+        (n * rate) / 10_000 != ((n + 1) * rate) / 10_000
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("per_10k", &self.per_10k)
+            .finish()
+    }
+}
+
+/// The worst end-to-end trace seen by this process: the concrete
+/// answer to "which MDT produced the p99".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Stamped global event id.
+    pub event_id: u64,
+    /// Producing MDT.
+    pub mdt: u16,
+    /// End-to-end duration.
+    pub total_ns: u64,
+    /// The full stage breakdown.
+    pub stamps: [u64; TRACE_STAGES],
+}
+
+fn exemplar_slot() -> &'static Mutex<Option<Exemplar>> {
+    static SLOT: OnceLock<Mutex<Option<Exemplar>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// The current process-wide exemplar, if any trace completed.
+pub fn exemplar() -> Option<Exemplar> {
+    exemplar_slot().lock().unwrap().clone()
+}
+
+/// Fold the duration ending at `stage` — the delta from the previous
+/// stamped stage — into `fsmon_trace_stage_ns{stage=…,mdt=…}`. No-op
+/// when either end of the interval is missing.
+pub fn fold_stage(rec: &TraceRecord, stage: TraceStage) {
+    let end = rec.stamps[stage as usize];
+    if end == 0 {
+        return;
+    }
+    let Some(start) = rec.last_stamp_before(stage) else {
+        return;
+    };
+    root()
+        .scope("trace")
+        .with_label("stage", stage.name())
+        .with_label("mdt", rec.mdt.to_string())
+        .histogram("stage_ns")
+        .record(end.saturating_sub(start));
+}
+
+/// Fold a trace at delivery: every stamped stage interval except
+/// [`TraceStage::StoreCommit`] (the store lane folds that one from its
+/// own copy), the end-to-end distribution per MDT, and the exemplar.
+pub fn fold_delivered(rec: &TraceRecord) {
+    let trace = root().scope("trace");
+    trace.counter("records_total").inc();
+    for stage in TraceStage::ALL {
+        if stage != TraceStage::Read && stage != TraceStage::StoreCommit {
+            fold_stage(rec, stage);
+        }
+    }
+    let total = rec.total_ns();
+    trace
+        .with_label("mdt", rec.mdt.to_string())
+        .histogram("e2e_ns")
+        .record(total);
+
+    let mut slot = exemplar_slot().lock().unwrap();
+    let worse = slot.as_ref().map(|e| total > e.total_ns).unwrap_or(true);
+    if worse {
+        *slot = Some(Exemplar {
+            event_id: rec.event_id,
+            mdt: rec.mdt,
+            total_ns: total,
+            stamps: rec.stamps,
+        });
+        // Mirror into plain gauges so the exemplar survives snapshot
+        // export/parse round trips.
+        trace
+            .gauge("exemplar_event_id")
+            .set(rec.event_id.min(i64::MAX as u64) as i64);
+        trace.gauge("exemplar_mdt").set(rec.mdt as i64);
+        trace
+            .gauge("exemplar_total_ns")
+            .set(total.min(i64::MAX as u64) as i64);
+        for stage in TraceStage::ALL {
+            let s = rec.stamps[stage as usize];
+            if s != 0 {
+                trace
+                    .with_label("stage", stage.name())
+                    .gauge("exemplar_stamp_ns")
+                    .set(s.min(i64::MAX as u64) as i64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrips() {
+        let mut rec = TraceRecord::new(3, 7);
+        rec.event_id = 42;
+        rec.stamp(TraceStage::Read, 100);
+        rec.stamp(TraceStage::Deliver, 900);
+        let raw = TraceRecord::encode_all(&[rec.clone()]);
+        assert_eq!(raw.len(), TRACE_RECORD_BYTES);
+        assert_eq!(TraceRecord::decode_all(&raw).unwrap(), vec![rec]);
+    }
+
+    #[test]
+    fn decode_rejects_bad_framing() {
+        assert!(TraceRecord::decode_all(&[0u8; TRACE_RECORD_BYTES - 1]).is_none());
+        assert!(TraceRecord::decode_all(&[0u8; TRACE_RECORD_BYTES + 1]).is_none());
+        assert_eq!(TraceRecord::decode_all(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn stamp_is_first_wins_and_never_zero() {
+        let mut rec = TraceRecord::new(0, 0);
+        rec.stamp(TraceStage::Read, 0);
+        assert_eq!(rec.stamps[0], 1, "zero clock readings still stamp");
+        rec.stamp(TraceStage::Read, 99);
+        assert_eq!(rec.stamps[0], 1, "first stamp wins");
+    }
+
+    #[test]
+    fn total_spans_first_to_last_stamped() {
+        let mut rec = TraceRecord::new(0, 0);
+        assert_eq!(rec.total_ns(), 0);
+        rec.stamp(TraceStage::Resolve, 200);
+        assert_eq!(rec.total_ns(), 0, "single stamp has no span");
+        rec.stamp(TraceStage::Sequence, 700);
+        assert_eq!(rec.total_ns(), 500);
+    }
+
+    #[test]
+    fn retain_remaps_positions() {
+        let mut records = vec![
+            TraceRecord::new(0, 0),
+            TraceRecord::new(2, 0),
+            TraceRecord::new(5, 0),
+        ];
+        // Events originally at 2,3,4,5 survive a head trim.
+        retain_traces(&mut records, &[2, 3, 4, 5]);
+        let pos: Vec<u32> = records.iter().map(|r| r.pos).collect();
+        assert_eq!(pos, vec![0, 3], "0 dropped; 2→0, 5→3");
+    }
+
+    #[test]
+    fn sampler_is_evenly_spaced_and_deterministic() {
+        let t = Tracer::new(100, Arc::new(|| 0)); // 1%
+        let hits: Vec<usize> = (0..500).filter(|_| t.sample()).map(|_| 0).collect();
+        assert_eq!(hits.len(), 5, "1% of 500");
+        let t2 = Tracer::new(10_000, Arc::new(|| 0));
+        assert!((0..100).all(|_| t2.sample()), "100% samples everything");
+        let off = Tracer::disabled();
+        assert!((0..100).all(|_| !off.sample()));
+        assert!(!off.enabled());
+    }
+
+    #[test]
+    fn fold_delivered_updates_histograms_and_exemplar() {
+        let before = crate::global().snapshot();
+        let mut rec = TraceRecord::new(0, 3);
+        rec.event_id = 77;
+        rec.stamp(TraceStage::Read, 1_000);
+        rec.stamp(TraceStage::Resolve, 3_000);
+        rec.stamp(TraceStage::Publish, 4_000);
+        rec.stamp(TraceStage::Ingest, 5_000);
+        rec.stamp(TraceStage::Sequence, 6_000);
+        rec.stamp(TraceStage::Deliver, 1_001_000);
+        fold_delivered(&rec);
+        let delta = crate::global().snapshot().delta_from(&before);
+        assert_eq!(delta.counter("fsmon_trace_records_total"), 1);
+        let e2e = delta.histogram("fsmon_trace_e2e_ns").unwrap();
+        assert_eq!(e2e.count(), 1);
+        assert_eq!(e2e.sum, 1_000_000);
+        let stage = delta.histogram("fsmon_trace_stage_ns").unwrap();
+        assert_eq!(stage.count(), 5, "resolve..sequence + deliver folded");
+        let ex = exemplar().expect("exemplar recorded");
+        assert_eq!(ex.mdt, 3);
+        assert!(ex.total_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn store_commit_folds_against_sequence_stamp() {
+        let before = crate::global().snapshot();
+        let mut rec = TraceRecord::new(0, 1);
+        rec.stamp(TraceStage::Sequence, 500);
+        rec.stamp(TraceStage::StoreCommit, 800);
+        fold_stage(&rec, TraceStage::StoreCommit);
+        let delta = crate::global().snapshot().delta_from(&before);
+        let h = delta.histogram("fsmon_trace_stage_ns").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum, 300);
+    }
+}

@@ -133,6 +133,78 @@ proptest! {
     }
 
     #[test]
+    fn fleet_merge_equals_concatenated_workload(
+        shards in prop::collection::vec(
+            prop::collection::vec((0usize..3, 1u64..100_000), 0..30),
+            1..5,
+        )
+    ) {
+        // Fleet aggregation invariant: folding N per-collector snapshots
+        // with `merge_fleet` must equal one registry that saw every
+        // shard's workload concatenated — counters sum and histograms
+        // add, independent of how the work was split.
+        use fsmon_telemetry::{Registry, Snapshot};
+        let combined = Registry::new();
+        let mut fleet = Snapshot::default();
+        for ops in &shards {
+            let local = Registry::new();
+            for &(which, amount) in ops {
+                for reg in [&local, &combined] {
+                    let scope = reg.scope("fsmon").scope("prop");
+                    match which {
+                        0 => scope.counter("alpha_total").add(amount),
+                        1 => scope.counter("beta_total").add(amount),
+                        _ => scope.histogram("lat_ns").record(amount),
+                    }
+                }
+            }
+            fleet.merge_fleet(&local.snapshot());
+        }
+        let all = combined.snapshot();
+        prop_assert_eq!(
+            fleet.counter("fsmon_prop_alpha_total"),
+            all.counter("fsmon_prop_alpha_total")
+        );
+        prop_assert_eq!(
+            fleet.counter("fsmon_prop_beta_total"),
+            all.counter("fsmon_prop_beta_total")
+        );
+        match (
+            fleet.histogram("fsmon_prop_lat_ns"),
+            all.histogram("fsmon_prop_lat_ns"),
+        ) {
+            (Some(f), Some(a)) => {
+                prop_assert_eq!(f.count(), a.count());
+                prop_assert_eq!(f.quantile(0.5), a.quantile(0.5));
+                prop_assert_eq!(f.quantile(0.99), a.quantile(0.99));
+            }
+            (f, a) => prop_assert_eq!(f.is_none(), a.is_none()),
+        }
+    }
+
+    #[test]
+    fn trace_records_roundtrip_the_wire(
+        records in prop::collection::vec(
+            (any::<u32>(), any::<u16>(), any::<u64>(),
+             prop::collection::vec(any::<u64>(), 7)),
+            0..20,
+        )
+    ) {
+        use fsmon_telemetry::TraceRecord;
+        let records: Vec<TraceRecord> = records
+            .into_iter()
+            .map(|(pos, mdt, event_id, stamps)| TraceRecord {
+                pos,
+                mdt,
+                event_id,
+                stamps: stamps.try_into().unwrap(),
+            })
+            .collect();
+        let encoded = TraceRecord::encode_all(&records);
+        prop_assert_eq!(TraceRecord::decode_all(&encoded).unwrap(), records);
+    }
+
+    #[test]
     fn filter_matches_are_prefix_consistent(
         prefix in "/[a-z]{1,6}",
         rest in "(/[a-z]{1,6}){0,3}",
