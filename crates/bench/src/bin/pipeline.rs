@@ -13,10 +13,11 @@
 //!
 //! Usage: `pipeline [--seconds N] [--out PATH] [--baseline PATH]`
 //!
-//! With `--baseline`, the tuned events/sec and traced e2e p99 are also
-//! compared against the committed baseline file and the process exits
-//! nonzero on a >20% regression of either — the CI smoke gate. The
-//! latency gate is skipped when the baseline predates the field.
+//! With `--baseline`, the tuned events/sec, traced e2e p99, and traced
+//! store_commit p99 are also compared against the committed baseline
+//! file and the process exits nonzero on a >20% regression of any —
+//! the CI smoke gate. A gate is skipped when the baseline predates its
+//! field.
 
 use fsmon_lustre::{ScalableConfig, ScalableMonitor};
 use fsmon_testbed::profiles::TestbedKind;
@@ -57,6 +58,20 @@ struct Measured {
     e2e_p99_ns: u64,
     /// Per-stage latency attribution from the same traces.
     stages: Vec<StageQuantiles>,
+    /// Wall time until the durable store held every generated event
+    /// (the store lane runs behind the publish path, so this can lag
+    /// `drain_secs`).
+    store_drain_secs: f64,
+    /// Generated events over the store drain window.
+    store_events_per_sec: f64,
+    /// Events the store still retained at the end of the drain.
+    store_retained: u64,
+    /// Bytes of process memory the store held to serve replay
+    /// (segment metadata + sparse index + frame buffer for the file
+    /// store — not the retained events themselves).
+    store_resident_bytes: u64,
+    /// Traced store-commit (group append) stage p99.
+    store_commit_p99_ns: u64,
 }
 
 fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measured {
@@ -64,6 +79,14 @@ fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measu
     config.n_mdt = 1;
     let telemetry_before = fsmon_telemetry::global().snapshot();
     let fs = LustreFs::new(config);
+    // The drained events land in a real FileStore (fresh directory per
+    // run) so the store lane measures durable group commit, not the
+    // in-memory stub.
+    let store_dir = std::env::temp_dir().join(format!(
+        "fsmon-bench-pipeline-{}-t{resolver_threads}-l{publish_lanes}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     // Build the backlog with no monitor attached: the changelog holds
     // every record until a registered user clears it, so the pipeline
@@ -86,6 +109,7 @@ fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measu
             // generated up front), so stamp traces with wall time: the
             // per-stage deltas then measure real queue delay.
             trace_clock: Some(fsmon_telemetry::trace::wall_clock()),
+            store_dir: Some(store_dir.clone()),
             ..ScalableConfig::default()
         },
     )
@@ -110,9 +134,19 @@ fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measu
     monitor.wait_events(generated, Duration::from_secs(600));
     let drain = t0.elapsed();
     let reported = monitor.aggregator_stats().received;
+    // The store lane commits behind the publish path: keep timing
+    // until every generated event is durably appended.
+    let store = monitor.store();
+    let store_deadline = Instant::now() + Duration::from_secs(600);
+    while store.stats().appended < generated && Instant::now() < store_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let store_drain = t0.elapsed();
+    let store_stats = store.stats();
     drain_stop.store(true, std::sync::atomic::Ordering::Relaxed);
     drainer.join().expect("consumer drainer");
     monitor.stop();
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     let delta = fsmon_telemetry::global()
         .snapshot()
@@ -121,6 +155,11 @@ fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measu
     let misses = delta.counter("fsmon_fid2path_misses_total") as f64;
     let e2e = delta.histogram("fsmon_trace_e2e_ns");
     let stages = stage_quantiles(&delta);
+    let store_commit_p99_ns = stages
+        .iter()
+        .find(|s| s.stage == "store_commit")
+        .map(|s| s.p99_ns)
+        .unwrap_or(0);
     Measured {
         resolver_threads,
         publish_lanes,
@@ -140,6 +179,11 @@ fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measu
         e2e_p50_ns: e2e.as_ref().map(|h| h.quantile(0.5)).unwrap_or(0),
         e2e_p99_ns: e2e.as_ref().map(|h| h.quantile(0.99)).unwrap_or(0),
         stages,
+        store_drain_secs: store_drain.as_secs_f64(),
+        store_events_per_sec: generated as f64 / store_drain.as_secs_f64().max(1e-9),
+        store_retained: store_stats.retained,
+        store_resident_bytes: store_stats.resident_bytes,
+        store_commit_p99_ns,
     }
 }
 
@@ -195,6 +239,9 @@ fn render(m: &Measured) -> String {
          \"p99_resolve_ns\": {},\n    \"cache_hit_ratio\": {:.4},\n    \
          \"generated\": {},\n    \"reported\": {},\n    \
          \"e2e_p50_ns\": {},\n    \"e2e_p99_ns\": {},\n    \
+         \"store_drain_secs\": {:.3},\n    \"store_events_per_sec\": {:.1},\n    \
+         \"store_retained\": {},\n    \"store_resident_bytes\": {},\n    \
+         \"store_commit_p99_ns\": {},\n    \
          \"stage_latency\": {{ {stages} }}\n  }}",
         m.resolver_threads,
         m.publish_lanes,
@@ -206,6 +253,11 @@ fn render(m: &Measured) -> String {
         m.reported,
         m.e2e_p50_ns,
         m.e2e_p99_ns,
+        m.store_drain_secs,
+        m.store_events_per_sec,
+        m.store_retained,
+        m.store_resident_bytes,
+        m.store_commit_p99_ns,
     )
 }
 
@@ -323,6 +375,29 @@ fn main() {
                 }
             }
             _ => println!("baseline check: no committed e2e_p99_ns; latency gate skipped"),
+        }
+        // Store gate: the traced group-commit p99 must not regress
+        // more than the tolerance above the committed baseline (the
+        // store lane was the slowest post-resolve stage before native
+        // batching; keep it pinned down).
+        match baseline_tuned_field(&text, "store_commit_p99_ns") {
+            Some(committed_p99) if committed_p99 > 0.0 => {
+                let ceiling = committed_p99 * (1.0 + REGRESSION_TOLERANCE);
+                if tuned.store_commit_p99_ns as f64 > ceiling {
+                    eprintln!(
+                        "FAIL: store_commit p99 {} ns regressed >{:.0}% above committed baseline {committed_p99:.0} ns",
+                        tuned.store_commit_p99_ns,
+                        100.0 * REGRESSION_TOLERANCE
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "baseline check: store_commit p99 {} ns vs committed {committed_p99:.0} ns (ceiling {ceiling:.0}) OK",
+                        tuned.store_commit_p99_ns
+                    );
+                }
+            }
+            _ => println!("baseline check: no committed store_commit_p99_ns; store gate skipped"),
         }
     }
     if failed {

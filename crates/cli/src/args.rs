@@ -104,6 +104,11 @@ pub enum Command {
         resolver_threads: usize,
         /// Aggregator publish worker lanes.
         publish_lanes: usize,
+        /// Flush policy for the run's durable store.
+        durability: fsmon_store::Durability,
+        /// Concurrently driven named consumers, each independently
+        /// verified for zero loss/duplication.
+        consumers: usize,
     },
     /// Print usage.
     Help,
@@ -160,7 +165,8 @@ USAGE:
   fsmon top   [--mds N] [--seconds S] [--cache N] [--resolver-threads N]
               [--publish-lanes N] [--interval-ms MS]
   fsmon chaos [--plan none|basic|storm] [--seed N] [--mds N] [--seconds S]
-              [--resolver-threads N] [--publish-lanes N]
+              [--resolver-threads N] [--publish-lanes N] [--consumers N]
+              [--durability none|batch|bytes:N|interval:MS]
   fsmon help
 
 FORMATS: inotify (default), kqueue, fsevents, filesystemwatcher
@@ -438,6 +444,8 @@ impl Cli {
         let mut seconds = 2;
         let mut resolver_threads = 4;
         let mut publish_lanes = 2;
+        let mut durability = fsmon_store::Durability::None;
+        let mut consumers = 1;
         while let Some(arg) = iter.next() {
             match arg {
                 "--plan" => plan = take_value(arg, iter)?.to_string(),
@@ -466,6 +474,21 @@ impl Cli {
                         .parse()
                         .map_err(|_| ParseError("--publish-lanes must be a number".into()))?
                 }
+                "--durability" => {
+                    durability =
+                        fsmon_store::Durability::parse(take_value(arg, iter)?).ok_or_else(|| {
+                            ParseError(
+                                "--durability must be none, batch, bytes:N, or interval:MS".into(),
+                            )
+                        })?
+                }
+                "--consumers" => {
+                    consumers = take_value(arg, iter)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| ParseError("--consumers must be a number >= 1".into()))?
+                }
                 other => return Err(ParseError(format!("unknown flag for chaos: {other}"))),
             }
         }
@@ -476,6 +499,8 @@ impl Cli {
             seconds,
             resolver_threads,
             publish_lanes,
+            durability,
+            consumers,
         })
     }
 }
@@ -738,7 +763,9 @@ mod tests {
                 mds: 1,
                 seconds: 2,
                 resolver_threads: 4,
-                publish_lanes: 2
+                publish_lanes: 2,
+                durability: fsmon_store::Durability::None,
+                consumers: 1
             }
         );
         let cli = Cli::parse([
@@ -755,6 +782,10 @@ mod tests {
             "8",
             "--publish-lanes",
             "4",
+            "--durability",
+            "bytes:65536",
+            "--consumers",
+            "3",
         ])
         .unwrap();
         assert_eq!(
@@ -765,11 +796,15 @@ mod tests {
                 mds: 2,
                 seconds: 1,
                 resolver_threads: 8,
-                publish_lanes: 4
+                publish_lanes: 4,
+                durability: fsmon_store::Durability::Bytes(65536),
+                consumers: 3
             }
         );
         assert!(Cli::parse(["chaos", "--seed", "abc"]).is_err());
         assert!(Cli::parse(["chaos", "--wat"]).is_err());
+        assert!(Cli::parse(["chaos", "--durability", "sync"]).is_err());
+        assert!(Cli::parse(["chaos", "--consumers", "0"]).is_err());
     }
 
     #[test]

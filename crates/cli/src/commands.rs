@@ -86,6 +86,8 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             seconds,
             resolver_threads,
             publish_lanes,
+            durability,
+            consumers,
         } => chaos(
             &plan,
             seed,
@@ -93,6 +95,8 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             seconds,
             resolver_threads,
             publish_lanes,
+            durability,
+            consumers,
             out,
         ),
     }
@@ -721,6 +725,8 @@ fn chaos(
     seconds: u64,
     resolver_threads: usize,
     publish_lanes: usize,
+    durability: fsmon_store::Durability,
+    consumers: usize,
     out: &mut dyn Write,
 ) -> i32 {
     use fsmon_faults::FaultPlan;
@@ -728,6 +734,7 @@ fn chaos(
     use fsmon_telemetry::MetricValue;
     use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
     use lustre_sim::{LustreConfig, LustreFs};
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
     let Some(plan) = FaultPlan::named(plan_name, seed) else {
@@ -745,7 +752,15 @@ fn chaos(
     // torn-tail quarantine) rather than staying inside one segment.
     let dir = std::env::temp_dir().join(format!("fsmon-chaos-{}-{seed}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let store = match FileStore::open_with(dir.join("store"), 64 * 1024, faults.clone()) {
+    let store = match FileStore::open_with_options(
+        dir.join("store"),
+        fsmon_store::FileStoreOptions {
+            segment_bytes: 64 * 1024,
+            durability,
+            faults: faults.clone(),
+            ..fsmon_store::FileStoreOptions::default()
+        },
+    ) {
         Ok(s) => s,
         Err(e) => {
             let _ = writeln!(out, "error: cannot open chaos store: {e}");
@@ -755,7 +770,8 @@ fn chaos(
 
     let _ = writeln!(
         out,
-        "chaos: plan {plan_name:?} seed {seed}, {mds} MDS(s), {seconds}s workload"
+        "chaos: plan {plan_name:?} seed {seed}, {mds} MDS(s), {seconds}s workload, \
+         durability {durability}, {consumers} consumer(s)"
     );
     let fs = LustreFs::new(LustreConfig::small_dne(mds.max(1)));
     let monitor = match ScalableMonitor::start(
@@ -781,7 +797,56 @@ fn chaos(
             return 2;
         }
     };
-    let consumer = monitor.consumer().clone();
+    // Drive every consumer concurrently: the monitor's built-in one
+    // plus `consumers - 1` named attachments, each drained on its own
+    // thread and independently verified against the replay path.
+    let mut lanes: Vec<(String, Arc<fsmon_lustre::Consumer>)> =
+        vec![("main".to_string(), monitor.consumer().clone())];
+    for i in 1..consumers {
+        let name = format!("aux{i}");
+        match monitor.new_consumer_named(fsmon_core::EventFilter::all(), &name) {
+            Ok(c) => lanes.push((name, Arc::new(c))),
+            Err(e) => {
+                let _ = writeln!(out, "error: cannot attach consumer {name}: {e}");
+                return 2;
+            }
+        }
+    }
+    let stopped = Arc::new(AtomicBool::new(false));
+    let drains: Vec<std::thread::JoinHandle<(String, Vec<u64>)>> = lanes
+        .iter()
+        .map(|(name, consumer)| {
+            let name = name.clone();
+            let consumer = consumer.clone();
+            let stopped = stopped.clone();
+            std::thread::spawn(move || {
+                // Live feed, concurrent with the workload.
+                let mut ids: Vec<u64> = Vec::new();
+                let live_deadline = Instant::now() + Duration::from_secs(80);
+                loop {
+                    let batch = consumer.recv_batch(8192, Duration::from_millis(200));
+                    ids.extend(batch.iter().map(|e| e.id));
+                    if (batch.is_empty() && stopped.load(Ordering::Relaxed))
+                        || Instant::now() >= live_deadline
+                    {
+                        break;
+                    }
+                }
+                // The store lane has joined by the time `stopped` is
+                // set, so the store holds every stamped event; heal
+                // whatever the live feed missed from there.
+                consumer.catch_up();
+                loop {
+                    let batch = consumer.recv_batch(8192, Duration::from_millis(50));
+                    if batch.is_empty() {
+                        break;
+                    }
+                    ids.extend(batch.iter().map(|e| e.id));
+                }
+                (name, ids)
+            })
+        })
+        .collect();
 
     let client = fs.client();
     let run = EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
@@ -810,43 +875,34 @@ fn chaos(
         }
     }
 
-    // Drain the live feed until it goes quiet.
-    let mut ids: Vec<u64> = Vec::new();
-    let live_deadline = Instant::now() + Duration::from_secs(20);
-    loop {
-        let batch = consumer.recv_batch(8192, Duration::from_millis(200));
-        if batch.is_empty() || Instant::now() >= live_deadline {
-            ids.extend(batch.iter().map(|e| e.id));
-            break;
-        }
-        ids.extend(batch.iter().map(|e| e.id));
-    }
-
     // Stopping joins the store lane, so the store now holds every
-    // stamped event; anything the live feed missed heals from there.
+    // stamped event; the drain threads then heal and finish.
     monitor.stop();
-    consumer.catch_up();
-    loop {
-        let batch = consumer.recv_batch(8192, Duration::from_millis(50));
-        if batch.is_empty() {
-            break;
-        }
-        ids.extend(batch.iter().map(|e| e.id));
-    }
+    stopped.store(true, Ordering::Relaxed);
 
-    let total = ids.len() as u64;
-    ids.sort_unstable();
-    ids.dedup();
-    let unique = ids.len() as u64;
     // Stamped ids are dense from 1, so a fault-free run delivers
-    // exactly 1..=expected. Ids beyond that range mean an upstream
-    // duplicate slipped past dedup and was stamped as a fresh event.
-    let in_range = ids
-        .iter()
-        .filter(|&&id| (1..=expected).contains(&id))
-        .count() as u64;
-    let lost = expected - in_range;
-    let duplicated = (total - unique) + (unique - in_range);
+    // exactly 1..=expected to every consumer. Ids beyond that range
+    // mean an upstream duplicate slipped past dedup and was stamped
+    // as a fresh event.
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    let mut per_lane: Vec<(String, u64, u64, u64, u64)> = Vec::new();
+    for handle in drains {
+        let (name, mut ids) = handle.join().expect("consumer drain thread");
+        let total = ids.len() as u64;
+        ids.sort_unstable();
+        ids.dedup();
+        let unique = ids.len() as u64;
+        let in_range = ids
+            .iter()
+            .filter(|&&id| (1..=expected).contains(&id))
+            .count() as u64;
+        let lane_lost = expected - in_range;
+        let lane_dup = (total - unique) + (unique - in_range);
+        lost += lane_lost;
+        duplicated += lane_dup;
+        per_lane.push((name, total, unique, lane_lost, lane_dup));
+    }
 
     let after = fsmon_telemetry::global().snapshot();
     let delta = after.delta_from(&before);
@@ -890,7 +946,18 @@ fn chaos(
         "generated : {expected} events in {:.1?} ({rate:.0} ev/s)",
         run.elapsed
     );
-    let _ = writeln!(out, "delivered : {total} events ({unique} unique)");
+    for (name, total, unique, lane_lost, lane_dup) in &per_lane {
+        let _ = writeln!(
+            out,
+            "consumer  : {name}: {total} events ({unique} unique), lost {lane_lost}, \
+             duplicated {lane_dup} -> {}",
+            if *lane_lost == 0 && *lane_dup == 0 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+    }
     let pass = lost == 0 && duplicated == 0;
     let _ = writeln!(
         out,

@@ -218,6 +218,9 @@ pub struct Collector {
     t_purge_ns: Arc<fsmon_telemetry::Histogram>,
     t_read_errors: std::sync::Arc<fsmon_telemetry::Counter>,
     t_purge_errors: std::sync::Arc<fsmon_telemetry::Counter>,
+    /// Traces forced by the tail-bias threshold (batch latency crossed
+    /// the tracer's threshold while the uniform sampler would skip).
+    t_forced_traces: Arc<fsmon_telemetry::Counter>,
 }
 
 impl Collector {
@@ -280,6 +283,7 @@ impl Collector {
             t_purge_ns: scope.histogram("purge_ns"),
             t_read_errors: scope.counter("read_errors_total"),
             t_purge_errors: scope.counter("purge_errors_total"),
+            t_forced_traces: scope.counter("forced_traces_total"),
         }
     }
 
@@ -433,12 +437,24 @@ impl Collector {
         let mut traces: Vec<TraceRecord> = Vec::new();
         if tracing {
             let resolve_ns = self.tracer.now_ns();
+            // Tail bias: when this batch's resolve latency crossed the
+            // tracer's threshold, force one trace (position 0) even if
+            // the uniform sampler skips the whole batch, so slow-path
+            // exemplars survive low per_10k rates.
+            let force = self
+                .tracer
+                .tail_exceeded(resolve_ns.saturating_sub(read_ns));
             for pos in 0..events.len() {
-                if self.tracer.sample() {
+                let sampled = self.tracer.sample();
+                let forced = !sampled && force && pos == 0;
+                if sampled || forced {
                     let mut rec = TraceRecord::new(pos as u32, self.mdt.index());
                     rec.stamp(TraceStage::Read, read_ns);
                     rec.stamp(TraceStage::Resolve, resolve_ns);
                     traces.push(rec);
+                    if forced {
+                        self.t_forced_traces.inc();
+                    }
                 }
             }
         }

@@ -46,8 +46,28 @@ pub struct ScalableConfig {
     pub watch_root: String,
     /// Collector idle sleep when the changelog is empty.
     pub idle_sleep: Duration,
-    /// Reliable event store (defaults to in-memory).
+    /// Reliable event store (defaults to in-memory, or a [`FileStore`]
+    /// under [`store_dir`] when that is set).
+    ///
+    /// [`FileStore`]: fsmon_store::FileStore
+    /// [`store_dir`]: ScalableConfig::store_dir
     pub store: Option<Arc<dyn EventStore>>,
+    /// When `store` is `None` and this is set, the monitor opens a
+    /// durable [`fsmon_store::FileStore`] in this directory (segment
+    /// size [`store_segment_bytes`], flush policy [`durability`], the
+    /// config's fault plane armed on its injection points).
+    ///
+    /// [`store_segment_bytes`]: ScalableConfig::store_segment_bytes
+    /// [`durability`]: ScalableConfig::durability
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Segment roll threshold for a [`store_dir`]-opened store, bytes.
+    ///
+    /// [`store_dir`]: ScalableConfig::store_dir
+    pub store_segment_bytes: u64,
+    /// Flush policy for a [`store_dir`]-opened store.
+    ///
+    /// [`store_dir`]: ScalableConfig::store_dir
+    pub durability: fsmon_store::Durability,
     /// How often the janitor purges reported events from the store
     /// ("they are flagged as having been reported and can be removed
     /// from the data store when next data purge cycle is initiated",
@@ -80,6 +100,12 @@ pub struct ScalableConfig {
     /// come from the simulated Lustre clock, so traces are
     /// deterministic under a seeded chaos run.
     pub trace_sample_per_10k: u32,
+    /// Tail-biased trace sampling: when a collector batch's resolve
+    /// latency reaches this many nanoseconds, a trace is forced for
+    /// that batch even if the uniform sampler skips it, keeping p99
+    /// exemplars sharp at low `trace_sample_per_10k` rates. 0 disables
+    /// the bias.
+    pub trace_tail_threshold_ns: u64,
     /// Clock the tracer stamps stages with. `None` (the default) uses
     /// the simulated Lustre clock, which only advances with workload
     /// operations — right for deterministic chaos traces, wrong for a
@@ -98,6 +124,9 @@ impl Default for ScalableConfig {
             watch_root: "/mnt/lustre".to_string(),
             idle_sleep: Duration::from_micros(200),
             store: None,
+            store_dir: None,
+            store_segment_bytes: fsmon_store::file::DEFAULT_SEGMENT_BYTES,
+            durability: fsmon_store::Durability::None,
             purge_interval: Some(Duration::from_secs(30)),
             cursor_file: None,
             faults: Faults::none(),
@@ -105,6 +134,7 @@ impl Default for ScalableConfig {
             resolver_threads: 4,
             publish_lanes: 2,
             trace_sample_per_10k: 0,
+            trace_tail_threshold_ns: 0,
             trace_clock: None,
         }
     }
@@ -207,10 +237,21 @@ impl ScalableMonitor {
     ) -> Result<ScalableMonitor, fsmon_mq::MqError> {
         let ctx = Context::new();
         let run_id = MONITOR_SEQ.fetch_add(1, Ordering::Relaxed);
-        let store: Arc<dyn EventStore> = config
-            .store
-            .clone()
-            .unwrap_or_else(|| Arc::new(MemStore::new()));
+        let store: Arc<dyn EventStore> = match (&config.store, &config.store_dir) {
+            (Some(store), _) => store.clone(),
+            (None, Some(dir)) => {
+                let options = fsmon_store::FileStoreOptions {
+                    segment_bytes: config.store_segment_bytes,
+                    durability: config.durability,
+                    faults: config.faults.clone(),
+                    ..fsmon_store::FileStoreOptions::default()
+                };
+                let fs_store = fsmon_store::FileStore::open_with_options(dir, options)
+                    .map_err(|e| fsmon_mq::MqError::BindFailed(format!("store: {e}")))?;
+                Arc::new(fs_store)
+            }
+            (None, None) => Arc::new(MemStore::new()),
+        };
         // Arm the simulated MDS: fid2path and changelog calls consult
         // the plane (a no-op unless the plan armed those points).
         fs.arm_faults(config.faults.clone());
@@ -218,12 +259,13 @@ impl ScalableMonitor {
         // The pipeline tracer stamps stages with the *simulated* clock:
         // under a seeded chaos run the whole workload (and therefore
         // every clock advance) is deterministic, so traces are too.
-        let tracer = if config.trace_sample_per_10k > 0 {
+        let tracer = if config.trace_sample_per_10k > 0 || config.trace_tail_threshold_ns > 0 {
             let clock = config.trace_clock.clone().unwrap_or_else(|| {
                 let clock_fs = fs.clone();
                 Arc::new(move || clock_fs.clock().now_ns())
             });
             fsmon_telemetry::Tracer::new(config.trace_sample_per_10k, clock)
+                .with_tail_threshold(config.trace_tail_threshold_ns)
         } else {
             fsmon_telemetry::Tracer::disabled()
         };

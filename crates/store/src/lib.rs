@@ -35,7 +35,7 @@ pub mod crc;
 pub mod file;
 pub mod mem;
 
-pub use file::FileStore;
+pub use file::{FileStore, FileStoreOptions};
 pub use mem::MemStore;
 
 use fsmon_events::StandardEvent;
@@ -78,6 +78,68 @@ pub struct StoreStats {
     pub reported_seq: u64,
     /// Events currently retained (not yet purged).
     pub retained: u64,
+    /// Approximate bytes of process memory the store holds to serve
+    /// replay: the whole log for [`MemStore`], only segment metadata +
+    /// the sparse replay index + the reused frame buffer for
+    /// [`FileStore`].
+    pub resident_bytes: u64,
+}
+
+/// When [`FileStore`] issues an explicit flush (`fdatasync`-style
+/// [`File::sync_data`](std::fs::File::sync_data)) of the active
+/// segment. Flushes are counted as `fsmon_store_fsyncs_total`.
+///
+/// The policy trades tail-loss window against append throughput: with
+/// [`Durability::None`] the OS page cache decides when bytes reach the
+/// platter, so a host crash (not a process crash) can lose the
+/// unflushed tail; [`Durability::EveryBatch`] bounds the window to one
+/// group commit at the cost of one fsync per batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Never flush explicitly; rely on the OS page cache (the default,
+    /// and the pre-policy behaviour).
+    #[default]
+    None,
+    /// Flush after every committed batch.
+    EveryBatch,
+    /// Flush once at least this many bytes have landed since the last
+    /// flush.
+    Bytes(u64),
+    /// Flush when at least this many milliseconds have elapsed since
+    /// the last flush (checked at commit time; an idle store does not
+    /// wake up to flush).
+    IntervalMs(u64),
+}
+
+impl Durability {
+    /// Parse a CLI spelling: `none`, `batch`, `bytes:N`, `interval:N`
+    /// (milliseconds). Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<Durability> {
+        match s {
+            "none" => Some(Durability::None),
+            "batch" | "every-batch" => Some(Durability::EveryBatch),
+            _ => {
+                if let Some(n) = s.strip_prefix("bytes:") {
+                    n.parse().ok().map(Durability::Bytes)
+                } else if let Some(n) = s.strip_prefix("interval:") {
+                    n.parse().ok().map(Durability::IntervalMs)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Durability::None => write!(f, "none"),
+            Durability::EveryBatch => write!(f, "batch"),
+            Durability::Bytes(n) => write!(f, "bytes:{n}"),
+            Durability::IntervalMs(n) => write!(f, "interval:{n}"),
+        }
+    }
 }
 
 /// The durable event log interface.
@@ -90,9 +152,11 @@ pub trait EventStore: Send + Sync {
 
     /// Append a batch in order (group commit); returns the last
     /// assigned sequence (0 for an empty batch). The default loops
-    /// [`append`](EventStore::append) and stops at the first error;
-    /// events before the failure are durably appended, so a caller can
-    /// resume the suffix from the `stats().appended` delta without
+    /// [`append`](EventStore::append) and stops at the first error.
+    /// Implementations may commit the batch natively (one lock, one
+    /// write), but must preserve the resume contract: on error, events
+    /// before the failure are durably appended and counted, so a caller
+    /// can resume the suffix from the `stats().appended` delta without
     /// double-writing.
     fn append_batch(&self, events: &[StandardEvent]) -> Result<u64, StoreError> {
         let mut last = 0;

@@ -33,6 +33,17 @@ struct Inner {
     next_seq: u64,
     reported: u64,
     appended: u64,
+    /// Running heap estimate of `events` (structs + string payloads),
+    /// maintained incrementally so `stats()` stays O(1).
+    resident_bytes: u64,
+}
+
+/// Approximate heap footprint of one retained event.
+fn event_bytes(e: &StandardEvent) -> u64 {
+    (std::mem::size_of::<StandardEvent>()
+        + e.path.len()
+        + e.watch_root.len()
+        + e.old_path.as_ref().map(|p| p.len()).unwrap_or(0)) as u64
 }
 
 impl MemStore {
@@ -49,10 +60,31 @@ impl EventStore for MemStore {
         let seq = inner.next_seq;
         let mut stored = event.clone();
         stored.id = seq;
+        inner.resident_bytes += event_bytes(&stored);
         inner.events.push_back(stored);
         inner.appended += 1;
         self.t_appends.inc();
         Ok(seq)
+    }
+
+    /// Native group commit: one lock acquisition for the whole batch.
+    fn append_batch(&self, events: &[StandardEvent]) -> Result<u64, StoreError> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.inner.lock();
+        inner.events.reserve(events.len());
+        for event in events {
+            inner.next_seq += 1;
+            let seq = inner.next_seq;
+            let mut stored = event.clone();
+            stored.id = seq;
+            inner.resident_bytes += event_bytes(&stored);
+            inner.events.push_back(stored);
+        }
+        inner.appended += events.len() as u64;
+        self.t_appends.add(events.len() as u64);
+        Ok(inner.next_seq)
     }
 
     fn get_since(&self, since: u64, max: usize) -> Result<Vec<StandardEvent>, StoreError> {
@@ -72,6 +104,8 @@ impl EventStore for MemStore {
         let watermark = inner.reported;
         let mut purged = 0u64;
         while inner.events.front().is_some_and(|e| e.id <= watermark) {
+            let freed = inner.events.front().map(event_bytes).unwrap_or(0);
+            inner.resident_bytes -= freed;
             inner.events.pop_front();
             purged += 1;
         }
@@ -86,6 +120,7 @@ impl EventStore for MemStore {
             last_seq: inner.next_seq,
             reported_seq: inner.reported,
             retained: inner.events.len() as u64,
+            resident_bytes: inner.resident_bytes,
         }
     }
 }

@@ -1,0 +1,209 @@
+//! Backend conformance suite: every [`EventStore`] behavior the
+//! pipeline relies on, run identically against [`MemStore`] and
+//! [`FileStore`] through a shared set of generic checks. The file
+//! backend runs with tiny segments so every check crosses segment
+//! rolls, plus a file-only bulk test proving replay no longer needs an
+//! in-memory event mirror.
+
+use fsmon_events::{EventKind, StandardEvent};
+use fsmon_store::{EventStore, FileStore, FileStoreOptions, MemStore};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn ev(i: u64) -> StandardEvent {
+    StandardEvent::new(EventKind::Create, "/mnt/lustre", format!("/conf/file-{i}"))
+}
+
+fn ids(events: &[StandardEvent]) -> Vec<u64> {
+    events.iter().map(|e| e.id).collect()
+}
+
+fn case_dir(tag: &str) -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fsmon-conformance-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A store under test plus the directory to reclaim afterwards.
+struct Case {
+    store: Box<dyn EventStore>,
+    dir: Option<PathBuf>,
+}
+
+impl Drop for Case {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.dir {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+}
+
+fn mem_case(_tag: &str) -> Case {
+    Case {
+        store: Box::new(MemStore::new()),
+        dir: None,
+    }
+}
+
+fn file_case(tag: &str) -> Case {
+    let dir = case_dir(tag);
+    // ~90-byte records, 1 KiB segments: every check rolls segments.
+    let store = FileStore::open_with_segment_bytes(&dir, 1024).unwrap();
+    Case {
+        store: Box::new(store),
+        dir: Some(dir),
+    }
+}
+
+// --- the shared checks -------------------------------------------------
+
+fn check_dense_sequences(store: &dyn EventStore) {
+    assert_eq!(store.append(&ev(0)).unwrap(), 1);
+    assert_eq!(store.append(&ev(1)).unwrap(), 2);
+    // Batches continue the same dense sequence and return the last.
+    let batch: Vec<StandardEvent> = (2..40).map(ev).collect();
+    assert_eq!(store.append_batch(&batch).unwrap(), 40);
+    // An empty batch is a no-op returning 0.
+    assert_eq!(store.append_batch(&[]).unwrap(), 0);
+    let got = store.get_since(0, 100).unwrap();
+    assert_eq!(ids(&got), (1..=40).collect::<Vec<_>>());
+    // The stored copies carry the assigned ids, not the input ids.
+    assert!(got[39].path.ends_with("file-39"));
+}
+
+fn check_get_since_window(store: &dyn EventStore) {
+    for i in 0..10 {
+        store.append(&ev(i)).unwrap();
+    }
+    assert_eq!(ids(&store.get_since(4, 3).unwrap()), vec![5, 6, 7]);
+    assert_eq!(ids(&store.get_since(9, 100).unwrap()), vec![10]);
+    assert!(store.get_since(10, 100).unwrap().is_empty());
+    assert!(store.get_since(250, 100).unwrap().is_empty());
+    assert!(store.get_since(0, 0).unwrap().is_empty());
+}
+
+fn check_watermark_and_purge(store: &dyn EventStore) {
+    let batch: Vec<StandardEvent> = (0..30).map(ev).collect();
+    store.append_batch(&batch).unwrap();
+    store.mark_reported(21).unwrap();
+    store.mark_reported(7).unwrap(); // never regresses
+    assert_eq!(store.stats().reported_seq, 21);
+    store.purge_reported().unwrap();
+    // Above the watermark the purge is exact for every backend …
+    assert_eq!(
+        ids(&store.get_since(21, 100).unwrap()),
+        (22..=30).collect::<Vec<_>>()
+    );
+    // … while below it a backend may retain extra (segment
+    // granularity), but what it returns is a contiguous suffix.
+    let all = ids(&store.get_since(0, 100).unwrap());
+    assert_eq!(*all.last().unwrap(), 30);
+    let first = *all.first().unwrap();
+    assert!(first <= 22, "purge must not outrun the watermark: {all:?}");
+    assert_eq!(all, (first..=30).collect::<Vec<_>>());
+    assert_eq!(store.stats().retained, all.len() as u64);
+    // Appends after a purge stay dense.
+    assert_eq!(store.append(&ev(30)).unwrap(), 31);
+}
+
+fn check_stats_counts(store: &dyn EventStore) {
+    for i in 0..5 {
+        store.append(&ev(i)).unwrap();
+    }
+    let batch: Vec<StandardEvent> = (5..12).map(ev).collect();
+    store.append_batch(&batch).unwrap();
+    let st = store.stats();
+    assert_eq!(st.appended, 12);
+    assert_eq!(st.last_seq, 12);
+    assert_eq!(st.retained, 12);
+    assert_eq!(st.reported_seq, 0);
+}
+
+macro_rules! conformance_suite {
+    ($backend:ident, $make:path) => {
+        mod $backend {
+            use super::*;
+
+            #[test]
+            fn dense_sequences_across_append_and_batch() {
+                let case = $make("dense");
+                check_dense_sequences(&*case.store);
+            }
+
+            #[test]
+            fn get_since_is_exclusive_and_bounded() {
+                let case = $make("window");
+                check_get_since_window(&*case.store);
+            }
+
+            #[test]
+            fn watermark_is_monotone_and_purge_is_exact_above_it() {
+                let case = $make("purge");
+                check_watermark_and_purge(&*case.store);
+            }
+
+            #[test]
+            fn stats_count_both_append_paths() {
+                let case = $make("stats");
+                check_stats_counts(&*case.store);
+            }
+        }
+    };
+}
+
+conformance_suite!(mem, mem_case);
+conformance_suite!(file, file_case);
+
+/// The acceptance test for the dropped mirror: 120k events replay
+/// correctly through the sparse index + positional reads while the
+/// store's resident memory stays orders of magnitude below the
+/// retained payload (~10 MB of events).
+#[test]
+fn bulk_replay_is_correct_with_bounded_memory() {
+    let dir = case_dir("bulk");
+    let store = FileStore::open_with_options(
+        &dir,
+        FileStoreOptions {
+            segment_bytes: 1 << 20,
+            ..FileStoreOptions::default()
+        },
+    )
+    .unwrap();
+    const TOTAL: u64 = 120_000;
+    const BATCH: u64 = 500;
+    let batch: Vec<StandardEvent> = (0..BATCH).map(ev).collect();
+    for _ in 0..(TOTAL / BATCH) {
+        store.append_batch(&batch).unwrap();
+    }
+    assert_eq!(store.stats().appended, TOTAL);
+    assert_eq!(store.stats().retained, TOTAL);
+
+    // Replay the whole log in bounded chunks; ids must be dense.
+    let mut next = 1u64;
+    let mut since = 0u64;
+    loop {
+        let got = store.get_since(since, 7_000).unwrap();
+        if got.is_empty() {
+            break;
+        }
+        for e in &got {
+            assert_eq!(e.id, next);
+            next += 1;
+        }
+        since = got.last().unwrap().id;
+    }
+    assert_eq!(next, TOTAL + 1, "replay covered every appended event");
+
+    let resident = store.stats().resident_bytes;
+    assert!(
+        resident < 1_000_000,
+        "store resident memory {resident} B should be segment metadata + \
+         sparse index only, far below the retained event payload"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

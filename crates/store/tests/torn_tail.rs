@@ -149,3 +149,61 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+/// Deterministic crash mid-batch-frame: a torn tail injected inside a
+/// 100-event group commit leaves exactly the pre-tear prefix durable
+/// and counted, the caller resumes the suffix from the `appended`
+/// delta (the aggregator store lane's resume contract), and open-time
+/// recovery quarantines the half-written frame without losing or
+/// duplicating anything.
+#[test]
+fn crash_mid_batch_frame_resumes_and_recovers() {
+    use fsmon_faults::{FaultPlan, FaultPoint, FaultRule};
+
+    let dir = case_dir();
+    const TORN_AT: u64 = 37; // the 38th event's frame is half-written
+    let faults = FaultPlan::new(11)
+        .with(
+            FaultPoint::StoreTornTail,
+            FaultRule::percent(100).after(TORN_AT).limit(1),
+        )
+        .arm();
+    let store = FileStore::open_with(&dir, 64 * 1024, faults).unwrap();
+
+    let events: Vec<StandardEvent> = (0..100).map(ev).collect();
+    let err = store.append_batch(&events).unwrap_err();
+    assert!(err.to_string().contains("torn"), "{err}");
+    // Only the complete frames before the tear are committed.
+    assert_eq!(store.stats().appended, TORN_AT);
+    assert_eq!(store.stats().last_seq, TORN_AT);
+
+    // Resume the suffix exactly as the store lane does: skip the
+    // already-durable prefix via the appended-count delta.
+    let done = store.stats().appended as usize;
+    assert_eq!(store.append_batch(&events[done..]).unwrap(), 100);
+    assert_eq!(store.stats().appended, 100);
+    let live = ids(&store.get_since(0, 1000).unwrap());
+    assert_eq!(live, (1..=100).collect::<Vec<_>>());
+    drop(store);
+
+    // Reopen: recovery must cut the half-frame out of the poisoned
+    // segment (preserving it as a quarantine file) and replay the
+    // same dense run.
+    let store = FileStore::open(&dir).unwrap();
+    let recovered = ids(&store.get_since(0, 1000).unwrap());
+    assert_eq!(recovered, (1..=100).collect::<Vec<_>>());
+    assert_eq!(store.append(&ev(100)).unwrap(), 101);
+    let quarantined = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .to_string_lossy()
+                .contains("quarantine")
+        })
+        .count();
+    assert_eq!(quarantined, 1, "the torn half-frame is preserved");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

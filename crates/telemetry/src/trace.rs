@@ -217,18 +217,32 @@ pub fn wall_clock() -> ClockFn {
 pub struct Tracer {
     clock: ClockFn,
     per_10k: u32,
+    tail_threshold_ns: u64,
     seen: Arc<AtomicU64>,
 }
 
 impl Tracer {
     /// A tracer sampling `per_10k`/10000 of events, stamping with
-    /// `clock`. `per_10k == 0` disables tracing entirely.
+    /// `clock`. `per_10k == 0` disables uniform sampling (the tracer
+    /// may still be active through [`with_tail_threshold`]).
+    ///
+    /// [`with_tail_threshold`]: Tracer::with_tail_threshold
     pub fn new(per_10k: u32, clock: ClockFn) -> Tracer {
         Tracer {
             clock,
             per_10k: per_10k.min(10_000),
+            tail_threshold_ns: 0,
             seen: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Tail-biased sampling: stages that observe a latency of at least
+    /// `threshold_ns` force a trace for the event(s) involved even when
+    /// the uniform sampler would skip them, so p99 exemplars stay sharp
+    /// at low `per_10k` rates. `0` disables the bias.
+    pub fn with_tail_threshold(mut self, threshold_ns: u64) -> Tracer {
+        self.tail_threshold_ns = threshold_ns;
+        self
     }
 
     /// The disabled tracer: samples nothing, costs nothing.
@@ -241,17 +255,23 @@ impl Tracer {
         Tracer::new(per_10k, wall_clock())
     }
 
-    /// Whether any sampling can happen.
+    /// Whether any sampling can happen (uniform or tail-biased).
     pub fn enabled(&self) -> bool {
-        self.per_10k > 0
+        self.per_10k > 0 || self.tail_threshold_ns > 0
     }
 
     /// Current clock reading.
     pub fn now_ns(&self) -> u64 {
-        if self.per_10k == 0 {
+        if !self.enabled() {
             return 0;
         }
         (self.clock)()
+    }
+
+    /// Whether `delta_ns` crosses the tail-bias threshold and should
+    /// force a trace regardless of the uniform sampling decision.
+    pub fn tail_exceeded(&self, delta_ns: u64) -> bool {
+        self.tail_threshold_ns > 0 && delta_ns >= self.tail_threshold_ns
     }
 
     /// The shared clock, for stages that stamp records sampled
@@ -276,6 +296,7 @@ impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tracer")
             .field("per_10k", &self.per_10k)
+            .field("tail_threshold_ns", &self.tail_threshold_ns)
             .finish()
     }
 }
@@ -434,6 +455,19 @@ mod tests {
         let off = Tracer::disabled();
         assert!((0..100).all(|_| !off.sample()));
         assert!(!off.enabled());
+    }
+
+    #[test]
+    fn tail_threshold_forces_independent_of_uniform_rate() {
+        let t = Tracer::new(0, Arc::new(|| 42)).with_tail_threshold(1_000);
+        assert!(t.enabled(), "tail bias alone activates the tracer");
+        assert_eq!(t.now_ns(), 42, "clock live despite per_10k == 0");
+        assert!(!t.sample(), "uniform sampling still off");
+        assert!(t.tail_exceeded(1_000));
+        assert!(t.tail_exceeded(5_000));
+        assert!(!t.tail_exceeded(999));
+        let off = Tracer::disabled();
+        assert!(!off.tail_exceeded(u64::MAX), "0 threshold disables bias");
     }
 
     #[test]

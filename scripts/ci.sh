@@ -19,8 +19,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> pipeline bench smoke (parallel resolution / sharded fan-out)"
 # Saturated-drain run; compares the tuned configuration against the
 # committed baseline and fails on a >20% throughput regression, a >20%
-# traced end-to-end p99 latency regression (skipped if the baseline
-# predates the field), or a <2x parallel speedup. --seconds must match the committed
+# traced end-to-end p99 latency regression, a >20% traced store_commit
+# p99 regression (the group-commit gate — either latency gate is
+# skipped if the baseline predates its field), or a <2x parallel
+# speedup. --seconds must match the committed
 # baseline's window: throughput grows with drain length (longer runs
 # amortize startup and build fuller batches), so differently sized
 # windows are not comparable. Writes its report to a scratch path so
