@@ -1,4 +1,4 @@
-//! Collector micro-benchmarks and the batching ablation (DESIGN.md §6).
+//! Collector micro-benchmarks and the batching ablation (DESIGN.md §7).
 //!
 //! `fid2path_cache` quantifies Algorithm 1's cache (with real fid2path
 //! cost disabled so the data-structure cost itself is visible);

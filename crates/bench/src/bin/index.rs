@@ -1,0 +1,254 @@
+//! Materialized index bench: fold throughput, query latency, and
+//! resident footprint of `fsmon-index` over a synthetic stamped
+//! stream.
+//!
+//! Generates a dense-id event stream (creates, writes, renames,
+//! attribute changes, deletes over a fixed working set — the same op
+//! mix the fold arms see from the live pipeline), folds it through
+//! [`IndexService::ingest`] in subscriber-sized batches, then times a
+//! mixed `find`/`du` query workload against the materialized state.
+//! Writes `BENCH_index.json` with ingest events/sec, query p50/p99,
+//! and resident bytes.
+//!
+//! Usage: `index [--events N] [--queries N] [--out PATH] [--baseline PATH]`
+//!
+//! With `--baseline`, ingest throughput is compared against the
+//! committed baseline and the process exits nonzero on a >20%
+//! regression; query p99 gates the same way when the baseline carries
+//! the field — the CI smoke gate.
+
+use fsmon_events::{EventKind, StandardEvent};
+use fsmon_index::{EntryKind, FindQuery, IndexService, PolicyEngine};
+use std::time::Instant;
+
+/// Directories in the synthetic namespace.
+const DIRS: u64 = 64;
+/// Files per directory in the working set.
+const FILES_PER_DIR: u64 = 256;
+/// Subscriber-sized ingest batches (the aggregator's publish batches
+/// land in this range).
+const BATCH: usize = 512;
+/// Allowed regression against the committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Deterministic xorshift so runs are reproducible without a seed
+/// dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn path_of(rng: &mut Rng) -> String {
+    format!("/w/d{}/f{}.dat", rng.below(DIRS), rng.below(FILES_PER_DIR))
+}
+
+/// A stamped stream with the live pipeline's op mix: mostly creates
+/// and writes, a steady trickle of renames, attribute changes, and
+/// deletes, ids dense from 1.
+fn synthetic_stream(n: u64) -> Vec<StandardEvent> {
+    let mut rng = Rng(0x5eed_f01d_cafe_d00d);
+    (1..=n)
+        .map(|id| {
+            let roll = rng.below(100);
+            let mut ev = if roll < 35 {
+                StandardEvent::new(EventKind::Create, "/w", path_of(&mut rng))
+                    .with_size(rng.below(1 << 20))
+                    .with_owner(rng.below(8) as u32)
+            } else if roll < 70 {
+                StandardEvent::new(EventKind::CloseWrite, "/w", path_of(&mut rng))
+                    .with_size(rng.below(1 << 22))
+            } else if roll < 80 {
+                let old = path_of(&mut rng);
+                StandardEvent::new(EventKind::MovedTo, "/w", path_of(&mut rng)).with_old_path(old)
+            } else if roll < 90 {
+                StandardEvent::new(EventKind::Attrib, "/w", path_of(&mut rng))
+                    .with_owner(rng.below(8) as u32)
+            } else {
+                StandardEvent::new(EventKind::Delete, "/w", path_of(&mut rng))
+            };
+            ev.id = id;
+            ev.timestamp_ns = id * 1_000;
+            ev
+        })
+        .collect()
+}
+
+/// Pull `"<key>": <n>` out of a previously written flat report without
+/// a JSON dependency. `None` when the baseline predates the field.
+fn baseline_field(text: &str, key: &str) -> Option<f64> {
+    let quoted = format!("\"{key}\"");
+    let after_key = &text[text.find(&quoted)? + quoted.len()..];
+    let num = after_key.trim_start_matches([':', ' ', '\t', '\n']);
+    let end = num
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
+fn main() {
+    let mut events = 400_000u64;
+    let mut queries = 400u64;
+    let mut out_path = "BENCH_index.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--events" => {
+                events = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--events needs a number");
+            }
+            "--queries" => {
+                queries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queries needs a number");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: index [--events N] [--queries N] [--out PATH] [--baseline PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("index bench: generating {events} stamped events over {DIRS}x{FILES_PER_DIR} paths");
+    let stream = synthetic_stream(events);
+
+    // Fold throughput: the stream arrives in subscriber-sized batches,
+    // already ordered (the catch-up path), so this measures the pure
+    // fold + rollup + policy-observe cost.
+    let telemetry_before = fsmon_telemetry::global().snapshot();
+    let mut svc = IndexService::new(PolicyEngine::standard("/**", 3_600_000_000_000, 1.0));
+    let t0 = Instant::now();
+    for batch in stream.chunks(BATCH) {
+        svc.ingest(batch);
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    let ingest_events_per_sec = events as f64 / ingest_secs.max(1e-9);
+    assert_eq!(svc.index().applied_seq(), events, "fold dropped events");
+    let entries = svc.index().len();
+    let resident_bytes = svc.index().resident_bytes();
+    eprintln!(
+        "  folded {events} events in {ingest_secs:.3}s ({ingest_events_per_sec:.0} ev/s), \
+         {entries} entries, {resident_bytes} resident bytes"
+    );
+
+    // Query latency: a mixed read workload against the materialized
+    // state — pattern finds with varying predicates, shallow and deep
+    // du rollups, full policy evaluation every 64th query. Each call
+    // records `fsmon_index_query_ns`, so quantiles come from the
+    // telemetry delta.
+    let now_ns = events * 1_000 + 1;
+    let mut rng = Rng(0xdead_beef_0bad_f00d);
+    let mut rows_seen = 0usize;
+    for q in 0..queries {
+        match q % 4 {
+            0 => {
+                let query = FindQuery::default()
+                    .pattern("/w/d1/*.dat")
+                    .min_size(rng.below(1 << 20));
+                rows_seen += svc.find(&query, now_ns).len();
+            }
+            1 => {
+                let query = FindQuery::default()
+                    .older_than_ns(rng.below(now_ns))
+                    .kind(EntryKind::File);
+                rows_seen += svc.find(&query, now_ns).len();
+            }
+            2 => rows_seen += svc.du("/w", 1).len(),
+            _ => {
+                rows_seen += svc.du("/", usize::MAX).len();
+                if q % 64 == 3 {
+                    rows_seen += svc.evaluate(now_ns).len();
+                }
+            }
+        }
+    }
+    let delta = fsmon_telemetry::global()
+        .snapshot()
+        .delta_from(&telemetry_before);
+    let query_hist = delta
+        .histogram("fsmon_index_query_ns")
+        .expect("query_ns histogram recorded");
+    let query_p50_ns = query_hist.quantile(0.5);
+    let query_p99_ns = query_hist.quantile(0.99);
+    let fold_p99_ns = delta
+        .histogram("fsmon_index_fold_ns")
+        .map(|h| h.quantile(0.99))
+        .unwrap_or(0);
+    eprintln!(
+        "  {queries} queries ({rows_seen} rows), p50 {query_p50_ns} ns, p99 {query_p99_ns} ns"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"index\",\n  \"events\": {events},\n  \
+         \"queries\": {queries},\n  \"batch\": {BATCH},\n  \
+         \"ingest_events_per_sec\": {ingest_events_per_sec:.1},\n  \
+         \"ingest_secs\": {ingest_secs:.3},\n  \
+         \"fold_batch_p99_ns\": {fold_p99_ns},\n  \
+         \"entries\": {entries},\n  \"resident_bytes\": {resident_bytes},\n  \
+         \"query_p50_ns\": {query_p50_ns},\n  \"query_p99_ns\": {query_p99_ns}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("{json}");
+
+    let mut failed = false;
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let committed = baseline_field(&text, "ingest_events_per_sec")
+            .unwrap_or_else(|| panic!("no ingest_events_per_sec in {path}"));
+        let floor = committed * (1.0 - REGRESSION_TOLERANCE);
+        if ingest_events_per_sec < floor {
+            eprintln!(
+                "FAIL: ingest {ingest_events_per_sec:.0} ev/s regressed >{:.0}% below committed \
+                 baseline {committed:.0} ev/s",
+                100.0 * REGRESSION_TOLERANCE
+            );
+            failed = true;
+        } else {
+            println!(
+                "baseline check: ingest {ingest_events_per_sec:.0} ev/s vs committed \
+                 {committed:.0} ev/s (floor {floor:.0}) OK"
+            );
+        }
+        match baseline_field(&text, "query_p99_ns") {
+            Some(committed_p99) if committed_p99 > 0.0 => {
+                let ceiling = committed_p99 * (1.0 + REGRESSION_TOLERANCE);
+                if query_p99_ns as f64 > ceiling {
+                    eprintln!(
+                        "FAIL: query p99 {query_p99_ns} ns regressed >{:.0}% above committed \
+                         baseline {committed_p99:.0} ns",
+                        100.0 * REGRESSION_TOLERANCE
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "baseline check: query p99 {query_p99_ns} ns vs committed \
+                         {committed_p99:.0} ns (ceiling {ceiling:.0}) OK"
+                    );
+                }
+            }
+            _ => println!("baseline check: no committed query_p99_ns; query gate skipped"),
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -88,6 +88,58 @@ pub enum Command {
         publish_lanes: usize,
         /// Refresh interval in milliseconds.
         interval_ms: u64,
+        /// Sliding window for per-MDT event rates, in seconds.
+        window_secs: u64,
+    },
+    /// Query the materialized index by predicate.
+    Find {
+        /// Store directory to index (None = index a fresh demo run).
+        store: Option<String>,
+        /// Snapshot file override (default `<store>/index.snap`).
+        snapshot: Option<String>,
+        /// Path glob (`*` within a component, `**` across).
+        pattern: Option<String>,
+        /// Only entries whose mtime is at least this old.
+        older_than_secs: Option<u64>,
+        /// Only entries at least this large.
+        min_size: Option<u64>,
+        /// Only entries owned by this uid.
+        owner: Option<u32>,
+        /// Only this entry kind (`file`, `dir`, `symlink`, `device`).
+        kind: Option<String>,
+        /// Print at most this many rows.
+        max: usize,
+        /// Demo workload seconds when no store is given.
+        seconds: u64,
+    },
+    /// Per-directory rollups (entry counts, bytes, last activity) from
+    /// the materialized index.
+    Du {
+        /// Store directory to index (None = index a fresh demo run).
+        store: Option<String>,
+        /// Snapshot file override (default `<store>/index.snap`).
+        snapshot: Option<String>,
+        /// Only directories under this prefix.
+        prefix: String,
+        /// Group rollups this many components below the prefix.
+        depth: usize,
+        /// Demo workload seconds when no store is given.
+        seconds: u64,
+    },
+    /// Evaluate the standard policy set against the materialized index.
+    Policy {
+        /// Store directory to index (None = index a fresh demo run).
+        store: Option<String>,
+        /// Snapshot file override (default `<store>/index.snap`).
+        snapshot: Option<String>,
+        /// Path glob the purge-age policy applies to.
+        pattern: String,
+        /// Purge-age threshold in seconds.
+        purge_age_secs: u64,
+        /// Minimum events/second for a directory to count as hot.
+        min_rate: f64,
+        /// Demo workload seconds when no store is given.
+        seconds: u64,
     },
     /// Run the pipeline under a fault-injection plan and report a
     /// loss/duplication verdict.
@@ -163,10 +215,17 @@ USAGE:
   fsmon stats [--format summary|prometheus|json] [--from FILE]
               [--diff BEFORE AFTER] [--mds N] [--seconds S] [--cache N]
   fsmon top   [--mds N] [--seconds S] [--cache N] [--resolver-threads N]
-              [--publish-lanes N] [--interval-ms MS]
+              [--publish-lanes N] [--interval-ms MS] [--window SECS]
   fsmon chaos [--plan none|basic|storm] [--seed N] [--mds N] [--seconds S]
               [--resolver-threads N] [--publish-lanes N] [--consumers N]
               [--durability none|batch|bytes:N|interval:MS]
+  fsmon find  [--store DIR] [--snapshot FILE] [--pattern GLOB]
+              [--older-than SECS] [--min-size BYTES] [--owner UID]
+              [--kind file|dir|symlink|device] [--max N] [--seconds S]
+  fsmon du    [--store DIR] [--snapshot FILE] [--prefix /p] [--depth N]
+              [--seconds S]
+  fsmon policy [--store DIR] [--snapshot FILE] [--pattern GLOB]
+               [--purge-age SECS] [--min-rate R] [--seconds S]
   fsmon help
 
 FORMATS: inotify (default), kqueue, fsevents, filesystemwatcher
@@ -192,6 +251,9 @@ impl Cli {
             Some("stats") => Self::parse_stats(&mut iter)?,
             Some("top") => Self::parse_top(&mut iter)?,
             Some("chaos") => Self::parse_chaos(&mut iter)?,
+            Some("find") => Self::parse_find(&mut iter)?,
+            Some("du") => Self::parse_du(&mut iter)?,
+            Some("policy") => Self::parse_policy(&mut iter)?,
             Some(other) => return Err(ParseError(format!("unknown command: {other}"))),
         };
         Ok(Cli { command })
@@ -392,6 +454,7 @@ impl Cli {
         let mut resolver_threads = 4;
         let mut publish_lanes = 2;
         let mut interval_ms = 500;
+        let mut window_secs = 5;
         while let Some(arg) = iter.next() {
             match arg {
                 "--mds" => {
@@ -424,6 +487,13 @@ impl Cli {
                         .parse()
                         .map_err(|_| ParseError("--interval-ms must be a number".into()))?
                 }
+                "--window" => {
+                    window_secs = take_value(arg, iter)?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| ParseError("--window must be a number >= 1".into()))?
+                }
                 other => return Err(ParseError(format!("unknown flag for top: {other}"))),
             }
         }
@@ -434,6 +504,151 @@ impl Cli {
             resolver_threads,
             publish_lanes,
             interval_ms,
+            window_secs,
+        })
+    }
+
+    fn parse_find<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut store = None;
+        let mut snapshot = None;
+        let mut pattern = None;
+        let mut older_than_secs = None;
+        let mut min_size = None;
+        let mut owner = None;
+        let mut kind = None;
+        let mut max = 100;
+        let mut seconds = 1;
+        while let Some(arg) = iter.next() {
+            match arg {
+                "--store" => store = Some(take_value(arg, iter)?.to_string()),
+                "--snapshot" => snapshot = Some(take_value(arg, iter)?.to_string()),
+                "--pattern" => pattern = Some(take_value(arg, iter)?.to_string()),
+                "--older-than" => {
+                    older_than_secs = Some(
+                        take_value(arg, iter)?
+                            .parse()
+                            .map_err(|_| ParseError("--older-than must be a number".into()))?,
+                    )
+                }
+                "--min-size" => {
+                    min_size = Some(
+                        take_value(arg, iter)?
+                            .parse()
+                            .map_err(|_| ParseError("--min-size must be a number".into()))?,
+                    )
+                }
+                "--owner" => {
+                    owner = Some(
+                        take_value(arg, iter)?
+                            .parse()
+                            .map_err(|_| ParseError("--owner must be a uid".into()))?,
+                    )
+                }
+                "--kind" => {
+                    let v = take_value(arg, iter)?;
+                    if !matches!(v, "file" | "dir" | "symlink" | "device") {
+                        return Err(ParseError(format!(
+                            "--kind must be file, dir, symlink, or device (got {v})"
+                        )));
+                    }
+                    kind = Some(v.to_string());
+                }
+                "--max" => {
+                    max = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--max must be a number".into()))?
+                }
+                "--seconds" => {
+                    seconds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--seconds must be a number".into()))?
+                }
+                other => return Err(ParseError(format!("unknown flag for find: {other}"))),
+            }
+        }
+        Ok(Command::Find {
+            store,
+            snapshot,
+            pattern,
+            older_than_secs,
+            min_size,
+            owner,
+            kind,
+            max,
+            seconds,
+        })
+    }
+
+    fn parse_du<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut store = None;
+        let mut snapshot = None;
+        let mut prefix = "/".to_string();
+        let mut depth = 1;
+        let mut seconds = 1;
+        while let Some(arg) = iter.next() {
+            match arg {
+                "--store" => store = Some(take_value(arg, iter)?.to_string()),
+                "--snapshot" => snapshot = Some(take_value(arg, iter)?.to_string()),
+                "--prefix" => prefix = take_value(arg, iter)?.to_string(),
+                "--depth" => {
+                    depth = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--depth must be a number".into()))?
+                }
+                "--seconds" => {
+                    seconds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--seconds must be a number".into()))?
+                }
+                other => return Err(ParseError(format!("unknown flag for du: {other}"))),
+            }
+        }
+        Ok(Command::Du {
+            store,
+            snapshot,
+            prefix,
+            depth,
+            seconds,
+        })
+    }
+
+    fn parse_policy<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut store = None;
+        let mut snapshot = None;
+        let mut pattern = "/**".to_string();
+        let mut purge_age_secs = 3600;
+        let mut min_rate = 1.0;
+        let mut seconds = 1;
+        while let Some(arg) = iter.next() {
+            match arg {
+                "--store" => store = Some(take_value(arg, iter)?.to_string()),
+                "--snapshot" => snapshot = Some(take_value(arg, iter)?.to_string()),
+                "--pattern" => pattern = take_value(arg, iter)?.to_string(),
+                "--purge-age" => {
+                    purge_age_secs = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--purge-age must be a number".into()))?
+                }
+                "--min-rate" => {
+                    min_rate = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--min-rate must be a number".into()))?
+                }
+                "--seconds" => {
+                    seconds = take_value(arg, iter)?
+                        .parse()
+                        .map_err(|_| ParseError("--seconds must be a number".into()))?
+                }
+                other => return Err(ParseError(format!("unknown flag for policy: {other}"))),
+            }
+        }
+        Ok(Command::Policy {
+            store,
+            snapshot,
+            pattern,
+            purge_age_secs,
+            min_rate,
+            seconds,
         })
     }
 
@@ -722,7 +937,8 @@ mod tests {
                 cache: 5000,
                 resolver_threads: 4,
                 publish_lanes: 2,
-                interval_ms: 500
+                interval_ms: 500,
+                window_secs: 5
             }
         );
         let cli = Cli::parse([
@@ -735,6 +951,8 @@ mod tests {
             "100",
             "--interval-ms",
             "250",
+            "--window",
+            "3",
         ])
         .unwrap();
         assert_eq!(
@@ -745,11 +963,139 @@ mod tests {
                 cache: 100,
                 resolver_threads: 4,
                 publish_lanes: 2,
-                interval_ms: 250
+                interval_ms: 250,
+                window_secs: 3
             }
         );
         assert!(Cli::parse(["top", "--interval-ms", "soon"]).is_err());
+        assert!(Cli::parse(["top", "--window", "0"]).is_err());
         assert!(Cli::parse(["top", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn find_parsing() {
+        let cli = Cli::parse(["find"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Find {
+                store: None,
+                snapshot: None,
+                pattern: None,
+                older_than_secs: None,
+                min_size: None,
+                owner: None,
+                kind: None,
+                max: 100,
+                seconds: 1
+            }
+        );
+        let cli = Cli::parse([
+            "find",
+            "--store",
+            "/tmp/ev",
+            "--snapshot",
+            "/tmp/idx.snap",
+            "--pattern",
+            "/proj/**/*.h5",
+            "--older-than",
+            "86400",
+            "--min-size",
+            "4096",
+            "--owner",
+            "1001",
+            "--kind",
+            "file",
+            "--max",
+            "10",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Find {
+                store: Some("/tmp/ev".into()),
+                snapshot: Some("/tmp/idx.snap".into()),
+                pattern: Some("/proj/**/*.h5".into()),
+                older_than_secs: Some(86400),
+                min_size: Some(4096),
+                owner: Some(1001),
+                kind: Some("file".into()),
+                max: 10,
+                seconds: 1
+            }
+        );
+        assert!(Cli::parse(["find", "--kind", "fifo"]).is_err());
+        assert!(Cli::parse(["find", "--older-than", "soon"]).is_err());
+        assert!(Cli::parse(["find", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn du_parsing() {
+        let cli = Cli::parse(["du"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Du {
+                store: None,
+                snapshot: None,
+                prefix: "/".into(),
+                depth: 1,
+                seconds: 1
+            }
+        );
+        let cli = Cli::parse([
+            "du", "--store", "/tmp/ev", "--prefix", "/proj", "--depth", "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Du {
+                store: Some("/tmp/ev".into()),
+                snapshot: None,
+                prefix: "/proj".into(),
+                depth: 2,
+                seconds: 1
+            }
+        );
+        assert!(Cli::parse(["du", "--depth", "deep"]).is_err());
+        assert!(Cli::parse(["du", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        let cli = Cli::parse(["policy"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Policy {
+                store: None,
+                snapshot: None,
+                pattern: "/**".into(),
+                purge_age_secs: 3600,
+                min_rate: 1.0,
+                seconds: 1
+            }
+        );
+        let cli = Cli::parse([
+            "policy",
+            "--pattern",
+            "/scratch/**",
+            "--purge-age",
+            "60",
+            "--min-rate",
+            "0.5",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Policy {
+                store: None,
+                snapshot: None,
+                pattern: "/scratch/**".into(),
+                purge_age_secs: 60,
+                min_rate: 0.5,
+                seconds: 1
+            }
+        );
+        assert!(Cli::parse(["policy", "--min-rate", "warm"]).is_err());
+        assert!(Cli::parse(["policy", "--wat"]).is_err());
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             resolver_threads,
             publish_lanes,
             interval_ms,
+            window_secs,
         } => top(
             mds,
             seconds,
@@ -77,6 +78,59 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             resolver_threads,
             publish_lanes,
             interval_ms,
+            window_secs,
+            out,
+        ),
+        Command::Find {
+            store,
+            snapshot,
+            pattern,
+            older_than_secs,
+            min_size,
+            owner,
+            kind,
+            max,
+            seconds,
+        } => find(
+            store.as_deref(),
+            snapshot.as_deref(),
+            pattern.as_deref(),
+            older_than_secs,
+            min_size,
+            owner,
+            kind.as_deref(),
+            max,
+            seconds,
+            out,
+        ),
+        Command::Du {
+            store,
+            snapshot,
+            prefix,
+            depth,
+            seconds,
+        } => du(
+            store.as_deref(),
+            snapshot.as_deref(),
+            &prefix,
+            depth,
+            seconds,
+            out,
+        ),
+        Command::Policy {
+            store,
+            snapshot,
+            pattern,
+            purge_age_secs,
+            min_rate,
+            seconds,
+        } => policy(
+            store.as_deref(),
+            snapshot.as_deref(),
+            &pattern,
+            purge_age_secs,
+            min_rate,
+            seconds,
             out,
         ),
         Command::Chaos {
@@ -186,10 +240,250 @@ fn replay(store_dir: &str, since: u64, max: usize, out: &mut dyn Write) -> i32 {
     }
 }
 
-/// Run the simulated Lustre pipeline for `seconds`, letting the whole
-/// stack (collectors, mq, aggregator, store) pump the global telemetry
-/// registry. Returns the number of generated operations.
-fn run_sim_pipeline(mds: u16, seconds: u64, cache: usize) -> Result<(u64, Duration), String> {
+/// Open (or build) the materialized index a query command answers
+/// from. With `--store`, the snapshot beside the store resumes the
+/// index at its applied-seq cursor, `catch_up` folds only the events
+/// stamped since, and the refreshed snapshot is saved back — the query
+/// itself never scans the store. Without a store, a fresh demo run is
+/// indexed so the command has something to show.
+fn open_index(
+    store_dir: Option<&str>,
+    snapshot: Option<&str>,
+    seconds: u64,
+    policies: fsmon_index::PolicyEngine,
+    out: &mut dyn Write,
+) -> Result<fsmon_index::IndexService, i32> {
+    match store_dir {
+        Some(dir) => {
+            let store = match FileStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    let _ = writeln!(out, "error: cannot open store at {dir}: {e}");
+                    return Err(2);
+                }
+            };
+            let snap = snapshot
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| std::path::Path::new(dir).join("index.snap"));
+            let mut svc = fsmon_index::IndexService::open(snap, policies);
+            let resumed = svc.index().applied_seq();
+            if let Err(e) = svc.catch_up(&store) {
+                let _ = writeln!(out, "error: index catch-up failed: {e}");
+                return Err(2);
+            }
+            if let Err(e) = svc.save() {
+                let _ = writeln!(out, "warning: cannot save index snapshot: {e}");
+            }
+            let _ = writeln!(
+                out,
+                "index     : resumed at seq {resumed}, caught up to seq {} \
+                 ({} entries, {} resident bytes)",
+                svc.index().applied_seq(),
+                svc.index().len(),
+                svc.index().resident_bytes(),
+            );
+            Ok(svc)
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "no --store given; indexing a fresh {seconds}s demo run"
+            );
+            let dir = std::env::temp_dir().join(format!(
+                "fsmon-queryidx-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = match FileStore::open(dir.join("store")) {
+                Ok(s) => std::sync::Arc::new(s),
+                Err(e) => {
+                    let _ = writeln!(out, "error: cannot open demo store: {e}");
+                    return Err(2);
+                }
+            };
+            if let Err(e) = run_sim_into_store(1, seconds.max(1), 5000, store.clone()) {
+                let _ = writeln!(out, "error: {e}");
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(2);
+            }
+            let mut svc = fsmon_index::IndexService::new(policies);
+            let caught = svc.catch_up(store.as_ref());
+            let _ = std::fs::remove_dir_all(&dir);
+            if let Err(e) = caught {
+                let _ = writeln!(out, "error: index catch-up failed: {e}");
+                return Err(2);
+            }
+            let _ = writeln!(
+                out,
+                "index     : folded seq 1..={} into {} entries",
+                svc.index().applied_seq(),
+                svc.index().len(),
+            );
+            Ok(svc)
+        }
+    }
+}
+
+/// The index's notion of "now": the newest activity it has folded.
+/// Event timestamps come from the producing system's clock (the sim
+/// clock in demos), so anchoring ages to the stream keeps `--older-than`
+/// and rate windows meaningful regardless of wall-clock skew.
+fn index_now(idx: &fsmon_index::NamespaceIndex) -> u64 {
+    idx.rollups()
+        .map(|(_, r)| r.last_activity_ns)
+        .max()
+        .unwrap_or(0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn find(
+    store: Option<&str>,
+    snapshot: Option<&str>,
+    pattern: Option<&str>,
+    older_than_secs: Option<u64>,
+    min_size: Option<u64>,
+    owner: Option<u32>,
+    kind: Option<&str>,
+    max: usize,
+    seconds: u64,
+    out: &mut dyn Write,
+) -> i32 {
+    use fsmon_index::EntryKind;
+    let svc = match open_index(
+        store,
+        snapshot,
+        seconds,
+        fsmon_index::PolicyEngine::empty(),
+        out,
+    ) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut query = fsmon_index::FindQuery::default();
+    if let Some(p) = pattern {
+        query = query.pattern(p);
+    }
+    if let Some(age) = older_than_secs {
+        query = query.older_than_ns(age.saturating_mul(1_000_000_000));
+    }
+    if let Some(bytes) = min_size {
+        query = query.min_size(bytes);
+    }
+    if let Some(uid) = owner {
+        query = query.owner(uid);
+    }
+    if let Some(k) = kind {
+        query = query.kind(match k {
+            "file" => EntryKind::File,
+            "dir" => EntryKind::Directory,
+            "symlink" => EntryKind::Symlink,
+            _ => EntryKind::Device,
+        });
+    }
+    let rows = svc.find(&query, index_now(svc.index()));
+    for (path, entry) in rows.iter().take(max) {
+        let _ = writeln!(
+            out,
+            "{:>12}  uid {:<6}  {:<7}  {}",
+            entry.size,
+            entry.owner,
+            entry.kind.label(),
+            path
+        );
+    }
+    if rows.len() > max {
+        let _ = writeln!(out, "... {} more rows (raise --max)", rows.len() - max);
+    }
+    let _ = writeln!(
+        out,
+        "matched {} of {} entries",
+        rows.len(),
+        svc.index().len()
+    );
+    0
+}
+
+fn du(
+    store: Option<&str>,
+    snapshot: Option<&str>,
+    prefix: &str,
+    depth: usize,
+    seconds: u64,
+    out: &mut dyn Write,
+) -> i32 {
+    let svc = match open_index(
+        store,
+        snapshot,
+        seconds,
+        fsmon_index::PolicyEngine::empty(),
+        out,
+    ) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let rows = svc.du(prefix, depth);
+    let mut total_bytes = 0u64;
+    let mut total_entries = 0u64;
+    for row in &rows {
+        total_bytes += row.bytes;
+        total_entries += row.entries;
+        let _ = writeln!(
+            out,
+            "{:>14}  {:>8} entries  {}",
+            row.bytes, row.entries, row.path
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{total_bytes:>14}  {total_entries:>8} entries  total under {prefix} \
+         ({} rollups)",
+        rows.len()
+    );
+    0
+}
+
+fn policy(
+    store: Option<&str>,
+    snapshot: Option<&str>,
+    pattern: &str,
+    purge_age_secs: u64,
+    min_rate: f64,
+    seconds: u64,
+    out: &mut dyn Write,
+) -> i32 {
+    let engine = fsmon_index::PolicyEngine::standard(
+        pattern,
+        purge_age_secs.saturating_mul(1_000_000_000),
+        min_rate,
+    );
+    let svc = match open_index(store, snapshot, seconds, engine, out) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    for report in svc.evaluate(index_now(svc.index())) {
+        let _ = writeln!(
+            out,
+            "{:<10}: {} candidates ({} stream events matched)",
+            report.name, report.candidates, report.matched_events
+        );
+        for path in &report.sample {
+            let _ = writeln!(out, "            {path}");
+        }
+    }
+    0
+}
+
+/// Run the simulated Lustre pipeline for `seconds` with its event log
+/// landing in `store`, letting the whole stack (collectors, mq,
+/// aggregator, store) pump the global telemetry registry. Returns the
+/// number of generated operations.
+fn run_sim_into_store(
+    mds: u16,
+    seconds: u64,
+    cache: usize,
+    store: std::sync::Arc<FileStore>,
+) -> Result<(u64, Duration), String> {
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
     use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
     use lustre_sim::{LustreConfig, LustreFs};
@@ -202,6 +496,7 @@ fn run_sim_pipeline(mds: u16, seconds: u64, cache: usize) -> Result<(u64, Durati
             // 1% sampled traces so the summary can attribute per-stage
             // latency without distorting throughput.
             trace_sample_per_10k: 100,
+            store: Some(store),
             ..ScalableConfig::default()
         },
     )
@@ -214,6 +509,24 @@ fn run_sim_pipeline(mds: u16, seconds: u64, cache: usize) -> Result<(u64, Durati
     drain_consumer(&monitor, run.operations);
     monitor.stop();
     Ok((run.operations, run.elapsed))
+}
+
+/// Run the simulated pipeline into a temporary store and fold the run
+/// into a materialized index, so the final summary's index section has
+/// real numbers. Returns the number of generated operations.
+fn run_sim_pipeline(mds: u16, seconds: u64, cache: usize) -> Result<(u64, Duration), String> {
+    let dir = std::env::temp_dir().join(format!("fsmon-stats-idx-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = std::sync::Arc::new(FileStore::open(dir.join("store")).map_err(|e| e.to_string())?);
+    let result = run_sim_into_store(mds, seconds, cache, store.clone());
+    if result.is_ok() {
+        let mut svc =
+            fsmon_index::IndexService::new(fsmon_index::PolicyEngine::standard("/**", 0, 1.0));
+        svc.catch_up(store.as_ref()).map_err(|e| e.to_string())?;
+        svc.record_lag(store.as_ref());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    result
 }
 
 /// Pull everything the aggregator published through the consumer so
@@ -375,6 +688,7 @@ fn write_stats_summary(snap: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
         snap.counter("fsmon_consumer_filtered_total"),
         snap.counter("fsmon_consumer_dropped_total"),
     );
+    write_index_summary(snap, out);
     let _ = writeln!(
         out,
         "faults    : {} injected",
@@ -397,6 +711,50 @@ fn write_stats_summary(snap: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
         snap.counter("fsmon_consumer_reconnects_total"),
     );
     write_latency_summary(snap, out);
+}
+
+/// The materialized-index section of the summary: applied-seq cursor,
+/// ingest lag vs the store head, resident footprint, and per-rule
+/// predicate matches summed across rule labels. Silent when no index
+/// ran in this snapshot's process.
+fn write_index_summary(snap: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
+    use fsmon_telemetry::MetricValue;
+    let Some(applied_seq) = snap.gauge("fsmon_index_applied_seq") else {
+        return;
+    };
+    let rule_matches: u64 = snap
+        .metrics
+        .iter()
+        .filter(|(id, _)| id.name == "fsmon_index_rule_matches_total")
+        .map(|(_, v)| match v {
+            MetricValue::Counter(n) => *n,
+            _ => 0,
+        })
+        .sum();
+    let _ = writeln!(
+        out,
+        "index     : applied seq {applied_seq}, lag {}, {} entries, \
+         {} resident bytes, {} rule matches",
+        snap.gauge("fsmon_index_ingest_lag").unwrap_or(0),
+        snap.gauge("fsmon_index_entries").unwrap_or(0),
+        snap.gauge("fsmon_index_resident_bytes").unwrap_or(0),
+        rule_matches,
+    );
+    if let Some(h) = snap
+        .histogram("fsmon_index_fold_ns")
+        .filter(|h| h.count() > 0)
+    {
+        let _ = writeln!(
+            out,
+            "            fold p50 {} ns / p99 {} ns over {} batches, \
+             {} events applied, {} snapshots",
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.count(),
+            snap.counter("fsmon_index_events_applied_total"),
+            snap.counter("fsmon_index_snapshots_total"),
+        );
+    }
 }
 
 /// Per-stage latency attribution from sampled trace records: one line
@@ -597,11 +955,33 @@ fn stats(
     0
 }
 
+/// Per-MDT event rates from a windowed delta snapshot: the
+/// `fsmon_collector_events_total{mdt=...}` counter deltas divided by
+/// the window span.
+fn per_mdt_rates(delta: &fsmon_telemetry::Snapshot, span_secs: f64) -> Vec<(String, f64)> {
+    use fsmon_telemetry::MetricValue;
+    let mut rates = Vec::new();
+    for (id, value) in &delta.metrics {
+        if id.name != "fsmon_collector_events_total" {
+            continue;
+        }
+        let MetricValue::Counter(n) = value else {
+            continue;
+        };
+        let Some((_, mdt)) = id.labels.iter().find(|(k, _)| k == "mdt") else {
+            continue;
+        };
+        rates.push((mdt.clone(), *n as f64 / span_secs));
+    }
+    rates
+}
+
 /// Live view of the running pipeline: a workload drives the simulated
 /// cluster in the background while the foreground ticks, printing one
 /// line per interval with stage deltas and trace latency, then the
 /// merged fleet snapshot (every collector's published telemetry folded
 /// into one view) and the final per-stage summary.
+#[allow(clippy::too_many_arguments)]
 fn top(
     mds: u16,
     seconds: u64,
@@ -609,6 +989,7 @@ fn top(
     resolver_threads: usize,
     publish_lanes: usize,
     interval_ms: u64,
+    window_secs: u64,
     out: &mut dyn Write,
 ) -> i32 {
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
@@ -646,7 +1027,13 @@ fn top(
             .run_for(&client, Duration::from_secs(seconds.max(1)))
     });
 
+    let window = Duration::from_secs(window_secs.max(1));
     let mut prev = fsmon_telemetry::global().snapshot();
+    // Ring of timestamped snapshots covering the sliding window, so
+    // per-MDT rates reflect the last N seconds rather than the whole
+    // run or a single tick.
+    let mut ring: std::collections::VecDeque<(Instant, fsmon_telemetry::Snapshot)> =
+        std::collections::VecDeque::from([(Instant::now(), prev.clone())]);
     let mut tick = 0u64;
     while !worker.is_finished() {
         // Pull the live feed so Deliver stamps fold into the trace
@@ -656,7 +1043,12 @@ fn top(
             .recv_batch(8192, Duration::from_millis(interval_ms.max(50)));
         let snap = fsmon_telemetry::global().snapshot();
         let delta = snap.delta_from(&prev);
-        prev = snap;
+        prev = snap.clone();
+        let now = Instant::now();
+        ring.push_back((now, snap));
+        while ring.len() > 2 && now.duration_since(ring[1].0) >= window {
+            ring.pop_front();
+        }
         tick += 1;
         let e2e = delta
             .histogram("fsmon_trace_e2e_ns")
@@ -671,6 +1063,22 @@ fn top(
             delta.counter("fsmon_store_appends_total"),
             delta.counter("fsmon_consumer_delivered_total"),
         );
+        let (oldest_at, oldest) = ring.front().expect("ring is never empty");
+        let span = now.duration_since(*oldest_at).as_secs_f64().max(1e-9);
+        let windowed = ring
+            .back()
+            .expect("ring is never empty")
+            .1
+            .delta_from(oldest);
+        let mut rates = per_mdt_rates(&windowed, span);
+        if !rates.is_empty() {
+            rates.sort_by(|a, b| a.0.cmp(&b.0));
+            let line: String = rates
+                .iter()
+                .map(|(mdt, rate)| format!("  mdt{mdt} {rate:.0} ev/s"))
+                .collect();
+            let _ = writeln!(out, "  window {span:>4.1}s:{line}");
+        }
     }
     let run = worker.join().expect("workload thread");
     monitor.wait_events(run.operations, Duration::from_secs(60));
@@ -761,7 +1169,7 @@ fn chaos(
             ..fsmon_store::FileStoreOptions::default()
         },
     ) {
-        Ok(s) => s,
+        Ok(s) => Arc::new(s),
         Err(e) => {
             let _ = writeln!(out, "error: cannot open chaos store: {e}");
             return 2;
@@ -783,7 +1191,7 @@ fn chaos(
             // along to prove sampling survives the fault plan.
             trace_sample_per_10k: 100,
             batch_size: 64,
-            store: Some(Arc::new(store)),
+            store: Some(store.clone()),
             cursor_file: Some(dir.join("cursors")),
             faults: faults.clone(),
             resolver_threads,
@@ -847,6 +1255,58 @@ fn chaos(
             })
         })
         .collect();
+
+    // The materialized index rides the same pub/sub path on its own
+    // lane, folding live batches as they arrive. Every 16 batches it
+    // simulates a supervised crash: persist the snapshot, drop the
+    // in-memory state, resume from the snapshot's applied-seq cursor,
+    // and heal the discarded tail from the store. Events the store
+    // cannot produce yet wait in the service's reorder stage, so the
+    // fold never applies out of sequence.
+    let index_consumer = match monitor.new_consumer_named(fsmon_core::EventFilter::all(), "index") {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot attach index consumer: {e}");
+            return 2;
+        }
+    };
+    let index_snap = dir.join("index.snap");
+    let index_store = store.clone();
+    let index_stopped = stopped.clone();
+    let index_thread = std::thread::spawn(move || {
+        let new_engine = || fsmon_index::PolicyEngine::standard("/**", 0, 1.0);
+        let mut svc = fsmon_index::IndexService::open(&index_snap, new_engine());
+        let mut restarts = 0u64;
+        let mut batches = 0u64;
+        let live_deadline = Instant::now() + Duration::from_secs(80);
+        loop {
+            let batch = index_consumer.recv_batch(8192, Duration::from_millis(200));
+            if !batch.is_empty() {
+                batches += 1;
+                if batches.is_multiple_of(16) {
+                    let _ = svc.save();
+                    svc = fsmon_index::IndexService::open(&index_snap, new_engine());
+                    restarts += 1;
+                    // Heal what the crash discarded; anything the store
+                    // lane hasn't persisted yet stages in the reorder
+                    // buffer until a later catch-up fills the hole.
+                    let _ = svc.catch_up(index_store.as_ref());
+                }
+                svc.ingest(&batch);
+                if svc.pending_len() > 0 {
+                    let _ = svc.catch_up(index_store.as_ref());
+                }
+            } else if index_stopped.load(Ordering::Relaxed) || Instant::now() >= live_deadline {
+                break;
+            }
+        }
+        // The store is complete once the monitor stopped; fold the
+        // rest and leave a snapshot behind for the reload proof.
+        let _ = svc.catch_up(index_store.as_ref());
+        svc.record_lag(index_store.as_ref());
+        let _ = svc.save();
+        (svc, restarts)
+    });
 
     let client = fs.client();
     let run = EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
@@ -958,7 +1418,49 @@ fn chaos(
             }
         );
     }
-    let pass = lost == 0 && duplicated == 0;
+
+    // The index invariant: the incrementally-folded state (crashed and
+    // resumed mid-run) must equal a single linear fold of the full
+    // store, and so must the state a fresh service resumes from the
+    // final snapshot — the whole-monitor-restart case.
+    let (index_svc, index_restarts) = index_thread.join().expect("index fold thread");
+    let mut reference = fsmon_index::NamespaceIndex::new();
+    loop {
+        match store.get_since(reference.applied_seq(), 4096) {
+            Ok(chunk) if chunk.is_empty() => break,
+            Ok(chunk) => {
+                for ev in &chunk {
+                    reference.apply(ev);
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: reference replay failed: {e}");
+                break;
+            }
+        }
+    }
+    let reloaded =
+        fsmon_index::IndexService::open(dir.join("index.snap"), fsmon_index::PolicyEngine::empty());
+    let index_ok = reference.applied_seq() >= expected
+        && index_svc.index() == &reference
+        && reloaded.index() == &reference;
+    let _ = writeln!(
+        out,
+        "index     : applied seq {}, {} entries, {} rollups, {} supervised restarts, \
+         replay fold {} -> {}",
+        index_svc.index().applied_seq(),
+        index_svc.index().len(),
+        index_svc.index().rollup_count(),
+        index_restarts,
+        if index_svc.index() == &reference {
+            "equal"
+        } else {
+            "DIVERGED"
+        },
+        if index_ok { "PASS" } else { "FAIL" }
+    );
+
+    let pass = lost == 0 && duplicated == 0 && index_ok;
     let _ = writeln!(
         out,
         "verdict   : lost {lost}, duplicated {duplicated} -> {}",
@@ -1113,6 +1615,10 @@ mod tests {
             assert!(out.contains(line), "missing {line:?} in {out}");
         }
         assert!(!out.contains("collector : 0 records"), "{out}");
+        // The live run folds its store into a materialized index, so
+        // the summary gains an index section with a real cursor.
+        assert!(out.contains("index     : applied seq"), "{out}");
+        assert!(!out.contains("index     : applied seq 0"), "{out}");
     }
 
     #[test]
@@ -1127,9 +1633,15 @@ mod tests {
             "100",
             "--interval-ms",
             "100",
+            "--window",
+            "2",
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("tick "), "{out}");
+        // Windowed per-MDT rates ride along with every tick.
+        assert!(out.contains("window"), "{out}");
+        assert!(out.contains("mdt0"), "{out}");
+        assert!(out.contains("mdt1"), "{out}");
         assert!(out.contains("--- fleet (2 sources"), "{out}");
         assert!(out.contains("fleet     :"), "{out}");
         // Tracing is on at 1%, so the final summary attributes latency.
@@ -1145,7 +1657,80 @@ mod tests {
             out.contains("verdict   : lost 0, duplicated 0 -> PASS"),
             "{out}"
         );
+        // The attached index lane crashed, resumed from its snapshot
+        // cursor, and still folded to the full-replay state.
+        assert!(out.contains("replay fold equal -> PASS"), "{out}");
         assert!(out.contains("fault/recovery counters"), "{out}");
+    }
+
+    #[test]
+    fn find_resumes_from_snapshot_cursor_over_a_real_store() {
+        use fsmon_events::{EventKind, StandardEvent};
+        let dir = std::env::temp_dir().join(format!("fsmon-cli-find-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = FileStore::open(&dir).unwrap();
+            for (path, size) in [
+                ("/data/a.h5", 4096),
+                ("/data/b.h5", 128),
+                ("/logs/x.log", 64),
+            ] {
+                store
+                    .append(
+                        &StandardEvent::new(EventKind::Create, "/r", path)
+                            .with_size(size)
+                            .with_owner(1001),
+                    )
+                    .unwrap();
+            }
+        }
+
+        let (code, out) = run_str(&[
+            "find",
+            "--store",
+            dir.to_str().unwrap(),
+            "--pattern",
+            "/data/*.h5",
+            "--min-size",
+            "1024",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("resumed at seq 0, caught up to seq 3"),
+            "{out}"
+        );
+        assert!(out.contains("/data/a.h5"), "{out}");
+        assert!(!out.contains("/data/b.h5"), "too small: {out}");
+        assert!(!out.contains("/logs/x.log"), "wrong pattern: {out}");
+        assert!(out.contains("matched 1 of 3 entries"), "{out}");
+
+        // A second query resumes from the saved snapshot cursor
+        // instead of replaying the whole store.
+        let (code, out) = run_str(&["find", "--store", dir.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("resumed at seq 3, caught up to seq 3"),
+            "{out}"
+        );
+
+        // Rollups answer du without touching the store's segments.
+        let (code, out) = run_str(&["du", "--store", dir.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("/data"), "{out}");
+        assert!(out.contains("total under /"), "{out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_reports_standard_rules_from_demo_run() {
+        let (code, out) = run_str(&["policy", "--purge-age", "0", "--seconds", "1"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("indexing a fresh"), "{out}");
+        for rule in ["purge-age", "hot-dirs", "orphans"] {
+            assert!(out.contains(rule), "missing {rule}: {out}");
+        }
+        assert!(out.contains("candidates"), "{out}");
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct StandardEvent {
     /// For distributed sources, the index of the MDT whose changelog
     /// recorded the event (`None` for local monitors).
     pub mdt_index: Option<u16>,
+    /// Size of the subject in bytes at event time, when the producing
+    /// DSI can stat it cheaply (`None` when unknown — local watchers and
+    /// removal events carry no size).
+    pub size: Option<u64>,
+    /// Numeric owner (uid) of the subject at event time, when known.
+    pub owner: Option<u32>,
 }
 
 impl StandardEvent {
@@ -127,6 +133,8 @@ impl StandardEvent {
             timestamp_ns: 0,
             source: MonitorSource::Synthetic,
             mdt_index: None,
+            size: None,
+            owner: None,
         }
     }
 
@@ -169,6 +177,20 @@ impl StandardEvent {
     #[must_use]
     pub fn with_mdt(mut self, mdt: u16) -> Self {
         self.mdt_index = Some(mdt);
+        self
+    }
+
+    /// Attach the subject's size in bytes (metadata enrichment).
+    #[must_use]
+    pub fn with_size(mut self, bytes: u64) -> Self {
+        self.size = Some(bytes);
+        self
+    }
+
+    /// Attach the subject's owner uid (metadata enrichment).
+    #[must_use]
+    pub fn with_owner(mut self, uid: u32) -> Self {
+        self.owner = Some(uid);
         self
     }
 
@@ -279,11 +301,15 @@ mod tests {
             .with_old_path("/a")
             .with_timestamp(42)
             .with_mdt(3)
+            .with_size(4096)
+            .with_owner(1001)
             .with_source(MonitorSource::LustreChangelog);
         assert_eq!(ev.cookie, 7);
         assert_eq!(ev.old_path.as_deref(), Some("/a"));
         assert_eq!(ev.timestamp_ns, 42);
         assert_eq!(ev.mdt_index, Some(3));
+        assert_eq!(ev.size, Some(4096));
+        assert_eq!(ev.owner, Some(1001));
         assert_eq!(ev.source, MonitorSource::LustreChangelog);
     }
 

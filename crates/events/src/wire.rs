@@ -8,10 +8,15 @@
 //! event   := u8 version | u64 id | u8 kind | u8 flags | u8 source
 //!          | u16 mdt (0xFFFF = none) | u32 cookie | u64 timestamp_ns
 //!          | str watch_root | str path | opt_str old_path
+//!          | [u64 size, if flags & HAS_SIZE] | [u32 owner, if flags & HAS_OWNER]
 //! str     := u32 len | len bytes (UTF-8)
 //! opt_str := u8 present | str?
 //! batch   := u32 count | count * event
 //! ```
+//!
+//! The trailing metadata fields are flag-gated, so frames produced
+//! before the enrichment (flags without those bits) still decode — the
+//! fields come back `None` — and unenriched events pay zero bytes.
 
 use crate::event::{MonitorSource, StandardEvent};
 use crate::kind::EventKind;
@@ -21,6 +26,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 pub const WIRE_VERSION: u8 = 1;
 
 const FLAG_IS_DIR: u8 = 0b0000_0001;
+const FLAG_HAS_SIZE: u8 = 0b0000_0010;
+const FLAG_HAS_OWNER: u8 = 0b0000_0100;
 
 /// Errors produced while decoding a wire frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +101,12 @@ pub fn encode_event_into(ev: &StandardEvent, buf: &mut BytesMut) {
     if ev.is_dir {
         flags |= FLAG_IS_DIR;
     }
+    if ev.size.is_some() {
+        flags |= FLAG_HAS_SIZE;
+    }
+    if ev.owner.is_some() {
+        flags |= FLAG_HAS_OWNER;
+    }
     buf.put_u8(flags);
     buf.put_u8(ev.source.wire_tag());
     buf.put_u16(ev.mdt_index.unwrap_or(u16::MAX));
@@ -107,6 +120,12 @@ pub fn encode_event_into(ev: &StandardEvent, buf: &mut BytesMut) {
             put_str(buf, p);
         }
         None => buf.put_u8(0),
+    }
+    if let Some(size) = ev.size {
+        buf.put_u64(size);
+    }
+    if let Some(owner) = ev.owner {
+        buf.put_u32(owner);
     }
 }
 
@@ -148,6 +167,22 @@ pub fn decode_event_from(buf: &mut Bytes) -> Result<StandardEvent, WireError> {
     } else {
         None
     };
+    let size = if flags & FLAG_HAS_SIZE != 0 {
+        if buf.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        Some(buf.get_u64())
+    } else {
+        None
+    };
+    let owner = if flags & FLAG_HAS_OWNER != 0 {
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        Some(buf.get_u32())
+    } else {
+        None
+    };
     Ok(StandardEvent {
         id,
         kind,
@@ -159,6 +194,8 @@ pub fn decode_event_from(buf: &mut Bytes) -> Result<StandardEvent, WireError> {
         timestamp_ns,
         source,
         mdt_index: if mdt == u16::MAX { None } else { Some(mdt) },
+        size,
+        owner,
     })
 }
 
@@ -316,6 +353,42 @@ mod tests {
         assert!(d.is_dir);
         assert_eq!(d.mdt_index, None);
         assert_eq!(d.old_path, None);
+    }
+
+    #[test]
+    fn roundtrip_size_and_owner() {
+        let ev = sample().with_size(1 << 30).with_owner(4242);
+        let frame = encode_event(&ev);
+        let d = decode_event(&frame).unwrap();
+        assert_eq!(d, ev);
+        assert_eq!(d.size, Some(1 << 30));
+        assert_eq!(d.owner, Some(4242));
+        // Each metadata field stands alone behind its own flag bit.
+        let only_size = sample().with_size(7);
+        assert_eq!(decode_event(&encode_event(&only_size)).unwrap(), only_size);
+        let only_owner = sample().with_owner(0);
+        assert_eq!(
+            decode_event(&encode_event(&only_owner)).unwrap().owner,
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn pre_enrichment_frame_decodes_with_no_metadata() {
+        // A frame whose flags carry no HAS_SIZE/HAS_OWNER bits (what an
+        // older producer emits) decodes cleanly to `None` metadata.
+        let frame = encode_event(&sample());
+        let d = decode_event(&frame).unwrap();
+        assert_eq!(d.size, None);
+        assert_eq!(d.owner, None);
+    }
+
+    #[test]
+    fn truncated_metadata_tail_errors() {
+        let frame = encode_event(&sample().with_size(9).with_owner(1));
+        for cut in [frame.len() - 1, frame.len() - 5, frame.len() - 11] {
+            assert!(decode_event(&frame.slice(..cut)).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # fsmon-index
+//!
+//! A materialized metadata index folded from FSMonitor's stamped event
+//! stream — the consumer the paper's lineage points at: Robinhood
+//! replaces namespace scans with a database folded from Lustre
+//! changelogs, and Icicle extends the same idea into real-time metadata
+//! indexing. This crate turns the monitor from a pipe into a
+//! storage-intelligence system:
+//!
+//! * [`state`] — [`NamespaceIndex`]: `path → {size, owner, mtime,
+//!   kind, mdt}` entries plus per-directory rollups (entry count, total
+//!   bytes, last activity, recent-activity rate), maintained
+//!   incrementally on every CREAT/UNLNK/RENME/CLOSE/SATTR. The fold is
+//!   a deterministic pure function of the stamped sequence, so
+//!   incremental apply and full replay converge on identical state.
+//! * [`policy`] — an incremental [`PolicyEngine`] reusing the `rules`
+//!   crate's predicate machinery: purge candidates older than N, hot
+//!   directories by recent-activity rate, orphan detection — evaluated
+//!   against the index, counted as events arrive, never by scanning
+//!   storage.
+//! * [`service`] — [`IndexService`]: the durable wrapper. Snapshots
+//!   (CRC-guarded, atomically replaced) double as the applied-seq
+//!   cursor, so a restarted index resumes from its cursor and catches
+//!   up point-in-time via the store's `get_since` replay API.
+//!
+//! ```
+//! use fsmon_index::{NamespaceIndex, FindQuery};
+//! use fsmon_events::{EventKind, StandardEvent};
+//!
+//! let mut index = NamespaceIndex::new();
+//! let mut ev = StandardEvent::new(EventKind::Create, "/r", "/proj/a.h5").with_size(4096);
+//! ev.id = 1;
+//! index.apply(&ev);
+//! let hits = index.find(&FindQuery::default().pattern("/proj/*.h5"), 0);
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(index.applied_seq(), 1);
+//! ```
+
+pub mod policy;
+pub mod service;
+pub mod state;
+
+pub use policy::{PolicyEngine, PolicyReport, PolicySpec};
+pub use service::IndexService;
+pub use state::{DirRollup, DuRow, EntryKind, FindQuery, IndexEntry, NamespaceIndex};

@@ -1,0 +1,286 @@
+//! The incremental policy engine: rules evaluated against the
+//! materialized index as events arrive, never by scanning storage.
+//!
+//! Each policy couples a `rules`-crate predicate ([`Rule`]: path
+//! pattern + kind mask) — counted live against the event stream — with
+//! an index-side evaluation ([`PolicySpec`]) that names current
+//! candidates: purge candidates older than N, hot directories by
+//! recent-activity rate, orphaned entries. This is the Robinhood shape:
+//! policy runs read the index the changelog fold maintains, so their
+//! cost is independent of namespace size on storage.
+
+use crate::state::{EntryKind, NamespaceIndex};
+use fsmon_events::kind::KindMask;
+use fsmon_events::{EventKind, StandardEvent};
+use fsmon_rules::Rule;
+use std::sync::Arc;
+
+/// How many candidate paths a [`PolicyReport`] carries as a sample.
+const SAMPLE: usize = 5;
+
+/// The index-side evaluation a policy performs.
+#[derive(Debug, Clone)]
+pub enum PolicySpec {
+    /// Files whose mtime is at least this old: purge/tiering
+    /// candidates.
+    PurgeAge {
+        /// Minimum age relative to evaluation time.
+        older_than_ns: u64,
+    },
+    /// Directories ranked by recent-activity rate (events/second over
+    /// the index's activity window).
+    HotDirs {
+        /// Minimum rate to qualify as hot.
+        min_rate: f64,
+    },
+    /// Entries whose parent directory is unknown to the index —
+    /// stream anomalies worth an operator's look.
+    Orphans,
+}
+
+/// One policy: a live event predicate plus an index evaluation.
+pub struct Policy {
+    rule: Rule,
+    spec: PolicySpec,
+    matched: u64,
+    t_matches: Arc<fsmon_telemetry::Counter>,
+}
+
+/// Evaluation result for one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyReport {
+    /// Policy name.
+    pub name: String,
+    /// Events that matched the live predicate since attach.
+    pub matched_events: u64,
+    /// Entries/directories currently named by the evaluation.
+    pub candidates: u64,
+    /// Up to a handful of example candidates.
+    pub sample: Vec<String>,
+}
+
+/// A set of policies folded alongside the index.
+pub struct PolicyEngine {
+    policies: Vec<Policy>,
+}
+
+impl PolicyEngine {
+    /// An engine with no policies.
+    pub fn empty() -> PolicyEngine {
+        PolicyEngine {
+            policies: Vec::new(),
+        }
+    }
+
+    /// The standard operator set: `purge-age` (files under `pattern`
+    /// older than `purge_age_ns`), `hot-dirs` (rate above `min_rate`),
+    /// and `orphans`.
+    pub fn standard(pattern: &str, purge_age_ns: u64, min_rate: f64) -> PolicyEngine {
+        let mut engine = PolicyEngine::empty();
+        engine.add(
+            Rule::new("purge-age", pattern, KindMask::ALL),
+            PolicySpec::PurgeAge {
+                older_than_ns: purge_age_ns,
+            },
+        );
+        engine.add(
+            Rule::new("hot-dirs", "/**", KindMask::ALL),
+            PolicySpec::HotDirs { min_rate },
+        );
+        engine.add(
+            Rule::new(
+                "orphans",
+                "/**",
+                KindMask::from_kinds([EventKind::ParentDirectoryRemoved]),
+            ),
+            PolicySpec::Orphans,
+        );
+        engine
+    }
+
+    /// Attach a policy. The rule's predicate is counted per event; the
+    /// spec is evaluated against the index on demand.
+    pub fn add(&mut self, rule: Rule, spec: PolicySpec) -> &mut PolicyEngine {
+        let t_matches = fsmon_telemetry::root()
+            .scope("index")
+            .with_label("rule", rule.name())
+            .counter("rule_matches_total");
+        self.policies.push(Policy {
+            rule,
+            spec,
+            matched: 0,
+            t_matches,
+        });
+        self
+    }
+
+    /// Number of attached policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Whether no policies are attached.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Total predicate matches across all policies since attach.
+    pub fn total_matched(&self) -> u64 {
+        self.policies.iter().map(|p| p.matched).sum()
+    }
+
+    /// Count one incoming event against every policy's predicate.
+    pub fn observe(&mut self, ev: &StandardEvent) {
+        for p in &mut self.policies {
+            if p.rule.matches(ev) {
+                p.matched += 1;
+                p.t_matches.inc();
+            }
+        }
+    }
+
+    /// Evaluate every policy against the index as of `now_ns`.
+    pub fn evaluate(&self, index: &NamespaceIndex, now_ns: u64) -> Vec<PolicyReport> {
+        self.policies
+            .iter()
+            .map(|p| {
+                let (candidates, sample) = match &p.spec {
+                    PolicySpec::PurgeAge { older_than_ns } => {
+                        let mut n = 0u64;
+                        let mut sample = Vec::new();
+                        for (path, entry) in index.entries() {
+                            if entry.kind == EntryKind::Directory {
+                                continue;
+                            }
+                            if entry.mtime_ns.saturating_add(*older_than_ns) <= now_ns
+                                && p.rule.matches(&probe(path))
+                            {
+                                n += 1;
+                                if sample.len() < SAMPLE {
+                                    sample.push(path.clone());
+                                }
+                            }
+                        }
+                        (n, sample)
+                    }
+                    PolicySpec::HotDirs { min_rate } => {
+                        let mut hot: Vec<(f64, &String)> = index
+                            .rollups()
+                            .filter_map(|(dir, r)| {
+                                let rate = r.recent_rate(now_ns);
+                                (rate >= *min_rate && rate > 0.0).then_some((rate, dir))
+                            })
+                            .collect();
+                        hot.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(b.1)));
+                        let sample = hot
+                            .iter()
+                            .take(SAMPLE)
+                            .map(|(rate, dir)| format!("{dir} ({rate:.1} ev/s)"))
+                            .collect();
+                        (hot.len() as u64, sample)
+                    }
+                    PolicySpec::Orphans => {
+                        let mut n = 0u64;
+                        let mut sample = Vec::new();
+                        for (path, _) in index.entries() {
+                            let parent = match path.rfind('/') {
+                                Some(0) | None => continue, // root children have a parent
+                                Some(i) => &path[..i],
+                            };
+                            if index.get(parent).is_none() {
+                                n += 1;
+                                if sample.len() < SAMPLE {
+                                    sample.push(path.clone());
+                                }
+                            }
+                        }
+                        (n, sample)
+                    }
+                };
+                PolicyReport {
+                    name: p.rule.name().to_string(),
+                    matched_events: p.matched,
+                    candidates,
+                    sample,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A synthetic event used to reuse the rule's path predicate against an
+/// index entry (only the path participates; the kind mask was already
+/// consulted on the live stream).
+fn probe(path: &str) -> StandardEvent {
+    StandardEvent::new(EventKind::Create, "", path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ACTIVITY_BUCKET_NS;
+
+    fn ev(id: u64, kind: EventKind, path: &str, ts: u64) -> StandardEvent {
+        let mut e = StandardEvent::new(kind, "/r", path).with_timestamp(ts);
+        e.id = id;
+        e
+    }
+
+    #[test]
+    fn purge_age_names_old_files_only() {
+        let mut idx = NamespaceIndex::new();
+        idx.apply(&ev(1, EventKind::Create, "/old.dat", 1_000));
+        idx.apply(&ev(2, EventKind::Create, "/new.dat", 950_000_000_000));
+        let engine = PolicyEngine::standard("/**/*.dat", 100_000_000_000, 1.0);
+        let now = 1_000_000_000_000;
+        let reports = engine.evaluate(&idx, now);
+        let purge = reports.iter().find(|r| r.name == "purge-age").unwrap();
+        assert_eq!(purge.candidates, 1);
+        assert_eq!(purge.sample, vec!["/old.dat".to_string()]);
+    }
+
+    #[test]
+    fn hot_dirs_ranked_by_rate() {
+        let mut idx = NamespaceIndex::new();
+        let base = 10 * ACTIVITY_BUCKET_NS;
+        for i in 0..20 {
+            idx.apply(&ev(i + 1, EventKind::Modify, "/hot/f", base + i * 1_000));
+        }
+        idx.apply(&ev(100, EventKind::Modify, "/cold/f", 1_000));
+        let engine = PolicyEngine::standard("/**", u64::MAX, 0.5);
+        let reports = engine.evaluate(&idx, base + ACTIVITY_BUCKET_NS / 2);
+        let hot = reports.iter().find(|r| r.name == "hot-dirs").unwrap();
+        assert_eq!(hot.candidates, 1, "only /hot is active in the window");
+        assert!(hot.sample[0].starts_with("/hot "), "{:?}", hot.sample);
+    }
+
+    #[test]
+    fn orphans_flag_entries_with_unknown_parent() {
+        let mut idx = NamespaceIndex::new();
+        // A mid-history backfill: a MODIFY on a path whose parent dir
+        // was never seen.
+        idx.apply(&ev(1, EventKind::Modify, "/ghost/f", 1));
+        let mut mk = ev(2, EventKind::Create, "/seen", 2);
+        mk.is_dir = true;
+        idx.apply(&mk);
+        idx.apply(&ev(3, EventKind::Create, "/seen/g", 3));
+        let engine = PolicyEngine::standard("/**", u64::MAX, 1.0);
+        let reports = engine.evaluate(&idx, 10);
+        let orphans = reports.iter().find(|r| r.name == "orphans").unwrap();
+        assert_eq!(orphans.candidates, 1);
+        assert_eq!(orphans.sample, vec!["/ghost/f".to_string()]);
+    }
+
+    #[test]
+    fn observe_counts_predicate_matches() {
+        let mut engine = PolicyEngine::empty();
+        engine.add(
+            Rule::new("h5", "/**/*.h5", KindMask::only(EventKind::Create)),
+            PolicySpec::Orphans,
+        );
+        engine.observe(&ev(1, EventKind::Create, "/a/x.h5", 1));
+        engine.observe(&ev(2, EventKind::Create, "/a/x.txt", 2));
+        engine.observe(&ev(3, EventKind::Modify, "/a/y.h5", 3));
+        assert_eq!(engine.total_matched(), 1);
+    }
+}

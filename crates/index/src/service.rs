@@ -1,0 +1,376 @@
+//! The durable index service: fold + policies + snapshot cursor.
+//!
+//! [`IndexService`] wraps a [`NamespaceIndex`] and a [`PolicyEngine`]
+//! behind the lifecycle the monitor needs: load the last snapshot on
+//! open (the snapshot *is* the applied-seq cursor), fold batches as a
+//! subscriber delivers them, catch up point-in-time from the store's
+//! `get_since` replay API after a gap or restart, and atomically
+//! replace the snapshot on save. Everything reports under the
+//! `fsmon_index_*` telemetry namespace.
+
+use crate::policy::{PolicyEngine, PolicyReport};
+use crate::state::{DuRow, FindQuery, IndexEntry, NamespaceIndex};
+use fsmon_events::StandardEvent;
+use fsmon_store::{EventStore, StoreError};
+use fsmon_telemetry::{Counter, Gauge, Histogram};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Batch size for [`IndexService::catch_up`] replay pulls.
+const CATCH_UP_BATCH: usize = 4096;
+
+/// A [`NamespaceIndex`] with durability, policies, and telemetry.
+pub struct IndexService {
+    index: NamespaceIndex,
+    policies: PolicyEngine,
+    snapshot_path: Option<PathBuf>,
+    /// Stamped events that arrived ahead of the fold cursor. The live
+    /// stream is exactly-once but only *eventually* ordered — a gap
+    /// healed from the store can surface after later ids — so the fold
+    /// stages out-of-order arrivals here and applies strictly
+    /// `applied_seq + 1, +2, …`, keeping incremental state identical
+    /// to a linear replay.
+    pending: std::collections::BTreeMap<u64, StandardEvent>,
+    t_applied: Arc<Counter>,
+    t_snapshots: Arc<Counter>,
+    t_fold_ns: Arc<Histogram>,
+    t_query_ns: Arc<Histogram>,
+    t_applied_seq: Arc<Gauge>,
+    t_entries: Arc<Gauge>,
+    t_resident: Arc<Gauge>,
+    t_lag: Arc<Gauge>,
+    t_pending: Arc<Gauge>,
+}
+
+impl std::fmt::Debug for IndexService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexService")
+            .field("applied_seq", &self.index.applied_seq())
+            .field("entries", &self.index.len())
+            .field("policies", &self.policies.len())
+            .field("snapshot_path", &self.snapshot_path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IndexService {
+    /// An in-memory service (no snapshot file) with the given policies.
+    pub fn new(policies: PolicyEngine) -> IndexService {
+        IndexService::with_index(NamespaceIndex::new(), None, policies)
+    }
+
+    /// Open a service backed by a snapshot file. A readable,
+    /// CRC-valid snapshot resumes the index from its applied-seq
+    /// cursor; a missing or corrupt one starts empty (the store replay
+    /// rebuilds state, so corruption costs time, not correctness).
+    pub fn open(path: impl Into<PathBuf>, policies: PolicyEngine) -> IndexService {
+        let path = path.into();
+        let index = std::fs::read(&path)
+            .ok()
+            .and_then(|raw| NamespaceIndex::decode_snapshot(&raw))
+            .unwrap_or_default();
+        IndexService::with_index(index, Some(path), policies)
+    }
+
+    fn with_index(
+        index: NamespaceIndex,
+        snapshot_path: Option<PathBuf>,
+        policies: PolicyEngine,
+    ) -> IndexService {
+        let scope = fsmon_telemetry::root().scope("index");
+        let svc = IndexService {
+            index,
+            policies,
+            snapshot_path,
+            pending: std::collections::BTreeMap::new(),
+            t_applied: scope.counter("events_applied_total"),
+            t_snapshots: scope.counter("snapshots_total"),
+            t_fold_ns: scope.histogram("fold_ns"),
+            t_query_ns: scope.histogram("query_ns"),
+            t_applied_seq: scope.gauge("applied_seq"),
+            t_entries: scope.gauge("entries"),
+            t_resident: scope.gauge("resident_bytes"),
+            t_lag: scope.gauge("ingest_lag"),
+            t_pending: scope.gauge("reorder_pending"),
+        };
+        svc.publish_gauges();
+        svc
+    }
+
+    /// The materialized state.
+    pub fn index(&self) -> &NamespaceIndex {
+        &self.index
+    }
+
+    /// The attached policy engine.
+    pub fn policies(&self) -> &PolicyEngine {
+        &self.policies
+    }
+
+    /// Where snapshots go, if durable.
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        self.snapshot_path.as_deref()
+    }
+
+    /// Fold a delivered batch into the index and count it against the
+    /// policy predicates. Returns how many events actually advanced
+    /// state: duplicates and stale redeliveries fold to zero, and
+    /// events ahead of the cursor wait in the reorder stage until the
+    /// sequence below them completes (live redelivery or
+    /// [`catch_up`](IndexService::catch_up) both fill holes).
+    pub fn ingest(&mut self, events: &[StandardEvent]) -> usize {
+        let start = Instant::now();
+        let mut applied = 0;
+        for ev in events {
+            let next = self.index.applied_seq() + 1;
+            if ev.id < next {
+                continue;
+            }
+            if ev.id == next {
+                applied += self.apply_one(ev);
+                applied += self.drain_pending();
+            } else {
+                self.pending.insert(ev.id, ev.clone());
+            }
+        }
+        self.t_fold_ns.record(start.elapsed().as_nanos() as u64);
+        self.t_applied.add(applied as u64);
+        self.publish_gauges();
+        applied
+    }
+
+    /// Events staged ahead of the fold cursor.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn apply_one(&mut self, ev: &StandardEvent) -> usize {
+        if self.index.apply(ev) {
+            self.policies.observe(ev);
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Apply every staged event that is now contiguous with the
+    /// cursor, dropping entries the cursor has already passed.
+    fn drain_pending(&mut self) -> usize {
+        let mut applied = 0;
+        loop {
+            let next = self.index.applied_seq() + 1;
+            match self.pending.first_key_value() {
+                Some((&id, _)) if id < next => {
+                    self.pending.pop_first();
+                }
+                Some((&id, _)) if id == next => {
+                    let (_, ev) = self.pending.pop_first().expect("checked non-empty");
+                    applied += self.apply_one(&ev);
+                }
+                _ => break,
+            }
+        }
+        applied
+    }
+
+    /// Pull everything past the applied-seq cursor from the store, in
+    /// stream order, until the store is drained. This is the
+    /// point-in-time catch-up path: after open (resume from snapshot)
+    /// or after the live subscription lapses. Returns the number of
+    /// events applied.
+    pub fn catch_up(&mut self, store: &dyn EventStore) -> Result<usize, StoreError> {
+        let mut applied = 0;
+        loop {
+            let chunk = store.get_since(self.index.applied_seq(), CATCH_UP_BATCH)?;
+            if chunk.is_empty() {
+                break;
+            }
+            applied += self.ingest(&chunk);
+        }
+        self.record_lag(store);
+        Ok(applied)
+    }
+
+    /// Events the store has stamped that the index has not yet folded.
+    pub fn lag(&self, store: &dyn EventStore) -> u64 {
+        store
+            .stats()
+            .last_seq
+            .saturating_sub(self.index.applied_seq())
+    }
+
+    /// Publish the current lag to the `fsmon_index_ingest_lag` gauge.
+    pub fn record_lag(&self, store: &dyn EventStore) {
+        self.t_lag.set(self.lag(store) as i64);
+    }
+
+    /// Atomically replace the snapshot (write-temp, flush, rename —
+    /// the cursor-file idiom, so a crash leaves either the old or the
+    /// new snapshot, never a torn one). No-op without a snapshot path.
+    pub fn save(&self) -> std::io::Result<()> {
+        let Some(path) = &self.snapshot_path else {
+            return Ok(());
+        };
+        let tmp = path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&self.index.encode_snapshot())?;
+        f.sync_data()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        self.t_snapshots.inc();
+        Ok(())
+    }
+
+    /// Timed [`NamespaceIndex::find`] returning owned rows; records
+    /// `fsmon_index_query_ns`.
+    pub fn find(&self, query: &FindQuery, now_ns: u64) -> Vec<(String, IndexEntry)> {
+        let start = Instant::now();
+        let rows = self
+            .index
+            .find(query, now_ns)
+            .into_iter()
+            .map(|(p, e)| (p.clone(), *e))
+            .collect();
+        self.t_query_ns.record(start.elapsed().as_nanos() as u64);
+        rows
+    }
+
+    /// Timed [`NamespaceIndex::du`]; records `fsmon_index_query_ns`.
+    pub fn du(&self, prefix: &str, depth: usize) -> Vec<DuRow> {
+        let start = Instant::now();
+        let rows = self.index.du(prefix, depth);
+        self.t_query_ns.record(start.elapsed().as_nanos() as u64);
+        rows
+    }
+
+    /// Timed policy evaluation; records `fsmon_index_query_ns`.
+    pub fn evaluate(&self, now_ns: u64) -> Vec<PolicyReport> {
+        let start = Instant::now();
+        let reports = self.policies.evaluate(&self.index, now_ns);
+        self.t_query_ns.record(start.elapsed().as_nanos() as u64);
+        reports
+    }
+
+    fn publish_gauges(&self) {
+        self.t_applied_seq.set(self.index.applied_seq() as i64);
+        self.t_entries.set(self.index.len() as i64);
+        self.t_resident.set(self.index.resident_bytes() as i64);
+        self.t_pending.set(self.pending.len() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::{EventKind, StandardEvent};
+    use fsmon_store::MemStore;
+
+    fn ev(kind: EventKind, path: &str) -> StandardEvent {
+        StandardEvent::new(kind, "/r", path).with_size(100)
+    }
+
+    fn seed_store() -> MemStore {
+        let store = MemStore::new();
+        for i in 0..10 {
+            store
+                .append(&ev(EventKind::Create, &format!("/d/f{i}")))
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn catch_up_drains_store_and_clears_lag() {
+        let store = seed_store();
+        let mut svc = IndexService::new(PolicyEngine::empty());
+        assert_eq!(svc.lag(&store), 10);
+        let applied = svc.catch_up(&store).unwrap();
+        assert_eq!(applied, 10);
+        assert_eq!(svc.lag(&store), 0);
+        assert_eq!(svc.index().len(), 10);
+        // A second catch-up is a no-op: the cursor already points at
+        // the store head.
+        assert_eq!(svc.catch_up(&store).unwrap(), 0);
+    }
+
+    #[test]
+    fn snapshot_resumes_from_cursor() {
+        let dir = std::env::temp_dir().join(format!("fsmon-index-svc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("index.snap");
+        let store = seed_store();
+
+        let mut svc = IndexService::open(&snap, PolicyEngine::empty());
+        svc.catch_up(&store).unwrap();
+        svc.save().unwrap();
+        let folded = svc.index().clone();
+
+        // New events land after the snapshot.
+        store.append(&ev(EventKind::Delete, "/d/f0")).unwrap();
+
+        // Reopen: resumes at seq 10, folds only the one new event.
+        let mut svc2 = IndexService::open(&snap, PolicyEngine::empty());
+        assert_eq!(svc2.index(), &folded);
+        assert_eq!(svc2.catch_up(&store).unwrap(), 1);
+        assert_eq!(svc2.index().applied_seq(), 11);
+        assert!(svc2.index().get("/d/f0").is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_full_replay() {
+        let dir = std::env::temp_dir().join(format!("fsmon-index-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("index.snap");
+        std::fs::write(&snap, b"not a snapshot").unwrap();
+
+        let store = seed_store();
+        let mut svc = IndexService::open(&snap, PolicyEngine::empty());
+        assert_eq!(svc.index().applied_seq(), 0, "corrupt snapshot ignored");
+        assert_eq!(svc.catch_up(&store).unwrap(), 10);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_order_live_stream_folds_to_linear_state() {
+        let evs: Vec<StandardEvent> = (1..=6)
+            .map(|i| {
+                let mut e = ev(EventKind::Create, &format!("/f{i}"));
+                e.id = i;
+                e
+            })
+            .collect();
+        let mut svc = IndexService::new(PolicyEngine::empty());
+        // A gap-heal delivered late: 3 and 4 arrive after 5 and 6.
+        svc.ingest(&[
+            evs[0].clone(),
+            evs[1].clone(),
+            evs[4].clone(),
+            evs[5].clone(),
+        ]);
+        assert_eq!(svc.index().applied_seq(), 2);
+        assert_eq!(svc.pending_len(), 2);
+        svc.ingest(&[evs[2].clone(), evs[3].clone()]);
+        assert_eq!(svc.index().applied_seq(), 6);
+        assert_eq!(svc.pending_len(), 0);
+        let mut linear = crate::state::NamespaceIndex::new();
+        for e in &evs {
+            linear.apply(e);
+        }
+        assert_eq!(svc.index(), &linear);
+    }
+
+    #[test]
+    fn ingest_skips_duplicates_and_counts_policies() {
+        let mut svc = IndexService::new(PolicyEngine::standard("/**", u64::MAX, 1.0));
+        let mut e = ev(EventKind::Create, "/a");
+        e.id = 1;
+        assert_eq!(svc.ingest(&[e.clone(), e.clone()]), 1);
+        assert_eq!(svc.ingest(&[e]), 0, "redelivery folds to zero");
+        assert!(svc.policies().total_matched() >= 1);
+    }
+}

@@ -1,0 +1,918 @@
+//! The materialized namespace state and its fold rules.
+//!
+//! [`NamespaceIndex`] is a deterministic left fold over the stamped
+//! event stream: `state' = apply(state, event)`, with duplicate
+//! suppression on the dense sequence (`id <= applied_seq` is a re-seen
+//! event and changes nothing). Determinism is the load-bearing
+//! property — it is what makes an incrementally maintained index
+//! provably equal to a full replay fold of the same store segment, the
+//! invariant the chaos harness checks across crashes.
+
+use fsmon_events::{EventKind, StandardEvent};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Width of the recent-activity buckets backing per-directory rates.
+pub const ACTIVITY_BUCKET_NS: u64 = 1_000_000_000;
+
+/// What an indexed entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+    /// Device node.
+    Device,
+}
+
+impl EntryKind {
+    /// Stable tag for the snapshot codec.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            EntryKind::File => 0,
+            EntryKind::Directory => 1,
+            EntryKind::Symlink => 2,
+            EntryKind::Device => 3,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<EntryKind> {
+        Some(match tag {
+            0 => EntryKind::File,
+            1 => EntryKind::Directory,
+            2 => EntryKind::Symlink,
+            3 => EntryKind::Device,
+            _ => return None,
+        })
+    }
+
+    /// Short label for query output (`file`, `dir`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            EntryKind::File => "file",
+            EntryKind::Directory => "dir",
+            EntryKind::Symlink => "symlink",
+            EntryKind::Device => "device",
+        }
+    }
+}
+
+/// Materialized metadata for one namespace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Entry type.
+    pub kind: EntryKind,
+    /// Last known size in bytes (0 when never observed).
+    pub size: u64,
+    /// Last known owner uid (0 when never observed).
+    pub owner: u32,
+    /// Timestamp of the last event touching this entry.
+    pub mtime_ns: u64,
+    /// MDT that recorded the last event (`None` for local sources).
+    pub mdt: Option<u16>,
+}
+
+/// Per-directory rollup aggregates over *direct* children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirRollup {
+    /// Direct child entries currently present.
+    pub entries: u64,
+    /// Sum of direct children's last known sizes.
+    pub total_bytes: u64,
+    /// Timestamp of the last event under this directory.
+    pub last_activity_ns: u64,
+    /// Events ever folded under this directory.
+    pub events: u64,
+    /// Recent-activity window: bucket index of `cur`.
+    bucket: u64,
+    /// Events in the current activity bucket.
+    cur: u64,
+    /// Events in the previous activity bucket.
+    prev: u64,
+}
+
+impl DirRollup {
+    fn bump(&mut self, ts: u64) {
+        self.events += 1;
+        self.last_activity_ns = self.last_activity_ns.max(ts);
+        let b = ts / ACTIVITY_BUCKET_NS;
+        if b == self.bucket {
+            self.cur += 1;
+        } else if b == self.bucket + 1 {
+            self.prev = self.cur;
+            self.cur = 1;
+            self.bucket = b;
+        } else if b > self.bucket {
+            self.prev = 0;
+            self.cur = 1;
+            self.bucket = b;
+        } else {
+            // Out-of-order timestamp (cross-MDT skew): count it into
+            // the current bucket so the fold stays deterministic.
+            self.cur += 1;
+        }
+    }
+
+    /// Approximate events/second over the last two activity buckets as
+    /// of `now_ns`. Directories idle past the window rate at zero.
+    pub fn recent_rate(&self, now_ns: u64) -> f64 {
+        let now_bucket = now_ns / ACTIVITY_BUCKET_NS;
+        let secs = ACTIVITY_BUCKET_NS as f64 / 1e9;
+        if now_bucket == self.bucket {
+            (self.cur + self.prev) as f64 / (2.0 * secs)
+        } else if now_bucket == self.bucket + 1 {
+            self.cur as f64 / (2.0 * secs)
+        } else {
+            0.0
+        }
+    }
+
+    pub(crate) fn to_parts(self) -> [u64; 7] {
+        [
+            self.entries,
+            self.total_bytes,
+            self.last_activity_ns,
+            self.events,
+            self.bucket,
+            self.cur,
+            self.prev,
+        ]
+    }
+
+    pub(crate) fn from_parts(p: [u64; 7]) -> DirRollup {
+        DirRollup {
+            entries: p[0],
+            total_bytes: p[1],
+            last_activity_ns: p[2],
+            events: p[3],
+            bucket: p[4],
+            cur: p[5],
+            prev: p[6],
+        }
+    }
+}
+
+/// Predicate for [`NamespaceIndex::find`]: all set conditions must
+/// hold. The default matches every entry.
+#[derive(Debug, Clone, Default)]
+pub struct FindQuery {
+    pattern: Option<fsmon_rules::PathPattern>,
+    older_than_ns: Option<u64>,
+    min_size: Option<u64>,
+    owner: Option<u32>,
+    kind: Option<EntryKind>,
+}
+
+impl FindQuery {
+    /// Restrict to paths matching a `rules`-crate glob pattern.
+    #[must_use]
+    pub fn pattern(mut self, pattern: &str) -> Self {
+        self.pattern = Some(fsmon_rules::PathPattern::new(pattern));
+        self
+    }
+
+    /// Restrict to entries whose mtime is at least this old relative
+    /// to the query's `now_ns`.
+    #[must_use]
+    pub fn older_than_ns(mut self, age_ns: u64) -> Self {
+        self.older_than_ns = Some(age_ns);
+        self
+    }
+
+    /// Restrict to entries at least this large.
+    #[must_use]
+    pub fn min_size(mut self, bytes: u64) -> Self {
+        self.min_size = Some(bytes);
+        self
+    }
+
+    /// Restrict to entries owned by this uid.
+    #[must_use]
+    pub fn owner(mut self, uid: u32) -> Self {
+        self.owner = Some(uid);
+        self
+    }
+
+    /// Restrict to one entry kind.
+    #[must_use]
+    pub fn kind(mut self, kind: EntryKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Whether `(path, entry)` satisfies every set condition.
+    pub fn matches(&self, path: &str, entry: &IndexEntry, now_ns: u64) -> bool {
+        if let Some(p) = &self.pattern {
+            if !p.matches(path) {
+                return false;
+            }
+        }
+        if let Some(age) = self.older_than_ns {
+            if entry.mtime_ns.saturating_add(age) > now_ns {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_size {
+            if entry.size < min {
+                return false;
+            }
+        }
+        if let Some(uid) = self.owner {
+            if entry.owner != uid {
+                return false;
+            }
+        }
+        if let Some(kind) = self.kind {
+            if entry.kind != kind {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One row of a [`NamespaceIndex::du`] aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuRow {
+    /// Directory path (aggregation group).
+    pub path: String,
+    /// Entries in the subtree.
+    pub entries: u64,
+    /// Bytes in the subtree.
+    pub bytes: u64,
+    /// Most recent activity anywhere in the subtree.
+    pub last_activity_ns: u64,
+}
+
+/// The materialized namespace: queryable state folded from events.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct NamespaceIndex {
+    applied_seq: u64,
+    entries: BTreeMap<String, IndexEntry>,
+    rollups: BTreeMap<String, DirRollup>,
+}
+
+fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) | None => "/",
+        Some(i) => &path[..i],
+    }
+}
+
+fn entry_kind_of(ev: &StandardEvent) -> EntryKind {
+    if ev.is_dir {
+        EntryKind::Directory
+    } else {
+        match ev.kind {
+            EventKind::SymLink => EntryKind::Symlink,
+            EventKind::DeviceNode => EntryKind::Device,
+            _ => EntryKind::File,
+        }
+    }
+}
+
+impl NamespaceIndex {
+    /// An empty index (applied sequence 0).
+    pub fn new() -> NamespaceIndex {
+        NamespaceIndex::default()
+    }
+
+    /// Highest event id folded in; the replay cursor (`get_since`
+    /// argument) for catch-up.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of directories carrying rollup state.
+    pub fn rollup_count(&self) -> usize {
+        self.rollups.len()
+    }
+
+    /// Look up one entry.
+    pub fn get(&self, path: &str) -> Option<&IndexEntry> {
+        self.entries.get(path)
+    }
+
+    /// Look up one directory rollup.
+    pub fn rollup(&self, dir: &str) -> Option<&DirRollup> {
+        self.rollups.get(dir)
+    }
+
+    /// Iterate all entries in path order.
+    pub fn entries(&self) -> impl Iterator<Item = (&String, &IndexEntry)> {
+        self.entries.iter()
+    }
+
+    /// Iterate all rollups in path order.
+    pub fn rollups(&self) -> impl Iterator<Item = (&String, &DirRollup)> {
+        self.rollups.iter()
+    }
+
+    /// Approximate bytes of process memory the index holds.
+    pub fn resident_bytes(&self) -> u64 {
+        // Key bytes plus value struct plus BTreeMap node overhead
+        // (amortized estimate, same spirit as StoreStats).
+        let entry_overhead = std::mem::size_of::<IndexEntry>() + 48;
+        let rollup_overhead = std::mem::size_of::<DirRollup>() + 48;
+        let e: usize = self.entries.keys().map(|k| k.len() + entry_overhead).sum();
+        let r: usize = self.rollups.keys().map(|k| k.len() + rollup_overhead).sum();
+        (e + r) as u64
+    }
+
+    /// Fold one stamped event into the state. Returns `false` for
+    /// duplicates (`id <= applied_seq`), which change nothing — the
+    /// dedup that makes redelivered batches idempotent.
+    pub fn apply(&mut self, ev: &StandardEvent) -> bool {
+        if ev.id <= self.applied_seq {
+            return false;
+        }
+        self.applied_seq = ev.id;
+        match ev.kind {
+            EventKind::Create
+            | EventKind::HardLink
+            | EventKind::SymLink
+            | EventKind::DeviceNode => self.upsert(ev, true),
+            EventKind::Modify
+            | EventKind::CloseWrite
+            | EventKind::Close
+            | EventKind::Truncate
+            | EventKind::Attrib
+            | EventKind::Xattr
+            | EventKind::Ioctl => self.upsert(ev, false),
+            EventKind::MovedTo => self.rename(ev),
+            // MovedFrom's information is carried by its MovedTo twin
+            // (old_path); folding it too would double-remove.
+            EventKind::MovedFrom => {}
+            EventKind::Delete | EventKind::ParentDirectoryRemoved => {
+                self.remove(&ev.path, ev.timestamp_ns)
+            }
+            // Control/no-op kinds carry no namespace change.
+            EventKind::Open
+            | EventKind::CloseNoWrite
+            | EventKind::Overflow
+            | EventKind::Unknown => {}
+        }
+        true
+    }
+
+    /// Insert or update `ev.path`. `creating` marks kinds that define
+    /// the entry's type; content/metadata kinds backfill unknown paths
+    /// as files (the store segment may start mid-history).
+    fn upsert(&mut self, ev: &StandardEvent, creating: bool) {
+        let ts = ev.timestamp_ns;
+        let parent = parent_of(&ev.path).to_string();
+        let old_size = self.entries.get(&ev.path).map(|e| e.size);
+        let entry = self
+            .entries
+            .entry(ev.path.clone())
+            .or_insert_with(|| IndexEntry {
+                kind: entry_kind_of(ev),
+                size: 0,
+                owner: 0,
+                mtime_ns: ts,
+                mdt: ev.mdt_index,
+            });
+        if creating {
+            entry.kind = entry_kind_of(ev);
+        }
+        if let Some(size) = ev.size {
+            entry.size = size;
+        }
+        if let Some(owner) = ev.owner {
+            entry.owner = owner;
+        }
+        entry.mtime_ns = ts;
+        entry.mdt = ev.mdt_index;
+        let new_size = entry.size;
+        let rollup = self.rollups.entry(parent).or_default();
+        if old_size.is_none() {
+            rollup.entries += 1;
+            rollup.total_bytes += new_size;
+        } else {
+            rollup.total_bytes = rollup
+                .total_bytes
+                .saturating_sub(old_size.unwrap_or(0))
+                .saturating_add(new_size);
+        }
+        rollup.bump(ts);
+    }
+
+    /// Remove `path` (and its subtree when it is a directory).
+    fn remove(&mut self, path: &str, ts: u64) {
+        let removed = self.entries.remove(path);
+        if let Some(entry) = &removed {
+            let parent = parent_of(path).to_string();
+            let rollup = self.rollups.entry(parent).or_default();
+            rollup.entries = rollup.entries.saturating_sub(1);
+            rollup.total_bytes = rollup.total_bytes.saturating_sub(entry.size);
+            rollup.bump(ts);
+            if entry.kind == EntryKind::Directory {
+                self.remove_subtree(path);
+            }
+        } else {
+            // Unknown path (mid-history segment): still record the
+            // activity so the parent's rollup reflects the event.
+            let parent = parent_of(path).to_string();
+            self.rollups.entry(parent).or_default().bump(ts);
+        }
+    }
+
+    /// Drop every entry and rollup strictly beneath `dir`, plus `dir`'s
+    /// own rollup. Subtree members' parents are inside the subtree, so
+    /// no surviving rollup needs adjustment.
+    fn remove_subtree(&mut self, dir: &str) {
+        let prefix = format!("{dir}/");
+        let doomed: Vec<String> = self
+            .entries
+            .range::<String, _>((Bound::Included(prefix.clone()), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in doomed {
+            self.entries.remove(&k);
+        }
+        let doomed: Vec<String> = self
+            .rollups
+            .range::<String, _>((Bound::Included(dir.to_string()), Bound::Unbounded))
+            .take_while(|(k, _)| *k == dir || k.starts_with(&prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in doomed {
+            self.rollups.remove(&k);
+        }
+    }
+
+    /// Apply a `MovedTo`: re-key `old_path` to `path`, carrying the
+    /// entry (and, for directories, the whole subtree) across.
+    fn rename(&mut self, ev: &StandardEvent) {
+        let ts = ev.timestamp_ns;
+        let Some(old_path) = ev.old_path.clone() else {
+            // No source information: treat as an upsert at the new
+            // path, the best deterministic reading of the event.
+            self.upsert(ev, true);
+            return;
+        };
+        if old_path == ev.path {
+            self.upsert(ev, false);
+            return;
+        }
+        // Rename-over: the displaced target leaves the namespace first.
+        if self.entries.contains_key(&ev.path) {
+            self.remove(&ev.path, ts);
+        }
+        let Some(mut entry) = self.entries.remove(&old_path) else {
+            // Unknown source (mid-history): backfill at the destination.
+            self.upsert(ev, true);
+            return;
+        };
+        // Source side: the old parent loses the entry.
+        {
+            let rollup = self
+                .rollups
+                .entry(parent_of(&old_path).to_string())
+                .or_default();
+            rollup.entries = rollup.entries.saturating_sub(1);
+            rollup.total_bytes = rollup.total_bytes.saturating_sub(entry.size);
+            rollup.bump(ts);
+        }
+        if let Some(size) = ev.size {
+            entry.size = size;
+        }
+        if let Some(owner) = ev.owner {
+            entry.owner = owner;
+        }
+        entry.mtime_ns = ts;
+        entry.mdt = ev.mdt_index;
+        let moved_size = entry.size;
+        let is_dir = entry.kind == EntryKind::Directory;
+        self.entries.insert(ev.path.clone(), entry);
+        {
+            let rollup = self
+                .rollups
+                .entry(parent_of(&ev.path).to_string())
+                .or_default();
+            rollup.entries += 1;
+            rollup.total_bytes += moved_size;
+            rollup.bump(ts);
+        }
+        if is_dir {
+            self.rekey_subtree(&old_path, &ev.path);
+        }
+    }
+
+    /// Move every entry and rollup under `old` to the same relative
+    /// position under `new`. Aggregates travel unchanged.
+    fn rekey_subtree(&mut self, old: &str, new: &str) {
+        let old_prefix = format!("{old}/");
+        let moved: Vec<(String, IndexEntry)> = self
+            .entries
+            .range::<String, _>((Bound::Included(old_prefix.clone()), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(&old_prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        for (k, v) in moved {
+            self.entries.remove(&k);
+            self.entries.insert(format!("{new}{}", &k[old.len()..]), v);
+        }
+        let moved: Vec<(String, DirRollup)> = self
+            .rollups
+            .range::<String, _>((Bound::Included(old.to_string()), Bound::Unbounded))
+            .take_while(|(k, _)| *k == old || k.starts_with(&old_prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        for (k, v) in moved {
+            self.rollups.remove(&k);
+            let suffix = &k[old.len()..];
+            self.rollups.insert(format!("{new}{suffix}"), v);
+        }
+    }
+
+    // ----- queries -----
+
+    /// Predicate query over the materialized entries (no store access).
+    pub fn find(&self, query: &FindQuery, now_ns: u64) -> Vec<(&String, &IndexEntry)> {
+        self.entries
+            .iter()
+            .filter(|(path, entry)| query.matches(path, entry, now_ns))
+            .collect()
+    }
+
+    /// Subtree aggregation: group every rollup under `prefix` by its
+    /// first `depth` components below the prefix and sum. `depth` 0
+    /// collapses everything under `prefix` into one row.
+    pub fn du(&self, prefix: &str, depth: usize) -> Vec<DuRow> {
+        let prefix = if prefix == "/" { "" } else { prefix };
+        let mut groups: BTreeMap<String, DuRow> = BTreeMap::new();
+        for (dir, rollup) in &self.rollups {
+            let rel = match dir.strip_prefix(prefix) {
+                Some(r) if r.is_empty() || r.starts_with('/') || prefix.is_empty() => r,
+                _ => continue,
+            };
+            let group = if depth == 0 {
+                String::new()
+            } else {
+                rel.split('/').filter(|c| !c.is_empty()).take(depth).fold(
+                    String::new(),
+                    |mut acc, c| {
+                        acc.push('/');
+                        acc.push_str(c);
+                        acc
+                    },
+                )
+            };
+            let key = format!("{}{}", if prefix.is_empty() { "" } else { prefix }, group);
+            let key = if key.is_empty() { "/".to_string() } else { key };
+            let row = groups.entry(key.clone()).or_insert_with(|| DuRow {
+                path: key,
+                entries: 0,
+                bytes: 0,
+                last_activity_ns: 0,
+            });
+            row.entries += rollup.entries;
+            row.bytes += rollup.total_bytes;
+            row.last_activity_ns = row.last_activity_ns.max(rollup.last_activity_ns);
+        }
+        groups.into_values().collect()
+    }
+
+    // ----- snapshot codec -----
+
+    /// Serialize the full state (entries + rollups + applied seq) into
+    /// a CRC-guarded binary snapshot.
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.entries.len() * 64);
+        buf.extend_from_slice(SNAP_MAGIC);
+        buf.push(SNAP_VERSION);
+        put_u64(&mut buf, self.applied_seq);
+        put_u64(&mut buf, self.entries.len() as u64);
+        for (path, e) in &self.entries {
+            put_str(&mut buf, path);
+            buf.push(e.kind.tag());
+            put_u64(&mut buf, e.size);
+            put_u32(&mut buf, e.owner);
+            put_u64(&mut buf, e.mtime_ns);
+            put_u16(&mut buf, e.mdt.unwrap_or(u16::MAX));
+        }
+        put_u64(&mut buf, self.rollups.len() as u64);
+        for (dir, r) in &self.rollups {
+            put_str(&mut buf, dir);
+            for part in r.to_parts() {
+                put_u64(&mut buf, part);
+            }
+        }
+        let crc = fsmon_store::crc::crc32(&buf);
+        put_u32(&mut buf, crc);
+        buf
+    }
+
+    /// Decode a snapshot produced by
+    /// [`encode_snapshot`](NamespaceIndex::encode_snapshot). Returns
+    /// `None` on any framing or CRC mismatch (the caller falls back to
+    /// an empty index and a full replay).
+    pub fn decode_snapshot(raw: &[u8]) -> Option<NamespaceIndex> {
+        if raw.len() < SNAP_MAGIC.len() + 1 + 8 + 8 + 8 + 4 {
+            return None;
+        }
+        let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+        let crc = u32::from_be_bytes(crc_bytes.try_into().ok()?);
+        if fsmon_store::crc::crc32(body) != crc {
+            return None;
+        }
+        let mut cur = Cursor { raw: body, pos: 0 };
+        if cur.take(SNAP_MAGIC.len())? != SNAP_MAGIC {
+            return None;
+        }
+        if cur.u8()? != SNAP_VERSION {
+            return None;
+        }
+        let applied_seq = cur.u64()?;
+        let n_entries = cur.u64()?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n_entries {
+            let path = cur.str()?;
+            let kind = EntryKind::from_tag(cur.u8()?)?;
+            let size = cur.u64()?;
+            let owner = cur.u32()?;
+            let mtime_ns = cur.u64()?;
+            let mdt = match cur.u16()? {
+                u16::MAX => None,
+                m => Some(m),
+            };
+            entries.insert(
+                path,
+                IndexEntry {
+                    kind,
+                    size,
+                    owner,
+                    mtime_ns,
+                    mdt,
+                },
+            );
+        }
+        let n_rollups = cur.u64()?;
+        let mut rollups = BTreeMap::new();
+        for _ in 0..n_rollups {
+            let dir = cur.str()?;
+            let mut parts = [0u64; 7];
+            for p in &mut parts {
+                *p = cur.u64()?;
+            }
+            rollups.insert(dir, DirRollup::from_parts(parts));
+        }
+        if cur.pos != body.len() {
+            return None;
+        }
+        Some(NamespaceIndex {
+            applied_seq,
+            entries,
+            rollups,
+        })
+    }
+}
+
+const SNAP_MAGIC: &[u8] = b"FSMIDX";
+const SNAP_VERSION: u8 = 1;
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    raw: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.raw.len() - self.pos < n {
+            return None;
+        }
+        let out = &self.raw[self.pos..self.pos + n];
+        self.pos += n;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|b| u16::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::EventKind;
+
+    fn ev(id: u64, kind: EventKind, path: &str) -> StandardEvent {
+        let mut e = StandardEvent::new(kind, "/r", path).with_timestamp(id * 1_000_000);
+        e.id = id;
+        e
+    }
+
+    #[test]
+    fn create_modify_delete_lifecycle() {
+        let mut idx = NamespaceIndex::new();
+        assert!(idx.apply(&ev(1, EventKind::Create, "/a/f").with_size(10).with_owner(7)));
+        assert!(idx.apply(&ev(2, EventKind::Modify, "/a/f").with_size(100)));
+        let e = idx.get("/a/f").unwrap();
+        assert_eq!(e.size, 100);
+        assert_eq!(e.owner, 7);
+        let r = idx.rollup("/a").unwrap();
+        assert_eq!(r.entries, 1);
+        assert_eq!(r.total_bytes, 100);
+        assert_eq!(r.events, 2);
+        idx.apply(&ev(3, EventKind::Delete, "/a/f"));
+        assert!(idx.get("/a/f").is_none());
+        let r = idx.rollup("/a").unwrap();
+        assert_eq!(r.entries, 0);
+        assert_eq!(r.total_bytes, 0);
+        assert_eq!(idx.applied_seq(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let mut idx = NamespaceIndex::new();
+        let create = ev(1, EventKind::Create, "/f").with_size(5);
+        assert!(idx.apply(&create));
+        let before = idx.clone();
+        assert!(!idx.apply(&create), "redelivery is a no-op");
+        assert_eq!(idx, before);
+    }
+
+    #[test]
+    fn rename_rekeys_file_and_updates_rollups() {
+        let mut idx = NamespaceIndex::new();
+        idx.apply(&ev(1, EventKind::Create, "/a/f").with_size(40));
+        idx.apply(&ev(2, EventKind::MovedTo, "/b/g").with_old_path("/a/f"));
+        assert!(idx.get("/a/f").is_none());
+        assert_eq!(idx.get("/b/g").unwrap().size, 40);
+        assert_eq!(idx.rollup("/a").unwrap().entries, 0);
+        assert_eq!(idx.rollup("/b").unwrap().total_bytes, 40);
+    }
+
+    #[test]
+    fn directory_rename_carries_subtree() {
+        let mut idx = NamespaceIndex::new();
+        let mut mk = ev(1, EventKind::Create, "/old");
+        mk.is_dir = true;
+        idx.apply(&mk);
+        idx.apply(&ev(2, EventKind::Create, "/old/x").with_size(1));
+        idx.apply(&ev(3, EventKind::Create, "/old/sub/y").with_size(2));
+        let mut mv = ev(4, EventKind::MovedTo, "/new").with_old_path("/old");
+        mv.is_dir = true;
+        idx.apply(&mv);
+        assert!(idx.get("/old/x").is_none());
+        assert_eq!(idx.get("/new/x").unwrap().size, 1);
+        assert_eq!(idx.get("/new/sub/y").unwrap().size, 2);
+        assert_eq!(idx.rollup("/new").unwrap().entries, 1);
+        assert_eq!(idx.rollup("/new/sub").unwrap().total_bytes, 2);
+    }
+
+    #[test]
+    fn directory_delete_removes_subtree() {
+        let mut idx = NamespaceIndex::new();
+        let mut mk = ev(1, EventKind::Create, "/d");
+        mk.is_dir = true;
+        idx.apply(&mk);
+        idx.apply(&ev(2, EventKind::Create, "/d/f").with_size(9));
+        idx.apply(&ev(3, EventKind::Create, "/d/s/g").with_size(9));
+        let mut rm = ev(4, EventKind::Delete, "/d");
+        rm.is_dir = true;
+        idx.apply(&rm);
+        assert!(idx.get("/d/f").is_none());
+        assert!(idx.get("/d/s/g").is_none());
+        assert!(idx.rollup("/d").is_none());
+        assert!(idx.rollup("/d/s").is_none());
+        assert_eq!(idx.rollup("/").unwrap().entries, 0);
+    }
+
+    #[test]
+    fn find_filters_compose() {
+        let mut idx = NamespaceIndex::new();
+        idx.apply(
+            &ev(1, EventKind::Create, "/p/a.h5")
+                .with_size(100)
+                .with_owner(1),
+        );
+        idx.apply(
+            &ev(2, EventKind::Create, "/p/b.txt")
+                .with_size(5)
+                .with_owner(1),
+        );
+        idx.apply(
+            &ev(3, EventKind::Create, "/q/c.h5")
+                .with_size(100)
+                .with_owner(2),
+        );
+        let now = 10_000_000_000;
+        let q = FindQuery::default()
+            .pattern("/**/*.h5")
+            .min_size(50)
+            .owner(1);
+        let hits = idx.find(&q, now);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, "/p/a.h5");
+        let q = FindQuery::default().older_than_ns(now);
+        assert!(idx.find(&q, now).is_empty(), "nothing is that old");
+    }
+
+    #[test]
+    fn du_groups_by_depth() {
+        let mut idx = NamespaceIndex::new();
+        idx.apply(&ev(1, EventKind::Create, "/a/x/f1").with_size(10));
+        idx.apply(&ev(2, EventKind::Create, "/a/y/f2").with_size(20));
+        idx.apply(&ev(3, EventKind::Create, "/b/f3").with_size(30));
+        let rows = idx.du("/", 1);
+        let a = rows.iter().find(|r| r.path == "/a").unwrap();
+        assert_eq!(a.bytes, 30);
+        assert_eq!(a.entries, 2);
+        let b = rows.iter().find(|r| r.path == "/b").unwrap();
+        assert_eq!(b.bytes, 30);
+        let total = idx.du("/", 0);
+        assert_eq!(total.len(), 1);
+        assert_eq!(total[0].bytes, 60);
+        let under_a = idx.du("/a", 1);
+        assert_eq!(under_a.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_crc_guard() {
+        let mut idx = NamespaceIndex::new();
+        for i in 1..=50 {
+            idx.apply(&ev(i, EventKind::Create, &format!("/d{}/f{i}", i % 5)).with_size(i));
+        }
+        idx.apply(&ev(51, EventKind::Delete, "/d1/f1"));
+        let raw = idx.encode_snapshot();
+        let back = NamespaceIndex::decode_snapshot(&raw).unwrap();
+        assert_eq!(back, idx);
+        assert_eq!(back.applied_seq(), 51);
+        // Any bit flip is rejected.
+        let mut bad = raw.clone();
+        bad[raw.len() / 2] ^= 0xFF;
+        assert!(NamespaceIndex::decode_snapshot(&bad).is_none());
+        assert!(NamespaceIndex::decode_snapshot(&raw[..raw.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn recent_rate_decays_when_idle() {
+        let mut idx = NamespaceIndex::new();
+        for i in 1..=10 {
+            let mut e = ev(i, EventKind::Modify, "/hot/f");
+            e.timestamp_ns = i * 90_000_000; // all within bucket 0
+            idx.apply(&e);
+        }
+        let r = idx.rollup("/hot").unwrap();
+        assert!(r.recent_rate(900_000_000) > 0.0);
+        assert_eq!(
+            r.recent_rate(10 * ACTIVITY_BUCKET_NS),
+            0.0,
+            "idle dirs cool off"
+        );
+    }
+}

@@ -655,6 +655,19 @@ impl Resolver {
         }
     }
 
+    /// Attach size/owner metadata from an MDS-local stat of the FID —
+    /// one hash probe on the MDS the collector already runs on, the way
+    /// Robinhood enriches changelog records before indexing. Removal
+    /// events and already-deleted FIDs stay unenriched (`None`).
+    fn enrich(&self, ev: &mut StandardEvent, fid: Fid) {
+        if let Some(attrs) = self.mdt.fs().attrs_of_fid(fid) {
+            if !attrs.is_dir {
+                ev.size = Some(attrs.size);
+            }
+            ev.owner = Some(attrs.uid);
+        }
+    }
+
     /// Algorithm 1's `processEvent`: one Changelog record → one or two
     /// standardized events. Thread-safe — concurrent workers share the
     /// sharded cache; fallback reconstruction makes every interleaving
@@ -701,6 +714,7 @@ impl Resolver {
             let from = base(EventKind::MovedFrom, old_path.clone());
             let mut to = base(EventKind::MovedTo, new_path);
             to.old_path = Some(old_path);
+            self.enrich(&mut to, new_fid);
             return vec![from, to];
         }
 
@@ -765,7 +779,9 @@ impl Resolver {
             }
         };
         self.events.fetch_add(1, Ordering::Relaxed);
-        vec![base(kind, path)]
+        let mut ev = base(kind, path);
+        self.enrich(&mut ev, rec.target_fid);
+        vec![ev]
     }
 }
 
@@ -817,6 +833,31 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, EventKind::Create);
         assert!(events[0].is_dir);
+    }
+
+    #[test]
+    fn events_carry_size_and_owner_metadata() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let mut c = collector(&fs, 100);
+        let client = fs.client();
+        client.create("/f").unwrap();
+        client.write("/f", 0, 4096).unwrap();
+        client.chown("/f", 1001).unwrap();
+        let events = c.drain(10);
+        // All events on a live file see its current size/owner (the
+        // MDS-local stat happens at collection time, not event time).
+        let sattr = events
+            .iter()
+            .find(|e| e.kind == EventKind::Attrib)
+            .expect("chown emits SATTR");
+        assert_eq!(sattr.size, Some(4096));
+        assert_eq!(sattr.owner, Some(1001));
+        // Deletes carry no metadata: the object is already gone.
+        client.unlink("/f").unwrap();
+        let events = c.drain(10);
+        assert_eq!(events[0].kind, EventKind::Delete);
+        assert_eq!(events[0].size, None);
+        assert_eq!(events[0].owner, None);
     }
 
     #[test]

@@ -371,13 +371,16 @@ impl ScalableMonitor {
         let stop = Arc::new(AtomicBool::new(false));
         let threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
-        // The janitor: periodic purge cycles over the reliable store.
+        // The janitor: periodic purge cycles over the reliable store,
+        // plus a per-tick flush check so a time-based durability policy
+        // bounds the tail-loss window even when the store goes idle
+        // (commit-time checks alone only fire while events arrive).
         if let Some(interval) = config.purge_interval {
             let store = aggregator.store().clone();
             let stop = stop.clone();
-            let purge_ns = fsmon_telemetry::root()
-                .scope("janitor")
-                .histogram("purge_ns");
+            let janitor = fsmon_telemetry::root().scope("janitor");
+            let purge_ns = janitor.histogram("purge_ns");
+            let idle_flushes = janitor.counter("idle_flushes_total");
             threads.lock().push(
                 std::thread::Builder::new()
                     .name("store-janitor".into())
@@ -386,6 +389,9 @@ impl ScalableMonitor {
                         while !stop.load(Ordering::Relaxed) {
                             std::thread::sleep(Duration::from_millis(20));
                             slept += Duration::from_millis(20);
+                            if let Ok(true) = store.flush_if_due() {
+                                idle_flushes.inc();
+                            }
                             if slept >= interval {
                                 slept = Duration::ZERO;
                                 let t0 = std::time::Instant::now();

@@ -77,6 +77,11 @@ impl LustreClient {
         self.fs.setattr(path, mode)
     }
 
+    /// Change the owner uid.
+    pub fn chown(&self, path: &str, uid: u32) -> Result<(), ClientError> {
+        self.fs.chown(path, uid)
+    }
+
     /// Set an extended attribute.
     pub fn setxattr(&self, path: &str, key: &str, value: &[u8]) -> Result<(), ClientError> {
         self.fs.setxattr(path, key, value)
@@ -173,6 +178,20 @@ mod tests {
         c.append("/f", 100).unwrap();
         c.append("/f", 50).unwrap();
         assert_eq!(c.size_of("/f").unwrap(), 150);
+    }
+
+    #[test]
+    fn chown_updates_owner_and_fid_attrs() {
+        let c = client();
+        c.create("/f").unwrap();
+        assert_eq!(c.fs().owner_of("/f").unwrap(), 0);
+        c.chown("/f", 1001).unwrap();
+        assert_eq!(c.fs().owner_of("/f").unwrap(), 1001);
+        let fid = c.fs().resolve("/f").unwrap();
+        let attrs = c.fs().attrs_of_fid(fid).unwrap();
+        assert_eq!(attrs.uid, 1001);
+        assert!(!attrs.is_dir);
+        assert!(c.fs().attrs_of_fid(crate::fid::Fid::NULL).is_none());
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub use client::{ClientError, LustreClient};
 pub use clock::{CostModel, SimClock};
 pub use config::{LustreConfig, TestbedKind};
 pub use fid::Fid;
-pub use namespace::{FileType, LustreFs, MdtHandle, StatFs};
+pub use namespace::{FileType, InodeAttrs, LustreFs, MdtHandle, StatFs};
 pub use ost::{OstPool, StripeLayout};
 pub use record::ChangelogRecord;

@@ -46,6 +46,7 @@ struct Inode {
     nlink: u32,
     size: u64,
     mode: u32,
+    uid: u32,
     mtime_ns: u64,
     xattrs: HashMap<String, Vec<u8>>,
     layout: Option<StripeLayout>,
@@ -170,6 +171,7 @@ impl LustreFs {
                 nlink: 2,
                 size: 0,
                 mode: 0o755,
+                uid: 0,
                 mtime_ns: 0,
                 xattrs: HashMap::new(),
                 layout: None,
@@ -419,6 +421,7 @@ impl LustreFs {
                     nlink: 1,
                     size: 0,
                     mode: 0o644,
+                    uid: 0,
                     mtime_ns: self.clock.now_ns(),
                     xattrs: HashMap::new(),
                     layout: Some(layout),
@@ -475,6 +478,7 @@ impl LustreFs {
                     nlink: 2,
                     size: 0,
                     mode: 0o755,
+                    uid: 0,
                     mtime_ns: self.clock.now_ns(),
                     xattrs: HashMap::new(),
                     layout: None,
@@ -559,6 +563,23 @@ impl LustreFs {
                 .get_mut(&fid)
                 .ok_or_else(|| FsError::NotFound(path.to_string()))?;
             node.mode = mode;
+            (node.mdt, node.name.clone())
+        };
+        let rec = self.blank_record(ChangelogKind::Sattr, fid, Fid::NULL, &name);
+        self.emit(mdt, ChangelogKind::Sattr, rec);
+        Ok(())
+    }
+
+    /// Change the owner uid. Emits `SATTR` (ownership changes are
+    /// setattr operations in Lustre's changelog).
+    pub fn chown(&self, path: &str, uid: u32) -> Result<(), FsError> {
+        let fid = self.resolve(path)?;
+        let (mdt, name) = {
+            let mut inodes = self.inodes.write();
+            let node = inodes
+                .get_mut(&fid)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            node.uid = uid;
             (node.mdt, node.name.clone())
         };
         let rec = self.blank_record(ChangelogKind::Sattr, fid, Fid::NULL, &name);
@@ -680,6 +701,7 @@ impl LustreFs {
                     nlink: 1,
                     size: 0,
                     mode: 0o644,
+                    uid: 0,
                     mtime_ns: self.clock.now_ns(),
                     xattrs: HashMap::new(),
                     layout: None,
@@ -890,6 +912,31 @@ impl LustreFs {
             .size)
     }
 
+    /// Owner uid of the inode at `path`.
+    pub fn owner_of(&self, path: &str) -> Result<u32, FsError> {
+        let fid = self.resolve(path)?;
+        let inodes = self.inodes.read();
+        Ok(inodes
+            .get(&fid)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?
+            .uid)
+    }
+
+    /// Cheap FID-keyed attribute probe, as an MDS-local stat a collector
+    /// performs while it already holds the changelog record's FID: one
+    /// hash lookup under the read lock, no path resolution, no clock
+    /// charge, no fault-plane consultation. Returns `None` when the FID
+    /// no longer resolves (object already deleted).
+    pub fn attrs_of_fid(&self, fid: Fid) -> Option<InodeAttrs> {
+        let inodes = self.inodes.read();
+        inodes.get(&fid).map(|node| InodeAttrs {
+            is_dir: node.ftype == FileType::Directory,
+            size: node.size,
+            uid: node.uid,
+            mtime_ns: node.mtime_ns,
+        })
+    }
+
     /// MDT owning the inode at `path`.
     pub fn mdt_of(&self, path: &str) -> Result<u16, FsError> {
         let fid = self.resolve(path)?;
@@ -940,6 +987,19 @@ impl LustreFs {
             ost_count: self.osts.ost_count(),
         }
     }
+}
+
+/// Attribute snapshot returned by [`LustreFs::attrs_of_fid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InodeAttrs {
+    /// Whether the object is a directory.
+    pub is_dir: bool,
+    /// Current size in bytes.
+    pub size: u64,
+    /// Owner uid.
+    pub uid: u32,
+    /// Last modification time, simulated nanoseconds.
+    pub mtime_ns: u64,
 }
 
 /// Capacity summary returned by [`LustreFs::statfs`].

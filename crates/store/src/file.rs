@@ -58,7 +58,7 @@ const SCAN_BUF: usize = 64 * 1024;
 const HEADER: usize = 8;
 
 /// Construction knobs for [`FileStore::open_with_options`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FileStoreOptions {
     /// Max payload bytes per segment before rolling.
     pub segment_bytes: u64,
@@ -71,6 +71,22 @@ pub struct FileStoreOptions {
     pub durability: Durability,
     /// Fault-injection handle consulted by appends (no-op when unarmed).
     pub faults: Faults,
+    /// Optional nanosecond clock driving [`Durability::IntervalMs`]
+    /// elapsed-time checks (wall clock when `None`). Lets tests drive
+    /// the interval with a simulated clock instead of sleeping.
+    pub clock: Option<fsmon_telemetry::ClockFn>,
+}
+
+impl std::fmt::Debug for FileStoreOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStoreOptions")
+            .field("segment_bytes", &self.segment_bytes)
+            .field("index_every", &self.index_every)
+            .field("watermark_every", &self.watermark_every)
+            .field("durability", &self.durability)
+            .field("clock", &self.clock.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for FileStoreOptions {
@@ -81,6 +97,7 @@ impl Default for FileStoreOptions {
             watermark_every: DEFAULT_WATERMARK_EVERY,
             durability: Durability::None,
             faults: Faults::none(),
+            clock: None,
         }
     }
 }
@@ -130,6 +147,25 @@ struct Inner {
     /// Bytes committed since the last explicit flush.
     pending_sync_bytes: u64,
     last_sync: std::time::Instant,
+    /// Clock reading at the last flush, when an injected clock drives
+    /// the interval policy.
+    last_sync_ns: u64,
+    /// Injected nanosecond clock for interval checks (tests); wall
+    /// clock when `None`.
+    clock: Option<fsmon_telemetry::ClockFn>,
+}
+
+impl Inner {
+    /// Whether `ms` milliseconds have passed since the last flush,
+    /// under whichever clock governs the interval policy.
+    fn interval_elapsed(&self, ms: u64) -> bool {
+        match &self.clock {
+            Some(clock) => {
+                clock().saturating_sub(self.last_sync_ns) >= ms.saturating_mul(1_000_000)
+            }
+            None => self.last_sync.elapsed() >= std::time::Duration::from_millis(ms),
+        }
+    }
 }
 
 /// A durable [`EventStore`] over a directory of segment files.
@@ -277,6 +313,8 @@ impl FileStore {
                 buf_high_water: 0,
                 pending_sync_bytes: 0,
                 last_sync: std::time::Instant::now(),
+                last_sync_ns: options.clock.as_ref().map(|c| c()).unwrap_or(0),
+                clock: options.clock,
             }),
             faults: options.faults,
             t_appends: scope.counter("appends_total"),
@@ -337,6 +375,7 @@ impl FileStore {
         }
         inner.pending_sync_bytes = 0;
         inner.last_sync = std::time::Instant::now();
+        inner.last_sync_ns = inner.clock.as_ref().map(|c| c()).unwrap_or(0);
         Ok(())
     }
 
@@ -347,8 +386,7 @@ impl FileStore {
             Durability::EveryBatch => inner.pending_sync_bytes > 0,
             Durability::Bytes(n) => inner.pending_sync_bytes >= n,
             Durability::IntervalMs(ms) => {
-                inner.pending_sync_bytes > 0
-                    && inner.last_sync.elapsed() >= std::time::Duration::from_millis(ms)
+                inner.pending_sync_bytes > 0 && inner.interval_elapsed(ms)
             }
         };
         if due {
@@ -758,6 +796,22 @@ impl EventStore for FileStore {
         Ok(())
     }
 
+    fn flush_if_due(&self) -> Result<bool, StoreError> {
+        let mut inner = self.inner.lock();
+        let due = match inner.durability {
+            Durability::IntervalMs(ms) => {
+                inner.pending_sync_bytes > 0 && inner.interval_elapsed(ms)
+            }
+            // Other policies flush at commit time; an idle store has
+            // nothing overdue.
+            _ => false,
+        };
+        if due {
+            self.sync_active(&mut inner)?;
+        }
+        Ok(due)
+    }
+
     fn stats(&self) -> StoreStats {
         let inner = self.inner.lock();
         let index_entries: usize = inner.segments.iter().map(|s| s.index.len()).sum();
@@ -1042,6 +1096,33 @@ mod tests {
             .counter("fsyncs_total")
             .get();
         assert!(after >= before + 2, "one flush per batch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_if_due_syncs_idle_interval_store() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let dir = tmpdir("idleflush");
+        let now = Arc::new(AtomicU64::new(0));
+        let clock = now.clone();
+        let store = FileStore::open_with_options(
+            &dir,
+            FileStoreOptions {
+                durability: Durability::IntervalMs(100),
+                clock: Some(Arc::new(move || clock.load(Ordering::Relaxed))),
+                ..FileStoreOptions::default()
+            },
+        )
+        .unwrap();
+        // A commit inside the interval leaves the tail unsynced.
+        store.append(&ev("idle")).unwrap();
+        assert!(!store.flush_if_due().unwrap(), "interval not yet elapsed");
+        // The store then goes idle; only the clock advances.
+        now.store(150 * 1_000_000, Ordering::Relaxed);
+        assert!(store.flush_if_due().unwrap(), "overdue tail must sync");
+        // Nothing pending afterwards: the call is idempotent.
+        assert!(!store.flush_if_due().unwrap());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -106,8 +106,10 @@ pub enum Durability {
     /// flush.
     Bytes(u64),
     /// Flush when at least this many milliseconds have elapsed since
-    /// the last flush (checked at commit time; an idle store does not
-    /// wake up to flush).
+    /// the last flush. Checked at commit time and by
+    /// [`EventStore::flush_if_due`], which a housekeeping thread (the
+    /// monitor's janitor) calls periodically so the tail-loss window
+    /// stays bounded even when the store goes idle after a commit.
     IntervalMs(u64),
 }
 
@@ -179,6 +181,16 @@ pub trait EventStore: Send + Sync {
     /// Reclaim storage for reported events. Implementations may retain
     /// more than strictly necessary (segment granularity).
     fn purge_reported(&self) -> Result<(), StoreError>;
+
+    /// Flush the unsynced tail if a time-based durability policy is
+    /// overdue. Commit-time checks only fire while events keep
+    /// arriving; a housekeeping thread calls this so an idle store
+    /// still honours [`Durability::IntervalMs`]'s bound. Returns
+    /// whether a flush was issued. Default: nothing to do (stores
+    /// without a time-based policy, or fully synchronous ones).
+    fn flush_if_due(&self) -> Result<bool, StoreError> {
+        Ok(false)
+    }
 
     /// Current counters.
     fn stats(&self) -> StoreStats;

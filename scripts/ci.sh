@@ -37,4 +37,27 @@ else
     echo "    (no committed BENCH_pipeline.json; skipping)"
 fi
 
+echo "==> index bench smoke (materialized fold / query latency)"
+# Folds a synthetic stamped stream and times a mixed find/du/policy
+# workload; fails on a >20% ingest-throughput regression against the
+# committed baseline (query p99 gates the same way when the baseline
+# carries the field). --events must match the committed baseline's
+# stream size for comparable numbers. Writes to a scratch path so the
+# committed BENCH_index.json only changes when regenerated
+# deliberately.
+if [ -f BENCH_index.json ]; then
+    cargo build --release -q -p fsmon-bench --bin index
+    target/release/index \
+        --out target/BENCH_index.smoke.json \
+        --baseline BENCH_index.json
+else
+    echo "    (no committed BENCH_index.json; skipping)"
+fi
+
+echo "==> index catch-up/consistency smoke"
+# The live pipeline folded through the index must equal a linear
+# replay fold and resume from its snapshot cursor; the chaos harness
+# separately proves the same equality across supervised crashes.
+cargo test -q -p fsmon-integration --test index_consistency
+
 echo "CI green."

@@ -1,0 +1,156 @@
+//! Cross-crate index consistency tests: the materialized namespace
+//! index folded from the live pipeline's durable store must equal a
+//! single linear replay fold, survive snapshot/reopen, and the
+//! simulated clock must be able to drive interval-durability flushes
+//! on an idle store without sleeping.
+
+use fsmon_index::{FindQuery, IndexService, NamespaceIndex, PolicyEngine};
+use fsmon_lustre::{ScalableConfig, ScalableMonitor};
+use fsmon_store::{Durability, EventStore, FileStore, FileStoreOptions};
+use lustre_sim::{LustreConfig, LustreFs, SimClock};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsmon-index-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Fold everything in the store linearly, the reference the chaos
+/// harness also uses.
+fn linear_fold(store: &dyn EventStore) -> NamespaceIndex {
+    let mut idx = NamespaceIndex::new();
+    loop {
+        let chunk = store.get_since(idx.applied_seq(), 4096).unwrap();
+        if chunk.is_empty() {
+            break;
+        }
+        for ev in &chunk {
+            idx.apply(ev);
+        }
+    }
+    idx
+}
+
+/// A real pipeline run (simulated Lustre → collectors → aggregator →
+/// file store) indexed via `catch_up` must equal the linear replay
+/// fold, answer queries from memory, and resume from its snapshot
+/// cursor after reopen.
+#[test]
+fn index_catch_up_matches_linear_fold_and_resumes_from_snapshot() {
+    let dir = tmpdir("fold");
+    let store: Arc<FileStore> = Arc::new(FileStore::open(dir.join("store")).unwrap());
+    let fs = LustreFs::new(LustreConfig::small_dne(2));
+    let monitor = ScalableMonitor::start(
+        &fs,
+        ScalableConfig {
+            store: Some(store.clone()),
+            ..ScalableConfig::default()
+        },
+    )
+    .unwrap();
+
+    // A workload that exercises every fold arm: creates, writes,
+    // renames (chains), re-created paths, attribute changes, deletes.
+    let client = fs.client();
+    client.mkdir("/proj").unwrap();
+    for i in 0..40 {
+        client.create(&format!("/proj/f{i}.dat")).unwrap();
+        client.append(&format!("/proj/f{i}.dat"), 512 + i).unwrap();
+    }
+    client.rename("/proj/f0.dat", "/proj/g0.dat").unwrap();
+    client.rename("/proj/g0.dat", "/proj/h0.dat").unwrap();
+    client.create("/proj/f0.dat").unwrap(); // re-created path
+    client.chown("/proj/f1.dat", 1042).unwrap();
+    client.chmod("/proj/f2.dat", 0o600).unwrap();
+    for i in 10..20 {
+        client.unlink(&format!("/proj/f{i}.dat")).unwrap();
+    }
+    // mkdir + 40×(create+append) + 2 renames (2 events each) +
+    // re-create + chown + chmod + 10 unlinks.
+    let expected = 1 + 80 + 4 + 1 + 1 + 1 + 10;
+    assert!(
+        monitor.wait_events(expected, Duration::from_secs(30)),
+        "pipeline stalled: {} of {expected}",
+        monitor.aggregator_stats().received
+    );
+    // Stopping joins the store lane, so the store holds every stamped
+    // event afterwards.
+    monitor.stop();
+
+    let reference = linear_fold(store.as_ref());
+    assert!(reference.applied_seq() >= expected, "store drained early");
+
+    let snap = dir.join("index.snap");
+    let mut svc = IndexService::open(&snap, PolicyEngine::empty());
+    svc.catch_up(store.as_ref()).unwrap();
+    assert_eq!(svc.index(), &reference, "catch-up fold diverged");
+    assert_eq!(svc.lag(store.as_ref()), 0);
+
+    // Queries answer from the materialized state.
+    assert!(svc.index().get("/proj/h0.dat").is_some(), "rename chain");
+    assert!(svc.index().get("/proj/f0.dat").is_some(), "re-created path");
+    assert!(svc.index().get("/proj/f10.dat").is_none(), "unlinked");
+    assert_eq!(svc.index().get("/proj/f1.dat").unwrap().owner, 1042);
+    let rows = svc.find(
+        &FindQuery::default().pattern("/proj/*.dat").min_size(512),
+        0,
+    );
+    assert!(!rows.is_empty(), "find over the index");
+    let du = svc.du("/", usize::MAX);
+    assert!(
+        du.iter().any(|r| r.path == "/proj" && r.entries > 0),
+        "du rollup for /proj"
+    );
+
+    // Snapshot, reopen: the cursor resumes exactly where it left off
+    // and a second catch-up is a no-op.
+    svc.save().unwrap();
+    let mut svc2 = IndexService::open(&snap, PolicyEngine::empty());
+    assert_eq!(svc2.index(), &reference, "snapshot resume diverged");
+    assert_eq!(svc2.catch_up(store.as_ref()).unwrap(), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `Durability::IntervalMs` bounds the tail-loss window even when the
+/// store goes idle: with the store clocked by a [`SimClock`], advancing
+/// simulated time past the interval makes `flush_if_due` sync the
+/// unsynced tail — no appends, no sleeping.
+#[test]
+fn simclock_drives_idle_interval_store_flush() {
+    let dir = tmpdir("idle");
+    let clock = Arc::new(SimClock::default());
+    let tick = clock.clone();
+    let store = FileStore::open_with_options(
+        dir.join("store"),
+        FileStoreOptions {
+            durability: Durability::IntervalMs(100),
+            clock: Some(Arc::new(move || tick.now_ns())),
+            ..FileStoreOptions::default()
+        },
+    )
+    .unwrap();
+    store
+        .append(&fsmon_events::StandardEvent::new(
+            fsmon_events::EventKind::Create,
+            "/r",
+            "/idle.dat",
+        ))
+        .unwrap();
+    assert!(
+        !store.flush_if_due().unwrap(),
+        "interval not elapsed in sim time"
+    );
+    // The store goes idle; only simulated time moves.
+    clock.advance(150 * 1_000_000);
+    assert!(
+        store.flush_if_due().unwrap(),
+        "overdue idle tail must sync once the sim clock passes the interval"
+    );
+    assert!(!store.flush_if_due().unwrap(), "flush is idempotent");
+    std::fs::remove_dir_all(&dir).ok();
+}

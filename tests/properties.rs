@@ -17,6 +17,45 @@ fn arb_source() -> impl Strategy<Value = MonitorSource> {
     prop::sample::select(MonitorSource::ALL.to_vec())
 }
 
+/// Namespace-mutating event sequences over a small path pool, so
+/// rename chains, re-created paths, and delete/create races all show
+/// up. Ids are dense from 1, matching the sequencer's stamping.
+fn arb_index_ops() -> impl Strategy<Value = Vec<StandardEvent>> {
+    prop::collection::vec(
+        (
+            0u8..5,
+            0usize..6,
+            0usize..6,
+            1u64..1_000_000,
+            0u32..4,
+            0u64..10_000_000_000u64,
+        ),
+        1..80,
+    )
+    .prop_map(|ops| {
+        let path = |n: usize| format!("/d{}/f{}", n % 2, n);
+        ops.into_iter()
+            .enumerate()
+            .map(|(i, (which, a, b, size, owner, ts))| {
+                let mut ev = match which {
+                    0 => StandardEvent::new(EventKind::Create, "/r", path(a))
+                        .with_size(size)
+                        .with_owner(owner),
+                    1 => StandardEvent::new(EventKind::Delete, "/r", path(a)),
+                    2 => {
+                        StandardEvent::new(EventKind::MovedTo, "/r", path(b)).with_old_path(path(a))
+                    }
+                    3 => StandardEvent::new(EventKind::CloseWrite, "/r", path(a)).with_size(size),
+                    _ => StandardEvent::new(EventKind::Attrib, "/r", path(a)).with_owner(owner),
+                };
+                ev.id = (i + 1) as u64;
+                ev.timestamp_ns = ts;
+                ev
+            })
+            .collect()
+    })
+}
+
 prop_compose! {
     fn arb_event()(
         kind in arb_kind(),
@@ -29,6 +68,8 @@ prop_compose! {
         root in "/[a-z]{1,8}(/[a-z]{1,8}){0,2}",
         path in "/[a-zA-Z0-9._-]{1,12}(/[a-zA-Z0-9._-]{1,12}){0,3}",
         old in prop::option::of("/[a-z]{1,12}"),
+        size in prop::option::of(any::<u64>()),
+        owner in prop::option::of(any::<u32>()),
     ) -> StandardEvent {
         StandardEvent {
             id, kind, is_dir,
@@ -39,6 +80,8 @@ prop_compose! {
             timestamp_ns: ts,
             source,
             mdt_index: mdt,
+            size,
+            owner,
         }
     }
 }
@@ -215,5 +258,52 @@ proptest! {
         prop_assert!(filter.matches(&inside));
         let outside = StandardEvent::new(EventKind::Create, "/r", format!("{prefix}x{rest}"));
         prop_assert!(!filter.matches(&outside), "{}", outside.path);
+    }
+
+    #[test]
+    fn index_fold_of_any_interleaving_equals_linear_replay(
+        events in arb_index_ops(),
+        swaps in prop::collection::vec(any::<prop::sample::Index>(), 0..80),
+        chunk in 1usize..5,
+    ) {
+        use fsmon_index::{IndexService, NamespaceIndex, PolicyEngine};
+        // Reference: one linear replay of the stamped sequence, the
+        // way `catch_up` would read it back from the store.
+        let mut linear = NamespaceIndex::new();
+        for ev in &events {
+            linear.apply(ev);
+        }
+        // Live side: the same events delivered in an arbitrary order
+        // (gap heals surface late), in small batches, then the whole
+        // original batch redelivered once more as duplicates. The
+        // permutation is a Fisher-Yates driven by generated indices.
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        for (i, pick) in swaps.iter().enumerate() {
+            let a = i % order.len();
+            let b = pick.index(order.len());
+            order.swap(a, b);
+        }
+        let mut svc = IndexService::new(PolicyEngine::empty());
+        let shuffled: Vec<StandardEvent> =
+            order.iter().map(|&i| events[i].clone()).collect();
+        for batch in shuffled.chunks(chunk) {
+            svc.ingest(batch);
+        }
+        prop_assert_eq!(svc.ingest(&events), 0, "redelivery folds to zero");
+        prop_assert_eq!(svc.index().applied_seq(), events.len() as u64);
+        prop_assert_eq!(svc.pending_len(), 0);
+        prop_assert_eq!(svc.index(), &linear);
+    }
+
+    #[test]
+    fn index_snapshot_roundtrips_any_folded_state(events in arb_index_ops()) {
+        use fsmon_index::NamespaceIndex;
+        let mut idx = NamespaceIndex::new();
+        for ev in &events {
+            idx.apply(ev);
+        }
+        let decoded = NamespaceIndex::decode_snapshot(&idx.encode_snapshot())
+            .expect("snapshot decodes");
+        prop_assert_eq!(decoded, idx);
     }
 }
