@@ -515,7 +515,11 @@ fn run_sim_into_store(
 /// into a materialized index, so the final summary's index section has
 /// real numbers. Returns the number of generated operations.
 fn run_sim_pipeline(mds: u16, seconds: u64, cache: usize) -> Result<(u64, Duration), String> {
-    let dir = std::env::temp_dir().join(format!("fsmon-stats-idx-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!(
+        "fsmon-stats-idx-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     let store = std::sync::Arc::new(FileStore::open(dir.join("store")).map_err(|e| e.to_string())?);
     let result = run_sim_into_store(mds, seconds, cache, store.clone());

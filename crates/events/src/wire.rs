@@ -17,13 +17,23 @@
 //! The trailing metadata fields are flag-gated, so frames produced
 //! before the enrichment (flags without those bits) still decode — the
 //! fields come back `None` — and unenriched events pay zero bytes.
+//! Their introduction bumped the version byte to 2: a version-1
+//! decoder fails loudly on enriched frames ([`WireError::BadVersion`])
+//! instead of leaving trailing bytes unconsumed, while this decoder
+//! still accepts version-1 frames from older producers.
 
 use crate::event::{MonitorSource, StandardEvent};
 use crate::kind::EventKind;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-/// Current codec version byte.
-pub const WIRE_VERSION: u8 = 1;
+/// Current codec version byte. Version 2 added the flag-gated
+/// size/owner metadata tail; see [`MIN_WIRE_VERSION`].
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest version this decoder still accepts. Version-1 frames never
+/// carry the metadata flag bits, so the flag-gated tail reads are
+/// vacuous for them.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 const FLAG_IS_DIR: u8 = 0b0000_0001;
 const FLAG_HAS_SIZE: u8 = 0b0000_0010;
@@ -144,7 +154,7 @@ pub fn decode_event_from(buf: &mut Bytes) -> Result<StandardEvent, WireError> {
         return Err(WireError::Truncated);
     }
     let version = buf.get_u8();
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let id = buf.get_u64();
@@ -375,12 +385,25 @@ mod tests {
 
     #[test]
     fn pre_enrichment_frame_decodes_with_no_metadata() {
-        // A frame whose flags carry no HAS_SIZE/HAS_OWNER bits (what an
-        // older producer emits) decodes cleanly to `None` metadata.
-        let frame = encode_event(&sample());
-        let d = decode_event(&frame).unwrap();
+        // What an older producer emits: a version-1 frame whose flags
+        // carry no HAS_SIZE/HAS_OWNER bits. It decodes cleanly to
+        // `None` metadata.
+        let mut raw = encode_event(&sample()).to_vec();
+        raw[0] = MIN_WIRE_VERSION;
+        let d = decode_event(&Bytes::from(raw)).unwrap();
+        assert_eq!(d, sample());
         assert_eq!(d.size, None);
         assert_eq!(d.owner, None);
+    }
+
+    #[test]
+    fn enriched_frames_carry_the_bumped_version() {
+        // A version-1 decoder must reject enriched frames outright
+        // (unknown version) rather than misparse the metadata tail, so
+        // the current encoder always stamps the bumped version.
+        let frame = encode_event(&sample().with_size(9).with_owner(1));
+        assert_eq!(frame[0], 2);
+        assert_eq!(WIRE_VERSION, 2);
     }
 
     #[test]
@@ -495,8 +518,13 @@ mod tests {
         let mut raw = frame.to_vec();
         raw[0] = 99;
         assert_eq!(
-            decode_event(&Bytes::from(raw)),
+            decode_event(&Bytes::from(raw.clone())),
             Err(WireError::BadVersion(99))
+        );
+        raw[0] = 0;
+        assert_eq!(
+            decode_event(&Bytes::from(raw)),
+            Err(WireError::BadVersion(0))
         );
     }
 

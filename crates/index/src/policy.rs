@@ -153,7 +153,7 @@ impl PolicyEngine {
                                 continue;
                             }
                             if entry.mtime_ns.saturating_add(*older_than_ns) <= now_ns
-                                && p.rule.matches(&probe(path))
+                                && p.rule.matches_path(path)
                             {
                                 n += 1;
                                 if sample.len() < SAMPLE {
@@ -208,13 +208,6 @@ impl PolicyEngine {
     }
 }
 
-/// A synthetic event used to reuse the rule's path predicate against an
-/// index entry (only the path participates; the kind mask was already
-/// consulted on the live stream).
-fn probe(path: &str) -> StandardEvent {
-    StandardEvent::new(EventKind::Create, "", path)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +230,25 @@ mod tests {
         let purge = reports.iter().find(|r| r.name == "purge-age").unwrap();
         assert_eq!(purge.candidates, 1);
         assert_eq!(purge.sample, vec!["/old.dat".to_string()]);
+    }
+
+    #[test]
+    fn purge_age_evaluation_ignores_the_kind_mask() {
+        // The kind mask gates the live-stream counter only; the
+        // index-side evaluation consults just the path pattern, so a
+        // rule scoped to e.g. deletions still names purge candidates.
+        let mut idx = NamespaceIndex::new();
+        idx.apply(&ev(1, EventKind::Create, "/old.dat", 1_000));
+        let mut engine = PolicyEngine::empty();
+        engine.add(
+            Rule::new("purge-age", "/**/*.dat", KindMask::only(EventKind::Delete)),
+            PolicySpec::PurgeAge {
+                older_than_ns: 100_000,
+            },
+        );
+        let reports = engine.evaluate(&idx, 1_000_000_000);
+        assert_eq!(reports[0].candidates, 1);
+        assert_eq!(reports[0].sample, vec!["/old.dat".to_string()]);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub struct IndexService {
     pending: std::collections::BTreeMap<u64, StandardEvent>,
     t_applied: Arc<Counter>,
     t_snapshots: Arc<Counter>,
+    t_rebuilds: Arc<Counter>,
     t_fold_ns: Arc<Histogram>,
     t_query_ns: Arc<Histogram>,
     t_applied_seq: Arc<Gauge>,
@@ -87,6 +88,7 @@ impl IndexService {
             pending: std::collections::BTreeMap::new(),
             t_applied: scope.counter("events_applied_total"),
             t_snapshots: scope.counter("snapshots_total"),
+            t_rebuilds: scope.counter("rebuilds_total"),
             t_fold_ns: scope.histogram("fold_ns"),
             t_query_ns: scope.histogram("query_ns"),
             t_applied_seq: scope.gauge("applied_seq"),
@@ -180,12 +182,30 @@ impl IndexService {
     /// point-in-time catch-up path: after open (resume from snapshot)
     /// or after the live subscription lapses. Returns the number of
     /// events applied.
+    ///
+    /// If the store has purged past the cursor (its `get_since` clamps
+    /// to the purge floor), the intervening events are unrecoverable:
+    /// folding the surviving suffix onto the stale state would silently
+    /// miss deletes and renames. The index is instead rebuilt from
+    /// scratch at the floor — exactly the state a full replay of the
+    /// surviving store produces — and `fsmon_index_rebuilds_total`
+    /// counts the reset.
     pub fn catch_up(&mut self, store: &dyn EventStore) -> Result<usize, StoreError> {
         let mut applied = 0;
         loop {
-            let chunk = store.get_since(self.index.applied_seq(), CATCH_UP_BATCH)?;
+            let cursor = self.index.applied_seq();
+            let chunk = store.get_since(cursor, CATCH_UP_BATCH)?;
             if chunk.is_empty() {
                 break;
+            }
+            // Sequences are dense, so a first id past `cursor + 1`
+            // means the store purged the events in between. Without
+            // this reset every event in the chunk stages in `pending`,
+            // the cursor never advances, and the loop spins forever.
+            if chunk[0].id > cursor + 1 {
+                self.index = NamespaceIndex::starting_at(chunk[0].id - 1);
+                self.pending.clear();
+                self.t_rebuilds.inc();
             }
             applied += self.ingest(&chunk);
         }
@@ -293,6 +313,34 @@ mod tests {
         // A second catch-up is a no-op: the cursor already points at
         // the store head.
         assert_eq!(svc.catch_up(&store).unwrap(), 0);
+    }
+
+    #[test]
+    fn catch_up_rebuilds_when_cursor_is_below_purge_floor() {
+        let store = seed_store();
+        let mut svc = IndexService::new(PolicyEngine::empty());
+        // Fold a prefix, as a resumed snapshot would have.
+        let prefix = store.get_since(0, 3).unwrap();
+        svc.ingest(&prefix);
+        assert_eq!(svc.index().applied_seq(), 3);
+        // The store purges past the cursor: events 4..=6 are gone.
+        store.mark_reported(6).unwrap();
+        store.purge_reported().unwrap();
+        let applied = svc.catch_up(&store).unwrap();
+        assert_eq!(applied, 4, "only the surviving suffix folds");
+        assert_eq!(svc.index().applied_seq(), 10);
+        assert_eq!(svc.pending_len(), 0);
+        assert_eq!(
+            svc.index().len(),
+            4,
+            "stale pre-floor state is discarded, not merged"
+        );
+        // The rebuilt state equals a full replay of the surviving
+        // store — including from a fresh index, which must terminate
+        // rather than livelock on the floor gap.
+        let mut fresh = IndexService::new(PolicyEngine::empty());
+        assert_eq!(fresh.catch_up(&store).unwrap(), 4);
+        assert_eq!(svc.index(), fresh.index());
     }
 
     #[test]

@@ -280,6 +280,17 @@ impl NamespaceIndex {
         NamespaceIndex::default()
     }
 
+    /// An empty index whose replay cursor starts at `applied_seq` —
+    /// the rebuild entry point when the events below the cursor are
+    /// gone (the store purged past it), so state can only be folded
+    /// from the surviving suffix.
+    pub fn starting_at(applied_seq: u64) -> NamespaceIndex {
+        NamespaceIndex {
+            applied_seq,
+            ..NamespaceIndex::default()
+        }
+    }
+
     /// Highest event id folded in; the replay cursor (`get_since`
     /// argument) for catch-up.
     pub fn applied_seq(&self) -> u64 {

@@ -374,8 +374,12 @@ impl ScalableMonitor {
         // The janitor: periodic purge cycles over the reliable store,
         // plus a per-tick flush check so a time-based durability policy
         // bounds the tail-loss window even when the store goes idle
-        // (commit-time checks alone only fire while events arrive).
-        if let Some(interval) = config.purge_interval {
+        // (commit-time checks alone only fire while events arrive). It
+        // runs whenever either duty exists — purging enabled, or a
+        // store whose durability policy needs the flush ticker — so
+        // `Durability::IntervalMs` keeps its bound with purging off.
+        if config.purge_interval.is_some() || aggregator.store().needs_flush_ticker() {
+            let purge_interval = config.purge_interval;
             let store = aggregator.store().clone();
             let stop = stop.clone();
             let janitor = fsmon_telemetry::root().scope("janitor");
@@ -392,11 +396,13 @@ impl ScalableMonitor {
                             if let Ok(true) = store.flush_if_due() {
                                 idle_flushes.inc();
                             }
-                            if slept >= interval {
-                                slept = Duration::ZERO;
-                                let t0 = std::time::Instant::now();
-                                let _ = store.purge_reported();
-                                purge_ns.record(t0.elapsed().as_nanos() as u64);
+                            if let Some(interval) = purge_interval {
+                                if slept >= interval {
+                                    slept = Duration::ZERO;
+                                    let t0 = std::time::Instant::now();
+                                    let _ = store.purge_reported();
+                                    purge_ns.record(t0.elapsed().as_nanos() as u64);
+                                }
                             }
                         }
                     })
@@ -967,10 +973,13 @@ mod tests {
         assert!(exemplar.event_id >= 1);
         assert!(exemplar.mdt < 2);
         // The fleet view: force snapshots out and merge across MDTs.
+        // Poll for both conditions — the counter can reach n before the
+        // second MDT's forced snapshot has traveled the queue.
         monitor.publish_fleet_snapshots();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         let mut fleet = monitor.fleet_snapshot();
-        while fleet.counter("fsmon_collector_events_total") < n
+        while (fleet.counter("fsmon_collector_events_total") < n
+            || monitor.fleet_sources().len() < 2)
             && std::time::Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(20));
@@ -1018,6 +1027,67 @@ mod tests {
         }
         assert_eq!(monitor.store().stats().retained, 2);
         monitor.stop();
+    }
+
+    #[test]
+    fn janitor_flushes_idle_interval_store_even_without_purging() {
+        // A time-based durability policy needs the housekeeping thread
+        // regardless of purge configuration: with purging disabled the
+        // janitor must still spawn and bound the idle tail.
+        let dir = std::env::temp_dir().join(format!(
+            "fsmon-idleflush-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(
+            fsmon_store::FileStore::open_with_options(
+                dir.join("store"),
+                fsmon_store::FileStoreOptions {
+                    durability: fsmon_store::Durability::IntervalMs(10),
+                    ..fsmon_store::FileStoreOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        // Only a janitor thread increments this counter, and only a
+        // time-based store makes flush_if_due return true — this test's
+        // store is the only such store in the binary.
+        let idle_flushes = fsmon_telemetry::root()
+            .scope("janitor")
+            .counter("idle_flushes_total");
+        let before = idle_flushes.get();
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(
+            &fs,
+            ScalableConfig {
+                store: Some(store.clone()),
+                purge_interval: None,
+                ..ScalableConfig::default()
+            },
+        )
+        .unwrap();
+        // Land an unsynced tail, then go idle: two back-to-back appends
+        // guarantee pending bytes (at most the first can trip the
+        // commit-time interval check), so only the janitor's ticker can
+        // flush what remains.
+        let ev = fsmon_events::StandardEvent::new(EventKind::Create, "/r", "/idle.txt");
+        store.append(&ev).unwrap();
+        store.append(&ev).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while idle_flushes.get() == before && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            idle_flushes.get() > before,
+            "janitor never flushed the idle tail"
+        );
+        assert!(
+            !store.flush_if_due().unwrap(),
+            "nothing left overdue after the janitor's flush"
+        );
+        monitor.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

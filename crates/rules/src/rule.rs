@@ -92,6 +92,13 @@ impl Rule {
         self.kinds.contains(event.kind) && self.pattern.matches(&event.path)
     }
 
+    /// Whether `path` matches this rule's path pattern alone, ignoring
+    /// the kind mask — for index-side evaluations that scope a rule to
+    /// materialized entries, where no event kind exists.
+    pub fn matches_path(&self, path: &str) -> bool {
+        self.pattern.matches(path)
+    }
+
     pub(crate) fn fire(&mut self, event: &StandardEvent) -> Result<(), ActionError> {
         match &mut self.action {
             Some(action) => action.fire(event),

@@ -462,7 +462,9 @@ fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
 /// CRC-valid record is trusted except for the minimal framing the
 /// replay path depends on (fixed header present, known wire version).
 fn payload_seq(payload: &[u8]) -> Option<u64> {
-    if payload.len() < 26 || payload[0] != fsmon_events::wire::WIRE_VERSION {
+    let known_version = (fsmon_events::wire::MIN_WIRE_VERSION..=fsmon_events::wire::WIRE_VERSION)
+        .contains(payload.first()?);
+    if payload.len() < 26 || !known_version {
         return None;
     }
     let id = payload[EVENT_ID_OFFSET..EVENT_ID_OFFSET + 8]
@@ -810,6 +812,10 @@ impl EventStore for FileStore {
             self.sync_active(&mut inner)?;
         }
         Ok(due)
+    }
+
+    fn needs_flush_ticker(&self) -> bool {
+        matches!(self.inner.lock().durability, Durability::IntervalMs(_))
     }
 
     fn stats(&self) -> StoreStats {

@@ -192,6 +192,16 @@ pub trait EventStore: Send + Sync {
         Ok(false)
     }
 
+    /// Whether this store relies on periodic
+    /// [`flush_if_due`](EventStore::flush_if_due) calls to bound its
+    /// unsynced tail — true for time-based durability policies. The
+    /// monitor spawns its housekeeping thread whenever this holds, even
+    /// with purging disabled. Default: no ticker needed (stores that
+    /// flush at commit time, or not at all).
+    fn needs_flush_ticker(&self) -> bool {
+        false
+    }
+
     /// Current counters.
     fn stats(&self) -> StoreStats;
 }

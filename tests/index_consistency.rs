@@ -116,6 +116,63 @@ fn index_catch_up_matches_linear_fold_and_resumes_from_snapshot() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// An index whose cursor is behind the store's purge floor — a fresh
+/// index against a purged store, or a snapshot older than the purge
+/// watermark — must rebuild from the surviving suffix and terminate,
+/// not livelock on the clamped `get_since` window.
+#[test]
+fn catch_up_rebuilds_across_the_purge_floor() {
+    let dir = tmpdir("floor");
+    let store = FileStore::open_with_options(
+        dir.join("store"),
+        FileStoreOptions {
+            // Tiny segments so the purge cycle drops whole prefixes.
+            segment_bytes: 256,
+            ..FileStoreOptions::default()
+        },
+    )
+    .unwrap();
+    for i in 0..100 {
+        store
+            .append(
+                &fsmon_events::StandardEvent::new(
+                    fsmon_events::EventKind::Create,
+                    "/r",
+                    format!("/d/f{i}"),
+                )
+                .with_size(10),
+            )
+            .unwrap();
+    }
+    // A stale snapshot: an index that stopped folding at seq 10.
+    let snap = dir.join("index.snap");
+    let mut stale = IndexService::open(&snap, PolicyEngine::empty());
+    let prefix = store.get_since(0, 10).unwrap();
+    stale.ingest(&prefix);
+    stale.save().unwrap();
+    // Consumers report far past the snapshot; purge drops the prefix.
+    store.mark_reported(60).unwrap();
+    store.purge_reported().unwrap();
+    assert!(store.stats().retained < 100, "purge dropped segments");
+
+    // A fresh index (seq 0) must terminate and equal the linear fold
+    // of the surviving store.
+    let mut fresh = IndexService::new(PolicyEngine::empty());
+    fresh.catch_up(&store).unwrap();
+    assert_eq!(fresh.index(), &linear_fold(&store));
+    assert_eq!(fresh.lag(&store), 0);
+    assert!(fresh.index().get("/d/f99").is_some());
+    assert!(fresh.index().get("/d/f1").is_none(), "pre-floor state gone");
+
+    // The stale snapshot resumes below the floor: same rebuild.
+    let mut resumed = IndexService::open(&snap, PolicyEngine::empty());
+    assert_eq!(resumed.index().applied_seq(), 10);
+    resumed.catch_up(&store).unwrap();
+    assert_eq!(resumed.index(), fresh.index());
+    assert_eq!(resumed.lag(&store), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `Durability::IntervalMs` bounds the tail-loss window even when the
 /// store goes idle: with the store clocked by a [`SimClock`], advancing
 /// simulated time past the interval makes `flush_if_due` sync the
