@@ -1,0 +1,349 @@
+//! Fan-out bench: per-event cost of the sequencer's filter-pushdown
+//! engine as the subscriber population grows at a fixed class count.
+//!
+//! Builds a publisher with 8 filter classes at mixed selectivity
+//! (~0.1%, 1%, 10%, and 100% of a synthetic stream, each with and
+//! without a kind restriction), attaches N broadcast-ring subscribers
+//! spread round-robin across the classes plus one bounded inproc
+//! socket per class, pre-encodes stamped batches, and times
+//! [`fsmon_lustre::FanoutEngine::fan_out`] — the production match +
+//! slice + publish loop. Because each event is matched once against
+//! the shared subscription index and each class's N subscribers share
+//! one ring write, per-event cost must stay near-flat while N grows
+//! 100x (1k → 100k); the run fails if it more than doubles, or if any
+//! subscriber was force-disconnected (stalls only degrade to
+//! catch-up-from-store).
+//!
+//! Usage: `fanout [--events N] [--out PATH] [--baseline PATH]`
+//!
+//! With `--baseline`, per-event cost at 100k subscribers is compared
+//! against the committed baseline and the process exits nonzero on
+//! a regression beyond 20% — the CI smoke gate. `--events` must match
+//! the committed baseline's stream size for comparable numbers.
+
+use bytes::{Bytes, BytesMut};
+use fsmon_events::kind::KindMask;
+use fsmon_events::wire::{encode_event_batch_offsets, patch_event_id};
+use fsmon_events::{EventKind, StandardEvent};
+use fsmon_lustre::FanoutEngine;
+use fsmon_mq::{Context, PubSocket, RingPoll, SubSocket};
+use fsmon_rules::FilterSpec;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sequencer-sized publish batches.
+const BATCH: usize = 512;
+/// Subscriber populations; the acceptance gate compares the first and
+/// last tier (100x growth).
+const TIERS: [usize; 3] = [1_000, 10_000, 100_000];
+/// Allowed regression against the committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+/// Per-event cost may grow at most this much across the 100x tier span.
+const GROWTH_CEILING: f64 = 2.0;
+
+/// Deterministic xorshift so runs are reproducible without a seed
+/// dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The 8 fixed filter classes: four path selectivities crossed with
+/// all-kinds and a kind restriction. Selectivity comes from the
+/// synthetic stream's top-level directory mix.
+fn filter_classes() -> Vec<String> {
+    let creates = KindMask::from_kinds([EventKind::Create]);
+    vec![
+        FilterSpec::all().canonical(),
+        FilterSpec::all().with_kinds(creates).canonical(),
+        FilterSpec::subtree("/tepid").canonical(),
+        FilterSpec::subtree("/tepid")
+            .with_kinds(creates)
+            .canonical(),
+        FilterSpec::subtree("/warm").canonical(),
+        FilterSpec::subtree("/warm").with_kinds(creates).canonical(),
+        FilterSpec::subtree("/hot").canonical(),
+        FilterSpec::subtree("/hot").with_kinds(creates).canonical(),
+    ]
+}
+
+/// A stamped event stream whose top-level directories set the class
+/// selectivities: /hot 0.1%, /warm 1%, /tepid 10%, /cold the rest;
+/// half creates, half writes.
+fn synthetic_stream(n: u64) -> Vec<StandardEvent> {
+    let mut rng = Rng(0x5eed_fa10_0b5e_55ed);
+    (1..=n)
+        .map(|id| {
+            let roll = rng.below(1_000);
+            let dir = if roll < 1 {
+                "hot"
+            } else if roll < 11 {
+                "warm"
+            } else if roll < 111 {
+                "tepid"
+            } else {
+                "cold"
+            };
+            let kind = if rng.below(2) == 0 {
+                EventKind::Create
+            } else {
+                EventKind::CloseWrite
+            };
+            let path = format!("/{dir}/d{}/f{}.dat", rng.below(64), rng.below(256));
+            let mut ev = StandardEvent::new(kind, "/", path).with_size(rng.below(1 << 20));
+            ev.id = id;
+            ev.timestamp_ns = id * 1_000;
+            ev
+        })
+        .collect()
+}
+
+/// Pre-encode the stream into stamped publish batches exactly as the
+/// sequencer does (encode, then patch ids in place), so the timed loop
+/// measures fan-out alone.
+fn encode_batches(stream: &[StandardEvent]) -> Vec<(Vec<StandardEvent>, Vec<usize>, Bytes)> {
+    stream
+        .chunks(BATCH)
+        .map(|chunk| {
+            let mut buf = BytesMut::new();
+            let mut offsets = Vec::new();
+            encode_event_batch_offsets(chunk, &mut buf, &mut offsets);
+            for (ev, off) in chunk.iter().zip(&offsets) {
+                patch_event_id(&mut buf, *off, ev.id);
+            }
+            (chunk.to_vec(), offsets, buf.split_frozen())
+        })
+        .collect()
+}
+
+struct TierResult {
+    subscribers: usize,
+    per_event_ns: f64,
+    frames: u64,
+    stalls: u64,
+    disconnects: usize,
+    ring_frames_seen: u64,
+}
+
+/// Run one subscriber tier: fresh publisher, `n` ring cursors spread
+/// across the classes, one bounded inproc socket per class, then the
+/// timed fan-out of every pre-encoded batch.
+fn run_tier(
+    n: usize,
+    classes: &[String],
+    batches: &[(Vec<StandardEvent>, Vec<usize>, Bytes)],
+) -> TierResult {
+    let ctx = Context::new();
+    let publisher: Arc<PubSocket> = Arc::new(ctx.publisher());
+    let endpoint = format!("inproc://bench-fanout-{n}");
+    publisher.bind(&endpoint).unwrap();
+
+    // One socket subscriber per class exercises the bounded-queue
+    // delivery path; it is never drained, so it stalls and degrades —
+    // what must NOT happen is a disconnect.
+    let socket_subs: Vec<SubSocket> = classes
+        .iter()
+        .map(|key| {
+            let sub = SubSocket::with_hwm(ctx.clone(), 64);
+            sub.subscribe_filter(key);
+            sub.connect(&endpoint).unwrap();
+            sub
+        })
+        .collect();
+
+    // The mass population: ring cursors round-robin across the classes.
+    // A cursor is a passive reader — publishing is one ring write per
+    // class regardless of how many cursors follow it.
+    let mut cursors: Vec<_> = (0..n)
+        .map(|i| publisher.subscribe_class(&classes[i % classes.len()]))
+        .collect();
+
+    let mut engine = FanoutEngine::new(publisher.clone());
+    // Warm up: compile the index and fault in the class lanes.
+    let (events, offsets, frame) = &batches[0];
+    engine.fan_out(events, offsets, frame);
+
+    let t0 = Instant::now();
+    for (events, offsets, frame) in batches {
+        engine.fan_out(events, offsets, frame);
+    }
+    let elapsed = t0.elapsed();
+    let total_events: usize = batches.iter().map(|(e, _, _)| e.len()).sum();
+    let per_event_ns = elapsed.as_nanos() as f64 / total_events as f64;
+
+    let stats = publisher.class_stats();
+    let frames: u64 = stats.iter().map(|s| s.frames).sum();
+    let stalls: u64 = stats.iter().map(|s| s.stalls).sum();
+    let disconnects = socket_subs.iter().filter(|s| s.disconnected()).count();
+
+    // Spot-check that frames actually reached the rings: one cursor per
+    // class must observe a frame (or an overrun, which the consumer
+    // heals from the store — still delivery, not disconnection).
+    let mut ring_frames_seen = 0u64;
+    for cursor in cursors.iter_mut().take(classes.len()) {
+        match cursor.poll() {
+            RingPoll::Frame(_) => ring_frames_seen += 1,
+            RingPoll::Overrun { .. } => {
+                if let RingPoll::Frame(_) = cursor.poll() {
+                    ring_frames_seen += 1;
+                }
+            }
+            RingPoll::Empty => {}
+        }
+    }
+
+    TierResult {
+        subscribers: n,
+        per_event_ns,
+        frames,
+        stalls,
+        disconnects,
+        ring_frames_seen,
+    }
+}
+
+/// Pull `"<key>": <n>` out of a previously written flat report without
+/// a JSON dependency. `None` when the baseline predates the field.
+fn baseline_field(text: &str, key: &str) -> Option<f64> {
+    let quoted = format!("\"{key}\"");
+    let after_key = &text[text.find(&quoted)? + quoted.len()..];
+    let num = after_key.trim_start_matches([':', ' ', '\t', '\n']);
+    let end = num
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
+fn main() {
+    let mut events = 200_000u64;
+    let mut out_path = "BENCH_fanout.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--events" => {
+                events = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--events needs a number");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: fanout [--events N] [--out PATH] [--baseline PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let classes = filter_classes();
+    eprintln!(
+        "fanout bench: {events} stamped events, {} filter classes, tiers {TIERS:?}",
+        classes.len()
+    );
+    let stream = synthetic_stream(events);
+    let batches = encode_batches(&stream);
+
+    let mut tiers: Vec<TierResult> = Vec::new();
+    for &n in &TIERS {
+        let tier = run_tier(n, &classes, &batches);
+        eprintln!(
+            "  {:>7} subscribers: {:8.1} ns/event, {} class frames, {} stalls, \
+             {} disconnects, {}/{} rings spot-checked",
+            tier.subscribers,
+            tier.per_event_ns,
+            tier.frames,
+            tier.stalls,
+            tier.disconnects,
+            tier.ring_frames_seen,
+            classes.len()
+        );
+        tiers.push(tier);
+    }
+
+    let first = &tiers[0];
+    let last = &tiers[tiers.len() - 1];
+    let growth = last.per_event_ns / first.per_event_ns.max(1e-9);
+    let disconnects: usize = tiers.iter().map(|t| t.disconnects).sum();
+    let ring_checks_ok = tiers
+        .iter()
+        .all(|t| t.ring_frames_seen == classes.len() as u64);
+
+    let json = format!(
+        "{{\n  \"bench\": \"fanout\",\n  \"events\": {events},\n  \
+         \"batch\": {BATCH},\n  \"classes\": {},\n  \
+         \"per_event_ns_1k\": {:.1},\n  \"per_event_ns_10k\": {:.1},\n  \
+         \"per_event_ns_100k\": {:.1},\n  \
+         \"growth_1k_to_100k\": {growth:.3},\n  \
+         \"frames_100k\": {},\n  \"stalls_100k\": {},\n  \
+         \"disconnects\": {disconnects}\n}}\n",
+        classes.len(),
+        tiers[0].per_event_ns,
+        tiers[1].per_event_ns,
+        tiers[2].per_event_ns,
+        last.frames,
+        last.stalls,
+    );
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("{json}");
+
+    let mut failed = false;
+    if growth > GROWTH_CEILING {
+        eprintln!(
+            "FAIL: per-event fan-out cost grew {growth:.2}x across a 100x subscriber span \
+             (ceiling {GROWTH_CEILING}x) — delivery cost is not independent of population"
+        );
+        failed = true;
+    } else {
+        println!(
+            "growth check: {growth:.2}x per-event cost across 100x subscribers \
+             (ceiling {GROWTH_CEILING}x) OK"
+        );
+    }
+    if disconnects > 0 {
+        eprintln!("FAIL: {disconnects} subscriber(s) force-disconnected; stalls must only degrade");
+        failed = true;
+    }
+    if !ring_checks_ok {
+        eprintln!("FAIL: some class rings never saw a frame");
+        failed = true;
+    }
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let committed = baseline_field(&text, "per_event_ns_100k")
+            .unwrap_or_else(|| panic!("no per_event_ns_100k in {path}"));
+        let ceiling = committed * (1.0 + REGRESSION_TOLERANCE);
+        if last.per_event_ns > ceiling {
+            eprintln!(
+                "FAIL: per-event cost {:.1} ns regressed >{:.0}% above committed baseline \
+                 {committed:.1} ns",
+                last.per_event_ns,
+                100.0 * REGRESSION_TOLERANCE
+            );
+            failed = true;
+        } else {
+            println!(
+                "baseline check: {:.1} ns/event at 100k subscribers vs committed \
+                 {committed:.1} ns (ceiling {ceiling:.1}) OK",
+                last.per_event_ns
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -56,6 +56,9 @@ pub enum Command {
         resolver_threads: usize,
         /// Aggregator publish worker lanes.
         publish_lanes: usize,
+        /// Pushdown filter spec (`path=…;kinds=…;mdts=…`) for an extra
+        /// server-side filtered subscriber.
+        filter: Option<String>,
     },
     /// Dump pipeline telemetry (live run or a previously exported file).
     Stats {
@@ -357,6 +360,7 @@ impl Cli {
         let mut cache = 5000;
         let mut resolver_threads = 4;
         let mut publish_lanes = 2;
+        let mut filter = None;
         while let Some(arg) = iter.next() {
             match arg {
                 "--mds" => {
@@ -384,6 +388,12 @@ impl Cli {
                         .parse()
                         .map_err(|_| ParseError("--publish-lanes must be a number".into()))?
                 }
+                "--filter" => {
+                    let spec = take_value(arg, iter)?;
+                    fsmon_rules::FilterSpec::parse(spec)
+                        .map_err(|e| ParseError(format!("--filter: {e}")))?;
+                    filter = Some(spec.to_string());
+                }
                 other => return Err(ParseError(format!("unknown flag for demo-lustre: {other}"))),
             }
         }
@@ -393,6 +403,7 @@ impl Cli {
             cache,
             resolver_threads,
             publish_lanes,
+            filter,
         })
     }
 
@@ -852,7 +863,8 @@ mod tests {
                 seconds: 1,
                 cache: 0,
                 resolver_threads: 4,
-                publish_lanes: 2
+                publish_lanes: 2,
+                filter: None
             }
         );
         let cli = Cli::parse([
@@ -861,6 +873,8 @@ mod tests {
             "8",
             "--publish-lanes",
             "4",
+            "--filter",
+            "path=/proj/**;kinds=CREATE,CLOSE_WRITE",
         ])
         .unwrap();
         assert_eq!(
@@ -870,7 +884,8 @@ mod tests {
                 seconds: 2,
                 cache: 5000,
                 resolver_threads: 8,
-                publish_lanes: 4
+                publish_lanes: 4,
+                filter: Some("path=/proj/**;kinds=CREATE,CLOSE_WRITE".to_string())
             }
         );
     }

@@ -46,7 +46,16 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             cache,
             resolver_threads,
             publish_lanes,
-        } => demo_lustre(mds, seconds, cache, resolver_threads, publish_lanes, out),
+            filter,
+        } => demo_lustre(
+            mds,
+            seconds,
+            cache,
+            resolver_threads,
+            publish_lanes,
+            filter.as_deref(),
+            out,
+        ),
         Command::Stats {
             format,
             from,
@@ -556,6 +565,7 @@ fn demo_lustre(
     cache: usize,
     resolver_threads: usize,
     publish_lanes: usize,
+    filter: Option<&str>,
     out: &mut dyn Write,
 ) -> i32 {
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
@@ -584,6 +594,13 @@ fn demo_lustre(
             return 2;
         }
     };
+    // An optional server-side filtered subscriber: the aggregator
+    // matches the predicate once per event and this lane only ever
+    // sees its subset (healed from the store on any frame loss).
+    let mut filtered = filter.map(|spec_text| {
+        let spec = fsmon_rules::FilterSpec::parse(spec_text).expect("validated at arg parse");
+        monitor.subscribe_filtered(&spec, "demo-filter")
+    });
     // Live stats on stderr while the demo runs: per-tick deltas from
     // the process-wide telemetry registry.
     let reporter = fsmon_telemetry::Reporter::spawn(
@@ -624,6 +641,19 @@ fn demo_lustre(
         stats.fid2path_calls,
         100.0 * stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64
     );
+    if let Some(sub) = filtered.as_mut() {
+        let _ = sub.poll();
+        let _ = sub.catch_up();
+        let st = sub.stats();
+        let _ = writeln!(
+            out,
+            "filtered  : class {}: {} events ({} healed, {} frames lost)",
+            sub.class_key(),
+            st.delivered,
+            st.healed,
+            st.frames_lost
+        );
+    }
     monitor.stop();
     let snap = fsmon_telemetry::global().snapshot();
     write_stats_summary(&snap, out);
@@ -1024,6 +1054,19 @@ fn top(
         }
     };
 
+    // Two pushdown filter classes at different selectivity feed the
+    // subscribers section: everything, and creates only. Both are
+    // in-process ring cursors drained once per tick.
+    let mut top_subs = vec![
+        monitor.subscribe_filtered(&fsmon_rules::FilterSpec::all(), "top-all"),
+        monitor.subscribe_filtered(
+            &fsmon_rules::FilterSpec::all().with_kinds(fsmon_events::kind::KindMask::from_kinds([
+                fsmon_events::EventKind::Create,
+            ])),
+            "top-creates",
+        ),
+    ];
+
     let client = fs.client();
     let worker = std::thread::spawn(move || {
         EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
@@ -1083,6 +1126,9 @@ fn top(
                 .collect();
             let _ = writeln!(out, "  window {span:>4.1}s:{line}");
         }
+        for s in &mut top_subs {
+            let _ = s.poll();
+        }
     }
     let run = worker.join().expect("workload thread");
     monitor.wait_events(run.operations, Duration::from_secs(60));
@@ -1120,6 +1166,30 @@ fn top(
         "generated : {} events in {:.1?}",
         run.operations, run.elapsed
     );
+    // The subscribers section: one row per active filter class with
+    // its shared fan-out counters (server-side filter pushdown).
+    let classes = monitor.class_stats();
+    let _ = writeln!(out, "--- subscribers ({} classes) ---", classes.len());
+    for c in &classes {
+        let _ = writeln!(
+            out,
+            "class     : {} : {} consumer(s), {} frames, queue depth {}, {} stalls, \
+             {} degraded",
+            c.key, c.consumers, c.frames, c.queue_depth, c.stalls, c.degraded
+        );
+    }
+    for s in &mut top_subs {
+        let _ = s.poll();
+        let st = s.stats();
+        let _ = writeln!(
+            out,
+            "subscriber: {} delivered {} ({} frames lost)",
+            s.class_key(),
+            st.delivered,
+            st.frames_lost
+        );
+    }
+    drop(top_subs);
     monitor.stop();
     write_stats_summary(&fsmon_telemetry::global().snapshot(), out);
     0
@@ -1312,6 +1382,41 @@ fn chaos(
         (svc, restarts)
     });
 
+    // The filtered lane: a narrow predicate pushed down to the
+    // aggregator (server-side filtering) rides the same fault plan.
+    // It must see exactly its subset, exactly once, across aggregator
+    // crashes — verified below against a linear replay of the store
+    // through the same compiled predicate.
+    let filter_spec =
+        fsmon_rules::FilterSpec::all().with_kinds(fsmon_events::kind::KindMask::from_kinds([
+            fsmon_events::EventKind::Create,
+        ]));
+    let mut filtered = match monitor.new_filtered_consumer(&filter_spec, "chaos-filtered") {
+        Ok(f) => f,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot attach filtered consumer: {e}");
+            return 2;
+        }
+    };
+    let filtered_stopped = stopped.clone();
+    let filtered_thread = std::thread::spawn(move || {
+        let mut ids: Vec<u64> = Vec::new();
+        let live_deadline = Instant::now() + Duration::from_secs(80);
+        loop {
+            let batch = filtered.recv_for(Duration::from_millis(200));
+            ids.extend(batch.iter().map(|e| e.id));
+            if (batch.is_empty() && filtered_stopped.load(Ordering::Relaxed))
+                || Instant::now() >= live_deadline
+            {
+                break;
+            }
+        }
+        // The store is complete once the monitor stopped: heal recorded
+        // gaps and any lost tail through the subscriber's own filter.
+        ids.extend(filtered.catch_up().iter().map(|e| e.id));
+        (ids, filtered.stats())
+    });
+
     let client = fs.client();
     let run = EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
         .with_working_set(1024)
@@ -1464,7 +1569,54 @@ fn chaos(
         if index_ok { "PASS" } else { "FAIL" }
     );
 
-    let pass = lost == 0 && duplicated == 0 && index_ok;
+    // The filtered-lane invariant: what the pushdown subscriber
+    // delivered (live class frames + store healing) must be exactly
+    // the ids a linear replay of the store produces through the same
+    // compiled predicate — no loss, no duplicates, and nothing outside
+    // the predicate, despite the fault plan.
+    let (filtered_ids, filtered_stats) = filtered_thread.join().expect("filtered drain thread");
+    let compiled = filter_spec.compile();
+    let mut subset_reference: Vec<u64> = Vec::new();
+    let mut since = 0u64;
+    loop {
+        match store.get_since(since, 4096) {
+            Ok(chunk) if chunk.is_empty() => break,
+            Ok(chunk) => {
+                since = chunk.last().map(|e| e.id).unwrap_or(since);
+                subset_reference.extend(
+                    chunk
+                        .iter()
+                        .filter(|e| compiled.matches_event(e))
+                        .map(|e| e.id),
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: filtered reference replay failed: {e}");
+                break;
+            }
+        }
+    }
+    let filtered_total = filtered_ids.len();
+    let mut filtered_sorted = filtered_ids;
+    filtered_sorted.sort_unstable();
+    filtered_sorted.dedup();
+    let filtered_dups = filtered_total - filtered_sorted.len();
+    let filtered_ok = filtered_dups == 0 && filtered_sorted == subset_reference;
+    let _ = writeln!(
+        out,
+        "filtered  : class {:?}: {} events ({} expected), {} dup, {} gaps healed ({} events), \
+         {} frames lost -> {}",
+        filter_spec.canonical(),
+        filtered_total,
+        subset_reference.len(),
+        filtered_dups,
+        filtered_stats.gaps_detected,
+        filtered_stats.healed,
+        filtered_stats.frames_lost,
+        if filtered_ok { "PASS" } else { "FAIL" }
+    );
+
+    let pass = lost == 0 && duplicated == 0 && index_ok && filtered_ok;
     let _ = writeln!(
         out,
         "verdict   : lost {lost}, duplicated {duplicated} -> {}",
@@ -1604,6 +1756,34 @@ mod tests {
     }
 
     #[test]
+    fn demo_lustre_filter_attaches_a_pushdown_subscriber() {
+        let (code, out) = run_str(&[
+            "demo-lustre",
+            "--mds",
+            "1",
+            "--seconds",
+            "1",
+            "--cache",
+            "100",
+            "--filter",
+            "path=/**;kinds=CREATE",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("filtered  : class path=/**;kinds=CREATE;mdts=*:"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn demo_lustre_rejects_a_malformed_filter() {
+        let Err(err) = Cli::parse(["demo-lustre", "--filter", "kinds=NOPE"].iter().copied()) else {
+            panic!("malformed spec accepted");
+        };
+        assert!(err.0.contains("--filter"), "{}", err.0);
+    }
+
+    #[test]
     fn stats_live_run_reports_nonzero_pipeline_metrics() {
         let (code, out) = run_str(&["stats", "--seconds", "1", "--cache", "100"]);
         assert_eq!(code, 0, "{out}");
@@ -1648,6 +1828,12 @@ mod tests {
         assert!(out.contains("mdt1"), "{out}");
         assert!(out.contains("--- fleet (2 sources"), "{out}");
         assert!(out.contains("fleet     :"), "{out}");
+        // The subscribers section: both pushdown classes with shared
+        // fan-out counters, and the per-subscriber delivery totals.
+        assert!(out.contains("--- subscribers (2 classes)"), "{out}");
+        assert!(out.contains("class     : path=/**;kinds=*;mdts=*"), "{out}");
+        assert!(out.contains("kinds=CREATE"), "{out}");
+        assert!(out.contains("subscriber:"), "{out}");
         // Tracing is on at 1%, so the final summary attributes latency.
         assert!(out.contains("latency   :"), "{out}");
         assert!(out.contains("exemplar  :"), "{out}");
@@ -1665,6 +1851,9 @@ mod tests {
         // cursor, and still folded to the full-replay state.
         assert!(out.contains("replay fold equal -> PASS"), "{out}");
         assert!(out.contains("fault/recovery counters"), "{out}");
+        // The pushdown lane saw exactly its subset, exactly once.
+        assert!(out.contains("filtered  : class"), "{out}");
+        assert!(out.contains("-> PASS"), "{out}");
     }
 
     #[test]

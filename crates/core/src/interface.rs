@@ -221,30 +221,49 @@ impl FsMonitor {
         // must also observe it counted (MonitorHandle::processed).
         self.processed.fetch_add(n as u64, Ordering::Relaxed);
         let subs = self.subs.lock();
+        // Group subscriptions into filter classes: each distinct filter
+        // is evaluated once per event and every subscriber of the class
+        // shares the verdict — O(events × classes) matching instead of
+        // O(events × subscribers), mirroring the aggregator's
+        // server-side pushdown.
+        let mut classes: Vec<(&EventFilter, Vec<&SubEntry>)> = Vec::new();
+        for sub in subs.iter() {
+            if !sub.alive.load(Ordering::Relaxed) {
+                continue;
+            }
+            match classes.iter_mut().find(|(f, _)| **f == sub.filter) {
+                Some((_, members)) => members.push(sub),
+                None => classes.push((&sub.filter, vec![sub])),
+            }
+        }
         for mut ev in events {
             if let Some(store) = &self.store {
                 if let Ok(seq) = store.append(&ev) {
                     ev.id = seq;
                 }
             }
-            for sub in subs.iter() {
-                if !sub.alive.load(Ordering::Relaxed) {
+            for (filter, members) in &classes {
+                if !filter.matches(&ev) {
+                    // Per-subscriber accounting is preserved: the class
+                    // verdict applies to each of its members.
+                    self.metrics.filtered_out.add(members.len() as u64);
                     continue;
                 }
-                if !sub.filter.matches(&ev) {
-                    self.metrics.filtered_out.inc();
-                    continue;
-                }
-                match sub.tx.try_send(ev.clone()) {
-                    Ok(()) => {
-                        self.metrics.delivered.inc();
+                for sub in members {
+                    if !sub.alive.load(Ordering::Relaxed) {
+                        continue;
                     }
-                    Err(TrySendError::Full(_)) => {
-                        sub.dropped.fetch_add(1, Ordering::Relaxed);
-                        self.metrics.dropped.inc();
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        sub.alive.store(false, Ordering::Relaxed);
+                    match sub.tx.try_send(ev.clone()) {
+                        Ok(()) => {
+                            self.metrics.delivered.inc();
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            sub.dropped.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.dropped.inc();
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            sub.alive.store(false, Ordering::Relaxed);
+                        }
                     }
                 }
             }
@@ -474,6 +493,23 @@ mod tests {
         let n = m.pump_until_idle(1000);
         assert_eq!(n, 100);
         assert_eq!(sub.drain().len(), 100);
+    }
+
+    #[test]
+    fn same_filter_subscribers_share_a_class_and_all_receive() {
+        let fs = SimFs::new();
+        let mut m = monitor(&fs, MonitorConfig::default());
+        let a = m.subscribe(EventFilter::subtree("/keep"));
+        let b = m.subscribe(EventFilter::subtree("/keep"));
+        let other = m.subscribe(EventFilter::subtree("/other"));
+        fs.mkdir("/keep");
+        m.pump(100);
+        fs.create("/keep/f");
+        fs.create("/stray");
+        m.pump(100);
+        assert_eq!(a.drain().len(), 2);
+        assert_eq!(b.drain().len(), 2);
+        assert!(other.drain().is_empty());
     }
 
     #[test]

@@ -466,6 +466,26 @@ impl Aggregator {
         &self.store
     }
 
+    /// Attach an in-process filtered subscriber (server-side filter
+    /// pushdown): registers `spec`'s class with the publisher and
+    /// returns a broadcast-ring cursor wrapped with store-backed gap
+    /// healing. Cost per subscriber is one ring cursor; N subscribers
+    /// of the same class share every frame.
+    pub fn subscribe_filtered(
+        &self,
+        spec: &fsmon_rules::FilterSpec,
+        name: &str,
+    ) -> crate::subscriber::FilteredSubscriber {
+        let cursor = self.lane.publisher.subscribe_class(&spec.canonical());
+        crate::subscriber::FilteredSubscriber::attach(cursor, spec, self.store.clone(), name)
+    }
+
+    /// Per-filter-class fan-out counters (consumers, frames, queue
+    /// depth, stalls) — the `fsmon top` subscribers section.
+    pub fn class_stats(&self) -> Vec<fsmon_mq::ClassStats> {
+        self.lane.publisher.class_stats()
+    }
+
     /// The fleet view: every collector's latest `telemetry.<source>`
     /// registry snapshot, folded with
     /// [`Snapshot::merge_fleet`](fsmon_telemetry::Snapshot::merge_fleet)
@@ -729,6 +749,11 @@ fn run_worker_lane(lane: Arc<LaneCtx>, slot: usize) {
 /// stamps.
 fn run_sequencer(lane: Arc<LaneCtx>) {
     let shared = &lane.shared;
+    // Server-side filter pushdown: one shared subscription index over
+    // every registered filter class, rebuilt only when the class set
+    // changes. A fresh engine per (re)spawn is correct — class rings
+    // and sequences live in the publisher, which survives lane crashes.
+    let mut fanout = crate::fanout::FanoutEngine::new(lane.publisher.clone());
     while !shared.stop.load(Ordering::Relaxed) {
         if lane
             .faults
@@ -748,6 +773,7 @@ fn run_sequencer(lane: Arc<LaneCtx>) {
         }
         let n = batch.events.len() as u64;
         let frame = batch.buf.split_frozen();
+        fanout.fan_out(&batch.events, &batch.id_offsets, &frame);
         let mut parts = vec![bytes::Bytes::from_static(b"events"), frame];
         if !batch.traces.is_empty() {
             // The sequencer is the stage that learns each event's global

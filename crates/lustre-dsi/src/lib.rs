@@ -42,14 +42,18 @@ pub mod aggregator;
 pub mod collector;
 pub mod consumer;
 pub mod cursor;
+pub mod fanout;
 pub mod history;
 pub mod monitor;
 pub mod robinhood;
+pub mod subscriber;
 
 pub use aggregator::{Aggregator, AggregatorStats};
 pub use collector::{Collector, CollectorStats};
 pub use consumer::Consumer;
 pub use cursor::CursorFile;
+pub use fanout::{ClassMeta, FanoutEngine, CLASS_TOPIC};
 pub use history::{HistoryClient, HistoryService, HistoryStats};
 pub use monitor::{LustreDsi, ScalableConfig, ScalableMonitor, Transport};
 pub use robinhood::{RobinhoodConfig, RobinhoodMonitor, RobinhoodStats};
+pub use subscriber::{FilteredConsumer, FilteredStats, FilteredSubscriber};

@@ -579,6 +579,40 @@ impl ScalableMonitor {
         )
     }
 
+    /// Attach a filtered consumer over the configured transport:
+    /// the filter spec is pushed down to the aggregator at connect
+    /// time, so only the matching subset (plus per-batch watermark
+    /// frames) crosses the wire. Heals gaps from the reliable store.
+    pub fn new_filtered_consumer(
+        &self,
+        spec: &fsmon_rules::FilterSpec,
+        name: &str,
+    ) -> Result<crate::subscriber::FilteredConsumer, fsmon_mq::MqError> {
+        crate::subscriber::FilteredConsumer::connect(
+            &self.ctx,
+            self.aggregator.consumer_endpoint(),
+            spec,
+            self.aggregator.store().clone(),
+            name,
+        )
+    }
+
+    /// Attach an in-process filtered subscriber directly to the
+    /// aggregator's publisher (the cheapest consumer: one broadcast-ring
+    /// cursor, no socket). See [`Aggregator::subscribe_filtered`].
+    pub fn subscribe_filtered(
+        &self,
+        spec: &fsmon_rules::FilterSpec,
+        name: &str,
+    ) -> crate::subscriber::FilteredSubscriber {
+        self.aggregator.subscribe_filtered(spec, name)
+    }
+
+    /// Per-filter-class fan-out counters.
+    pub fn class_stats(&self) -> Vec<fsmon_mq::ClassStats> {
+        self.aggregator.class_stats()
+    }
+
     /// The pipeline's shared tracer (disabled unless
     /// [`ScalableConfig::trace_sample_per_10k`] is set).
     pub fn tracer(&self) -> &fsmon_telemetry::Tracer {
@@ -1144,6 +1178,60 @@ mod tests {
         let events = filtered.recv_batch(10, Duration::from_secs(2));
         assert!(!events.is_empty());
         assert!(events.iter().all(|e| e.path.starts_with("/keep")));
+        monitor.stop();
+    }
+
+    #[test]
+    fn pushdown_subscriber_sees_subset_without_client_filtering() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(&fs, ScalableConfig::default()).unwrap();
+        let spec = fsmon_rules::FilterSpec::subtree("/keep");
+        let mut ring_sub = monitor.subscribe_filtered(&spec, "ring");
+        let mut sock_sub = monitor.new_filtered_consumer(&spec, "sock").unwrap();
+        let client = fs.client();
+        client.mkdir("/keep").unwrap();
+        client.mkdir("/drop").unwrap();
+        client.create("/keep/a").unwrap();
+        client.create("/drop/b").unwrap();
+        monitor.wait_events(4, Duration::from_secs(5));
+        let ring_events = ring_sub.recv_for(Duration::from_secs(2));
+        assert!(!ring_events.is_empty());
+        assert!(ring_events.iter().all(|e| e.path.starts_with("/keep")));
+        let sock_events = sock_sub.recv_for(Duration::from_millis(300));
+        assert!(!sock_events.is_empty());
+        assert!(sock_events.iter().all(|e| e.path.starts_with("/keep")));
+        let stats = monitor.class_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].key, spec.canonical());
+        assert!(stats[0].frames > 0);
+        monitor.stop();
+    }
+
+    #[test]
+    fn pushdown_over_tcp_delivers_the_subset() {
+        let fs = LustreFs::new(LustreConfig::small());
+        let monitor = ScalableMonitor::start(
+            &fs,
+            ScalableConfig {
+                transport: Transport::Tcp,
+                ..ScalableConfig::default()
+            },
+        )
+        .unwrap();
+        let spec = fsmon_rules::FilterSpec::subtree("/keep");
+        let mut filtered = monitor.new_filtered_consumer(&spec, "tcp-sub").unwrap();
+        let client = fs.client();
+        client.mkdir("/keep").unwrap();
+        client.create("/keep/a").unwrap();
+        client.create("/drop-me").unwrap();
+        monitor.wait_events(3, Duration::from_secs(5));
+        // TCP filter registration is asynchronous — batches sequenced
+        // before it landed are recovered from the store, dedup'd
+        // against whatever arrived live.
+        let mut events = filtered.recv_for(Duration::from_millis(300));
+        events.extend(filtered.catch_up());
+        let paths: Vec<&str> = events.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, ["/keep", "/keep/a"]);
         monitor.stop();
     }
 

@@ -39,14 +39,16 @@ pub mod pubsub;
 pub mod pushpull;
 pub mod registry;
 pub mod reqrep;
+pub mod ring;
 pub mod tcp;
 
 pub use endpoint::Endpoint;
 pub use message::Message;
-pub use pubsub::{PubSocket, SubSocket};
+pub use pubsub::{ClassCursor, ClassStats, FilterClass, PubSocket, SubSocket};
 pub use pushpull::{PullSocket, PushSocket};
 pub use registry::Context;
 pub use reqrep::{Incoming, RepSocket, ReqSocket};
+pub use ring::{BroadcastRing, RingCursor, RingPoll};
 
 /// Errors surfaced by socket operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -9,13 +9,15 @@
 use crate::endpoint::Endpoint;
 use crate::message::Message;
 use crate::registry::{Context, InprocBinding};
+use crate::ring::{BroadcastRing, RingCursor, RingPoll};
 use crate::tcp::{read_frame, spawn_listener, write_encoded, write_frame};
 use crate::MqError;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use fsmon_faults::{FaultPoint, Faults};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,25 +29,108 @@ pub const DEFAULT_HWM: usize = 100_000;
 /// that subscriber and counted, never blocking the publish path.
 const TCP_WRITER_QUEUE: usize = 4096;
 
-/// Consecutive stalls after which a TCP subscriber is declared slow
-/// and forcibly disconnected (it can re-dial and heal from the store's
-/// replay path; a wedged peer must not pin queue memory forever).
+/// Consecutive stalls after which an *unfiltered* TCP subscriber is
+/// declared slow and forcibly disconnected (it can re-dial and heal
+/// from the store's replay path; a wedged peer must not pin queue
+/// memory forever). Filtered subscribers are never disconnected for
+/// slowness — their per-class frames carry sequence numbers, so a
+/// stalled peer degrades to catching up from the store instead.
 const SLOW_SUB_DISCONNECT_AFTER: u64 = 1024;
+
+/// Default per-filter-class broadcast-ring capacity (frames).
+pub const DEFAULT_CLASS_RING: usize = 1024;
 
 const CTRL_SUBSCRIBE: u8 = 1;
 const CTRL_UNSUBSCRIBE: u8 = 0;
+/// Control frame registering a pushed-down filter: the payload is the
+/// canonical filter-spec string, treated here as an opaque class key
+/// (`fsmon-rules` owns the grammar). A connection with a filter
+/// registered receives that class's frames and nothing else.
+const CTRL_FILTER: u8 = 2;
+
+/// A lock-free snapshot of a subscriber's prefix list.
+///
+/// The publish hot path calls `matches()` once per subscriber per
+/// message; taking a mutex there serializes every publisher on every
+/// subscriber's subscription lock. Instead the current prefix list is
+/// an immutable heap allocation behind an `AtomicPtr`: readers do one
+/// `Acquire` load, writers (subscribe/unsubscribe — rare) build a new
+/// list and swap it in. Retired lists are parked until drop, so a
+/// reader holding a reference across a swap never sees freed memory.
+pub(crate) struct PrefixSet {
+    current: AtomicPtr<Vec<Vec<u8>>>,
+    /// Writer serialization + parked retired snapshots (freed on drop).
+    retired: Mutex<Vec<*mut Vec<Vec<u8>>>>,
+}
+
+// Raw pointers into heap allocations owned by this struct; access is
+// synchronized by the AtomicPtr (readers) and the mutex (writers).
+unsafe impl Send for PrefixSet {}
+unsafe impl Sync for PrefixSet {}
+
+impl PrefixSet {
+    fn new(prefixes: Vec<Vec<u8>>) -> PrefixSet {
+        PrefixSet {
+            current: AtomicPtr::new(Box::into_raw(Box::new(prefixes))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Lock-free read of the current snapshot. The returned reference
+    /// stays valid for `'_` because retired snapshots are only freed in
+    /// `Drop`, which cannot run while a borrow is live.
+    fn load(&self) -> &[Vec<u8>] {
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    fn matches(&self, topic: &[u8]) -> bool {
+        self.load().iter().any(|p| topic.starts_with(p))
+    }
+
+    fn update(&self, f: impl FnOnce(&mut Vec<Vec<u8>>)) {
+        let mut retired = self.retired.lock();
+        let old = self.current.load(Ordering::Relaxed);
+        let mut next = unsafe { (*old).clone() };
+        f(&mut next);
+        self.current
+            .store(Box::into_raw(Box::new(next)), Ordering::Release);
+        retired.push(old);
+    }
+
+    fn push(&self, prefix: Vec<u8>) {
+        self.update(|p| p.push(prefix));
+    }
+
+    fn remove(&self, prefix: &[u8]) {
+        self.update(|p| p.retain(|x| x != prefix));
+    }
+}
+
+impl Drop for PrefixSet {
+    fn drop(&mut self) {
+        unsafe {
+            drop(Box::from_raw(self.current.load(Ordering::Relaxed)));
+            for ptr in self.retired.get_mut().drain(..) {
+                drop(Box::from_raw(ptr));
+            }
+        }
+    }
+}
 
 /// One subscriber attachment (inproc).
 pub(crate) struct SubEntry {
-    prefixes: Mutex<Vec<Vec<u8>>>,
+    prefixes: PrefixSet,
     sender: Sender<Message>,
     alive: AtomicBool,
     dropped: AtomicU64,
+    /// Set when a pushed-down filter is registered: the entry then
+    /// receives only its class's frames, never raw topic fan-out.
+    filtered: AtomicBool,
 }
 
 impl SubEntry {
     fn matches(&self, topic: &[u8]) -> bool {
-        self.prefixes.lock().iter().any(|p| topic.starts_with(p))
+        self.prefixes.matches(topic)
     }
 }
 
@@ -60,16 +145,27 @@ struct TcpSubConn {
     /// Kept only for shutdown (injected disconnects, slow-subscriber
     /// eviction); data writes happen on the writer thread's own clone.
     stream: Mutex<TcpStream>,
-    prefixes: Mutex<Vec<Vec<u8>>>,
+    prefixes: PrefixSet,
     alive: AtomicBool,
     /// Consecutive publish stalls (full writer queue); reset by any
     /// successful enqueue.
     stalled: AtomicU64,
+    /// Registered filter-class key, when the peer pushed a filter down.
+    /// A filtered connection receives only its class's frames.
+    filter_key: Mutex<Option<String>>,
+    /// Whether this filtered peer has dropped class frames (stalled
+    /// writer queue) since the flag was last observed — the peer heals
+    /// from the store, it is not disconnected.
+    degraded: AtomicBool,
 }
 
 impl TcpSubConn {
     fn matches(&self, topic: &[u8]) -> bool {
-        self.prefixes.lock().iter().any(|p| topic.starts_with(p))
+        self.prefixes.matches(topic)
+    }
+
+    fn is_filtered(&self) -> bool {
+        self.filter_key.lock().is_some()
     }
 
     fn disconnect(&self) {
@@ -78,10 +174,218 @@ impl TcpSubConn {
     }
 }
 
+/// Per-class counters reported by [`PubSocket::class_stats`] (the
+/// `fsmon top` subscribers section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Canonical filter-spec string (the class key).
+    pub key: String,
+    /// Live consumers in the class (ring cursors + sockets).
+    pub consumers: usize,
+    /// Frames published to the class so far.
+    pub frames: u64,
+    /// Deepest live writer-queue backlog among the class's TCP peers.
+    pub queue_depth: usize,
+    /// Publish stalls (frames dropped for some subscriber of the class).
+    pub stalls: u64,
+    /// Consumers currently flagged degraded (healing from the store).
+    pub degraded: usize,
+}
+
+/// One active filter class publisher-side: the shared broadcast ring
+/// plus the socket-based sinks subscribed to it, and the per-class
+/// frame sequence every frame is stamped with.
+pub struct FilterClass {
+    key: String,
+    ring: Arc<BroadcastRing>,
+    inproc: Mutex<Vec<Arc<SubEntry>>>,
+    tcp: Mutex<Vec<Arc<TcpSubConn>>>,
+    /// Live in-proc ring cursors ([`ClassCursor`]).
+    cursors: AtomicU64,
+    stalls: AtomicU64,
+    t_frames: Arc<fsmon_telemetry::Counter>,
+    t_stalls: Arc<fsmon_telemetry::Counter>,
+    t_depth: Arc<fsmon_telemetry::Gauge>,
+    t_consumers: Arc<fsmon_telemetry::Gauge>,
+}
+
+impl FilterClass {
+    fn new(key: String, ring_capacity: usize) -> Arc<FilterClass> {
+        let scope = fsmon_telemetry::root()
+            .scope("mq")
+            .with_label("class", key.clone());
+        Arc::new(FilterClass {
+            key,
+            ring: BroadcastRing::new(ring_capacity),
+            inproc: Mutex::new(Vec::new()),
+            tcp: Mutex::new(Vec::new()),
+            cursors: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            t_frames: scope.counter("class_frames_total"),
+            t_stalls: scope.counter("class_stalls_total"),
+            t_depth: scope.gauge("class_queue_depth"),
+            t_consumers: scope.gauge("class_consumers"),
+        })
+    }
+
+    /// The class key (canonical filter spec).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Next per-class frame sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.ring.head()
+    }
+
+    /// Live consumer count (cursors + live sockets).
+    pub fn consumer_count(&self) -> usize {
+        self.cursors.load(Ordering::Relaxed) as usize
+            + self
+                .inproc
+                .lock()
+                .iter()
+                .filter(|e| e.alive.load(Ordering::Relaxed))
+                .count()
+            + self
+                .tcp
+                .lock()
+                .iter()
+                .filter(|c| c.alive.load(Ordering::Relaxed))
+                .count()
+    }
+
+    /// Publish one class frame built by `build`, which receives the
+    /// frame's per-class sequence number (consumers detect dropped
+    /// frames by gaps in it). The frame is written once into the
+    /// shared ring; socket sinks get refcounted clones, encoded at most
+    /// once for all TCP peers. A peer whose queue is full is marked
+    /// degraded and skipped — never disconnected.
+    pub fn publish_with(&self, build: impl FnOnce(u64) -> Message) {
+        let msg = build(self.ring.head());
+        self.t_frames.inc();
+        let mut depth = 0usize;
+        {
+            let entries = self.inproc.lock();
+            for entry in entries.iter() {
+                if !entry.alive.load(Ordering::Relaxed) {
+                    continue;
+                }
+                match entry.sender.try_send(msg.clone()) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        entry.dropped.fetch_add(1, Ordering::Relaxed);
+                        self.stalls.fetch_add(1, Ordering::Relaxed);
+                        self.t_stalls.inc();
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        entry.alive.store(false, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        {
+            let conns = self.tcp.lock();
+            let mut encoded: Option<bytes::Bytes> = None;
+            for conn in conns.iter() {
+                if !conn.alive.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let frame = encoded.get_or_insert_with(|| msg.encode()).clone();
+                match conn.frame_tx.try_send(frame) {
+                    Ok(()) => {
+                        depth = depth.max(conn.frame_tx.len());
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        // Degrade, don't disconnect: the consumer sees
+                        // the class-sequence gap and catches up from
+                        // the store.
+                        conn.degraded.store(true, Ordering::Relaxed);
+                        self.stalls.fetch_add(1, Ordering::Relaxed);
+                        self.t_stalls.inc();
+                        depth = depth.max(conn.frame_tx.len());
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        conn.alive.store(false, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        self.ring.push(msg);
+        self.t_depth.set(depth as i64);
+        self.t_consumers.set(self.consumer_count() as i64);
+    }
+
+    fn stats(&self) -> ClassStats {
+        let queue_depth = self
+            .tcp
+            .lock()
+            .iter()
+            .filter(|c| c.alive.load(Ordering::Relaxed))
+            .map(|c| c.frame_tx.len())
+            .max()
+            .unwrap_or(0);
+        let degraded = self
+            .tcp
+            .lock()
+            .iter()
+            .filter(|c| c.alive.load(Ordering::Relaxed) && c.degraded.load(Ordering::Relaxed))
+            .count();
+        ClassStats {
+            key: self.key.clone(),
+            consumers: self.consumer_count(),
+            frames: self.ring.head(),
+            queue_depth,
+            stalls: self.stalls.load(Ordering::Relaxed),
+            degraded,
+        }
+    }
+}
+
+/// An in-process subscriber of one filter class: a cursor into the
+/// class's shared broadcast ring. Cheap enough to hold 100k of.
+pub struct ClassCursor {
+    class: Arc<FilterClass>,
+    cursor: RingCursor,
+}
+
+impl ClassCursor {
+    /// Poll for the next class frame.
+    pub fn poll(&mut self) -> RingPoll {
+        self.cursor.poll()
+    }
+
+    /// Frames currently buffered ahead of this cursor.
+    pub fn lag(&self) -> u64 {
+        self.cursor.lag()
+    }
+
+    /// Sequence number of the next frame this cursor will return.
+    pub fn position(&self) -> u64 {
+        self.cursor.position()
+    }
+
+    /// The class subscribed to.
+    pub fn class_key(&self) -> &str {
+        self.class.key()
+    }
+}
+
+impl Drop for ClassCursor {
+    fn drop(&mut self) {
+        self.class.cursors.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// The shared fan-out state behind a PUB socket.
 pub struct PubCore {
     inproc_subs: Mutex<Vec<Arc<SubEntry>>>,
     tcp_subs: Mutex<Vec<Arc<TcpSubConn>>>,
+    /// Active filter classes by canonical spec key (server-side filter
+    /// pushdown). Bumping `filter_generation` on any change lets the
+    /// fan-out engine cache its compiled subscription index.
+    classes: Mutex<HashMap<String, Arc<FilterClass>>>,
+    filter_generation: AtomicU64,
     sent: AtomicU64,
     dropped: AtomicU64,
     faults: Mutex<Faults>,
@@ -98,6 +402,8 @@ impl Default for PubCore {
         PubCore {
             inproc_subs: Mutex::new(Vec::new()),
             tcp_subs: Mutex::new(Vec::new()),
+            classes: Mutex::new(HashMap::new()),
+            filter_generation: AtomicU64::new(0),
             sent: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             faults: Mutex::new(Faults::none()),
@@ -111,13 +417,43 @@ impl Default for PubCore {
 }
 
 impl PubCore {
+    /// Get or create the class for `key`, bumping the filter
+    /// generation when a class is created.
+    fn class(&self, key: &str, ring_capacity: usize) -> Arc<FilterClass> {
+        let mut classes = self.classes.lock();
+        if let Some(class) = classes.get(key) {
+            return class.clone();
+        }
+        let class = FilterClass::new(key.to_string(), ring_capacity);
+        classes.insert(key.to_string(), class.clone());
+        self.filter_generation.fetch_add(1, Ordering::Release);
+        class
+    }
+
+    fn register_tcp_filter(&self, conn: &Arc<TcpSubConn>, key: &str) {
+        let class = self.class(key, DEFAULT_CLASS_RING);
+        *conn.filter_key.lock() = Some(key.to_string());
+        class.tcp.lock().push(conn.clone());
+        self.filter_generation.fetch_add(1, Ordering::Release);
+    }
+
+    fn register_inproc_filter(&self, entry: &Arc<SubEntry>, key: &str) {
+        let class = self.class(key, DEFAULT_CLASS_RING);
+        entry.filtered.store(true, Ordering::Relaxed);
+        class.inproc.lock().push(entry.clone());
+        self.filter_generation.fetch_add(1, Ordering::Release);
+    }
+
     fn publish(&self, msg: &Message) {
         let topic = msg.topic();
         let faults = self.faults.lock().clone();
         {
             let subs = self.inproc_subs.lock();
             for sub in subs.iter() {
-                if !sub.alive.load(Ordering::Relaxed) || !sub.matches(topic) {
+                if !sub.alive.load(Ordering::Relaxed)
+                    || sub.filtered.load(Ordering::Relaxed)
+                    || !sub.matches(topic)
+                {
                     continue;
                 }
                 // Injected link loss: the peer sees the same shared
@@ -157,7 +493,8 @@ impl PubCore {
             // happens under this lock — enqueueing is the only work.
             let mut encoded: Option<bytes::Bytes> = None;
             for conn in conns.iter() {
-                if !conn.alive.load(Ordering::Relaxed) || !conn.matches(topic) {
+                if !conn.alive.load(Ordering::Relaxed) || conn.is_filtered() || !conn.matches(topic)
+                {
                     continue;
                 }
                 if faults.inject(FaultPoint::MqDisconnect).is_some() {
@@ -204,6 +541,13 @@ impl PubCore {
         self.tcp_subs
             .lock()
             .retain(|c| c.alive.load(Ordering::Relaxed));
+        for class in self.classes.lock().values() {
+            class
+                .inproc
+                .lock()
+                .retain(|s| s.alive.load(Ordering::Relaxed));
+            class.tcp.lock().retain(|c| c.alive.load(Ordering::Relaxed));
+        }
     }
 }
 
@@ -243,9 +587,11 @@ impl PubSocket {
                     let conn = Arc::new(TcpSubConn {
                         frame_tx,
                         stream: Mutex::new(stream.try_clone().expect("clone stream")),
-                        prefixes: Mutex::new(Vec::new()),
+                        prefixes: PrefixSet::new(Vec::new()),
                         alive: AtomicBool::new(true),
                         stalled: AtomicU64::new(0),
+                        filter_key: Mutex::new(None),
+                        degraded: AtomicBool::new(false),
                     });
                     core.tcp_subs.lock().push(conn.clone());
                     // Writer thread: drain queued frames onto the wire.
@@ -271,17 +617,21 @@ impl PubSocket {
                     });
                     // Reader thread: consume subscription control frames.
                     let mut reader = stream;
+                    let ctrl_core = core.clone();
                     std::thread::spawn(move || {
                         while let Some(ctrl) = read_frame(&mut reader) {
                             let frame = ctrl.topic().to_vec();
                             if frame.is_empty() {
                                 continue;
                             }
-                            let prefix = frame[1..].to_vec();
-                            let mut prefixes = conn.prefixes.lock();
                             match frame[0] {
-                                CTRL_SUBSCRIBE => prefixes.push(prefix),
-                                CTRL_UNSUBSCRIBE => prefixes.retain(|p| *p != prefix),
+                                CTRL_SUBSCRIBE => conn.prefixes.push(frame[1..].to_vec()),
+                                CTRL_UNSUBSCRIBE => conn.prefixes.remove(&frame[1..]),
+                                CTRL_FILTER => {
+                                    if let Ok(key) = std::str::from_utf8(&frame[1..]) {
+                                        ctrl_core.register_tcp_filter(&conn, key);
+                                    }
+                                }
                                 _ => {}
                             }
                         }
@@ -370,6 +720,52 @@ impl PubSocket {
     pub fn collect_garbage(&self) {
         self.core.gc();
     }
+
+    /// Monotonic counter bumped whenever the set of registered filters
+    /// changes — the fan-out engine rebuilds its compiled subscription
+    /// index only when this moves.
+    pub fn filter_generation(&self) -> u64 {
+        self.core.filter_generation.load(Ordering::Acquire)
+    }
+
+    /// Canonical spec keys of every active filter class, sorted.
+    pub fn active_filter_specs(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.core.classes.lock().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Get or create the class for a canonical spec key. The fan-out
+    /// engine holds these handles and publishes per-class frames via
+    /// [`FilterClass::publish_with`].
+    pub fn filter_class(&self, key: &str) -> Arc<FilterClass> {
+        self.core.class(key, DEFAULT_CLASS_RING)
+    }
+
+    /// Subscribe in-process to a filter class: returns a cursor into
+    /// the class's shared broadcast ring. This is the cheap path for
+    /// very large subscriber counts — each subscriber is a cursor, the
+    /// frames are shared. A cursor that falls behind the ring capacity
+    /// observes an overrun and heals from the event store.
+    pub fn subscribe_class(&self, key: &str) -> ClassCursor {
+        let class = self.core.class(key, DEFAULT_CLASS_RING);
+        class.cursors.fetch_add(1, Ordering::Relaxed);
+        let cursor = RingCursor::at_head(class.ring.clone());
+        ClassCursor { class, cursor }
+    }
+
+    /// Per-class counters for every active filter class, sorted by key.
+    pub fn class_stats(&self) -> Vec<ClassStats> {
+        let mut stats: Vec<ClassStats> = self
+            .core
+            .classes
+            .lock()
+            .values()
+            .map(|c| c.stats())
+            .collect();
+        stats.sort_by(|a, b| a.key.cmp(&b.key));
+        stats
+    }
 }
 
 impl Drop for PubSocket {
@@ -384,6 +780,7 @@ impl Drop for PubSocket {
 enum SubAttachment {
     Inproc {
         entry: Arc<SubEntry>,
+        core: Arc<PubCore>,
         endpoint: String,
     },
     Tcp {
@@ -417,6 +814,10 @@ pub struct SubSocket {
     queue_rx: Receiver<Message>,
     attachments: Mutex<Vec<SubAttachment>>,
     prefixes: Mutex<Vec<Vec<u8>>>,
+    /// Pushed-down filter specs (canonical class keys) registered via
+    /// [`subscribe_filter`](SubSocket::subscribe_filter); re-forwarded
+    /// on connect/reconnect like prefixes.
+    filter_specs: Mutex<Vec<String>>,
 }
 
 impl SubSocket {
@@ -434,6 +835,7 @@ impl SubSocket {
             queue_rx,
             attachments: Mutex::new(Vec::new()),
             prefixes: Mutex::new(Vec::new()),
+            filter_specs: Mutex::new(Vec::new()),
         }
     }
 
@@ -449,14 +851,19 @@ impl SubSocket {
                     )));
                 };
                 let entry = Arc::new(SubEntry {
-                    prefixes: Mutex::new(self.prefixes.lock().clone()),
+                    prefixes: PrefixSet::new(self.prefixes.lock().clone()),
                     sender: self.queue_tx.clone(),
                     alive: AtomicBool::new(true),
                     dropped: AtomicU64::new(0),
+                    filtered: AtomicBool::new(false),
                 });
                 core.inproc_subs.lock().push(entry.clone());
+                for spec in self.filter_specs.lock().iter() {
+                    core.register_inproc_filter(&entry, spec);
+                }
                 self.attachments.lock().push(SubAttachment::Inproc {
                     entry,
+                    core,
                     endpoint: endpoint.to_string(),
                 });
                 Ok(())
@@ -484,7 +891,8 @@ impl SubSocket {
                         }
                     }
                 });
-                // Forward current subscriptions.
+                // Forward current subscriptions (prefixes and
+                // pushed-down filters alike).
                 {
                     let mut s = stream
                         .try_clone()
@@ -492,6 +900,12 @@ impl SubSocket {
                     for prefix in self.prefixes.lock().iter() {
                         let mut frame = vec![CTRL_SUBSCRIBE];
                         frame.extend_from_slice(prefix);
+                        write_frame(&mut s, &Message::single(frame))
+                            .map_err(|e| MqError::ConnectFailed(e.to_string()))?;
+                    }
+                    for spec in self.filter_specs.lock().iter() {
+                        let mut frame = vec![CTRL_FILTER];
+                        frame.extend_from_slice(spec.as_bytes());
                         write_frame(&mut s, &Message::single(frame))
                             .map_err(|e| MqError::ConnectFailed(e.to_string()))?;
                     }
@@ -511,7 +925,7 @@ impl SubSocket {
         self.prefixes.lock().push(prefix.to_vec());
         for att in self.attachments.lock().iter() {
             match att {
-                SubAttachment::Inproc { entry, .. } => entry.prefixes.lock().push(prefix.to_vec()),
+                SubAttachment::Inproc { entry, .. } => entry.prefixes.push(prefix.to_vec()),
                 SubAttachment::Tcp { stream, .. } => {
                     let mut frame = vec![CTRL_SUBSCRIBE];
                     frame.extend_from_slice(prefix);
@@ -526,12 +940,33 @@ impl SubSocket {
         self.prefixes.lock().retain(|p| p != prefix);
         for att in self.attachments.lock().iter() {
             match att {
-                SubAttachment::Inproc { entry, .. } => {
-                    entry.prefixes.lock().retain(|p| p != prefix);
-                }
+                SubAttachment::Inproc { entry, .. } => entry.prefixes.remove(prefix),
                 SubAttachment::Tcp { stream, .. } => {
                     let mut frame = vec![CTRL_UNSUBSCRIBE];
                     frame.extend_from_slice(prefix);
+                    let _ = write_frame(&mut stream.lock(), &Message::single(frame));
+                }
+            }
+        }
+    }
+
+    /// Push a filter down to the publisher: register this socket in the
+    /// filter class named by `spec` (a canonical filter-spec string —
+    /// the mq layer treats it as an opaque key). The socket then
+    /// receives that class's frames *instead of* raw topic fan-out;
+    /// dropped class frames surface as class-sequence gaps the consumer
+    /// heals from the event store, and a filtered peer is never
+    /// disconnected for slowness.
+    pub fn subscribe_filter(&self, spec: &str) {
+        self.filter_specs.lock().push(spec.to_string());
+        for att in self.attachments.lock().iter() {
+            match att {
+                SubAttachment::Inproc { entry, core, .. } => {
+                    core.register_inproc_filter(entry, spec);
+                }
+                SubAttachment::Tcp { stream, .. } => {
+                    let mut frame = vec![CTRL_FILTER];
+                    frame.extend_from_slice(spec.as_bytes());
                     let _ = write_frame(&mut stream.lock(), &Message::single(frame));
                 }
             }
@@ -816,10 +1251,12 @@ mod tests {
         let conn = Arc::new(TcpSubConn {
             frame_tx,
             stream: Mutex::new(client),
-            prefixes: Mutex::new(vec![Vec::new()]),
+            prefixes: PrefixSet::new(vec![Vec::new()]),
             alive: AtomicBool::new(true),
             // One stall away from eviction.
             stalled: AtomicU64::new(SLOW_SUB_DISCONNECT_AFTER - 1),
+            filter_key: Mutex::new(None),
+            degraded: AtomicBool::new(false),
         });
         let core = PubCore::default();
         core.tcp_subs.lock().push(conn.clone());
@@ -903,5 +1340,156 @@ mod tests {
             sub.connect("tcp://127.0.0.1:1"),
             Err(MqError::ConnectFailed(_))
         ));
+    }
+
+    #[test]
+    fn prefix_set_snapshots_survive_concurrent_mutation() {
+        let set = Arc::new(PrefixSet::new(vec![b"a".to_vec()]));
+        let writer = {
+            let set = set.clone();
+            std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    set.push(i.to_be_bytes().to_vec());
+                    set.remove(&i.to_be_bytes());
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            assert!(set.matches(b"a.topic"), "original prefix never vanishes");
+        }
+        writer.join().unwrap();
+        assert!(set.matches(b"a.topic"));
+        assert!(!set.matches(b"b.topic"));
+    }
+
+    #[test]
+    fn class_cursor_receives_class_frames_not_topic_fanout() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://classes").unwrap();
+        let mut cursor = publisher.subscribe_class("path=/keep/**;kinds=*;mdts=*");
+        let class = publisher.filter_class("path=/keep/**;kinds=*;mdts=*");
+        assert_eq!(class.consumer_count(), 1);
+        // Raw topic publishes do not reach class subscribers.
+        publisher.send(msg("events", "firehose")).unwrap();
+        assert!(matches!(cursor.poll(), RingPoll::Empty));
+        // Class frames do, stamped with the class sequence.
+        class.publish_with(|seq| {
+            assert_eq!(seq, 0);
+            msg("evsub", "subset")
+        });
+        match cursor.poll() {
+            RingPoll::Frame(m) => assert_eq!(m.part(1), Some(&b"subset"[..])),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn filtered_inproc_socket_gets_class_frames_only() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://pushdown").unwrap();
+        let sub = ctx.subscriber();
+        sub.connect("inproc://pushdown").unwrap();
+        sub.subscribe(b""); // would match everything, if unfiltered
+        sub.subscribe_filter("path=/a/**;kinds=*;mdts=*");
+        publisher.send(msg("events", "firehose")).unwrap();
+        assert!(
+            sub.try_recv().is_none(),
+            "filtered socket skips topic fan-out"
+        );
+        let class = publisher.filter_class("path=/a/**;kinds=*;mdts=*");
+        class.publish_with(|_seq| msg("evsub", "subset"));
+        let m = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.part(1), Some(&b"subset"[..]));
+    }
+
+    #[test]
+    fn filter_pushdown_registers_over_tcp() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("tcp://127.0.0.1:0").unwrap();
+        let addr = publisher.local_addr().unwrap();
+        let sub = ctx.subscriber();
+        sub.connect(&format!("tcp://{addr}")).unwrap();
+        sub.subscribe_filter("path=/b/**;kinds=*;mdts=*");
+        // Wait for the control frame to land publisher-side.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while publisher.active_filter_specs().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            publisher.active_filter_specs(),
+            vec!["path=/b/**;kinds=*;mdts=*".to_string()]
+        );
+        publisher.send(msg("events", "firehose")).unwrap();
+        let class = publisher.filter_class("path=/b/**;kinds=*;mdts=*");
+        class.publish_with(|_seq| msg("evsub", "subset"));
+        let m = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(m.topic(), b"evsub");
+        assert_eq!(m.part(1), Some(&b"subset"[..]));
+        assert!(sub.try_recv().is_none(), "firehose frame was not delivered");
+    }
+
+    #[test]
+    fn stalled_filtered_tcp_peer_degrades_instead_of_disconnecting() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (_peer, _) = listener.accept().unwrap();
+        let (frame_tx, _frame_rx) = bounded::<bytes::Bytes>(1);
+        let conn = Arc::new(TcpSubConn {
+            frame_tx,
+            stream: Mutex::new(client),
+            prefixes: PrefixSet::new(Vec::new()),
+            alive: AtomicBool::new(true),
+            stalled: AtomicU64::new(0),
+            filter_key: Mutex::new(None),
+            degraded: AtomicBool::new(false),
+        });
+        let core = PubCore::default();
+        core.register_tcp_filter(&conn, "path=/c/**;kinds=*;mdts=*");
+        let class = core.class("path=/c/**;kinds=*;mdts=*", 8);
+        // Queue capacity 1, nobody draining: second publish stalls.
+        class.publish_with(|_| msg("evsub", "one"));
+        class.publish_with(|_| msg("evsub", "two"));
+        assert!(conn.alive.load(Ordering::Relaxed), "never disconnected");
+        assert!(conn.degraded.load(Ordering::Relaxed), "flagged degraded");
+        let stats = core.classes.lock()["path=/c/**;kinds=*;mdts=*"].stats();
+        assert_eq!(stats.stalls, 1);
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.frames, 2, "the ring kept every frame for healing");
+    }
+
+    #[test]
+    fn class_stats_report_consumers_and_frames() {
+        let ctx = Context::new();
+        let publisher = ctx.publisher();
+        publisher.bind("inproc://stats").unwrap();
+        let gen0 = publisher.filter_generation();
+        let _c1 = publisher.subscribe_class("path=/x/**;kinds=*;mdts=*");
+        let _c2 = publisher.subscribe_class("path=/x/**;kinds=*;mdts=*");
+        let _c3 = publisher.subscribe_class("path=/y/**;kinds=*;mdts=*");
+        assert!(
+            publisher.filter_generation() > gen0,
+            "new classes bump the generation"
+        );
+        publisher
+            .filter_class("path=/x/**;kinds=*;mdts=*")
+            .publish_with(|_| msg("evsub", "f"));
+        let stats = publisher.class_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].key, "path=/x/**;kinds=*;mdts=*");
+        assert_eq!(stats[0].consumers, 2);
+        assert_eq!(stats[0].frames, 1);
+        assert_eq!(stats[1].consumers, 1);
+        assert_eq!(stats[1].frames, 0);
+        drop(_c1);
+        assert_eq!(
+            publisher
+                .filter_class("path=/x/**;kinds=*;mdts=*")
+                .consumer_count(),
+            1
+        );
     }
 }

@@ -1,0 +1,243 @@
+//! A single-writer broadcast ring: one bounded frame buffer shared by
+//! any number of readers.
+//!
+//! This is the fan-out primitive behind filter classes (server-side
+//! filter pushdown): the publisher writes each per-class frame **once**
+//! into the class's ring, and every subscriber of that class holds only
+//! a cursor — publish cost is O(classes), independent of subscriber
+//! count, which is what keeps 100k-consumer fan-out flat.
+//!
+//! The ring is bounded. A reader that falls more than `capacity` frames
+//! behind does not stall the writer and is not disconnected; its next
+//! poll reports [`RingPoll::Overrun`] with the number of frames it
+//! missed, and the subscriber degrades to catching up from the reliable
+//! event store before resuming live tailing.
+
+use crate::message::Message;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Slot {
+    seq: u64,
+    msg: Option<Message>,
+}
+
+/// The shared bounded broadcast buffer (see module docs).
+pub struct BroadcastRing {
+    slots: Box<[Mutex<Slot>]>,
+    /// Frames ever pushed; also the next sequence number.
+    head: AtomicU64,
+    /// Serializes writers: pushes are batch-grained (one per class per
+    /// sequenced batch), so a mutex here costs nothing measurable and
+    /// keeps the ring correct even if a restarted publisher lane races
+    /// its dying predecessor.
+    writer: Mutex<()>,
+    mask: usize,
+}
+
+impl BroadcastRing {
+    /// Create a ring with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> Arc<BroadcastRing> {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| {
+                Mutex::new(Slot {
+                    seq: u64::MAX,
+                    msg: None,
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Arc::new(BroadcastRing {
+            slots,
+            head: AtomicU64::new(0),
+            writer: Mutex::new(()),
+            mask: cap - 1,
+        })
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Frames ever pushed (== the next frame's sequence number).
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Append a frame, overwriting the slot `capacity` frames back.
+    /// Returns the frame's sequence number. Never blocks on readers.
+    pub fn push(&self, msg: Message) -> u64 {
+        let _writer = self.writer.lock();
+        let seq = self.head.load(Ordering::Relaxed);
+        {
+            let mut slot = self.slots[(seq as usize) & self.mask].lock();
+            slot.seq = seq;
+            slot.msg = Some(msg);
+        }
+        self.head.store(seq + 1, Ordering::Release);
+        seq
+    }
+
+    /// Read the frame with sequence `next`, if it is still resident.
+    /// `Ok(None)` means not yet published; `Err(resume)` means the slot
+    /// was overwritten — the oldest resident frame is `resume`.
+    fn read(&self, next: u64) -> Result<Option<Message>, u64> {
+        let head = self.head.load(Ordering::Acquire);
+        if next >= head {
+            return Ok(None);
+        }
+        let cap = self.capacity() as u64;
+        if head - next > cap {
+            return Err(head - cap);
+        }
+        let slot = self.slots[(next as usize) & self.mask].lock();
+        if slot.seq != next {
+            // Overwritten between the head check and the slot lock.
+            drop(slot);
+            let head = self.head.load(Ordering::Acquire);
+            return Err(head.saturating_sub(cap).max(next));
+        }
+        Ok(Some(slot.msg.clone().expect("resident ring slot")))
+    }
+}
+
+/// What a cursor's poll found.
+#[derive(Debug)]
+pub enum RingPoll {
+    /// Nothing new.
+    Empty,
+    /// The next frame, in order.
+    Frame(Message),
+    /// The reader fell behind and `missed` frames were overwritten; the
+    /// cursor has been advanced to the oldest resident frame. The
+    /// subscriber should heal the gap from the event store.
+    Overrun {
+        /// Frames skipped.
+        missed: u64,
+    },
+}
+
+/// A reader position in a [`BroadcastRing`]. Cheap: subscribers are a
+/// cursor each, the frames are shared.
+pub struct RingCursor {
+    ring: Arc<BroadcastRing>,
+    next: u64,
+}
+
+impl RingCursor {
+    /// A cursor starting at the ring's current head (live tail; no
+    /// history replay).
+    pub fn at_head(ring: Arc<BroadcastRing>) -> RingCursor {
+        let next = ring.head();
+        RingCursor { ring, next }
+    }
+
+    /// Sequence number of the next frame this cursor will return.
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+
+    /// How far behind the writer this cursor is.
+    pub fn lag(&self) -> u64 {
+        self.ring.head().saturating_sub(self.next)
+    }
+
+    /// Poll for the next frame.
+    pub fn poll(&mut self) -> RingPoll {
+        match self.ring.read(self.next) {
+            Ok(None) => RingPoll::Empty,
+            Ok(Some(msg)) => {
+                self.next += 1;
+                RingPoll::Frame(msg)
+            }
+            Err(resume) => {
+                let missed = resume.saturating_sub(self.next);
+                self.next = resume;
+                RingPoll::Overrun { missed }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n: u64) -> Message {
+        Message::single(n.to_be_bytes().to_vec())
+    }
+
+    fn frame_value(msg: &Message) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(msg.topic());
+        u64::from_be_bytes(b)
+    }
+
+    #[test]
+    fn in_order_delivery_to_multiple_cursors() {
+        let ring = BroadcastRing::new(8);
+        let mut a = RingCursor::at_head(ring.clone());
+        let mut b = RingCursor::at_head(ring.clone());
+        for i in 0..5 {
+            assert_eq!(ring.push(frame(i)), i);
+        }
+        for i in 0..5 {
+            match a.poll() {
+                RingPoll::Frame(m) => assert_eq!(frame_value(&m), i),
+                other => panic!("cursor a: {other:?}"),
+            }
+        }
+        assert!(matches!(a.poll(), RingPoll::Empty));
+        // b reads the same frames independently.
+        for i in 0..5 {
+            match b.poll() {
+                RingPoll::Frame(m) => assert_eq!(frame_value(&m), i),
+                other => panic!("cursor b: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn slow_cursor_sees_overrun_with_missed_count() {
+        let ring = BroadcastRing::new(4);
+        let mut slow = RingCursor::at_head(ring.clone());
+        for i in 0..10 {
+            ring.push(frame(i));
+        }
+        // Capacity 4, head 10: frames 0..6 are gone.
+        match slow.poll() {
+            RingPoll::Overrun { missed } => assert_eq!(missed, 6),
+            other => panic!("{other:?}"),
+        }
+        match slow.poll() {
+            RingPoll::Frame(m) => assert_eq!(frame_value(&m), 6),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(slow.lag(), 3);
+    }
+
+    #[test]
+    fn late_cursor_starts_at_head() {
+        let ring = BroadcastRing::new(4);
+        ring.push(frame(0));
+        ring.push(frame(1));
+        let mut late = RingCursor::at_head(ring.clone());
+        assert!(matches!(late.poll(), RingPoll::Empty));
+        ring.push(frame(2));
+        match late.poll() {
+            RingPoll::Frame(m) => assert_eq!(frame_value(&m), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(BroadcastRing::new(3).capacity(), 4);
+        assert_eq!(BroadcastRing::new(0).capacity(), 2);
+        assert_eq!(BroadcastRing::new(1024).capacity(), 1024);
+    }
+}

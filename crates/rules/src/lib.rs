@@ -40,9 +40,11 @@ pub mod debounce;
 pub mod engine;
 pub mod pattern;
 pub mod rule;
+pub mod subscription;
 
 pub use catalog::{Catalog, CatalogEntry};
 pub use debounce::Debounced;
 pub use engine::{Engine, EngineStats, ErrorPolicy};
 pub use pattern::PathPattern;
 pub use rule::{Action, ActionError, Rule, RuleSet};
+pub use subscription::{CompiledFilter, FilterSpec, FilterSpecError, SubscriptionIndex};

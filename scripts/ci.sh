@@ -54,6 +54,24 @@ else
     echo "    (no committed BENCH_index.json; skipping)"
 fi
 
+echo "==> fanout bench smoke (filter pushdown / subscriber scaling)"
+# Times the sequencer's match + slice + publish loop at 1k/10k/100k
+# subscribers over a fixed set of filter classes; fails if per-event
+# cost more than doubles across the 100x span, if any subscriber is
+# force-disconnected (stalls must only degrade to catch-up-from-store),
+# or on a >20% per-event-cost regression against the committed
+# baseline. Default --events matches the committed baseline's stream
+# size. Writes to a scratch path so the committed BENCH_fanout.json
+# only changes when regenerated deliberately.
+if [ -f BENCH_fanout.json ]; then
+    cargo build --release -q -p fsmon-bench --bin fanout
+    target/release/fanout \
+        --out target/BENCH_fanout.smoke.json \
+        --baseline BENCH_fanout.json
+else
+    echo "    (no committed BENCH_fanout.json; skipping)"
+fi
+
 echo "==> index catch-up/consistency smoke"
 # The live pipeline folded through the index must equal a linear
 # replay fold and resume from its snapshot cursor; the chaos harness

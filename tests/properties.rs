@@ -86,6 +86,59 @@ prop_compose! {
     }
 }
 
+/// Random pushdown predicates: glob patterns assembled from the same
+/// component alphabet the event stream draws paths from (so literal
+/// trie prefixes collide and diverge), random kind subsets, and
+/// occasional MDT restrictions.
+fn arb_filter_specs() -> impl Strategy<Value = Vec<fsmon_rules::FilterSpec>> {
+    let component = prop::sample::select(vec![
+        "a", "b", "d0", "d1", "f1", "*", "**", "*.h5", "f*", "x.h5",
+    ]);
+    let pattern =
+        prop::collection::vec(component, 1..4).prop_map(|comps| format!("/{}", comps.join("/")));
+    let kinds = prop::collection::vec(arb_kind(), 0..4).prop_map(|picked| {
+        if picked.is_empty() {
+            fsmon_events::kind::KindMask::ALL
+        } else {
+            fsmon_events::kind::KindMask::from_kinds(picked)
+        }
+    });
+    let mdts = prop::option::of(prop::collection::vec(0u16..4, 1..3));
+    let spec = (pattern, kinds, mdts).prop_map(|(pattern, kinds, mdts)| {
+        let mut spec = fsmon_rules::FilterSpec::all().with_kinds(kinds);
+        spec.pattern = pattern;
+        if let Some(set) = mdts {
+            spec = spec.with_mdts(set);
+        }
+        spec
+    });
+    prop::collection::vec(spec, 0..12)
+}
+
+/// Event streams for the index-equivalence property: paths over the
+/// filter alphabet, every kind, renames carrying old paths, and a mix
+/// of unstamped / low / high MDT indices (high ones exercise the
+/// bitmask fallback).
+fn arb_filter_stream() -> impl Strategy<Value = Vec<StandardEvent>> {
+    fn path() -> impl Strategy<Value = String> {
+        let component = prop::sample::select(vec!["a", "b", "d0", "d1", "f1", "x.h5", "deep"]);
+        prop::collection::vec(component, 1..5).prop_map(|c| format!("/{}", c.join("/")))
+    }
+    let ev = (
+        arb_kind(),
+        path(),
+        prop::option::of(path()),
+        prop::option::of(prop_oneof![0u16..4, Just(200u16)]),
+    )
+        .prop_map(|(kind, path, old, mdt)| {
+            let mut ev = StandardEvent::new(kind, "/", path);
+            ev.old_path = old;
+            ev.mdt_index = mdt;
+            ev
+        });
+    prop::collection::vec(ev, 1..60)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -305,5 +358,30 @@ proptest! {
         let decoded = NamespaceIndex::decode_snapshot(&idx.encode_snapshot())
             .expect("snapshot decodes");
         prop_assert_eq!(decoded, idx);
+    }
+
+    /// The aggregator's compiled subscription index prunes candidates
+    /// through a literal-prefix trie; pruning must never change the
+    /// outcome. Random predicate sets (glob patterns with mid-pattern
+    /// wildcards, kind subsets, MDT subsets) over random event streams
+    /// (shared component alphabet so prefixes collide, renames, mixed
+    /// MDT stamps) must match exactly the brute-force per-class
+    /// evaluation.
+    #[test]
+    fn subscription_index_equals_brute_force(
+        specs in arb_filter_specs(),
+        events in arb_filter_stream(),
+    ) {
+        use fsmon_rules::SubscriptionIndex;
+        let index = SubscriptionIndex::build(specs.iter().map(|s| s.compile()).collect());
+        for ev in &events {
+            let indexed = index.matches(ev);
+            let brute = index.brute_force(ev);
+            prop_assert_eq!(
+                &indexed, &brute,
+                "index and brute-force disagree on {:?} across {:?}",
+                ev, specs
+            );
+        }
     }
 }
