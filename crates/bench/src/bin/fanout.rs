@@ -282,14 +282,17 @@ fn main() {
         .iter()
         .all(|t| t.ring_frames_seen == classes.len() as u64);
 
-    let json = format!(
-        "{{\n  \"bench\": \"fanout\",\n  \"events\": {events},\n  \
+    // Headline rate for the shared envelope: events the fan-out loop
+    // can push per second at the 100k-subscriber tier.
+    let events_per_sec = 1e9 / last.per_event_ns.max(1e-9);
+    let body = format!(
+        "  \"events\": {events},\n  \
          \"batch\": {BATCH},\n  \"classes\": {},\n  \
          \"per_event_ns_1k\": {:.1},\n  \"per_event_ns_10k\": {:.1},\n  \
          \"per_event_ns_100k\": {:.1},\n  \
          \"growth_1k_to_100k\": {growth:.3},\n  \
          \"frames_100k\": {},\n  \"stalls_100k\": {},\n  \
-         \"disconnects\": {disconnects}\n}}\n",
+         \"disconnects\": {disconnects}",
         classes.len(),
         tiers[0].per_event_ns,
         tiers[1].per_event_ns,
@@ -297,6 +300,7 @@ fn main() {
         last.frames,
         last.stalls,
     );
+    let json = fsmon_bench::report::render("fanout", events_per_sec, &body);
     std::fs::write(&out_path, &json).expect("write bench report");
     println!("{json}");
 

@@ -7,6 +7,7 @@
 //! DESIGN.md §4 maps every paper table and figure to its binary.
 
 pub mod harness;
+pub mod report;
 
 pub use harness::{
     local_reporting_rate, lustre_throughput, lustre_throughput_tuned, LocalRun, LustreRun,

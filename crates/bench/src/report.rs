@@ -1,0 +1,70 @@
+//! Shared envelope for `BENCH_*.json` reports.
+//!
+//! Every bench binary leads its report with the same four fields so a
+//! perf-trajectory scraper can treat the committed files uniformly:
+//! `name` (which bench), `events_per_sec` (that bench's headline
+//! rate), `generated_unix` (when it ran), and `git_rev` (what it
+//! measured). The bench-specific fields follow the header unchanged,
+//! so the no-dependency `--baseline` readers keyed on those fields
+//! keep working against both old and new baselines.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Seconds since the Unix epoch; 0 if the clock reads before it.
+pub fn generated_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Short commit hash of `HEAD`, or `"unknown"` when the bench runs
+/// outside a git checkout (or git itself is absent).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Wrap bench-specific fields in the shared envelope.
+///
+/// `body` is the bench's own interior: `  "key": value` lines joined
+/// with `,\n`, no outer braces, no trailing comma or newline. The
+/// result is the complete report document, newline-terminated.
+pub fn render(name: &str, events_per_sec: f64, body: &str) -> String {
+    format!(
+        "{{\n  \"name\": \"{name}\",\n  \"events_per_sec\": {events_per_sec:.1},\n  \
+         \"generated_unix\": {},\n  \"git_rev\": \"{}\",\n{body}\n}}\n",
+        generated_unix(),
+        git_rev()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_leads_with_normalized_fields() {
+        let doc = render("demo", 1234.5, "  \"extra\": 7");
+        let name_at = doc.find("\"name\": \"demo\"").unwrap();
+        let rate_at = doc.find("\"events_per_sec\": 1234.5").unwrap();
+        let when_at = doc.find("\"generated_unix\": ").unwrap();
+        let rev_at = doc.find("\"git_rev\": \"").unwrap();
+        let extra_at = doc.find("\"extra\": 7").unwrap();
+        assert!(name_at < rate_at && rate_at < when_at && when_at < rev_at);
+        assert!(rev_at < extra_at, "bench fields follow the envelope");
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn git_rev_is_nonempty() {
+        assert!(!git_rev().is_empty());
+    }
+}

@@ -59,6 +59,11 @@ pub enum Command {
         /// Pushdown filter spec (`path=…;kinds=…;mdts=…`) for an extra
         /// server-side filtered subscriber.
         filter: Option<String>,
+        /// HTTP observer bind address for the health endpoint.
+        http: Option<String>,
+        /// SLO spec (`ingest_lag<…;e2e_p99<…;loss=0`) evaluated by the
+        /// health engine while the demo runs.
+        slo: Option<String>,
     },
     /// Dump pipeline telemetry (live run or a previously exported file).
     Stats {
@@ -164,9 +169,36 @@ pub enum Command {
         /// Concurrently driven named consumers, each independently
         /// verified for zero loss/duplication.
         consumers: usize,
+        /// SLO spec evaluated by the health engine during the run.
+        slo: Option<String>,
+        /// Collector-lane stall injected at every loop iteration, in
+        /// milliseconds (arms the `collector_stall` fault point).
+        stall_ms: Option<u64>,
+        /// Directory where SLO-breach incident bundles land.
+        incident_dir: Option<String>,
+    },
+    /// Query a running HTTP observer's `/health` endpoint and
+    /// pretty-print the SLO verdicts.
+    Health {
+        /// Observer address (`host:port`, or `:port` for localhost).
+        addr: String,
+    },
+    /// Inspect incident bundles dumped by the flight recorder.
+    Incidents {
+        /// What to do with which bundle(s).
+        action: IncidentsAction,
     },
     /// Print usage.
     Help,
+}
+
+/// What `fsmon incidents` should do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncidentsAction {
+    /// Decode one bundle (verifying its CRC trailer) and pretty-print.
+    Show(String),
+    /// List the bundles in a directory, one line each.
+    List(String),
 }
 
 /// How `fsmon stats` renders a snapshot.
@@ -215,6 +247,7 @@ USAGE:
   fsmon replay --store DIR [--since ID] [--max N]
   fsmon demo-lustre [--mds N] [--seconds S] [--cache N]
                     [--resolver-threads N] [--publish-lanes N]
+                    [--filter SPEC] [--http ADDR] [--slo SPEC]
   fsmon stats [--format summary|prometheus|json] [--from FILE]
               [--diff BEFORE AFTER] [--mds N] [--seconds S] [--cache N]
   fsmon top   [--mds N] [--seconds S] [--cache N] [--resolver-threads N]
@@ -222,6 +255,10 @@ USAGE:
   fsmon chaos [--plan none|basic|storm] [--seed N] [--mds N] [--seconds S]
               [--resolver-threads N] [--publish-lanes N] [--consumers N]
               [--durability none|batch|bytes:N|interval:MS]
+              [--slo SPEC] [--stall MS] [--incident-dir DIR]
+  fsmon health [ADDR]
+  fsmon incidents show FILE
+  fsmon incidents list DIR
   fsmon find  [--store DIR] [--snapshot FILE] [--pattern GLOB]
               [--older-than SECS] [--min-size BYTES] [--owner UID]
               [--kind file|dir|symlink|device] [--max N] [--seconds S]
@@ -232,7 +269,8 @@ USAGE:
   fsmon help
 
 FORMATS: inotify (default), kqueue, fsevents, filesystemwatcher
-KINDS:   CREATE, MODIFY, DELETE, MOVED_FROM, MOVED_TO, ATTRIB, ...";
+KINDS:   CREATE, MODIFY, DELETE, MOVED_FROM, MOVED_TO, ATTRIB, ...
+SLO:     ingest_lag<N;e2e_p99<10ms;loss=0[;budget=0.05;fast=30s;slow=300s]";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
     flag: &str,
@@ -254,6 +292,8 @@ impl Cli {
             Some("stats") => Self::parse_stats(&mut iter)?,
             Some("top") => Self::parse_top(&mut iter)?,
             Some("chaos") => Self::parse_chaos(&mut iter)?,
+            Some("health") => Self::parse_health(&mut iter)?,
+            Some("incidents") => Self::parse_incidents(&mut iter)?,
             Some("find") => Self::parse_find(&mut iter)?,
             Some("du") => Self::parse_du(&mut iter)?,
             Some("policy") => Self::parse_policy(&mut iter)?,
@@ -361,6 +401,8 @@ impl Cli {
         let mut resolver_threads = 4;
         let mut publish_lanes = 2;
         let mut filter = None;
+        let mut http = None;
+        let mut slo = None;
         while let Some(arg) = iter.next() {
             match arg {
                 "--mds" => {
@@ -394,6 +436,8 @@ impl Cli {
                         .map_err(|e| ParseError(format!("--filter: {e}")))?;
                     filter = Some(spec.to_string());
                 }
+                "--http" => http = Some(take_value(arg, iter)?.to_string()),
+                "--slo" => slo = Some(parse_slo_value(take_value(arg, iter)?)?),
                 other => return Err(ParseError(format!("unknown flag for demo-lustre: {other}"))),
             }
         }
@@ -404,6 +448,8 @@ impl Cli {
             resolver_threads,
             publish_lanes,
             filter,
+            http,
+            slo,
         })
     }
 
@@ -672,6 +718,9 @@ impl Cli {
         let mut publish_lanes = 2;
         let mut durability = fsmon_store::Durability::None;
         let mut consumers = 1;
+        let mut slo = None;
+        let mut stall_ms = None;
+        let mut incident_dir = None;
         while let Some(arg) = iter.next() {
             match arg {
                 "--plan" => plan = take_value(arg, iter)?.to_string(),
@@ -715,6 +764,15 @@ impl Cli {
                         .filter(|&n| n >= 1)
                         .ok_or_else(|| ParseError("--consumers must be a number >= 1".into()))?
                 }
+                "--slo" => slo = Some(parse_slo_value(take_value(arg, iter)?)?),
+                "--stall" => {
+                    stall_ms = Some(
+                        take_value(arg, iter)?
+                            .parse()
+                            .map_err(|_| ParseError("--stall must be milliseconds".into()))?,
+                    )
+                }
+                "--incident-dir" => incident_dir = Some(take_value(arg, iter)?.to_string()),
                 other => return Err(ParseError(format!("unknown flag for chaos: {other}"))),
             }
         }
@@ -727,8 +785,57 @@ impl Cli {
             publish_lanes,
             durability,
             consumers,
+            slo,
+            stall_ms,
+            incident_dir,
         })
     }
+
+    fn parse_health<'a, I: Iterator<Item = &'a str>>(iter: &mut I) -> Result<Command, ParseError> {
+        let mut addr: Option<String> = None;
+        for arg in iter {
+            if arg.starts_with("--") {
+                return Err(ParseError(format!("unknown flag for health: {arg}")));
+            }
+            if addr.is_some() {
+                return Err(ParseError(format!("unexpected argument: {arg}")));
+            }
+            addr = Some(arg.to_string());
+        }
+        Ok(Command::Health {
+            addr: addr.unwrap_or_else(|| "127.0.0.1:9090".to_string()),
+        })
+    }
+
+    fn parse_incidents<'a, I: Iterator<Item = &'a str>>(
+        iter: &mut I,
+    ) -> Result<Command, ParseError> {
+        let verb = iter
+            .next()
+            .ok_or_else(|| ParseError("incidents requires `show FILE` or `list DIR`".into()))?;
+        let path = take_value(verb, iter)?.to_string();
+        let action = match verb {
+            "show" => IncidentsAction::Show(path),
+            "list" => IncidentsAction::List(path),
+            other => {
+                return Err(ParseError(format!(
+                    "unknown incidents action: {other} (expected show or list)"
+                )))
+            }
+        };
+        if let Some(extra) = iter.next() {
+            return Err(ParseError(format!("unexpected argument: {extra}")));
+        }
+        Ok(Command::Incidents { action })
+    }
+}
+
+/// Validate an `--slo` value at parse time and keep its canonical
+/// rendering, so downstream code can `expect` a clean re-parse.
+fn parse_slo_value(spec: &str) -> Result<String, ParseError> {
+    fsmon_telemetry::SloSpec::parse(spec)
+        .map(|s| s.canonical())
+        .map_err(|e| ParseError(format!("--slo: {e}")))
 }
 
 #[cfg(test)]
@@ -864,7 +971,9 @@ mod tests {
                 cache: 0,
                 resolver_threads: 4,
                 publish_lanes: 2,
-                filter: None
+                filter: None,
+                http: None,
+                slo: None
             }
         );
         let cli = Cli::parse([
@@ -885,9 +994,36 @@ mod tests {
                 cache: 5000,
                 resolver_threads: 8,
                 publish_lanes: 4,
-                filter: Some("path=/proj/**;kinds=CREATE,CLOSE_WRITE".to_string())
+                filter: Some("path=/proj/**;kinds=CREATE,CLOSE_WRITE".to_string()),
+                http: None,
+                slo: None
             }
         );
+    }
+
+    #[test]
+    fn demo_health_flags_parse_and_validate() {
+        let cli = Cli::parse([
+            "demo-lustre",
+            "--http",
+            ":9090",
+            "--slo",
+            "ingest_lag<1000;loss=0",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::DemoLustre { http, slo, .. } => {
+                assert_eq!(http.as_deref(), Some(":9090"));
+                // The spec is kept in canonical form.
+                let slo = slo.unwrap();
+                assert!(slo.starts_with("ingest_lag<1000;loss=0;budget="), "{slo}");
+            }
+            other => panic!("{other:?}"),
+        }
+        let Err(err) = Cli::parse(["demo-lustre", "--slo", "nonsense"].iter().copied()) else {
+            panic!("malformed slo accepted");
+        };
+        assert!(err.0.contains("--slo"), "{}", err.0);
     }
 
     #[test]
@@ -1126,7 +1262,10 @@ mod tests {
                 resolver_threads: 4,
                 publish_lanes: 2,
                 durability: fsmon_store::Durability::None,
-                consumers: 1
+                consumers: 1,
+                slo: None,
+                stall_ms: None,
+                incident_dir: None
             }
         );
         let cli = Cli::parse([
@@ -1159,13 +1298,85 @@ mod tests {
                 resolver_threads: 8,
                 publish_lanes: 4,
                 durability: fsmon_store::Durability::Bytes(65536),
-                consumers: 3
+                consumers: 3,
+                slo: None,
+                stall_ms: None,
+                incident_dir: None
             }
         );
         assert!(Cli::parse(["chaos", "--seed", "abc"]).is_err());
         assert!(Cli::parse(["chaos", "--wat"]).is_err());
         assert!(Cli::parse(["chaos", "--durability", "sync"]).is_err());
         assert!(Cli::parse(["chaos", "--consumers", "0"]).is_err());
+    }
+
+    #[test]
+    fn chaos_health_flags_parse() {
+        let cli = Cli::parse([
+            "chaos",
+            "--slo",
+            "e2e_p99<50ms;budget=0.1;fast=1s;slow=2s",
+            "--stall",
+            "20",
+            "--incident-dir",
+            "/tmp/inc",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Chaos {
+                slo,
+                stall_ms,
+                incident_dir,
+                ..
+            } => {
+                assert!(slo.unwrap().starts_with("e2e_p99<50000000;"));
+                assert_eq!(stall_ms, Some(20));
+                assert_eq!(incident_dir.as_deref(), Some("/tmp/inc"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Cli::parse(["chaos", "--stall", "soon"]).is_err());
+        assert!(Cli::parse(["chaos", "--slo", "e2e_p99<"]).is_err());
+    }
+
+    #[test]
+    fn health_parsing() {
+        assert_eq!(
+            Cli::parse(["health"]).unwrap().command,
+            Command::Health {
+                addr: "127.0.0.1:9090".into()
+            }
+        );
+        assert_eq!(
+            Cli::parse(["health", ":9191"]).unwrap().command,
+            Command::Health {
+                addr: ":9191".into()
+            }
+        );
+        assert!(Cli::parse(["health", "a", "b"]).is_err());
+        assert!(Cli::parse(["health", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn incidents_parsing() {
+        assert_eq!(
+            Cli::parse(["incidents", "show", "/tmp/i.json"])
+                .unwrap()
+                .command,
+            Command::Incidents {
+                action: IncidentsAction::Show("/tmp/i.json".into())
+            }
+        );
+        assert_eq!(
+            Cli::parse(["incidents", "list", "/tmp"]).unwrap().command,
+            Command::Incidents {
+                action: IncidentsAction::List("/tmp".into())
+            }
+        );
+        assert!(Cli::parse(["incidents"]).is_err());
+        assert!(Cli::parse(["incidents", "show"]).is_err());
+        assert!(Cli::parse(["incidents", "purge", "/tmp"]).is_err());
+        assert!(Cli::parse(["incidents", "list", "/tmp", "extra"]).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Command implementations. Each returns its process exit code and
 //! writes to the supplied writer, so tests can drive them directly.
 
-use crate::args::{Command, StatsFormat, USAGE};
+use crate::args::{Command, IncidentsAction, StatsFormat, USAGE};
 use fsmon_core::dsi::local::PollingDsi;
 use fsmon_core::{EventFilter, FsMonitor, MonitorConfig};
 use fsmon_events::kind::KindMask;
@@ -47,6 +47,8 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             resolver_threads,
             publish_lanes,
             filter,
+            http,
+            slo,
         } => demo_lustre(
             mds,
             seconds,
@@ -54,6 +56,8 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             resolver_threads,
             publish_lanes,
             filter.as_deref(),
+            http.as_deref(),
+            slo.as_deref(),
             out,
         ),
         Command::Stats {
@@ -151,6 +155,9 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             publish_lanes,
             durability,
             consumers,
+            slo,
+            stall_ms,
+            incident_dir,
         } => chaos(
             &plan,
             seed,
@@ -160,8 +167,13 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             publish_lanes,
             durability,
             consumers,
+            slo.as_deref(),
+            stall_ms,
+            incident_dir.as_deref(),
             out,
         ),
+        Command::Health { addr } => health(&addr, out),
+        Command::Incidents { action } => incidents(&action, out),
     }
 }
 
@@ -559,6 +571,7 @@ fn drain_consumer(monitor: &fsmon_lustre::ScalableMonitor, expected: u64) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn demo_lustre(
     mds: u16,
     seconds: u64,
@@ -566,6 +579,8 @@ fn demo_lustre(
     resolver_threads: usize,
     publish_lanes: usize,
     filter: Option<&str>,
+    http: Option<&str>,
+    slo: Option<&str>,
     out: &mut dyn Write,
 ) -> i32 {
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
@@ -577,6 +592,15 @@ fn demo_lustre(
         "simulated Lustre: {mds} MDS(s), cache {cache}, \
          {resolver_threads} resolver thread(s), {publish_lanes} publish lane(s)"
     );
+    // The health engine rides along whenever an observer endpoint or
+    // an SLO is asked for; sub-second ticks so short demo runs still
+    // produce a few windowed samples.
+    let health_opts = (http.is_some() || slo.is_some()).then(|| fsmon_telemetry::HealthOptions {
+        spec: slo.map(|s| fsmon_telemetry::SloSpec::parse(s).expect("validated at arg parse")),
+        tick: Duration::from_millis(250),
+        http_addr: http.map(str::to_string),
+        ..fsmon_telemetry::HealthOptions::default()
+    });
     let fs = LustreFs::new(LustreConfig::small_dne(mds.max(1)));
     let monitor = match ScalableMonitor::start(
         &fs,
@@ -585,6 +609,7 @@ fn demo_lustre(
             resolver_threads,
             publish_lanes,
             trace_sample_per_10k: 100,
+            health: health_opts,
             ..ScalableConfig::default()
         },
     ) {
@@ -594,6 +619,12 @@ fn demo_lustre(
             return 2;
         }
     };
+    if let Some(addr) = monitor.health_addr() {
+        let _ = writeln!(
+            out,
+            "health    : observing at http://{addr}/health (also /metrics, /dashboard.json)"
+        );
+    }
     // An optional server-side filtered subscriber: the aggregator
     // matches the predicate once per event and this lane only ever
     // sees its subset (healed from the store on any frame loss).
@@ -653,6 +684,9 @@ fn demo_lustre(
             st.healed,
             st.frames_lost
         );
+    }
+    if let Some(h) = monitor.health() {
+        let _ = writeln!(out, "{}", h.report());
     }
     monitor.stop();
     let snap = fsmon_telemetry::global().snapshot();
@@ -895,8 +929,15 @@ fn load_snapshot(path: &str, out: &mut dyn Write) -> Option<fsmon_telemetry::Sna
 /// Per-instrument listing of a delta snapshot: one line per metric
 /// that changed, keyed by its full id (`name{label="v"}`). Counters
 /// and histograms with a zero delta are elided; gauges always show
-/// their current value.
-fn write_delta_listing(delta: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
+/// their current value. With `endpoints` (the before/after snapshots
+/// the delta came from), histogram lines also show how the cumulative
+/// p50/p99 moved between the two snapshots, so a diff covers latency
+/// shifts and not just sample counts.
+fn write_delta_listing(
+    delta: &fsmon_telemetry::Snapshot,
+    endpoints: Option<(&fsmon_telemetry::Snapshot, &fsmon_telemetry::Snapshot)>,
+    out: &mut dyn Write,
+) {
     use fsmon_telemetry::MetricValue;
     let mut shown = 0usize;
     for (id, value) in &delta.metrics {
@@ -912,9 +953,24 @@ fn write_delta_listing(delta: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
                 if h.count() == 0 {
                     continue;
                 }
+                let shift = endpoints
+                    .and_then(|(before, after)| {
+                        let quantiles =
+                            |snap: &fsmon_telemetry::Snapshot| match snap.metrics.get(id) {
+                                Some(MetricValue::Histogram(h)) if h.count() > 0 => {
+                                    Some((h.quantile(0.5), h.quantile(0.99)))
+                                }
+                                _ => None,
+                            };
+                        Some((quantiles(before)?, quantiles(after)?))
+                    })
+                    .map(|((bp50, bp99), (ap50, ap99))| {
+                        format!("; cumulative p50 {bp50} -> {ap50}, p99 {bp99} -> {ap99}")
+                    })
+                    .unwrap_or_default();
                 let _ = writeln!(
                     out,
-                    "{id} +{} samples (p50 {} / p99 {})",
+                    "{id} +{} samples (p50 {} / p99 {}{shift})",
                     h.count(),
                     h.quantile(0.5),
                     h.quantile(0.99),
@@ -947,7 +1003,7 @@ fn stats(
         let delta = after.delta_from(&before);
         if format == StatsFormat::Summary {
             let _ = writeln!(out, "--- delta {before_path} -> {after_path} ---");
-            write_delta_listing(&delta, out);
+            write_delta_listing(&delta, Some((&before, &after)), out);
             return 0;
         }
         delta
@@ -989,6 +1045,209 @@ fn stats(
     0
 }
 
+/// Minimal HTTP/1.1 GET against `addr` (accepting the `:port`
+/// localhost shorthand), returning the status code and body.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    use std::io::Read;
+    let addr = match addr.strip_prefix(':') {
+        Some(port) => format!("127.0.0.1:{port}"),
+        None => addr.to_string(),
+    };
+    let mut stream =
+        std::net::TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// `fsmon health`: one GET against a running observer's `/health`,
+/// pretty-printed. Exit 0 when every clause holds, 1 when alerting,
+/// 2 when the endpoint is unreachable or the response unparseable.
+fn health(addr: &str, out: &mut dyn Write) -> i32 {
+    let (status, body) = match http_get(addr, "/health") {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    // The observer answers 200 when ok and 503 while alerting; both
+    // carry the same report document.
+    if status != 200 && status != 503 {
+        let _ = writeln!(out, "error: /health returned HTTP {status}");
+        return 2;
+    }
+    match fsmon_telemetry::HealthReport::from_json(&body) {
+        Ok(report) => {
+            let _ = writeln!(out, "{report}");
+            if report.ok {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot parse /health response: {e}");
+            2
+        }
+    }
+}
+
+/// Pretty-print one decoded incident bundle: the verdicts at dump
+/// time, the worst-trace exemplar with per-stage stamps, and the
+/// flight-recorder snapshot window condensed to the pipeline's
+/// headline counters.
+fn write_incident(bundle: &fsmon_telemetry::IncidentBundle, out: &mut dyn Write) {
+    let _ = writeln!(out, "reason    : {}", bundle.reason);
+    let _ = writeln!(out, "at        : unix_ms {}", bundle.unix_ms);
+    if !bundle.config.is_empty() {
+        let _ = writeln!(out, "config    : {}", bundle.config);
+    }
+    if let Some(slo) = &bundle.slo {
+        let _ = writeln!(out, "slo       : {slo}");
+    }
+    for v in &bundle.verdicts {
+        let _ = writeln!(
+            out,
+            "verdict   : [{}] {}: value {} {} (burn fast {:.2} slow {:.2})",
+            v.scope,
+            v.clause,
+            v.value.map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+            if v.alerting {
+                "ALERTING"
+            } else if v.breached {
+                "breached"
+            } else {
+                "ok"
+            },
+            v.fast_burn,
+            v.slow_burn,
+        );
+    }
+    if let Some(e) = &bundle.exemplar {
+        let stamps: String = fsmon_telemetry::TraceStage::ALL
+            .iter()
+            .zip(e.stamps.iter())
+            .map(|(stage, ns)| format!("  {} {}", stage.name(), ns))
+            .collect();
+        let _ = writeln!(
+            out,
+            "exemplar  : event {} (mdt {}) end-to-end {} ns",
+            e.event_id, e.mdt, e.total_ns
+        );
+        let _ = writeln!(out, "            stage stamps (ns):{stamps}");
+    }
+    let _ = writeln!(
+        out,
+        "snapshots : {} pre-incident ticks",
+        bundle.snapshots.len()
+    );
+    for (ms, snap) in &bundle.snapshots {
+        let _ = writeln!(
+            out,
+            "  {ms}: collected {}, received {}, stored {}, delivered {}",
+            snap.counter("fsmon_collector_events_total"),
+            snap.counter("fsmon_aggregator_received_total"),
+            snap.counter("fsmon_store_appends_total"),
+            snap.counter("fsmon_consumer_delivered_total"),
+        );
+    }
+}
+
+/// `fsmon incidents`: decode (CRC-verifying) and display flight
+/// recorder bundles.
+fn incidents(action: &IncidentsAction, out: &mut dyn Write) -> i32 {
+    match action {
+        IncidentsAction::Show(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    let _ = writeln!(out, "error: cannot read {path}: {e}");
+                    return 2;
+                }
+            };
+            match fsmon_telemetry::IncidentBundle::decode(&text) {
+                Ok(bundle) => {
+                    write_incident(&bundle, out);
+                    0
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: cannot decode {path}: {e}");
+                    2
+                }
+            }
+        }
+        IncidentsAction::List(dir) => {
+            let entries = match std::fs::read_dir(dir) {
+                Ok(rd) => rd,
+                Err(e) => {
+                    let _ = writeln!(out, "error: cannot list {dir}: {e}");
+                    return 2;
+                }
+            };
+            let mut paths: Vec<std::path::PathBuf> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("incident-") && n.ends_with(".json"))
+                })
+                .collect();
+            paths.sort();
+            for path in &paths {
+                let name = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default();
+                match std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| {
+                        fsmon_telemetry::IncidentBundle::decode(&t).map_err(|e| e.to_string())
+                    }) {
+                    Ok(b) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}  {}  {} verdict(s), {} snapshot(s){}",
+                            b.reason,
+                            b.verdicts.len(),
+                            b.snapshots.len(),
+                            if b.exemplar.is_some() {
+                                ", exemplar"
+                            } else {
+                                ""
+                            }
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "{name}  (corrupt: {e})");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{} bundle(s) in {dir}", paths.len());
+            0
+        }
+    }
+}
+
 /// Per-MDT event rates from a windowed delta snapshot: the
 /// `fsmon_collector_events_total{mdt=...}` counter deltas divided by
 /// the window span.
@@ -1008,6 +1267,23 @@ fn per_mdt_rates(delta: &fsmon_telemetry::Snapshot, span_secs: f64) -> Vec<(Stri
         rates.push((mdt.clone(), *n as f64 / span_secs));
     }
     rates
+}
+
+/// Render recent per-tick values as a fixed-height sparkline, scaled
+/// to the window peak (all-zero history renders as a flat baseline).
+fn sparkline(values: &std::collections::VecDeque<f64>) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let peak = values.iter().cloned().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if peak <= 0.0 {
+                GLYPHS[0]
+            } else {
+                GLYPHS[((v / peak * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
 }
 
 /// Live view of the running pipeline: a workload drives the simulated
@@ -1081,6 +1357,9 @@ fn top(
     // run or a single tick.
     let mut ring: std::collections::VecDeque<(Instant, fsmon_telemetry::Snapshot)> =
         std::collections::VecDeque::from([(Instant::now(), prev.clone())]);
+    // Per-tick collected rates feeding the sparkline dashboard.
+    let mut spark: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+    let mut last_tick_at = Instant::now();
     let mut tick = 0u64;
     while !worker.is_finished() {
         // Pull the live feed so Deliver stamps fold into the trace
@@ -1126,6 +1405,14 @@ fn top(
                 .collect();
             let _ = writeln!(out, "  window {span:>4.1}s:{line}");
         }
+        let tick_span = now.duration_since(last_tick_at).as_secs_f64().max(1e-9);
+        last_tick_at = now;
+        if spark.len() == 32 {
+            spark.pop_front();
+        }
+        spark.push_back(delta.counter("fsmon_collector_events_total") as f64 / tick_span);
+        let peak = spark.iter().cloned().fold(0.0_f64, f64::max);
+        let _ = writeln!(out, "  collected {} peak {peak:.0} ev/s", sparkline(&spark));
         for s in &mut top_subs {
             let _ = s.poll();
         }
@@ -1209,9 +1496,12 @@ fn chaos(
     publish_lanes: usize,
     durability: fsmon_store::Durability,
     consumers: usize,
+    slo: Option<&str>,
+    stall_ms: Option<u64>,
+    incident_dir: Option<&str>,
     out: &mut dyn Write,
 ) -> i32 {
-    use fsmon_faults::FaultPlan;
+    use fsmon_faults::{FaultPlan, FaultPoint, FaultRule};
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
     use fsmon_telemetry::MetricValue;
     use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
@@ -1219,7 +1509,7 @@ fn chaos(
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
-    let Some(plan) = FaultPlan::named(plan_name, seed) else {
+    let Some(mut plan) = FaultPlan::named(plan_name, seed) else {
         let _ = writeln!(
             out,
             "error: unknown fault plan {plan_name:?} (known: {})",
@@ -1227,6 +1517,14 @@ fn chaos(
         );
         return 2;
     };
+    // An explicit stall throttles every collector lane iteration — the
+    // breach injection the health engine's SLO is meant to catch.
+    if let Some(ms) = stall_ms {
+        plan = plan.with(
+            FaultPoint::CollectorStall,
+            FaultRule::percent(100).delay(Duration::from_millis(ms)),
+        );
+    }
     let faults = plan.arm();
     let before = fsmon_telemetry::global().snapshot();
 
@@ -1255,6 +1553,20 @@ fn chaos(
         "chaos: plan {plan_name:?} seed {seed}, {mds} MDS(s), {seconds}s workload, \
          durability {durability}, {consumers} consumer(s)"
     );
+    // With an SLO or an incident directory, the health engine watches
+    // the run: fast ticks so a couple of seconds produce a usable
+    // burn-rate history, and bundles dumped wherever asked.
+    let health_opts =
+        (slo.is_some() || incident_dir.is_some()).then(|| fsmon_telemetry::HealthOptions {
+            spec: slo.map(|s| fsmon_telemetry::SloSpec::parse(s).expect("validated at arg parse")),
+            tick: Duration::from_millis(100),
+            incident_dir: incident_dir.map(std::path::PathBuf::from),
+            config_desc: format!(
+                "chaos plan={plan_name} seed={seed} mds={mds} stall_ms={}",
+                stall_ms.unwrap_or(0)
+            ),
+            ..fsmon_telemetry::HealthOptions::default()
+        });
     let fs = LustreFs::new(LustreConfig::small_dne(mds.max(1)));
     let monitor = match ScalableMonitor::start(
         &fs,
@@ -1270,6 +1582,7 @@ fn chaos(
             faults: faults.clone(),
             resolver_threads,
             publish_lanes,
+            health: health_opts,
             ..ScalableConfig::default()
         },
     ) {
@@ -1445,7 +1758,9 @@ fn chaos(
     }
 
     // Stopping joins the store lane, so the store now holds every
-    // stamped event; the drain threads then heal and finish.
+    // stamped event; the drain threads then heal and finish. The
+    // health verdict is read first — stop() tears the engine down.
+    let health_report = monitor.health().map(|h| h.report());
     monitor.stop();
     stopped.store(true, Ordering::Relaxed);
 
@@ -1615,6 +1930,14 @@ fn chaos(
         filtered_stats.frames_lost,
         if filtered_ok { "PASS" } else { "FAIL" }
     );
+
+    // The SLO verdict rides alongside the delivery verdict: a breach
+    // is evidence (bundles on disk), not a delivery failure, so it
+    // does not flip the exit code.
+    if let Some(report) = health_report {
+        let _ = writeln!(out, "--- health ---");
+        let _ = writeln!(out, "{report}");
+    }
 
     let pass = lost == 0 && duplicated == 0 && index_ok && filtered_ok;
     let _ = writeln!(
@@ -1824,6 +2147,12 @@ mod tests {
         assert!(out.contains("tick "), "{out}");
         // Windowed per-MDT rates ride along with every tick.
         assert!(out.contains("window"), "{out}");
+        // The sparkline dashboard line: glyphs scaled to the peak rate.
+        assert!(out.contains("peak"), "{out}");
+        assert!(
+            out.chars().any(|c| "▁▂▃▄▅▆▇█".contains(c)),
+            "no sparkline glyphs: {out}"
+        );
         assert!(out.contains("mdt0"), "{out}");
         assert!(out.contains("mdt1"), "{out}");
         assert!(out.contains("--- fleet (2 sources"), "{out}");
@@ -1931,6 +2260,93 @@ mod tests {
         let (code, out) = run_str(&["chaos", "--plan", "nope"]);
         assert_eq!(code, 2);
         assert!(out.contains("none, basic, storm"), "{out}");
+    }
+
+    #[test]
+    fn health_queries_a_live_observer() {
+        use std::sync::Arc;
+        let registry = fsmon_telemetry::Registry::new();
+        let local: fsmon_telemetry::health::SnapshotFn = {
+            let registry = registry.clone();
+            Arc::new(move || registry.snapshot())
+        };
+        let monitor = fsmon_telemetry::HealthMonitor::spawn(
+            local,
+            None,
+            fsmon_telemetry::HealthOptions {
+                tick: Duration::from_millis(20),
+                http_addr: Some(":0".into()),
+                ..fsmon_telemetry::HealthOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = monitor.http_addr().unwrap().to_string();
+        // Give the engine a tick so the report turns ready.
+        std::thread::sleep(Duration::from_millis(120));
+        let (code, out) = run_str(&["health", &addr]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("health: OK"), "{out}");
+        monitor.stop();
+    }
+
+    #[test]
+    fn health_unreachable_endpoint_errors() {
+        let (code, out) = run_str(&["health", "127.0.0.1:1"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn incidents_show_and_list_round_trip() {
+        let dir = std::env::temp_dir().join(format!("fsmon-cli-incidents-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        fsmon_telemetry::root()
+            .scope("cliincident")
+            .counter("events_total")
+            .add(3);
+        let snap = fsmon_telemetry::global().snapshot();
+        let bundle = fsmon_telemetry::IncidentBundle {
+            reason: "slo:e2e_p99<50000000".into(),
+            unix_ms: 1700000000000,
+            config: "mds=2 cache=100".into(),
+            slo: Some("e2e_p99<50000000;budget=0.05;fast=30s;slow=300s".into()),
+            verdicts: vec![],
+            exemplar: None,
+            snapshots: vec![(1699999999000, snap)],
+        };
+        let path = dir.join("incident-1700000000000-1-slo-e2e.json");
+        std::fs::write(&path, bundle.encode()).unwrap();
+
+        let (code, out) = run_str(&["incidents", "show", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("reason    : slo:e2e_p99<50000000"), "{out}");
+        assert!(out.contains("config    : mds=2 cache=100"), "{out}");
+        assert!(out.contains("snapshots : 1 pre-incident ticks"), "{out}");
+
+        // A truncated bundle fails the CRC check instead of printing
+        // partial evidence.
+        let torn = dir.join("incident-1700000000001-2-torn.json");
+        let text = bundle.encode();
+        let mut cut = text.len() / 2;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        std::fs::write(&torn, &text[..cut]).unwrap();
+        let (code, out) = run_str(&["incidents", "show", torn.to_str().unwrap()]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("error"), "{out}");
+
+        let (code, out) = run_str(&["incidents", "list", dir.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("incident-1700000000000-1-slo-e2e.json"),
+            "{out}"
+        );
+        assert!(out.contains("corrupt"), "{out}");
+        assert!(out.contains("2 bundle(s)"), "{out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -81,10 +81,14 @@ pub enum FaultPoint {
     HistoryRequest = 11,
     /// A Spectrum Scale audit-log poll fails transiently.
     SpectrumScan = 12,
+    /// A collector lane stalls for the rule's delay at a loop
+    /// boundary — the lane stays alive but stops draining, growing
+    /// ingest lag (the breach-injection point for SLO tests).
+    CollectorStall = 13,
 }
 
 /// Number of distinct fault points.
-const POINTS: usize = 13;
+const POINTS: usize = 14;
 
 impl FaultPoint {
     /// Every fault point, in declaration order.
@@ -102,6 +106,7 @@ impl FaultPoint {
         FaultPoint::AggregatorStoreCrash,
         FaultPoint::HistoryRequest,
         FaultPoint::SpectrumScan,
+        FaultPoint::CollectorStall,
     ];
 
     /// Stable label used for seeding and telemetry.
@@ -120,6 +125,7 @@ impl FaultPoint {
             FaultPoint::AggregatorStoreCrash => "aggregator_store_crash",
             FaultPoint::HistoryRequest => "history_request",
             FaultPoint::SpectrumScan => "spectrum_scan",
+            FaultPoint::CollectorStall => "collector_stall",
         }
     }
 }
@@ -349,7 +355,9 @@ impl FaultPlane {
         site.counter.inc();
         self.injected_total.fetch_add(1, Ordering::Relaxed);
         Some(match point {
-            FaultPoint::Fid2PathDelay => FaultAction::Delay(site.rule.delay),
+            FaultPoint::Fid2PathDelay | FaultPoint::CollectorStall => {
+                FaultAction::Delay(site.rule.delay)
+            }
             FaultPoint::CollectorCrash
             | FaultPoint::AggregatorPublishCrash
             | FaultPoint::AggregatorStoreCrash => FaultAction::Crash,

@@ -113,6 +113,13 @@ pub struct ScalableConfig {
     /// Benches that need real queue-delay latencies supply a wall
     /// clock here.
     pub trace_clock: Option<fsmon_telemetry::ClockFn>,
+    /// Self-observability: when set, the monitor runs a
+    /// [`fsmon_telemetry::HealthMonitor`] evaluating the configured
+    /// SLO over windowed snapshot series (local and fleet-merged
+    /// scopes), serving the HTTP observer endpoint, and dumping
+    /// incident bundles on SLO breach or supervisor-observed lane
+    /// restarts.
+    pub health: Option<fsmon_telemetry::HealthOptions>,
 }
 
 impl Default for ScalableConfig {
@@ -136,6 +143,7 @@ impl Default for ScalableConfig {
             trace_sample_per_10k: 0,
             trace_tail_threshold_ns: 0,
             trace_clock: None,
+            health: None,
         }
     }
 }
@@ -170,6 +178,7 @@ pub struct ScalableMonitor {
     history: crate::history::HistoryService,
     collector_restarts: Arc<AtomicU64>,
     tracer: fsmon_telemetry::Tracer,
+    health: Option<Arc<fsmon_telemetry::HealthMonitor>>,
 }
 
 /// Everything one collector lane thread needs; bundled so the
@@ -200,6 +209,10 @@ fn spawn_collector_lane(threads: &Mutex<Vec<std::thread::JoinHandle<()>>>, lane:
         .name(format!("collector-mdt{}", lane.mdt))
         .spawn(move || {
             while !lane.stop.load(Ordering::Relaxed) {
+                // Breach-injection point: a stall keeps the lane alive
+                // but stops it draining, growing ingest lag until the
+                // health engine's SLO fires.
+                lane.faults.inject_or_delay(FaultPoint::CollectorStall);
                 let t0 = std::time::Instant::now();
                 let (produced, cursor) = {
                     let mut c = lane.collector.lock();
@@ -432,6 +445,36 @@ impl ScalableMonitor {
         }
         let collector_restarts = Arc::new(AtomicU64::new(0));
 
+        // Self-observability: the health engine ticks over the global
+        // registry (local scope) and the aggregator's fleet-merged view
+        // (fleet scope). Started before the supervisor so lane-restart
+        // crashes can be reported to it.
+        let health = match &config.health {
+            Some(opts) => {
+                let mut opts = opts.clone();
+                if opts.config_desc.is_empty() {
+                    opts.config_desc = format!(
+                        "mdts={} cache={} batch={} resolver_threads={} publish_lanes={} trace_per_10k={}",
+                        fs.mdt_count(),
+                        config.cache_size,
+                        config.batch_size,
+                        config.resolver_threads,
+                        config.publish_lanes,
+                        config.trace_sample_per_10k,
+                    );
+                }
+                let local: fsmon_telemetry::health::SnapshotFn =
+                    Arc::new(|| fsmon_telemetry::global().snapshot());
+                let fleet_agg = aggregator.clone();
+                let fleet: fsmon_telemetry::health::SnapshotFn =
+                    Arc::new(move || fleet_agg.fleet_snapshot());
+                let monitor = fsmon_telemetry::HealthMonitor::spawn(local, Some(fleet), opts)
+                    .map_err(|e| fsmon_mq::MqError::BindFailed(format!("health http: {e}")))?;
+                Some(Arc::new(monitor))
+            }
+            None => None,
+        };
+
         // The supervisor: polls lane liveness and restarts whatever
         // died. A restarted collector resumes from the durable cursor
         // (or the surviving in-memory one) on a fresh endpoint, with a
@@ -451,6 +494,7 @@ impl ScalableMonitor {
             let restarts = collector_restarts.clone();
             let config = config.clone();
             let tracer = tracer.clone();
+            let health_sup = health.clone();
             let handle = std::thread::Builder::new()
                 .name("fsmon-supervisor".into())
                 .spawn(move || {
@@ -510,6 +554,9 @@ impl ScalableMonitor {
                                 .with_label("lane", format!("mdt{i}"))
                                 .counter("restarts_total")
                                 .inc();
+                            if let Some(h) = &health_sup {
+                                h.note_crash(&format!("collector-mdt{i}-restart"));
+                            }
                             spawn_collector_lane(
                                 &threads_sup,
                                 CollectorLane {
@@ -543,6 +590,7 @@ impl ScalableMonitor {
             history,
             collector_restarts,
             tracer,
+            health,
         })
     }
 
@@ -748,8 +796,23 @@ impl ScalableMonitor {
         false
     }
 
-    /// Stop collector threads, the supervisor, and the aggregator.
-    pub fn stop(self) {
+    /// The running health engine, when
+    /// [`ScalableConfig::health`] was set: SLO verdicts
+    /// ([`report`](fsmon_telemetry::HealthMonitor::report)), the bound
+    /// HTTP observer address, and the windowed series.
+    pub fn health(&self) -> Option<&Arc<fsmon_telemetry::HealthMonitor>> {
+        self.health.as_ref()
+    }
+
+    /// Address the HTTP observer bound, when health is on and an
+    /// address was configured (useful with `:0`).
+    pub fn health_addr(&self) -> Option<std::net::SocketAddr> {
+        self.health.as_ref().and_then(|h| h.http_addr())
+    }
+
+    /// Stop collector threads, the supervisor, the aggregator, and the
+    /// health engine.
+    pub fn stop(mut self) {
         self.stop.store(true, Ordering::Relaxed);
         // The supervisor may still be pushing restarted lanes while we
         // drain; loop until the vec stays empty (the supervisor itself
@@ -765,6 +828,10 @@ impl ScalableMonitor {
             }
         }
         self.aggregator.stop();
+        // The supervisor's clone is gone (joined above), so this is
+        // the last handle: dropping it runs the final evaluation tick
+        // and joins the health threads.
+        drop(self.health.take());
     }
 }
 

@@ -67,7 +67,7 @@ fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> St
         .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
         .collect();
     if let Some((k, v)) = extra {
-        parts.push(format!("{k}=\"{v}\""));
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
     }
     format!("{{{}}}", parts.join(","))
 }
@@ -226,9 +226,15 @@ pub fn parse_prometheus(text: &str) -> Result<Snapshot, ExportError> {
             let mut labels = labels;
             match suffix {
                 "_bucket" => {
+                    // The synthetic bound is always the *last* `le`
+                    // label on the line: `render_labels` appends it
+                    // after the instrument's own labels, so a metric
+                    // that carries a user label literally named `le`
+                    // (path-derived labels can be anything) still
+                    // round-trips instead of being misread as a bound.
                     let le_pos = labels
                         .iter()
-                        .position(|(k, _)| k == "le")
+                        .rposition(|(k, _)| k == "le")
                         .ok_or_else(|| err(format!("bucket without le: {line}")))?;
                     let (_, le) = labels.remove(le_pos);
                     labels.sort();
@@ -306,7 +312,7 @@ pub fn parse_prometheus(text: &str) -> Result<Snapshot, ExportError> {
 // JSON
 // ---------------------------------------------------------------------
 
-fn escape_json(v: &str) -> String {
+pub(crate) fn escape_json(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for c in v.chars() {
         match c {
@@ -364,9 +370,10 @@ pub fn render_json(snapshot: &Snapshot) -> String {
     format!("{{\n  \"metrics\": [\n{}\n  ]\n}}\n", entries.join(",\n"))
 }
 
-/// A minimal JSON value, enough to parse [`render_json`] output.
+/// A minimal JSON value, enough to parse [`render_json`] output (and,
+/// crate-internally, the health subsystem's incident bundles).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     /// Kept as the source text so 64-bit integers survive exactly
@@ -377,13 +384,13 @@ enum Json {
     Obj(Vec<(String, Json)>),
 }
 
-struct JsonParser<'a> {
+pub(crate) struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> JsonParser<'a> {
-    fn new(text: &'a str) -> JsonParser<'a> {
+    pub(crate) fn new(text: &'a str) -> JsonParser<'a> {
         JsonParser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -420,7 +427,7 @@ impl<'a> JsonParser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, ExportError> {
+    pub(crate) fn value(&mut self) -> Result<Json, ExportError> {
         match self.peek()? {
             b'{' => self.object(),
             b'[' => self.array(),
@@ -557,14 +564,14 @@ impl<'a> JsonParser<'a> {
     }
 }
 
-fn field<'j>(obj: &'j [(String, Json)], name: &str) -> Result<&'j Json, ExportError> {
+pub(crate) fn field<'j>(obj: &'j [(String, Json)], name: &str) -> Result<&'j Json, ExportError> {
     obj.iter()
         .find(|(k, _)| k == name)
         .map(|(_, v)| v)
         .ok_or_else(|| err(format!("missing field {name}")))
 }
 
-fn as_u64(j: &Json) -> Result<u64, ExportError> {
+pub(crate) fn as_u64(j: &Json) -> Result<u64, ExportError> {
     match j {
         Json::Num(n) => n
             .parse()
@@ -577,10 +584,17 @@ fn as_u64(j: &Json) -> Result<u64, ExportError> {
 pub fn parse_json(text: &str) -> Result<Snapshot, ExportError> {
     let mut parser = JsonParser::new(text);
     let root = parser.value()?;
+    snapshot_from_json(&root)
+}
+
+/// Rebuild a snapshot from an already-parsed [`render_json`] document
+/// (used by the health subsystem to decode snapshots embedded inside
+/// incident bundles).
+pub(crate) fn snapshot_from_json(root: &Json) -> Result<Snapshot, ExportError> {
     let Json::Obj(root) = root else {
         return Err(err("root is not an object"));
     };
-    let Json::Arr(metrics) = field(&root, "metrics")? else {
+    let Json::Arr(metrics) = field(root, "metrics")? else {
         return Err(err("metrics is not an array"));
     };
     let mut snap = Snapshot::default();
@@ -695,6 +709,68 @@ mod tests {
             .inc();
         let snap = r.snapshot();
         let parsed = parse_json(&render_json(&snap)).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    /// Path-derived label values can contain anything: trailing
+    /// backslashes, embedded quotes, newlines, carriage returns,
+    /// braces, commas, equals signs, even the string `le`. Every one
+    /// of them must survive a render→parse round trip through both
+    /// exporters.
+    #[test]
+    fn adversarial_label_values_round_trip() {
+        let nasty = [
+            "/a \"b\"\\c\nd",
+            "back\\",
+            "end\\\\",
+            "\\n",
+            "a\\nb",
+            "q\\\"",
+            "\r",
+            "a\rb",
+            "tail\r",
+            "sp ace",
+            "a,b",
+            "a=b",
+            "a{b}c",
+            "}",
+            "{",
+            "le",
+            "a\"",
+            "\"",
+            "\\",
+            "mixed \\\" \n \r , = {} end\\",
+        ];
+        for v in nasty {
+            let mut snap = Snapshot::default();
+            snap.metrics.insert(
+                MetricId::new("m_total", vec![("path".into(), v.to_string())]),
+                MetricValue::Counter(7),
+            );
+            let prom = render_prometheus(&snap);
+            assert_eq!(
+                parse_prometheus(&prom).unwrap(),
+                snap,
+                "prometheus round trip for {v:?}: {prom:?}"
+            );
+            let json = render_json(&snap);
+            assert_eq!(
+                parse_json(&json).unwrap(),
+                snap,
+                "json round trip for {v:?}: {json:?}"
+            );
+        }
+    }
+
+    /// A histogram carrying a user label literally named `le` must not
+    /// have it confused with the synthetic bucket-bound label.
+    #[test]
+    fn histogram_with_user_le_label_round_trips() {
+        let r = Registry::new();
+        let h = r.scope("t").with_label("le", "weird\\value").histogram("h");
+        h.record(3);
+        let snap = r.snapshot();
+        let parsed = parse_prometheus(&render_prometheus(&snap)).unwrap();
         assert_eq!(parsed, snap);
     }
 

@@ -43,14 +43,20 @@
 //! ```
 
 pub mod export;
+pub mod health;
 pub mod metrics;
 pub mod registry;
 pub mod reporter;
+pub mod series;
 pub mod snapshot;
 pub mod trace;
 
+pub use health::{
+    HealthMonitor, HealthOptions, HealthReport, IncidentBundle, SloClause, SloSpec, SloSpecError,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer};
 pub use registry::{global, root, MetricId, Registry, Scope};
 pub use reporter::Reporter;
+pub use series::SeriesStore;
 pub use snapshot::{MetricValue, Snapshot};
 pub use trace::{ClockFn, TraceRecord, TraceStage, Tracer, TRACE_RECORD_BYTES, TRACE_STAGES};

@@ -1,0 +1,478 @@
+//! Windowed time-series over per-tick snapshot deltas.
+//!
+//! A [`SeriesStore`] turns the stream of `(snapshot, delta)` pairs a
+//! [`Reporter`](crate::Reporter)-style tick loop produces into bounded
+//! history: one fixed-capacity ring per registered instrument, keyed
+//! by full [`MetricId`] (so per-MDT / per-stage label sets stay
+//! distinguishable), plus a parallel ring of tick metadata (wall-clock
+//! stamp and covered span). From that it answers the questions a
+//! dashboard or SLO evaluator asks — rate over the last N seconds,
+//! p50/p99 over a window, per-tick points for sparklines — without
+//! ever re-walking raw counters.
+//!
+//! Memory is bounded and the push path does not allocate in steady
+//! state: rings are materialized at full capacity the first time a
+//! metric is seen, and histogram slots are overwritten in place
+//! (bucket vectors are reused, not reallocated). Only a metric
+//! appearing for the first time allocates.
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::MetricId;
+use crate::snapshot::{MetricValue, Snapshot};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Metadata for one recorded tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickMeta {
+    /// Wall-clock stamp of the tick, milliseconds since the epoch.
+    pub unix_ms: u64,
+    /// Time covered by this tick's delta, in nanoseconds.
+    pub span_ns: u64,
+}
+
+/// One instrument's fixed-capacity history ring.
+enum Ring {
+    /// Per-tick counter increments.
+    Counter(Vec<u64>),
+    /// Gauge value as of each tick.
+    Gauge(Vec<i64>),
+    /// Per-tick histogram deltas, slots overwritten in place.
+    Histogram(Vec<HistogramSnapshot>),
+}
+
+/// Fixed-capacity windowed history of every metric that has crossed a
+/// tick loop, with rate and quantile queries over trailing windows.
+pub struct SeriesStore {
+    capacity: usize,
+    len: usize,
+    /// Slot the next push writes to.
+    head: usize,
+    ticks: Vec<TickMeta>,
+    rings: BTreeMap<MetricId, Ring>,
+}
+
+impl SeriesStore {
+    /// A store remembering the last `capacity` ticks (at least 1).
+    pub fn new(capacity: usize) -> SeriesStore {
+        let capacity = capacity.max(1);
+        SeriesStore {
+            capacity,
+            len: 0,
+            head: 0,
+            ticks: vec![TickMeta::default(); capacity],
+            rings: BTreeMap::new(),
+        }
+    }
+
+    /// Number of ticks currently held (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no tick has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ring capacity in ticks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Map a logical index (0 = oldest held tick) to a ring slot.
+    fn slot(&self, logical: usize) -> usize {
+        (self.head + self.capacity - self.len + logical) % self.capacity
+    }
+
+    /// Record one tick: the full `snapshot` and the `delta` since the
+    /// previous tick, covering `span` and stamped `unix_ms`.
+    pub fn push(&mut self, unix_ms: u64, span: Duration, snapshot: &Snapshot, delta: &Snapshot) {
+        let head = self.head;
+        let capacity = self.capacity;
+        // New metrics materialize a full-capacity ring once; existing
+        // slots are overwritten in place.
+        for (id, value) in &delta.metrics {
+            let ring = self.rings.entry(id.clone()).or_insert_with(|| match value {
+                MetricValue::Counter(_) => Ring::Counter(vec![0; capacity]),
+                MetricValue::Gauge(_) => Ring::Gauge(vec![0; capacity]),
+                MetricValue::Histogram(_) => {
+                    Ring::Histogram(vec![HistogramSnapshot::empty(); capacity])
+                }
+            });
+            match (ring, value) {
+                (Ring::Counter(r), MetricValue::Counter(n)) => r[head] = *n,
+                (Ring::Gauge(r), MetricValue::Gauge(g)) => {
+                    // Gauges track the *current* value, not a delta
+                    // (delta_from already passes gauges through, but
+                    // prefer the snapshot when it has the id).
+                    r[head] = match snapshot.metrics.get(id) {
+                        Some(MetricValue::Gauge(current)) => *current,
+                        _ => *g,
+                    };
+                }
+                (Ring::Histogram(r), MetricValue::Histogram(h)) => {
+                    let slot = &mut r[head];
+                    slot.buckets.clear();
+                    slot.buckets.extend_from_slice(&h.buckets);
+                    slot.sum = h.sum;
+                }
+                // A metric re-registered under another type: drop the
+                // sample rather than corrupt the ring.
+                _ => {}
+            }
+        }
+        // Metrics absent from this delta (a registry normally never
+        // forgets, but stay defensive) decay to zero.
+        for (id, ring) in &mut self.rings {
+            if delta.metrics.contains_key(id) {
+                continue;
+            }
+            match ring {
+                Ring::Counter(r) => r[head] = 0,
+                Ring::Gauge(r) => r[head] = 0,
+                Ring::Histogram(r) => {
+                    r[head].buckets.clear();
+                    r[head].sum = 0;
+                }
+            }
+        }
+        self.ticks[head] = TickMeta {
+            unix_ms,
+            span_ns: span.as_nanos().min(u64::MAX as u128) as u64,
+        };
+        self.head = (head + 1) % capacity;
+        self.len = (self.len + 1).min(capacity);
+    }
+
+    /// How many of the newest ticks are needed to cover `window`
+    /// (at least one when any tick is held, capped at the held count).
+    pub fn window_ticks(&self, window: Duration) -> usize {
+        let want = window.as_nanos();
+        let mut covered: u128 = 0;
+        let mut n = 0;
+        while n < self.len {
+            covered += self.ticks[self.slot(self.len - 1 - n)].span_ns as u128;
+            n += 1;
+            if covered >= want {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Wall-clock span actually covered by the newest `ticks` ticks.
+    pub fn span_of(&self, ticks: usize) -> Duration {
+        let ticks = ticks.min(self.len);
+        let ns: u128 = (0..ticks)
+            .map(|i| self.ticks[self.slot(self.len - 1 - i)].span_ns as u128)
+            .sum();
+        Duration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Sum of per-tick counter increments for `name` (across all label
+    /// sets) over the newest ticks covering `window`. `None` if no
+    /// counter by that name has been seen.
+    pub fn counter_delta(&self, name: &str, window: Duration) -> Option<u64> {
+        let ticks = self.window_ticks(window);
+        let mut seen = false;
+        let mut total = 0u64;
+        for (id, ring) in &self.rings {
+            let Ring::Counter(r) = ring else { continue };
+            if id.name != name {
+                continue;
+            }
+            seen = true;
+            for i in 0..ticks {
+                total = total.saturating_add(r[self.slot(self.len - 1 - i)]);
+            }
+        }
+        seen.then_some(total)
+    }
+
+    /// Rate per second of counter `name` over the trailing `window`.
+    pub fn rate(&self, name: &str, window: Duration) -> Option<f64> {
+        let delta = self.counter_delta(name, window)?;
+        let span = self.span_of(self.window_ticks(window)).as_secs_f64();
+        (span > 0.0).then(|| delta as f64 / span)
+    }
+
+    /// Rates per second of counter `name` over `window`, grouped by
+    /// the value of label `key` (e.g. per-`mdt` rows for a dashboard).
+    pub fn rates_by(&self, name: &str, key: &str, window: Duration) -> Vec<(String, f64)> {
+        let ticks = self.window_ticks(window);
+        let span = self.span_of(ticks).as_secs_f64();
+        let mut grouped: BTreeMap<String, u64> = BTreeMap::new();
+        for (id, ring) in &self.rings {
+            let Ring::Counter(r) = ring else { continue };
+            if id.name != name {
+                continue;
+            }
+            let Some((_, label)) = id.labels.iter().find(|(k, _)| k == key) else {
+                continue;
+            };
+            let sum: u64 = (0..ticks).map(|i| r[self.slot(self.len - 1 - i)]).sum();
+            *grouped.entry(label.clone()).or_default() += sum;
+        }
+        grouped
+            .into_iter()
+            .map(|(label, delta)| {
+                let rate = if span > 0.0 { delta as f64 / span } else { 0.0 };
+                (label, rate)
+            })
+            .collect()
+    }
+
+    /// Latest value of gauge `name` (first label set seen, matching
+    /// [`Snapshot::gauge`] semantics).
+    pub fn gauge_last(&self, name: &str) -> Option<i64> {
+        if self.len == 0 {
+            return None;
+        }
+        let newest = self.slot(self.len - 1);
+        self.rings.iter().find_map(|(id, ring)| match ring {
+            Ring::Gauge(r) if id.name == name => Some(r[newest]),
+            _ => None,
+        })
+    }
+
+    /// Histogram deltas for `name` (all label sets) merged over the
+    /// newest ticks covering `window`. `None` if no histogram by that
+    /// name has been seen.
+    pub fn merged_histogram(&self, name: &str, window: Duration) -> Option<HistogramSnapshot> {
+        let ticks = self.window_ticks(window);
+        let mut merged: Option<HistogramSnapshot> = None;
+        for (id, ring) in &self.rings {
+            let Ring::Histogram(r) = ring else { continue };
+            if id.name != name {
+                continue;
+            }
+            let acc = merged.get_or_insert_with(HistogramSnapshot::empty);
+            for i in 0..ticks {
+                acc.merge(&r[self.slot(self.len - 1 - i)]);
+            }
+        }
+        merged
+    }
+
+    /// Quantile (`0.0ᐧᐧ1.0`) of histogram `name` over the trailing
+    /// `window`; `None` when the histogram is unknown or the window
+    /// recorded no samples.
+    pub fn quantile(&self, name: &str, q: f64, window: Duration) -> Option<u64> {
+        let merged = self.merged_histogram(name, window)?;
+        (merged.count() > 0).then(|| merged.quantile(q))
+    }
+
+    /// Per-tick rate points (oldest first) for counter `name`: up to
+    /// `max_points` of `(unix_ms, rate_per_sec)` — sparkline feed.
+    pub fn rate_points(&self, name: &str, max_points: usize) -> Vec<(u64, f64)> {
+        let ticks = self.len.min(max_points);
+        let mut points = Vec::with_capacity(ticks);
+        for i in (0..ticks).rev() {
+            let slot = self.slot(self.len - 1 - i);
+            let meta = self.ticks[slot];
+            let mut delta = 0u64;
+            let mut seen = false;
+            for (id, ring) in &self.rings {
+                if let Ring::Counter(r) = ring {
+                    if id.name == name {
+                        seen = true;
+                        delta = delta.saturating_add(r[slot]);
+                    }
+                }
+            }
+            if !seen {
+                continue;
+            }
+            let span = meta.span_ns as f64 / 1e9;
+            let rate = if span > 0.0 { delta as f64 / span } else { 0.0 };
+            points.push((meta.unix_ms, rate));
+        }
+        points
+    }
+
+    /// Per-tick quantile points (oldest first) for histogram `name`.
+    pub fn quantile_points(&self, name: &str, q: f64, max_points: usize) -> Vec<(u64, u64)> {
+        let ticks = self.len.min(max_points);
+        let mut points = Vec::with_capacity(ticks);
+        let mut scratch = HistogramSnapshot::empty();
+        for i in (0..ticks).rev() {
+            let slot = self.slot(self.len - 1 - i);
+            let meta = self.ticks[slot];
+            scratch.buckets.clear();
+            scratch.sum = 0;
+            let mut seen = false;
+            for (id, ring) in &self.rings {
+                if let Ring::Histogram(r) = ring {
+                    if id.name == name {
+                        seen = true;
+                        scratch.merge(&r[slot]);
+                    }
+                }
+            }
+            if seen {
+                points.push((meta.unix_ms, scratch.quantile(q)));
+            }
+        }
+        points
+    }
+
+    /// Distinct counter names held, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        self.names(|r| matches!(r, Ring::Counter(_)))
+    }
+
+    /// Distinct gauge names held, sorted.
+    pub fn gauge_names(&self) -> Vec<String> {
+        self.names(|r| matches!(r, Ring::Gauge(_)))
+    }
+
+    /// Distinct histogram names held, sorted.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.names(|r| matches!(r, Ring::Histogram(_)))
+    }
+
+    fn names(&self, keep: impl Fn(&Ring) -> bool) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .rings
+            .iter()
+            .filter(|(_, r)| keep(r))
+            .map(|(id, _)| id.name.clone())
+            .collect();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    /// Drive a store the way a tick loop would: snapshot, diff, push.
+    fn tick(store: &mut SeriesStore, registry: &Registry, prev: &mut Snapshot, ms: u64) {
+        let snap = registry.snapshot();
+        let delta = snap.delta_from(prev);
+        store.push(ms, Duration::from_secs(1), &snap, &delta);
+        *prev = snap;
+    }
+
+    #[test]
+    fn windowed_rate_sums_recent_deltas() {
+        let r = Registry::new();
+        let c = r.scope("t").counter("ops_total");
+        let mut store = SeriesStore::new(8);
+        let mut prev = Snapshot::default();
+        for i in 0..5u64 {
+            c.add(10 * (i + 1));
+            tick(&mut store, &r, &mut prev, 1000 * i);
+        }
+        // Last 2 ticks saw 40 + 50 increments over 2 simulated seconds.
+        assert_eq!(
+            store.counter_delta("t_ops_total", Duration::from_secs(2)),
+            Some(90)
+        );
+        let rate = store.rate("t_ops_total", Duration::from_secs(2)).unwrap();
+        assert!((rate - 45.0).abs() < 1e-9, "rate {rate}");
+        assert_eq!(store.rate("absent_total", Duration::from_secs(2)), None);
+    }
+
+    #[test]
+    fn ring_wraps_and_forgets_old_ticks() {
+        let r = Registry::new();
+        let c = r.scope("t").counter("ops_total");
+        let mut store = SeriesStore::new(3);
+        let mut prev = Snapshot::default();
+        for i in 0..10u64 {
+            c.add(1);
+            tick(&mut store, &r, &mut prev, i);
+        }
+        assert_eq!(store.len(), 3);
+        // A huge window only ever covers the retained 3 ticks.
+        assert_eq!(
+            store.counter_delta("t_ops_total", Duration::from_secs(3600)),
+            Some(3)
+        );
+        assert_eq!(store.span_of(usize::MAX), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn windowed_quantile_merges_label_sets() {
+        let r = Registry::new();
+        let fast = r.scope("t").with_label("mdt", "0").histogram("lat_ns");
+        let slow = r.scope("t").with_label("mdt", "1").histogram("lat_ns");
+        let mut store = SeriesStore::new(8);
+        let mut prev = Snapshot::default();
+        for _ in 0..90 {
+            fast.record(100);
+        }
+        for _ in 0..10 {
+            slow.record(100_000);
+        }
+        tick(&mut store, &r, &mut prev, 0);
+        let p50 = store
+            .quantile("t_lat_ns", 0.5, Duration::from_secs(60))
+            .unwrap();
+        let p99 = store
+            .quantile("t_lat_ns", 0.99, Duration::from_secs(60))
+            .unwrap();
+        assert!(p50 <= 255, "p50 {p50}");
+        assert!(p99 >= 100_000, "p99 {p99}");
+        // Old samples age out of the window: push quiet ticks until
+        // the window is all-quiet.
+        for i in 1..9u64 {
+            tick(&mut store, &r, &mut prev, 1000 * i);
+        }
+        assert_eq!(
+            store.quantile("t_lat_ns", 0.99, Duration::from_secs(2)),
+            None
+        );
+    }
+
+    #[test]
+    fn gauges_track_current_value() {
+        let r = Registry::new();
+        let g = r.scope("t").gauge("depth");
+        let mut store = SeriesStore::new(4);
+        let mut prev = Snapshot::default();
+        g.set(5);
+        tick(&mut store, &r, &mut prev, 0);
+        g.set(2);
+        tick(&mut store, &r, &mut prev, 1000);
+        assert_eq!(store.gauge_last("t_depth"), Some(2));
+    }
+
+    #[test]
+    fn per_label_rates_split_by_mdt() {
+        let r = Registry::new();
+        let m0 = r.scope("t").with_label("mdt", "0").counter("ev_total");
+        let m1 = r.scope("t").with_label("mdt", "1").counter("ev_total");
+        let mut store = SeriesStore::new(4);
+        let mut prev = Snapshot::default();
+        m0.add(30);
+        m1.add(10);
+        tick(&mut store, &r, &mut prev, 0);
+        let rows = store.rates_by("t_ev_total", "mdt", Duration::from_secs(10));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "0");
+        assert!((rows[0].1 - 30.0).abs() < 1e-9);
+        assert!((rows[1].1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_points_feed_sparklines_oldest_first() {
+        let r = Registry::new();
+        let c = r.scope("t").counter("ops_total");
+        let mut store = SeriesStore::new(8);
+        let mut prev = Snapshot::default();
+        for i in 0..4u64 {
+            c.add(i + 1);
+            tick(&mut store, &r, &mut prev, i);
+        }
+        let points = store.rate_points("t_ops_total", 3);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].0, 1);
+        let rates: Vec<u64> = points.iter().map(|(_, r)| *r as u64).collect();
+        assert_eq!(rates, vec![2, 3, 4]);
+    }
+}

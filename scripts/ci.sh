@@ -72,6 +72,44 @@ else
     echo "    (no committed BENCH_fanout.json; skipping)"
 fi
 
+echo "==> health observer smoke (/metrics + /health over a live demo)"
+# A short demo run with the HTTP observer on: /health must answer with
+# a parseable report that says OK (exit 0 from `fsmon health`), and
+# /metrics must return 200 with a body our own Prometheus parser
+# accepts (`fsmon stats --from` exits nonzero on unparseable input).
+# Plain bash /dev/tcp keeps the fetch dependency-free.
+HEALTH_PORT=19790
+target/release/fsmon demo-lustre --mds 2 --seconds 6 \
+    --http "127.0.0.1:${HEALTH_PORT}" --slo 'loss=0' >/dev/null 2>&1 &
+DEMO_PID=$!
+health_ok=1
+for _ in $(seq 1 40); do
+    if target/release/fsmon health "127.0.0.1:${HEALTH_PORT}" >/dev/null 2>&1; then
+        health_ok=0
+        break
+    fi
+    sleep 0.25
+done
+if [ "$health_ok" -ne 0 ]; then
+    echo "FAIL: /health never answered OK on port ${HEALTH_PORT}"
+    kill "$DEMO_PID" 2>/dev/null || true
+    exit 1
+fi
+exec 3<>"/dev/tcp/127.0.0.1/${HEALTH_PORT}"
+printf 'GET /metrics HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' >&3
+metrics_response="$(cat <&3)"
+exec 3<&- 3>&-
+if ! printf '%s' "$metrics_response" | head -1 | grep -q " 200 "; then
+    echo "FAIL: /metrics did not return 200"
+    kill "$DEMO_PID" 2>/dev/null || true
+    exit 1
+fi
+printf '%s' "$metrics_response" | sed '1,/^\r*$/d' > target/metrics.smoke.prom
+test -s target/metrics.smoke.prom
+target/release/fsmon stats --from target/metrics.smoke.prom >/dev/null
+wait "$DEMO_PID"
+echo "    /metrics parsed, /health OK"
+
 echo "==> index catch-up/consistency smoke"
 # The live pipeline folded through the index must equal a linear
 # replay fold and resume from its snapshot cursor; the chaos harness
