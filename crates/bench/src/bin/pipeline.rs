@@ -11,13 +11,22 @@
 //! end-to-end and per-stage latency quantiles. Writes
 //! `BENCH_pipeline.json` with both runs plus the speedup.
 //!
+//! A second axis shards the aggregator tier: the same 4-MDT backlog
+//! is drained once through the classic single sequencer (K=1) and once
+//! through K=4 partitioned sequencers, on a commit-bound configuration
+//! (durable `EveryBatch` group commit with a small group cap, hot
+//! resolver cache) so the serialized fsync chain is what's under test.
+//! Each shard owns its own store, so K commit chains overlap their
+//! fsync waits even on one core; the report carries both runs plus the
+//! `scaling` ratio under a `"shards"` section.
+//!
 //! Usage: `pipeline [--seconds N] [--out PATH] [--baseline PATH]`
 //!
-//! With `--baseline`, the tuned events/sec, traced e2e p99, and traced
-//! store_commit p99 are also compared against the committed baseline
-//! file and the process exits nonzero on a >20% regression of any —
-//! the CI smoke gate. A gate is skipped when the baseline predates its
-//! field.
+//! With `--baseline`, the tuned events/sec, traced e2e p99, traced
+//! store_commit p99, and sharded (K=4) commit throughput are also
+//! compared against the committed baseline file and the process exits
+//! nonzero on a >20% regression of any — the CI smoke gate. A gate is
+//! skipped when the baseline predates its field.
 
 use fsmon_lustre::{ScalableConfig, ScalableMonitor};
 use fsmon_testbed::profiles::TestbedKind;
@@ -36,6 +45,16 @@ const REGRESSION_TOLERANCE: f64 = 0.20;
 /// Trace sampling rate for the latency columns: 1% keeps the wire
 /// overhead negligible while still folding thousands of samples.
 const TRACE_PER_10K: u32 = 100;
+/// Shard count for the sharded-aggregator axis.
+const SHARD_K: usize = 4;
+/// Group-commit cap for the shard axis: one durable fsync per event
+/// makes the drain commit-bound, so sharding the commit chain (K
+/// overlapping fsync waits instead of one serial chain) is what's
+/// measured, not resolution or publish CPU.
+const SHARD_GROUP_MAX: usize = 1;
+/// Required K=4 / K=1 commit-throughput ratio on the commit-bound
+/// workload.
+const SHARD_SCALING_FLOOR: f64 = 1.5;
 
 struct StageQuantiles {
     stage: &'static str,
@@ -187,6 +206,130 @@ fn measure(seconds: u64, resolver_threads: usize, publish_lanes: usize) -> Measu
     }
 }
 
+struct ShardMeasured {
+    shards: usize,
+    generated: u64,
+    /// Wall time until every generated event was sequenced AND durably
+    /// group-committed by its owning shard's store.
+    commit_drain_secs: f64,
+    /// Generated events over that window — the sequence+commit service
+    /// rate of the aggregator tier.
+    commit_events_per_sec: f64,
+    /// Durable fsyncs issued across all shard stores.
+    fsyncs: u64,
+}
+
+/// Drain a 4-MDT backlog through K aggregator shards on the
+/// commit-bound configuration (durable `EveryBatch`, small group cap,
+/// resolver cache covering the working set) and time until every
+/// event is durably committed. With K=1 every group commit's fsync
+/// serializes behind the single sequencer's store lane; with K>1 the
+/// per-shard commit chains overlap their fsync waits.
+fn measure_shards(seconds: u64, shards: usize) -> ShardMeasured {
+    let mut config = TestbedKind::Aws.config();
+    config.n_mdt = 4;
+    let telemetry_before = fsmon_telemetry::global().snapshot();
+    let fs = LustreFs::new(config);
+    let store_dir = std::env::temp_dir().join(format!(
+        "fsmon-bench-pipeline-shards-{}-k{shards}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // One workload directory per MDT so every shard has a stream.
+    let client = fs.client();
+    let n_mdt = fs.mdt_count() as usize;
+    let mut bases: Vec<String> = Vec::new();
+    let mut covered = vec![false; n_mdt];
+    let mut i = 0;
+    while covered.iter().any(|c| !c) && i < 512 {
+        let name = format!("/w{i}");
+        client.mkdir(&name).unwrap();
+        let mdt = fs.mdt_of(&name).unwrap() as usize;
+        if !covered[mdt] {
+            covered[mdt] = true;
+            bases.push(name);
+        }
+        i += 1;
+    }
+    for base in &bases {
+        EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, base)
+            .with_working_set(WORKING_SET / n_mdt)
+            .run_for(
+                &client,
+                Duration::from_millis(seconds * 1000 / n_mdt as u64),
+            );
+    }
+    let generated: u64 = (0..fs.mdt_count())
+        .map(|m| fs.mdt(m).changelog_stats().appended)
+        .sum();
+
+    let t0 = Instant::now();
+    let monitor = ScalableMonitor::start(
+        &fs,
+        ScalableConfig {
+            // Cache covers the working set: resolution stays cheap and
+            // the durable commit chain is the bottleneck under test.
+            cache_size: WORKING_SET,
+            resolver_threads: 2,
+            publish_lanes: 2,
+            aggregator_shards: shards,
+            store_group_max: SHARD_GROUP_MAX,
+            store_dir: Some(store_dir.clone()),
+            durability: fsmon_store::Durability::EveryBatch,
+            ..ScalableConfig::default()
+        },
+    )
+    .expect("start sharded monitor");
+    let consumer = monitor.consumer().clone();
+    let drain_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let drainer = {
+        let stop = drain_stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                consumer.recv_batch(8192, Duration::from_millis(50));
+            }
+        })
+    };
+    monitor.wait_events(generated, Duration::from_secs(600));
+    let stores = monitor.shard_stores();
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while stores.iter().map(|s| s.stats().appended).sum::<u64>() < generated
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let commit_drain = t0.elapsed();
+    let appended: u64 = stores.iter().map(|s| s.stats().appended).sum();
+    assert_eq!(
+        appended, generated,
+        "K={shards}: stores hold {appended} of {generated} generated events"
+    );
+    drain_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    drainer.join().expect("consumer drainer");
+    monitor.stop();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let delta = fsmon_telemetry::global()
+        .snapshot()
+        .delta_from(&telemetry_before);
+    ShardMeasured {
+        shards,
+        generated,
+        commit_drain_secs: commit_drain.as_secs_f64(),
+        commit_events_per_sec: generated as f64 / commit_drain.as_secs_f64().max(1e-9),
+        fsyncs: delta.counter("fsmon_store_fsyncs_total"),
+    }
+}
+
+fn render_shards(m: &ShardMeasured) -> String {
+    format!(
+        "{{ \"shards\": {}, \"generated\": {}, \"commit_drain_secs\": {:.3}, \
+         \"commit_events_per_sec\": {:.1}, \"fsyncs\": {} }}",
+        m.shards, m.generated, m.commit_drain_secs, m.commit_events_per_sec, m.fsyncs
+    )
+}
+
 /// Per-stage p50/p99 from the delta's `fsmon_trace_stage_ns`
 /// histograms, merged across MDT label sets, in pipeline order.
 fn stage_quantiles(delta: &fsmon_telemetry::Snapshot) -> Vec<StageQuantiles> {
@@ -261,18 +404,23 @@ fn render(m: &Measured) -> String {
     )
 }
 
-/// Pull `"tuned": { ... "<key>": <n> ... }` out of a previously
+/// Pull `"<section>": { ... "<key>": <n> ... }` out of a previously
 /// written report without a JSON dependency. `None` when the baseline
 /// predates the field.
-fn baseline_tuned_field(text: &str, key: &str) -> Option<f64> {
-    let tuned = &text[text.find("\"tuned\"")?..];
+fn baseline_field(text: &str, section: &str, key: &str) -> Option<f64> {
+    let quoted_section = format!("\"{section}\"");
+    let section = &text[text.find(&quoted_section)?..];
     let quoted = format!("\"{key}\"");
-    let after_key = &tuned[tuned.find(&quoted)? + quoted.len()..];
+    let after_key = &section[section.find(&quoted)? + quoted.len()..];
     let num = after_key.trim_start_matches([':', ' ', '\t', '\n']);
     let end = num
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
         .unwrap_or(num.len());
     num[..end].parse().ok()
+}
+
+fn baseline_tuned_field(text: &str, key: &str) -> Option<f64> {
+    baseline_field(text, "tuned", key)
 }
 
 fn main() {
@@ -317,6 +465,19 @@ fn main() {
         100.0 * tuned.cache_hit_ratio
     );
 
+    eprintln!("pipeline bench: sharded aggregator axis, commit-bound (group max {SHARD_GROUP_MAX}, durability batch), {seconds}s");
+    let shard1 = measure_shards(seconds, 1);
+    eprintln!(
+        "  K=1: {:.0} ev/s sequenced+committed ({} events, {} fsyncs)",
+        shard1.commit_events_per_sec, shard1.generated, shard1.fsyncs
+    );
+    let shard_k = measure_shards(seconds, SHARD_K);
+    eprintln!(
+        "  K={SHARD_K}: {:.0} ev/s sequenced+committed ({} events, {} fsyncs)",
+        shard_k.commit_events_per_sec, shard_k.generated, shard_k.fsyncs
+    );
+    let scaling = shard_k.commit_events_per_sec / shard1.commit_events_per_sec.max(1e-9);
+
     let speedup = tuned.events_per_sec / serial.events_per_sec.max(1e-9);
     // The tuned configuration's throughput is the headline rate in the
     // shared report envelope; the serial/tuned breakdown follows.
@@ -324,18 +485,29 @@ fn main() {
         "  \"testbed\": \"aws\",\n  \
          \"seconds\": {seconds},\n  \"cache\": {CACHE},\n  \
          \"working_set\": {WORKING_SET},\n  \"serial\": {},\n  \
-         \"tuned\": {},\n  \"speedup\": {speedup:.2}",
+         \"tuned\": {},\n  \"speedup\": {speedup:.2},\n  \
+         \"shards\": {{\n    \"group_max\": {SHARD_GROUP_MAX},\n    \
+         \"k1\": {},\n    \"k4\": {},\n    \"scaling\": {scaling:.2}\n  }}",
         render(&serial),
         render(&tuned),
+        render_shards(&shard1),
+        render_shards(&shard_k),
     );
     let json = fsmon_bench::report::render("pipeline", tuned.events_per_sec, &body);
     std::fs::write(&out_path, &json).expect("write bench report");
     println!("{json}");
     println!("speedup: {speedup:.2}x (tuned vs serial collector capacity)");
+    println!("shard scaling: {scaling:.2}x (K={SHARD_K} vs K=1 sequence+commit throughput)");
 
     let mut failed = false;
     if speedup < 2.0 {
         eprintln!("FAIL: speedup {speedup:.2}x < 2.0x with {TUNED_THREADS} resolver threads");
+        failed = true;
+    }
+    if scaling < SHARD_SCALING_FLOOR {
+        eprintln!(
+            "FAIL: shard scaling {scaling:.2}x < {SHARD_SCALING_FLOOR}x with K={SHARD_K} on the commit-bound workload"
+        );
         failed = true;
     }
     if let Some(path) = baseline_path {
@@ -401,6 +573,30 @@ fn main() {
                 }
             }
             _ => println!("baseline check: no committed store_commit_p99_ns; store gate skipped"),
+        }
+        // Shard gate: the K=4 sequence+commit throughput must not
+        // regress more than the tolerance below the committed
+        // baseline. Skipped when the baseline predates the shard axis.
+        match baseline_field(&text, "k4", "commit_events_per_sec") {
+            Some(committed_k4) if committed_k4 > 0.0 => {
+                let floor = committed_k4 * (1.0 - REGRESSION_TOLERANCE);
+                if shard_k.commit_events_per_sec < floor {
+                    eprintln!(
+                        "FAIL: K={SHARD_K} commit throughput {:.0} ev/s regressed >{:.0}% below committed baseline {committed_k4:.0} ev/s",
+                        shard_k.commit_events_per_sec,
+                        100.0 * REGRESSION_TOLERANCE
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "baseline check: K={SHARD_K} commit {:.0} ev/s vs committed {committed_k4:.0} ev/s (floor {floor:.0}) OK",
+                        shard_k.commit_events_per_sec
+                    );
+                }
+            }
+            _ => println!(
+                "baseline check: no committed sharded commit_events_per_sec; shard gate skipped"
+            ),
         }
     }
     if failed {

@@ -56,6 +56,8 @@ pub enum Command {
         resolver_threads: usize,
         /// Aggregator publish worker lanes.
         publish_lanes: usize,
+        /// Aggregator shards (K partitioned sequencers).
+        aggregator_shards: usize,
         /// Pushdown filter spec (`path=…;kinds=…;mdts=…`) for an extra
         /// server-side filtered subscriber.
         filter: Option<String>,
@@ -94,6 +96,8 @@ pub enum Command {
         resolver_threads: usize,
         /// Aggregator publish worker lanes.
         publish_lanes: usize,
+        /// Aggregator shards (K partitioned sequencers).
+        aggregator_shards: usize,
         /// Refresh interval in milliseconds.
         interval_ms: u64,
         /// Sliding window for per-MDT event rates, in seconds.
@@ -164,6 +168,9 @@ pub enum Command {
         resolver_threads: usize,
         /// Aggregator publish worker lanes.
         publish_lanes: usize,
+        /// Aggregator shards (K partitioned sequencers), each crashing
+        /// and recovering independently under the fault plan.
+        aggregator_shards: usize,
         /// Flush policy for the run's durable store.
         durability: fsmon_store::Durability,
         /// Concurrently driven named consumers, each independently
@@ -247,13 +254,16 @@ USAGE:
   fsmon replay --store DIR [--since ID] [--max N]
   fsmon demo-lustre [--mds N] [--seconds S] [--cache N]
                     [--resolver-threads N] [--publish-lanes N]
+                    [--aggregator-shards K]
                     [--filter SPEC] [--http ADDR] [--slo SPEC]
   fsmon stats [--format summary|prometheus|json] [--from FILE]
               [--diff BEFORE AFTER] [--mds N] [--seconds S] [--cache N]
   fsmon top   [--mds N] [--seconds S] [--cache N] [--resolver-threads N]
-              [--publish-lanes N] [--interval-ms MS] [--window SECS]
+              [--publish-lanes N] [--aggregator-shards K]
+              [--interval-ms MS] [--window SECS]
   fsmon chaos [--plan none|basic|storm] [--seed N] [--mds N] [--seconds S]
-              [--resolver-threads N] [--publish-lanes N] [--consumers N]
+              [--resolver-threads N] [--publish-lanes N]
+              [--aggregator-shards K] [--consumers N]
               [--durability none|batch|bytes:N|interval:MS]
               [--slo SPEC] [--stall MS] [--incident-dir DIR]
   fsmon health [ADDR]
@@ -400,6 +410,7 @@ impl Cli {
         let mut cache = 5000;
         let mut resolver_threads = 4;
         let mut publish_lanes = 2;
+        let mut aggregator_shards = 1;
         let mut filter = None;
         let mut http = None;
         let mut slo = None;
@@ -430,6 +441,15 @@ impl Cli {
                         .parse()
                         .map_err(|_| ParseError("--publish-lanes must be a number".into()))?
                 }
+                "--aggregator-shards" => {
+                    aggregator_shards = take_value(arg, iter)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            ParseError("--aggregator-shards must be a number >= 1".into())
+                        })?
+                }
                 "--filter" => {
                     let spec = take_value(arg, iter)?;
                     fsmon_rules::FilterSpec::parse(spec)
@@ -447,6 +467,7 @@ impl Cli {
             cache,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             filter,
             http,
             slo,
@@ -510,6 +531,7 @@ impl Cli {
         let mut cache = 5000;
         let mut resolver_threads = 4;
         let mut publish_lanes = 2;
+        let mut aggregator_shards = 1;
         let mut interval_ms = 500;
         let mut window_secs = 5;
         while let Some(arg) = iter.next() {
@@ -539,6 +561,15 @@ impl Cli {
                         .parse()
                         .map_err(|_| ParseError("--publish-lanes must be a number".into()))?
                 }
+                "--aggregator-shards" => {
+                    aggregator_shards = take_value(arg, iter)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            ParseError("--aggregator-shards must be a number >= 1".into())
+                        })?
+                }
                 "--interval-ms" => {
                     interval_ms = take_value(arg, iter)?
                         .parse()
@@ -560,6 +591,7 @@ impl Cli {
             cache,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             interval_ms,
             window_secs,
         })
@@ -716,6 +748,7 @@ impl Cli {
         let mut seconds = 2;
         let mut resolver_threads = 4;
         let mut publish_lanes = 2;
+        let mut aggregator_shards = 1;
         let mut durability = fsmon_store::Durability::None;
         let mut consumers = 1;
         let mut slo = None;
@@ -748,6 +781,15 @@ impl Cli {
                     publish_lanes = take_value(arg, iter)?
                         .parse()
                         .map_err(|_| ParseError("--publish-lanes must be a number".into()))?
+                }
+                "--aggregator-shards" => {
+                    aggregator_shards = take_value(arg, iter)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            ParseError("--aggregator-shards must be a number >= 1".into())
+                        })?
                 }
                 "--durability" => {
                     durability =
@@ -783,6 +825,7 @@ impl Cli {
             seconds,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             durability,
             consumers,
             slo,
@@ -971,6 +1014,7 @@ mod tests {
                 cache: 0,
                 resolver_threads: 4,
                 publish_lanes: 2,
+                aggregator_shards: 1,
                 filter: None,
                 http: None,
                 slo: None
@@ -994,6 +1038,7 @@ mod tests {
                 cache: 5000,
                 resolver_threads: 8,
                 publish_lanes: 4,
+                aggregator_shards: 1,
                 filter: Some("path=/proj/**;kinds=CREATE,CLOSE_WRITE".to_string()),
                 http: None,
                 slo: None
@@ -1088,6 +1133,7 @@ mod tests {
                 cache: 5000,
                 resolver_threads: 4,
                 publish_lanes: 2,
+                aggregator_shards: 1,
                 interval_ms: 500,
                 window_secs: 5
             }
@@ -1114,6 +1160,7 @@ mod tests {
                 cache: 100,
                 resolver_threads: 4,
                 publish_lanes: 2,
+                aggregator_shards: 1,
                 interval_ms: 250,
                 window_secs: 3
             }
@@ -1261,6 +1308,7 @@ mod tests {
                 seconds: 2,
                 resolver_threads: 4,
                 publish_lanes: 2,
+                aggregator_shards: 1,
                 durability: fsmon_store::Durability::None,
                 consumers: 1,
                 slo: None,
@@ -1297,6 +1345,7 @@ mod tests {
                 seconds: 1,
                 resolver_threads: 8,
                 publish_lanes: 4,
+                aggregator_shards: 1,
                 durability: fsmon_store::Durability::Bytes(65536),
                 consumers: 3,
                 slo: None,

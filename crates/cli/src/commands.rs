@@ -46,6 +46,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             cache,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             filter,
             http,
             slo,
@@ -55,6 +56,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             cache,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             filter.as_deref(),
             http.as_deref(),
             slo.as_deref(),
@@ -82,6 +84,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             cache,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             interval_ms,
             window_secs,
         } => top(
@@ -90,6 +93,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             cache,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             interval_ms,
             window_secs,
             out,
@@ -153,6 +157,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             seconds,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             durability,
             consumers,
             slo,
@@ -165,6 +170,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> i32 {
             seconds,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             durability,
             consumers,
             slo.as_deref(),
@@ -495,6 +501,62 @@ fn policy(
     0
 }
 
+/// One working directory per MDT: directory placement hashes the name
+/// (DNE2 style) and files inherit their directory's MDT, so a
+/// "/"-rooted workload would land every record on MDT0 and leave the
+/// other collector lanes (and any extra aggregator shards) idle.
+fn mdt_working_dirs(fs: &std::sync::Arc<lustre_sim::LustreFs>) -> Vec<String> {
+    let client = fs.client();
+    let n_mdt = fs.mdt_count() as usize;
+    let mut bases: Vec<String> = Vec::new();
+    let mut covered = vec![false; n_mdt];
+    let mut i = 0;
+    while covered.iter().any(|c| !c) && i < 512 {
+        let name = format!("/w{i}");
+        let _ = client.mkdir(&name);
+        if let Ok(mdt) = fs.mdt_of(&name) {
+            if !covered[mdt as usize] {
+                covered[mdt as usize] = true;
+                bases.push(name);
+            }
+        }
+        i += 1;
+    }
+    bases
+}
+
+/// Drive the CreateModifyDelete script for `seconds` total, split
+/// evenly across `bases` (one per MDT). Returns the wall time spent
+/// generating. The expected event count comes from the per-MDT
+/// changelogs afterwards ([`total_appended`]), not the script's op
+/// counter — the mkdirs behind `bases` are changelog records too.
+fn drive_spread_workload(
+    client: &lustre_sim::LustreClient,
+    bases: &[String],
+    seconds: u64,
+) -> Duration {
+    use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
+    let mut elapsed = Duration::ZERO;
+    for base in bases {
+        let run = EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, base)
+            .with_working_set((1024 / bases.len()).max(64))
+            .run_for(
+                client,
+                Duration::from_millis(seconds.max(1) * 1000 / bases.len() as u64),
+            );
+        elapsed += run.elapsed;
+    }
+    elapsed
+}
+
+/// Total changelog records across every MDT — the expected event count
+/// for a run driven through [`drive_spread_workload`].
+fn total_appended(fs: &std::sync::Arc<lustre_sim::LustreFs>) -> u64 {
+    (0..fs.mdt_count())
+        .map(|m| fs.mdt(m).changelog_stats().appended)
+        .sum()
+}
+
 /// Run the simulated Lustre pipeline for `seconds` with its event log
 /// landing in `store`, letting the whole stack (collectors, mq,
 /// aggregator, store) pump the global telemetry registry. Returns the
@@ -578,13 +640,13 @@ fn demo_lustre(
     cache: usize,
     resolver_threads: usize,
     publish_lanes: usize,
+    aggregator_shards: usize,
     filter: Option<&str>,
     http: Option<&str>,
     slo: Option<&str>,
     out: &mut dyn Write,
 ) -> i32 {
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
-    use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
     use lustre_sim::{LustreConfig, LustreFs};
 
     let _ = writeln!(
@@ -592,6 +654,13 @@ fn demo_lustre(
         "simulated Lustre: {mds} MDS(s), cache {cache}, \
          {resolver_threads} resolver thread(s), {publish_lanes} publish lane(s)"
     );
+    if aggregator_shards > 1 {
+        let _ = writeln!(
+            out,
+            "sharding  : {aggregator_shards} aggregator shards (MDT % K partitioning, \
+             vector-watermark federation)"
+        );
+    }
     // The health engine rides along whenever an observer endpoint or
     // an SLO is asked for; sub-second ticks so short demo runs still
     // produce a few windowed samples.
@@ -608,6 +677,7 @@ fn demo_lustre(
             cache_size: cache,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             trace_sample_per_10k: 100,
             health: health_opts,
             ..ScalableConfig::default()
@@ -647,25 +717,30 @@ fn demo_lustre(
         },
     );
     let client = fs.client();
-    let run = EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
-        .with_working_set(1024)
-        .run_for(&client, Duration::from_secs(seconds));
-    monitor.wait_events(run.operations, Duration::from_secs(60));
-    drain_consumer(&monitor, run.operations);
+    let bases = mdt_working_dirs(&fs);
+    let gen_elapsed = drive_spread_workload(&client, &bases, seconds);
+    let expected = total_appended(&fs);
+    monitor.wait_events(expected, Duration::from_secs(60));
+    drain_consumer(&monitor, expected);
     let agg = monitor.aggregator_stats();
     let stats = monitor.total_collector_stats();
     reporter.stop();
-    let _ = writeln!(
-        out,
-        "generated : {} events in {:.1?}",
-        run.operations, run.elapsed
-    );
+    let _ = writeln!(out, "generated : {expected} events in {gen_elapsed:.1?}");
     let _ = writeln!(
         out,
         "reported  : {} events (lost {})",
         agg.received,
-        run.operations.saturating_sub(agg.received)
+        expected.saturating_sub(agg.received)
     );
+    if aggregator_shards > 1 {
+        for (k, s) in monitor.shard_aggregator_stats().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  shard {k} : {} received, {} published, {} stored",
+                s.received, s.published, s.stored
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "fid2path  : {} calls, cache hit ratio {:.1}%",
@@ -728,6 +803,7 @@ fn write_stats_summary(snap: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
         snap.counter("fsmon_aggregator_stored_total"),
         snap.counter("fsmon_aggregator_decode_errors_total"),
     );
+    write_shard_summary(snap, out);
     let appends = snap.counter("fsmon_store_appends_total");
     match snap.histogram("fsmon_store_append_ns") {
         Some(h) if h.count() > 0 => {
@@ -779,6 +855,41 @@ fn write_stats_summary(snap: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
         snap.counter("fsmon_consumer_reconnects_total"),
     );
     write_latency_summary(snap, out);
+}
+
+/// Per-shard aggregator breakdown. A sharded tier (K > 1) labels its
+/// counters with `shard=<k>`; the unsharded tier emits no shard label,
+/// so this section is silent for classic single-sequencer runs.
+fn write_shard_summary(snap: &fsmon_telemetry::Snapshot, out: &mut dyn Write) {
+    use fsmon_telemetry::MetricValue;
+    let mut shards: std::collections::BTreeMap<usize, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for (id, value) in &snap.metrics {
+        let MetricValue::Counter(n) = value else {
+            continue;
+        };
+        let Some(shard) = id
+            .labels
+            .iter()
+            .find(|(k, _)| k == "shard")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let entry = shards.entry(shard).or_default();
+        match id.name.as_str() {
+            "fsmon_aggregator_received_total" => entry.0 += n,
+            "fsmon_aggregator_published_total" => entry.1 += n,
+            "fsmon_aggregator_stored_total" => entry.2 += n,
+            _ => {}
+        }
+    }
+    for (shard, (received, published, stored)) in shards {
+        let _ = writeln!(
+            out,
+            "  shard {shard} : {received} received, {published} published, {stored} stored",
+        );
+    }
 }
 
 /// The materialized-index section of the summary: applied-seq cursor,
@@ -1298,19 +1409,24 @@ fn top(
     cache: usize,
     resolver_threads: usize,
     publish_lanes: usize,
+    aggregator_shards: usize,
     interval_ms: u64,
     window_secs: u64,
     out: &mut dyn Write,
 ) -> i32 {
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
-    use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
     use lustre_sim::{LustreConfig, LustreFs};
 
     let mds = mds.max(1);
     let _ = writeln!(
         out,
-        "fsmon top: {mds} MDS(s), {seconds}s workload, {}ms refresh",
-        interval_ms.max(50)
+        "fsmon top: {mds} MDS(s), {seconds}s workload, {}ms refresh{}",
+        interval_ms.max(50),
+        if aggregator_shards > 1 {
+            format!(", {aggregator_shards} aggregator shards")
+        } else {
+            String::new()
+        }
     );
     let fs = LustreFs::new(LustreConfig::small_dne(mds));
     let monitor = match ScalableMonitor::start(
@@ -1319,6 +1435,7 @@ fn top(
             cache_size: cache,
             resolver_threads,
             publish_lanes,
+            aggregator_shards,
             trace_sample_per_10k: 100,
             ..ScalableConfig::default()
         },
@@ -1344,11 +1461,8 @@ fn top(
     ];
 
     let client = fs.client();
-    let worker = std::thread::spawn(move || {
-        EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
-            .with_working_set(1024)
-            .run_for(&client, Duration::from_secs(seconds.max(1)))
-    });
+    let bases = mdt_working_dirs(&fs);
+    let worker = std::thread::spawn(move || drive_spread_workload(&client, &bases, seconds.max(1)));
 
     let window = Duration::from_secs(window_secs.max(1));
     let mut prev = fsmon_telemetry::global().snapshot();
@@ -1417,9 +1531,10 @@ fn top(
             let _ = s.poll();
         }
     }
-    let run = worker.join().expect("workload thread");
-    monitor.wait_events(run.operations, Duration::from_secs(60));
-    drain_consumer(&monitor, run.operations);
+    let gen_elapsed = worker.join().expect("workload thread");
+    let expected = total_appended(&fs);
+    monitor.wait_events(expected, Duration::from_secs(60));
+    drain_consumer(&monitor, expected);
 
     // Fold every collector's telemetry into the fleet view. Snapshots
     // travel the same mq path as events, so give the aggregator's demux
@@ -1448,21 +1563,22 @@ fn top(
         fleet.counter("fsmon_collector_traces_total"),
         fleet.gauge("fsmon_collector_backlog").unwrap_or(0),
     );
-    let _ = writeln!(
-        out,
-        "generated : {} events in {:.1?}",
-        run.operations, run.elapsed
-    );
+    let _ = writeln!(out, "generated : {expected} events in {gen_elapsed:.1?}");
     // The subscribers section: one row per active filter class with
     // its shared fan-out counters (server-side filter pushdown).
     let classes = monitor.class_stats();
     let _ = writeln!(out, "--- subscribers ({} classes) ---", classes.len());
     for c in &classes {
+        let rate = if c.rate == 0 {
+            "unlimited".to_string()
+        } else {
+            format!("{}/s", c.rate)
+        };
         let _ = writeln!(
             out,
             "class     : {} : {} consumer(s), {} frames, queue depth {}, {} stalls, \
-             {} degraded",
-            c.key, c.consumers, c.frames, c.queue_depth, c.stalls, c.degraded
+             {} degraded, rate {rate}, {} shed",
+            c.key, c.consumers, c.frames, c.queue_depth, c.stalls, c.degraded, c.shed
         );
     }
     for s in &mut top_subs {
@@ -1494,6 +1610,7 @@ fn chaos(
     seconds: u64,
     resolver_threads: usize,
     publish_lanes: usize,
+    aggregator_shards: usize,
     durability: fsmon_store::Durability,
     consumers: usize,
     slo: Option<&str>,
@@ -1504,7 +1621,6 @@ fn chaos(
     use fsmon_faults::{FaultPlan, FaultPoint, FaultRule};
     use fsmon_lustre::{ScalableConfig, ScalableMonitor};
     use fsmon_telemetry::MetricValue;
-    use fsmon_workloads::{EvaluatePerformanceScript, ScriptVariant};
     use lustre_sim::{LustreConfig, LustreFs};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -1528,30 +1644,14 @@ fn chaos(
     let faults = plan.arm();
     let before = fsmon_telemetry::global().snapshot();
 
-    // Small segments so the run exercises rolls (and, under `storm`,
-    // torn-tail quarantine) rather than staying inside one segment.
     let dir = std::env::temp_dir().join(format!("fsmon-chaos-{}-{seed}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let store = match FileStore::open_with_options(
-        dir.join("store"),
-        fsmon_store::FileStoreOptions {
-            segment_bytes: 64 * 1024,
-            durability,
-            faults: faults.clone(),
-            ..fsmon_store::FileStoreOptions::default()
-        },
-    ) {
-        Ok(s) => Arc::new(s),
-        Err(e) => {
-            let _ = writeln!(out, "error: cannot open chaos store: {e}");
-            return 2;
-        }
-    };
+    let shards = aggregator_shards.max(1);
 
     let _ = writeln!(
         out,
         "chaos: plan {plan_name:?} seed {seed}, {mds} MDS(s), {seconds}s workload, \
-         durability {durability}, {consumers} consumer(s)"
+         durability {durability}, {consumers} consumer(s), {shards} aggregator shard(s)"
     );
     // With an SLO or an incident directory, the health engine watches
     // the run: fast ticks so a couple of seconds produce a usable
@@ -1577,7 +1677,15 @@ fn chaos(
             // along to prove sampling survives the fault plan.
             trace_sample_per_10k: 100,
             batch_size: 64,
-            store: Some(store.clone()),
+            // The monitor opens the run's durable store(s) itself —
+            // one per shard under this directory, each with small
+            // segments so the run exercises rolls (and, under `storm`,
+            // torn-tail quarantine) and each consulting the fault
+            // plane.
+            store_dir: Some(dir.join("store")),
+            store_segment_bytes: 64 * 1024,
+            durability,
+            aggregator_shards: shards,
             cursor_file: Some(dir.join("cursors")),
             faults: faults.clone(),
             resolver_threads,
@@ -1592,10 +1700,13 @@ fn chaos(
             return 2;
         }
     };
+    // Shard stores outlive the monitor: the replay-based verdicts below
+    // read them after stop().
+    let stores = monitor.shard_stores();
     // Drive every consumer concurrently: the monitor's built-in one
     // plus `consumers - 1` named attachments, each drained on its own
     // thread and independently verified against the replay path.
-    let mut lanes: Vec<(String, Arc<fsmon_lustre::Consumer>)> =
+    let mut lanes: Vec<(String, Arc<fsmon_lustre::FederatedConsumer>)> =
         vec![("main".to_string(), monitor.consumer().clone())];
     for i in 1..consumers {
         let name = format!("aux{i}");
@@ -1608,7 +1719,11 @@ fn chaos(
         }
     }
     let stopped = Arc::new(AtomicBool::new(false));
-    let drains: Vec<std::thread::JoinHandle<(String, Vec<u64>)>> = lanes
+    // Each shard stamps its own dense id stream, so delivered events
+    // are tracked as (shard, id) pairs — with K=1 everything lands in
+    // shard 0 and the pairs degenerate to the classic id check.
+    type LaneDrain = std::thread::JoinHandle<(String, Vec<(usize, u64)>)>;
+    let drains: Vec<LaneDrain> = lanes
         .iter()
         .map(|(name, consumer)| {
             let name = name.clone();
@@ -1616,19 +1731,23 @@ fn chaos(
             let stopped = stopped.clone();
             std::thread::spawn(move || {
                 // Live feed, concurrent with the workload.
-                let mut ids: Vec<u64> = Vec::new();
+                let mut ids: Vec<(usize, u64)> = Vec::new();
                 let live_deadline = Instant::now() + Duration::from_secs(80);
                 loop {
                     let batch = consumer.recv_batch(8192, Duration::from_millis(200));
-                    ids.extend(batch.iter().map(|e| e.id));
+                    ids.extend(
+                        batch
+                            .iter()
+                            .map(|e| (fsmon_core::shard_of(e.mdt_index, shards), e.id)),
+                    );
                     if (batch.is_empty() && stopped.load(Ordering::Relaxed))
                         || Instant::now() >= live_deadline
                     {
                         break;
                     }
                 }
-                // The store lane has joined by the time `stopped` is
-                // set, so the store holds every stamped event; heal
+                // The store lanes have joined by the time `stopped` is
+                // set, so the stores hold every stamped event; heal
                 // whatever the live feed missed from there.
                 consumer.catch_up();
                 loop {
@@ -1636,7 +1755,11 @@ fn chaos(
                     if batch.is_empty() {
                         break;
                     }
-                    ids.extend(batch.iter().map(|e| e.id));
+                    ids.extend(
+                        batch
+                            .iter()
+                            .map(|e| (fsmon_core::shard_of(e.mdt_index, shards), e.id)),
+                    );
                 }
                 (name, ids)
             })
@@ -1657,42 +1780,69 @@ fn chaos(
             return 2;
         }
     };
-    let index_snap = dir.join("index.snap");
-    let index_store = store.clone();
+    // One index service per shard (the reorder stage tracks one dense
+    // id stream), each folding its shard's slice of the merged feed
+    // and healing from its own shard store. K=1 keeps the classic
+    // single service and snapshot name.
+    let index_snap_path = |k: usize| {
+        if shards == 1 {
+            dir.join("index.snap")
+        } else {
+            dir.join(format!("index-s{k}.snap"))
+        }
+    };
+    let index_snaps: Vec<std::path::PathBuf> = (0..shards).map(index_snap_path).collect();
+    let index_stores = stores.clone();
     let index_stopped = stopped.clone();
     let index_thread = std::thread::spawn(move || {
         let new_engine = || fsmon_index::PolicyEngine::standard("/**", 0, 1.0);
-        let mut svc = fsmon_index::IndexService::open(&index_snap, new_engine());
+        let mut svcs: Vec<fsmon_index::IndexService> = index_snaps
+            .iter()
+            .map(|p| fsmon_index::IndexService::open(p, new_engine()))
+            .collect();
         let mut restarts = 0u64;
-        let mut batches = 0u64;
+        let mut batches = vec![0u64; shards];
         let live_deadline = Instant::now() + Duration::from_secs(80);
         loop {
             let batch = index_consumer.recv_batch(8192, Duration::from_millis(200));
             if !batch.is_empty() {
-                batches += 1;
-                if batches.is_multiple_of(16) {
-                    let _ = svc.save();
-                    svc = fsmon_index::IndexService::open(&index_snap, new_engine());
-                    restarts += 1;
-                    // Heal what the crash discarded; anything the store
-                    // lane hasn't persisted yet stages in the reorder
-                    // buffer until a later catch-up fills the hole.
-                    let _ = svc.catch_up(index_store.as_ref());
+                let mut slices: Vec<Vec<fsmon_events::StandardEvent>> =
+                    (0..shards).map(|_| Vec::new()).collect();
+                for ev in batch {
+                    slices[fsmon_core::shard_of(ev.mdt_index, shards)].push(ev);
                 }
-                svc.ingest(&batch);
-                if svc.pending_len() > 0 {
-                    let _ = svc.catch_up(index_store.as_ref());
+                for (k, slice) in slices.into_iter().enumerate() {
+                    if slice.is_empty() {
+                        continue;
+                    }
+                    batches[k] += 1;
+                    if batches[k].is_multiple_of(16) {
+                        let _ = svcs[k].save();
+                        svcs[k] = fsmon_index::IndexService::open(&index_snaps[k], new_engine());
+                        restarts += 1;
+                        // Heal what the crash discarded; anything the
+                        // store lane hasn't persisted yet stages in the
+                        // reorder buffer until a later catch-up fills
+                        // the hole.
+                        let _ = svcs[k].catch_up(index_stores[k].as_ref());
+                    }
+                    svcs[k].ingest(&slice);
+                    if svcs[k].pending_len() > 0 {
+                        let _ = svcs[k].catch_up(index_stores[k].as_ref());
+                    }
                 }
             } else if index_stopped.load(Ordering::Relaxed) || Instant::now() >= live_deadline {
                 break;
             }
         }
-        // The store is complete once the monitor stopped; fold the
-        // rest and leave a snapshot behind for the reload proof.
-        let _ = svc.catch_up(index_store.as_ref());
-        svc.record_lag(index_store.as_ref());
-        let _ = svc.save();
-        (svc, restarts)
+        // The stores are complete once the monitor stopped; fold the
+        // rest and leave snapshots behind for the reload proof.
+        for (k, svc) in svcs.iter_mut().enumerate() {
+            let _ = svc.catch_up(index_stores[k].as_ref());
+            svc.record_lag(index_stores[k].as_ref());
+            let _ = svc.save();
+        }
+        (svcs, restarts)
     });
 
     // The filtered lane: a narrow predicate pushed down to the
@@ -1713,28 +1863,45 @@ fn chaos(
     };
     let filtered_stopped = stopped.clone();
     let filtered_thread = std::thread::spawn(move || {
-        let mut ids: Vec<u64> = Vec::new();
+        let mut ids: Vec<(usize, u64)> = Vec::new();
         let live_deadline = Instant::now() + Duration::from_secs(80);
         loop {
             let batch = filtered.recv_for(Duration::from_millis(200));
-            ids.extend(batch.iter().map(|e| e.id));
+            ids.extend(
+                batch
+                    .iter()
+                    .map(|e| (fsmon_core::shard_of(e.mdt_index, shards), e.id)),
+            );
             if (batch.is_empty() && filtered_stopped.load(Ordering::Relaxed))
                 || Instant::now() >= live_deadline
             {
                 break;
             }
         }
-        // The store is complete once the monitor stopped: heal recorded
-        // gaps and any lost tail through the subscriber's own filter.
-        ids.extend(filtered.catch_up().iter().map(|e| e.id));
+        // The stores are complete once the monitor stopped: heal
+        // recorded gaps and any lost tail through the subscriber's own
+        // filter.
+        ids.extend(
+            filtered
+                .catch_up()
+                .iter()
+                .map(|e| (fsmon_core::shard_of(e.mdt_index, shards), e.id)),
+        );
         (ids, filtered.stats())
     });
 
     let client = fs.client();
-    let run = EvaluatePerformanceScript::new(ScriptVariant::CreateModifyDelete, "/")
-        .with_working_set(1024)
-        .run_for(&client, Duration::from_secs(seconds.max(1)));
-    let expected = run.operations;
+    let bases = mdt_working_dirs(&fs);
+    let elapsed = drive_spread_workload(&client, &bases, seconds);
+    // The workload has no renames, so changelog records map 1:1 to
+    // events and each shard's expected dense id range is the sum of
+    // its MDTs' appended records.
+    let mut expected_shard = vec![0u64; shards];
+    for m in 0..fs.mdt_count() {
+        expected_shard[fsmon_core::shard_of(Some(m), shards)] +=
+            fs.mdt(m).changelog_stats().appended;
+    }
+    let expected: u64 = expected_shard.iter().sum();
     monitor.wait_events(expected, Duration::from_secs(60));
 
     // Exercise the history REQ/REP path under the same plan: storm
@@ -1764,10 +1931,12 @@ fn chaos(
     monitor.stop();
     stopped.store(true, Ordering::Relaxed);
 
-    // Stamped ids are dense from 1, so a fault-free run delivers
-    // exactly 1..=expected to every consumer. Ids beyond that range
-    // mean an upstream duplicate slipped past dedup and was stamped
-    // as a fresh event.
+    // Each shard stamps ids dense from 1 over its own stream, so a
+    // fault-free run delivers exactly the union of 1..=expected_shard[k]
+    // for every shard k to every consumer — with K=1 that is the
+    // classic 1..=expected check. Pairs outside a shard's range mean
+    // an upstream duplicate slipped past dedup and was stamped as a
+    // fresh event.
     let mut lost = 0u64;
     let mut duplicated = 0u64;
     let mut per_lane: Vec<(String, u64, u64, u64, u64)> = Vec::new();
@@ -1779,13 +1948,36 @@ fn chaos(
         let unique = ids.len() as u64;
         let in_range = ids
             .iter()
-            .filter(|&&id| (1..=expected).contains(&id))
+            .filter(|&&(k, id)| k < shards && id >= 1 && id <= expected_shard[k])
             .count() as u64;
-        let lane_lost = expected - in_range;
+        let lane_lost = expected.saturating_sub(in_range);
         let lane_dup = (total - unique) + (unique - in_range);
         lost += lane_lost;
         duplicated += lane_dup;
         per_lane.push((name, total, unique, lane_lost, lane_dup));
+    }
+    // The federation invariant's other half: every shard's sequencer
+    // stamped exactly its MDTs' records, so the union check above is
+    // really a union of K linear shard replays.
+    let mut seq_ok = true;
+    for (k, s) in stores.iter().enumerate() {
+        let st = s.stats();
+        if st.last_seq != expected_shard[k] {
+            seq_ok = false;
+        }
+        if shards > 1 {
+            let _ = writeln!(
+                out,
+                "shard {k}   : {} sequenced (expected {}) -> {}",
+                st.last_seq,
+                expected_shard[k],
+                if st.last_seq == expected_shard[k] {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
+            );
+        }
     }
 
     let after = fsmon_telemetry::global().snapshot();
@@ -1824,11 +2016,11 @@ fn chaos(
         );
     }
 
-    let rate = expected as f64 / run.elapsed.as_secs_f64().max(1e-9);
+    let rate = expected as f64 / elapsed.as_secs_f64().max(1e-9);
     let _ = writeln!(
         out,
         "generated : {expected} events in {:.1?} ({rate:.0} ev/s)",
-        run.elapsed
+        elapsed
     );
     for (name, total, unique, lane_lost, lane_dup) in &per_lane {
         let _ = writeln!(
@@ -1843,44 +2035,53 @@ fn chaos(
         );
     }
 
-    // The index invariant: the incrementally-folded state (crashed and
-    // resumed mid-run) must equal a single linear fold of the full
-    // store, and so must the state a fresh service resumes from the
-    // final snapshot — the whole-monitor-restart case.
-    let (index_svc, index_restarts) = index_thread.join().expect("index fold thread");
-    let mut reference = fsmon_index::NamespaceIndex::new();
-    loop {
-        match store.get_since(reference.applied_seq(), 4096) {
-            Ok(chunk) if chunk.is_empty() => break,
-            Ok(chunk) => {
-                for ev in &chunk {
-                    reference.apply(ev);
+    // The index invariant, per shard: the incrementally-folded state
+    // (crashed and resumed mid-run) must equal a single linear fold of
+    // that shard's full store, and so must the state a fresh service
+    // resumes from the final snapshot — the whole-monitor-restart case.
+    let (index_svcs, index_restarts) = index_thread.join().expect("index fold thread");
+    let mut index_ok = true;
+    let mut index_diverged = false;
+    let mut index_applied = 0u64;
+    let mut index_entries = 0usize;
+    let mut index_rollups = 0usize;
+    for (k, svc) in index_svcs.iter().enumerate() {
+        let mut reference = fsmon_index::NamespaceIndex::new();
+        loop {
+            match stores[k].get_since(reference.applied_seq(), 4096) {
+                Ok(chunk) if chunk.is_empty() => break,
+                Ok(chunk) => {
+                    for ev in &chunk {
+                        reference.apply(ev);
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: shard {k} reference replay failed: {e}");
+                    break;
                 }
             }
-            Err(e) => {
-                let _ = writeln!(out, "error: reference replay failed: {e}");
-                break;
-            }
         }
+        let reloaded =
+            fsmon_index::IndexService::open(index_snap_path(k), fsmon_index::PolicyEngine::empty());
+        if svc.index() != &reference {
+            index_diverged = true;
+        }
+        index_ok &= reference.applied_seq() >= expected_shard[k]
+            && svc.index() == &reference
+            && reloaded.index() == &reference;
+        index_applied += svc.index().applied_seq();
+        index_entries += svc.index().len();
+        index_rollups += svc.index().rollup_count();
     }
-    let reloaded =
-        fsmon_index::IndexService::open(dir.join("index.snap"), fsmon_index::PolicyEngine::empty());
-    let index_ok = reference.applied_seq() >= expected
-        && index_svc.index() == &reference
-        && reloaded.index() == &reference;
     let _ = writeln!(
         out,
         "index     : applied seq {}, {} entries, {} rollups, {} supervised restarts, \
          replay fold {} -> {}",
-        index_svc.index().applied_seq(),
-        index_svc.index().len(),
-        index_svc.index().rollup_count(),
+        index_applied,
+        index_entries,
+        index_rollups,
         index_restarts,
-        if index_svc.index() == &reference {
-            "equal"
-        } else {
-            "DIVERGED"
-        },
+        if index_diverged { "DIVERGED" } else { "equal" },
         if index_ok { "PASS" } else { "FAIL" }
     );
 
@@ -1891,26 +2092,32 @@ fn chaos(
     // the predicate, despite the fault plan.
     let (filtered_ids, filtered_stats) = filtered_thread.join().expect("filtered drain thread");
     let compiled = filter_spec.compile();
-    let mut subset_reference: Vec<u64> = Vec::new();
-    let mut since = 0u64;
-    loop {
-        match store.get_since(since, 4096) {
-            Ok(chunk) if chunk.is_empty() => break,
-            Ok(chunk) => {
-                since = chunk.last().map(|e| e.id).unwrap_or(since);
-                subset_reference.extend(
-                    chunk
-                        .iter()
-                        .filter(|e| compiled.matches_event(e))
-                        .map(|e| e.id),
-                );
-            }
-            Err(e) => {
-                let _ = writeln!(out, "error: filtered reference replay failed: {e}");
-                break;
+    let mut subset_reference: Vec<(usize, u64)> = Vec::new();
+    for (k, store) in stores.iter().enumerate() {
+        let mut since = 0u64;
+        loop {
+            match store.get_since(since, 4096) {
+                Ok(chunk) if chunk.is_empty() => break,
+                Ok(chunk) => {
+                    since = chunk.last().map(|e| e.id).unwrap_or(since);
+                    subset_reference.extend(
+                        chunk
+                            .iter()
+                            .filter(|e| compiled.matches_event(e))
+                            .map(|e| (k, e.id)),
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "error: shard {k} filtered reference replay failed: {e}"
+                    );
+                    break;
+                }
             }
         }
     }
+    subset_reference.sort_unstable();
     let filtered_total = filtered_ids.len();
     let mut filtered_sorted = filtered_ids;
     filtered_sorted.sort_unstable();
@@ -1939,7 +2146,7 @@ fn chaos(
         let _ = writeln!(out, "{report}");
     }
 
-    let pass = lost == 0 && duplicated == 0 && index_ok && filtered_ok;
+    let pass = lost == 0 && duplicated == 0 && seq_ok && index_ok && filtered_ok;
     let _ = writeln!(
         out,
         "verdict   : lost {lost}, duplicated {duplicated} -> {}",

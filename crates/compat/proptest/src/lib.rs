@@ -111,6 +111,17 @@ pub mod strategy {
             Filter { inner: self, pred }
         }
 
+        /// Derive a dependent strategy from each generated value
+        /// (e.g. a length first, then a vector of that length).
+        fn prop_flat_map<T, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            T: Strategy,
+            F: Fn(Self::Value) -> T,
+        {
+            FlatMap { inner: self, f }
+        }
+
         /// Type-erase the strategy.
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -151,6 +162,19 @@ pub mod strategy {
         type Value = O;
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
         }
     }
 

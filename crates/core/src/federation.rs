@@ -1,0 +1,244 @@
+//! Vector watermarks and the interface-layer shard merge.
+//!
+//! With the aggregator tier sharded (ISSUE 10), there is no global
+//! sequencer: each shard stamps its own dense id stream `1, 2, 3, …`
+//! over the MDTs it owns (`mdt % K == shard`), and exactly-once is a
+//! *per-shard* contract — zero loss and zero duplication against each
+//! shard's store, independently. What replaces the global cursor is a
+//! **vector watermark**: one cursor per shard, carried by federated
+//! consumers and used by `catch_up` to heal each shard lane against its
+//! own store.
+//!
+//! Cross-shard ordering is deliberately weaker than intra-shard
+//! ordering — that is the price of removing the serial point, and the
+//! same trade the decentralized changelog-processing design (Doreau,
+//! CEA) makes. The interface layer recovers a *useful* order with
+//! [`ShardMerger`]: a bounded-reordering merge that sorts each merge
+//! window by event timestamp (stable, tiebroken by shard then id). The
+//! contract consumers must assume:
+//!
+//! * **Per shard**: strict id order, dense from 1, exactly once.
+//! * **Across shards**: timestamp order *within a merge window* only;
+//!   two events in different windows may be delivered out of timestamp
+//!   order by up to the window span. Consumers needing a total order
+//!   must impose one from event content (timestamps), not delivery
+//!   order.
+
+use fsmon_events::StandardEvent;
+
+/// The shard an event belongs to under K-way MDT partitioning: shard
+/// `mdt % K`. Events with no MDT stamp (non-Lustre sources) belong to
+/// shard 0. The partition function is deterministic and derivable from
+/// the event alone, so any consumer can attribute a delivered event to
+/// the shard (and store) that sequenced it.
+pub fn shard_of(mdt_index: Option<u16>, shards: usize) -> usize {
+    match shards {
+        0 | 1 => 0,
+        k => mdt_index.map(|m| m as usize % k).unwrap_or(0),
+    }
+}
+
+/// A per-shard cursor vector: `cursor[k]` is the highest id seen (or
+/// healed) from shard `k`. The federated analogue of the single
+/// `last_seen` id — replay "since" is now replay since a vector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorWatermark {
+    cursors: Vec<u64>,
+}
+
+impl VectorWatermark {
+    /// A zero watermark over `shards` cursors (replay everything).
+    pub fn zero(shards: usize) -> VectorWatermark {
+        VectorWatermark {
+            cursors: vec![0; shards.max(1)],
+        }
+    }
+
+    /// Build from explicit per-shard cursors.
+    pub fn from_cursors(cursors: Vec<u64>) -> VectorWatermark {
+        VectorWatermark { cursors }
+    }
+
+    /// Number of shard cursors.
+    pub fn shards(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// The cursor for `shard` (0 when past the vector's end, so a
+    /// narrower watermark read against a wider federation replays the
+    /// unknown shards from the start — the safe direction).
+    pub fn get(&self, shard: usize) -> u64 {
+        self.cursors.get(shard).copied().unwrap_or(0)
+    }
+
+    /// Advance `shard`'s cursor to at least `id` (never regresses;
+    /// widens the vector if needed).
+    pub fn advance(&mut self, shard: usize, id: u64) {
+        if shard >= self.cursors.len() {
+            self.cursors.resize(shard + 1, 0);
+        }
+        if id > self.cursors[shard] {
+            self.cursors[shard] = id;
+        }
+    }
+
+    /// Per-shard cursors, shard 0 first.
+    pub fn cursors(&self) -> &[u64] {
+        &self.cursors
+    }
+
+    /// Pointwise maximum with another watermark.
+    pub fn merge(&mut self, other: &VectorWatermark) {
+        for (shard, &id) in other.cursors.iter().enumerate() {
+            self.advance(shard, id);
+        }
+    }
+
+    /// Whether every cursor of `self` is `>=` the matching cursor of
+    /// `other` (the "caught up to" relation; vectors are only partially
+    /// ordered, so `!dominates(a,b)` does not imply `dominates(b,a)`).
+    pub fn dominates(&self, other: &VectorWatermark) -> bool {
+        (0..self.cursors.len().max(other.cursors.len())).all(|s| self.get(s) >= other.get(s))
+    }
+
+    /// Render as `s0:12,s1:9,…` (the form `fsmon` CLI sections print).
+    pub fn render(&self) -> String {
+        self.cursors
+            .iter()
+            .enumerate()
+            .map(|(s, id)| format!("s{s}:{id}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Bounded-reordering merge of per-shard event streams at the
+/// interface layer.
+///
+/// Shard lanes hand the merger whatever each delivered this poll (each
+/// lane's slice already in per-shard id order); the merger sorts the
+/// combined window by `timestamp_ns`, stable, tiebreaking equal stamps
+/// by `(shard, id)` so the output is deterministic. The reordering
+/// bound is the window itself: nothing is held back waiting for a
+/// quiet shard (a stalled shard must not add latency to the others —
+/// its late events simply land in a later window).
+#[derive(Debug, Default)]
+pub struct ShardMerger {
+    scratch: Vec<(u64, usize, u64, usize)>,
+}
+
+impl ShardMerger {
+    /// A merger (scratch reused across windows).
+    pub fn new() -> ShardMerger {
+        ShardMerger::default()
+    }
+
+    /// Merge one window: drains every lane's buffered slice into a
+    /// single timestamp-ordered vector. The per-shard contract is
+    /// authoritative: each lane's relative order is preserved exactly
+    /// (timestamps are monotonicized per lane before sorting, so a
+    /// locally misordered stamp can never reorder a shard's ids), and
+    /// cross-shard placement follows those effective timestamps.
+    pub fn merge(&mut self, lanes: &mut [Vec<StandardEvent>]) -> Vec<StandardEvent> {
+        let total: usize = lanes.iter().map(Vec::len).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        // Fast path: one active lane (K=1, or a quiet window) is
+        // already ordered.
+        if let Some(only) = {
+            let mut active = lanes.iter_mut().filter(|l| !l.is_empty());
+            match (active.next(), active.next()) {
+                (Some(only), None) => Some(only),
+                _ => None,
+            }
+        } {
+            return std::mem::take(only);
+        }
+        self.scratch.clear();
+        self.scratch.reserve(total);
+        for (shard, lane) in lanes.iter().enumerate() {
+            let mut floor = 0u64;
+            for (pos, ev) in lane.iter().enumerate() {
+                floor = floor.max(ev.timestamp_ns);
+                self.scratch.push((floor, shard, ev.id, pos));
+            }
+        }
+        self.scratch.sort_unstable();
+        let mut out: Vec<StandardEvent> = Vec::with_capacity(total);
+        // Move events out in sorted order; lanes are left empty.
+        let mut drained: Vec<Vec<Option<StandardEvent>>> = lanes
+            .iter_mut()
+            .map(|l| std::mem::take(l).into_iter().map(Some).collect())
+            .collect();
+        for &(_, shard, _, pos) in self.scratch.iter() {
+            out.push(drained[shard][pos].take().expect("each slot moved once"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmon_events::EventKind;
+
+    fn ev(shard_mdt: u16, id: u64, ts: u64) -> StandardEvent {
+        let mut e = StandardEvent::new(EventKind::Create, "/r", format!("/f{shard_mdt}-{id}"));
+        e.id = id;
+        e.timestamp_ns = ts;
+        e.mdt_index = Some(shard_mdt);
+        e
+    }
+
+    #[test]
+    fn shard_of_partitions_by_mdt_mod_k() {
+        assert_eq!(shard_of(Some(5), 4), 1);
+        assert_eq!(shard_of(Some(4), 4), 0);
+        assert_eq!(shard_of(None, 4), 0);
+        assert_eq!(shard_of(Some(5), 1), 0);
+        assert_eq!(shard_of(Some(5), 0), 0);
+    }
+
+    #[test]
+    fn watermark_advances_never_regress_and_merge_is_pointwise_max() {
+        let mut w = VectorWatermark::zero(2);
+        w.advance(0, 10);
+        w.advance(0, 7);
+        w.advance(3, 4);
+        assert_eq!(w.cursors(), &[10, 0, 0, 4]);
+        let mut other = VectorWatermark::from_cursors(vec![3, 9]);
+        other.merge(&w);
+        assert_eq!(other.cursors(), &[10, 9, 0, 4]);
+        assert!(other.dominates(&w));
+        assert!(!w.dominates(&other));
+        assert_eq!(w.render(), "s0:10,s1:0,s2:0,s3:4");
+    }
+
+    #[test]
+    fn merge_orders_by_timestamp_and_preserves_per_shard_id_order() {
+        let mut merger = ShardMerger::new();
+        let mut lanes = vec![
+            vec![ev(0, 1, 100), ev(0, 2, 300)],
+            vec![ev(1, 1, 200), ev(1, 2, 200)],
+        ];
+        let merged = merger.merge(&mut lanes);
+        let order: Vec<(u64, Option<u16>)> = merged.iter().map(|e| (e.id, e.mdt_index)).collect();
+        assert_eq!(
+            order,
+            [(1, Some(0)), (1, Some(1)), (2, Some(1)), (2, Some(0)),]
+        );
+        assert!(lanes.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn single_active_lane_passes_through_in_lane_order() {
+        let mut merger = ShardMerger::new();
+        // Misordered timestamps within one lane stay in id order: the
+        // fast path must not re-sort a lone shard's stream.
+        let mut lanes = vec![vec![ev(0, 1, 900), ev(0, 2, 100)], Vec::new()];
+        let merged = merger.merge(&mut lanes);
+        assert_eq!(merged.iter().map(|e| e.id).collect::<Vec<_>>(), [1, 2]);
+        assert!(merger.merge(&mut [Vec::new(), Vec::new()]).is_empty());
+    }
+}

@@ -41,6 +41,7 @@
 pub mod composite;
 pub mod config;
 pub mod dsi;
+pub mod federation;
 pub mod filter;
 pub mod interface;
 pub mod lru;
@@ -51,6 +52,7 @@ pub mod sharded_lru;
 pub use composite::CompositeDsi;
 pub use config::MonitorConfig;
 pub use dsi::{DsiError, RawEvent, StorageInterface, SystemKind};
+pub use federation::{shard_of, ShardMerger, VectorWatermark};
 pub use filter::EventFilter;
 pub use interface::{FsMonitor, Subscription};
 pub use lru::LruCache;

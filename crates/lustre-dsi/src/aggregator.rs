@@ -67,8 +67,11 @@ use std::time::Duration;
 /// Publish lanes when the caller doesn't tune the fan-out.
 pub const DEFAULT_PUBLISH_LANES: usize = 2;
 
-/// Most events the store lane folds into one group commit.
-const STORE_GROUP_MAX: usize = 4096;
+/// Most events the store lane folds into one group commit when the
+/// caller doesn't tune it. Benchmarks shrink this to make a workload
+/// fsync-bound (smaller groups → more commits → the shard-scaling axis
+/// measures overlapped commit chains, not CPU).
+pub const DEFAULT_STORE_GROUP_MAX: usize = 4096;
 
 /// Aggregator throughput counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -140,6 +143,12 @@ struct LaneCtx {
     shared: Arc<Shared>,
     faults: Faults,
     retry: Retry,
+    /// Which aggregator shard this is (`None` for the unsharded tier).
+    /// Only affects telemetry labels and thread names — the pipeline
+    /// itself is shard-agnostic.
+    shard: Option<usize>,
+    /// Group-commit cap for the store lane.
+    store_group_max: usize,
     /// Shared stage clock for trace stamping (sampling itself happens
     /// at the collectors; the aggregator only stamps what arrives).
     tracer: Tracer,
@@ -250,6 +259,42 @@ impl Aggregator {
         publish_lanes: usize,
         tracer: Tracer,
     ) -> Result<Aggregator, fsmon_mq::MqError> {
+        Self::start_shard(
+            ctx,
+            collector_endpoints,
+            consumer_endpoint,
+            store,
+            faults,
+            retry,
+            publish_lanes,
+            tracer,
+            None,
+            DEFAULT_STORE_GROUP_MAX,
+        )
+    }
+
+    /// [`start_traced`](Aggregator::start_traced) as one shard of a
+    /// partitioned aggregator tier: `shard` labels every telemetry
+    /// metric (`shard=<k>`) and thread name so K shards stay
+    /// distinguishable in `fsmon stats`, and `store_group_max` caps the
+    /// store lane's group commit (the sharded pipeline bench shrinks it
+    /// to make the workload commit-bound). Each shard runs the full
+    /// demux → worker lanes → sequencer → store pipeline over its own
+    /// store, stamping its own dense id stream from that store's
+    /// `last_seq`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_shard(
+        ctx: &Context,
+        collector_endpoints: &[String],
+        consumer_endpoint: &str,
+        store: Arc<dyn EventStore>,
+        faults: Faults,
+        retry: Retry,
+        publish_lanes: usize,
+        tracer: Tracer,
+        shard: Option<usize>,
+        store_group_max: usize,
+    ) -> Result<Aggregator, fsmon_mq::MqError> {
         let lanes = publish_lanes.max(1);
         let sub = Arc::new(ctx.subscriber());
         for ep in collector_endpoints {
@@ -287,7 +332,7 @@ impl Aggregator {
             highwater: Mutex::new(HashMap::new()),
         });
 
-        let agg_scope = fsmon_telemetry::root().scope("aggregator");
+        let agg_scope = scoped(shard);
         let mut work_tx = Vec::with_capacity(lanes);
         let mut work_rx = Vec::with_capacity(lanes);
         for _ in 0..lanes {
@@ -317,6 +362,8 @@ impl Aggregator {
             shared: shared.clone(),
             faults,
             retry,
+            shard,
+            store_group_max: store_group_max.max(1),
             tracer,
             fleet: Mutex::new(BTreeMap::new()),
             t_fleet_snapshots: agg_scope.counter("fleet_snapshots_total"),
@@ -347,11 +394,20 @@ impl Aggregator {
         Ok(agg)
     }
 
+    /// `"aggregator"` or `"aggregator-s<k>"` — the thread-name prefix
+    /// that keeps K shards' stages apart in a debugger.
+    fn thread_prefix(&self) -> String {
+        match self.lane.shard {
+            Some(k) => format!("aggregator-s{k}"),
+            None => "aggregator".to_string(),
+        }
+    }
+
     fn spawn_demux(&self) {
         let lane = self.lane.clone();
         lane.shared.demux_alive.store(true, Ordering::Relaxed);
         let handle = std::thread::Builder::new()
-            .name("aggregator-demux".into())
+            .name(format!("{}-demux", self.thread_prefix()))
             .spawn(move || run_demux(lane))
             .expect("spawn aggregator demux thread");
         self.threads.lock().push(handle);
@@ -361,7 +417,7 @@ impl Aggregator {
         let lane = self.lane.clone();
         lane.shared.worker_alive[i].store(true, Ordering::Relaxed);
         let handle = std::thread::Builder::new()
-            .name(format!("aggregator-worker{i}"))
+            .name(format!("{}-worker{i}", self.thread_prefix()))
             .spawn(move || run_worker_lane(lane, i))
             .expect("spawn aggregator worker thread");
         self.threads.lock().push(handle);
@@ -371,7 +427,7 @@ impl Aggregator {
         let lane = self.lane.clone();
         lane.shared.sequencer_alive.store(true, Ordering::Relaxed);
         let handle = std::thread::Builder::new()
-            .name("aggregator-sequencer".into())
+            .name(format!("{}-sequencer", self.thread_prefix()))
             .spawn(move || run_sequencer(lane))
             .expect("spawn aggregator sequencer thread");
         self.threads.lock().push(handle);
@@ -381,7 +437,7 @@ impl Aggregator {
         let lane = self.lane.clone();
         lane.shared.store_alive.store(true, Ordering::Relaxed);
         let handle = std::thread::Builder::new()
-            .name("aggregator-store".into())
+            .name(format!("{}-store", self.thread_prefix()))
             .spawn(move || run_store_lane(lane))
             .expect("spawn aggregator store thread");
         self.threads.lock().push(handle);
@@ -416,7 +472,7 @@ impl Aggregator {
         if self.shared.stop.load(Ordering::Relaxed) {
             return 0;
         }
-        let scope = fsmon_telemetry::root().scope("aggregator");
+        let scope = scoped(self.lane.shard);
         let mut restarted = 0;
         let mut publish_restarts = 0;
         if !self.shared.demux_alive.load(Ordering::Relaxed) {
@@ -537,6 +593,18 @@ impl Aggregator {
             std::thread::sleep(Duration::from_millis(2));
         }
         false
+    }
+}
+
+/// The aggregator telemetry scope, labeled `shard=<k>` when this
+/// pipeline is one shard of a partitioned tier. The unsharded scope is
+/// label-free, so K=1 metric ids are byte-identical to every prior
+/// release.
+fn scoped(shard: Option<usize>) -> fsmon_telemetry::Scope {
+    let scope = fsmon_telemetry::root().scope("aggregator");
+    match shard {
+        Some(k) => scope.with_label("shard", k.to_string()),
+        None => scope,
     }
 }
 
@@ -832,7 +900,7 @@ fn run_store_lane(lane: Arc<LaneCtx>) {
                 // locking and the lag drains in large strides.
                 let mut group = first;
                 let mut traces = first_traces;
-                while group.len() < STORE_GROUP_MAX {
+                while group.len() < lane.store_group_max {
                     match lane.store_rx.try_recv() {
                         Ok((more, more_traces)) => {
                             group.extend(more);
@@ -844,13 +912,18 @@ fn run_store_lane(lane: Arc<LaneCtx>) {
                 let mut offset = 0;
                 let mut backoff = lane.retry.backoff();
                 while offset < group.len() {
+                    // One durable commit covers at most store_group_max
+                    // events: a batch larger than the cap (the sequencer
+                    // publishes in its own strides) is split so the cap
+                    // really bounds the commit, not just the folding.
+                    let end = (offset + lane.store_group_max).min(group.len());
                     let before = lane.store.stats().appended;
-                    match lane.store.append_batch(&group[offset..]) {
+                    match lane.store.append_batch(&group[offset..end]) {
                         Ok(_) => {
-                            let n = (group.len() - offset) as u64;
+                            let n = (end - offset) as u64;
                             shared.stored.fetch_add(n, Ordering::Relaxed);
                             lane.t_stored.add(n);
-                            offset = group.len();
+                            offset = end;
                         }
                         Err(_) => {
                             // The store appends a prefix then fails;

@@ -159,6 +159,16 @@ impl Consumer {
         self.last_seen.load(Ordering::Relaxed)
     }
 
+    /// Treat everything up to `cursor` as already seen — the resume
+    /// point when a federated consumer is rebuilt from a persisted
+    /// vector watermark ([`catch_up`](Consumer::catch_up) then replays
+    /// exactly the store's suffix past the cursor). Never regresses:
+    /// resuming below the current position is a no-op, so a stale
+    /// cursor cannot re-deliver events this incarnation already saw.
+    pub fn resume_from(&self, cursor: EventId) {
+        self.last_seen.fetch_max(cursor, Ordering::Relaxed);
+    }
+
     /// Duplicate/gap/reconnect counters so far.
     pub fn recovery_stats(&self) -> ConsumerRecoveryStats {
         ConsumerRecoveryStats {

@@ -130,9 +130,15 @@ impl FanoutEngine {
             let Ok(spec) = FilterSpec::parse(&key) else {
                 continue;
             };
+            let handle = self.publisher.filter_class(&key);
+            // The spec's QoS budget lives on the class: enforced once
+            // at the broadcast ring, shared by every subscriber of the
+            // class (`rate=` is part of the canonical key, so limited
+            // and unlimited variants never collide).
+            handle.set_rate(spec.rate.unwrap_or(0));
             filters.push(spec.compile());
             lanes.push(ClassLane {
-                handle: self.publisher.filter_class(&key),
+                handle,
                 ranges: Vec::new(),
             });
         }
@@ -173,11 +179,20 @@ impl FanoutEngine {
         }
         let first_id = events[0].id;
         let last_id = events[events.len() - 1].id;
-        for lane in &self.lanes {
+        for lane in &mut self.lanes {
             // Every class gets a frame for every batch — an empty one
             // still advances the consumer's watermark, which is what
             // makes publish gaps (crash between store and publish)
             // detectable as `first_id > watermark + 1`.
+            //
+            // A rate-limited class charges its matched count against
+            // the class token bucket first; events over budget are
+            // dropped from the subset *before* the frame is built. The
+            // frame's meta still spans the full batch id range, so this
+            // is shed-by-policy: watermarks advance, no gap heal fires,
+            // and the class's `shed` counter owns the accounting.
+            let admitted = lane.handle.admit(lane.ranges.len());
+            lane.ranges.truncate(admitted);
             let payload = if lane.ranges.len() == events.len() {
                 // The whole batch matched: reuse the full frame,
                 // zero-copy.
@@ -295,6 +310,49 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn rate_limited_class_sheds_over_budget_but_watermark_frames_flow() {
+        let ctx = Context::new();
+        let publisher = std::sync::Arc::new(ctx.publisher());
+        publisher.bind("inproc://fanout-rate").unwrap();
+        // Budget of 2 events/second; the bucket starts full, so of a
+        // 5-event batch exactly 2 are delivered and 3 shed.
+        let spec = FilterSpec::all().with_rate(2).canonical();
+        let mut cursor = publisher.subscribe_class(&spec);
+        let mut engine = FanoutEngine::new(publisher.clone());
+        let (events, offsets, frame) = stamped_batch(&["/a", "/b", "/c", "/d", "/e"]);
+        engine.fan_out(&events, &offsets, &frame);
+        let msg = match cursor.poll() {
+            RingPoll::Frame(m) => m,
+            other => panic!("{other:?}"),
+        };
+        let meta = ClassMeta::decode(msg.part(1).unwrap()).unwrap();
+        assert_eq!(
+            (meta.first_id, meta.last_id),
+            (1, 5),
+            "meta spans the full batch so the watermark advances past shed events"
+        );
+        let subset = decode_event_batch(&msg.part_bytes(2).unwrap()).unwrap();
+        assert_eq!(subset.iter().map(|e| e.id).collect::<Vec<_>>(), [1, 2]);
+        let class = publisher.filter_class(&spec);
+        assert_eq!(class.rate(), 2);
+        let stats = class.stats();
+        assert_eq!(stats.shed, 3, "over-budget events are counted as shed");
+        // An immediately following batch finds an empty bucket: the
+        // class still gets its watermark frame, with an empty subset.
+        engine.fan_out(&events, &offsets, &frame);
+        match cursor.poll() {
+            RingPoll::Frame(m) => {
+                let subset = decode_event_batch(&m.part_bytes(2).unwrap()).unwrap();
+                assert!(subset.is_empty(), "budget exhausted: all shed");
+                let meta = ClassMeta::decode(m.part(1).unwrap()).unwrap();
+                assert_eq!(meta.last_id, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(publisher.filter_class(&spec).stats().shed, 8);
     }
 
     #[test]

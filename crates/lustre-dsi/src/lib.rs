@@ -46,6 +46,7 @@ pub mod fanout;
 pub mod history;
 pub mod monitor;
 pub mod robinhood;
+pub mod sharded;
 pub mod subscriber;
 
 pub use aggregator::{Aggregator, AggregatorStats};
@@ -56,4 +57,8 @@ pub use fanout::{ClassMeta, FanoutEngine, CLASS_TOPIC};
 pub use history::{HistoryClient, HistoryService, HistoryStats};
 pub use monitor::{LustreDsi, ScalableConfig, ScalableMonitor, Transport};
 pub use robinhood::{RobinhoodConfig, RobinhoodMonitor, RobinhoodStats};
+pub use sharded::{
+    FederatedConsumer, FederatedFilteredConsumer, FederatedFilteredSubscriber, ShardPlan,
+    ShardedAggregator,
+};
 pub use subscriber::{FilteredConsumer, FilteredStats, FilteredSubscriber};

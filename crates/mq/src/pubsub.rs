@@ -17,9 +17,9 @@ use fsmon_faults::{FaultPoint, Faults};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default per-subscriber high-water mark (messages).
 pub const DEFAULT_HWM: usize = 100_000;
@@ -190,6 +190,22 @@ pub struct ClassStats {
     pub stalls: u64,
     /// Consumers currently flagged degraded (healing from the store).
     pub degraded: usize,
+    /// QoS budget in events/second (0 = unlimited), from the class
+    /// spec's `rate=` clause.
+    pub rate: u32,
+    /// Events shed by the rate limiter (policy, not loss: frames keep
+    /// their full sequenced id span, so watermarks advance and no gap
+    /// heal fires for shed events).
+    pub shed: u64,
+}
+
+/// Token-bucket state for a rate-limited class. Refilled lazily on the
+/// publish path from elapsed wall time; burst capacity is one second's
+/// budget so a briefly idle class can absorb an arrival spike without
+/// shedding.
+struct RateBucket {
+    tokens: f64,
+    last: Instant,
 }
 
 /// One active filter class publisher-side: the shared broadcast ring
@@ -203,8 +219,14 @@ pub struct FilterClass {
     /// Live in-proc ring cursors ([`ClassCursor`]).
     cursors: AtomicU64,
     stalls: AtomicU64,
+    /// QoS budget in events/second (0 = unlimited). Set by the fan-out
+    /// engine from the class spec's `rate=` clause.
+    rate: AtomicU32,
+    bucket: Mutex<RateBucket>,
+    shed: AtomicU64,
     t_frames: Arc<fsmon_telemetry::Counter>,
     t_stalls: Arc<fsmon_telemetry::Counter>,
+    t_shed: Arc<fsmon_telemetry::Counter>,
     t_depth: Arc<fsmon_telemetry::Gauge>,
     t_consumers: Arc<fsmon_telemetry::Gauge>,
 }
@@ -221,11 +243,62 @@ impl FilterClass {
             tcp: Mutex::new(Vec::new()),
             cursors: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
+            rate: AtomicU32::new(0),
+            bucket: Mutex::new(RateBucket {
+                tokens: 0.0,
+                last: Instant::now(),
+            }),
+            shed: AtomicU64::new(0),
             t_frames: scope.counter("class_frames_total"),
             t_stalls: scope.counter("class_stalls_total"),
+            t_shed: scope.counter("class_shed_total"),
             t_depth: scope.gauge("class_queue_depth"),
             t_consumers: scope.gauge("class_consumers"),
         })
+    }
+
+    /// Install the class's QoS budget (events/second; 0 = unlimited).
+    /// A fresh budget starts with a full burst so the first window
+    /// after (re)registration delivers.
+    pub fn set_rate(&self, events_per_sec: u32) {
+        let prev = self.rate.swap(events_per_sec, Ordering::Relaxed);
+        if prev != events_per_sec {
+            let mut bucket = self.bucket.lock();
+            bucket.tokens = events_per_sec as f64;
+            bucket.last = Instant::now();
+        }
+    }
+
+    /// The class's QoS budget (events/second; 0 = unlimited).
+    pub fn rate(&self) -> u32 {
+        self.rate.load(Ordering::Relaxed)
+    }
+
+    /// Charge `want` matched events against the class's token bucket,
+    /// returning how many may be delivered now; the remainder is
+    /// counted as shed. Unlimited classes admit everything without
+    /// touching the bucket lock.
+    pub fn admit(&self, want: usize) -> usize {
+        let rate = self.rate.load(Ordering::Relaxed);
+        if rate == 0 || want == 0 {
+            return want;
+        }
+        let granted = {
+            let mut bucket = self.bucket.lock();
+            let now = Instant::now();
+            let refill = now.duration_since(bucket.last).as_secs_f64() * rate as f64;
+            bucket.tokens = (bucket.tokens + refill).min(rate as f64);
+            bucket.last = now;
+            let granted = (want as f64).min(bucket.tokens.floor()).max(0.0) as usize;
+            bucket.tokens -= granted as f64;
+            granted
+        };
+        let shed = (want - granted) as u64;
+        if shed > 0 {
+            self.shed.fetch_add(shed, Ordering::Relaxed);
+            self.t_shed.add(shed);
+        }
+        granted
     }
 
     /// The class key (canonical filter spec).
@@ -316,7 +389,9 @@ impl FilterClass {
         self.t_consumers.set(self.consumer_count() as i64);
     }
 
-    fn stats(&self) -> ClassStats {
+    /// This class's fan-out counters (what
+    /// [`PubSocket::class_stats`] reports per class).
+    pub fn stats(&self) -> ClassStats {
         let queue_depth = self
             .tcp
             .lock()
@@ -338,6 +413,8 @@ impl FilterClass {
             queue_depth,
             stalls: self.stalls.load(Ordering::Relaxed),
             degraded,
+            rate: self.rate.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 }

@@ -44,12 +44,17 @@ impl std::error::Error for FilterSpecError {}
 /// A consumer's declared interest, in canonical form.
 ///
 /// The text grammar is `path=<pattern>;kinds=<k1,k2,…|*>;mdts=<m1,m2,…|*>`
-/// where `<pattern>` uses the [`PathPattern`] glob grammar, kinds are
-/// [`EventKind::as_str`] names, and mdts are decimal MDT indices. `*`
-/// (or an omitted clause) means "all". [`FilterSpec::canonical`] renders
-/// the normalized form — kinds in wire-tag order, mdts sorted — and that
-/// string **is** the filter-class key: two subscribers whose specs
-/// canonicalize identically share one class end to end.
+/// with an optional `;rate=<N>` QoS clause, where `<pattern>` uses the
+/// [`PathPattern`] glob grammar, kinds are [`EventKind::as_str`] names,
+/// mdts are decimal MDT indices, and `N` is a per-class delivery budget
+/// in events/second. `*` (or an omitted clause) means "all".
+/// [`FilterSpec::canonical`] renders the normalized form — kinds in
+/// wire-tag order, mdts sorted, `rate=` only when set — and that string
+/// **is** the filter-class key: two subscribers whose specs canonicalize
+/// identically share one class end to end. Rate-limited variants of the
+/// same predicate are therefore *distinct* classes: the limit is a
+/// property of the class, enforced once at its broadcast ring, not per
+/// subscriber.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterSpec {
     /// Path pattern source (anchored glob; `/**` matches everything).
@@ -58,6 +63,13 @@ pub struct FilterSpec {
     pub kinds: KindMask,
     /// Accepted MDT indices (`None` = any, including non-Lustre events).
     pub mdts: Option<Vec<u16>>,
+    /// Per-class delivery budget in events/second (`None` = unlimited).
+    /// Enforced at the class's broadcast ring by a token bucket: events
+    /// over budget are *shed as policy* — the class's frames still carry
+    /// the full sequenced id span, so subscriber watermarks advance
+    /// without triggering gap heals, and the shed count is reported on
+    /// the class, never mistaken for loss.
+    pub rate: Option<u32>,
 }
 
 impl FilterSpec {
@@ -67,6 +79,7 @@ impl FilterSpec {
             pattern: "/**".to_string(),
             kinds: KindMask::ALL,
             mdts: None,
+            rate: None,
         }
     }
 
@@ -82,6 +95,7 @@ impl FilterSpec {
             pattern,
             kinds: KindMask::ALL,
             mdts: None,
+            rate: None,
         }
     }
 
@@ -99,6 +113,14 @@ impl FilterSpec {
         v.sort_unstable();
         v.dedup();
         self.mdts = Some(v);
+        self
+    }
+
+    /// Cap delivery at `rate` events/second (QoS knob; see
+    /// [`FilterSpec::rate`]).
+    #[must_use]
+    pub fn with_rate(mut self, rate: u32) -> FilterSpec {
+        self.rate = Some(rate);
         self
     }
 
@@ -161,6 +183,24 @@ impl FilterSpec {
                         spec.mdts = Some(set);
                     }
                 }
+                "rate" => {
+                    let value = value.trim();
+                    if value == "*" {
+                        spec.rate = None;
+                    } else {
+                        let rate: u32 = value
+                            .parse()
+                            .map_err(|_| FilterSpecError(format!("bad rate `{value}`")))?;
+                        if rate == 0 {
+                            return Err(FilterSpecError(
+                                "rate must be at least 1 event/second (omit the clause \
+                                 for unlimited)"
+                                    .into(),
+                            ));
+                        }
+                        spec.rate = Some(rate);
+                    }
+                }
                 other => {
                     return Err(FilterSpecError(format!("unknown clause `{other}`")));
                 }
@@ -192,7 +232,15 @@ impl FilterSpec {
                 .collect::<Vec<_>>()
                 .join(","),
         };
-        format!("path={};kinds={kinds};mdts={mdts}", self.pattern)
+        // `rate=` is rendered only when set so every pre-QoS class key
+        // (and any stored cursor keyed by one) stays byte-identical.
+        match self.rate {
+            None => format!("path={};kinds={kinds};mdts={mdts}", self.pattern),
+            Some(rate) => format!(
+                "path={};kinds={kinds};mdts={mdts};rate={rate}",
+                self.pattern
+            ),
+        }
     }
 
     /// Compile to a matcher.
@@ -442,6 +490,34 @@ mod tests {
         assert!(FilterSpec::parse("path=/a;mdts=x").is_err());
         assert!(FilterSpec::parse("path=/a;color=red").is_err());
         assert!(FilterSpec::parse("path=/a;kinds=").is_err());
+    }
+
+    #[test]
+    fn rate_clause_parses_and_canonicalizes() {
+        let spec = FilterSpec::parse("path=/data/**;rate=500").unwrap();
+        assert_eq!(spec.rate, Some(500));
+        assert_eq!(spec.canonical(), "path=/data/**;kinds=*;mdts=*;rate=500");
+        assert_eq!(FilterSpec::parse(&spec.canonical()).unwrap(), spec);
+        // `rate=*` and an omitted clause both mean unlimited, and the
+        // unlimited canonical form carries no rate clause at all so
+        // pre-QoS class keys are unchanged.
+        let unlimited = FilterSpec::parse("path=/data/**;rate=*").unwrap();
+        assert_eq!(unlimited.rate, None);
+        assert_eq!(unlimited.canonical(), "path=/data/**;kinds=*;mdts=*");
+        assert_eq!(FilterSpec::all().with_rate(7).rate, Some(7));
+        // A rate-limited class is distinct from the unlimited one.
+        assert_ne!(spec.canonical(), unlimited.canonical());
+    }
+
+    #[test]
+    fn rate_clause_rejects_garbage() {
+        assert!(
+            FilterSpec::parse("path=/a;rate=0").is_err(),
+            "0 is not a budget"
+        );
+        assert!(FilterSpec::parse("path=/a;rate=-1").is_err());
+        assert!(FilterSpec::parse("path=/a;rate=fast").is_err());
+        assert!(FilterSpec::parse("path=/a;rate=").is_err());
     }
 
     #[test]

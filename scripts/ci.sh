@@ -22,7 +22,10 @@ echo "==> pipeline bench smoke (parallel resolution / sharded fan-out)"
 # traced end-to-end p99 latency regression, a >20% traced store_commit
 # p99 regression (the group-commit gate — either latency gate is
 # skipped if the baseline predates its field), or a <2x parallel
-# speedup. --seconds must match the committed
+# speedup. The sharded-aggregator axis gates the same run: K=4
+# partitioned sequencers must sustain >=1.5x the K=1 sequence+commit
+# throughput on the commit-bound workload, and the K=4 rate must not
+# regress >20% below the committed baseline. --seconds must match the committed
 # baseline's window: throughput grows with drain length (longer runs
 # amortize startup and build fuller batches), so differently sized
 # windows are not comparable. Writes its report to a scratch path so

@@ -384,4 +384,119 @@ proptest! {
             );
         }
     }
+
+    /// The federation resume contract: resuming a federated consumer
+    /// from an arbitrary vector watermark and catching up heals
+    /// exactly the union of per-shard linear replays past each
+    /// shard's cursor — no loss, no duplicates, no cross-shard
+    /// bleed. One designated shard additionally purges a prefix of
+    /// its store (the janitor ran past this consumer's cursor):
+    /// replay then starts at that shard's purge floor, exactly as a
+    /// linear replay of that shard alone would.
+    #[test]
+    fn federated_resume_heals_union_of_shard_replays(
+        case in federation_resume_case(),
+    ) {
+        use fsmon_core::VectorWatermark;
+        use fsmon_lustre::{Consumer, FederatedConsumer};
+        use fsmon_store::{EventStore, MemStore};
+        use std::sync::Arc;
+
+        let (per_shard, purge_shard, purge_depth) = case;
+        let ctx = fsmon_mq::Context::new();
+        let mut stores: Vec<Arc<dyn EventStore>> = Vec::new();
+        let mut publishers = Vec::new();
+        let mut lanes = Vec::new();
+        for (k, &(n_events, _)) in per_shard.iter().enumerate() {
+            let store: Arc<dyn EventStore> = Arc::new(MemStore::new());
+            let events: Vec<StandardEvent> = (0..n_events)
+                .map(|i| {
+                    let mut ev = StandardEvent::new(
+                        EventKind::Create,
+                        "/",
+                        format!("/s{k}/f{i}"),
+                    );
+                    ev.mdt_index = Some(k as u16);
+                    ev.timestamp_ns = (i + 1) * 1000 + k as u64;
+                    ev
+                })
+                .collect();
+            if !events.is_empty() {
+                store.append_batch(&events).unwrap();
+            }
+            if k == purge_shard && purge_depth > 0 {
+                store.mark_reported(purge_depth.min(n_events)).unwrap();
+                store.purge_reported().unwrap();
+            }
+            let endpoint = format!("inproc://fed-resume-{k}");
+            let publisher = ctx.publisher();
+            publisher.bind(&endpoint).unwrap();
+            publishers.push(publisher);
+            lanes.push(Arc::new(
+                Consumer::connect_named(
+                    &ctx,
+                    &endpoint,
+                    fsmon_core::EventFilter::all(),
+                    Some(store.clone()),
+                    &format!("prop-s{k}"),
+                )
+                .unwrap(),
+            ));
+            stores.push(store);
+        }
+        let consumer = FederatedConsumer::from_parts(lanes);
+        let cursors: Vec<u64> = per_shard.iter().map(|&(_, cursor)| cursor).collect();
+        consumer.resume_from_vector(&VectorWatermark::from_cursors(cursors.clone()));
+        consumer.catch_up();
+        let mut delivered: Vec<(u16, u64)> = Vec::new();
+        loop {
+            let batch = consumer.drain();
+            if batch.is_empty() {
+                break;
+            }
+            delivered.extend(batch.iter().map(|e| (e.mdt_index.unwrap(), e.id)));
+        }
+        // The reference: each shard's linear replay past its own
+        // cursor (which already reflects what the purge dropped).
+        let mut expected: Vec<(u16, u64)> = Vec::new();
+        for (k, store) in stores.iter().enumerate() {
+            let mut since = cursors[k];
+            loop {
+                let chunk = store.get_since(since, 512).unwrap();
+                if chunk.is_empty() {
+                    break;
+                }
+                since = chunk.last().unwrap().id;
+                expected.extend(chunk.iter().map(|e| (k as u16, e.id)));
+            }
+        }
+        let total = delivered.len();
+        delivered.sort_unstable();
+        delivered.dedup();
+        prop_assert_eq!(total, delivered.len(), "duplicate delivery");
+        expected.sort_unstable();
+        prop_assert_eq!(delivered, expected);
+        // The consumer's own watermark must now dominate the resume
+        // vector: cursors never regress, even past a purged prefix.
+        let after = consumer.vector_watermark();
+        let resumed = VectorWatermark::from_cursors(cursors);
+        prop_assert!(after.dominates(&resumed));
+        // The publishers outlive the drain so the lanes never see a
+        // disconnect mid-heal.
+        drop(publishers);
+    }
+}
+
+/// Cases for the federation-resume property: K shard streams, each a
+/// (event count, resume cursor) pair with cursors allowed past the
+/// end of the stream, plus one designated shard and a purge depth so
+/// a prefix of that shard's store is gone before the resume.
+fn federation_resume_case() -> impl Strategy<Value = (Vec<(u64, u64)>, usize, u64)> {
+    (1usize..5).prop_flat_map(|k| {
+        (
+            prop::collection::vec((0u64..32, 0u64..36), k..=k),
+            0..k,
+            0u64..32,
+        )
+    })
 }
